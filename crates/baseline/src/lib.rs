@@ -1,0 +1,21 @@
+//! # tdb-baseline
+//!
+//! Comparator implementations for the experiments:
+//!
+//! * [`NaiveDetector`] — re-evaluates a PTL condition from scratch over the
+//!   full history on every update (the strawman Theorem 1 improves on;
+//!   experiment E1);
+//! * [`eventexpr`] — the event-expression formalism of Gehani, Jagadish &
+//!   Shmueli compared against in Section 10: regular expressions over the
+//!   event alphabet with intersection and complement, compiled through a
+//!   Thompson NFA and subset construction to a DFA, exhibiting the
+//!   (super)exponential state blowup PTL avoids (experiment E5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
+pub mod eventexpr;
+mod naive;
+
+pub use eventexpr::{parse_event_expr, Dfa, EventExpr, Matcher, Nfa, Sym};
+pub use naive::NaiveDetector;

@@ -1,0 +1,19 @@
+//! E7 microbenchmark: per-commit integrity-constraint gating cost as the
+//! constraint count grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tdb_bench::experiments::e7_constraints;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_constraints");
+    group.sample_size(10);
+    for &n in &[1usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("gate", n), &n, |b, &n| {
+            b.iter(|| e7_constraints(&[n], 50, 3))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

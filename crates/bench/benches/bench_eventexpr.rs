@@ -1,0 +1,41 @@
+//! E5 microbenchmark: compiling the look-back event expression (DFA
+//! construction blows up in k) vs compiling + running the PTL detector.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tdb_baseline::{EventExpr, Nfa, Sym};
+use tdb_core::IncrementalEvaluator;
+use tdb_ptl::Formula;
+
+fn lookback_expr(k: usize) -> EventExpr {
+    EventExpr::seq(
+        EventExpr::seq(EventExpr::star(EventExpr::Any), EventExpr::atom("a")),
+        EventExpr::any_n(k - 1),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_eventexpr");
+    group.sample_size(10);
+    for &k in &[4usize, 8, 10] {
+        group.bench_with_input(BenchmarkId::new("dfa_compile", k), &k, |b, &k| {
+            let alphabet = vec![Sym::Event("a".into()), Sym::Other];
+            b.iter(|| {
+                let nfa = Nfa::try_build(&lookback_expr(k), &alphabet).unwrap();
+                nfa.determinize().minimize().state_count()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ptl_compile", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut f = Formula::event("a", vec![]);
+                for _ in 0..k - 1 {
+                    f = Formula::lasttime(f);
+                }
+                IncrementalEvaluator::compile(&f).unwrap().retained_size()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

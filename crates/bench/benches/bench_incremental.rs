@@ -1,0 +1,43 @@
+//! E1 microbenchmark: per-update cost of the incremental evaluator vs the
+//! naive full-history detector, at several history lengths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tdb_baseline::NaiveDetector;
+use tdb_bench::workload::{ibm_doubled_formula, ticker_engine};
+use tdb_core::IncrementalEvaluator;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_incremental_vs_naive");
+    group.sample_size(10);
+    for &n in &[100usize, 1_000, 4_000] {
+        let engine = ticker_engine(n, 42);
+        let f = ibm_doubled_formula();
+        group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ev = IncrementalEvaluator::compile(&f).unwrap();
+                let mut fired = 0usize;
+                for (i, s) in engine.history().iter() {
+                    fired += usize::from(!ev.advance_and_fire(s, i).unwrap().is_empty());
+                }
+                fired
+            })
+        });
+        // Naive over the full history is quadratic; keep sizes modest.
+        if n <= 1_000 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+                b.iter(|| {
+                    let mut det = NaiveDetector::new(f.clone());
+                    let mut fired = 0usize;
+                    for (_, s) in engine.history().iter() {
+                        fired += usize::from(!det.advance_and_fire(s).unwrap().is_empty());
+                    }
+                    fired
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

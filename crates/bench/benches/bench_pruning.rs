@@ -1,0 +1,33 @@
+//! E2 microbenchmark: evaluator advance cost with and without the §5
+//! monotone-clock pruning (pruning keeps residuals small, so it is faster
+//! despite the extra pass).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tdb_bench::workload::{ibm_doubled_formula, ticker_engine};
+use tdb_core::{EvalConfig, IncrementalEvaluator};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_pruning");
+    group.sample_size(10);
+    let engine = ticker_engine(2_000, 42);
+    let f = ibm_doubled_formula();
+    for (name, pruning) in [("pruned", true), ("unpruned", false)] {
+        group.bench_with_input(BenchmarkId::new(name, 2_000), &pruning, |b, &p| {
+            b.iter(|| {
+                let mut ev = IncrementalEvaluator::new(
+                    &f,
+                    EvalConfig { pruning: p, max_residual: usize::MAX },
+                )
+                .unwrap();
+                for (i, s) in engine.history().iter() {
+                    ev.advance(s, i).unwrap();
+                }
+                ev.retained_size()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! E3 microbenchmark: dispatch cost per state with and without §8
+//! relevance filtering, as the rule count grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tdb_bench::experiments::e3_relevance;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_relevance");
+    group.sample_size(10);
+    for &rules in &[16usize, 128] {
+        group.bench_with_input(BenchmarkId::new("both_modes", rules), &rules, |b, &r| {
+            b.iter(|| e3_relevance(&[r], 100, 7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Quick profiling helper for the unpruned evaluator's growth (dev tool).
+use std::time::Instant;
+use tdb_bench::workload::{ibm_doubled_formula, ticker_engine};
+use tdb_core::{EvalConfig, IncrementalEvaluator};
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2000);
+    let engine = ticker_engine(n, 42);
+    let f = ibm_doubled_formula();
+    let mut ev = IncrementalEvaluator::new(
+        &f,
+        EvalConfig { pruning: false, max_residual: usize::MAX },
+    )
+    .unwrap();
+    let start = Instant::now();
+    let mut last = Instant::now();
+    for (i, s) in engine.history().iter() {
+        ev.advance(s, i).unwrap();
+        if i % 500 == 0 {
+            eprintln!(
+                "state {i}: retained={} chunk={:?}",
+                ev.retained_size(),
+                last.elapsed()
+            );
+            last = Instant::now();
+        }
+    }
+    eprintln!("total {:?}", start.elapsed());
+}

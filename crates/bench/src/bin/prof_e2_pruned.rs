@@ -1,0 +1,18 @@
+//! Dev tool: times the PRUNED evaluator over a 50k-state ticker history
+//! (pair of `prof_e2`, which times the unpruned evaluator).
+use std::time::Instant;
+use tdb_bench::workload::{ibm_doubled_formula, ticker_engine};
+use tdb_core::IncrementalEvaluator;
+fn main() {
+    let t0 = Instant::now();
+    let engine = ticker_engine(50_000, 42);
+    eprintln!("engine build: {:?}", t0.elapsed());
+    let f = ibm_doubled_formula();
+    let mut ev = IncrementalEvaluator::compile(&f).unwrap();
+    let t0 = Instant::now();
+    for (i, s) in engine.history().iter() {
+        ev.advance(s, i).unwrap();
+        if i % 10000 == 0 { eprintln!("state {i}: {:?} retained={}", t0.elapsed(), ev.retained_size()); }
+    }
+    eprintln!("advance total: {:?}", t0.elapsed());
+}

@@ -1,0 +1,11 @@
+//! # tdb-bench
+//!
+//! Workload generators, the experiment suite (E1–E11, one per claim of the
+//! paper — see DESIGN.md and EXPERIMENTS.md) and the table-printing harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod table;
+pub mod workload;

@@ -1,0 +1,64 @@
+//! Minimal fixed-width table printing for the experiment harness.
+
+/// Renders a table with a header row, aligning columns to the widest cell.
+pub fn render(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:>width$}", cell, width = widths[i]));
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push_str(&format!("{}\n", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))));
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let s = render(
+            "demo",
+            &["n", "value"],
+            &[
+                vec!["1".into(), "10.00".into()],
+                vec!["100".into(), "3.14".into()],
+            ],
+        );
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("  1"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn f2_format() {
+        assert_eq!(f2(3.14159), "3.14");
+    }
+}

@@ -1,0 +1,205 @@
+//! Workload generators for the experiments.
+//!
+//! Everything is seeded and deterministic. The stock ticker substitutes for
+//! the paper's market feed: the conditions only observe value/timestamp
+//! patterns, which the generator controls (it can plant the exact
+//! worked-example patterns).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use tdb_engine::{Engine, WriteOp};
+use tdb_ptl::{parse_formula, Formula};
+use tdb_relation::{
+    parse_query, tuple, Database, QueryDef, Relation, Schema, Value,
+};
+
+/// A seeded random-walk price series for one stock.
+#[derive(Debug)]
+pub struct Ticker {
+    rng: StdRng,
+    price: i64,
+}
+
+impl Ticker {
+    pub fn new(seed: u64, start_price: i64) -> Ticker {
+        Ticker { rng: StdRng::seed_from_u64(seed), price: start_price.max(1) }
+    }
+
+    /// Next price: a bounded random walk that stays positive.
+    pub fn step(&mut self) -> i64 {
+        let delta: i64 = self.rng.random_range(-4..=5);
+        self.price = (self.price + delta).max(1);
+        self.price
+    }
+
+    /// Occasionally (probability `p_million = p/1_000_000`) crash the price
+    /// to half — plants "doubling" patterns for the IBM condition.
+    pub fn step_with_crashes(&mut self, p_million: u32) -> i64 {
+        if self.rng.random_range(0..1_000_000) < p_million {
+            self.price = (self.price / 2).max(1);
+        }
+        self.step()
+    }
+}
+
+/// The standard stock database: `STOCK(name, price)` plus the `price(x)`
+/// and `names()` function symbols.
+pub fn stock_db() -> Database {
+    let mut db = Database::new();
+    db.create_relation("STOCK", Relation::empty(Schema::untyped(&["name", "price"])))
+        .expect("fresh database");
+    db.define_query(
+        "price",
+        QueryDef::new(
+            1,
+            parse_query("select price from STOCK where name = $0").expect("static query"),
+        ),
+    );
+    db.define_query(
+        "names",
+        QueryDef::new(0, parse_query("select name from STOCK").expect("static query")),
+    );
+    db
+}
+
+/// The write-set replacing `name`'s price (delete old row, insert new).
+pub fn set_price_ops(db: &Database, name: &str, price: i64) -> Vec<WriteOp> {
+    let old = db
+        .relation("STOCK")
+        .expect("STOCK exists")
+        .iter()
+        .find(|t| t.get(0) == Some(&Value::str(name)))
+        .cloned();
+    let mut ops = Vec::with_capacity(2);
+    if let Some(old) = old {
+        ops.push(WriteOp::Delete { relation: "STOCK".into(), tuple: old });
+    }
+    ops.push(WriteOp::Insert { relation: "STOCK".into(), tuple: tuple![name, price] });
+    ops
+}
+
+/// Drives `n` ticker updates through a bare engine (one state each, one
+/// clock unit apart). Returns the engine.
+pub fn ticker_engine(n: usize, seed: u64) -> Engine {
+    let mut e = Engine::new(stock_db());
+    e.set_auto_tick(false);
+    let mut ticker = Ticker::new(seed, 50);
+    for k in 0..n {
+        e.advance_clock_to(tdb_relation::Timestamp(k as i64 + 1)).expect("monotone");
+        let p = ticker.step_with_crashes(20_000);
+        let ops = set_price_ops(e.db(), "IBM", p);
+        e.apply_update(ops).expect("update applies");
+    }
+    e
+}
+
+/// The paper's worked-example condition: "the price of IBM stock doubled in
+/// 10 units of time".
+pub fn ibm_doubled_formula() -> Formula {
+    parse_formula(
+        "[t := time] [x := price(\"IBM\")] \
+         previously(price(\"IBM\") <= 0.5 * x and time >= t - 10)",
+    )
+    .expect("static formula")
+}
+
+/// The moving-average condition: "the hourly average of the IBM price has
+/// remained above `threshold`" (sampled at @update_stocks events).
+pub fn hourly_average_formula(threshold: i64) -> Formula {
+    parse_formula(&format!(
+        "avg(price(\"IBM\"); time = 0; @update_stocks) > {threshold}"
+    ))
+    .expect("static formula")
+}
+
+/// A rule condition watching one named item (`w<i>`) exceed a threshold —
+/// used to scale rule counts in E3/E7.
+pub fn item_watch_formula(item: &str, threshold: i64) -> Formula {
+    parse_formula(&format!("{item}_q() > {threshold}")).expect("static formula")
+}
+
+/// A database with `n` scalar watch items `w0…w(n-1)` and reader queries.
+pub fn watch_db(n: usize) -> Database {
+    let mut db = Database::new();
+    for i in 0..n {
+        let item = format!("w{i}");
+        db.set_item(item.clone(), Value::Int(0));
+        db.define_query(
+            format!("{item}_q"),
+            QueryDef::new(0, tdb_relation::Query::item(item)),
+        );
+    }
+    db
+}
+
+/// Login-session events: deterministic interleaving of logins/logouts for
+/// `users` users over `n` states.
+#[derive(Debug)]
+pub struct SessionLoad {
+    rng: StdRng,
+    users: usize,
+    logged_in: Vec<bool>,
+}
+
+impl SessionLoad {
+    pub fn new(users: usize, seed: u64) -> SessionLoad {
+        SessionLoad {
+            rng: StdRng::seed_from_u64(seed),
+            users,
+            logged_in: vec![false; users],
+        }
+    }
+
+    /// Next event: `(user, login?)`.
+    pub fn step(&mut self) -> (String, bool) {
+        let u = self.rng.random_range(0..self.users);
+        self.logged_in[u] = !self.logged_in[u];
+        (format!("user{u}"), self.logged_in[u])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticker_is_deterministic_and_positive() {
+        let mut a = Ticker::new(7, 50);
+        let mut b = Ticker::new(7, 50);
+        for _ in 0..1000 {
+            let pa = a.step_with_crashes(50_000);
+            assert_eq!(pa, b.step_with_crashes(50_000));
+            assert!(pa >= 1);
+        }
+    }
+
+    #[test]
+    fn ticker_engine_builds_history() {
+        let e = ticker_engine(100, 1);
+        assert_eq!(e.history().len(), 101, "initial + 100 updates");
+        assert_eq!(e.db().relation("STOCK").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn formulas_parse_and_analyze() {
+        tdb_ptl::analyze(&ibm_doubled_formula()).unwrap();
+        tdb_ptl::analyze(&hourly_average_formula(70)).unwrap();
+        tdb_ptl::analyze(&item_watch_formula("w3", 10)).unwrap();
+    }
+
+    #[test]
+    fn watch_db_defines_items_and_queries() {
+        let db = watch_db(4);
+        assert!(db.has_item("w3"));
+        assert!(db.query_def("w0_q").is_ok());
+    }
+
+    #[test]
+    fn session_load_flips_state() {
+        let mut s = SessionLoad::new(3, 9);
+        let (u, first) = s.step();
+        assert!(first, "first toggle is a login");
+        assert!(u.starts_with("user"));
+    }
+}

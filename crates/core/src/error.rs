@@ -1,0 +1,116 @@
+//! Core error types.
+
+use std::fmt;
+
+use tdb_engine::EngineError;
+use tdb_ptl::PtlError;
+use tdb_relation::RelError;
+
+/// Errors raised by the temporal component (rule registration, incremental
+/// evaluation, rule management).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A rule with this name is already registered.
+    DuplicateRule(String),
+    /// No rule with this name exists.
+    NoSuchRule(String),
+    /// Temporal aggregates must be rewritten before incremental evaluation;
+    /// one survived (internal error or direct misuse of the evaluator).
+    UnrewrittenAggregate,
+    /// An assignment term mentions variables; assignment terms must be
+    /// ground so their value is well-defined at the evaluation instant.
+    NonGroundAssignment { var: String, mentions: String },
+    /// Solving a residual required binding a variable with no equality
+    /// constraint — the formula is effectively unsafe at runtime.
+    UnsolvableResidual(String),
+    /// A residual grew beyond the configured limit (the formula is
+    /// unbounded and pruning could not contain it).
+    ResidualTooLarge { limit: usize, size: usize },
+    /// A rule cascade exceeded the configured state budget (runaway rules
+    /// firing on the states produced by their own actions).
+    CascadeLimit(usize),
+    /// An action referenced a parameter the condition did not bind.
+    MissingActionParam(String),
+    /// Errors from lower layers.
+    Ptl(PtlError),
+    Engine(EngineError),
+    Rel(RelError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::DuplicateRule(r) => write!(f, "rule `{r}` is already registered"),
+            CoreError::NoSuchRule(r) => write!(f, "no rule named `{r}`"),
+            CoreError::UnrewrittenAggregate => {
+                write!(f, "temporal aggregate reached the incremental evaluator unrewritten")
+            }
+            CoreError::NonGroundAssignment { var, mentions } => write!(
+                f,
+                "assignment to `{var}` mentions variable `{mentions}`; assignment terms must be ground"
+            ),
+            CoreError::UnsolvableResidual(v) => write!(
+                f,
+                "cannot enumerate satisfying bindings: variable `{v}` has no equality constraint"
+            ),
+            CoreError::ResidualTooLarge { limit, size } => {
+                write!(f, "residual formula grew to {size} nodes (limit {limit})")
+            }
+            CoreError::CascadeLimit(n) => {
+                write!(f, "rule cascade exceeded {n} states; runaway rule suspected")
+            }
+            CoreError::MissingActionParam(p) => {
+                write!(f, "action parameter `{p}` was not bound by the condition")
+            }
+            CoreError::Ptl(e) => write!(f, "{e}"),
+            CoreError::Engine(e) => write!(f, "{e}"),
+            CoreError::Rel(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Ptl(e) => Some(e),
+            CoreError::Engine(e) => Some(e),
+            CoreError::Rel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PtlError> for CoreError {
+    fn from(e: PtlError) -> Self {
+        CoreError::Ptl(e)
+    }
+}
+
+impl From<EngineError> for CoreError {
+    fn from(e: EngineError) -> Self {
+        CoreError::Engine(e)
+    }
+}
+
+impl From<RelError> for CoreError {
+    fn from(e: RelError) -> Self {
+        CoreError::Rel(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = PtlError::UnboundVar("x".into()).into();
+        assert!(e.to_string().contains("unbound"));
+        let e: CoreError = RelError::UnknownTable("T".into()).into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(CoreError::DuplicateRule("r".into()).to_string().contains("already"));
+    }
+}

@@ -1,0 +1,729 @@
+//! [`ActiveDatabase`] — the full active database system: the engine
+//! substrate plus the temporal component, wired per the Section 8 execution
+//! model.
+//!
+//! * every new system state is dispatched to the detached rules;
+//! * commits are gated by the integrity constraints (TCA rules) against
+//!   the candidate state — a violation aborts the transaction;
+//! * rule actions run as their own (gated) one-shot transactions, which
+//!   append further states and cascade;
+//! * rules that need it get their firings recorded in the `executed`
+//!   relation, enabling the Section 7 composite/temporal actions;
+//! * optional batching delays dispatch until several states are pending
+//!   ("trigger firing may be delayed, but not go unrecognized").
+
+use tdb_engine::{Engine, EngineError, Event, EventSet, History, TxnId, WriteOp};
+use tdb_ptl::Env;
+use tdb_relation::{Database, QueryDef, Relation, Timestamp, Value};
+
+use crate::error::{CoreError, Result};
+use crate::manager::{executed_relation_name, ManagerConfig, ManagerStats, RuleManager};
+use crate::rules::{Action, ActionOp, FiringRecord, Rule};
+
+/// Default bound on the number of states processed by one cascade.
+const DEFAULT_CASCADE_LIMIT: usize = 10_000;
+
+/// An active database: engine + temporal component.
+#[derive(Debug)]
+pub struct ActiveDatabase {
+    engine: Engine,
+    manager: RuleManager,
+    firing_log: Vec<FiringRecord>,
+    /// First history index not yet dispatched.
+    next_dispatch: usize,
+    /// States whose constraint evaluators already advanced (gated commits).
+    gated: std::collections::BTreeSet<usize>,
+    /// Dispatch only when at least this many states are pending.
+    batch: usize,
+    cascade_limit: usize,
+    processing: bool,
+}
+
+impl ActiveDatabase {
+    pub fn new(db: Database) -> ActiveDatabase {
+        ActiveDatabase::with_config(db, ManagerConfig::default())
+    }
+
+    pub fn with_config(db: Database, cfg: ManagerConfig) -> ActiveDatabase {
+        let engine = Engine::new(db);
+        let next_dispatch = engine.history().len();
+        ActiveDatabase {
+            engine,
+            manager: RuleManager::new(cfg),
+            firing_log: Vec::new(),
+            next_dispatch,
+            gated: std::collections::BTreeSet::new(),
+            batch: 1,
+            cascade_limit: DEFAULT_CASCADE_LIMIT,
+            processing: false,
+        }
+    }
+
+    // ---- introspection ----------------------------------------------------
+
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    pub fn db(&self) -> &Database {
+        self.engine.db()
+    }
+
+    pub fn history(&self) -> &History {
+        self.engine.history()
+    }
+
+    pub fn now(&self) -> Timestamp {
+        self.engine.now()
+    }
+
+    pub fn stats(&self) -> ManagerStats {
+        self.manager.stats()
+    }
+
+    /// Retained formula-state size across all rules (experiment E2).
+    pub fn retained_size(&self) -> usize {
+        self.manager.retained_size()
+    }
+
+    /// All firings so far (constraint violations included).
+    pub fn firings(&self) -> &[FiringRecord] {
+        &self.firing_log
+    }
+
+    /// Drains the firing log.
+    pub fn take_firings(&mut self) -> Vec<FiringRecord> {
+        std::mem::take(&mut self.firing_log)
+    }
+
+    // ---- schema setup ------------------------------------------------------
+
+    pub fn create_relation(&mut self, name: impl Into<String>, rel: Relation) -> Result<()> {
+        self.engine.db_mut().create_relation(name, rel)?;
+        Ok(())
+    }
+
+    pub fn define_query(&mut self, name: impl Into<String>, def: QueryDef) {
+        self.engine.db_mut().define_query(name, def);
+    }
+
+    pub fn set_item(&mut self, name: impl Into<String>, v: Value) {
+        self.engine.db_mut().set_item(name, v);
+    }
+
+    /// Registers a rule. Its evaluator is primed on the current database so
+    /// the condition's history starts at registration time.
+    pub fn add_rule(&mut self, rule: Rule) -> Result<()> {
+        let idx = self.engine.history().last_index().unwrap_or(0);
+        let t = self.engine.history().last().map(|s| s.time()).unwrap_or_default();
+        self.manager.register(rule, self.engine.db_mut(), Some((t, idx)))
+    }
+
+    /// Dispatch only every `n` pending states (Section 8 batching);
+    /// [`ActiveDatabase::flush`] forces dispatch of a partial batch.
+    pub fn set_batch(&mut self, n: usize) {
+        self.batch = n.max(1);
+    }
+
+    pub fn set_cascade_limit(&mut self, n: usize) {
+        self.cascade_limit = n.max(1);
+    }
+
+    // ---- time & events ------------------------------------------------------
+
+    pub fn advance_clock(&mut self, delta: i64) -> Result<Timestamp> {
+        Ok(self.engine.advance_clock(delta)?)
+    }
+
+    /// Emits a clock-tick state (timer rules are evaluated at ticks).
+    pub fn tick(&mut self) -> Result<()> {
+        self.engine.tick()?;
+        self.process()
+    }
+
+    /// Advances the clock to `t` in steps of `step`, ticking at each step —
+    /// the driver for "every 10 minutes"-style temporal actions.
+    pub fn run_until(&mut self, t: Timestamp, step: i64) -> Result<()> {
+        let step = step.max(1);
+        while self.now() < t {
+            let next = self.now().plus(step).min(t);
+            self.engine.advance_clock_to(next)?;
+            self.tick()?;
+        }
+        Ok(())
+    }
+
+    /// Emits a user event.
+    pub fn emit(&mut self, e: Event) -> Result<usize> {
+        let idx = self.engine.emit_event(e)?;
+        self.process()?;
+        Ok(idx)
+    }
+
+    /// Emits several simultaneous user events (one system state).
+    pub fn emit_all(&mut self, events: EventSet) -> Result<usize> {
+        let idx = self.engine.emit(events)?;
+        self.process()?;
+        Ok(idx)
+    }
+
+    // ---- transactions --------------------------------------------------------
+
+    /// Applies `ops` as one atomic transaction, gated by the integrity
+    /// constraints. On violation the transaction is aborted and
+    /// `EngineError::Aborted` is returned (violations are also recorded in
+    /// the firing log).
+    pub fn update(&mut self, ops: impl IntoIterator<Item = WriteOp>) -> Result<usize> {
+        let result = self.gated_update(ops.into_iter().collect(), Vec::new());
+        // Dispatch whatever was appended (the commit state, or the abort
+        // state of a vetoed transaction) before reporting the outcome.
+        self.process()?;
+        result
+    }
+
+    pub fn begin(&mut self) -> Result<TxnId> {
+        let t = self.engine.begin()?;
+        self.process()?;
+        Ok(t)
+    }
+
+    pub fn write(&mut self, txn: TxnId, op: WriteOp) -> Result<()> {
+        Ok(self.engine.write(txn, op)?)
+    }
+
+    /// Commits an open transaction, gated by the constraints.
+    pub fn commit(&mut self, txn: TxnId) -> Result<usize> {
+        let idx = self.engine.history().len();
+        let prepared = self.engine.prepare_commit(txn)?;
+        let gate = self.manager.gate(prepared.candidate(), idx)?;
+        if gate.ok() {
+            let idx = self.engine.finish_commit(prepared)?;
+            self.manager.confirm_gate(gate);
+            self.gated.insert(idx);
+            self.process()?;
+            Ok(idx)
+        } else {
+            let rules: Vec<String> =
+                gate.violations.iter().map(|v| v.rule.clone()).collect();
+            self.firing_log.extend(gate.violations.clone());
+            self.engine.abort_prepared(prepared)?;
+            self.process()?;
+            Err(CoreError::Engine(EngineError::Aborted {
+                txn,
+                reason: format!("integrity constraint(s) violated: {}", rules.join(", ")),
+            }))
+        }
+    }
+
+    pub fn abort(&mut self, txn: TxnId) -> Result<usize> {
+        let idx = self.engine.abort(txn)?;
+        self.process()?;
+        Ok(idx)
+    }
+
+    /// Forces dispatch of any batched-pending states.
+    pub fn flush(&mut self) -> Result<()> {
+        let saved = self.batch;
+        self.batch = 1;
+        let r = self.process();
+        self.batch = saved;
+        r
+    }
+
+    // ---- internals -------------------------------------------------------------
+
+    /// One-shot gated transaction (no separate begin state).
+    fn gated_update(&mut self, ops: Vec<WriteOp>, extra_events: Vec<Event>) -> Result<usize> {
+        let idx = self.engine.history().len();
+        let prepared = self.engine.prepare_update(ops, extra_events)?;
+        let gate = self.manager.gate(prepared.candidate(), idx)?;
+        if gate.ok() {
+            let idx = self.engine.finish_commit(prepared)?;
+            self.manager.confirm_gate(gate);
+            self.gated.insert(idx);
+            Ok(idx)
+        } else {
+            let txn = prepared.txn();
+            let rules: Vec<String> =
+                gate.violations.iter().map(|v| v.rule.clone()).collect();
+            self.firing_log.extend(gate.violations.clone());
+            self.engine.abort_prepared(prepared)?;
+            Err(CoreError::Engine(EngineError::Aborted {
+                txn,
+                reason: format!("integrity constraint(s) violated: {}", rules.join(", ")),
+            }))
+        }
+    }
+
+    /// Dispatches every pending state (respecting batching) and executes
+    /// the resulting actions, cascading until quiescent.
+    fn process(&mut self) -> Result<()> {
+        if self.processing {
+            // Re-entrant call from an action: the outer loop picks the new
+            // states up.
+            return Ok(());
+        }
+        self.processing = true;
+        let result = self.process_inner();
+        self.processing = false;
+        result
+    }
+
+    fn process_inner(&mut self) -> Result<()> {
+        let mut processed = 0usize;
+        while self.engine.history().len().saturating_sub(self.next_dispatch) >= self.batch {
+            let idx = self.next_dispatch;
+            self.next_dispatch += 1;
+            processed += 1;
+            if processed > self.cascade_limit {
+                return Err(CoreError::CascadeLimit(self.cascade_limit));
+            }
+            let state = self
+                .engine
+                .history()
+                .get(idx)
+                .expect("pending state must be retained")
+                .clone();
+            let constraints_done = self.gated.remove(&idx);
+            let firings = self.manager.dispatch(&state, idx, constraints_done)?;
+            self.handle_firings(firings)?;
+        }
+        Ok(())
+    }
+
+    fn handle_firings(&mut self, firings: Vec<FiringRecord>) -> Result<()> {
+        for firing in firings {
+            self.firing_log.push(firing.clone());
+            let rule = self
+                .manager
+                .rule(&firing.rule)
+                .cloned()
+                .ok_or_else(|| CoreError::NoSuchRule(firing.rule.clone()))?;
+
+            let ops = match &rule.action {
+                Action::Notify | Action::AbortTxn => Vec::new(),
+                Action::DbOps(ops) => self.materialize_ops(ops, &firing.env)?,
+                Action::Program(p) => {
+                    let dynamic = (p.run)(&firing.env);
+                    self.materialize_ops(&dynamic, &firing.env)?
+                }
+            };
+
+            // Record the execution (Section 7) alongside the action.
+            let mut all_ops = ops;
+            let mut events = Vec::new();
+            let record = rule.record_executed
+                || self
+                    .engine
+                    .db()
+                    .relation(&executed_relation_name(&rule.name))
+                    .is_ok();
+            if record {
+                let mut row = firing.params(&rule);
+                row.push(Value::Time(firing.time));
+                all_ops.push(WriteOp::Insert {
+                    relation: executed_relation_name(&rule.name),
+                    tuple: tdb_relation::Tuple::new(row.clone()),
+                });
+                events.push(Event::rule_execute(&rule.name, &row));
+            }
+            if all_ops.is_empty() {
+                continue;
+            }
+            // Action transactions are themselves gated; a constraint
+            // violation cancels the action (and is recorded) but does not
+            // poison the dispatch loop.
+            match self.gated_update(all_ops, events) {
+                Ok(_) => {}
+                Err(CoreError::Engine(EngineError::Aborted { .. })) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates action-op terms at the current state under the firing
+    /// bindings.
+    fn materialize_ops(&self, ops: &[ActionOp], env: &Env) -> Result<Vec<WriteOp>> {
+        let h = self.engine.history();
+        let idx = h.last_index().expect("history is never empty");
+        let eval = |t: &tdb_ptl::Term| -> Result<Value> {
+            Ok(tdb_ptl::eval_term(t, h, idx, env)?)
+        };
+        let mut out = Vec::with_capacity(ops.len());
+        for op in ops {
+            match op {
+                ActionOp::SetItem { item, value } => {
+                    out.push(WriteOp::SetItem { item: item.clone(), value: eval(value)? });
+                }
+                ActionOp::Insert { relation, tuple } => {
+                    let row: Vec<Value> = tuple.iter().map(&eval).collect::<Result<_>>()?;
+                    out.push(WriteOp::Insert {
+                        relation: relation.clone(),
+                        tuple: tdb_relation::Tuple::new(row),
+                    });
+                }
+                ActionOp::Delete { relation, tuple } => {
+                    let row: Vec<Value> = tuple.iter().map(&eval).collect::<Result<_>>()?;
+                    out.push(WriteOp::Delete {
+                        relation: relation.clone(),
+                        tuple: tdb_relation::Tuple::new(row),
+                    });
+                }
+                ActionOp::UpdateMin { item, value } => {
+                    let v = eval(value)?;
+                    let cur = self.engine.db().item(item).unwrap_or(Value::Null);
+                    let new = match (&cur, &v) {
+                        (Value::Null, _) => v.clone(),
+                        (_, Value::Null) => cur.clone(),
+                        _ => {
+                            if v < cur {
+                                v.clone()
+                            } else {
+                                cur.clone()
+                            }
+                        }
+                    };
+                    out.push(WriteOp::SetItem { item: item.clone(), value: new });
+                }
+                ActionOp::UpdateMax { item, value } => {
+                    let v = eval(value)?;
+                    let cur = self.engine.db().item(item).unwrap_or(Value::Null);
+                    let new = match (&cur, &v) {
+                        (Value::Null, _) => v.clone(),
+                        (_, Value::Null) => cur.clone(),
+                        _ => {
+                            if v > cur {
+                                v.clone()
+                            } else {
+                                cur.clone()
+                            }
+                        }
+                    };
+                    out.push(WriteOp::SetItem { item: item.clone(), value: new });
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Program;
+    use std::sync::Arc;
+    use tdb_ptl::parse_formula;
+    use tdb_relation::{parse_query, tuple, CmpOp, Schema};
+
+    fn adb() -> ActiveDatabase {
+        let mut db = Database::new();
+        db.create_relation("STOCK", Relation::empty(Schema::untyped(&["name", "price"])))
+            .unwrap();
+        db.define_query(
+            "price",
+            QueryDef::new(1, parse_query("select price from STOCK where name = $0").unwrap()),
+        );
+        db.define_query("names", QueryDef::new(0, parse_query("select name from STOCK").unwrap()));
+        db.set_item("balance", Value::Int(100));
+        db.define_query("balance_q", QueryDef::new(0, parse_query("item balance").unwrap()));
+        ActiveDatabase::new(db)
+    }
+
+    fn set_price(adb: &mut ActiveDatabase, name: &str, p: i64) {
+        let old = adb.db().relation("STOCK").unwrap().iter().find_map(|t| {
+            (t.get(0) == Some(&Value::str(name))).then(|| t.clone())
+        });
+        let mut ops = Vec::new();
+        if let Some(old) = old {
+            ops.push(WriteOp::Delete { relation: "STOCK".into(), tuple: old });
+        }
+        ops.push(WriteOp::Insert { relation: "STOCK".into(), tuple: tuple![name, p] });
+        adb.advance_clock(1).unwrap();
+        adb.update(ops).unwrap();
+    }
+
+    #[test]
+    fn trigger_fires_and_logs() {
+        let mut a = adb();
+        a.add_rule(Rule::trigger(
+            "doubled",
+            parse_formula(
+                "[t := time] [x := price(\"IBM\")] \
+                 previously(price(\"IBM\") <= 0.5 * x and time >= t - 10)",
+            )
+            .unwrap(),
+            Action::Notify,
+        ))
+        .unwrap();
+        for p in [10, 15, 18, 25] {
+            set_price(&mut a, "IBM", p);
+        }
+        let fired: Vec<_> = a.firings().iter().map(|f| f.rule.clone()).collect();
+        assert_eq!(fired, vec!["doubled".to_string()], "fires exactly once, at 25");
+    }
+
+    #[test]
+    fn constraint_aborts_violating_transaction() {
+        let mut a = adb();
+        a.add_rule(Rule::constraint(
+            "non_negative_balance",
+            parse_formula("balance_q() >= 0").unwrap(),
+        ))
+        .unwrap();
+        a.advance_clock(1).unwrap();
+        // OK update.
+        a.update([WriteOp::SetItem { item: "balance".into(), value: Value::Int(50) }])
+            .unwrap();
+        // Violating update is rolled back.
+        a.advance_clock(1).unwrap();
+        let err = a
+            .update([WriteOp::SetItem { item: "balance".into(), value: Value::Int(-1) }])
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Engine(EngineError::Aborted { .. })));
+        assert_eq!(a.db().item("balance").unwrap(), Value::Int(50));
+        // The violation was logged.
+        assert!(a.firings().iter().any(|f| f.rule == "non_negative_balance"));
+        // And the system remains usable afterwards.
+        a.advance_clock(1).unwrap();
+        a.update([WriteOp::SetItem { item: "balance".into(), value: Value::Int(10) }])
+            .unwrap();
+        assert_eq!(a.db().item("balance").unwrap(), Value::Int(10));
+    }
+
+    #[test]
+    fn temporal_constraint_sees_history() {
+        // Constraint: the balance never drops by more than 50 in one step.
+        let mut a = adb();
+        a.add_rule(Rule::constraint(
+            "no_crash",
+            parse_formula(
+                "[x := balance_q()] not lasttime(balance_q() > x + 50)",
+            )
+            .unwrap(),
+        ))
+        .unwrap();
+        a.advance_clock(1).unwrap();
+        a.update([WriteOp::SetItem { item: "balance".into(), value: Value::Int(90) }])
+            .unwrap();
+        a.advance_clock(1).unwrap();
+        // Drop of 80 violates.
+        let err = a.update([WriteOp::SetItem { item: "balance".into(), value: Value::Int(10) }]);
+        assert!(err.is_err());
+        assert_eq!(a.db().item("balance").unwrap(), Value::Int(90));
+        // Drop of 40 is fine.
+        a.advance_clock(1).unwrap();
+        a.update([WriteOp::SetItem { item: "balance".into(), value: Value::Int(50) }])
+            .unwrap();
+    }
+
+    #[test]
+    fn dbops_action_with_parameter_passing() {
+        let mut a = adb();
+        a.create_relation("ALERTS", Relation::empty(Schema::untyped(&["stock"]))).unwrap();
+        a.add_rule(Rule::trigger(
+            "overpriced",
+            parse_formula("x in names() and price(x) >= 300").unwrap(),
+            Action::DbOps(vec![ActionOp::Insert {
+                relation: "ALERTS".into(),
+                tuple: vec![tdb_ptl::Term::var("x")],
+            }]),
+        ))
+        .unwrap();
+        set_price(&mut a, "IBM", 350);
+        set_price(&mut a, "DEC", 45);
+        let alerts = a.db().relation("ALERTS").unwrap();
+        assert!(alerts.contains(&tuple!["IBM"]));
+        assert!(!alerts.contains(&tuple!["DEC"]));
+    }
+
+    #[test]
+    fn executed_predicate_drives_follow_up_rule() {
+        // r1: price >= 100 -> (recorded); r2: 10 units after r1 executed -> alert.
+        let mut a = adb();
+        a.set_item("alerted", Value::Int(0));
+        a.add_rule(
+            Rule::trigger(
+                "r1",
+                parse_formula("price(\"IBM\") >= 100").unwrap(),
+                Action::Notify,
+            )
+            .recording_executed(),
+        )
+        .unwrap();
+        a.add_rule(Rule::trigger(
+            "r2",
+            parse_formula("executed(r1, s) and time = s + 10").unwrap(),
+            Action::DbOps(vec![ActionOp::SetItem {
+                item: "alerted".into(),
+                value: tdb_ptl::Term::lit(1i64),
+            }]),
+        ))
+        .unwrap();
+        set_price(&mut a, "IBM", 120); // r1 fires, recorded at its firing time
+        let fire_time = a.firings()[0].time;
+        // March the clock forward with ticks; r2 must fire exactly at +10.
+        a.run_until(fire_time.plus(9), 1).unwrap();
+        assert_eq!(a.db().item("alerted").unwrap(), Value::Int(0));
+        a.run_until(fire_time.plus(10), 1).unwrap();
+        assert_eq!(a.db().item("alerted").unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn aggregate_rule_end_to_end() {
+        // Hourly-average style: avg of price(IBM) sampled at @sample events,
+        // starting from time = 0 (i.e. from the beginning).
+        let mut a = adb();
+        a.add_rule(Rule::trigger(
+            "avg_high",
+            parse_formula("avg(price(\"IBM\"); time = 0; @sample) > 70").unwrap(),
+            Action::Notify,
+        ))
+        .unwrap();
+        set_price(&mut a, "IBM", 60);
+        a.emit(Event::simple("sample")).unwrap(); // avg = 60
+        set_price(&mut a, "IBM", 100);
+        a.emit(Event::simple("sample")).unwrap(); // avg = 80 -> fires (after register update)
+        a.tick().unwrap();
+        assert!(a.firings().iter().any(|f| f.rule == "avg_high"));
+        // The register value is the true average.
+        let avg = a.db().item("__agg_avg_high_0_avg").unwrap();
+        assert_eq!(avg, Value::float(80.0));
+    }
+
+    #[test]
+    fn program_action_computes_ops() {
+        let mut a = adb();
+        a.set_item("bought", Value::Int(0));
+        a.add_rule(Rule::trigger(
+            "buy_low",
+            parse_formula("x in names() and price(x) < 50").unwrap(),
+            Action::Program(Program {
+                name: "buy".into(),
+                run: Arc::new(|env: &Env| {
+                    assert!(env.contains_key("x"));
+                    vec![ActionOp::SetItem {
+                        item: "bought".into(),
+                        value: tdb_ptl::Term::lit(1i64),
+                    }]
+                }),
+            }),
+        ))
+        .unwrap();
+        set_price(&mut a, "DEC", 45);
+        assert_eq!(a.db().item("bought").unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn batching_delays_but_does_not_lose_firings() {
+        let mut a = adb();
+        a.add_rule(Rule::trigger(
+            "watch",
+            parse_formula("price(\"IBM\") >= 100").unwrap(),
+            Action::Notify,
+        ))
+        .unwrap();
+        a.set_batch(4);
+        set_price(&mut a, "IBM", 150);
+        assert!(a.firings().is_empty(), "batched: not yet dispatched");
+        a.flush().unwrap();
+        assert_eq!(a.firings().len(), 1, "delayed but recognized");
+    }
+
+    #[test]
+    fn action_blocked_by_constraint_is_cancelled() {
+        let mut a = adb();
+        a.add_rule(Rule::constraint(
+            "cap",
+            parse_formula("balance_q() <= 200").unwrap(),
+        ))
+        .unwrap();
+        // Trigger whose action would push the balance over the cap.
+        a.add_rule(Rule::trigger(
+            "bonus",
+            parse_formula("price(\"IBM\") > 0").unwrap(),
+            Action::DbOps(vec![ActionOp::SetItem {
+                item: "balance".into(),
+                value: tdb_ptl::Term::lit(500i64),
+            }]),
+        ))
+        .unwrap();
+        set_price(&mut a, "IBM", 10);
+        // The trigger fired, but its action was vetoed.
+        assert!(a.firings().iter().any(|f| f.rule == "bonus"));
+        assert!(a.firings().iter().any(|f| f.rule == "cap"));
+        assert_eq!(a.db().item("balance").unwrap(), Value::Int(100));
+    }
+
+    #[test]
+    fn cmp_helper_available() {
+        // Smoke test for CmpOp re-export path used in examples.
+        let _ = CmpOp::Lt;
+    }
+}
+
+#[cfg(test)]
+mod cascade_tests {
+    use super::*;
+    use crate::rules::{Action, ActionOp, Rule};
+    use tdb_ptl::parse_formula;
+
+    /// A level-triggered rule whose action keeps its own condition true
+    /// cascades; the facade's limit stops it with a clear error instead of
+    /// spinning forever.
+    #[test]
+    fn runaway_level_triggered_rule_hits_cascade_limit() {
+        let mut db = Database::new();
+        db.set_item("n", Value::Int(0));
+        db.define_query("n", tdb_relation::QueryDef::new(0, tdb_relation::Query::item("n")));
+        let mut adb = ActiveDatabase::new(db);
+        adb.set_cascade_limit(25);
+        adb.add_rule(
+            Rule::trigger(
+                "runaway",
+                parse_formula("n() >= 0").unwrap(),
+                Action::DbOps(vec![ActionOp::SetItem {
+                    item: "n".into(),
+                    value: tdb_ptl::Term::add(
+                        tdb_ptl::Term::query("n", vec![]),
+                        tdb_ptl::Term::lit(1i64),
+                    ),
+                }]),
+            )
+            .level_triggered(),
+        )
+        .unwrap();
+        adb.advance_clock(1).unwrap();
+        let err = adb
+            .update([WriteOp::SetItem { item: "n".into(), value: Value::Int(1) }])
+            .unwrap_err();
+        assert!(matches!(err, CoreError::CascadeLimit(25)), "{err}");
+    }
+
+    /// The same rule, edge-triggered, terminates immediately.
+    #[test]
+    fn edge_triggering_prevents_the_cascade() {
+        let mut db = Database::new();
+        db.set_item("n", Value::Int(0));
+        db.define_query("n", tdb_relation::QueryDef::new(0, tdb_relation::Query::item("n")));
+        let mut adb = ActiveDatabase::new(db);
+        adb.add_rule(Rule::trigger(
+            "tame",
+            parse_formula("n() >= 0").unwrap(),
+            Action::DbOps(vec![ActionOp::SetItem {
+                item: "n".into(),
+                value: tdb_ptl::Term::add(
+                    tdb_ptl::Term::query("n", vec![]),
+                    tdb_ptl::Term::lit(1i64),
+                ),
+            }]),
+        ))
+        .unwrap();
+        adb.advance_clock(1).unwrap();
+        adb.update([WriteOp::SetItem { item: "n".into(), value: Value::Int(1) }]).unwrap();
+        // Fired once at the update, incremented once; its own action state
+        // does not re-fire the still-true condition.
+        assert_eq!(adb.db().item("n").unwrap(), Value::Int(2));
+        assert_eq!(adb.firings().len(), 1);
+    }
+}

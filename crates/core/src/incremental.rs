@@ -1,0 +1,473 @@
+//! The incremental condition-evaluation algorithm (Section 5, Theorem 1).
+//!
+//! For every subformula `g` of the (core-form) condition the evaluator
+//! keeps the formula state `F_{g,i}` as a [`Residual`]. Processing the i-th
+//! system state computes all `F_{g,i}` from the current state and the
+//! `F_{g,i-1}` alone:
+//!
+//! ```text
+//! F_{atom,i}        = parteval(atom, s_i)
+//! F_{¬g,i}          = ¬F_{g,i}
+//! F_{g∧h,i}         = F_{g,i} ∧ F_{h,i}        (similarly ∨)
+//! F_{Lasttime g,i}  = F_{g,i-1}                (false at i = 0)
+//! F_{g Since h,i}   = F_{h,i} ∨ (F_{g,i} ∧ F_{g Since h,i-1})
+//! F_{[x:=t]g,i}     = F_{g,i}[x ↦ value of t at s_i]
+//! ```
+//!
+//! after which every `F_{g,i-1}` is discarded — per update the algorithm
+//! looks only at the new system state, never the history. The trigger fires
+//! at state `i` iff `F_{f,i}` is satisfiable; satisfying assignments of the
+//! free variables are the firing parameters.
+//!
+//! With `pruning` enabled the Section 5 optimization runs after every
+//! advance, collapsing dead time-variable clauses so that conditions built
+//! from bounded temporal operators retain only bounded state.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use tdb_engine::SystemState;
+use tdb_ptl::{analysis, to_core, Formula, Term};
+
+use crate::error::{CoreError, Result};
+use crate::parteval::{build_pterm, parteval_atom, StateView};
+use crate::residual::{
+    prune_time, rand, residual_size, rfalse, rnot, ror, solve, subst, Env, Residual,
+};
+
+/// Evaluator configuration.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Apply the monotone-clock pruning optimization after each state.
+    pub pruning: bool,
+    /// Hard cap on the total retained residual size, as a safety net for
+    /// unbounded conditions.
+    pub max_residual: usize,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig { pruning: true, max_residual: 1_000_000 }
+    }
+}
+
+/// One node of the flattened subformula DAG (children precede parents).
+#[derive(Debug, Clone)]
+enum Node {
+    Atom(Formula),
+    Not(usize),
+    And(Vec<usize>),
+    Or(Vec<usize>),
+    Lasttime(usize),
+    Since(usize, usize),
+    Assign { var: String, term: Term, body: usize },
+}
+
+/// The incremental evaluator for one condition.
+#[derive(Debug, Clone)]
+pub struct IncrementalEvaluator {
+    nodes: Vec<Node>,
+    time_vars: BTreeSet<String>,
+    cfg: EvalConfig,
+    /// `F_{g,i-1}` per node; meaningful once `started`.
+    prev: Vec<Arc<Residual>>,
+    started: bool,
+    states_seen: usize,
+}
+
+impl IncrementalEvaluator {
+    /// Compiles a condition. The formula is rewritten to core form; it must
+    /// pass the single-assignment check, and assignment terms must be
+    /// ground.
+    pub fn new(f: &Formula, cfg: EvalConfig) -> Result<IncrementalEvaluator> {
+        analysis::check_single_assignment(f)?;
+        let core = to_core(f);
+        let time_vars = analysis::time_vars(&core);
+        let mut nodes = Vec::new();
+        build_nodes(&core, &mut nodes)?;
+        let n = nodes.len();
+        Ok(IncrementalEvaluator {
+            nodes,
+            time_vars,
+            cfg,
+            prev: vec![rfalse(); n],
+            started: false,
+            states_seen: 0,
+        })
+    }
+
+    /// Compiles with the default configuration.
+    pub fn compile(f: &Formula) -> Result<IncrementalEvaluator> {
+        IncrementalEvaluator::new(f, EvalConfig::default())
+    }
+
+    /// Number of system states processed so far.
+    pub fn states_seen(&self) -> usize {
+        self.states_seen
+    }
+
+    /// Total size of the retained formula states — the quantity the
+    /// Section 5 optimization keeps bounded (experiment E2).
+    pub fn retained_size(&self) -> usize {
+        self.prev.iter().map(residual_size).sum()
+    }
+
+    /// Processes one new system state and returns `F_{f,i}` for the whole
+    /// condition.
+    pub fn advance(&mut self, state: &SystemState, index: usize) -> Result<Arc<Residual>> {
+        let view = StateView::new(state, index);
+        let mut cur: Vec<Arc<Residual>> = Vec::with_capacity(self.nodes.len());
+        for (id, node) in self.nodes.iter().enumerate() {
+            let r = match node {
+                Node::Atom(a) => parteval_atom(a, &view)?,
+                Node::Not(g) => rnot(cur[*g].clone()),
+                Node::And(gs) => rand(gs.iter().map(|&g| cur[g].clone())),
+                Node::Or(gs) => ror(gs.iter().map(|&g| cur[g].clone())),
+                Node::Lasttime(g) => {
+                    if self.started {
+                        self.prev[*g].clone()
+                    } else {
+                        rfalse()
+                    }
+                }
+                Node::Since(g, h) => {
+                    if self.started {
+                        ror([
+                            cur[*h].clone(),
+                            rand([cur[*g].clone(), self.prev[id].clone()]),
+                        ])
+                    } else {
+                        cur[*h].clone()
+                    }
+                }
+                Node::Assign { var, term, body } => {
+                    let v = build_pterm(term, &view)?.eval_ground()?;
+                    subst(&cur[*body], var, &v)?
+                }
+            };
+            cur.push(r);
+        }
+
+        if self.cfg.pruning {
+            let now = state.time();
+            for r in cur.iter_mut() {
+                *r = prune_time(r, now, &self.time_vars);
+            }
+        }
+
+        let total: usize = cur.iter().map(residual_size).sum();
+        if total > self.cfg.max_residual {
+            return Err(CoreError::ResidualTooLarge {
+                limit: self.cfg.max_residual,
+                size: total,
+            });
+        }
+
+        let root = cur.last().expect("formula has at least one node").clone();
+        self.prev = cur;
+        self.started = true;
+        self.states_seen += 1;
+        Ok(root)
+    }
+
+    /// Processes a state and extracts the firing bindings: empty vector if
+    /// the condition is unsatisfied, one empty environment for a satisfied
+    /// closed condition, one environment per satisfying assignment
+    /// otherwise.
+    pub fn advance_and_fire(
+        &mut self,
+        state: &SystemState,
+        index: usize,
+    ) -> Result<Vec<Env>> {
+        let root = self.advance(state, index)?;
+        solve(&root)
+    }
+}
+
+fn build_nodes(f: &Formula, nodes: &mut Vec<Node>) -> Result<usize> {
+    let node = match f {
+        Formula::True
+        | Formula::False
+        | Formula::Cmp(..)
+        | Formula::Member { .. }
+        | Formula::Event { .. } => Node::Atom(f.clone()),
+        Formula::Not(g) => Node::Not(build_nodes(g, nodes)?),
+        Formula::And(gs) => {
+            let ids = gs.iter().map(|g| build_nodes(g, nodes)).collect::<Result<_>>()?;
+            Node::And(ids)
+        }
+        Formula::Or(gs) => {
+            let ids = gs.iter().map(|g| build_nodes(g, nodes)).collect::<Result<_>>()?;
+            Node::Or(ids)
+        }
+        Formula::Lasttime(g) => Node::Lasttime(build_nodes(g, nodes)?),
+        Formula::Since(g, h) => {
+            let g = build_nodes(g, nodes)?;
+            let h = build_nodes(h, nodes)?;
+            Node::Since(g, h)
+        }
+        Formula::Previously(_) | Formula::ThroughoutPast(_) => {
+            unreachable!("derived operators are rewritten before compilation")
+        }
+        Formula::Assign { var, term, body } => {
+            if let Some(v) = term.vars().first() {
+                return Err(CoreError::NonGroundAssignment {
+                    var: var.clone(),
+                    mentions: v.clone(),
+                });
+            }
+            let body = build_nodes(body, nodes)?;
+            Node::Assign { var: var.clone(), term: term.clone(), body }
+        }
+    };
+    nodes.push(node);
+    Ok(nodes.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdb_engine::{Engine, WriteOp};
+    use tdb_ptl::parse_formula;
+    use tdb_relation::{parse_query, tuple, Database, QueryDef, Relation, Schema, Value};
+
+    fn stock_engine() -> Engine {
+        let mut db = Database::new();
+        db.create_relation("STOCK", Relation::empty(Schema::untyped(&["name", "price"])))
+            .unwrap();
+        db.define_query(
+            "price",
+            QueryDef::new(1, parse_query("select price from STOCK where name = $0").unwrap()),
+        );
+        db.define_query(
+            "names",
+            QueryDef::new(0, parse_query("select name from STOCK").unwrap()),
+        );
+        Engine::new(db)
+    }
+
+    fn set_price_at(e: &mut Engine, name: &str, p: i64, t: i64) {
+        e.advance_clock_to(tdb_relation::Timestamp(t)).unwrap();
+        let old = e.db().relation("STOCK").unwrap().iter().find_map(|tp| {
+            (tp.get(0) == Some(&Value::str(name))).then(|| tp.clone())
+        });
+        let mut ops = Vec::new();
+        if let Some(old) = old {
+            ops.push(WriteOp::Delete { relation: "STOCK".into(), tuple: old });
+        }
+        ops.push(WriteOp::Insert { relation: "STOCK".into(), tuple: tuple![name, p] });
+        e.apply_update(ops).unwrap();
+    }
+
+    fn ibm_doubled() -> Formula {
+        parse_formula(
+            "[t := time] [x := price(\"IBM\")] \
+             previously(price(\"IBM\") <= 0.5 * x and time >= t - 10)",
+        )
+        .unwrap()
+    }
+
+    /// Drives the evaluator over every state of the engine history and
+    /// returns, per state, whether the condition fired.
+    fn run(f: &Formula, e: &Engine, cfg: EvalConfig) -> Vec<bool> {
+        let mut ev = IncrementalEvaluator::new(f, cfg).unwrap();
+        let mut fired = Vec::new();
+        for (i, s) in e.history().iter() {
+            let envs = ev.advance_and_fire(s, i).unwrap();
+            fired.push(!envs.is_empty());
+        }
+        fired
+    }
+
+    /// The paper's worked history: (10,1) (15,2) (18,5) (25,8) — the trigger
+    /// fires exactly at the fourth update.
+    #[test]
+    fn paper_history_fires_at_fourth_update() {
+        let mut e = stock_engine();
+        e.set_auto_tick(false);
+        for (p, t) in [(10, 1), (15, 2), (18, 5), (25, 8)] {
+            set_price_at(&mut e, "IBM", p, t);
+        }
+        let fired = run(&ibm_doubled(), &e, EvalConfig::default());
+        assert_eq!(fired, vec![false, false, false, false, true]);
+    }
+
+    /// The paper's optimization history: (10,1) (15,2) (18,5) (11,20) —
+    /// never fires, and with pruning the retained state stays small.
+    #[test]
+    fn optimization_history_prunes_dead_clauses() {
+        let mut e = stock_engine();
+        e.set_auto_tick(false);
+        for (p, t) in [(10, 1), (15, 2), (18, 5), (11, 20)] {
+            set_price_at(&mut e, "IBM", p, t);
+        }
+        let f = ibm_doubled();
+        let mut with = IncrementalEvaluator::new(&f, EvalConfig::default()).unwrap();
+        let mut without = IncrementalEvaluator::new(
+            &f,
+            EvalConfig { pruning: false, ..EvalConfig::default() },
+        )
+        .unwrap();
+        for (i, s) in e.history().iter() {
+            assert!(solve(&with.advance(s, i).unwrap()).unwrap().is_empty());
+            assert!(solve(&without.advance(s, i).unwrap()).unwrap().is_empty());
+        }
+        assert!(
+            with.retained_size() < without.retained_size(),
+            "pruning must shrink retained state: {} vs {}",
+            with.retained_size(),
+            without.retained_size()
+        );
+    }
+
+    /// Pruned and unpruned evaluators must agree on firings over a long
+    /// history (the optimization is semantics-preserving).
+    #[test]
+    fn pruning_preserves_firings() {
+        let mut e = stock_engine();
+        e.set_auto_tick(false);
+        let prices = [10, 12, 5, 11, 30, 14, 7, 20, 9, 19, 40, 8, 16];
+        for (k, p) in prices.iter().enumerate() {
+            set_price_at(&mut e, "IBM", *p, (k as i64 + 1) * 3);
+        }
+        let f = ibm_doubled();
+        let a = run(&f, &e, EvalConfig::default());
+        let b = run(&f, &e, EvalConfig { pruning: false, ..EvalConfig::default() });
+        assert_eq!(a, b);
+        assert!(a.iter().any(|x| *x), "history contains doublings within 10 units");
+    }
+
+    /// Incremental evaluation must agree with the naive oracle on every
+    /// state, for several formulas.
+    #[test]
+    fn matches_naive_oracle() {
+        let mut e = stock_engine();
+        for (p, t) in [(10, 1), (30, 3), (8, 6), (25, 7), (25, 9), (50, 14), (12, 17)] {
+            set_price_at(&mut e, "IBM", p, t);
+        }
+        let formulas = [
+            "previously(price(\"IBM\") > 20)",
+            "lasttime(price(\"IBM\") >= 25)",
+            "price(\"IBM\") < 20 since price(\"IBM\") = 30",
+            "throughout_past(price(\"IBM\") < 100)",
+            "not previously(price(\"IBM\") > 40)",
+            "[x := price(\"IBM\")] lasttime(price(\"IBM\") < x)",
+            "[t := time] previously(price(\"IBM\") >= 25 and time >= t - 5)",
+            "lasttime(lasttime(price(\"IBM\") = 30))",
+            "(price(\"IBM\") > 5 since price(\"IBM\") = 8) or lasttime(price(\"IBM\") = 50)",
+        ];
+        for src in formulas {
+            let f = parse_formula(src).unwrap();
+            let mut ev = IncrementalEvaluator::compile(&f).unwrap();
+            for (i, s) in e.history().iter() {
+                let inc = !ev.advance_and_fire(s, i).unwrap().is_empty();
+                let naive =
+                    tdb_ptl::eval(&f, e.history(), i, &tdb_ptl::Env::new()).unwrap();
+                assert_eq!(inc, naive, "formula `{src}` disagrees at state {i}");
+            }
+        }
+    }
+
+    /// Free-variable firing must agree with the oracle's binding
+    /// enumeration.
+    #[test]
+    fn free_variable_bindings_match_oracle() {
+        let mut e = stock_engine();
+        set_price_at(&mut e, "IBM", 350, 1);
+        set_price_at(&mut e, "DEC", 45, 2);
+        set_price_at(&mut e, "HP", 310, 3);
+        set_price_at(&mut e, "DEC", 320, 4);
+        let f = parse_formula("x in names() and price(x) >= 300").unwrap();
+        let mut ev = IncrementalEvaluator::compile(&f).unwrap();
+        for (i, s) in e.history().iter() {
+            let inc = ev.advance_and_fire(s, i).unwrap();
+            let naive = tdb_ptl::fire_bindings(&f, e.history(), i, &tdb_ptl::Env::new())
+                .unwrap();
+            let inc_x: Vec<_> = inc.iter().map(|env| env["x"].clone()).collect();
+            let naive_x: Vec<_> = naive.iter().map(|env| env["x"].clone()).collect();
+            assert_eq!(inc_x, naive_x, "bindings disagree at state {i}");
+        }
+    }
+
+    /// Temporal generator: a variable bound by a *past* event.
+    #[test]
+    fn past_event_generator() {
+        let mut e = stock_engine();
+        e.emit_event(tdb_engine::Event::new("login", vec![Value::str("alice")])).unwrap();
+        e.emit_event(tdb_engine::Event::simple("tick")).unwrap();
+        e.emit_event(tdb_engine::Event::new("login", vec![Value::str("bob")])).unwrap();
+        let f = parse_formula("previously @login(u)").unwrap();
+        let mut ev = IncrementalEvaluator::compile(&f).unwrap();
+        let mut last = Vec::new();
+        for (i, s) in e.history().iter() {
+            last = ev.advance_and_fire(s, i).unwrap();
+        }
+        let users: Vec<_> = last.iter().map(|env| env["u"].clone()).collect();
+        assert_eq!(users, vec![Value::str("alice"), Value::str("bob")]);
+    }
+
+    /// The login-session condition from the introduction: fires when A
+    /// drops non-positive while X is logged in.
+    #[test]
+    fn login_session_invariant() {
+        let mut db = Database::new();
+        db.set_item("A", Value::Int(5));
+        db.define_query("a", QueryDef::new(0, parse_query("item A").unwrap()));
+        let mut e = Engine::new(db);
+        // Violation formula: A <= 0 while logged in.
+        let f = parse_formula(
+            "a() <= 0 and (not @logout(\"X\") since @login(\"X\"))",
+        )
+        .unwrap();
+        let mut ev = IncrementalEvaluator::compile(&f).unwrap();
+        let mut fired = Vec::new();
+        let drive = |e: &mut Engine, ev: &mut IncrementalEvaluator, fired: &mut Vec<bool>| {
+            let (i, s) = {
+                let h = e.history();
+                let i = h.last_index().unwrap();
+                (i, h.get(i).unwrap().clone())
+            };
+            fired.push(!ev.advance_and_fire(&s, i).unwrap().is_empty());
+        };
+        drive(&mut e, &mut ev, &mut fired); // initial state
+        e.emit_event(tdb_engine::Event::new("login", vec![Value::str("X")])).unwrap();
+        drive(&mut e, &mut ev, &mut fired);
+        e.apply_update([WriteOp::SetItem { item: "A".into(), value: Value::Int(-1) }])
+            .unwrap();
+        drive(&mut e, &mut ev, &mut fired); // violation!
+        e.emit_event(tdb_engine::Event::new("logout", vec![Value::str("X")])).unwrap();
+        drive(&mut e, &mut ev, &mut fired);
+        e.apply_update([WriteOp::SetItem { item: "A".into(), value: Value::Int(-2) }])
+            .unwrap();
+        drive(&mut e, &mut ev, &mut fired); // logged out: no violation
+        assert_eq!(fired, vec![false, false, true, false, false]);
+    }
+
+    #[test]
+    fn non_ground_assignment_rejected() {
+        let f = parse_formula("[x := price(y)] x > 0 and y in names()").unwrap();
+        assert!(matches!(
+            IncrementalEvaluator::compile(&f),
+            Err(CoreError::NonGroundAssignment { .. })
+        ));
+    }
+
+    #[test]
+    fn residual_limit_enforced() {
+        let mut e = stock_engine();
+        set_price_at(&mut e, "IBM", 10, 1);
+        let f = ibm_doubled();
+        let mut ev = IncrementalEvaluator::new(
+            &f,
+            EvalConfig { pruning: false, max_residual: 1 },
+        )
+        .unwrap();
+        let i = e.history().last_index().unwrap();
+        let s = e.history().get(i).unwrap().clone();
+        assert!(matches!(
+            ev.advance(&s, i),
+            Err(CoreError::ResidualTooLarge { .. })
+        ));
+    }
+}
+

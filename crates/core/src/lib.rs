@@ -1,0 +1,44 @@
+//! # tdb-core
+//!
+//! The paper's primary contribution, as a library: the incremental
+//! evaluation algorithm for Past Temporal Logic conditions (Section 5), the
+//! temporal-aggregate rewriting (Section 6), the Condition–Action rule
+//! system with triggers and temporal integrity constraints (Sections 3, 7,
+//! 8), and the valid-time trigger/constraint semantics (Section 9).
+//!
+//! Entry points:
+//!
+//! * [`IncrementalEvaluator`] — evaluate one PTL condition incrementally,
+//!   state by state, with the monotone-clock pruning optimization;
+//! * [`Rule`] / [`Action`] — the CA rule model (triggers and constraints);
+//! * [`RuleManager`] — the temporal component: registration (with aggregate
+//!   rewriting and `executed` bookkeeping), dispatch, constraint gating and
+//!   relevance filtering;
+//! * [`ActiveDatabase`] — the full system: engine + temporal component.
+
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
+pub mod aggregate;
+pub mod auxrel;
+pub mod error;
+pub mod facade;
+pub mod incremental;
+pub mod manager;
+pub mod parteval;
+pub mod residual;
+pub mod rules;
+pub mod validtime;
+pub mod vtfacade;
+
+pub use error::{CoreError, Result};
+pub use facade::ActiveDatabase;
+pub use incremental::{EvalConfig, IncrementalEvaluator};
+pub use manager::{executed_relation_name, GateOutcome, ManagerConfig, ManagerStats, RuleManager};
+pub use auxrel::AuxEvaluator;
+pub use rules::{Action, ActionOp, FiringRecord, Program, Rule, RuleKind, TXN_VAR};
+pub use vtfacade::{VtActiveDatabase, VtMode};
+pub use validtime::{
+    offline_satisfied, online_satisfied, theorem2_check, CheckpointRing,
+    DefiniteTriggerRunner, TentativeTriggerRunner,
+};

@@ -1,0 +1,449 @@
+//! The rule manager — the paper's *temporal component*.
+//!
+//! Owns every registered rule's incremental evaluator and implements the
+//! Section 8 execution model:
+//!
+//! * detached (T-CA) triggers are evaluated whenever a new system state is
+//!   added to the history ([`RuleManager::dispatch`]);
+//! * integrity constraints (TCA rules) are evaluated against the *candidate*
+//!   commit state ([`RuleManager::gate`]) and veto the commit on violation;
+//! * *relevance filtering* — "rules that refer in the condition part to
+//!   events are considered only when the respective events occur, and
+//!   disregarded otherwise; rules that do not refer to events … are
+//!   considered only at commit points" — is available as an opt-in
+//!   optimization (when a rule skips a state, its temporal operators range
+//!   over the subhistory of states it actually saw);
+//! * temporal aggregates are compiled away at registration via the Section
+//!   6.1.1 rewriting (registers plus generated init/update rules);
+//! * the `executed` relation of Section 7 is maintained for rules that need
+//!   it, enabling composite and temporal actions.
+
+use std::collections::BTreeSet;
+
+use tdb_engine::event::names::{CLOCK_TICK, UPDATE};
+use tdb_engine::SystemState;
+use tdb_ptl::{analyze, executed_query_name, Formula, Term};
+use tdb_relation::{Column, Database, DType, Query, QueryDef, Relation, Schema};
+
+use crate::aggregate::rewrite_aggregates;
+use crate::error::{CoreError, Result};
+use crate::incremental::{EvalConfig, IncrementalEvaluator};
+use crate::residual::solve;
+use crate::rules::{FiringRecord, Rule, RuleKind};
+
+/// The relation holding a rule's execution history (Section 7).
+pub fn executed_relation_name(rule: &str) -> String {
+    format!("__EXECUTED_{rule}")
+}
+
+/// Manager configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ManagerConfig {
+    /// Enable Section 8 relevance filtering.
+    pub relevance_filtering: bool,
+    /// Evaluator configuration shared by all rules.
+    pub eval: EvalConfig,
+}
+
+/// Counters for the experiments (E3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ManagerStats {
+    /// Rule-state evaluations performed.
+    pub evaluations: u64,
+    /// Rule-state evaluations skipped by relevance filtering.
+    pub skips: u64,
+    /// Total firings.
+    pub firings: u64,
+}
+
+#[derive(Debug)]
+struct RuleRuntime {
+    rule: Rule,
+    evaluator: IncrementalEvaluator,
+    /// Event names the firing condition references.
+    events: BTreeSet<String>,
+    /// Catalog names (base relations + items) the condition reads.
+    data: BTreeSet<String>,
+    /// Whether the condition reads the clock.
+    uses_time: bool,
+    /// Satisfying bindings at the previous evaluated state, for
+    /// edge-triggered firing.
+    last_envs: BTreeSet<tdb_ptl::Env>,
+}
+
+/// A pending constraint check for one candidate commit state: the cloned
+/// evaluators must be installed with [`RuleManager::confirm_gate`] iff the
+/// commit goes through.
+#[derive(Debug)]
+pub struct GateOutcome {
+    /// Constraint firings (= violations) at the candidate state.
+    pub violations: Vec<FiringRecord>,
+    clones: Vec<(usize, IncrementalEvaluator)>,
+}
+
+impl GateOutcome {
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The temporal component.
+#[derive(Debug)]
+pub struct RuleManager {
+    cfg: ManagerConfig,
+    runtimes: Vec<RuleRuntime>,
+    stats: ManagerStats,
+}
+
+impl RuleManager {
+    pub fn new(cfg: ManagerConfig) -> RuleManager {
+        RuleManager { cfg, runtimes: Vec::new(), stats: ManagerStats::default() }
+    }
+
+    pub fn stats(&self) -> ManagerStats {
+        self.stats
+    }
+
+    pub fn config(&self) -> &ManagerConfig {
+        &self.cfg
+    }
+
+    /// Registered rule names, in registration (dispatch) order.
+    pub fn rule_names(&self) -> Vec<&str> {
+        self.runtimes.iter().map(|r| r.rule.name.as_str()).collect()
+    }
+
+    pub fn rule(&self, name: &str) -> Option<&Rule> {
+        self.runtimes.iter().find(|r| r.rule.name == name).map(|r| &r.rule)
+    }
+
+    /// Total retained residual size across all rules (experiment E2).
+    pub fn retained_size(&self) -> usize {
+        self.runtimes.iter().map(|r| r.evaluator.retained_size()).sum()
+    }
+
+    /// Registers a rule: rewrites its aggregates (creating registers and
+    /// helper rules), sets up its `executed` relation if needed, validates
+    /// safety, and compiles the incremental evaluator. `current` is the
+    /// latest system state; new evaluators are primed on it so assignments
+    /// and `Since` base cases see the values at registration time (the
+    /// paper: auxiliary relations are initialized "on the database at that
+    /// time").
+    pub fn register(
+        &mut self,
+        rule: Rule,
+        db: &mut Database,
+        current: Option<(tdb_relation::Timestamp, usize)>,
+    ) -> Result<()> {
+        if self.rule(&rule.name).is_some() {
+            return Err(CoreError::DuplicateRule(rule.name.clone()));
+        }
+
+        // Rewrite temporal aggregates in the firing condition.
+        let firing = rule.firing_condition();
+        let rw = rewrite_aggregates(&rule.name, &firing)?;
+        for reg in &rw.registers {
+            db.set_item(reg.item.clone(), reg.initial.clone());
+            db.define_query(reg.query.clone(), QueryDef::new(0, Query::item(&reg.item)));
+        }
+        for helper in rw.helper_rules {
+            self.register(helper, db, current)?;
+        }
+
+        // Resolve `executed` references: every referenced rule must exist
+        // and gets its relation materialized.
+        for q in rw.condition.query_names() {
+            if let Some(target) = q.strip_prefix("__executed_") {
+                let known = self.runtimes.iter().any(|r| r.rule.name == target);
+                if !known && target != rule.name {
+                    return Err(CoreError::NoSuchRule(target.to_string()));
+                }
+                let arity = if target == rule.name {
+                    rule.params.len()
+                } else {
+                    self.rule(target).map(|r| r.params.len()).unwrap_or(0)
+                };
+                ensure_executed_relation(db, target, arity)?;
+            }
+        }
+        if rule.record_executed {
+            ensure_executed_relation(db, &rule.name, rule.params.len())?;
+        }
+
+        // Validate: safety analysis + all referenced queries defined.
+        let analysis = analyze(&rw.condition)?;
+        for q in &analysis.query_names {
+            db.query_def(q)?;
+        }
+
+        // Relevance sets.
+        let mut data: BTreeSet<String> = BTreeSet::new();
+        for q in &analysis.query_names {
+            data.extend(db.query_def(q)?.body.dependencies());
+        }
+        let events: BTreeSet<String> = analysis.event_names.iter().cloned().collect();
+        let uses_time = formula_uses_time(&rw.condition);
+
+        let mut evaluator = IncrementalEvaluator::new(&rw.condition, self.cfg.eval.clone())?;
+        if let Some((t, idx)) = current {
+            // Prime on a snapshot of the database as of registration (after
+            // register/executed-relation setup), so assignments and `Since`
+            // base cases see the values at registration time; firings at
+            // this instant are intentionally discarded (the rule starts
+            // "now"). This matches the paper's initialization of auxiliary
+            // relations "on the database at that time".
+            let prime = SystemState::new(db.clone(), tdb_engine::EventSet::new(), t);
+            let _ = evaluator.advance(&prime, idx)?;
+        }
+
+        self.runtimes.push(RuleRuntime {
+            rule,
+            evaluator,
+            events,
+            data,
+            uses_time,
+            last_envs: BTreeSet::new(),
+        });
+        Ok(())
+    }
+
+    /// Whether the rule must look at this state (Section 8 filtering).
+    fn relevant(rt: &RuleRuntime, state: &SystemState) -> bool {
+        // Event-referencing rules: considered when a referenced event occurs.
+        for e in state.events().iter() {
+            if rt.events.contains(e.name()) {
+                return true;
+            }
+        }
+        // Data-reading rules: considered when a commit updates their inputs.
+        for e in state.events().named(UPDATE) {
+            if let Some(target) = e.args().first().and_then(|v| v.as_str()) {
+                if rt.data.contains(target) {
+                    return true;
+                }
+            }
+        }
+        // Clock-reading rules: considered at clock ticks.
+        if rt.uses_time && state.events().has_named(CLOCK_TICK) {
+            return true;
+        }
+        // Degenerate conditions (no events, no data, no clock): always.
+        rt.events.is_empty() && rt.data.is_empty() && !rt.uses_time
+    }
+
+    /// Advances every (relevant) rule on a newly appended system state and
+    /// returns the firings, in registration order. When
+    /// `constraints_already_advanced` is set (the state was just gated),
+    /// constraint evaluators are not advanced again.
+    pub fn dispatch(
+        &mut self,
+        state: &SystemState,
+        idx: usize,
+        constraints_already_advanced: bool,
+    ) -> Result<Vec<FiringRecord>> {
+        let mut firings = Vec::new();
+        for rt in self.runtimes.iter_mut() {
+            if rt.rule.kind == RuleKind::Constraint && constraints_already_advanced {
+                continue;
+            }
+            if self.cfg.relevance_filtering && !Self::relevant(rt, state) {
+                self.stats.skips += 1;
+                continue;
+            }
+            self.stats.evaluations += 1;
+            let envs = rt.evaluator.advance_and_fire(state, idx)?;
+            let satisfied: BTreeSet<tdb_ptl::Env> = envs.into_iter().collect();
+            for env in &satisfied {
+                if rt.rule.edge_triggered && rt.last_envs.contains(env) {
+                    // Still satisfied, but not newly: no rising edge.
+                    continue;
+                }
+                self.stats.firings += 1;
+                firings.push(FiringRecord {
+                    rule: rt.rule.name.clone(),
+                    state_index: idx,
+                    time: state.time(),
+                    env: env.clone(),
+                });
+            }
+            rt.last_envs = satisfied;
+        }
+        Ok(firings)
+    }
+
+    /// Evaluates every constraint against a candidate commit state, on
+    /// cloned evaluators. If the commit is finished, install the clones
+    /// with [`RuleManager::confirm_gate`]; if it is aborted, drop the
+    /// outcome (the candidate state never happened).
+    pub fn gate(&mut self, candidate: &SystemState, idx: usize) -> Result<GateOutcome> {
+        let mut violations = Vec::new();
+        let mut clones = Vec::new();
+        for (k, rt) in self.runtimes.iter().enumerate() {
+            if rt.rule.kind != RuleKind::Constraint {
+                continue;
+            }
+            let mut clone = rt.evaluator.clone();
+            self.stats.evaluations += 1;
+            let root = clone.advance(candidate, idx)?;
+            for env in solve(&root)? {
+                self.stats.firings += 1;
+                violations.push(FiringRecord {
+                    rule: rt.rule.name.clone(),
+                    state_index: idx,
+                    time: candidate.time(),
+                    env,
+                });
+            }
+            clones.push((k, clone));
+        }
+        Ok(GateOutcome { violations, clones })
+    }
+
+    /// Installs the gate's evaluators after a successful commit.
+    pub fn confirm_gate(&mut self, outcome: GateOutcome) {
+        for (k, clone) in outcome.clones {
+            self.runtimes[k].evaluator = clone;
+        }
+    }
+}
+
+/// Creates the `__EXECUTED_<rule>` relation and its reader query if absent.
+fn ensure_executed_relation(db: &mut Database, rule: &str, arity: usize) -> Result<()> {
+    let rel_name = executed_relation_name(rule);
+    if db.relation(&rel_name).is_err() {
+        let mut cols: Vec<Column> =
+            (0..arity).map(|i| Column::new(format!("p{i}"), DType::Any)).collect();
+        cols.push(Column::new("time", DType::Time));
+        let schema = Schema::new(cols)?;
+        db.create_relation(rel_name.clone(), Relation::empty(schema))?;
+    }
+    let qname = executed_query_name(rule);
+    if db.query_def(&qname).is_err() {
+        db.define_query(qname, QueryDef::new(0, Query::table(rel_name)));
+    }
+    Ok(())
+}
+
+fn formula_uses_time(f: &Formula) -> bool {
+    fn term_uses_time(t: &Term) -> bool {
+        match t {
+            Term::Time => true,
+            Term::Const(_) | Term::Var(_) => false,
+            Term::Arith(_, a, b) => term_uses_time(a) || term_uses_time(b),
+            Term::Neg(a) | Term::Abs(a) => term_uses_time(a),
+            Term::Query { args, .. } => args.iter().any(term_uses_time),
+            Term::Agg(agg) => {
+                term_uses_time(&agg.query)
+                    || formula_uses_time(&agg.start)
+                    || formula_uses_time(&agg.sample)
+            }
+        }
+    }
+    let mut uses = false;
+    f.visit(&mut |g| match g {
+        Formula::Cmp(_, a, b) => {
+            uses = uses || term_uses_time(a) || term_uses_time(b);
+        }
+        Formula::Member { source, pattern } => {
+            uses = uses
+                || source.args.iter().any(term_uses_time)
+                || pattern.iter().any(term_uses_time);
+        }
+        Formula::Event { pattern, .. } => {
+            uses = uses || pattern.iter().any(term_uses_time);
+        }
+        Formula::Assign { term, .. } => {
+            uses = uses || term_uses_time(term);
+        }
+        _ => {}
+    });
+    uses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Action;
+    use tdb_ptl::parse_formula;
+    use tdb_relation::parse_query;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.set_item("A", tdb_relation::Value::Int(5));
+        db.define_query("a", QueryDef::new(0, parse_query("item A").unwrap()));
+        db
+    }
+
+    #[test]
+    fn duplicate_rules_rejected() {
+        let mut m = RuleManager::new(ManagerConfig::default());
+        let mut d = db();
+        let r = Rule::trigger("r", parse_formula("a() > 0").unwrap(), Action::Notify);
+        m.register(r.clone(), &mut d, None).unwrap();
+        assert!(matches!(
+            m.register(r, &mut d, None),
+            Err(CoreError::DuplicateRule(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_query_rejected_at_registration() {
+        let mut m = RuleManager::new(ManagerConfig::default());
+        let mut d = db();
+        let r = Rule::trigger("r", parse_formula("nope() > 0").unwrap(), Action::Notify);
+        assert!(m.register(r, &mut d, None).is_err());
+    }
+
+    #[test]
+    fn executed_reference_requires_target_rule() {
+        let mut m = RuleManager::new(ManagerConfig::default());
+        let mut d = db();
+        let r2 = Rule::trigger(
+            "r2",
+            parse_formula("executed(r1, t) and time = t + 10").unwrap(),
+            Action::Notify,
+        );
+        assert!(matches!(
+            m.register(r2.clone(), &mut d, None),
+            Err(CoreError::NoSuchRule(_))
+        ));
+        let r1 = Rule::trigger("r1", parse_formula("a() > 0").unwrap(), Action::Notify)
+            .recording_executed();
+        m.register(r1, &mut d, None).unwrap();
+        m.register(r2, &mut d, None).unwrap();
+        // The executed relation and its reader query now exist.
+        assert!(d.relation(&executed_relation_name("r1")).is_ok());
+        assert!(d.query_def(&executed_query_name("r1")).is_ok());
+    }
+
+    #[test]
+    fn aggregate_rule_registers_helpers() {
+        let mut m = RuleManager::new(ManagerConfig::default());
+        let mut d = db();
+        d.define_query(
+            "price",
+            QueryDef::new(0, parse_query("item A").unwrap()),
+        );
+        let r = Rule::trigger(
+            "avg_watch",
+            parse_formula("avg(price(); time = 0; @sample) > 70").unwrap(),
+            Action::Notify,
+        );
+        m.register(r, &mut d, None).unwrap();
+        let names = m.rule_names();
+        assert_eq!(names.len(), 3, "init + update + main: {names:?}");
+        assert!(names[0].contains("_init"));
+        assert!(names[1].contains("_upd"));
+        assert!(d.has_item("__agg_avg_watch_0_sum"));
+        assert!(d.has_item("__agg_avg_watch_0_avg"));
+    }
+
+    #[test]
+    fn uses_time_detection() {
+        assert!(formula_uses_time(&parse_formula("time > 5").unwrap()));
+        assert!(formula_uses_time(
+            &parse_formula("[t := time] previously(a() > 0)").unwrap()
+        ));
+        assert!(!formula_uses_time(&parse_formula("a() > 0").unwrap()));
+    }
+}

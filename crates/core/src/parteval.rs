@@ -1,0 +1,296 @@
+//! Partial evaluation of PTL atoms at one system state.
+//!
+//! Ground parts of an atom are evaluated immediately against the current
+//! database/event set; symbolic parts (free or not-yet-substituted assigned
+//! variables) survive into the residual. Queries with symbolic arguments
+//! capture a snapshot of the current database so they can be finished later
+//! — the in-memory analogue of the paper's auxiliary relations indexed by
+//! timestamp.
+
+use std::sync::Arc;
+
+use tdb_engine::SystemState;
+use tdb_ptl::{Formula, Term};
+use tdb_relation::CmpOp;
+
+use crate::error::{CoreError, Result};
+use crate::residual::{rand, rcmp, rfalse, ror, rtrue, PTerm, Residual, Snapshot};
+
+/// One system state viewed by the partial evaluator.
+#[derive(Debug, Clone)]
+pub struct StateView<'a> {
+    state: &'a SystemState,
+    snap: Snapshot,
+}
+
+impl<'a> StateView<'a> {
+    /// Wraps a state; `index` becomes the snapshot id (one snapshot per
+    /// state, shared by every atom evaluated at it).
+    pub fn new(state: &'a SystemState, index: usize) -> StateView<'a> {
+        StateView {
+            state,
+            snap: Snapshot { id: index as u64, db: Arc::new(state.db().clone()) },
+        }
+    }
+
+    pub fn state(&self) -> &SystemState {
+        self.state
+    }
+}
+
+/// Builds a partial term at the current state.
+pub fn build_pterm(t: &Term, view: &StateView<'_>) -> Result<Arc<PTerm>> {
+    match t {
+        Term::Const(v) => Ok(PTerm::val(v.clone())),
+        Term::Var(v) => Ok(PTerm::var(v.clone())),
+        Term::Time => Ok(PTerm::val(tdb_relation::Value::Time(view.state.time()))),
+        Term::Arith(op, a, b) => {
+            PTerm::arith(*op, build_pterm(a, view)?, build_pterm(b, view)?)
+        }
+        Term::Neg(a) => {
+            let a = build_pterm(a, view)?;
+            let node = PTerm::Neg(a);
+            if node.is_ground() {
+                Ok(PTerm::val(node.eval_ground()?))
+            } else {
+                Ok(Arc::new(node))
+            }
+        }
+        Term::Abs(a) => {
+            let a = build_pterm(a, view)?;
+            let node = PTerm::Abs(a);
+            if node.is_ground() {
+                Ok(PTerm::val(node.eval_ground()?))
+            } else {
+                Ok(Arc::new(node))
+            }
+        }
+        Term::Query { name, args } => {
+            let args: Vec<Arc<PTerm>> =
+                args.iter().map(|a| build_pterm(a, view)).collect::<Result<_>>()?;
+            let node = PTerm::QuerySnap {
+                name: name.clone(),
+                args,
+                snap: view.snap.clone(),
+            };
+            if node.is_ground() {
+                Ok(PTerm::val(node.eval_ground()?))
+            } else {
+                Ok(Arc::new(node))
+            }
+        }
+        Term::Agg(_) => Err(CoreError::UnrewrittenAggregate),
+    }
+}
+
+/// Partially evaluates an atomic formula (`true`/`false`, comparison,
+/// membership, event) at the current state.
+pub fn parteval_atom(f: &Formula, view: &StateView<'_>) -> Result<Arc<Residual>> {
+    match f {
+        Formula::True => Ok(rtrue()),
+        Formula::False => Ok(rfalse()),
+        Formula::Cmp(op, a, b) => rcmp(*op, build_pterm(a, view)?, build_pterm(b, view)?),
+        Formula::Member { source, pattern } => {
+            // Generator arguments are statically required to be ground.
+            let args: Vec<tdb_relation::Value> = source
+                .args
+                .iter()
+                .map(|a| build_pterm(a, view)?.eval_ground())
+                .collect::<Result<_>>()?;
+            let rel = view.snap.db.eval_named(&source.name, &args)?;
+            if rel.schema().arity() != pattern.len() {
+                return Err(CoreError::Ptl(tdb_ptl::PtlError::TypeError(format!(
+                    "membership pattern arity {} does not match query `{}` arity {}",
+                    pattern.len(),
+                    source.name,
+                    rel.schema().arity()
+                ))));
+            }
+            let pat: Vec<Arc<PTerm>> =
+                pattern.iter().map(|t| build_pterm(t, view)).collect::<Result<_>>()?;
+            let mut disjuncts = Vec::new();
+            for row in rel.iter() {
+                let mut conj = Vec::with_capacity(pat.len());
+                for (p, cell) in pat.iter().zip(row.values()) {
+                    conj.push(rcmp(CmpOp::Eq, p.clone(), PTerm::val(cell.clone()))?);
+                }
+                disjuncts.push(rand(conj));
+            }
+            Ok(ror(disjuncts))
+        }
+        Formula::Event { name, pattern } => {
+            let pat: Vec<Arc<PTerm>> =
+                pattern.iter().map(|t| build_pterm(t, view)).collect::<Result<_>>()?;
+            let mut disjuncts = Vec::new();
+            for e in view.state.events().named(name) {
+                if e.args().len() != pat.len() {
+                    continue;
+                }
+                let mut conj = Vec::with_capacity(pat.len());
+                for (p, arg) in pat.iter().zip(e.args()) {
+                    conj.push(rcmp(CmpOp::Eq, p.clone(), PTerm::val(arg.clone()))?);
+                }
+                disjuncts.push(rand(conj));
+            }
+            Ok(ror(disjuncts))
+        }
+        other => Err(CoreError::Ptl(tdb_ptl::PtlError::TypeError(format!(
+            "parteval_atom called on non-atomic formula {other}"
+        )))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdb_engine::{Event, EventSet, SystemState};
+    use tdb_ptl::QueryRef;
+    use tdb_relation::{
+        parse_query, tuple, CmpOp, Database, QueryDef, Relation, Schema, Timestamp, Value,
+    };
+
+    fn view_state() -> SystemState {
+        let mut db = Database::new();
+        db.create_relation(
+            "STOCK",
+            Relation::from_rows(
+                Schema::untyped(&["name", "price"]),
+                vec![tuple!["IBM", 72i64], tuple!["DEC", 45i64]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.define_query(
+            "price",
+            QueryDef::new(1, parse_query("select price from STOCK where name = $0").unwrap()),
+        );
+        db.define_query("names", QueryDef::new(0, parse_query("select name from STOCK").unwrap()));
+        let events = EventSet::of([
+            Event::new("login", vec![Value::str("alice")]),
+            Event::new("login", vec![Value::str("bob")]),
+        ]);
+        SystemState::new(db, events, Timestamp(7))
+    }
+
+    #[test]
+    fn ground_atom_folds_to_constant() {
+        let s = view_state();
+        let v = StateView::new(&s, 3);
+        let f = Formula::cmp(
+            CmpOp::Gt,
+            Term::query("price", vec![Term::lit("IBM")]),
+            Term::lit(50i64),
+        );
+        assert_eq!(*parteval_atom(&f, &v).unwrap(), Residual::True);
+    }
+
+    #[test]
+    fn symbolic_comparison_canonicalizes() {
+        let s = view_state();
+        let v = StateView::new(&s, 3);
+        // price(IBM) <= 0.5 * x  ⇒  x >= 144.
+        let f = Formula::cmp(
+            CmpOp::Le,
+            Term::query("price", vec![Term::lit("IBM")]),
+            Term::mul(Term::lit(0.5), Term::var("x")),
+        );
+        let r = parteval_atom(&f, &v).unwrap();
+        match &*r {
+            Residual::Constraint(c) => {
+                assert_eq!(c.var, "x");
+                assert_eq!(c.op, CmpOp::Ge);
+                assert_eq!(c.value, Value::float(144.0));
+            }
+            other => panic!("expected constraint, got {other}"),
+        }
+    }
+
+    #[test]
+    fn symbolic_query_arg_captures_snapshot() {
+        let s = view_state();
+        let v = StateView::new(&s, 9);
+        // price(x) > 50 with x free: opaque, evaluable after binding.
+        let f = Formula::cmp(
+            CmpOp::Gt,
+            Term::query("price", vec![Term::var("x")]),
+            Term::lit(50i64),
+        );
+        let r = parteval_atom(&f, &v).unwrap();
+        let bound = crate::residual::subst(&r, "x", &Value::str("IBM")).unwrap();
+        assert_eq!(*bound, Residual::True);
+        let bound = crate::residual::subst(&r, "x", &Value::str("DEC")).unwrap();
+        assert_eq!(*bound, Residual::False);
+    }
+
+    #[test]
+    fn member_atom_expands_rows() {
+        let s = view_state();
+        let v = StateView::new(&s, 0);
+        let f = Formula::member(QueryRef::new("names", vec![]), vec![Term::var("x")]);
+        let r = parteval_atom(&f, &v).unwrap();
+        let sols = crate::residual::solve(&r).unwrap();
+        let names: Vec<_> = sols.iter().map(|e| e["x"].clone()).collect();
+        assert_eq!(names, vec![Value::str("DEC"), Value::str("IBM")]);
+    }
+
+    #[test]
+    fn member_with_ground_pattern_folds() {
+        let s = view_state();
+        let v = StateView::new(&s, 0);
+        let f = Formula::member(
+            QueryRef::new("names", vec![]),
+            vec![Term::lit("IBM")],
+        );
+        assert_eq!(*parteval_atom(&f, &v).unwrap(), Residual::True);
+        let f = Formula::member(QueryRef::new("names", vec![]), vec![Term::lit("XXX")]);
+        assert_eq!(*parteval_atom(&f, &v).unwrap(), Residual::False);
+    }
+
+    #[test]
+    fn event_atom_binds_args() {
+        let s = view_state();
+        let v = StateView::new(&s, 0);
+        let f = Formula::event("login", vec![Term::var("u")]);
+        let r = parteval_atom(&f, &v).unwrap();
+        let sols = crate::residual::solve(&r).unwrap();
+        assert_eq!(sols.len(), 2);
+        let f = Formula::event("logout", vec![Term::var("u")]);
+        assert_eq!(*parteval_atom(&f, &v).unwrap(), Residual::False);
+    }
+
+    #[test]
+    fn time_term_uses_state_clock() {
+        let s = view_state();
+        let v = StateView::new(&s, 0);
+        let f = Formula::cmp(CmpOp::Eq, Term::Time, Term::lit(Value::Time(Timestamp(7))));
+        assert_eq!(*parteval_atom(&f, &v).unwrap(), Residual::True);
+    }
+
+    #[test]
+    fn aggregates_must_be_rewritten() {
+        let s = view_state();
+        let v = StateView::new(&s, 0);
+        let agg = Term::agg(
+            tdb_relation::AggFunc::Sum,
+            Term::lit(1i64),
+            Formula::True,
+            Formula::True,
+        );
+        let f = Formula::cmp(CmpOp::Gt, agg, Term::lit(0i64));
+        assert!(matches!(
+            parteval_atom(&f, &v),
+            Err(CoreError::UnrewrittenAggregate)
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        let s = view_state();
+        let v = StateView::new(&s, 0);
+        let f = Formula::member(
+            QueryRef::new("names", vec![]),
+            vec![Term::var("a"), Term::var("b")],
+        );
+        assert!(parteval_atom(&f, &v).is_err());
+    }
+}

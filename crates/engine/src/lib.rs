@@ -1,0 +1,38 @@
+//! # tdb-engine
+//!
+//! The active-database engine substrate of `temporal-adb`: the system the
+//! paper's *temporal component* is an "add-on component executed on top of".
+//!
+//! It provides:
+//!
+//! * [`Event`] / [`EventSet`] — instantaneous parameterized events
+//!   (transaction lifecycle, updates, user events);
+//! * [`SystemState`] / [`History`] — `(database-state, event-set,
+//!   timestamp)` snapshots with the paper's invariants (strictly increasing
+//!   timestamps, at most one commit per state);
+//! * [`Clock`] — the fixed global clock, exposed to queries as the `time`
+//!   data item;
+//! * [`Engine`] — the transaction-time engine with buffered write sets and
+//!   a two-phase prepared-commit protocol for integrity-constraint gating;
+//! * [`VtEngine`] — the valid-time engine (Section 9) with retroactive
+//!   updates bounded by a maximum delay Δ, and the tentative / committed /
+//!   definite / collapsed history views.
+
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
+mod clock;
+mod engine;
+mod error;
+pub mod event;
+mod state;
+mod txn;
+mod validtime;
+
+pub use clock::Clock;
+pub use engine::{Engine, PreparedCommit};
+pub use error::{EngineError, Result};
+pub use event::{Event, EventSet};
+pub use state::{History, SystemState, TIME_ITEM};
+pub use txn::{Transaction, TxnId, TxnStatus, Write, WriteOp};
+pub use validtime::VtEngine;

@@ -1,0 +1,235 @@
+//! System states and histories.
+//!
+//! "A system state is a pair (S, E) where S is the database state and E is
+//! the set of events … A system history is a finite sequence
+//! (S0, E0), …, (Si, Ei)." Each state also carries the timestamp at which
+//! its event set occurred; timestamps are strictly increasing.
+
+use std::fmt;
+
+use tdb_relation::{Database, Timestamp, Value};
+
+use crate::event::EventSet;
+
+/// The reserved name of the data item exposing the global clock.
+pub const TIME_ITEM: &str = "time";
+
+/// One snapshot of the system: database state + simultaneous events + time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemState {
+    db: Database,
+    events: EventSet,
+    time: Timestamp,
+}
+
+impl SystemState {
+    /// Builds a state, stamping the `time` data item into the snapshot so
+    /// that queries (and PTL terms) can read the clock.
+    pub fn new(mut db: Database, events: EventSet, time: Timestamp) -> SystemState {
+        db.set_item(TIME_ITEM, Value::Time(time));
+        SystemState { db, events, time }
+    }
+
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    pub fn events(&self) -> &EventSet {
+        &self.events
+    }
+
+    pub fn time(&self) -> Timestamp {
+        self.time
+    }
+
+}
+
+impl fmt::Display for SystemState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{} {}", self.time, self.events)
+    }
+}
+
+/// A finite sequence of system states with strictly increasing timestamps.
+///
+/// The incremental evaluator never reads old states, so a history may be
+/// capped: `with_capacity_limit(k)` keeps only the most recent `k` states
+/// (the *offset* of the first retained state is tracked so global indices
+/// stay stable). The naive baseline and the valid-time machinery use
+/// unbounded histories.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    states: Vec<SystemState>,
+    /// Global index of `states[0]`.
+    offset: usize,
+    /// If set, retain at most this many states.
+    cap: Option<usize>,
+}
+
+impl History {
+    pub fn new() -> History {
+        History::default()
+    }
+
+    /// A history that retains only the `cap` most recent states.
+    pub fn with_capacity_limit(cap: usize) -> History {
+        History { states: Vec::new(), offset: 0, cap: Some(cap.max(1)) }
+    }
+
+    /// Total number of states ever appended.
+    pub fn len(&self) -> usize {
+        self.offset + self.states.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of states currently retained in memory.
+    pub fn retained(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The state at global index `i`, if still retained.
+    pub fn get(&self, i: usize) -> Option<&SystemState> {
+        i.checked_sub(self.offset).and_then(|j| self.states.get(j))
+    }
+
+    /// The most recent state.
+    pub fn last(&self) -> Option<&SystemState> {
+        self.states.last()
+    }
+
+    /// Global index of the most recent state.
+    pub fn last_index(&self) -> Option<usize> {
+        self.len().checked_sub(1)
+    }
+
+    /// Appends a state, enforcing strictly increasing timestamps and the
+    /// at-most-one-commit-per-state constraint. Returns the global index.
+    pub fn push(&mut self, s: SystemState) -> usize {
+        if let Some(prev) = self.states.last() {
+            assert!(
+                s.time() > prev.time(),
+                "history timestamps must strictly increase ({} then {})",
+                prev.time(),
+                s.time()
+            );
+        }
+        assert!(
+            s.events().commit_count() <= 1,
+            "at most one transaction may commit per system state"
+        );
+        self.states.push(s);
+        if let Some(cap) = self.cap {
+            while self.states.len() > cap {
+                self.states.remove(0);
+                self.offset += 1;
+            }
+        }
+        self.len() - 1
+    }
+
+    /// Iterates retained states with their global indices.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &SystemState)> {
+        self.states.iter().enumerate().map(|(j, s)| (self.offset + j, s))
+    }
+
+    /// Index of the latest state with `time() <= t`, if any is retained.
+    pub fn index_at(&self, t: Timestamp) -> Option<usize> {
+        let j = self.states.partition_point(|s| s.time() <= t);
+        j.checked_sub(1).map(|j| self.offset + j)
+    }
+
+    /// Validates the transaction-time invariant: the database state changes
+    /// only across a commit. Used by tests and debug assertions.
+    pub fn validate_transaction_time(&self) -> std::result::Result<(), String> {
+        fn normalized(db: &Database) -> Database {
+            // The `time` item differs in every state by construction; ignore it.
+            let mut db = db.clone();
+            db.set_item(TIME_ITEM, Value::Null);
+            db
+        }
+        for w in self.states.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            if b.events().commit_count() == 0 && normalized(a.db()) != normalized(b.db()) {
+                return Err(format!(
+                    "database changed at {} without a commit event",
+                    b.time()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventSet};
+    use crate::txn::TxnId;
+
+    fn state(t: i64, events: EventSet) -> SystemState {
+        SystemState::new(Database::new(), events, Timestamp(t))
+    }
+
+    #[test]
+    fn time_item_is_stamped() {
+        let s = state(7, EventSet::new());
+        assert_eq!(s.db().item(TIME_ITEM).unwrap(), Value::Time(Timestamp(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn rejects_non_increasing_time() {
+        let mut h = History::new();
+        h.push(state(5, EventSet::new()));
+        h.push(state(5, EventSet::new()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most one transaction")]
+    fn rejects_two_commits() {
+        let mut h = History::new();
+        h.push(state(
+            1,
+            EventSet::of([Event::txn_commit(TxnId(1)), Event::txn_commit(TxnId(2))]),
+        ));
+    }
+
+    #[test]
+    fn capped_history_keeps_global_indices() {
+        let mut h = History::with_capacity_limit(2);
+        for t in 0..5 {
+            let idx = h.push(state(t, EventSet::new()));
+            assert_eq!(idx as i64, t);
+        }
+        assert_eq!(h.len(), 5);
+        assert_eq!(h.retained(), 2);
+        assert!(h.get(0).is_none());
+        assert_eq!(h.get(4).unwrap().time(), Timestamp(4));
+        assert_eq!(h.last_index(), Some(4));
+    }
+
+    #[test]
+    fn index_at_finds_latest_not_after() {
+        let mut h = History::new();
+        for t in [1i64, 3, 7] {
+            h.push(state(t, EventSet::new()));
+        }
+        assert_eq!(h.index_at(Timestamp(0)), None);
+        assert_eq!(h.index_at(Timestamp(3)), Some(1));
+        assert_eq!(h.index_at(Timestamp(5)), Some(1));
+        assert_eq!(h.index_at(Timestamp(9)), Some(2));
+    }
+
+    #[test]
+    fn validate_transaction_time_detects_untracked_change() {
+        let mut h = History::new();
+        let mut db = Database::new();
+        h.push(SystemState::new(db.clone(), EventSet::new(), Timestamp(1)));
+        db.set_item("x", Value::Int(1));
+        h.push(SystemState::new(db, EventSet::new(), Timestamp(2)));
+        assert!(h.validate_transaction_time().is_err());
+    }
+}

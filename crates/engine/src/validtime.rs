@@ -1,0 +1,511 @@
+//! The valid-time system model (Section 9).
+//!
+//! Updates carry a *valid time* that may precede the transaction time by up
+//! to a maximum delay Δ; the engine inserts them retroactively at their
+//! valid time. Because any database value younger than Δ may still change,
+//! histories here are materialized on demand:
+//!
+//! * [`VtEngine::tentative_history`] — every posted update of a
+//!   non-aborted transaction takes effect at its valid time (what a
+//!   *tentative* trigger evaluates);
+//! * [`VtEngine::committed_history`]`(t)` — the paper's *committed history
+//!   at time t*: the prefix of states with timestamp ≤ t, with the effects
+//!   of updates uncommitted in that prefix stripped out;
+//! * [`VtEngine::definite_history`] — the committed history at `now − Δ`
+//!   (what a *definite* trigger evaluates; firing is inherently delayed
+//!   by Δ);
+//! * [`VtEngine::collapsed_committed_history`] — each committed
+//!   transaction's updates applied at its commit point instead of its valid
+//!   time, turning the valid-time history into a transaction-time one
+//!   (the construction of Theorem 2).
+
+use std::collections::BTreeMap;
+
+use tdb_relation::{Database, Timestamp};
+
+use crate::clock::Clock;
+use crate::error::{EngineError, Result};
+use crate::event::{Event, EventSet};
+use crate::state::{History, SystemState};
+use crate::txn::{TxnId, TxnStatus, WriteOp};
+
+/// One update occurrence in the valid-time history.
+#[derive(Debug, Clone)]
+struct VtUpdate {
+    txn: TxnId,
+    op: WriteOp,
+}
+
+/// One valid-time system state: events plus the updates that occurred at
+/// this instant (database states are materialized on demand).
+#[derive(Debug, Clone)]
+struct VtState {
+    time: Timestamp,
+    events: EventSet,
+    updates: Vec<VtUpdate>,
+}
+
+#[derive(Debug, Clone)]
+struct VtTxn {
+    status: TxnStatus,
+    commit_time: Option<Timestamp>,
+}
+
+/// The valid-time engine.
+#[derive(Debug, Clone)]
+pub struct VtEngine {
+    base: Database,
+    clock: Clock,
+    states: Vec<VtState>,
+    txns: BTreeMap<TxnId, VtTxn>,
+    next_txn: u64,
+    /// The maximum delay Δ: an update's valid time may lag the current time
+    /// by at most this many clock units.
+    max_delay: i64,
+}
+
+impl VtEngine {
+    pub fn new(base: Database, max_delay: i64) -> VtEngine {
+        VtEngine {
+            base,
+            clock: Clock::default(),
+            states: Vec::new(),
+            txns: BTreeMap::new(),
+            next_txn: 1,
+            max_delay: max_delay.max(0),
+        }
+    }
+
+    pub fn now(&self) -> Timestamp {
+        self.clock.now()
+    }
+
+    pub fn max_delay(&self) -> i64 {
+        self.max_delay
+    }
+
+    /// Values with timestamp at or before this instant are definite.
+    pub fn definite_frontier(&self) -> Timestamp {
+        self.now().minus(self.max_delay)
+    }
+
+    pub fn advance_clock(&mut self, delta: i64) -> Result<Timestamp> {
+        self.clock.advance_by(delta)
+    }
+
+    /// A deep copy used to validate a commit against the constraints before
+    /// actually committing (the valid-time engine has no prepared commits —
+    /// a commit only adds a state, so probing a clone is cheap).
+    pub fn clone_for_probe(&self) -> VtEngine {
+        self.clone()
+    }
+
+    /// Begins a transaction (its begin event is recorded at the current
+    /// time, which is also its valid time — lifecycle events are never
+    /// retroactive).
+    pub fn begin(&mut self) -> Result<TxnId> {
+        let id = TxnId(self.next_txn);
+        self.next_txn += 1;
+        self.txns.insert(id, VtTxn { status: TxnStatus::Active, commit_time: None });
+        self.merge_state(self.now(), EventSet::of([Event::txn_begin(id)]), Vec::new())?;
+        Ok(id)
+    }
+
+    /// Posts an update with an explicit valid time. Returns the index of
+    /// the (possibly newly created) state at that valid time — the earliest
+    /// state a tentative trigger must re-evaluate from.
+    pub fn update_at(&mut self, txn: TxnId, op: WriteOp, valid: Timestamp) -> Result<usize> {
+        let info = self.txns.get(&txn).ok_or(EngineError::NoSuchTxn(txn))?;
+        if info.status != TxnStatus::Active {
+            return Err(EngineError::NoSuchTxn(txn));
+        }
+        let now = self.now();
+        if valid > now {
+            return Err(EngineError::ValidTimeInFuture { valid: valid.0, now: now.0 });
+        }
+        let limit = now.minus(self.max_delay);
+        if valid < limit {
+            return Err(EngineError::ValidTimeTooOld { valid: valid.0, limit: limit.0 });
+        }
+        let events = EventSet::of([Event::update(op.target())]);
+        self.merge_state(valid, events, vec![VtUpdate { txn, op }])
+    }
+
+    /// Posts an update effective right now.
+    pub fn update(&mut self, txn: TxnId, op: WriteOp) -> Result<usize> {
+        self.update_at(txn, op, self.now())
+    }
+
+    /// Records user events at a (possibly retroactive) valid time.
+    pub fn emit_at(&mut self, events: EventSet, valid: Timestamp) -> Result<usize> {
+        let now = self.now();
+        if valid > now {
+            return Err(EngineError::ValidTimeInFuture { valid: valid.0, now: now.0 });
+        }
+        self.merge_state(valid, events, Vec::new())
+    }
+
+    /// Commits a transaction at the current time. At most one commit per
+    /// instant is allowed; the clock is bumped if a commit already occupies
+    /// the current instant.
+    pub fn commit(&mut self, txn: TxnId) -> Result<usize> {
+        let info = self.txns.get(&txn).ok_or(EngineError::NoSuchTxn(txn))?;
+        if info.status != TxnStatus::Active {
+            return Err(EngineError::NoSuchTxn(txn));
+        }
+        // Enforce "no two transactions commit simultaneously".
+        if let Some(s) = self.state_at(self.now()) {
+            if s.events.commit_count() > 0 {
+                self.clock.advance_by(1)?;
+            }
+        }
+        let now = self.now();
+        let events = EventSet::of([Event::attempts_to_commit(txn), Event::txn_commit(txn)]);
+        let idx = self.merge_state(now, events, Vec::new())?;
+        let info = self.txns.get_mut(&txn).expect("checked above");
+        info.status = TxnStatus::Committed;
+        info.commit_time = Some(now);
+        Ok(idx)
+    }
+
+    /// Aborts a transaction; its updates are ignored by every history view.
+    pub fn abort(&mut self, txn: TxnId) -> Result<usize> {
+        let info = self.txns.get_mut(&txn).ok_or(EngineError::NoSuchTxn(txn))?;
+        if info.status != TxnStatus::Active {
+            return Err(EngineError::NoSuchTxn(txn));
+        }
+        info.status = TxnStatus::Aborted;
+        let now = self.now();
+        self.merge_state(now, EventSet::of([Event::txn_abort(txn)]), Vec::new())
+    }
+
+    /// Number of valid-time states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    fn state_at(&self, t: Timestamp) -> Option<&VtState> {
+        self.states
+            .binary_search_by_key(&t, |s| s.time)
+            .ok()
+            .map(|i| &self.states[i])
+    }
+
+    /// Inserts or merges a state at `t`; returns its index.
+    fn merge_state(
+        &mut self,
+        t: Timestamp,
+        events: EventSet,
+        updates: Vec<VtUpdate>,
+    ) -> Result<usize> {
+        match self.states.binary_search_by_key(&t, |s| s.time) {
+            Ok(i) => {
+                let s = &mut self.states[i];
+                let new_commits = events.commit_count();
+                if new_commits > 0 && s.events.commit_count() + new_commits > 1 {
+                    return Err(EngineError::SimultaneousCommit);
+                }
+                s.events.union_with(&events);
+                s.updates.extend(updates);
+                Ok(i)
+            }
+            Err(i) => {
+                self.states.insert(i, VtState { time: t, events, updates });
+                Ok(i)
+            }
+        }
+    }
+
+    // ---- materialized history views ---------------------------------------
+
+    /// Commit time of `txn`, if committed.
+    pub fn commit_time(&self, txn: TxnId) -> Option<Timestamp> {
+        self.txns.get(&txn).and_then(|i| i.commit_time)
+    }
+
+    /// Materializes a history, applying at each state only the updates that
+    /// satisfy `include`.
+    fn materialize(
+        &self,
+        cutoff: Timestamp,
+        mut include: impl FnMut(&VtUpdate) -> bool,
+    ) -> History {
+        let mut h = History::new();
+        let mut db = self.base.clone();
+        for s in &self.states {
+            if s.time > cutoff {
+                break;
+            }
+            for u in &s.updates {
+                if include(u) {
+                    // Unknown-relation errors cannot occur here: update_at
+                    // validated nothing, so surface them loudly.
+                    u.op.apply(&mut db).expect("valid-time update must apply");
+                }
+            }
+            h.push(SystemState::new(db.clone(), s.events.clone(), s.time));
+        }
+        h
+    }
+
+    /// The tentative history: all updates of non-aborted transactions take
+    /// effect at their valid times.
+    pub fn tentative_history(&self) -> History {
+        self.materialize(Timestamp::MAX, |u| {
+            self.txns
+                .get(&u.txn)
+                .is_some_and(|i| i.status != TxnStatus::Aborted)
+        })
+    }
+
+    /// The paper's *committed history at time t*.
+    pub fn committed_history(&self, t: Timestamp) -> History {
+        self.materialize(t, |u| {
+            self.txns
+                .get(&u.txn)
+                .and_then(|i| i.commit_time)
+                .is_some_and(|ct| ct <= t)
+        })
+    }
+
+    /// The committed history at time infinity (every ever-committed update
+    /// included, full length).
+    pub fn committed_history_at_infinity(&self) -> History {
+        self.materialize(Timestamp::MAX, |u| {
+            self.txns.get(&u.txn).is_some_and(|i| i.status == TxnStatus::Committed)
+        })
+    }
+
+    /// The committed history at the definite frontier `now − Δ` — what a
+    /// definite trigger evaluates.
+    pub fn definite_history(&self) -> History {
+        self.committed_history(self.definite_frontier())
+    }
+
+    /// The collapsed committed history: database changes applied at commit
+    /// time rather than valid time (Theorem 2's transaction-time view).
+    pub fn collapsed_committed_history(&self) -> History {
+        // Group each committed transaction's updates, in valid-time order.
+        let mut by_txn: BTreeMap<TxnId, Vec<&VtUpdate>> = BTreeMap::new();
+        for s in &self.states {
+            for u in &s.updates {
+                if self.txns.get(&u.txn).is_some_and(|i| i.status == TxnStatus::Committed) {
+                    by_txn.entry(u.txn).or_default().push(u);
+                }
+            }
+        }
+        let mut h = History::new();
+        let mut db = self.base.clone();
+        for s in &self.states {
+            // Apply the updates of every transaction committing at this state.
+            for e in s.events.iter().filter(|e| e.is_commit()) {
+                if let Some(txn) = e.txn_id() {
+                    for u in by_txn.get(&txn).into_iter().flatten() {
+                        u.op.apply(&mut db).expect("collapsed update must apply");
+                    }
+                }
+            }
+            h.push(SystemState::new(db.clone(), s.events.clone(), s.time));
+        }
+        h
+    }
+
+    /// Commit points (timestamps carrying a `transaction_commit` event), in
+    /// order — the instants at which integrity constraints are checked.
+    pub fn commit_points(&self) -> Vec<Timestamp> {
+        self.states
+            .iter()
+            .filter(|s| s.events.commit_count() > 0)
+            .map(|s| s.time)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdb_relation::{Relation, Schema, Value};
+
+    fn base() -> Database {
+        let mut db = Database::new();
+        db.create_relation("STOCK", Relation::empty(Schema::untyped(&["name", "price"])))
+            .unwrap();
+        db
+    }
+
+    fn set_price(p: i64) -> WriteOp {
+        WriteOp::SetItem { item: "price_IBM".into(), value: Value::Int(p) }
+    }
+
+    #[test]
+    fn retroactive_update_lands_at_valid_time() {
+        let mut e = VtEngine::new(base(), 100);
+        e.advance_clock(10).unwrap();
+        let t = e.begin().unwrap();
+        // Posted at time 10, valid at time 5.
+        e.update_at(t, set_price(72), Timestamp(5)).unwrap();
+        e.commit(t).unwrap();
+        let h = e.committed_history(Timestamp(100));
+        // The state at valid time 5 must carry the new price.
+        let idx = h.index_at(Timestamp(5)).unwrap();
+        assert_eq!(h.get(idx).unwrap().db().item("price_IBM").unwrap(), Value::Int(72));
+    }
+
+    #[test]
+    fn max_delay_enforced() {
+        let mut e = VtEngine::new(base(), 3);
+        e.advance_clock(10).unwrap();
+        let t = e.begin().unwrap();
+        assert!(matches!(
+            e.update_at(t, set_price(1), Timestamp(6)),
+            Err(EngineError::ValidTimeTooOld { .. })
+        ));
+        assert!(matches!(
+            e.update_at(t, set_price(1), Timestamp(11)),
+            Err(EngineError::ValidTimeInFuture { .. })
+        ));
+        assert!(e.update_at(t, set_price(1), Timestamp(7)).is_ok());
+    }
+
+    #[test]
+    fn committed_history_strips_uncommitted_updates() {
+        let mut e = VtEngine::new(base(), 100);
+        e.advance_clock(1).unwrap();
+        let t1 = e.begin().unwrap();
+        e.update(t1, set_price(10)).unwrap();
+        e.advance_clock(1).unwrap();
+        let t2 = e.begin().unwrap();
+        e.update(t2, set_price(20)).unwrap();
+        e.advance_clock(1).unwrap();
+        e.commit(t2).unwrap(); // t2 commits at 3; t1 never commits
+
+        let h = e.committed_history(Timestamp(10));
+        let last = h.last().unwrap();
+        assert_eq!(last.db().item("price_IBM").unwrap(), Value::Int(20));
+        // At time 2 (t2's update posted, not yet committed at cutoff? —
+        // committed AT 3 <= 10, so the update IS included at its valid time).
+        let idx = h.index_at(Timestamp(2)).unwrap();
+        assert_eq!(h.get(idx).unwrap().db().item("price_IBM").unwrap(), Value::Int(20));
+        // Cutoff before t2's commit: the update is stripped.
+        let h2 = e.committed_history(Timestamp(2));
+        assert!(h2.last().unwrap().db().item("price_IBM").is_err());
+    }
+
+    #[test]
+    fn aborted_updates_never_appear() {
+        let mut e = VtEngine::new(base(), 100);
+        e.advance_clock(1).unwrap();
+        let t = e.begin().unwrap();
+        e.update(t, set_price(10)).unwrap();
+        e.abort(t).unwrap();
+        assert!(e.tentative_history().last().unwrap().db().item("price_IBM").is_err());
+        assert!(e
+            .committed_history_at_infinity()
+            .last()
+            .unwrap()
+            .db()
+            .item("price_IBM")
+            .is_err());
+    }
+
+    #[test]
+    fn u1_before_u2_offline_vs_online_setup() {
+        // The paper's Section 9.3 example history:
+        // u1 (by T1), u2 (by T2), commit-T2, commit-T1.
+        let mut e = VtEngine::new(base(), 100);
+        e.advance_clock(1).unwrap();
+        let t1 = e.begin().unwrap();
+        let t2 = e.begin().unwrap();
+        e.advance_clock(1).unwrap();
+        e.update(t1, WriteOp::SetItem { item: "u1".into(), value: Value::Int(1) }).unwrap();
+        e.advance_clock(1).unwrap();
+        e.update(t2, WriteOp::SetItem { item: "u2".into(), value: Value::Int(1) }).unwrap();
+        e.advance_clock(1).unwrap();
+        let c2 = e.commit(t2).unwrap();
+        e.advance_clock(1).unwrap();
+        e.commit(t1).unwrap();
+        let _ = c2;
+
+        // Online view at T2's commit point: u1 is NOT visible (T1 not yet
+        // committed), u2 IS visible.
+        let t2_commit = e.commit_time(t2).unwrap();
+        let online = e.committed_history(t2_commit);
+        let last = online.last().unwrap();
+        assert!(last.db().item("u1").is_err());
+        assert_eq!(last.db().item("u2").unwrap(), Value::Int(1));
+
+        // Offline view (committed history at infinity), truncated to the
+        // same commit point: u1 IS visible because T1 eventually commits.
+        let offline = e.committed_history_at_infinity();
+        let idx = offline.index_at(t2_commit).unwrap();
+        assert_eq!(offline.get(idx).unwrap().db().item("u1").unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn collapsed_history_moves_updates_to_commit_points() {
+        let mut e = VtEngine::new(base(), 100);
+        e.advance_clock(5).unwrap();
+        let t = e.begin().unwrap();
+        // Valid time 1, commit at 6.
+        e.update_at(t, set_price(72), Timestamp(1)).unwrap();
+        e.advance_clock(1).unwrap();
+        e.commit(t).unwrap();
+
+        let collapsed = e.collapsed_committed_history();
+        // Before the commit point the item must be absent…
+        let before = collapsed.index_at(Timestamp(5)).unwrap();
+        assert!(collapsed.get(before).unwrap().db().item("price_IBM").is_err());
+        // …and present exactly from the commit point.
+        let at = collapsed.index_at(Timestamp(6)).unwrap();
+        assert_eq!(
+            collapsed.get(at).unwrap().db().item("price_IBM").unwrap(),
+            Value::Int(72)
+        );
+        collapsed.validate_transaction_time().unwrap();
+    }
+
+    #[test]
+    fn definite_history_lags_by_delta() {
+        let mut e = VtEngine::new(base(), 5);
+        e.advance_clock(1).unwrap();
+        let t = e.begin().unwrap();
+        e.update(t, set_price(10)).unwrap();
+        e.commit(t).unwrap();
+        // now = 1, frontier = -4: nothing definite yet.
+        assert_eq!(e.definite_history().len(), 0);
+        e.advance_clock(10).unwrap();
+        // now = 11, frontier = 6 >= all states: everything definite.
+        let h = e.definite_history();
+        assert_eq!(h.last().unwrap().db().item("price_IBM").unwrap(), Value::Int(10));
+    }
+
+    #[test]
+    fn simultaneous_events_merge_into_one_state() {
+        let mut e = VtEngine::new(base(), 100);
+        e.advance_clock(4).unwrap();
+        let t = e.begin().unwrap();
+        e.update_at(t, set_price(1), Timestamp(2)).unwrap();
+        e.update_at(t, set_price(2), Timestamp(2)).unwrap();
+        e.commit(t).unwrap();
+        // begin@4, updates@2 (merged), commit@4 (merged with begin).
+        assert_eq!(e.state_count(), 2);
+        let h = e.committed_history_at_infinity();
+        assert_eq!(h.len(), 2);
+        // Later write at the same instant wins (application order).
+        let idx = h.index_at(Timestamp(2)).unwrap();
+        assert_eq!(h.get(idx).unwrap().db().item("price_IBM").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn commit_points_listed() {
+        let mut e = VtEngine::new(base(), 100);
+        e.advance_clock(1).unwrap();
+        let t1 = e.begin().unwrap();
+        e.advance_clock(1).unwrap();
+        let t2 = e.begin().unwrap();
+        e.advance_clock(1).unwrap();
+        e.commit(t1).unwrap();
+        e.commit(t2).unwrap(); // bumped to 4 automatically
+        assert_eq!(e.commit_points(), vec![Timestamp(3), Timestamp(4)]);
+    }
+}

@@ -1,0 +1,85 @@
+//! PTL error types.
+
+use std::fmt;
+
+use tdb_relation::RelError;
+
+/// Errors raised by PTL parsing, analysis and evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PtlError {
+    /// A variable was used without a binding (free where a value is needed).
+    UnboundVar(String),
+    /// A variable is assigned more than once in the formula. The paper
+    /// requires each bound variable to be assigned at most once ("we can
+    /// simply rename some of the occurrences"); we require the renamed form.
+    DuplicateAssignment(String),
+    /// The formula is unsafe: a free variable is not range-restricted by any
+    /// positive generator atom (membership / event / executed position).
+    Unsafe { var: String, reason: String },
+    /// A generator atom's query arguments mention variables (they must be
+    /// closed so the generator can be expanded at evaluation time).
+    NonGroundGeneratorArgs { query: String, var: String },
+    /// A parse error in the PTL surface syntax.
+    Parse(String),
+    /// An error from the relational substrate (query evaluation etc.).
+    Rel(RelError),
+    /// Evaluation referenced a history state that is no longer retained.
+    StateEvicted(usize),
+    /// A term expected to be boolean/scalar had the wrong shape.
+    TypeError(String),
+}
+
+impl fmt::Display for PtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PtlError::UnboundVar(v) => write!(f, "unbound variable `{v}`"),
+            PtlError::DuplicateAssignment(v) => {
+                write!(f, "variable `{v}` is assigned more than once; rename one occurrence")
+            }
+            PtlError::Unsafe { var, reason } => {
+                write!(f, "unsafe formula: free variable `{var}` {reason}")
+            }
+            PtlError::NonGroundGeneratorArgs { query, var } => write!(
+                f,
+                "generator atom over `{query}` has non-ground argument mentioning `{var}`"
+            ),
+            PtlError::Parse(msg) => write!(f, "PTL parse error: {msg}"),
+            PtlError::Rel(e) => write!(f, "{e}"),
+            PtlError::StateEvicted(i) => {
+                write!(f, "history state {i} has been evicted and cannot be read")
+            }
+            PtlError::TypeError(msg) => write!(f, "type error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PtlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PtlError::Rel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelError> for PtlError {
+    fn from(e: RelError) -> Self {
+        PtlError::Rel(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, PtlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(PtlError::UnboundVar("x".into()).to_string(), "unbound variable `x`");
+        assert!(PtlError::Rel(RelError::UnknownTable("T".into()))
+            .to_string()
+            .contains("unknown relation"));
+    }
+}

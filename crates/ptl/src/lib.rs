@@ -1,0 +1,40 @@
+//! # tdb-ptl
+//!
+//! Past Temporal Logic (PTL) — the condition language of
+//! *Sistla & Wolfson, Temporal Conditions and Integrity Constraints in
+//! Active Database Systems (SIGMOD 1995)*.
+//!
+//! PTL is a regular query language augmented with past temporal operators.
+//! This crate provides:
+//!
+//! * [`Term`] / [`Formula`] — the abstract syntax: comparisons, membership
+//!   and event atoms, boolean connectives, `Since` / `Lasttime` (basic) and
+//!   `Previously` / `ThroughoutPast` (derived) operators, the assignment
+//!   operator `[x := t] φ`, and temporal aggregates `f(q, φ, ψ)`;
+//! * [`parse_formula`] / [`parse_term`] — the surface syntax;
+//! * [`to_core`] — rewriting derived operators into `Since`/`Lasttime`;
+//! * [`analyze`] — static checks: single assignment, safety
+//!   (range-restriction of free variables), ground generators; plus the
+//!   [`Analysis`] facts (time-bound variables, referenced events/queries)
+//!   the evaluators rely on;
+//! * [`semantics`] — the naive reference semantics over full histories,
+//!   used as the test oracle and the re-evaluation baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+mod error;
+mod formula;
+mod parser;
+mod rewrite;
+pub mod semantics;
+mod term;
+
+pub use analysis::{analyze, Analysis};
+pub use error::{PtlError, Result};
+pub use formula::{Formula, QueryRef};
+pub use parser::{executed_query_name, parse_formula, parse_term};
+pub use rewrite::to_core;
+pub use semantics::{eval, eval_term, fire_bindings, relation_to_value, Env};
+pub use term::{TemporalAgg, Term};

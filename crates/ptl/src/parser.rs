@@ -1,0 +1,523 @@
+//! Surface syntax for PTL.
+//!
+//! ```text
+//! formula  := "[" IDENT ":=" term "]" formula            -- assignment
+//!           | orF
+//! orF      := andF ("or" andF)*
+//! andF     := sinceF ("and" sinceF)*
+//! sinceF   := notF ("since" notF)*                       -- left-assoc
+//! notF     := "not" notF | unaryF
+//! unaryF   := ("lasttime" | "previously" | "once"
+//!              | "throughout_past" | "historically") unaryF
+//!           | primary
+//! primary  := "true" | "false"
+//!           | "(" formula ")"
+//!           | "@" IDENT ("(" termlist ")")?              -- event atom
+//!           | "executed" "(" IDENT ("," term)* ")"       -- executed sugar
+//!           | "(" termlist ")" "in" IDENT "(" termlist ")"  -- tuple member
+//!           | term "in" IDENT "(" termlist ")"           -- member
+//!           | term CMP term
+//! term     := arithmetic over: NUMBER | STRING | "time" | IDENT
+//!           | IDENT "(" termlist ")"                     -- named query
+//!           | AGG "(" term ";" formula ";" formula ")"   -- temporal aggregate
+//! ```
+//!
+//! Examples from the paper:
+//!
+//! ```
+//! use tdb_ptl::parse_formula;
+//! // "the price of IBM stock doubled in 10 units of time"
+//! let f = parse_formula(
+//!     "[t := time] [x := price(\"IBM\")] \
+//!      previously(price(\"IBM\") <= 0.5 * x and time >= t - 10)",
+//! ).unwrap();
+//! assert!(f.is_closed());
+//!
+//! // "the value of A remains positive while user X is logged in"
+//! let g = parse_formula(
+//!     "a() > 0 or not (not @logout(\"X\") since @login(\"X\"))",
+//! ).unwrap();
+//! assert!(g.is_temporal());
+//! ```
+
+use tdb_relation::lexer::{Cursor, Tok};
+use tdb_relation::{AggFunc, ArithOp, CmpOp, Value};
+
+use crate::error::{PtlError, Result};
+use crate::formula::{Formula, QueryRef};
+use crate::term::Term;
+
+/// The name of the auto-maintained query exposing the `executed` relation of
+/// a rule (see Section 7); `executed(r, …)` desugars to a membership atom
+/// over it.
+pub fn executed_query_name(rule: &str) -> String {
+    format!("__executed_{rule}")
+}
+
+/// Parses a complete PTL formula.
+pub fn parse_formula(src: &str) -> Result<Formula> {
+    let mut c = Cursor::new(src).map_err(rel_parse)?;
+    let f = formula(&mut c)?;
+    c.expect_end().map_err(rel_parse)?;
+    Ok(f)
+}
+
+/// Parses a complete PTL term.
+pub fn parse_term(src: &str) -> Result<Term> {
+    let mut c = Cursor::new(src).map_err(rel_parse)?;
+    let t = term(&mut c)?;
+    c.expect_end().map_err(rel_parse)?;
+    Ok(t)
+}
+
+fn rel_parse(e: tdb_relation::RelError) -> PtlError {
+    PtlError::Parse(e.to_string())
+}
+
+fn formula(c: &mut Cursor) -> Result<Formula> {
+    if c.eat_punct("[") {
+        let var = c.expect_ident().map_err(rel_parse)?;
+        c.expect_punct(":=").map_err(rel_parse)?;
+        let t = term(c)?;
+        c.expect_punct("]").map_err(rel_parse)?;
+        let body = formula(c)?;
+        return Ok(Formula::assign(var, t, body));
+    }
+    or_f(c)
+}
+
+fn or_f(c: &mut Cursor) -> Result<Formula> {
+    let mut parts = vec![and_f(c)?];
+    while c.eat_kw("or") || c.eat_punct("||") {
+        parts.push(and_f(c)?);
+    }
+    Ok(Formula::or(parts))
+}
+
+fn and_f(c: &mut Cursor) -> Result<Formula> {
+    let mut parts = vec![since_f(c)?];
+    while c.eat_kw("and") || c.eat_punct("&&") {
+        parts.push(since_f(c)?);
+    }
+    Ok(Formula::and(parts))
+}
+
+// `not` binds tighter than `since`: `not @logout since @login` reads as
+// `(not @logout) since @login`, matching the paper's examples.
+fn since_f(c: &mut Cursor) -> Result<Formula> {
+    let mut left = not_f(c)?;
+    while c.eat_kw("since") {
+        let right = not_f(c)?;
+        left = Formula::since(left, right);
+    }
+    Ok(left)
+}
+
+fn not_f(c: &mut Cursor) -> Result<Formula> {
+    if c.eat_kw("not") || c.eat_punct("!") {
+        Ok(Formula::not(not_f(c)?))
+    } else {
+        unary_f(c)
+    }
+}
+
+fn unary_f(c: &mut Cursor) -> Result<Formula> {
+    if c.eat_kw("lasttime") {
+        return Ok(Formula::lasttime(unary_f(c)?));
+    }
+    if c.eat_kw("previously") || c.eat_kw("once") {
+        return Ok(Formula::previously(unary_f(c)?));
+    }
+    if c.eat_kw("throughout_past") || c.eat_kw("historically") {
+        return Ok(Formula::throughout_past(unary_f(c)?));
+    }
+    primary(c)
+}
+
+fn primary(c: &mut Cursor) -> Result<Formula> {
+    if c.eat_kw("true") {
+        return Ok(Formula::True);
+    }
+    if c.eat_kw("false") {
+        return Ok(Formula::False);
+    }
+    // Assignments may also appear nested under connectives.
+    if matches!(c.peek(), Some(Tok::Punct("["))) {
+        return formula(c);
+    }
+    // Event atom.
+    if c.eat_punct("@") {
+        let name = c.expect_ident().map_err(rel_parse)?;
+        let mut pattern = Vec::new();
+        if c.eat_punct("(") && !c.eat_punct(")") {
+            loop {
+                pattern.push(term(c)?);
+                if !c.eat_punct(",") {
+                    break;
+                }
+            }
+            c.expect_punct(")").map_err(rel_parse)?;
+        }
+        return Ok(Formula::Event { name, pattern });
+    }
+    // `executed(rule, args…)` sugar.
+    if c.peek().is_some_and(|t| t.is_kw("executed"))
+        && matches!(c.peek_at(1), Some(Tok::Punct("(")))
+    {
+        c.next_tok();
+        c.expect_punct("(").map_err(rel_parse)?;
+        let rule = match c.next_tok() {
+            Some(Tok::Ident(s)) => s,
+            Some(Tok::Str(s)) => s,
+            other => {
+                return Err(PtlError::Parse(format!(
+                    "expected rule name in executed(...), found {:?}",
+                    other.map(|t| t.describe())
+                )))
+            }
+        };
+        let mut pattern = Vec::new();
+        while c.eat_punct(",") {
+            pattern.push(term(c)?);
+        }
+        c.expect_punct(")").map_err(rel_parse)?;
+        return Ok(Formula::Member {
+            source: QueryRef::new(executed_query_name(&rule), vec![]),
+            pattern,
+        });
+    }
+    // Parenthesized formula (backtrack to term forms on failure).
+    if matches!(c.peek(), Some(Tok::Punct("("))) {
+        let save = c.pos();
+        c.next_tok();
+        if let Ok(f) = formula(c) {
+            if c.eat_punct(")") {
+                return Ok(f);
+            }
+        }
+        c.set_pos(save);
+        // Tuple membership: "(" termlist ")" "in" qref.
+        if let Some(f) = try_tuple_member(c)? {
+            return Ok(f);
+        }
+        c.set_pos(save);
+    }
+    // term CMP term | term "in" qref.
+    let left = term(c)?;
+    if c.eat_kw("in") {
+        let source = query_ref(c)?;
+        return Ok(Formula::Member { source, pattern: vec![left] });
+    }
+    let op = cmp_op(c)
+        .ok_or_else(|| PtlError::Parse("expected comparison or `in` after term".into()))?;
+    let right = term(c)?;
+    Ok(Formula::Cmp(op, left, right))
+}
+
+fn try_tuple_member(c: &mut Cursor) -> Result<Option<Formula>> {
+    if !c.eat_punct("(") {
+        return Ok(None);
+    }
+    let mut pattern = Vec::new();
+    loop {
+        match term(c) {
+            Ok(t) => pattern.push(t),
+            Err(_) => return Ok(None),
+        }
+        if c.eat_punct(",") {
+            continue;
+        }
+        break;
+    }
+    if !c.eat_punct(")") || !c.eat_kw("in") {
+        return Ok(None);
+    }
+    let source = query_ref(c)?;
+    Ok(Some(Formula::Member { source, pattern }))
+}
+
+fn query_ref(c: &mut Cursor) -> Result<QueryRef> {
+    let name = c.expect_ident().map_err(rel_parse)?;
+    let mut args = Vec::new();
+    c.expect_punct("(").map_err(rel_parse)?;
+    if !c.eat_punct(")") {
+        loop {
+            args.push(term(c)?);
+            if !c.eat_punct(",") {
+                break;
+            }
+        }
+        c.expect_punct(")").map_err(rel_parse)?;
+    }
+    Ok(QueryRef { name, args })
+}
+
+fn cmp_op(c: &mut Cursor) -> Option<CmpOp> {
+    let op = match c.peek() {
+        Some(Tok::Punct("<")) => CmpOp::Lt,
+        Some(Tok::Punct("<=")) => CmpOp::Le,
+        Some(Tok::Punct("=")) | Some(Tok::Punct("==")) => CmpOp::Eq,
+        Some(Tok::Punct("!=")) | Some(Tok::Punct("<>")) => CmpOp::Ne,
+        Some(Tok::Punct(">=")) => CmpOp::Ge,
+        Some(Tok::Punct(">")) => CmpOp::Gt,
+        _ => return None,
+    };
+    c.next_tok();
+    Some(op)
+}
+
+// ---- terms ---------------------------------------------------------------
+
+fn term(c: &mut Cursor) -> Result<Term> {
+    add_term(c)
+}
+
+fn add_term(c: &mut Cursor) -> Result<Term> {
+    let mut left = mul_term(c)?;
+    loop {
+        if c.eat_punct("+") {
+            left = Term::arith(ArithOp::Add, left, mul_term(c)?);
+        } else if c.eat_punct("-") {
+            left = Term::arith(ArithOp::Sub, left, mul_term(c)?);
+        } else {
+            return Ok(left);
+        }
+    }
+}
+
+fn mul_term(c: &mut Cursor) -> Result<Term> {
+    let mut left = unary_term(c)?;
+    loop {
+        if c.eat_punct("*") {
+            left = Term::arith(ArithOp::Mul, left, unary_term(c)?);
+        } else if c.eat_punct("/") {
+            left = Term::arith(ArithOp::Div, left, unary_term(c)?);
+        } else if c.eat_punct("%") || c.eat_kw("mod") {
+            left = Term::arith(ArithOp::Mod, left, unary_term(c)?);
+        } else {
+            return Ok(left);
+        }
+    }
+}
+
+fn unary_term(c: &mut Cursor) -> Result<Term> {
+    if c.eat_punct("-") {
+        let t = unary_term(c)?;
+        // Fold negative literals so `-1` round-trips as a constant.
+        return Ok(match t {
+            Term::Const(Value::Int(i)) => Term::lit(-i),
+            Term::Const(Value::Float(f)) => Term::lit(-f),
+            other => Term::Neg(Box::new(other)),
+        });
+    }
+    atom_term(c)
+}
+
+fn atom_term(c: &mut Cursor) -> Result<Term> {
+    match c.next_tok() {
+        Some(Tok::Int(i)) => Ok(Term::lit(i)),
+        Some(Tok::Float(f)) => Ok(Term::lit(f)),
+        Some(Tok::Str(s)) => Ok(Term::Const(Value::str(s))),
+        Some(Tok::Punct("(")) => {
+            let t = term(c)?;
+            c.expect_punct(")").map_err(rel_parse)?;
+            Ok(t)
+        }
+        Some(Tok::Ident(name)) => {
+            if name.eq_ignore_ascii_case("time") {
+                return Ok(Term::Time);
+            }
+            if name.eq_ignore_ascii_case("abs") && c.eat_punct("(") {
+                let t = term(c)?;
+                c.expect_punct(")").map_err(rel_parse)?;
+                return Ok(Term::Abs(Box::new(t)));
+            }
+            // Aggregate call: AGG(term; formula; formula).
+            if let Some(func) = AggFunc::parse(&name) {
+                if matches!(c.peek(), Some(Tok::Punct("("))) {
+                    let save = c.pos();
+                    c.next_tok();
+                    let q = term(c)?;
+                    if c.eat_punct(";") {
+                        let start = formula(c)?;
+                        c.expect_punct(";").map_err(rel_parse)?;
+                        let sample = formula(c)?;
+                        c.expect_punct(")").map_err(rel_parse)?;
+                        return Ok(Term::agg(func, q, start, sample));
+                    }
+                    // Not an aggregate after all — fall through to a query
+                    // call named like an aggregate (e.g. a query `last(x)`).
+                    c.set_pos(save);
+                }
+            }
+            if c.eat_punct("(") {
+                let mut args = Vec::new();
+                if !c.eat_punct(")") {
+                    loop {
+                        args.push(term(c)?);
+                        if !c.eat_punct(",") {
+                            break;
+                        }
+                    }
+                    c.expect_punct(")").map_err(rel_parse)?;
+                }
+                return Ok(Term::Query { name, args });
+            }
+            Ok(Term::var(name))
+        }
+        Some(t) => Err(PtlError::Parse(format!("unexpected {}", t.describe()))),
+        None => Err(PtlError::Parse("unexpected end of input".into())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ibm_doubling_example_parses() {
+        let f = parse_formula(
+            "[t := time] [x := price(\"IBM\")] \
+             previously(price(\"IBM\") <= 0.5 * x and time >= t - 10)",
+        )
+        .unwrap();
+        assert!(f.is_closed());
+        assert_eq!(f.assigned_vars(), vec!["t".to_string(), "x".into()]);
+        assert!(crate::analysis::time_vars(&f).contains("t"));
+    }
+
+    #[test]
+    fn login_session_example_parses() {
+        // "the value of A remains positive while user X is logged in"
+        let f = parse_formula(
+            "a() > 0 or not (not @logout(\"X\") since @login(\"X\"))",
+        )
+        .unwrap();
+        assert!(matches!(f, Formula::Or(_)));
+        assert_eq!(f.event_names(), vec!["logout".to_string(), "login".into()]);
+    }
+
+    #[test]
+    fn since_is_left_associative() {
+        let f = parse_formula("@a since @b since @c").unwrap();
+        // ((a since b) since c)
+        match f {
+            Formula::Since(left, right) => {
+                assert!(matches!(*left, Formula::Since(..)));
+                assert!(matches!(*right, Formula::Event { .. }));
+            }
+            other => panic!("expected since, got {other}"),
+        }
+    }
+
+    #[test]
+    fn operator_precedence_not_binds_tighter_than_and() {
+        let f = parse_formula("not @a and @b").unwrap();
+        match f {
+            Formula::And(parts) => {
+                assert!(matches!(parts[0], Formula::Not(_)));
+                assert!(matches!(parts[1], Formula::Event { .. }));
+            }
+            other => panic!("expected and, got {other}"),
+        }
+    }
+
+    #[test]
+    fn membership_atom() {
+        let f = parse_formula("x in overpriced()").unwrap();
+        match &f {
+            Formula::Member { source, pattern } => {
+                assert_eq!(source.name, "overpriced");
+                assert_eq!(pattern, &vec![Term::var("x")]);
+            }
+            other => panic!("expected member, got {other}"),
+        }
+        assert_eq!(f.free_vars(), vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn tuple_membership_atom() {
+        let f = parse_formula("(x, 72) in stock_rows()").unwrap();
+        match f {
+            Formula::Member { pattern, .. } => assert_eq!(pattern.len(), 2),
+            other => panic!("expected tuple member, got {other}"),
+        }
+    }
+
+    #[test]
+    fn executed_sugar_desugars_to_member() {
+        let f = parse_formula("executed(r1, x, t) and time = t + 10").unwrap();
+        match &f {
+            Formula::And(parts) => match &parts[0] {
+                Formula::Member { source, pattern } => {
+                    assert_eq!(source.name, executed_query_name("r1"));
+                    assert_eq!(pattern.len(), 2);
+                }
+                other => panic!("expected member, got {other}"),
+            },
+            other => panic!("expected and, got {other}"),
+        }
+    }
+
+    #[test]
+    fn aggregate_syntax() {
+        // Hourly average of IBM since 9AM, sampled at update_stocks events.
+        let f = parse_formula(
+            "avg(price(\"IBM\"); time = 540; @update_stocks) > 70 since time = 540",
+        )
+        .unwrap();
+        assert!(matches!(f, Formula::Since(..)));
+        let mut has_agg = false;
+        f.visit(&mut |g| {
+            if let Formula::Cmp(_, Term::Agg(_), _) = g {
+                has_agg = true;
+            }
+        });
+        assert!(has_agg);
+    }
+
+    #[test]
+    fn nested_assignment_in_connective() {
+        let f = parse_formula("@boot or [x := a()] (a() > x)").unwrap();
+        assert!(matches!(f, Formula::Or(_)));
+    }
+
+    #[test]
+    fn once_and_historically_synonyms() {
+        assert_eq!(
+            parse_formula("once @e").unwrap(),
+            parse_formula("previously @e").unwrap()
+        );
+        assert_eq!(
+            parse_formula("historically @e").unwrap(),
+            parse_formula("throughout_past @e").unwrap()
+        );
+    }
+
+    #[test]
+    fn parenthesized_term_comparison() {
+        let f = parse_formula("(x + 1) * 2 >= y and x in names()").unwrap();
+        assert_eq!(f.free_vars(), vec!["x".to_string(), "y".into()]);
+    }
+
+    #[test]
+    fn bad_input_rejected() {
+        assert!(parse_formula("since @a").is_err());
+        assert!(parse_formula("@a since").is_err());
+        assert!(parse_formula("price(\"IBM\")").is_err(), "bare term is not a formula");
+        assert!(parse_formula("[x = 3] true").is_err(), "assignment needs :=");
+        assert!(parse_formula("x in ").is_err());
+    }
+
+    #[test]
+    fn term_parser_roundtrip() {
+        let t = parse_term("0.5 * x + abs(price(\"IBM\") - 3)").unwrap();
+        assert_eq!(t.vars(), vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn event_without_args() {
+        let f = parse_formula("@update_stocks").unwrap();
+        assert_eq!(f, Formula::event("update_stocks", vec![]));
+    }
+}

@@ -1,0 +1,128 @@
+//! Rewriting derived operators into the core logic.
+//!
+//! The basic operators are `Since` and `Lasttime`; "other temporal
+//! operators, such as Previously and Throughout the Past, can be expressed
+//! in terms of the basic operators":
+//!
+//! * `Previously g  ≡  true Since g`
+//! * `ThroughoutPast g  ≡  ¬(true Since ¬g)`
+//!
+//! The incremental evaluator operates on the core form, which keeps its
+//! recurrences to exactly the cases the paper analyses.
+
+use crate::formula::Formula;
+use crate::term::{TemporalAgg, Term};
+
+/// Rewrites `f` into core form: no `Previously` / `ThroughoutPast` nodes
+/// remain, including inside aggregate sub-formulas.
+pub fn to_core(f: &Formula) -> Formula {
+    match f {
+        Formula::True => Formula::True,
+        Formula::False => Formula::False,
+        Formula::Cmp(op, a, b) => Formula::Cmp(*op, core_term(a), core_term(b)),
+        Formula::Member { source, pattern } => Formula::Member {
+            source: crate::formula::QueryRef {
+                name: source.name.clone(),
+                args: source.args.iter().map(core_term).collect(),
+            },
+            pattern: pattern.iter().map(core_term).collect(),
+        },
+        Formula::Event { name, pattern } => Formula::Event {
+            name: name.clone(),
+            pattern: pattern.iter().map(core_term).collect(),
+        },
+        Formula::Not(g) => Formula::not(to_core(g)),
+        Formula::And(gs) => Formula::And(gs.iter().map(to_core).collect()),
+        Formula::Or(gs) => Formula::Or(gs.iter().map(to_core).collect()),
+        Formula::Since(g, h) => Formula::since(to_core(g), to_core(h)),
+        Formula::Lasttime(g) => Formula::lasttime(to_core(g)),
+        Formula::Previously(g) => Formula::since(Formula::True, to_core(g)),
+        Formula::ThroughoutPast(g) => {
+            Formula::not(Formula::since(Formula::True, Formula::not(to_core(g))))
+        }
+        Formula::Assign { var, term, body } => {
+            Formula::assign(var.clone(), core_term(term), to_core(body))
+        }
+    }
+}
+
+fn core_term(t: &Term) -> Term {
+    match t {
+        Term::Const(_) | Term::Var(_) | Term::Time => t.clone(),
+        Term::Arith(op, a, b) => Term::arith(*op, core_term(a), core_term(b)),
+        Term::Neg(a) => Term::Neg(Box::new(core_term(a))),
+        Term::Abs(a) => Term::Abs(Box::new(core_term(a))),
+        Term::Query { name, args } => {
+            Term::Query { name: name.clone(), args: args.iter().map(core_term).collect() }
+        }
+        Term::Agg(agg) => Term::Agg(Box::new(TemporalAgg {
+            func: agg.func,
+            query: core_term(&agg.query),
+            start: to_core(&agg.start),
+            sample: to_core(&agg.sample),
+        })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn previously_becomes_true_since() {
+        let f = Formula::previously(Formula::event("e", vec![]));
+        assert_eq!(
+            to_core(&f),
+            Formula::since(Formula::True, Formula::event("e", vec![]))
+        );
+    }
+
+    #[test]
+    fn throughout_past_becomes_negated_since() {
+        let f = Formula::throughout_past(Formula::event("e", vec![]));
+        assert_eq!(
+            to_core(&f),
+            Formula::not(Formula::since(
+                Formula::True,
+                Formula::not(Formula::event("e", vec![]))
+            ))
+        );
+    }
+
+    #[test]
+    fn rewrites_inside_assignments_and_aggregates() {
+        use tdb_relation::AggFunc;
+        let agg = Term::agg(
+            AggFunc::Sum,
+            Term::lit(1i64),
+            Formula::previously(Formula::True),
+            Formula::True,
+        );
+        let f = Formula::assign(
+            "x",
+            agg,
+            Formula::cmp(tdb_relation::CmpOp::Gt, Term::var("x"), Term::lit(0i64)),
+        );
+        let core = to_core(&f);
+        let mut has_prev = false;
+        core.visit(&mut |g| {
+            if matches!(g, Formula::Previously(_)) {
+                has_prev = true;
+            }
+        });
+        assert!(!has_prev);
+        // The aggregate's start formula was also rewritten.
+        if let Formula::Assign { term: Term::Agg(agg), .. } = &core {
+            assert!(matches!(agg.start, Formula::Since(..)));
+        } else {
+            panic!("expected assignment over aggregate");
+        }
+    }
+
+    #[test]
+    fn core_form_is_idempotent() {
+        let f = Formula::previously(Formula::lasttime(Formula::True));
+        let once = to_core(&f);
+        assert_eq!(to_core(&once), once);
+    }
+}

@@ -1,0 +1,217 @@
+//! Aggregate functions and incremental accumulators.
+//!
+//! [`AggFunc::apply`] computes an aggregate over a finished stream of values;
+//! [`Accumulator`] maintains the same aggregate incrementally, one value at a
+//! time, which is what the temporal-aggregate rewriting of Section 6.1.1
+//! compiles into (the generated `CUM_PRICE := CUM_PRICE + price(IBM)` rules).
+
+use std::fmt;
+
+use crate::error::{RelError, Result};
+use crate::expr::{eval_arith, ArithOp};
+use crate::value::Value;
+
+/// The supported aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    /// The most recently sampled value (useful for `executed`-style state).
+    Last,
+}
+
+impl AggFunc {
+    /// Parses the textual name used by the query and PTL parsers.
+    pub fn parse(name: &str) -> Option<AggFunc> {
+        match name.to_ascii_lowercase().as_str() {
+            "count" => Some(AggFunc::Count),
+            "sum" => Some(AggFunc::Sum),
+            "avg" => Some(AggFunc::Avg),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            "last" => Some(AggFunc::Last),
+            _ => None,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Last => "last",
+        }
+    }
+
+    /// Computes the aggregate of an iterator of values. Empty input yields
+    /// `Int(0)` for `Count`/`Sum` and `Null` for the others (SQL convention).
+    pub fn apply(self, values: impl IntoIterator<Item = Value>) -> Result<Value> {
+        let mut acc = Accumulator::new(self);
+        for v in values {
+            acc.push(&v)?;
+        }
+        Ok(acc.current())
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Incremental state for one aggregate.
+///
+/// `Avg` is maintained as `Sum`/`Count`, exactly the decomposition the paper
+/// performs when rewriting `Avg(price(IBM), …)` into `CUM_PRICE` and
+/// `TOTAL_UPDATES` items.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Accumulator {
+    func: AggFunc,
+    count: u64,
+    sum: Value,
+    extreme: Option<Value>,
+    last: Option<Value>,
+}
+
+impl Accumulator {
+    pub fn new(func: AggFunc) -> Accumulator {
+        Accumulator { func, count: 0, sum: Value::Int(0), extreme: None, last: None }
+    }
+
+    pub fn func(&self) -> AggFunc {
+        self.func
+    }
+
+    /// Number of values pushed since the last reset.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Feeds one value. `Null`s are skipped (SQL convention) except for
+    /// `Count`, which counts rows, not non-null values, in this substrate.
+    pub fn push(&mut self, v: &Value) -> Result<()> {
+        self.count += 1;
+        if matches!(v, Value::Null) && self.func != AggFunc::Count {
+            // Do not fold nulls into sums/extremes; still remember for Last.
+            self.last = Some(Value::Null);
+            return Ok(());
+        }
+        match self.func {
+            AggFunc::Count => {}
+            AggFunc::Sum | AggFunc::Avg => {
+                if !v.is_numeric() {
+                    return Err(RelError::TypeError { op: "sum", value: v.to_string() });
+                }
+                self.sum = eval_arith(ArithOp::Add, &self.sum, v)?;
+            }
+            AggFunc::Min => {
+                let better = self.extreme.as_ref().is_none_or(|m| v < m);
+                if better {
+                    self.extreme = Some(v.clone());
+                }
+            }
+            AggFunc::Max => {
+                let better = self.extreme.as_ref().is_none_or(|m| v > m);
+                if better {
+                    self.extreme = Some(v.clone());
+                }
+            }
+            AggFunc::Last => {}
+        }
+        self.last = Some(v.clone());
+        Ok(())
+    }
+
+    /// The aggregate of everything pushed so far.
+    pub fn current(&self) -> Value {
+        match self.func {
+            AggFunc::Count => Value::Int(self.count as i64),
+            AggFunc::Sum => self.sum.clone(),
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    let sum = self.sum.as_f64().unwrap_or(0.0);
+                    Value::float(sum / self.count as f64)
+                }
+            }
+            AggFunc::Min | AggFunc::Max => self.extreme.clone().unwrap_or(Value::Null),
+            AggFunc::Last => self.last.clone().unwrap_or(Value::Null),
+        }
+    }
+
+    /// Resets to the initial state — the action of the generated rule whose
+    /// condition is the aggregate's *starting formula*.
+    pub fn reset(&mut self) {
+        *self = Accumulator::new(self.func);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(vs: &[i64]) -> Vec<Value> {
+        vs.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn apply_basic() {
+        assert_eq!(AggFunc::Count.apply(ints(&[1, 2, 3])).unwrap(), Value::Int(3));
+        assert_eq!(AggFunc::Sum.apply(ints(&[1, 2, 3])).unwrap(), Value::Int(6));
+        assert_eq!(AggFunc::Avg.apply(ints(&[1, 2, 3])).unwrap(), Value::float(2.0));
+        assert_eq!(AggFunc::Min.apply(ints(&[3, 1, 2])).unwrap(), Value::Int(1));
+        assert_eq!(AggFunc::Max.apply(ints(&[3, 1, 2])).unwrap(), Value::Int(3));
+        assert_eq!(AggFunc::Last.apply(ints(&[3, 1, 2])).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn apply_empty() {
+        assert_eq!(AggFunc::Count.apply(ints(&[])).unwrap(), Value::Int(0));
+        assert_eq!(AggFunc::Sum.apply(ints(&[])).unwrap(), Value::Int(0));
+        assert_eq!(AggFunc::Avg.apply(ints(&[])).unwrap(), Value::Null);
+        assert_eq!(AggFunc::Min.apply(ints(&[])).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn nulls_skipped_except_count() {
+        let vs = vec![Value::Int(4), Value::Null, Value::Int(6)];
+        assert_eq!(AggFunc::Sum.apply(vs.clone()).unwrap(), Value::Int(10));
+        assert_eq!(AggFunc::Count.apply(vs.clone()).unwrap(), Value::Int(3));
+        assert_eq!(AggFunc::Min.apply(vs).unwrap(), Value::Int(4));
+    }
+
+    #[test]
+    fn sum_rejects_strings() {
+        assert!(AggFunc::Sum.apply(vec![Value::str("x")]).is_err());
+    }
+
+    #[test]
+    fn accumulator_reset_matches_fresh() {
+        let mut a = Accumulator::new(AggFunc::Avg);
+        a.push(&Value::Int(100)).unwrap();
+        a.reset();
+        a.push(&Value::Int(2)).unwrap();
+        a.push(&Value::Int(4)).unwrap();
+        assert_eq!(a.current(), Value::float(3.0));
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn mixed_int_float_sum() {
+        let vs = vec![Value::Int(1), Value::float(0.5)];
+        assert_eq!(AggFunc::Sum.apply(vs).unwrap(), Value::float(1.5));
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(AggFunc::parse("AVG"), Some(AggFunc::Avg));
+        assert_eq!(AggFunc::parse("median"), None);
+    }
+}

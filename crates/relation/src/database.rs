@@ -1,0 +1,237 @@
+//! The database catalog: named relations, scalar data items and named
+//! (parameterized) queries.
+//!
+//! A [`Database`] value is one *database state* in the paper's sense — "a
+//! mapping that associates a value from the appropriate domain with each
+//! database item". Snapshots are cheap: relations are stored behind `Arc`s
+//! and copied on write, so the engine can retain one snapshot per system
+//! state without quadratic memory cost.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::error::{RelError, Result};
+use crate::query::Query;
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// A named, parameterized query — the paper's function symbol denoting a
+/// database query (e.g. `price(x)`, `OVERPRICED`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryDef {
+    /// Number of positional parameters `$0..$n-1` the body expects.
+    pub arity: usize,
+    pub body: Query,
+}
+
+impl QueryDef {
+    pub fn new(arity: usize, body: Query) -> QueryDef {
+        QueryDef { arity, body }
+    }
+}
+
+/// An immutable-snapshot-friendly database state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Database {
+    relations: BTreeMap<String, Arc<Relation>>,
+    items: BTreeMap<String, Value>,
+    queries: Arc<BTreeMap<String, QueryDef>>,
+}
+
+impl Database {
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    // ---- relations -------------------------------------------------------
+
+    /// Registers a new base relation. Fails if the name is taken.
+    pub fn create_relation(&mut self, name: impl Into<String>, rel: Relation) -> Result<()> {
+        let name = name.into();
+        if self.relations.contains_key(&name) || self.items.contains_key(&name) {
+            return Err(RelError::DuplicateColumn(name));
+        }
+        self.relations.insert(name, Arc::new(rel));
+        Ok(())
+    }
+
+    pub fn relation(&self, name: &str) -> Result<&Relation> {
+        self.relations
+            .get(name)
+            .map(|a| a.as_ref())
+            .ok_or_else(|| RelError::UnknownTable(name.to_string()))
+    }
+
+    /// Mutable access to a relation (copy-on-write under the snapshot `Arc`).
+    pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation> {
+        self.relations
+            .get_mut(name)
+            .map(Arc::make_mut)
+            .ok_or_else(|| RelError::UnknownTable(name.to_string()))
+    }
+
+    /// Replaces a relation wholesale.
+    pub fn set_relation(&mut self, name: &str, rel: Relation) -> Result<()> {
+        match self.relations.get_mut(name) {
+            Some(slot) => {
+                *slot = Arc::new(rel);
+                Ok(())
+            }
+            None => Err(RelError::UnknownTable(name.to_string())),
+        }
+    }
+
+    pub fn relation_names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+
+    pub fn insert_tuple(&mut self, name: &str, t: Tuple) -> Result<bool> {
+        self.relation_mut(name)?.insert(t)
+    }
+
+    pub fn delete_tuple(&mut self, name: &str, t: &Tuple) -> Result<bool> {
+        Ok(self.relation_mut(name)?.remove(t))
+    }
+
+    // ---- scalar data items ----------------------------------------------
+
+    /// Registers or overwrites a scalar data item (aggregate registers, the
+    /// `time` pseudo-item, etc.).
+    pub fn set_item(&mut self, name: impl Into<String>, v: Value) {
+        self.items.insert(name.into(), v);
+    }
+
+    pub fn item(&self, name: &str) -> Result<Value> {
+        self.items
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RelError::UnknownItem(name.to_string()))
+    }
+
+    pub fn has_item(&self, name: &str) -> bool {
+        self.items.contains_key(name)
+    }
+
+    pub fn item_names(&self) -> impl Iterator<Item = &str> {
+        self.items.keys().map(String::as_str)
+    }
+
+    // ---- named queries (function symbols) --------------------------------
+
+    /// Registers a named query. Named queries are shared across snapshots
+    /// (they are schema-level, not state-level, objects).
+    pub fn define_query(&mut self, name: impl Into<String>, def: QueryDef) {
+        Arc::make_mut(&mut self.queries).insert(name.into(), def);
+    }
+
+    pub fn query_def(&self, name: &str) -> Result<&QueryDef> {
+        self.queries
+            .get(name)
+            .ok_or_else(|| RelError::UnknownTable(name.to_string()))
+    }
+
+    /// Evaluates a named query with arguments, checking arity.
+    pub fn eval_named(&self, name: &str, args: &[Value]) -> Result<Relation> {
+        let def = self.query_def(name)?;
+        if args.len() != def.arity {
+            return Err(RelError::Arity {
+                name: name.to_string(),
+                expected: def.arity,
+                found: args.len(),
+            });
+        }
+        def.body.eval(self, args)
+    }
+
+    /// Evaluates a named query to a scalar (`Null` on a 1-column empty
+    /// result, consistent with [`Query::eval_scalar`]).
+    pub fn eval_named_scalar(&self, name: &str, args: &[Value]) -> Result<Value> {
+        let def = self.query_def(name)?;
+        if args.len() != def.arity {
+            return Err(RelError::Arity {
+                name: name.to_string(),
+                expected: def.arity,
+                found: args.len(),
+            });
+        }
+        def.body.eval_scalar(self, args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpOp, ScalarExpr};
+    use crate::schema::{DType, Schema};
+    use crate::tuple;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(
+            "STOCK",
+            Relation::from_rows(
+                Schema::of(&[("name", DType::Str), ("price", DType::Int)]),
+                vec![tuple!["IBM", 72i64]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.define_query(
+            "price",
+            QueryDef::new(
+                1,
+                Query::table("STOCK")
+                    .select(ScalarExpr::cmp(
+                        CmpOp::Eq,
+                        ScalarExpr::col("name"),
+                        ScalarExpr::Param(0),
+                    ))
+                    .project_cols(&["price"]),
+            ),
+        );
+        db
+    }
+
+    #[test]
+    fn named_query_checks_arity() {
+        let db = db();
+        assert_eq!(db.eval_named_scalar("price", &[Value::str("IBM")]).unwrap(), Value::Int(72));
+        assert!(matches!(db.eval_named("price", &[]), Err(RelError::Arity { .. })));
+        assert!(db.eval_named("nope", &[]).is_err());
+    }
+
+    #[test]
+    fn snapshots_are_independent() {
+        let mut a = db();
+        let b = a.clone();
+        a.insert_tuple("STOCK", tuple!["DEC", 45i64]).unwrap();
+        assert_eq!(a.relation("STOCK").unwrap().len(), 2);
+        assert_eq!(b.relation("STOCK").unwrap().len(), 1, "snapshot must not see the write");
+    }
+
+    #[test]
+    fn items_set_and_get() {
+        let mut d = db();
+        assert!(d.item("CUM_PRICE").is_err());
+        d.set_item("CUM_PRICE", Value::Int(0));
+        assert_eq!(d.item("CUM_PRICE").unwrap(), Value::Int(0));
+        assert!(d.has_item("CUM_PRICE"));
+        let names: Vec<_> = d.item_names().collect();
+        assert_eq!(names, vec!["CUM_PRICE"]);
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let mut d = db();
+        assert!(d.create_relation("STOCK", Relation::empty(Schema::untyped(&["x"]))).is_err());
+    }
+
+    #[test]
+    fn delete_tuple_roundtrip() {
+        let mut d = db();
+        assert!(d.delete_tuple("STOCK", &tuple!["IBM", 72i64]).unwrap());
+        assert!(!d.delete_tuple("STOCK", &tuple!["IBM", 72i64]).unwrap());
+        assert!(d.relation("STOCK").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,49 @@
+//! # tdb-relation
+//!
+//! The relational substrate of `temporal-adb` — the "regular query language"
+//! that Past Temporal Logic is parameterized by in
+//! *Sistla & Wolfson, Temporal Conditions and Integrity Constraints in
+//! Active Database Systems (SIGMOD 1995)*.
+//!
+//! It provides:
+//!
+//! * [`Value`] / [`Timestamp`] — a totally ordered dynamic value domain,
+//!   including relation-valued values for the PTL assignment operator;
+//! * [`Schema`], [`Tuple`], [`Relation`] — deterministic set-semantics
+//!   relations;
+//! * [`ScalarExpr`] — row-level expressions with checked arithmetic;
+//! * [`Query`] — a relational algebra (σ, π, ⨯, ∪, −, ∩, ρ, γ) with
+//!   positional parameters, so queries can serve as the paper's n-ary
+//!   function symbols (`price(x)`, `OVERPRICED`);
+//! * [`AggFunc`] / [`Accumulator`] — aggregate functions with incremental
+//!   accumulators (the building block of Section 6's temporal aggregates);
+//! * [`Database`] — a snapshot-friendly catalog of relations, scalar data
+//!   items and named queries;
+//! * [`parse_query`] / [`parse_expr`] — a textual surface syntax.
+
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
+mod aggregate;
+mod database;
+mod error;
+mod expr;
+pub mod lexer;
+mod parser;
+mod query;
+#[allow(clippy::module_inception)]
+mod relation;
+mod schema;
+mod tuple;
+mod value;
+
+pub use aggregate::{Accumulator, AggFunc};
+pub use database::{Database, QueryDef};
+pub use error::{RelError, Result};
+pub use expr::{eval_arith, ArithOp, CmpOp, ScalarExpr};
+pub use parser::{parse_expr, parse_query};
+pub use query::{AggItem, ProjItem, Query};
+pub use relation::Relation;
+pub use schema::{Column, DType, Schema};
+pub use tuple::Tuple;
+pub use value::{Timestamp, Value};

@@ -1,0 +1,99 @@
+//! Login audit: events, `Since`, and free-variable parameter passing.
+//!
+//! The introduction's motivating condition — "the value of attribute A
+//! remains positive while user X is logged in" — generalized to *any* user
+//! via a free variable bound by the login event, plus an escalation rule
+//! that reacts when the same user triggers twice.
+//!
+//! ```text
+//! cargo run --example login_audit
+//! ```
+
+use temporal_adb::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = Database::new();
+    db.set_item("A", Value::Int(5));
+    db.define_query("a", QueryDef::new(0, Query::item("A")));
+    db.create_relation("AUDIT", Relation::empty(Schema::untyped(&["user", "kind"])))?;
+
+    let mut adb = ActiveDatabase::new(db);
+
+    // Violation: A ≤ 0 while user `u` is logged in. The free variable `u`
+    // is range-restricted by the login event (safety via generators); the
+    // firing binds it and the action writes it to the audit table.
+    adb.add_rule(
+        Rule::trigger(
+            "session_violation",
+            parse_formula("a() <= 0 and (not @logout(u) since @login(u))")?,
+            Action::DbOps(vec![ActionOp::Insert {
+                relation: "AUDIT".into(),
+                tuple: vec![Term::var("u"), Term::lit("violation")],
+            }]),
+        )
+        .recording_executed(),
+    )?;
+
+    // Escalation: the same user violated twice at different times.
+    adb.add_rule(Rule::trigger(
+        "repeat_offender",
+        parse_formula(
+            "executed(session_violation, u, s1) \
+             and executed(session_violation, u, s2) and s1 < s2",
+        )?
+        ,
+        Action::DbOps(vec![ActionOp::Insert {
+            relation: "AUDIT".into(),
+            tuple: vec![Term::var("u"), Term::lit("escalated")],
+        }]),
+    ))?;
+
+    // ---- scenario ------------------------------------------------------------
+    let log = |adb: &mut ActiveDatabase, what: &str| {
+        println!(
+            "t={:>2}  {:<22} A={:?}",
+            adb.now().0,
+            what,
+            adb.db().item("A").map(|v| v.to_string()).unwrap_or_default()
+        );
+    };
+
+    adb.advance_clock(1)?;
+    adb.emit(Event::new("login", vec![Value::str("alice")]))?;
+    log(&mut adb, "alice logs in");
+
+    adb.advance_clock(1)?;
+    adb.emit(Event::new("login", vec![Value::str("bob")]))?;
+    log(&mut adb, "bob logs in");
+
+    adb.advance_clock(1)?;
+    adb.update([WriteOp::SetItem { item: "A".into(), value: Value::Int(-3) }])?;
+    log(&mut adb, "A drops to -3  (both!)");
+
+    adb.advance_clock(1)?;
+    adb.emit(Event::new("logout", vec![Value::str("bob")]))?;
+    adb.advance_clock(1)?;
+    adb.update([WriteOp::SetItem { item: "A".into(), value: Value::Int(4) }])?;
+    log(&mut adb, "A recovers; bob out");
+
+    adb.advance_clock(1)?;
+    adb.update([WriteOp::SetItem { item: "A".into(), value: Value::Int(-1) }])?;
+    log(&mut adb, "A drops again (alice)");
+
+    println!("\nfirings:");
+    for f in adb.firings() {
+        let who = f.env.get("u").map(|v| v.to_string()).unwrap_or_default();
+        println!("  t={:>2}  {:<18} {}", f.time.0, f.rule, who);
+    }
+
+    let audit = adb.db().relation("AUDIT")?;
+    println!("\nAUDIT table:\n{audit}");
+
+    // Both users violated at t=3; only alice (still logged in) violates at
+    // t=6, making her a repeat offender.
+    assert!(audit.contains(&tuple!["alice", "violation"]));
+    assert!(audit.contains(&tuple!["bob", "violation"]));
+    assert!(audit.contains(&tuple!["alice", "escalated"]));
+    assert!(!audit.contains(&tuple!["bob", "escalated"]));
+    Ok(())
+}

@@ -1,0 +1,30 @@
+"""Fills EXPERIMENTS.md {{EN}} placeholders from harness_output.txt."""
+import re, sys
+
+out = open("harness_output.txt").read()
+md = open("EXPERIMENTS.md").read()
+
+# Split harness output into tables keyed by experiment id.
+tables = {}
+current = None
+for line in out.splitlines():
+    m = re.match(r"== (E\d+):", line)
+    if m:
+        current = m.group(1)
+        tables[current] = [line]
+    elif current and line.strip():
+        tables[current].append(line)
+    elif current and not line.strip():
+        current = None
+
+missing = []
+for key, lines in tables.items():
+    placeholder = "{{" + key + "}}"
+    if placeholder in md:
+        md = md.replace(placeholder, "\n".join(lines))
+    else:
+        missing.append(key)
+
+left = re.findall(r"\{\{E\d+\}\}", md)
+open("EXPERIMENTS.md", "w").write(md)
+print("filled:", sorted(tables.keys()), "unfilled:", left, "no-slot:", missing)

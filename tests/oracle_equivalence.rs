@@ -1,0 +1,192 @@
+//! Property tests: the incremental evaluator (Theorem 1) agrees with the
+//! naive reference semantics on randomized histories and a grammar of
+//! formulas — the central correctness property of the reproduction.
+
+use proptest::prelude::*;
+
+use temporal_adb::core::{EvalConfig, IncrementalEvaluator};
+use temporal_adb::prelude::*;
+
+/// Builds a stock engine and applies a price/event script. Each step is
+/// either a price update or a user event.
+#[derive(Debug, Clone)]
+enum Step {
+    Price(i64),
+    Event(&'static str),
+}
+
+fn apply_script(steps: &[Step]) -> Engine {
+    let mut db = Database::new();
+    db.create_relation("STOCK", Relation::empty(Schema::untyped(&["name", "price"])))
+        .unwrap();
+    db.define_query(
+        "price",
+        QueryDef::new(1, parse_query("select price from STOCK where name = $0").unwrap()),
+    );
+    db.define_query("names", QueryDef::new(0, parse_query("select name from STOCK").unwrap()));
+    let mut e = Engine::new(db);
+    for s in steps {
+        e.advance_clock(1).unwrap();
+        match s {
+            Step::Price(p) => {
+                let old = e
+                    .db()
+                    .relation("STOCK")
+                    .unwrap()
+                    .iter()
+                    .find(|t| t.get(0) == Some(&Value::str("IBM")))
+                    .cloned();
+                let mut ops = Vec::new();
+                if let Some(old) = old {
+                    ops.push(WriteOp::Delete { relation: "STOCK".into(), tuple: old });
+                }
+                ops.push(WriteOp::Insert {
+                    relation: "STOCK".into(),
+                    tuple: tuple!["IBM", *p],
+                });
+                e.apply_update(ops).unwrap();
+            }
+            Step::Event(name) => {
+                e.emit_event(Event::simple(*name)).unwrap();
+            }
+        }
+    }
+    e
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (1i64..60).prop_map(Step::Price),
+        Just(Step::Event("ping")),
+        Just(Step::Event("pong")),
+    ]
+}
+
+/// A small grammar of *closed* PTL formulas over the stock schema.
+fn formula_strategy() -> impl Strategy<Value = String> {
+    let atom = prop_oneof![
+        (1i64..60).prop_map(|c| format!("price(\"IBM\") > {c}")),
+        (1i64..60).prop_map(|c| format!("price(\"IBM\") <= {c}")),
+        Just("@ping".to_string()),
+        Just("@pong".to_string()),
+        (1i64..40).prop_map(|c| format!("time >= {c}")),
+    ];
+    let leaf = atom.prop_map(|a| format!("({a})"));
+    let tree = leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| format!("(not {f})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} and {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} or {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} since {b})")),
+            inner.clone().prop_map(|f| format!("(lasttime {f})")),
+            inner.clone().prop_map(|f| format!("(previously {f})")),
+            inner.clone().prop_map(|f| format!("(throughout_past {f})")),
+        ]
+    });
+    // A single (optional) top-level assignment keeps the single-assignment
+    // normal form while still exercising substitution.
+    (tree, any::<bool>()).prop_map(|(f, assign)| {
+        if assign {
+            format!("[v := price(\"IBM\")] ({f} and (v > 0 or not (v > 0)))")
+        } else {
+            f
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Incremental firing == naive evaluation, at every state, for random
+    /// closed formulas over random histories.
+    #[test]
+    fn incremental_matches_naive(
+        steps in proptest::collection::vec(step_strategy(), 1..24),
+        src in formula_strategy(),
+    ) {
+        let engine = apply_script(&steps);
+        let f = parse_formula(&src).unwrap();
+        let mut ev = IncrementalEvaluator::compile(&f).unwrap();
+        for (i, s) in engine.history().iter() {
+            let inc = !ev.advance_and_fire(s, i).unwrap().is_empty();
+            let naive = temporal_adb::ptl::eval(&f, engine.history(), i, &Default::default())
+                .unwrap();
+            prop_assert_eq!(inc, naive, "formula `{}` state {}", src, i);
+        }
+    }
+
+    /// Pruning never changes the verdict (it only discards clauses no
+    /// future substitution can revive).
+    #[test]
+    fn pruning_is_semantics_preserving(
+        steps in proptest::collection::vec(step_strategy(), 1..24),
+    ) {
+        let engine = apply_script(&steps);
+        let f = parse_formula(
+            "[t := time] [x := price(\"IBM\")] \
+             previously(price(\"IBM\") <= 0.5 * x and time >= t - 7)",
+        ).unwrap();
+        let mut pruned = IncrementalEvaluator::compile(&f).unwrap();
+        let mut unpruned = IncrementalEvaluator::new(
+            &f,
+            EvalConfig { pruning: false, max_residual: usize::MAX },
+        ).unwrap();
+        for (i, s) in engine.history().iter() {
+            let a = !pruned.advance_and_fire(s, i).unwrap().is_empty();
+            let b = !unpruned.advance_and_fire(s, i).unwrap().is_empty();
+            prop_assert_eq!(a, b, "state {}", i);
+        }
+        prop_assert!(pruned.retained_size() <= unpruned.retained_size());
+    }
+
+    /// Free-variable binding extraction agrees with the oracle's generator
+    /// enumeration.
+    #[test]
+    fn bindings_match_oracle(
+        steps in proptest::collection::vec(step_strategy(), 1..16),
+        threshold in 1i64..60,
+    ) {
+        let engine = apply_script(&steps);
+        let f = parse_formula(
+            &format!("x in names() and price(x) >= {threshold}"),
+        ).unwrap();
+        let mut ev = IncrementalEvaluator::compile(&f).unwrap();
+        for (i, s) in engine.history().iter() {
+            let inc: Vec<_> = ev
+                .advance_and_fire(s, i)
+                .unwrap()
+                .into_iter()
+                .map(|e| e["x"].clone())
+                .collect();
+            let naive: Vec<_> = temporal_adb::ptl::fire_bindings(
+                &f, engine.history(), i, &Default::default(),
+            )
+            .unwrap()
+            .into_iter()
+            .map(|e| e["x"].clone())
+            .collect();
+            prop_assert_eq!(&inc, &naive, "state {}", i);
+        }
+    }
+
+    /// The aux-relation strategy agrees with the formula-state strategy on
+    /// decomposable conditions.
+    #[test]
+    fn auxrel_matches_incremental(
+        steps in proptest::collection::vec(step_strategy(), 1..24),
+        window in 3i64..12,
+    ) {
+        let engine = apply_script(&steps);
+        let f = parse_formula(&format!(
+            "[t := time] [x := price(\"IBM\")] \
+             previously(price(\"IBM\") <= 0.5 * x and time >= t - {window})",
+        )).unwrap();
+        let mut inc = IncrementalEvaluator::compile(&f).unwrap();
+        let mut aux = temporal_adb::core::AuxEvaluator::new(f.clone(), None).unwrap();
+        for (i, s) in engine.history().iter() {
+            let a = !inc.advance_and_fire(s, i).unwrap().is_empty();
+            let b = aux.advance(s).unwrap();
+            prop_assert_eq!(a, b, "state {}", i);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Spot checks tying implementation details back to specific sentences of
+//! the paper.
+
+use temporal_adb::core::ManagerConfig;
+use temporal_adb::prelude::*;
+
+/// "Two or more events may occur simultaneously, but if so, then a single
+/// new database state is added to the history" — a condition over two
+/// simultaneous events is satisfiable at one state.
+#[test]
+fn simultaneous_events_share_a_state() {
+    let mut adb = ActiveDatabase::new(Database::new());
+    adb.add_rule(Rule::trigger(
+        "both",
+        parse_formula("@fire_alarm and @door_open").unwrap(),
+        Action::Notify,
+    ))
+    .unwrap();
+    adb.advance_clock(1).unwrap();
+    // Sequential events never co-occur…
+    adb.emit(Event::simple("fire_alarm")).unwrap();
+    adb.emit(Event::simple("door_open")).unwrap();
+    assert!(adb.firings().is_empty());
+    // …but one state may carry both.
+    adb.emit_all(EventSet::of([
+        Event::simple("fire_alarm"),
+        Event::simple("door_open"),
+    ]))
+    .unwrap();
+    assert_eq!(adb.firings().len(), 1);
+}
+
+/// "We assume that the value of this time stamp is given by a data-item
+/// called time" — `time` is an ordinary item readable by queries.
+#[test]
+fn time_is_a_queryable_data_item() {
+    let mut db = Database::new();
+    db.define_query(
+        "now",
+        QueryDef::new(0, Query::item(temporal_adb::engine::TIME_ITEM)),
+    );
+    let mut adb = ActiveDatabase::new(db);
+    adb.add_rule(Rule::trigger(
+        "at_nine",
+        parse_formula("now() = 540").unwrap(),
+        Action::Notify,
+    ))
+    .unwrap();
+    adb.advance_clock(539).unwrap();
+    adb.tick().unwrap();
+    assert!(adb.firings().is_empty());
+    adb.advance_clock(1).unwrap();
+    adb.tick().unwrap(); // now = 540
+    assert_eq!(adb.firings().len(), 1);
+}
+
+/// The SHARP-INCREASE shape the paper calls natural-but-unsafe in
+/// Chomicki's logic: a free stock name whose price is compared across two
+/// instants. Safe here because the membership generator range-restricts it.
+#[test]
+fn sharp_increase_with_free_stock_variable() {
+    let mut db = Database::new();
+    db.create_relation("STOCK", Relation::empty(Schema::untyped(&["name", "price"])))
+        .unwrap();
+    db.define_query(
+        "price",
+        QueryDef::new(1, parse_query("select price from STOCK where name = $0").unwrap()),
+    );
+    db.define_query("names", QueryDef::new(0, parse_query("select name from STOCK").unwrap()));
+    let mut adb = ActiveDatabase::new(db);
+    // Some listed stock tripled since the previous state: the same term
+    // price(x) denotes different instants inside and outside Lasttime —
+    // the incremental evaluator snapshots it per state.
+    adb.add_rule(Rule::trigger(
+        "sharp_increase",
+        parse_formula("x in names() and lasttime(price(x) * 3 <= 30) and price(x) >= 30")
+            .unwrap(),
+        Action::Notify,
+    ))
+    .unwrap();
+    let set = |adb: &mut ActiveDatabase, name: &str, p: i64| {
+        let old = adb
+            .db()
+            .relation("STOCK")
+            .unwrap()
+            .iter()
+            .find(|t| t.get(0) == Some(&Value::str(name)))
+            .cloned();
+        let mut ops = Vec::new();
+        if let Some(old) = old {
+            ops.push(WriteOp::Delete { relation: "STOCK".into(), tuple: old });
+        }
+        ops.push(WriteOp::Insert { relation: "STOCK".into(), tuple: tuple![name, p] });
+        adb.advance_clock(1).unwrap();
+        adb.update(ops).unwrap();
+    };
+    set(&mut adb, "IBM", 10); // 10*3 <= 30 qualifies as the "before" state
+    set(&mut adb, "DEC", 90); // DEC listed high, never tripled
+    set(&mut adb, "IBM", 35); // 35 >= 30 and lasttime qualified: fires for IBM
+    let fired: Vec<_> = adb.firings().iter().map(|f| f.env["x"].clone()).collect();
+    assert_eq!(fired, vec![Value::str("IBM")]);
+}
+
+/// "Rules may be associated with relations or object classes, and
+/// evaluated only when an event relating to the object class occurs" —
+/// data-dependency relevance propagates through named queries.
+#[test]
+fn relevance_follows_query_dependencies() {
+    let mut db = Database::new();
+    db.create_relation("A", Relation::empty(Schema::untyped(&["v"]))).unwrap();
+    db.create_relation("B", Relation::empty(Schema::untyped(&["v"]))).unwrap();
+    db.define_query(
+        "count_a",
+        QueryDef::new(0, parse_query("select count(*) as n from A").unwrap()),
+    );
+    let mut adb = ActiveDatabase::with_config(
+        db,
+        ManagerConfig { relevance_filtering: true, ..Default::default() },
+    );
+    adb.add_rule(Rule::trigger(
+        "watch_a",
+        parse_formula("count_a() > 0").unwrap(),
+        Action::Notify,
+    ))
+    .unwrap();
+    adb.advance_clock(1).unwrap();
+    // Updating B is irrelevant to the rule: skipped.
+    adb.update([WriteOp::Insert { relation: "B".into(), tuple: tuple![1i64] }]).unwrap();
+    let skips_after_b = adb.stats().skips;
+    assert!(skips_after_b > 0);
+    // Updating A is relevant: evaluated and fired.
+    adb.update([WriteOp::Insert { relation: "A".into(), tuple: tuple![1i64] }]).unwrap();
+    assert_eq!(adb.firings().len(), 1);
+}
+
+/// Engine-level: at most one transaction commits per instant, enforced
+/// through the facade's auto-ticking.
+#[test]
+fn commits_never_share_an_instant() {
+    let mut adb = ActiveDatabase::new(Database::new());
+    adb.set_item("x", Value::Int(0));
+    adb.advance_clock(1).unwrap();
+    // Two immediate updates without advancing the clock in between.
+    adb.update([WriteOp::SetItem { item: "x".into(), value: Value::Int(1) }]).unwrap();
+    adb.update([WriteOp::SetItem { item: "x".into(), value: Value::Int(2) }]).unwrap();
+    let mut commit_times = Vec::new();
+    for (_, s) in adb.history().iter() {
+        if s.events().commit_count() > 0 {
+            commit_times.push(s.time());
+        }
+    }
+    assert_eq!(commit_times.len(), 2);
+    assert!(commit_times[0] < commit_times[1]);
+}
+
+/// The Dow-Jones condition from the introduction: "the Dow Jones Industrial
+/// Average fell more than 250 points in the last 2 hours."
+#[test]
+fn dow_jones_drop_condition() {
+    let mut db = Database::new();
+    db.set_item("dow", Value::Int(10_000));
+    db.define_query("dow", QueryDef::new(0, Query::item("dow")));
+    let mut adb = ActiveDatabase::new(db);
+    adb.add_rule(Rule::trigger(
+        "dow_drop",
+        parse_formula(
+            "[t := time] [d := dow()] \
+             previously(dow() >= d + 250 and time >= t - 120)",
+        )
+        .unwrap(),
+        Action::Notify,
+    ))
+    .unwrap();
+    let set = |adb: &mut ActiveDatabase, t: i64, v: i64| {
+        while adb.now().0 < t {
+            adb.advance_clock(1).unwrap();
+        }
+        adb.update([WriteOp::SetItem { item: "dow".into(), value: Value::Int(v) }])
+            .unwrap();
+    };
+    set(&mut adb, 10, 10_100); // high point
+    set(&mut adb, 60, 10_000);
+    set(&mut adb, 100, 9_840); // fell 260 from t=10 within 120 → fires
+    assert_eq!(adb.firings().len(), 1);
+    // A slow decline over more than 2 hours must NOT fire.
+    set(&mut adb, 400, 9_700);
+    set(&mut adb, 600, 9_500); // 340 down, but over 200 units
+    assert_eq!(adb.firings().len(), 1, "no new firing for the slow drift");
+}

@@ -1,0 +1,150 @@
+//! Property tests for the residual-formula algebra: the smart constructors
+//! preserve semantics under substitution, and the Section 5 pruning is
+//! sound for monotone clock substitutions.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use temporal_adb::core::residual::{
+    prune_time, rand, rcmp, rnot, ror, solve, subst_env, Env, PTerm, Residual,
+};
+use temporal_adb::relation::{ArithOp, CmpOp, Timestamp, Value};
+
+/// A small symbolic term over variables x, y and the time variable t.
+fn pterm_strategy() -> impl Strategy<Value = Arc<PTerm>> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(PTerm::val),
+        Just(PTerm::var("x")),
+        Just(PTerm::var("y")),
+        Just(PTerm::var("t")),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        (inner.clone(), inner.clone(), 0usize..3).prop_map(|(a, b, op)| {
+            let op = [ArithOp::Add, ArithOp::Sub, ArithOp::Mul][op];
+            PTerm::arith(op, a, b).unwrap_or_else(|_| PTerm::val(0i64))
+        })
+    })
+}
+
+fn cmp_strategy() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Gt),
+    ]
+}
+
+fn residual_strategy() -> impl Strategy<Value = Arc<Residual>> {
+    let atom = (cmp_strategy(), pterm_strategy(), pterm_strategy())
+        .prop_map(|(op, a, b)| rcmp(op, a, b).unwrap_or_else(|_| temporal_adb::core::residual::rfalse()));
+    atom.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(rnot),
+            proptest::collection::vec(inner.clone(), 0..3).prop_map(rand),
+            proptest::collection::vec(inner.clone(), 0..3).prop_map(ror),
+        ]
+    })
+}
+
+fn env(x: i64, y: i64, t: i64) -> Env {
+    let mut e = Env::new();
+    e.insert("x".into(), Value::Int(x));
+    e.insert("y".into(), Value::Int(y));
+    e.insert("t".into(), Value::Time(Timestamp(t)));
+    e
+}
+
+/// Ground truth: evaluate a residual under a full environment by
+/// substituting everything (the constructors fold ground formulas).
+fn eval_full(r: &Arc<Residual>, e: &Env) -> Option<bool> {
+    match *subst_env(r, e).ok()? {
+        Residual::True => Some(true),
+        Residual::False => Some(false),
+        _ => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Substitution in any order gives the same verdict.
+    #[test]
+    fn substitution_order_is_irrelevant(
+        r in residual_strategy(),
+        x in -20i64..20, y in -20i64..20, t in 0i64..40,
+    ) {
+        let full = env(x, y, t);
+        let via_x_first = subst_env(&r, &full).ok().map(|s| (*s).clone());
+        // Reverse order.
+        let mut rev = Env::new();
+        for (k, v) in full.iter().rev() {
+            rev.insert(k.clone(), v.clone());
+        }
+        let via_rev = subst_env(&r, &rev).ok().map(|s| (*s).clone());
+        prop_assert_eq!(via_x_first, via_rev);
+    }
+
+    /// Every binding returned by `solve` actually satisfies the residual.
+    #[test]
+    fn solve_is_sound(r in residual_strategy()) {
+        if let Ok(solutions) = solve(&r) {
+            for env in solutions {
+                // Extend with arbitrary values for unmentioned variables:
+                // the solution must hold regardless.
+                let mut full = env.clone();
+                for v in ["x", "y", "t"] {
+                    full.entry(v.into()).or_insert(Value::Int(7));
+                }
+                prop_assert_eq!(
+                    eval_full(&r, &full),
+                    Some(true),
+                    "solution {:?} does not satisfy {}",
+                    env, r
+                );
+            }
+        }
+    }
+
+    /// Pruning with time threshold `now` preserves the verdict for every
+    /// substitution whose t is strictly greater than `now` (which is how
+    /// the evaluator uses it).
+    #[test]
+    fn pruning_is_sound_for_future_clocks(
+        r in residual_strategy(),
+        x in -20i64..20, y in -20i64..20,
+        now in 0i64..30,
+        ahead in 1i64..10,
+    ) {
+        let tv: BTreeSet<String> = ["t".to_string()].into();
+        let pruned = prune_time(&r, Timestamp(now), &tv);
+        let e = env(x, y, now + ahead);
+        prop_assert_eq!(
+            eval_full(&r, &e),
+            eval_full(&pruned, &e),
+            "pruned {} vs original {} at t={}",
+            pruned, r, now + ahead
+        );
+    }
+
+    /// The boolean constructors satisfy De Morgan-style laws under full
+    /// substitution.
+    #[test]
+    fn constructors_respect_boolean_semantics(
+        a in residual_strategy(),
+        b in residual_strategy(),
+        x in -20i64..20, y in -20i64..20, t in 0i64..40,
+    ) {
+        let e = env(x, y, t);
+        let (va, vb) = (eval_full(&a, &e), eval_full(&b, &e));
+        if let (Some(va), Some(vb)) = (va, vb) {
+            prop_assert_eq!(eval_full(&rand([a.clone(), b.clone()]), &e), Some(va && vb));
+            prop_assert_eq!(eval_full(&ror([a.clone(), b.clone()]), &e), Some(va || vb));
+            prop_assert_eq!(eval_full(&rnot(a.clone()), &e), Some(!va));
+        }
+    }
+}

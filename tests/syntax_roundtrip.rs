@@ -1,0 +1,99 @@
+//! Property test: the PTL pretty-printer and parser are mutual inverses —
+//! `parse(display(f)) == f` for every formula the generator produces
+//! (modulo the core-form rewriting both sides share).
+
+use proptest::prelude::*;
+
+use temporal_adb::prelude::*;
+use temporal_adb::relation::CmpOp;
+
+fn term_strategy() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        (-50i64..50).prop_map(Term::lit),
+        Just(Term::Time),
+        "[a-z][a-z0-9]{0,3}".prop_map(Term::var),
+        ("[A-Z]{2,4}", any::<bool>()).prop_map(|(name, with_arg)| {
+            if with_arg {
+                Term::query("price", vec![Term::Const(Value::str(name))])
+            } else {
+                Term::query("names", vec![])
+            }
+        }),
+    ];
+    leaf.prop_recursive(2, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Term::add(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Term::sub(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Term::mul(a, b)),
+            inner.clone().prop_map(|a| Term::Abs(Box::new(a))),
+        ]
+    })
+}
+
+fn cmp_strategy() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Gt),
+    ]
+}
+
+fn formula_strategy() -> impl Strategy<Value = Formula> {
+    let atom = prop_oneof![
+        Just(Formula::True),
+        Just(Formula::False),
+        (cmp_strategy(), term_strategy(), term_strategy())
+            .prop_map(|(op, a, b)| Formula::cmp(op, a, b)),
+        "[a-z][a-z0-9]{0,3}".prop_map(|e| Formula::event(e, vec![])),
+        ("[a-z][a-z0-9]{0,3}", "[a-z][a-z]{0,2}").prop_map(|(e, v)| {
+            Formula::event(e, vec![Term::var(v)])
+        }),
+    ];
+    atom.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Formula::not),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::And(vec![a, b])),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::Or(vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::since(a, b)),
+            inner.clone().prop_map(Formula::lasttime),
+            inner.clone().prop_map(Formula::previously),
+            inner.clone().prop_map(Formula::throughout_past),
+            ("[a-z][a-z]{0,2}", term_strategy(), inner.clone())
+                .prop_map(|(v, t, body)| Formula::assign(v, t, body)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn display_then_parse_is_identity(f in formula_strategy()) {
+        let text = f.to_string();
+        let parsed = parse_formula(&text)
+            .unwrap_or_else(|e| panic!("reparse failed on `{text}`: {e}"));
+        prop_assert_eq!(&parsed, &f, "text was `{}`", text);
+    }
+
+    #[test]
+    fn term_display_then_parse_is_identity(t in term_strategy()) {
+        let text = t.to_string();
+        let parsed = parse_term(&text)
+            .unwrap_or_else(|e| panic!("reparse failed on `{text}`: {e}"));
+        prop_assert_eq!(&parsed, &t, "text was `{}`", text);
+    }
+
+    /// Core-form rewriting preserves free variables and referenced names.
+    #[test]
+    fn core_rewrite_preserves_interface(f in formula_strategy()) {
+        let core = temporal_adb::ptl::to_core(&f);
+        prop_assert_eq!(core.free_vars(), f.free_vars());
+        prop_assert_eq!(core.event_names(), f.event_names());
+        prop_assert_eq!(core.query_names(), f.query_names());
+    }
+}
