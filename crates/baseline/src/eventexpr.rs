@@ -125,8 +125,7 @@ impl EventExpr {
 
     /// Compiles to a DFA over the expression's alphabet (plus `Other`).
     pub fn compile(&self) -> Dfa {
-        let mut alphabet: Vec<Sym> =
-            self.alphabet().into_iter().map(Sym::Event).collect();
+        let mut alphabet: Vec<Sym> = self.alphabet().into_iter().map(Sym::Event).collect();
         alphabet.push(Sym::Other);
         compile_expr(self, &alphabet)
     }
@@ -149,16 +148,12 @@ fn compile_expr(e: &EventExpr, alphabet: &[Sym]) -> Dfa {
                 EventExpr::Seq(a, b) => {
                     compile_expr(a, alphabet).concat(&compile_expr(b, alphabet))
                 }
-                EventExpr::Alt(a, b) => {
-                    compile_expr(a, alphabet).union(&compile_expr(b, alphabet))
-                }
+                EventExpr::Alt(a, b) => compile_expr(a, alphabet).union(&compile_expr(b, alphabet)),
                 EventExpr::Star(a) => compile_expr(a, alphabet).star(),
                 _ => unreachable!("atoms are always regular"),
             }
         }
-        EventExpr::And(a, b) => {
-            compile_expr(a, alphabet).intersect(&compile_expr(b, alphabet))
-        }
+        EventExpr::And(a, b) => compile_expr(a, alphabet).intersect(&compile_expr(b, alphabet)),
         EventExpr::Not(a) => compile_expr(a, alphabet).complement(),
     }
 }
@@ -258,7 +253,9 @@ impl Nfa {
         let mut transitions = self.transitions.clone();
         for row in &other.transitions {
             transitions.push(
-                row.iter().map(|(sym, t)| (sym.clone(), t + offset)).collect(),
+                row.iter()
+                    .map(|(sym, t)| (sym.clone(), t + offset))
+                    .collect(),
             );
         }
         transitions[self.accept].push((None, other.start + offset));
@@ -281,7 +278,12 @@ impl Nfa {
         transitions[s].push((None, a));
         transitions[self.accept].push((None, self.start));
         transitions[self.accept].push((None, a));
-        Nfa { transitions, start: s, accept: a, alphabet: self.alphabet.clone() }
+        Nfa {
+            transitions,
+            start: s,
+            accept: a,
+            alphabet: self.alphabet.clone(),
+        }
     }
 
     fn eps_closure(&self, set: &BTreeSet<usize>) -> BTreeSet<usize> {
@@ -328,7 +330,12 @@ impl Nfa {
                 transitions[id].insert(sym.clone(), next_id);
             }
         }
-        Dfa { transitions, accepting, start: 0, alphabet: self.alphabet.clone() }
+        Dfa {
+            transitions,
+            accepting,
+            start: 0,
+            alphabet: self.alphabet.clone(),
+        }
     }
 }
 
@@ -405,7 +412,12 @@ impl Dfa {
                 transitions[id].insert(sym.clone(), next_id);
             }
         }
-        Dfa { transitions, accepting, start: 0, alphabet }
+        Dfa {
+            transitions,
+            accepting,
+            start: 0,
+            alphabet,
+        }
     }
 
     /// Concatenation via NFA round-trip (re-determinize).
@@ -434,7 +446,12 @@ impl Dfa {
                 transitions[s].push((None, accept));
             }
         }
-        Nfa { transitions, start: self.start, accept, alphabet: self.alphabet.clone() }
+        Nfa {
+            transitions,
+            start: self.start,
+            accept,
+            alphabet: self.alphabet.clone(),
+        }
     }
 
     /// Hopcroft-style state minimization (partition refinement).
@@ -448,8 +465,11 @@ impl Dfa {
             let mut sig_ids: BTreeMap<(usize, Vec<usize>), usize> = BTreeMap::new();
             let mut next_class = vec![0usize; n];
             for s in 0..n {
-                let sig: Vec<usize> =
-                    self.alphabet.iter().map(|sym| class[self.step(s, sym)]).collect();
+                let sig: Vec<usize> = self
+                    .alphabet
+                    .iter()
+                    .map(|sym| class[self.step(s, sym)])
+                    .collect();
                 let key = (class[s], sig);
                 let id = sig_ids.len();
                 let id = *sig_ids.entry(key).or_insert(id);
@@ -499,7 +519,10 @@ impl Dfa {
 
     /// A streaming matcher starting at the initial state.
     pub fn matcher(&self) -> Matcher<'_> {
-        Matcher { dfa: self, state: self.start }
+        Matcher {
+            dfa: self,
+            state: self.start,
+        }
     }
 }
 
@@ -539,7 +562,10 @@ impl<'a> Matcher<'a> {
 ///
 /// Precedence (loosest to tightest): `|`, `&`, `;`, postfix `*`, prefix `!`.
 pub fn parse_event_expr(src: &str) -> Result<EventExpr, String> {
-    let mut p = Parser { src: src.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        src: src.as_bytes(),
+        pos: 0,
+    };
     let e = p.alt()?;
     p.skip_ws();
     if p.pos != p.src.len() {
@@ -677,7 +703,10 @@ mod tests {
         let d = dfa("(a | b)* ; c");
         assert!(d.accepts(["c"]));
         assert!(d.accepts(["a", "b", "b", "a", "c"]));
-        assert!(!d.accepts(["a", "c", "c", "c"]), "only one trailing c allowed");
+        assert!(
+            !d.accepts(["a", "c", "c", "c"]),
+            "only one trailing c allowed"
+        );
         assert!(!d.accepts(["a"]));
     }
 
@@ -708,10 +737,7 @@ mod tests {
         // L_k = Σ* a Σ^{k-1} ("an `a` occurred exactly k events ago").
         // The NFA has O(k) states; the minimal DFA needs ≥ 2^k states.
         for k in [3usize, 5, 7] {
-            let mut expr = EventExpr::seq(
-                EventExpr::star(EventExpr::Any),
-                EventExpr::atom("a"),
-            );
+            let mut expr = EventExpr::seq(EventExpr::star(EventExpr::Any), EventExpr::atom("a"));
             expr = EventExpr::seq(expr, EventExpr::any_n(k - 1));
             let alphabet = vec![Sym::Event("a".into()), Sym::Other];
             let nfa = Nfa::try_build(&expr, &alphabet).unwrap();

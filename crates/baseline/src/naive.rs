@@ -19,7 +19,10 @@ pub struct NaiveDetector {
 
 impl NaiveDetector {
     pub fn new(condition: Formula) -> NaiveDetector {
-        NaiveDetector { condition, history: History::new() }
+        NaiveDetector {
+            condition,
+            history: History::new(),
+        }
     }
 
     /// Number of states accumulated so far.
@@ -35,17 +38,17 @@ impl NaiveDetector {
 
     /// Appends the new state and re-evaluates the condition at it, reading
     /// as much of the history as the formula requires.
-    pub fn advance_and_fire(
-        &mut self,
-        state: &SystemState,
-    ) -> Result<Vec<Env>, PtlError> {
+    pub fn advance_and_fire(&mut self, state: &SystemState) -> Result<Vec<Env>, PtlError> {
         self.observe(state);
         self.fire_now()
     }
 
     /// Re-evaluates the condition at the most recent state.
     pub fn fire_now(&self) -> Result<Vec<Env>, PtlError> {
-        let i = self.history.last_index().expect("at least one state observed");
+        let i = self
+            .history
+            .last_index()
+            .expect("at least one state observed");
         fire_bindings(&self.condition, &self.history, i, &Env::new())
     }
 }
@@ -59,11 +62,17 @@ mod tests {
 
     fn stock_engine() -> Engine {
         let mut db = Database::new();
-        db.create_relation("STOCK", Relation::empty(Schema::untyped(&["name", "price"])))
-            .unwrap();
+        db.create_relation(
+            "STOCK",
+            Relation::empty(Schema::untyped(&["name", "price"])),
+        )
+        .unwrap();
         db.define_query(
             "price",
-            QueryDef::new(1, parse_query("select price from STOCK where name = $0").unwrap()),
+            QueryDef::new(
+                1,
+                parse_query("select price from STOCK where name = $0").unwrap(),
+            ),
         );
         Engine::new(db)
     }
@@ -73,9 +82,15 @@ mod tests {
         let old = e.db().relation("STOCK").unwrap().iter().next().cloned();
         let mut ops = Vec::new();
         if let Some(old) = old {
-            ops.push(WriteOp::Delete { relation: "STOCK".into(), tuple: old });
+            ops.push(WriteOp::Delete {
+                relation: "STOCK".into(),
+                tuple: old,
+            });
         }
-        ops.push(WriteOp::Insert { relation: "STOCK".into(), tuple: tuple!["IBM", p] });
+        ops.push(WriteOp::Insert {
+            relation: "STOCK".into(),
+            tuple: tuple!["IBM", p],
+        });
         e.apply_update(ops).unwrap();
     }
 
@@ -114,10 +129,16 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
-        db.define_query("names", QueryDef::new(0, parse_query("select name from STOCK").unwrap()));
+        db.define_query(
+            "names",
+            QueryDef::new(0, parse_query("select name from STOCK").unwrap()),
+        );
         db.define_query(
             "price",
-            QueryDef::new(1, parse_query("select price from STOCK where name = $0").unwrap()),
+            QueryDef::new(
+                1,
+                parse_query("select price from STOCK where name = $0").unwrap(),
+            ),
         );
         let e = Engine::new(db);
         let f = parse_formula("x in names() and price(x) >= 300").unwrap();

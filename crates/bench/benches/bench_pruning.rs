@@ -16,7 +16,10 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let mut ev = IncrementalEvaluator::new(
                     &f,
-                    EvalConfig { pruning: p, max_residual: usize::MAX },
+                    EvalConfig {
+                        pruning: p,
+                        max_residual: usize::MAX,
+                    },
                 )
                 .unwrap();
                 for (i, s) in engine.history().iter() {

@@ -24,14 +24,21 @@ fn flush() {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let wanted: Vec<String> = args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
+    let wanted: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
     let run = |name: &str| wanted.is_empty() || wanted.iter().any(|w| w == name);
     let seed = 42u64;
 
     if run("e1") {
         mark("e1");
-        let sizes: &[usize] =
-            if quick { &[100, 500, 2_000] } else { &[100, 1_000, 5_000, 20_000] };
+        let sizes: &[usize] = if quick {
+            &[100, 500, 2_000]
+        } else {
+            &[100, 1_000, 5_000, 20_000]
+        };
         let rows = ex::e1_incremental_vs_naive(sizes, seed);
         let body: Vec<Vec<String>> = rows
             .iter()
@@ -49,7 +56,13 @@ fn main() {
             "{}",
             render(
                 "E1: incremental vs naive re-evaluation (per-update µs, tail of history)",
-                &["history", "incremental", "naive", "speedup", "firings agree"],
+                &[
+                    "history",
+                    "incremental",
+                    "naive",
+                    "speedup",
+                    "firings agree"
+                ],
                 &body,
             )
         );
@@ -57,8 +70,11 @@ fn main() {
 
     if run("e2") {
         mark("e2");
-        let sizes: &[usize] =
-            if quick { &[200, 1_000, 4_000] } else { &[200, 2_000, 5_000, 50_000] };
+        let sizes: &[usize] = if quick {
+            &[200, 1_000, 4_000]
+        } else {
+            &[200, 2_000, 5_000, 50_000]
+        };
         let rows = ex::e2_pruning(sizes, seed);
         let body: Vec<Vec<String>> = rows
             .iter()
@@ -84,7 +100,11 @@ fn main() {
 
     if run("e3") {
         mark("e3");
-        let counts: &[usize] = if quick { &[8, 64] } else { &[8, 64, 256, 1_024] };
+        let counts: &[usize] = if quick {
+            &[8, 64]
+        } else {
+            &[8, 64, 256, 1_024]
+        };
         let states = if quick { 200 } else { 500 };
         let rows = ex::e3_relevance(counts, states, seed);
         let body: Vec<Vec<String>> = rows
@@ -104,7 +124,14 @@ fn main() {
             "{}",
             render(
                 "E3: §8 relevance filtering (rule evaluations and µs per state)",
-                &["rules", "evals(filt)", "evals(all)", "µs(filt)", "µs(all)", "agree"],
+                &[
+                    "rules",
+                    "evals(filt)",
+                    "evals(all)",
+                    "µs(filt)",
+                    "µs(all)",
+                    "agree"
+                ],
                 &body,
             )
         );
@@ -112,7 +139,11 @@ fn main() {
 
     if run("e4") {
         mark("e4");
-        let counts: &[usize] = if quick { &[50, 200] } else { &[50, 200, 1_000, 4_000] };
+        let counts: &[usize] = if quick {
+            &[50, 200]
+        } else {
+            &[50, 200, 1_000, 4_000]
+        };
         let rows = ex::e4_aggregates(counts, seed);
         let body: Vec<Vec<String>> = rows
             .iter()
@@ -137,7 +168,11 @@ fn main() {
 
     if run("e5") {
         mark("e5");
-        let ks: &[usize] = if quick { &[2, 4, 6, 8] } else { &[2, 4, 6, 8, 10, 12] };
+        let ks: &[usize] = if quick {
+            &[2, 4, 6, 8]
+        } else {
+            &[2, 4, 6, 8, 10, 12]
+        };
         let rows = ex::e5_eventexpr(ks, 300, seed);
         let body: Vec<Vec<String>> = rows
             .iter()
@@ -158,7 +193,16 @@ fn main() {
             "{}",
             render(
                 "E5: §10 event-expression DFA blowup vs PTL formula states (look-back k)",
-                &["k", "expr", "NFA", "DFA", "minDFA", "PTL size", "PTL state", "agree"],
+                &[
+                    "k",
+                    "expr",
+                    "NFA",
+                    "DFA",
+                    "minDFA",
+                    "PTL size",
+                    "PTL state",
+                    "agree"
+                ],
                 &body,
             )
         );
@@ -166,7 +210,11 @@ fn main() {
 
     if run("e6") {
         mark("e6");
-        let retro: &[u32] = if quick { &[0, 200] } else { &[0, 100, 300, 500] };
+        let retro: &[u32] = if quick {
+            &[0, 200]
+        } else {
+            &[0, 100, 300, 500]
+        };
         let updates = if quick { 150 } else { 400 };
         let rows = ex::e6_validtime(retro, updates, 20, seed);
         let body: Vec<Vec<String>> = rows
@@ -187,7 +235,15 @@ fn main() {
             "{}",
             render(
                 "E6: §9.2 tentative vs definite triggers under retroactive updates",
-                &["retro", "Δ", "tentative µs", "definite µs", "tent fires", "def fires", "lag"],
+                &[
+                    "retro",
+                    "Δ",
+                    "tentative µs",
+                    "definite µs",
+                    "tent fires",
+                    "def fires",
+                    "lag"
+                ],
                 &body,
             )
         );
@@ -262,7 +318,11 @@ fn main() {
 
     if run("e10") {
         mark("e10");
-        let sizes: &[usize] = if quick { &[200, 1_000] } else { &[200, 2_000, 10_000] };
+        let sizes: &[usize] = if quick {
+            &[200, 1_000]
+        } else {
+            &[200, 2_000, 10_000]
+        };
         let rows = ex::e10_auxrel(sizes, seed);
         let body: Vec<Vec<String>> = rows
             .iter()
@@ -281,7 +341,53 @@ fn main() {
             "{}",
             render(
                 "E10: formula-state vs auxiliary-relation strategy (µs/update)",
-                &["history", "F-state µs", "aux-rel µs", "F retained", "aux versions", "agree"],
+                &[
+                    "history",
+                    "F-state µs",
+                    "aux-rel µs",
+                    "F retained",
+                    "aux versions",
+                    "agree"
+                ],
+                &body,
+            )
+        );
+    }
+
+    flush();
+    if run("e12") {
+        mark("e12");
+        let sizes: &[usize] = if quick {
+            &[200, 1_000]
+        } else {
+            &[200, 2_000, 10_000]
+        };
+        let rows = ex::e12_durability(sizes, seed);
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.history_len.to_string(),
+                    r.checkpoint_bytes.to_string(),
+                    r.wal_tail_bytes.to_string(),
+                    f2(r.recovery_ms),
+                    r.ops_replayed.to_string(),
+                    r.state_matches.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render(
+                "E12: Theorem-1 checkpoints — size and recovery latency vs history",
+                &[
+                    "history",
+                    "ckpt bytes",
+                    "wal tail bytes",
+                    "recovery ms",
+                    "replayed",
+                    "matches"
+                ],
                 &body,
             )
         );
@@ -293,11 +399,20 @@ fn main() {
         let rows = ex::e11_worked_examples();
         let body: Vec<Vec<String>> = rows
             .iter()
-            .map(|r| vec![r.example.to_string(), if r.pass { "PASS" } else { "FAIL" }.into()])
+            .map(|r| {
+                vec![
+                    r.example.to_string(),
+                    if r.pass { "PASS" } else { "FAIL" }.into(),
+                ]
+            })
             .collect();
         println!(
             "{}",
-            render("E11: worked examples from the paper", &["example", "result"], &body)
+            render(
+                "E11: worked examples from the paper",
+                &["example", "result"],
+                &body
+            )
         );
     }
     flush();

@@ -4,12 +4,18 @@ use tdb_bench::workload::{ibm_doubled_formula, ticker_engine};
 use tdb_core::{EvalConfig, IncrementalEvaluator};
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2000);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000);
     let engine = ticker_engine(n, 42);
     let f = ibm_doubled_formula();
     let mut ev = IncrementalEvaluator::new(
         &f,
-        EvalConfig { pruning: false, max_residual: usize::MAX },
+        EvalConfig {
+            pruning: false,
+            max_residual: usize::MAX,
+        },
     )
     .unwrap();
     let start = Instant::now();

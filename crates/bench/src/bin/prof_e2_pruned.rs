@@ -12,7 +12,13 @@ fn main() {
     let t0 = Instant::now();
     for (i, s) in engine.history().iter() {
         ev.advance(s, i).unwrap();
-        if i % 10000 == 0 { eprintln!("state {i}: {:?} retained={}", t0.elapsed(), ev.retained_size()); }
+        if i % 10000 == 0 {
+            eprintln!(
+                "state {i}: {:?} retained={}",
+                t0.elapsed(),
+                ev.retained_size()
+            );
+        }
     }
     eprintln!("advance total: {:?}", t0.elapsed());
 }

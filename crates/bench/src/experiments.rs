@@ -10,8 +10,8 @@ use std::time::Instant;
 use tdb_baseline::{EventExpr, NaiveDetector, Nfa, Sym};
 use tdb_core::{
     offline_satisfied, online_satisfied, theorem2_check, Action, ActionOp, ActiveDatabase,
-    AuxEvaluator, DefiniteTriggerRunner, EvalConfig, IncrementalEvaluator, ManagerConfig,
-    Rule, TentativeTriggerRunner,
+    AuxEvaluator, DefiniteTriggerRunner, EvalConfig, IncrementalEvaluator, ManagerConfig, Rule,
+    TentativeTriggerRunner,
 };
 use tdb_engine::{Event, VtEngine, WriteOp};
 use tdb_ptl::{parse_formula, Formula, Term};
@@ -115,7 +115,10 @@ pub fn e2_pruning(sizes: &[usize], seed: u64) -> Vec<E2Row> {
             let mut unpruned = (n <= E2_UNPRUNED_CAP).then(|| {
                 IncrementalEvaluator::new(
                     &f,
-                    EvalConfig { pruning: false, max_residual: usize::MAX },
+                    EvalConfig {
+                        pruning: false,
+                        max_residual: usize::MAX,
+                    },
                 )
                 .expect("compiles")
             });
@@ -155,7 +158,10 @@ pub fn e3_relevance(rule_counts: &[usize], states: usize, seed: u64) -> Vec<E3Ro
             let run = |filtering: bool| -> (u64, f64, Vec<(String, i64)>) {
                 let mut adb = ActiveDatabase::with_config(
                     watch_db(r),
-                    ManagerConfig { relevance_filtering: filtering, ..Default::default() },
+                    ManagerConfig {
+                        relevance_filtering: filtering,
+                        ..Default::default()
+                    },
                 );
                 for i in 0..r {
                     adb.add_rule(Rule::trigger(
@@ -310,7 +316,11 @@ pub fn e5_eventexpr(ks: &[usize], stream_len: usize, seed: u64) -> Vec<E5Row> {
             let mut rng_state = seed | 1;
             for _ in 0..stream_len {
                 rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
-                let name = if (rng_state >> 40).is_multiple_of(3) { "a" } else { "b" };
+                let name = if (rng_state >> 40).is_multiple_of(3) {
+                    "a"
+                } else {
+                    "b"
+                };
                 let idx = engine.emit_event(Event::simple(name)).expect("emit");
                 let s = engine.history().get(idx).expect("retained").clone();
                 let ptl_fired = !ev.advance_and_fire(&s, idx).expect("advance").is_empty();
@@ -365,8 +375,7 @@ pub fn e6_validtime(
             let f = parse_formula("previously(vprice() >= 100)").expect("static");
 
             let mut vt = VtEngine::new(base, max_delay);
-            let mut tentative =
-                TentativeTriggerRunner::new(f.clone(), EvalConfig::default(), 256);
+            let mut tentative = TentativeTriggerRunner::new(f.clone(), EvalConfig::default(), 256);
             let mut definite =
                 DefiniteTriggerRunner::new(&f, EvalConfig::default()).expect("compiles");
             let mut ticker = Ticker::new(seed, 50);
@@ -379,14 +388,21 @@ pub fn e6_validtime(
                 vt.advance_clock(1).expect("clock");
                 rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
                 let retro = (rng_state >> 33) % 1000 < u64::from(rp);
-                let lag = if retro { 1 + ((rng_state >> 17) as i64 % max_delay.max(1)) } else { 0 };
+                let lag = if retro {
+                    1 + ((rng_state >> 17) as i64 % max_delay.max(1))
+                } else {
+                    0
+                };
                 let valid = vt.now().minus(lag).max(Timestamp(0));
                 let txn = vt.begin().expect("begin");
                 let p = ticker.step_with_crashes(0) + 40; // hovers near 100
                 let dirty = vt
                     .update_at(
                         txn,
-                        WriteOp::SetItem { item: "price_IBM".into(), value: Value::Int(p) },
+                        WriteOp::SetItem {
+                            item: "price_IBM".into(),
+                            value: Value::Int(p),
+                        },
                         valid,
                     )
                     .expect("valid-time update");
@@ -457,8 +473,7 @@ pub fn e7_constraints(constraint_counts: &[usize], commits: usize, seed: u64) ->
             for i in 0..c {
                 adb.add_rule(Rule::constraint(
                     format!("cap{i}"),
-                    item_watch_formula(&format!("w{i}"), -1_000_000)
-                        .clone(), // placeholder replaced below
+                    item_watch_formula(&format!("w{i}"), -1_000_000).clone(), // placeholder replaced below
                 ))
                 .expect("registers");
             }
@@ -512,11 +527,13 @@ pub struct E8Result {
 /// `executed` predicate and clock ticks.
 pub fn e8_temporal_action() -> E8Result {
     let mut adb = ActiveDatabase::new(stock_db());
-    adb.set_item("bought", Value::Int(0));
+    adb.set_item("bought", Value::Int(0))
+        .expect("volatile set_item");
     adb.define_query(
         "bought_q",
         tdb_relation::QueryDef::new(0, tdb_relation::Query::item("bought")),
-    );
+    )
+    .expect("volatile define_query");
     // r1: price(IBM) < 60 → (recorded) — C of the paper's example.
     adb.add_rule(
         Rule::trigger(
@@ -538,10 +555,7 @@ pub fn e8_temporal_action() -> E8Result {
             .expect("static"),
             Action::DbOps(vec![ActionOp::SetItem {
                 item: "bought".into(),
-                value: Term::add(
-                    Term::query("bought_q", vec![]),
-                    Term::lit(1i64),
-                ),
+                value: Term::add(Term::query("bought_q", vec![]), Term::lit(1i64)),
             }]),
         )
         .recording_executed(),
@@ -569,7 +583,10 @@ pub fn e8_temporal_action() -> E8Result {
         .map(|f| f.time.0)
         .collect();
     let expected_times: Vec<i64> = (1..=6).map(|k| t0 + 10 * k).collect();
-    E8Result { execution_times, expected_times }
+    E8Result {
+        execution_times,
+        expected_times,
+    }
 }
 
 // ===== E9: online vs offline satisfaction =====================================
@@ -613,20 +630,34 @@ pub fn e9_online_offline(trials: usize, seed: u64) -> E9Result {
         // Random interleaving of: u1 update, u2 update, commits.
         let r = bits();
         vt.advance_clock(1).expect("clock");
-        let (first, second) = if r % 2 == 0 { ("u1", "u2") } else { ("u2", "u1") };
+        let (first, second) = if r % 2 == 0 {
+            ("u1", "u2")
+        } else {
+            ("u2", "u1")
+        };
         vt.update(
             if first == "u1" { t1 } else { t2 },
-            WriteOp::SetItem { item: first.into(), value: Value::Int(1) },
+            WriteOp::SetItem {
+                item: first.into(),
+                value: Value::Int(1),
+            },
         )
         .expect("update");
         vt.advance_clock(1).expect("clock");
         vt.update(
             if second == "u1" { t1 } else { t2 },
-            WriteOp::SetItem { item: second.into(), value: Value::Int(1) },
+            WriteOp::SetItem {
+                item: second.into(),
+                value: Value::Int(1),
+            },
         )
         .expect("update");
         vt.advance_clock(1).expect("clock");
-        let (ca, cb) = if (r >> 1) % 2 == 0 { (t1, t2) } else { (t2, t1) };
+        let (ca, cb) = if (r >> 1) % 2 == 0 {
+            (t1, t2)
+        } else {
+            (t2, t1)
+        };
         vt.commit(ca).expect("commit");
         vt.advance_clock(1).expect("clock");
         vt.commit(cb).expect("commit");
@@ -641,7 +672,11 @@ pub fn e9_online_offline(trials: usize, seed: u64) -> E9Result {
             collapsed_disagreements += 1;
         }
     }
-    E9Result { trials, disagreements, collapsed_disagreements }
+    E9Result {
+        trials,
+        disagreements,
+        collapsed_disagreements,
+    }
 }
 
 // ===== E10: aux-relation vs formula-state strategy ============================
@@ -765,13 +800,21 @@ pub fn e11_worked_examples() -> Vec<E11Row> {
                 Action::Notify,
             ))
             .expect("registers");
-            adb.emit(Event::new("login", vec![Value::str("X")])).expect("emit");
-            adb.update([WriteOp::SetItem { item: "A".into(), value: Value::Int(-1) }])
-                .expect("update");
+            adb.emit(Event::new("login", vec![Value::str("X")]))
+                .expect("emit");
+            adb.update([WriteOp::SetItem {
+                item: "A".into(),
+                value: Value::Int(-1),
+            }])
+            .expect("update");
             let during = adb.firings().len() == 1;
-            adb.emit(Event::new("logout", vec![Value::str("X")])).expect("emit");
-            adb.update([WriteOp::SetItem { item: "A".into(), value: Value::Int(-2) }])
-                .expect("update");
+            adb.emit(Event::new("logout", vec![Value::str("X")]))
+                .expect("emit");
+            adb.update([WriteOp::SetItem {
+                item: "A".into(),
+                value: Value::Int(-2),
+            }])
+            .expect("update");
             during && adb.firings().len() == 1
         },
     });
@@ -793,8 +836,7 @@ pub fn e11_worked_examples() -> Vec<E11Row> {
             let ops = set_price_ops(adb.db(), "DEC", 45);
             adb.advance_clock(1).expect("clock");
             adb.update(ops).expect("update");
-            adb.firings().len() == 1
-                && adb.firings()[0].env["x"] == Value::str("IBM")
+            adb.firings().len() == 1 && adb.firings()[0].env["x"] == Value::str("IBM")
         },
     });
 
@@ -862,9 +904,7 @@ mod tests {
         let rows = e2_pruning(&[200, 2000], 42);
         // Pruned retained size is flat; unpruned grows.
         assert!(rows[1].retained_pruned <= rows[0].retained_pruned * 2);
-        assert!(
-            rows[1].retained_unpruned.unwrap() > rows[0].retained_unpruned.unwrap() * 4
-        );
+        assert!(rows[1].retained_unpruned.unwrap() > rows[0].retained_unpruned.unwrap() * 4);
     }
 
     #[test]
@@ -931,4 +971,122 @@ mod tests {
         let r = &rows[0];
         assert!(r.tentative_firings >= r.definite_firings);
     }
+}
+
+// ===== E12: Theorem-1 checkpoints — size and recovery latency ================
+
+/// One row of the E12 table.
+#[derive(Debug, Clone)]
+pub struct E12Row {
+    pub history_len: usize,
+    /// Newest checkpoint payload on disk, bytes.
+    pub checkpoint_bytes: u64,
+    /// Log bytes past that checkpoint (the replay tail).
+    pub wal_tail_bytes: u64,
+    /// Wall-clock cost of `recover()` from disk, milliseconds.
+    pub recovery_ms: f64,
+    /// Logged ops replayed on top of the checkpoint.
+    pub ops_replayed: usize,
+    /// Sanity: the recovered system equals the pre-crash one.
+    pub state_matches: bool,
+}
+
+/// Theorem 1's durability payoff: the formula states summarize the history,
+/// so checkpoint size and recovery latency are flat in the history length
+/// (bounded by formula state + the inter-checkpoint log tail), not O(n).
+pub fn e12_durability(sizes: &[usize], seed: u64) -> Vec<E12Row> {
+    use tdb_storage::{recover, CheckpointPolicy, FileStorage};
+
+    let catalog = vec![Rule::trigger(
+        "doubled",
+        ibm_doubled_formula(),
+        Action::Notify,
+    )];
+    sizes
+        .iter()
+        .map(|&n| {
+            let dir = std::env::temp_dir().join(format!("tdb-e12-{}-{n}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let policy = CheckpointPolicy {
+                every_ops: 64,
+                every_bytes: 0,
+                sync_on_append: false,
+            };
+            let storage = FileStorage::create(&dir, policy).expect("storage dir");
+            let mut adb = ActiveDatabase::with_storage(
+                stock_db(),
+                ManagerConfig::default(),
+                Box::new(storage),
+            )
+            .expect("durable facade");
+            for r in &catalog {
+                adb.add_rule(r.clone()).expect("registers");
+            }
+            let mut ticker = Ticker::new(seed, 20);
+            let mut delivered = 0usize;
+            for _ in 0..n {
+                let p = ticker.step_with_crashes(40_000);
+                adb.advance_clock(1).expect("clock");
+                let ops = set_price_ops(adb.db(), "IBM", p);
+                adb.update(ops).expect("update");
+                // A consumer drains the firing log as it goes, so the
+                // checkpoint carries only undelivered firings. Across a
+                // crash, delivery is at-least-once: the replayed tail
+                // re-fires anything drained after the last checkpoint.
+                delivered += adb.take_firings().len();
+            }
+            assert!(delivered > 0 || n < 64, "workload produced firings");
+            let ref_db = adb.db().clone();
+            let ref_now = adb.now();
+            drop(adb); // crash
+
+            let (checkpoint_bytes, wal_tail_bytes) = durability_footprint(&dir);
+            let start = Instant::now();
+            let rec = recover(&dir, &catalog, ManagerConfig::default()).expect("recovers");
+            let recovery_ms = start.elapsed().as_secs_f64() * 1e3;
+            let state_matches = rec.adb.db() == &ref_db && rec.adb.now() == ref_now;
+            let ops_replayed = rec.report.ops_replayed;
+            let _ = std::fs::remove_dir_all(&dir);
+            E12Row {
+                history_len: n,
+                checkpoint_bytes,
+                wal_tail_bytes,
+                recovery_ms,
+                ops_replayed,
+                state_matches,
+            }
+        })
+        .collect()
+}
+
+/// (newest checkpoint size, bytes of log at or past its sequence number).
+fn durability_footprint(dir: &std::path::Path) -> (u64, u64) {
+    let mut newest_ckpt = (0u64, 0u64);
+    let mut segments: Vec<(u64, u64)> = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("read dir") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let len = entry.metadata().expect("metadata").len();
+        if let Some(seq) = name
+            .strip_prefix("ckpt-")
+            .and_then(|s| s.strip_suffix(".bin"))
+        {
+            let seq: u64 = seq.parse().expect("sequence");
+            if seq >= newest_ckpt.0 {
+                newest_ckpt = (seq, len);
+            }
+        } else if let Some(seq) = name
+            .strip_prefix("wal-")
+            .and_then(|s| s.strip_suffix(".log"))
+        {
+            segments.push((seq.parse().expect("sequence"), len));
+        }
+    }
+    let tail: u64 = segments
+        .iter()
+        .filter(|(seq, _)| *seq >= newest_ckpt.0)
+        .map(|(_, len)| len)
+        .sum();
+    (newest_ckpt.1, tail)
 }

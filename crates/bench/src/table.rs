@@ -25,7 +25,10 @@ pub fn render(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
     };
     let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
     out.push_str(&fmt_row(&header_cells, &widths));
-    out.push_str(&format!("{}\n", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))));
+    out.push_str(&format!(
+        "{}\n",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    ));
     for row in rows {
         out.push_str(&fmt_row(row, &widths));
     }
@@ -59,6 +62,6 @@ mod tests {
 
     #[test]
     fn f2_format() {
-        assert_eq!(f2(3.14159), "3.14");
+        assert_eq!(f2(12.345), "12.35");
     }
 }

@@ -10,9 +10,7 @@ use rand::{RngExt, SeedableRng};
 
 use tdb_engine::{Engine, WriteOp};
 use tdb_ptl::{parse_formula, Formula};
-use tdb_relation::{
-    parse_query, tuple, Database, QueryDef, Relation, Schema, Value,
-};
+use tdb_relation::{parse_query, tuple, Database, QueryDef, Relation, Schema, Value};
 
 /// A seeded random-walk price series for one stock.
 #[derive(Debug)]
@@ -23,7 +21,10 @@ pub struct Ticker {
 
 impl Ticker {
     pub fn new(seed: u64, start_price: i64) -> Ticker {
-        Ticker { rng: StdRng::seed_from_u64(seed), price: start_price.max(1) }
+        Ticker {
+            rng: StdRng::seed_from_u64(seed),
+            price: start_price.max(1),
+        }
     }
 
     /// Next price: a bounded random walk that stays positive.
@@ -47,8 +48,11 @@ impl Ticker {
 /// and `names()` function symbols.
 pub fn stock_db() -> Database {
     let mut db = Database::new();
-    db.create_relation("STOCK", Relation::empty(Schema::untyped(&["name", "price"])))
-        .expect("fresh database");
+    db.create_relation(
+        "STOCK",
+        Relation::empty(Schema::untyped(&["name", "price"])),
+    )
+    .expect("fresh database");
     db.define_query(
         "price",
         QueryDef::new(
@@ -58,7 +62,10 @@ pub fn stock_db() -> Database {
     );
     db.define_query(
         "names",
-        QueryDef::new(0, parse_query("select name from STOCK").expect("static query")),
+        QueryDef::new(
+            0,
+            parse_query("select name from STOCK").expect("static query"),
+        ),
     );
     db
 }
@@ -73,9 +80,15 @@ pub fn set_price_ops(db: &Database, name: &str, price: i64) -> Vec<WriteOp> {
         .cloned();
     let mut ops = Vec::with_capacity(2);
     if let Some(old) = old {
-        ops.push(WriteOp::Delete { relation: "STOCK".into(), tuple: old });
+        ops.push(WriteOp::Delete {
+            relation: "STOCK".into(),
+            tuple: old,
+        });
     }
-    ops.push(WriteOp::Insert { relation: "STOCK".into(), tuple: tuple![name, price] });
+    ops.push(WriteOp::Insert {
+        relation: "STOCK".into(),
+        tuple: tuple![name, price],
+    });
     ops
 }
 
@@ -86,7 +99,8 @@ pub fn ticker_engine(n: usize, seed: u64) -> Engine {
     e.set_auto_tick(false);
     let mut ticker = Ticker::new(seed, 50);
     for k in 0..n {
-        e.advance_clock_to(tdb_relation::Timestamp(k as i64 + 1)).expect("monotone");
+        e.advance_clock_to(tdb_relation::Timestamp(k as i64 + 1))
+            .expect("monotone");
         let p = ticker.step_with_crashes(20_000);
         let ops = set_price_ops(e.db(), "IBM", p);
         e.apply_update(ops).expect("update applies");

@@ -59,9 +59,18 @@ impl AggRewrite {
 
 /// Rewrites all temporal aggregates in `condition`.
 pub fn rewrite_aggregates(rule_name: &str, condition: &Formula) -> Result<AggRewrite> {
-    let mut ctx = Ctx { rule_name, counter: 0, registers: Vec::new(), rules: Vec::new() };
+    let mut ctx = Ctx {
+        rule_name,
+        counter: 0,
+        registers: Vec::new(),
+        rules: Vec::new(),
+    };
     let condition = rewrite_formula(condition, &mut ctx)?;
-    Ok(AggRewrite { condition, registers: ctx.registers, helper_rules: ctx.rules })
+    Ok(AggRewrite {
+        condition,
+        registers: ctx.registers,
+        helper_rules: ctx.rules,
+    })
 }
 
 struct Ctx<'a> {
@@ -75,9 +84,7 @@ fn rewrite_formula(f: &Formula, ctx: &mut Ctx<'_>) -> Result<Formula> {
     Ok(match f {
         Formula::True => Formula::True,
         Formula::False => Formula::False,
-        Formula::Cmp(op, a, b) => {
-            Formula::Cmp(*op, rewrite_term(a, ctx)?, rewrite_term(b, ctx)?)
-        }
+        Formula::Cmp(op, a, b) => Formula::Cmp(*op, rewrite_term(a, ctx)?, rewrite_term(b, ctx)?),
         Formula::Member { source, pattern } => Formula::Member {
             source: QueryRef {
                 name: source.name.clone(),
@@ -87,22 +94,30 @@ fn rewrite_formula(f: &Formula, ctx: &mut Ctx<'_>) -> Result<Formula> {
                     .map(|t| rewrite_term(t, ctx))
                     .collect::<Result<_>>()?,
             },
-            pattern: pattern.iter().map(|t| rewrite_term(t, ctx)).collect::<Result<_>>()?,
+            pattern: pattern
+                .iter()
+                .map(|t| rewrite_term(t, ctx))
+                .collect::<Result<_>>()?,
         },
         Formula::Event { name, pattern } => Formula::Event {
             name: name.clone(),
-            pattern: pattern.iter().map(|t| rewrite_term(t, ctx)).collect::<Result<_>>()?,
+            pattern: pattern
+                .iter()
+                .map(|t| rewrite_term(t, ctx))
+                .collect::<Result<_>>()?,
         },
         Formula::Not(g) => Formula::not(rewrite_formula(g, ctx)?),
         Formula::And(gs) => Formula::And(
-            gs.iter().map(|g| rewrite_formula(g, ctx)).collect::<Result<_>>()?,
+            gs.iter()
+                .map(|g| rewrite_formula(g, ctx))
+                .collect::<Result<_>>()?,
         ),
-        Formula::Or(gs) => {
-            Formula::Or(gs.iter().map(|g| rewrite_formula(g, ctx)).collect::<Result<_>>()?)
-        }
-        Formula::Since(g, h) => {
-            Formula::since(rewrite_formula(g, ctx)?, rewrite_formula(h, ctx)?)
-        }
+        Formula::Or(gs) => Formula::Or(
+            gs.iter()
+                .map(|g| rewrite_formula(g, ctx))
+                .collect::<Result<_>>()?,
+        ),
+        Formula::Since(g, h) => Formula::since(rewrite_formula(g, ctx)?, rewrite_formula(h, ctx)?),
         Formula::Lasttime(g) => Formula::lasttime(rewrite_formula(g, ctx)?),
         Formula::Previously(g) => Formula::previously(rewrite_formula(g, ctx)?),
         Formula::ThroughoutPast(g) => Formula::throughout_past(rewrite_formula(g, ctx)?),
@@ -117,14 +132,15 @@ fn rewrite_formula(f: &Formula, ctx: &mut Ctx<'_>) -> Result<Formula> {
 fn rewrite_term(t: &Term, ctx: &mut Ctx<'_>) -> Result<Term> {
     Ok(match t {
         Term::Const(_) | Term::Var(_) | Term::Time => t.clone(),
-        Term::Arith(op, a, b) => {
-            Term::arith(*op, rewrite_term(a, ctx)?, rewrite_term(b, ctx)?)
-        }
+        Term::Arith(op, a, b) => Term::arith(*op, rewrite_term(a, ctx)?, rewrite_term(b, ctx)?),
         Term::Neg(a) => Term::Neg(Box::new(rewrite_term(a, ctx)?)),
         Term::Abs(a) => Term::Abs(Box::new(rewrite_term(a, ctx)?)),
         Term::Query { name, args } => Term::Query {
             name: name.clone(),
-            args: args.iter().map(|a| rewrite_term(a, ctx)).collect::<Result<_>>()?,
+            args: args
+                .iter()
+                .map(|a| rewrite_term(a, ctx))
+                .collect::<Result<_>>()?,
         },
         Term::Agg(agg) => rewrite_one_aggregate(agg, ctx)?,
     })
@@ -138,8 +154,7 @@ fn rewrite_one_aggregate(agg: &TemporalAgg, ctx: &mut Ctx<'_>) -> Result<Term> {
     if let Some(v) = vars.first() {
         return Err(CoreError::Ptl(tdb_ptl::PtlError::Unsafe {
             var: v.clone(),
-            reason: "occurs in a temporal aggregate; indexed registers are not supported"
-                .into(),
+            reason: "occurs in a temporal aggregate; indexed registers are not supported".into(),
         }));
     }
 
@@ -168,7 +183,10 @@ fn rewrite_one_aggregate(agg: &TemporalAgg, ctx: &mut Ctx<'_>) -> Result<Term> {
             def(ctx, s.clone(), Value::Int(0));
             (
                 read(&s),
-                vec![ActionOp::SetItem { item: s.clone(), value: Term::lit(0i64) }],
+                vec![ActionOp::SetItem {
+                    item: s.clone(),
+                    value: Term::lit(0i64),
+                }],
                 vec![ActionOp::SetItem {
                     item: s.clone(),
                     value: Term::arith(ArithOp::Add, read(&s), q.clone()),
@@ -180,7 +198,10 @@ fn rewrite_one_aggregate(agg: &TemporalAgg, ctx: &mut Ctx<'_>) -> Result<Term> {
             def(ctx, c.clone(), Value::Int(0));
             (
                 read(&c),
-                vec![ActionOp::SetItem { item: c.clone(), value: Term::lit(0i64) }],
+                vec![ActionOp::SetItem {
+                    item: c.clone(),
+                    value: Term::lit(0i64),
+                }],
                 vec![ActionOp::SetItem {
                     item: c.clone(),
                     value: Term::arith(ArithOp::Add, read(&c), Term::lit(1i64)),
@@ -204,16 +225,34 @@ fn rewrite_one_aggregate(agg: &TemporalAgg, ctx: &mut Ctx<'_>) -> Result<Term> {
             (
                 read(&a),
                 vec![
-                    ActionOp::SetItem { item: s.clone(), value: Term::lit(0i64) },
-                    ActionOp::SetItem { item: c.clone(), value: Term::lit(0i64) },
-                    ActionOp::SetItem { item: a.clone(), value: Term::Const(Value::Null) },
+                    ActionOp::SetItem {
+                        item: s.clone(),
+                        value: Term::lit(0i64),
+                    },
+                    ActionOp::SetItem {
+                        item: c.clone(),
+                        value: Term::lit(0i64),
+                    },
+                    ActionOp::SetItem {
+                        item: a.clone(),
+                        value: Term::Const(Value::Null),
+                    },
                 ],
                 vec![
                     // All terms evaluate against the pre-update state, so
                     // the average uses the incremented sum and count.
-                    ActionOp::SetItem { item: a.clone(), value: new_avg },
-                    ActionOp::SetItem { item: s.clone(), value: new_sum },
-                    ActionOp::SetItem { item: c.clone(), value: new_cnt },
+                    ActionOp::SetItem {
+                        item: a.clone(),
+                        value: new_avg,
+                    },
+                    ActionOp::SetItem {
+                        item: s.clone(),
+                        value: new_sum,
+                    },
+                    ActionOp::SetItem {
+                        item: c.clone(),
+                        value: new_cnt,
+                    },
                 ],
             )
         }
@@ -222,8 +261,14 @@ fn rewrite_one_aggregate(agg: &TemporalAgg, ctx: &mut Ctx<'_>) -> Result<Term> {
             def(ctx, m.clone(), Value::Null);
             (
                 read(&m),
-                vec![ActionOp::SetItem { item: m.clone(), value: Term::Const(Value::Null) }],
-                vec![ActionOp::UpdateMin { item: m.clone(), value: q.clone() }],
+                vec![ActionOp::SetItem {
+                    item: m.clone(),
+                    value: Term::Const(Value::Null),
+                }],
+                vec![ActionOp::UpdateMin {
+                    item: m.clone(),
+                    value: q.clone(),
+                }],
             )
         }
         AggFunc::Max => {
@@ -231,8 +276,14 @@ fn rewrite_one_aggregate(agg: &TemporalAgg, ctx: &mut Ctx<'_>) -> Result<Term> {
             def(ctx, m.clone(), Value::Null);
             (
                 read(&m),
-                vec![ActionOp::SetItem { item: m.clone(), value: Term::Const(Value::Null) }],
-                vec![ActionOp::UpdateMax { item: m.clone(), value: q.clone() }],
+                vec![ActionOp::SetItem {
+                    item: m.clone(),
+                    value: Term::Const(Value::Null),
+                }],
+                vec![ActionOp::UpdateMax {
+                    item: m.clone(),
+                    value: q.clone(),
+                }],
             )
         }
         AggFunc::Last => {
@@ -240,8 +291,14 @@ fn rewrite_one_aggregate(agg: &TemporalAgg, ctx: &mut Ctx<'_>) -> Result<Term> {
             def(ctx, l.clone(), Value::Null);
             (
                 read(&l),
-                vec![ActionOp::SetItem { item: l.clone(), value: Term::Const(Value::Null) }],
-                vec![ActionOp::SetItem { item: l.clone(), value: q.clone() }],
+                vec![ActionOp::SetItem {
+                    item: l.clone(),
+                    value: Term::Const(Value::Null),
+                }],
+                vec![ActionOp::SetItem {
+                    item: l.clone(),
+                    value: q.clone(),
+                }],
             )
         }
     };
@@ -287,17 +344,17 @@ mod tests {
     #[test]
     fn avg_produces_three_registers_and_two_rules() {
         // The paper's hourly-average rule.
-        let f = parse_formula(
-            "avg(price(\"IBM\"); time = 540; @update_stocks) > 70",
-        )
-        .unwrap();
+        let f = parse_formula("avg(price(\"IBM\"); time = 540; @update_stocks) > 70").unwrap();
         let rw = rewrite_aggregates("r", &f).unwrap();
         assert_eq!(rw.registers.len(), 3);
         assert_eq!(rw.helper_rules.len(), 2);
         assert!(rw.helper_rules[0].name.ends_with("_init"));
         assert!(rw.helper_rules[1].name.ends_with("_upd"));
         // The init rule's condition is the starting formula.
-        assert_eq!(rw.helper_rules[0].condition, parse_formula("time = 540").unwrap());
+        assert_eq!(
+            rw.helper_rules[0].condition,
+            parse_formula("time = 540").unwrap()
+        );
         // The rewritten condition reads the avg register.
         let mut reads_register = false;
         rw.condition.visit(&mut |g| {
@@ -328,10 +385,8 @@ mod tests {
     #[test]
     fn nested_aggregates_rewrite_inner_first() {
         // Outer count samples whenever the inner sum exceeds 10.
-        let f = parse_formula(
-            "count(1; time = 0; sum(price(\"IBM\"); time = 0; @u) > 10) > 2",
-        )
-        .unwrap();
+        let f = parse_formula("count(1; time = 0; sum(price(\"IBM\"); time = 0; @u) > 10) > 2")
+            .unwrap();
         let rw = rewrite_aggregates("r", &f).unwrap();
         // Inner: 1 register (sum), outer: 1 register (cnt).
         assert_eq!(rw.registers.len(), 2);
@@ -347,19 +402,13 @@ mod tests {
 
     #[test]
     fn free_variable_aggregates_rejected() {
-        let f = parse_formula(
-            "x in names() and avg(price(x); time = 0; @u) > 70",
-        )
-        .unwrap();
+        let f = parse_formula("x in names() and avg(price(x); time = 0; @u) > 70").unwrap();
         assert!(rewrite_aggregates("r", &f).is_err());
     }
 
     #[test]
     fn distinct_aggregates_get_distinct_registers() {
-        let f = parse_formula(
-            "sum(price(\"IBM\"); time = 0; @u) > sum(1; time = 0; @u)",
-        )
-        .unwrap();
+        let f = parse_formula("sum(price(\"IBM\"); time = 0; @u) > sum(1; time = 0; @u)").unwrap();
         let rw = rewrite_aggregates("r", &f).unwrap();
         assert_eq!(rw.registers.len(), 2);
         assert_ne!(rw.registers[0].item, rw.registers[1].item);

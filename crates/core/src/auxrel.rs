@@ -49,7 +49,11 @@ impl AuxRelation {
             }
             last.t_end = t;
         }
-        self.rows.push(VersionRow { value: v, t_start: t, t_end: Timestamp::MAX });
+        self.rows.push(VersionRow {
+            value: v,
+            t_start: t,
+            t_end: Timestamp::MAX,
+        });
     }
 
     /// Selection by timestamp: the value valid at time `t`.
@@ -122,14 +126,79 @@ impl AuxEvaluator {
         }
         let mut keys = Vec::new();
         collect_query_keys(&condition, &mut keys)?;
-        let aux = keys.iter().map(|(k, _)| (k.clone(), AuxRelation::default())).collect();
+        let aux = keys
+            .iter()
+            .map(|(k, _)| (k.clone(), AuxRelation::default()))
+            .collect();
         let specs = keys.into_iter().collect();
-        Ok(AuxEvaluator { condition, aux, specs, timeline: Timeline::default(), horizon })
+        Ok(AuxEvaluator {
+            condition,
+            aux,
+            specs,
+            timeline: Timeline::default(),
+            horizon,
+        })
     }
 
     /// Total retained versions across all auxiliary relations.
     pub fn retained_versions(&self) -> usize {
         self.aux.values().map(AuxRelation::versions).sum()
+    }
+
+    /// The condition this evaluator was built for (used to rebuild an
+    /// identical evaluator at recovery before importing state).
+    pub fn condition(&self) -> &Formula {
+        &self.condition
+    }
+
+    /// The retention horizon this evaluator was built with.
+    pub fn horizon(&self) -> Option<i64> {
+        self.horizon
+    }
+
+    /// Exports the timestamped version stores and the retained timeline —
+    /// the durable part of the auxiliary-relation strategy.
+    pub fn export_state(&self) -> AuxState {
+        AuxState {
+            relations: self
+                .aux
+                .iter()
+                .map(|(k, r)| {
+                    let rows = r
+                        .rows
+                        .iter()
+                        .map(|row| (row.value.clone(), row.t_start, row.t_end))
+                        .collect();
+                    (k.clone(), rows)
+                })
+                .collect(),
+            times: self.timeline.times.clone(),
+        }
+    }
+
+    /// Installs state exported from an evaluator built over the same
+    /// condition. The tracked-query keys must match exactly.
+    pub fn import_state(&mut self, st: AuxState) -> Result<()> {
+        let have: Vec<&String> = self.aux.keys().collect();
+        let got: Vec<&String> = st.relations.keys().collect();
+        if have != got {
+            return Err(CoreError::RestoreMismatch(format!(
+                "auxiliary relations track {have:?} but snapshot carries {got:?}"
+            )));
+        }
+        for (k, rows) in st.relations {
+            let rel = self.aux.get_mut(&k).expect("key checked above");
+            rel.rows = rows
+                .into_iter()
+                .map(|(value, t_start, t_end)| VersionRow {
+                    value,
+                    t_start,
+                    t_end,
+                })
+                .collect();
+        }
+        self.timeline.times = st.times;
+        Ok(())
     }
 
     /// Processes one new system state: snapshots every tracked query into
@@ -182,9 +251,14 @@ impl AuxEvaluator {
                 if k != self.timeline.times.len() - 1 {
                     return Ok(false);
                 }
-                let pat: Vec<Value> =
-                    pattern.iter().map(|t| self.eval_term(t, k, env)).collect::<Result<_>>()?;
-                Ok(state.events().named(name).any(|e| e.args() == pat.as_slice()))
+                let pat: Vec<Value> = pattern
+                    .iter()
+                    .map(|t| self.eval_term(t, k, env))
+                    .collect::<Result<_>>()?;
+                Ok(state
+                    .events()
+                    .named(name)
+                    .any(|e| e.args() == pat.as_slice()))
             }
             Formula::Not(g) => Ok(!self.eval(g, k, state, env)?),
             Formula::And(gs) => {
@@ -247,12 +321,7 @@ impl AuxEvaluator {
         }
     }
 
-    fn eval_term(
-        &self,
-        t: &Term,
-        k: usize,
-        env: &BTreeMap<String, Value>,
-    ) -> Result<Value> {
+    fn eval_term(&self, t: &Term, k: usize, env: &BTreeMap<String, Value>) -> Result<Value> {
         match t {
             Term::Const(v) => Ok(v.clone()),
             Term::Var(x) => env
@@ -333,7 +402,13 @@ fn collect_query_keys(f: &Formula, out: &mut Vec<(String, QuerySpec)>) -> Result
                             _ => unreachable!("query_key validated constants"),
                         })
                         .collect();
-                    out.push((key, QuerySpec { name: name.clone(), args: argv }));
+                    out.push((
+                        key,
+                        QuerySpec {
+                            name: name.clone(),
+                            args: argv,
+                        },
+                    ));
                 }
                 Ok(())
             }
@@ -350,9 +425,7 @@ fn collect_query_keys(f: &Formula, out: &mut Vec<(String, QuerySpec)>) -> Result
     f.visit(&mut |g| {
         let r = match g {
             Formula::Cmp(_, a, b) => term_keys(a, out).and_then(|_| term_keys(b, out)),
-            Formula::Event { pattern, .. } => {
-                pattern.iter().try_for_each(|t| term_keys(t, out))
-            }
+            Formula::Event { pattern, .. } => pattern.iter().try_for_each(|t| term_keys(t, out)),
             Formula::Assign { term, .. } => term_keys(term, out),
             _ => Ok(()),
         };
@@ -366,6 +439,16 @@ fn collect_query_keys(f: &Formula, out: &mut Vec<(String, QuerySpec)>) -> Result
         Some(e) => Err(e),
         None => Ok(()),
     }
+}
+
+/// The durable state of an [`AuxEvaluator`]: per-query version stores
+/// (value + validity interval) and the retained timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuxState {
+    /// Version rows per tracked-query key, as `(value, t_start, t_end)`.
+    pub relations: BTreeMap<String, Vec<(Value, Timestamp, Timestamp)>>,
+    /// Timestamps of the retained states.
+    pub times: Vec<Timestamp>,
 }
 
 /// A tracked query: name plus constant argument values.
@@ -393,11 +476,17 @@ mod tests {
 
     fn stock_engine() -> Engine {
         let mut db = Database::new();
-        db.create_relation("STOCK", Relation::empty(Schema::untyped(&["name", "price"])))
-            .unwrap();
+        db.create_relation(
+            "STOCK",
+            Relation::empty(Schema::untyped(&["name", "price"])),
+        )
+        .unwrap();
         db.define_query(
             "price",
-            QueryDef::new(1, parse_query("select price from STOCK where name = $0").unwrap()),
+            QueryDef::new(
+                1,
+                parse_query("select price from STOCK where name = $0").unwrap(),
+            ),
         );
         Engine::new(db)
     }
@@ -407,9 +496,15 @@ mod tests {
         let old = e.db().relation("STOCK").unwrap().iter().next().cloned();
         let mut ops = Vec::new();
         if let Some(old) = old {
-            ops.push(WriteOp::Delete { relation: "STOCK".into(), tuple: old });
+            ops.push(WriteOp::Delete {
+                relation: "STOCK".into(),
+                tuple: old,
+            });
         }
-        ops.push(WriteOp::Insert { relation: "STOCK".into(), tuple: tuple!["IBM", p] });
+        ops.push(WriteOp::Insert {
+            relation: "STOCK".into(),
+            tuple: tuple!["IBM", p],
+        });
         e.apply_update(ops).unwrap();
     }
 
@@ -483,7 +578,10 @@ mod tests {
             unbounded.advance(&s).unwrap();
         }
         assert!(bounded.retained_versions() < unbounded.retained_versions());
-        assert!(bounded.retained_versions() <= 16, "bounded horizon keeps O(Δ) versions");
+        assert!(
+            bounded.retained_versions() <= 16,
+            "bounded horizon keeps O(Δ) versions"
+        );
     }
 
     #[test]

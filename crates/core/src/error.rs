@@ -19,18 +19,29 @@ pub enum CoreError {
     UnrewrittenAggregate,
     /// An assignment term mentions variables; assignment terms must be
     /// ground so their value is well-defined at the evaluation instant.
-    NonGroundAssignment { var: String, mentions: String },
+    NonGroundAssignment {
+        var: String,
+        mentions: String,
+    },
     /// Solving a residual required binding a variable with no equality
     /// constraint — the formula is effectively unsafe at runtime.
     UnsolvableResidual(String),
     /// A residual grew beyond the configured limit (the formula is
     /// unbounded and pruning could not contain it).
-    ResidualTooLarge { limit: usize, size: usize },
+    ResidualTooLarge {
+        limit: usize,
+        size: usize,
+    },
     /// A rule cascade exceeded the configured state budget (runaway rules
     /// firing on the states produced by their own actions).
     CascadeLimit(usize),
     /// An action referenced a parameter the condition did not bind.
     MissingActionParam(String),
+    /// A recovery snapshot does not match the rule catalog or system shape
+    /// it is being restored into.
+    RestoreMismatch(String),
+    /// The attached durability sink failed (WAL append or checkpoint).
+    Storage(String),
     /// Errors from lower layers.
     Ptl(PtlError),
     Engine(EngineError),
@@ -62,6 +73,8 @@ impl fmt::Display for CoreError {
             CoreError::MissingActionParam(p) => {
                 write!(f, "action parameter `{p}` was not bound by the condition")
             }
+            CoreError::RestoreMismatch(why) => write!(f, "snapshot restore failed: {why}"),
+            CoreError::Storage(why) => write!(f, "storage failure: {why}"),
             CoreError::Ptl(e) => write!(f, "{e}"),
             CoreError::Engine(e) => write!(f, "{e}"),
             CoreError::Rel(e) => write!(f, "{e}"),
@@ -111,6 +124,8 @@ mod tests {
         assert!(e.to_string().contains("unbound"));
         let e: CoreError = RelError::UnknownTable("T".into()).into();
         assert!(std::error::Error::source(&e).is_some());
-        assert!(CoreError::DuplicateRule("r".into()).to_string().contains("already"));
+        assert!(CoreError::DuplicateRule("r".into())
+            .to_string()
+            .contains("already"));
     }
 }

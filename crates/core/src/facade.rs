@@ -19,6 +19,7 @@ use tdb_relation::{Database, QueryDef, Relation, Timestamp, Value};
 use crate::error::{CoreError, Result};
 use crate::manager::{executed_relation_name, ManagerConfig, ManagerStats, RuleManager};
 use crate::rules::{Action, ActionOp, FiringRecord, Rule};
+use crate::storage::{LogicalOp, SystemSnapshot, WalSink};
 
 /// Default bound on the number of states processed by one cascade.
 const DEFAULT_CASCADE_LIMIT: usize = 10_000;
@@ -37,6 +38,13 @@ pub struct ActiveDatabase {
     batch: usize,
     cascade_limit: usize,
     processing: bool,
+    /// Write-ahead log sink; externally driven ops are appended here before
+    /// they apply.
+    wal: Option<Box<dyn WalSink>>,
+    /// How many entries of `firing_log` have been written as audit records.
+    logged_firings: usize,
+    /// User-registered rule names in registration order (for snapshots).
+    registered: Vec<String>,
 }
 
 impl ActiveDatabase {
@@ -56,7 +64,36 @@ impl ActiveDatabase {
             batch: 1,
             cascade_limit: DEFAULT_CASCADE_LIMIT,
             processing: false,
+            wal: None,
+            logged_firings: 0,
+            registered: Vec::new(),
         }
+    }
+
+    /// Builds a durable active database: every externally driven op is
+    /// write-ahead logged to `sink`, and an initial checkpoint is taken
+    /// immediately so recovery always has a base to start from.
+    pub fn with_storage(
+        db: Database,
+        cfg: ManagerConfig,
+        sink: Box<dyn WalSink>,
+    ) -> Result<ActiveDatabase> {
+        let mut adb = ActiveDatabase::with_config(db, cfg);
+        adb.attach_wal(sink)?;
+        Ok(adb)
+    }
+
+    /// Attaches a sink to an existing system, writing a checkpoint first so
+    /// the log that follows has a base.
+    pub fn attach_wal(&mut self, sink: Box<dyn WalSink>) -> Result<()> {
+        self.wal = Some(sink);
+        self.logged_firings = self.firing_log.len();
+        self.checkpoint_now()
+    }
+
+    /// Detaches and returns the sink, leaving the system volatile.
+    pub fn detach_wal(&mut self) -> Option<Box<dyn WalSink>> {
+        self.wal.take()
     }
 
     // ---- introspection ----------------------------------------------------
@@ -93,52 +130,323 @@ impl ActiveDatabase {
 
     /// Drains the firing log.
     pub fn take_firings(&mut self) -> Vec<FiringRecord> {
-        std::mem::take(&mut self.firing_log)
+        let drained = std::mem::take(&mut self.firing_log);
+        self.logged_firings = 0;
+        drained
+    }
+
+    // ---- durability ---------------------------------------------------------
+
+    /// Captures the Theorem-1 recovery snapshot: the current database, the
+    /// clock, every rule's formula states, and the dispatch bookkeeping.
+    /// The history contributes only its undispatched suffix — the snapshot
+    /// is O(formula state + batch), not O(history). Fails while a
+    /// transaction is open (its buffered writes live outside the log).
+    pub fn snapshot(&self) -> Result<SystemSnapshot> {
+        let open: Vec<TxnId> = self.engine.open_txns().collect();
+        if !open.is_empty() {
+            return Err(CoreError::Storage(format!(
+                "cannot checkpoint with {} open transaction(s)",
+                open.len()
+            )));
+        }
+        let h = self.engine.history();
+        let last = h.last_index().expect("history is never empty");
+        let first_carried = self.next_dispatch.min(last);
+        let states: Vec<_> = (first_carried..=last)
+            .map(|i| h.get(i).expect("suffix states are retained").clone())
+            .collect();
+        Ok(SystemSnapshot {
+            db: self.engine.db().clone(),
+            now: self.engine.now(),
+            history_offset: first_carried,
+            states,
+            history_cap: h.capacity_limit(),
+            next_txn: self.engine.next_txn_id(),
+            auto_tick: self.engine.auto_tick(),
+            registered: self.registered.clone(),
+            rules: self.manager.export_states(),
+            stats: self.manager.stats(),
+            firing_log: self.firing_log.clone(),
+            next_dispatch: self.next_dispatch,
+            gated: self.gated.iter().copied().collect(),
+            batch: self.batch,
+            cascade_limit: self.cascade_limit,
+        })
+    }
+
+    /// Rebuilds a system from a snapshot. `catalog` must contain every rule
+    /// named in `snap.registered` (helper rules regenerate automatically);
+    /// the formula states in the snapshot are then installed verbatim.
+    /// Returns typed errors on any mismatch.
+    pub fn restore(
+        snap: SystemSnapshot,
+        catalog: &[Rule],
+        cfg: ManagerConfig,
+    ) -> Result<ActiveDatabase> {
+        // Re-register against a scratch clone: registration re-runs its
+        // side effects (aggregate register initialization, executed-relation
+        // creation), which must not clobber the checkpointed values in the
+        // real database.
+        let mut scratch = snap.db.clone();
+        let mut manager = RuleManager::new(cfg);
+        for name in &snap.registered {
+            let rule = catalog
+                .iter()
+                .find(|r| r.name == *name)
+                .ok_or_else(|| CoreError::NoSuchRule(name.clone()))?;
+            manager.register(rule.clone(), &mut scratch, None)?;
+        }
+        manager.import_states(snap.rules)?;
+        manager.set_stats(snap.stats);
+
+        let history = History::from_parts(snap.history_offset, snap.states, snap.history_cap);
+        let engine = Engine::from_parts(snap.db, snap.now, history, snap.next_txn, snap.auto_tick)?;
+        let logged_firings = snap.firing_log.len();
+        Ok(ActiveDatabase {
+            engine,
+            manager,
+            firing_log: snap.firing_log,
+            next_dispatch: snap.next_dispatch,
+            gated: snap.gated.into_iter().collect(),
+            batch: snap.batch,
+            cascade_limit: snap.cascade_limit,
+            processing: false,
+            wal: None,
+            logged_firings,
+            registered: snap.registered,
+        })
+    }
+
+    /// Crash recovery: restores the snapshot, then replays a logged op
+    /// suffix through the normal dispatch path. Replay is deterministic, so
+    /// op-level errors (constraint vetoes, cascade limits) re-occur exactly
+    /// as they did in the original run and are absorbed; structural errors
+    /// (an op naming a rule missing from `catalog`) surface.
+    pub fn recover(
+        snap: SystemSnapshot,
+        ops: &[LogicalOp],
+        catalog: &[Rule],
+        cfg: ManagerConfig,
+    ) -> Result<ActiveDatabase> {
+        let mut adb = ActiveDatabase::restore(snap, catalog, cfg)?;
+        for op in ops {
+            adb.replay(op, catalog)?;
+        }
+        Ok(adb)
+    }
+
+    /// Replays one logged op. Audit records are skipped; deterministic
+    /// application failures are absorbed (they happened in the original run
+    /// too); errors that indicate a snapshot/catalog mismatch propagate.
+    pub fn replay(&mut self, op: &LogicalOp, catalog: &[Rule]) -> Result<()> {
+        debug_assert!(
+            self.wal.is_none(),
+            "replaying into a logged system would re-log"
+        );
+        match op {
+            LogicalOp::CreateRelation { name, relation } => {
+                let _ = self.create_relation(name.clone(), relation.clone());
+            }
+            LogicalOp::DefineQuery { name, def } => {
+                self.define_query(name.clone(), def.clone())?;
+            }
+            LogicalOp::SetItem { name, value } => {
+                self.set_item(name.clone(), value.clone())?;
+            }
+            LogicalOp::AddRule { name } => {
+                let rule = catalog
+                    .iter()
+                    .find(|r| r.name == *name)
+                    .ok_or_else(|| CoreError::NoSuchRule(name.clone()))?;
+                self.add_rule(rule.clone())?;
+            }
+            LogicalOp::SetBatch { n } => self.set_batch(*n)?,
+            LogicalOp::SetCascadeLimit { n } => self.set_cascade_limit(*n)?,
+            LogicalOp::AdvanceClock { delta } => {
+                let _ = self.advance_clock(*delta);
+            }
+            LogicalOp::AdvanceClockTo { t } => {
+                let _ = self.advance_clock_to(*t);
+            }
+            LogicalOp::Tick => {
+                let _ = self.tick();
+            }
+            LogicalOp::Emit { events } => {
+                let _ = self.emit_all(events.clone());
+            }
+            LogicalOp::Update { ops } => {
+                let _ = self.update(ops.clone());
+            }
+            LogicalOp::Begin => {
+                let _ = self.begin();
+            }
+            LogicalOp::Write { txn, op } => {
+                let _ = self.write(*txn, op.clone());
+            }
+            LogicalOp::Commit { txn } => {
+                let _ = self.commit(*txn);
+            }
+            LogicalOp::Abort { txn } => {
+                let _ = self.abort(*txn);
+            }
+            LogicalOp::Flush => {
+                let _ = self.flush();
+            }
+            LogicalOp::Firing { .. } => {}
+        }
+        Ok(())
+    }
+
+    /// Writes a checkpoint to the attached sink immediately (no-op when
+    /// volatile).
+    pub fn checkpoint_now(&mut self) -> Result<()> {
+        if self.wal.is_none() {
+            return Ok(());
+        }
+        let snap = self.snapshot()?;
+        self.wal.as_mut().expect("checked above").checkpoint(&snap)
+    }
+
+    /// Appends one op to the WAL before it applies (write-ahead). The
+    /// closure only runs when a sink is attached, so volatile systems pay
+    /// nothing for the clones it makes.
+    fn log_op(&mut self, op: impl FnOnce() -> LogicalOp) -> Result<()> {
+        if let Some(w) = self.wal.as_mut() {
+            w.append(&op())?;
+        }
+        Ok(())
+    }
+
+    /// Post-op bookkeeping on a durable system: appends audit records for
+    /// any firings the op produced, then checkpoints if the sink asks for
+    /// one. Runs even when the op itself failed — an aborted update still
+    /// happened (its abort state is in the history and replays
+    /// identically), and its constraint-violation firings belong in the
+    /// log.
+    fn after_op(&mut self) -> Result<()> {
+        if self.wal.is_some() {
+            self.log_new_firings()?;
+            self.maybe_checkpoint()?;
+        }
+        Ok(())
+    }
+
+    fn log_new_firings(&mut self) -> Result<()> {
+        let Some(w) = self.wal.as_mut() else {
+            return Ok(());
+        };
+        for record in &self.firing_log[self.logged_firings.min(self.firing_log.len())..] {
+            w.append(&LogicalOp::Firing {
+                record: record.clone(),
+            })?;
+        }
+        self.logged_firings = self.firing_log.len();
+        Ok(())
+    }
+
+    /// Checkpoints when the sink wants one and the system is quiescent (no
+    /// open transactions; checkpoints between ops are always consistent).
+    fn maybe_checkpoint(&mut self) -> Result<()> {
+        let due = self.wal.as_ref().is_some_and(|w| w.wants_checkpoint());
+        if due && self.engine.open_txns().next().is_none() {
+            self.checkpoint_now()?;
+        }
+        Ok(())
     }
 
     // ---- schema setup ------------------------------------------------------
 
     pub fn create_relation(&mut self, name: impl Into<String>, rel: Relation) -> Result<()> {
+        let name = name.into();
+        self.log_op(|| LogicalOp::CreateRelation {
+            name: name.clone(),
+            relation: rel.clone(),
+        })?;
         self.engine.db_mut().create_relation(name, rel)?;
-        Ok(())
+        self.after_op()
     }
 
-    pub fn define_query(&mut self, name: impl Into<String>, def: QueryDef) {
+    pub fn define_query(&mut self, name: impl Into<String>, def: QueryDef) -> Result<()> {
+        let name = name.into();
+        self.log_op(|| LogicalOp::DefineQuery {
+            name: name.clone(),
+            def: def.clone(),
+        })?;
         self.engine.db_mut().define_query(name, def);
+        self.after_op()
     }
 
-    pub fn set_item(&mut self, name: impl Into<String>, v: Value) {
+    pub fn set_item(&mut self, name: impl Into<String>, v: Value) -> Result<()> {
+        let name = name.into();
+        self.log_op(|| LogicalOp::SetItem {
+            name: name.clone(),
+            value: v.clone(),
+        })?;
         self.engine.db_mut().set_item(name, v);
+        self.after_op()
     }
 
     /// Registers a rule. Its evaluator is primed on the current database so
-    /// the condition's history starts at registration time.
+    /// the condition's history starts at registration time. Only the rule's
+    /// *name* is logged — recovery re-resolves it against a caller-supplied
+    /// catalog, because actions may embed arbitrary closures.
     pub fn add_rule(&mut self, rule: Rule) -> Result<()> {
+        self.log_op(|| LogicalOp::AddRule {
+            name: rule.name.clone(),
+        })?;
+        let name = rule.name.clone();
         let idx = self.engine.history().last_index().unwrap_or(0);
-        let t = self.engine.history().last().map(|s| s.time()).unwrap_or_default();
-        self.manager.register(rule, self.engine.db_mut(), Some((t, idx)))
+        let t = self
+            .engine
+            .history()
+            .last()
+            .map(|s| s.time())
+            .unwrap_or_default();
+        self.manager
+            .register(rule, self.engine.db_mut(), Some((t, idx)))?;
+        self.registered.push(name);
+        self.after_op()
     }
 
     /// Dispatch only every `n` pending states (Section 8 batching);
     /// [`ActiveDatabase::flush`] forces dispatch of a partial batch.
-    pub fn set_batch(&mut self, n: usize) {
+    pub fn set_batch(&mut self, n: usize) -> Result<()> {
+        self.log_op(|| LogicalOp::SetBatch { n })?;
         self.batch = n.max(1);
+        self.after_op()
     }
 
-    pub fn set_cascade_limit(&mut self, n: usize) {
+    pub fn set_cascade_limit(&mut self, n: usize) -> Result<()> {
+        self.log_op(|| LogicalOp::SetCascadeLimit { n })?;
         self.cascade_limit = n.max(1);
+        self.after_op()
     }
 
     // ---- time & events ------------------------------------------------------
 
     pub fn advance_clock(&mut self, delta: i64) -> Result<Timestamp> {
-        Ok(self.engine.advance_clock(delta)?)
+        self.log_op(|| LogicalOp::AdvanceClock { delta })?;
+        let t = self.engine.advance_clock(delta)?;
+        self.after_op()?;
+        Ok(t)
+    }
+
+    /// Advances the clock to an absolute time (no-op if `t` is in the past).
+    pub fn advance_clock_to(&mut self, t: Timestamp) -> Result<Timestamp> {
+        self.log_op(|| LogicalOp::AdvanceClockTo { t })?;
+        self.engine.advance_clock_to(t)?;
+        self.after_op()?;
+        Ok(self.now())
     }
 
     /// Emits a clock-tick state (timer rules are evaluated at ticks).
     pub fn tick(&mut self) -> Result<()> {
+        self.log_op(|| LogicalOp::Tick)?;
         self.engine.tick()?;
-        self.process()
+        let r = self.process();
+        self.after_op()?;
+        r
     }
 
     /// Advances the clock to `t` in steps of `step`, ticking at each step —
@@ -147,7 +455,7 @@ impl ActiveDatabase {
         let step = step.max(1);
         while self.now() < t {
             let next = self.now().plus(step).min(t);
-            self.engine.advance_clock_to(next)?;
+            self.advance_clock_to(next)?;
             self.tick()?;
         }
         Ok(())
@@ -155,15 +463,25 @@ impl ActiveDatabase {
 
     /// Emits a user event.
     pub fn emit(&mut self, e: Event) -> Result<usize> {
+        self.log_op(|| LogicalOp::Emit {
+            events: EventSet::of([e.clone()]),
+        })?;
         let idx = self.engine.emit_event(e)?;
-        self.process()?;
+        let r = self.process();
+        self.after_op()?;
+        r?;
         Ok(idx)
     }
 
     /// Emits several simultaneous user events (one system state).
     pub fn emit_all(&mut self, events: EventSet) -> Result<usize> {
+        self.log_op(|| LogicalOp::Emit {
+            events: events.clone(),
+        })?;
         let idx = self.engine.emit(events)?;
-        self.process()?;
+        let r = self.process();
+        self.after_op()?;
+        r?;
         Ok(idx)
     }
 
@@ -174,25 +492,44 @@ impl ActiveDatabase {
     /// `EngineError::Aborted` is returned (violations are also recorded in
     /// the firing log).
     pub fn update(&mut self, ops: impl IntoIterator<Item = WriteOp>) -> Result<usize> {
-        let result = self.gated_update(ops.into_iter().collect(), Vec::new());
+        let ops: Vec<WriteOp> = ops.into_iter().collect();
+        self.log_op(|| LogicalOp::Update { ops: ops.clone() })?;
+        let result = self.gated_update(ops, Vec::new());
         // Dispatch whatever was appended (the commit state, or the abort
         // state of a vetoed transaction) before reporting the outcome.
-        self.process()?;
+        let p = self.process();
+        self.after_op()?;
+        p?;
         result
     }
 
     pub fn begin(&mut self) -> Result<TxnId> {
+        self.log_op(|| LogicalOp::Begin)?;
         let t = self.engine.begin()?;
-        self.process()?;
+        let r = self.process();
+        self.after_op()?;
+        r?;
         Ok(t)
     }
 
     pub fn write(&mut self, txn: TxnId, op: WriteOp) -> Result<()> {
-        Ok(self.engine.write(txn, op)?)
+        self.log_op(|| LogicalOp::Write {
+            txn,
+            op: op.clone(),
+        })?;
+        self.engine.write(txn, op)?;
+        self.after_op()
     }
 
     /// Commits an open transaction, gated by the constraints.
     pub fn commit(&mut self, txn: TxnId) -> Result<usize> {
+        self.log_op(|| LogicalOp::Commit { txn })?;
+        let result = self.commit_inner(txn);
+        self.after_op()?;
+        result
+    }
+
+    fn commit_inner(&mut self, txn: TxnId) -> Result<usize> {
         let idx = self.engine.history().len();
         let prepared = self.engine.prepare_commit(txn)?;
         let gate = self.manager.gate(prepared.candidate(), idx)?;
@@ -203,8 +540,7 @@ impl ActiveDatabase {
             self.process()?;
             Ok(idx)
         } else {
-            let rules: Vec<String> =
-                gate.violations.iter().map(|v| v.rule.clone()).collect();
+            let rules: Vec<String> = gate.violations.iter().map(|v| v.rule.clone()).collect();
             self.firing_log.extend(gate.violations.clone());
             self.engine.abort_prepared(prepared)?;
             self.process()?;
@@ -216,17 +552,22 @@ impl ActiveDatabase {
     }
 
     pub fn abort(&mut self, txn: TxnId) -> Result<usize> {
+        self.log_op(|| LogicalOp::Abort { txn })?;
         let idx = self.engine.abort(txn)?;
-        self.process()?;
+        let r = self.process();
+        self.after_op()?;
+        r?;
         Ok(idx)
     }
 
     /// Forces dispatch of any batched-pending states.
     pub fn flush(&mut self) -> Result<()> {
+        self.log_op(|| LogicalOp::Flush)?;
         let saved = self.batch;
         self.batch = 1;
         let r = self.process();
         self.batch = saved;
+        self.after_op()?;
         r
     }
 
@@ -244,8 +585,7 @@ impl ActiveDatabase {
             Ok(idx)
         } else {
             let txn = prepared.txn();
-            let rules: Vec<String> =
-                gate.violations.iter().map(|v| v.rule.clone()).collect();
+            let rules: Vec<String> = gate.violations.iter().map(|v| v.rule.clone()).collect();
             self.firing_log.extend(gate.violations.clone());
             self.engine.abort_prepared(prepared)?;
             Err(CoreError::Engine(EngineError::Aborted {
@@ -271,7 +611,13 @@ impl ActiveDatabase {
 
     fn process_inner(&mut self) -> Result<()> {
         let mut processed = 0usize;
-        while self.engine.history().len().saturating_sub(self.next_dispatch) >= self.batch {
+        while self
+            .engine
+            .history()
+            .len()
+            .saturating_sub(self.next_dispatch)
+            >= self.batch
+        {
             let idx = self.next_dispatch;
             self.next_dispatch += 1;
             processed += 1;
@@ -347,14 +693,15 @@ impl ActiveDatabase {
     fn materialize_ops(&self, ops: &[ActionOp], env: &Env) -> Result<Vec<WriteOp>> {
         let h = self.engine.history();
         let idx = h.last_index().expect("history is never empty");
-        let eval = |t: &tdb_ptl::Term| -> Result<Value> {
-            Ok(tdb_ptl::eval_term(t, h, idx, env)?)
-        };
+        let eval = |t: &tdb_ptl::Term| -> Result<Value> { Ok(tdb_ptl::eval_term(t, h, idx, env)?) };
         let mut out = Vec::with_capacity(ops.len());
         for op in ops {
             match op {
                 ActionOp::SetItem { item, value } => {
-                    out.push(WriteOp::SetItem { item: item.clone(), value: eval(value)? });
+                    out.push(WriteOp::SetItem {
+                        item: item.clone(),
+                        value: eval(value)?,
+                    });
                 }
                 ActionOp::Insert { relation, tuple } => {
                     let row: Vec<Value> = tuple.iter().map(&eval).collect::<Result<_>>()?;
@@ -384,7 +731,10 @@ impl ActiveDatabase {
                             }
                         }
                     };
-                    out.push(WriteOp::SetItem { item: item.clone(), value: new });
+                    out.push(WriteOp::SetItem {
+                        item: item.clone(),
+                        value: new,
+                    });
                 }
                 ActionOp::UpdateMax { item, value } => {
                     let v = eval(value)?;
@@ -400,7 +750,10 @@ impl ActiveDatabase {
                             }
                         }
                     };
-                    out.push(WriteOp::SetItem { item: item.clone(), value: new });
+                    out.push(WriteOp::SetItem {
+                        item: item.clone(),
+                        value: new,
+                    });
                 }
             }
         }
@@ -418,27 +771,48 @@ mod tests {
 
     fn adb() -> ActiveDatabase {
         let mut db = Database::new();
-        db.create_relation("STOCK", Relation::empty(Schema::untyped(&["name", "price"])))
-            .unwrap();
+        db.create_relation(
+            "STOCK",
+            Relation::empty(Schema::untyped(&["name", "price"])),
+        )
+        .unwrap();
         db.define_query(
             "price",
-            QueryDef::new(1, parse_query("select price from STOCK where name = $0").unwrap()),
+            QueryDef::new(
+                1,
+                parse_query("select price from STOCK where name = $0").unwrap(),
+            ),
         );
-        db.define_query("names", QueryDef::new(0, parse_query("select name from STOCK").unwrap()));
+        db.define_query(
+            "names",
+            QueryDef::new(0, parse_query("select name from STOCK").unwrap()),
+        );
         db.set_item("balance", Value::Int(100));
-        db.define_query("balance_q", QueryDef::new(0, parse_query("item balance").unwrap()));
+        db.define_query(
+            "balance_q",
+            QueryDef::new(0, parse_query("item balance").unwrap()),
+        );
         ActiveDatabase::new(db)
     }
 
     fn set_price(adb: &mut ActiveDatabase, name: &str, p: i64) {
-        let old = adb.db().relation("STOCK").unwrap().iter().find_map(|t| {
-            (t.get(0) == Some(&Value::str(name))).then(|| t.clone())
-        });
+        let old = adb
+            .db()
+            .relation("STOCK")
+            .unwrap()
+            .iter()
+            .find_map(|t| (t.get(0) == Some(&Value::str(name))).then(|| t.clone()));
         let mut ops = Vec::new();
         if let Some(old) = old {
-            ops.push(WriteOp::Delete { relation: "STOCK".into(), tuple: old });
+            ops.push(WriteOp::Delete {
+                relation: "STOCK".into(),
+                tuple: old,
+            });
         }
-        ops.push(WriteOp::Insert { relation: "STOCK".into(), tuple: tuple![name, p] });
+        ops.push(WriteOp::Insert {
+            relation: "STOCK".into(),
+            tuple: tuple![name, p],
+        });
         adb.advance_clock(1).unwrap();
         adb.update(ops).unwrap();
     }
@@ -460,7 +834,11 @@ mod tests {
             set_price(&mut a, "IBM", p);
         }
         let fired: Vec<_> = a.firings().iter().map(|f| f.rule.clone()).collect();
-        assert_eq!(fired, vec!["doubled".to_string()], "fires exactly once, at 25");
+        assert_eq!(
+            fired,
+            vec!["doubled".to_string()],
+            "fires exactly once, at 25"
+        );
     }
 
     #[test]
@@ -473,21 +851,33 @@ mod tests {
         .unwrap();
         a.advance_clock(1).unwrap();
         // OK update.
-        a.update([WriteOp::SetItem { item: "balance".into(), value: Value::Int(50) }])
-            .unwrap();
+        a.update([WriteOp::SetItem {
+            item: "balance".into(),
+            value: Value::Int(50),
+        }])
+        .unwrap();
         // Violating update is rolled back.
         a.advance_clock(1).unwrap();
         let err = a
-            .update([WriteOp::SetItem { item: "balance".into(), value: Value::Int(-1) }])
+            .update([WriteOp::SetItem {
+                item: "balance".into(),
+                value: Value::Int(-1),
+            }])
             .unwrap_err();
-        assert!(matches!(err, CoreError::Engine(EngineError::Aborted { .. })));
+        assert!(matches!(
+            err,
+            CoreError::Engine(EngineError::Aborted { .. })
+        ));
         assert_eq!(a.db().item("balance").unwrap(), Value::Int(50));
         // The violation was logged.
         assert!(a.firings().iter().any(|f| f.rule == "non_negative_balance"));
         // And the system remains usable afterwards.
         a.advance_clock(1).unwrap();
-        a.update([WriteOp::SetItem { item: "balance".into(), value: Value::Int(10) }])
-            .unwrap();
+        a.update([WriteOp::SetItem {
+            item: "balance".into(),
+            value: Value::Int(10),
+        }])
+        .unwrap();
         assert_eq!(a.db().item("balance").unwrap(), Value::Int(10));
     }
 
@@ -497,30 +887,37 @@ mod tests {
         let mut a = adb();
         a.add_rule(Rule::constraint(
             "no_crash",
-            parse_formula(
-                "[x := balance_q()] not lasttime(balance_q() > x + 50)",
-            )
-            .unwrap(),
+            parse_formula("[x := balance_q()] not lasttime(balance_q() > x + 50)").unwrap(),
         ))
         .unwrap();
         a.advance_clock(1).unwrap();
-        a.update([WriteOp::SetItem { item: "balance".into(), value: Value::Int(90) }])
-            .unwrap();
+        a.update([WriteOp::SetItem {
+            item: "balance".into(),
+            value: Value::Int(90),
+        }])
+        .unwrap();
         a.advance_clock(1).unwrap();
         // Drop of 80 violates.
-        let err = a.update([WriteOp::SetItem { item: "balance".into(), value: Value::Int(10) }]);
+        let err = a.update([WriteOp::SetItem {
+            item: "balance".into(),
+            value: Value::Int(10),
+        }]);
         assert!(err.is_err());
         assert_eq!(a.db().item("balance").unwrap(), Value::Int(90));
         // Drop of 40 is fine.
         a.advance_clock(1).unwrap();
-        a.update([WriteOp::SetItem { item: "balance".into(), value: Value::Int(50) }])
-            .unwrap();
+        a.update([WriteOp::SetItem {
+            item: "balance".into(),
+            value: Value::Int(50),
+        }])
+        .unwrap();
     }
 
     #[test]
     fn dbops_action_with_parameter_passing() {
         let mut a = adb();
-        a.create_relation("ALERTS", Relation::empty(Schema::untyped(&["stock"]))).unwrap();
+        a.create_relation("ALERTS", Relation::empty(Schema::untyped(&["stock"])))
+            .unwrap();
         a.add_rule(Rule::trigger(
             "overpriced",
             parse_formula("x in names() and price(x) >= 300").unwrap(),
@@ -541,7 +938,7 @@ mod tests {
     fn executed_predicate_drives_follow_up_rule() {
         // r1: price >= 100 -> (recorded); r2: 10 units after r1 executed -> alert.
         let mut a = adb();
-        a.set_item("alerted", Value::Int(0));
+        a.set_item("alerted", Value::Int(0)).unwrap();
         a.add_rule(
             Rule::trigger(
                 "r1",
@@ -594,7 +991,7 @@ mod tests {
     #[test]
     fn program_action_computes_ops() {
         let mut a = adb();
-        a.set_item("bought", Value::Int(0));
+        a.set_item("bought", Value::Int(0)).unwrap();
         a.add_rule(Rule::trigger(
             "buy_low",
             parse_formula("x in names() and price(x) < 50").unwrap(),
@@ -623,7 +1020,7 @@ mod tests {
             Action::Notify,
         ))
         .unwrap();
-        a.set_batch(4);
+        a.set_batch(4).unwrap();
         set_price(&mut a, "IBM", 150);
         assert!(a.firings().is_empty(), "batched: not yet dispatched");
         a.flush().unwrap();
@@ -675,9 +1072,12 @@ mod cascade_tests {
     fn runaway_level_triggered_rule_hits_cascade_limit() {
         let mut db = Database::new();
         db.set_item("n", Value::Int(0));
-        db.define_query("n", tdb_relation::QueryDef::new(0, tdb_relation::Query::item("n")));
+        db.define_query(
+            "n",
+            tdb_relation::QueryDef::new(0, tdb_relation::Query::item("n")),
+        );
         let mut adb = ActiveDatabase::new(db);
-        adb.set_cascade_limit(25);
+        adb.set_cascade_limit(25).unwrap();
         adb.add_rule(
             Rule::trigger(
                 "runaway",
@@ -695,7 +1095,10 @@ mod cascade_tests {
         .unwrap();
         adb.advance_clock(1).unwrap();
         let err = adb
-            .update([WriteOp::SetItem { item: "n".into(), value: Value::Int(1) }])
+            .update([WriteOp::SetItem {
+                item: "n".into(),
+                value: Value::Int(1),
+            }])
             .unwrap_err();
         assert!(matches!(err, CoreError::CascadeLimit(25)), "{err}");
     }
@@ -705,7 +1108,10 @@ mod cascade_tests {
     fn edge_triggering_prevents_the_cascade() {
         let mut db = Database::new();
         db.set_item("n", Value::Int(0));
-        db.define_query("n", tdb_relation::QueryDef::new(0, tdb_relation::Query::item("n")));
+        db.define_query(
+            "n",
+            tdb_relation::QueryDef::new(0, tdb_relation::Query::item("n")),
+        );
         let mut adb = ActiveDatabase::new(db);
         adb.add_rule(Rule::trigger(
             "tame",
@@ -720,10 +1126,197 @@ mod cascade_tests {
         ))
         .unwrap();
         adb.advance_clock(1).unwrap();
-        adb.update([WriteOp::SetItem { item: "n".into(), value: Value::Int(1) }]).unwrap();
+        adb.update([WriteOp::SetItem {
+            item: "n".into(),
+            value: Value::Int(1),
+        }])
+        .unwrap();
         // Fired once at the update, incremented once; its own action state
         // does not re-fire the still-true condition.
         assert_eq!(adb.db().item("n").unwrap(), Value::Int(2));
         assert_eq!(adb.firings().len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod durability_tests {
+    use super::*;
+    use crate::storage::SharedMemorySink;
+    use tdb_ptl::parse_formula;
+    use tdb_relation::{parse_query, tuple, Schema};
+
+    fn base_db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(
+            "STOCK",
+            Relation::empty(Schema::untyped(&["name", "price"])),
+        )
+        .unwrap();
+        db.define_query(
+            "price",
+            QueryDef::new(
+                1,
+                parse_query("select price from STOCK where name = $0").unwrap(),
+            ),
+        );
+        db.set_item("balance", Value::Int(100));
+        db.define_query(
+            "balance_q",
+            QueryDef::new(0, parse_query("item balance").unwrap()),
+        );
+        db
+    }
+
+    fn catalog() -> Vec<Rule> {
+        vec![
+            Rule::trigger(
+                "doubled",
+                parse_formula(
+                    "[t := time] [x := price(\"IBM\")] \
+                     previously(price(\"IBM\") <= 0.5 * x and time >= t - 10)",
+                )
+                .unwrap(),
+                Action::Notify,
+            ),
+            Rule::constraint("non_negative", parse_formula("balance_q() >= 0").unwrap()),
+        ]
+    }
+
+    fn set_price(a: &mut ActiveDatabase, name: &str, p: i64) {
+        let old = a
+            .db()
+            .relation("STOCK")
+            .unwrap()
+            .iter()
+            .find_map(|t| (t.get(0) == Some(&Value::str(name))).then(|| t.clone()));
+        let mut ops = Vec::new();
+        if let Some(old) = old {
+            ops.push(WriteOp::Delete {
+                relation: "STOCK".into(),
+                tuple: old,
+            });
+        }
+        ops.push(WriteOp::Insert {
+            relation: "STOCK".into(),
+            tuple: tuple![name, p],
+        });
+        a.advance_clock(1).unwrap();
+        a.update(ops).unwrap();
+    }
+
+    /// Drives a workload through a WAL-attached system, then rebuilds from
+    /// the latest in-memory checkpoint + log tail and checks the recovered
+    /// system is indistinguishable (database, clock, firing log, and future
+    /// behaviour).
+    #[test]
+    fn recover_from_memory_sink_reproduces_the_run() {
+        let sink = SharedMemorySink::new(3);
+        let mut live = ActiveDatabase::with_storage(
+            base_db(),
+            ManagerConfig::default(),
+            Box::new(sink.clone()),
+        )
+        .unwrap();
+        for r in catalog() {
+            live.add_rule(r).unwrap();
+        }
+        for p in [10, 15, 18] {
+            set_price(&mut live, "IBM", p);
+        }
+        // An open transaction spanning a would-be checkpoint boundary.
+        let txn = live.begin().unwrap();
+        live.write(
+            txn,
+            WriteOp::SetItem {
+                item: "balance".into(),
+                value: Value::Int(40),
+            },
+        )
+        .unwrap();
+        live.commit(txn).unwrap();
+        // A constraint-vetoed update (its abort state replays too).
+        live.advance_clock(1).unwrap();
+        let err = live.update([WriteOp::SetItem {
+            item: "balance".into(),
+            value: Value::Int(-5),
+        }]);
+        assert!(err.is_err());
+        set_price(&mut live, "IBM", 25); // fires "doubled"
+        assert!(live.firings().iter().any(|f| f.rule == "doubled"));
+
+        let (snap, tail) = sink.latest().expect("at least one checkpoint was taken");
+        assert!(
+            !tail.is_empty(),
+            "workload continued past the last checkpoint"
+        );
+        let mut recovered =
+            ActiveDatabase::recover(snap, &tail, &catalog(), ManagerConfig::default()).unwrap();
+
+        assert_eq!(recovered.db(), live.db());
+        assert_eq!(recovered.now(), live.now());
+        assert_eq!(recovered.firings(), live.firings());
+        assert_eq!(recovered.history().len(), live.history().len());
+        assert_eq!(recovered.retained_size(), live.retained_size());
+
+        // The recovered system keeps behaving identically.
+        set_price(&mut live, "IBM", 7);
+        set_price(&mut recovered, "IBM", 7);
+        set_price(&mut live, "IBM", 20);
+        set_price(&mut recovered, "IBM", 20);
+        assert_eq!(recovered.db(), live.db());
+        assert_eq!(recovered.firings(), live.firings());
+    }
+
+    /// A checkpoint while a transaction is open must be refused (typed
+    /// error), and the facade defers it to the next quiescent op.
+    #[test]
+    fn checkpoint_waits_for_quiescence() {
+        let sink = SharedMemorySink::new(1); // wants a checkpoint after every op
+        let mut a = ActiveDatabase::with_storage(
+            base_db(),
+            ManagerConfig::default(),
+            Box::new(sink.clone()),
+        )
+        .unwrap();
+        let before = sink.inner().checkpoints.len();
+        let txn = a.begin().unwrap();
+        a.write(
+            txn,
+            WriteOp::SetItem {
+                item: "balance".into(),
+                value: Value::Int(1),
+            },
+        )
+        .unwrap();
+        assert!(matches!(a.snapshot(), Err(CoreError::Storage(_))));
+        let during = sink.inner().checkpoints.len();
+        assert_eq!(
+            during, before,
+            "no checkpoint while the transaction is open"
+        );
+        a.commit(txn).unwrap();
+        assert!(
+            sink.inner().checkpoints.len() > during,
+            "deferred checkpoint lands"
+        );
+    }
+
+    /// Recovery with a catalog missing a registered rule is a typed error.
+    #[test]
+    fn recover_with_incomplete_catalog_fails() {
+        let sink = SharedMemorySink::new(1);
+        let mut a = ActiveDatabase::with_storage(
+            base_db(),
+            ManagerConfig::default(),
+            Box::new(sink.clone()),
+        )
+        .unwrap();
+        for r in catalog() {
+            a.add_rule(r).unwrap();
+        }
+        set_price(&mut a, "IBM", 10);
+        let (snap, tail) = sink.latest().unwrap();
+        let err = ActiveDatabase::recover(snap, &tail, &[], ManagerConfig::default());
+        assert!(matches!(err, Err(CoreError::NoSuchRule(_))));
     }
 }

@@ -47,8 +47,25 @@ pub struct EvalConfig {
 
 impl Default for EvalConfig {
     fn default() -> Self {
-        EvalConfig { pruning: true, max_residual: 1_000_000 }
+        EvalConfig {
+            pruning: true,
+            max_residual: 1_000_000,
+        }
     }
+}
+
+/// The durable part of an evaluator: the per-node formula states `F_{g,i}`.
+/// By Theorem 1 this is a sufficient statistic of the whole history, so a
+/// checkpoint that saves it (plus the current database) can resume exactly
+/// where the evaluator left off.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluatorState {
+    /// `F_{g,i}` per subformula node, in compilation order.
+    pub prev: Vec<Arc<Residual>>,
+    /// Whether any state has been processed yet.
+    pub started: bool,
+    /// Number of system states processed.
+    pub states_seen: usize,
 }
 
 /// One node of the flattened subformula DAG (children precede parents).
@@ -60,7 +77,11 @@ enum Node {
     Or(Vec<usize>),
     Lasttime(usize),
     Since(usize, usize),
-    Assign { var: String, term: Term, body: usize },
+    Assign {
+        var: String,
+        term: Term,
+        body: usize,
+    },
 }
 
 /// The incremental evaluator for one condition.
@@ -110,6 +131,32 @@ impl IncrementalEvaluator {
     /// Section 5 optimization keeps bounded (experiment E2).
     pub fn retained_size(&self) -> usize {
         self.prev.iter().map(residual_size).sum()
+    }
+
+    /// Extracts the formula states for checkpointing.
+    pub fn export_state(&self) -> EvaluatorState {
+        EvaluatorState {
+            prev: self.prev.clone(),
+            started: self.started,
+            states_seen: self.states_seen,
+        }
+    }
+
+    /// Installs formula states exported from an evaluator compiled from the
+    /// same condition. Fails if the node count disagrees (the snapshot came
+    /// from a different formula).
+    pub fn import_state(&mut self, st: EvaluatorState) -> Result<()> {
+        if st.prev.len() != self.nodes.len() {
+            return Err(CoreError::RestoreMismatch(format!(
+                "evaluator has {} subformula nodes but snapshot carries {}",
+                self.nodes.len(),
+                st.prev.len()
+            )));
+        }
+        self.prev = st.prev;
+        self.started = st.started;
+        self.states_seen = st.states_seen;
+        Ok(())
     }
 
     /// Processes one new system state and returns `F_{f,i}` for the whole
@@ -174,11 +221,7 @@ impl IncrementalEvaluator {
     /// the condition is unsatisfied, one empty environment for a satisfied
     /// closed condition, one environment per satisfying assignment
     /// otherwise.
-    pub fn advance_and_fire(
-        &mut self,
-        state: &SystemState,
-        index: usize,
-    ) -> Result<Vec<Env>> {
+    pub fn advance_and_fire(&mut self, state: &SystemState, index: usize) -> Result<Vec<Env>> {
         let root = self.advance(state, index)?;
         solve(&root)
     }
@@ -193,11 +236,17 @@ fn build_nodes(f: &Formula, nodes: &mut Vec<Node>) -> Result<usize> {
         | Formula::Event { .. } => Node::Atom(f.clone()),
         Formula::Not(g) => Node::Not(build_nodes(g, nodes)?),
         Formula::And(gs) => {
-            let ids = gs.iter().map(|g| build_nodes(g, nodes)).collect::<Result<_>>()?;
+            let ids = gs
+                .iter()
+                .map(|g| build_nodes(g, nodes))
+                .collect::<Result<_>>()?;
             Node::And(ids)
         }
         Formula::Or(gs) => {
-            let ids = gs.iter().map(|g| build_nodes(g, nodes)).collect::<Result<_>>()?;
+            let ids = gs
+                .iter()
+                .map(|g| build_nodes(g, nodes))
+                .collect::<Result<_>>()?;
             Node::Or(ids)
         }
         Formula::Lasttime(g) => Node::Lasttime(build_nodes(g, nodes)?),
@@ -217,7 +266,11 @@ fn build_nodes(f: &Formula, nodes: &mut Vec<Node>) -> Result<usize> {
                 });
             }
             let body = build_nodes(body, nodes)?;
-            Node::Assign { var: var.clone(), term: term.clone(), body }
+            Node::Assign {
+                var: var.clone(),
+                term: term.clone(),
+                body,
+            }
         }
     };
     nodes.push(node);
@@ -233,11 +286,17 @@ mod tests {
 
     fn stock_engine() -> Engine {
         let mut db = Database::new();
-        db.create_relation("STOCK", Relation::empty(Schema::untyped(&["name", "price"])))
-            .unwrap();
+        db.create_relation(
+            "STOCK",
+            Relation::empty(Schema::untyped(&["name", "price"])),
+        )
+        .unwrap();
         db.define_query(
             "price",
-            QueryDef::new(1, parse_query("select price from STOCK where name = $0").unwrap()),
+            QueryDef::new(
+                1,
+                parse_query("select price from STOCK where name = $0").unwrap(),
+            ),
         );
         db.define_query(
             "names",
@@ -248,14 +307,23 @@ mod tests {
 
     fn set_price_at(e: &mut Engine, name: &str, p: i64, t: i64) {
         e.advance_clock_to(tdb_relation::Timestamp(t)).unwrap();
-        let old = e.db().relation("STOCK").unwrap().iter().find_map(|tp| {
-            (tp.get(0) == Some(&Value::str(name))).then(|| tp.clone())
-        });
+        let old = e
+            .db()
+            .relation("STOCK")
+            .unwrap()
+            .iter()
+            .find_map(|tp| (tp.get(0) == Some(&Value::str(name))).then(|| tp.clone()));
         let mut ops = Vec::new();
         if let Some(old) = old {
-            ops.push(WriteOp::Delete { relation: "STOCK".into(), tuple: old });
+            ops.push(WriteOp::Delete {
+                relation: "STOCK".into(),
+                tuple: old,
+            });
         }
-        ops.push(WriteOp::Insert { relation: "STOCK".into(), tuple: tuple![name, p] });
+        ops.push(WriteOp::Insert {
+            relation: "STOCK".into(),
+            tuple: tuple![name, p],
+        });
         e.apply_update(ops).unwrap();
     }
 
@@ -305,7 +373,10 @@ mod tests {
         let mut with = IncrementalEvaluator::new(&f, EvalConfig::default()).unwrap();
         let mut without = IncrementalEvaluator::new(
             &f,
-            EvalConfig { pruning: false, ..EvalConfig::default() },
+            EvalConfig {
+                pruning: false,
+                ..EvalConfig::default()
+            },
         )
         .unwrap();
         for (i, s) in e.history().iter() {
@@ -332,9 +403,19 @@ mod tests {
         }
         let f = ibm_doubled();
         let a = run(&f, &e, EvalConfig::default());
-        let b = run(&f, &e, EvalConfig { pruning: false, ..EvalConfig::default() });
+        let b = run(
+            &f,
+            &e,
+            EvalConfig {
+                pruning: false,
+                ..EvalConfig::default()
+            },
+        );
         assert_eq!(a, b);
-        assert!(a.iter().any(|x| *x), "history contains doublings within 10 units");
+        assert!(
+            a.iter().any(|x| *x),
+            "history contains doublings within 10 units"
+        );
     }
 
     /// Incremental evaluation must agree with the naive oracle on every
@@ -342,7 +423,15 @@ mod tests {
     #[test]
     fn matches_naive_oracle() {
         let mut e = stock_engine();
-        for (p, t) in [(10, 1), (30, 3), (8, 6), (25, 7), (25, 9), (50, 14), (12, 17)] {
+        for (p, t) in [
+            (10, 1),
+            (30, 3),
+            (8, 6),
+            (25, 7),
+            (25, 9),
+            (50, 14),
+            (12, 17),
+        ] {
             set_price_at(&mut e, "IBM", p, t);
         }
         let formulas = [
@@ -361,8 +450,7 @@ mod tests {
             let mut ev = IncrementalEvaluator::compile(&f).unwrap();
             for (i, s) in e.history().iter() {
                 let inc = !ev.advance_and_fire(s, i).unwrap().is_empty();
-                let naive =
-                    tdb_ptl::eval(&f, e.history(), i, &tdb_ptl::Env::new()).unwrap();
+                let naive = tdb_ptl::eval(&f, e.history(), i, &tdb_ptl::Env::new()).unwrap();
                 assert_eq!(inc, naive, "formula `{src}` disagrees at state {i}");
             }
         }
@@ -381,8 +469,7 @@ mod tests {
         let mut ev = IncrementalEvaluator::compile(&f).unwrap();
         for (i, s) in e.history().iter() {
             let inc = ev.advance_and_fire(s, i).unwrap();
-            let naive = tdb_ptl::fire_bindings(&f, e.history(), i, &tdb_ptl::Env::new())
-                .unwrap();
+            let naive = tdb_ptl::fire_bindings(&f, e.history(), i, &tdb_ptl::Env::new()).unwrap();
             let inc_x: Vec<_> = inc.iter().map(|env| env["x"].clone()).collect();
             let naive_x: Vec<_> = naive.iter().map(|env| env["x"].clone()).collect();
             assert_eq!(inc_x, naive_x, "bindings disagree at state {i}");
@@ -393,9 +480,11 @@ mod tests {
     #[test]
     fn past_event_generator() {
         let mut e = stock_engine();
-        e.emit_event(tdb_engine::Event::new("login", vec![Value::str("alice")])).unwrap();
+        e.emit_event(tdb_engine::Event::new("login", vec![Value::str("alice")]))
+            .unwrap();
         e.emit_event(tdb_engine::Event::simple("tick")).unwrap();
-        e.emit_event(tdb_engine::Event::new("login", vec![Value::str("bob")])).unwrap();
+        e.emit_event(tdb_engine::Event::new("login", vec![Value::str("bob")]))
+            .unwrap();
         let f = parse_formula("previously @login(u)").unwrap();
         let mut ev = IncrementalEvaluator::compile(&f).unwrap();
         let mut last = Vec::new();
@@ -415,10 +504,7 @@ mod tests {
         db.define_query("a", QueryDef::new(0, parse_query("item A").unwrap()));
         let mut e = Engine::new(db);
         // Violation formula: A <= 0 while logged in.
-        let f = parse_formula(
-            "a() <= 0 and (not @logout(\"X\") since @login(\"X\"))",
-        )
-        .unwrap();
+        let f = parse_formula("a() <= 0 and (not @logout(\"X\") since @login(\"X\"))").unwrap();
         let mut ev = IncrementalEvaluator::compile(&f).unwrap();
         let mut fired = Vec::new();
         let drive = |e: &mut Engine, ev: &mut IncrementalEvaluator, fired: &mut Vec<bool>| {
@@ -430,15 +516,23 @@ mod tests {
             fired.push(!ev.advance_and_fire(&s, i).unwrap().is_empty());
         };
         drive(&mut e, &mut ev, &mut fired); // initial state
-        e.emit_event(tdb_engine::Event::new("login", vec![Value::str("X")])).unwrap();
-        drive(&mut e, &mut ev, &mut fired);
-        e.apply_update([WriteOp::SetItem { item: "A".into(), value: Value::Int(-1) }])
+        e.emit_event(tdb_engine::Event::new("login", vec![Value::str("X")]))
             .unwrap();
+        drive(&mut e, &mut ev, &mut fired);
+        e.apply_update([WriteOp::SetItem {
+            item: "A".into(),
+            value: Value::Int(-1),
+        }])
+        .unwrap();
         drive(&mut e, &mut ev, &mut fired); // violation!
-        e.emit_event(tdb_engine::Event::new("logout", vec![Value::str("X")])).unwrap();
-        drive(&mut e, &mut ev, &mut fired);
-        e.apply_update([WriteOp::SetItem { item: "A".into(), value: Value::Int(-2) }])
+        e.emit_event(tdb_engine::Event::new("logout", vec![Value::str("X")]))
             .unwrap();
+        drive(&mut e, &mut ev, &mut fired);
+        e.apply_update([WriteOp::SetItem {
+            item: "A".into(),
+            value: Value::Int(-2),
+        }])
+        .unwrap();
         drive(&mut e, &mut ev, &mut fired); // logged out: no violation
         assert_eq!(fired, vec![false, false, true, false, false]);
     }
@@ -459,7 +553,10 @@ mod tests {
         let f = ibm_doubled();
         let mut ev = IncrementalEvaluator::new(
             &f,
-            EvalConfig { pruning: false, max_residual: 1 },
+            EvalConfig {
+                pruning: false,
+                max_residual: 1,
+            },
         )
         .unwrap();
         let i = e.history().last_index().unwrap();
@@ -470,4 +567,3 @@ mod tests {
         ));
     }
 }
-

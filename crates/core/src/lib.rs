@@ -28,17 +28,21 @@ pub mod manager;
 pub mod parteval;
 pub mod residual;
 pub mod rules;
+pub mod storage;
 pub mod validtime;
 pub mod vtfacade;
 
+pub use auxrel::{AuxEvaluator, AuxState};
 pub use error::{CoreError, Result};
 pub use facade::ActiveDatabase;
-pub use incremental::{EvalConfig, IncrementalEvaluator};
-pub use manager::{executed_relation_name, GateOutcome, ManagerConfig, ManagerStats, RuleManager};
-pub use auxrel::AuxEvaluator;
-pub use rules::{Action, ActionOp, FiringRecord, Program, Rule, RuleKind, TXN_VAR};
-pub use vtfacade::{VtActiveDatabase, VtMode};
-pub use validtime::{
-    offline_satisfied, online_satisfied, theorem2_check, CheckpointRing,
-    DefiniteTriggerRunner, TentativeTriggerRunner,
+pub use incremental::{EvalConfig, EvaluatorState, IncrementalEvaluator};
+pub use manager::{
+    executed_relation_name, GateOutcome, ManagerConfig, ManagerStats, RuleManager, RuleState,
 };
+pub use rules::{Action, ActionOp, FiringRecord, Program, Rule, RuleKind, TXN_VAR};
+pub use storage::{LogicalOp, MemorySink, SharedMemorySink, SystemSnapshot, WalSink};
+pub use validtime::{
+    offline_satisfied, online_satisfied, theorem2_check, CheckpointRing, DefiniteTriggerRunner,
+    TentativeTriggerRunner,
+};
+pub use vtfacade::{VtActiveDatabase, VtMode};

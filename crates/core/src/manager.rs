@@ -23,11 +23,11 @@ use std::collections::BTreeSet;
 use tdb_engine::event::names::{CLOCK_TICK, UPDATE};
 use tdb_engine::SystemState;
 use tdb_ptl::{analyze, executed_query_name, Formula, Term};
-use tdb_relation::{Column, Database, DType, Query, QueryDef, Relation, Schema};
+use tdb_relation::{Column, DType, Database, Query, QueryDef, Relation, Schema};
 
 use crate::aggregate::rewrite_aggregates;
 use crate::error::{CoreError, Result};
-use crate::incremental::{EvalConfig, IncrementalEvaluator};
+use crate::incremental::{EvalConfig, EvaluatorState, IncrementalEvaluator};
 use crate::residual::solve;
 use crate::rules::{FiringRecord, Rule, RuleKind};
 
@@ -97,7 +97,11 @@ pub struct RuleManager {
 
 impl RuleManager {
     pub fn new(cfg: ManagerConfig) -> RuleManager {
-        RuleManager { cfg, runtimes: Vec::new(), stats: ManagerStats::default() }
+        RuleManager {
+            cfg,
+            runtimes: Vec::new(),
+            stats: ManagerStats::default(),
+        }
     }
 
     pub fn stats(&self) -> ManagerStats {
@@ -114,12 +118,18 @@ impl RuleManager {
     }
 
     pub fn rule(&self, name: &str) -> Option<&Rule> {
-        self.runtimes.iter().find(|r| r.rule.name == name).map(|r| &r.rule)
+        self.runtimes
+            .iter()
+            .find(|r| r.rule.name == name)
+            .map(|r| &r.rule)
     }
 
     /// Total retained residual size across all rules (experiment E2).
     pub fn retained_size(&self) -> usize {
-        self.runtimes.iter().map(|r| r.evaluator.retained_size()).sum()
+        self.runtimes
+            .iter()
+            .map(|r| r.evaluator.retained_size())
+            .sum()
     }
 
     /// Registers a rule: rewrites its aggregates (creating registers and
@@ -305,14 +315,70 @@ impl RuleManager {
             self.runtimes[k].evaluator = clone;
         }
     }
+
+    /// Exports the durable per-rule state (formula states plus the
+    /// edge-trigger memory), in registration order. Together with the
+    /// current database this is everything Theorem 1 says a restart needs.
+    pub fn export_states(&self) -> Vec<RuleState> {
+        self.runtimes
+            .iter()
+            .map(|rt| RuleState {
+                name: rt.rule.name.clone(),
+                evaluator: rt.evaluator.export_state(),
+                last_envs: rt.last_envs.clone(),
+            })
+            .collect()
+    }
+
+    /// Installs per-rule states exported by [`RuleManager::export_states`].
+    /// The manager must hold the same rules in the same registration order
+    /// (re-register the catalog first); mismatches are typed errors, not
+    /// silent corruption.
+    pub fn import_states(&mut self, states: Vec<RuleState>) -> Result<()> {
+        if states.len() != self.runtimes.len() {
+            return Err(CoreError::RestoreMismatch(format!(
+                "manager has {} registered rules but snapshot carries {}",
+                self.runtimes.len(),
+                states.len()
+            )));
+        }
+        for (rt, st) in self.runtimes.iter_mut().zip(states) {
+            if rt.rule.name != st.name {
+                return Err(CoreError::RestoreMismatch(format!(
+                    "rule order mismatch: manager has `{}` where snapshot has `{}`",
+                    rt.rule.name, st.name
+                )));
+            }
+            rt.evaluator.import_state(st.evaluator)?;
+            rt.last_envs = st.last_envs;
+        }
+        Ok(())
+    }
+
+    /// Overwrites the counters (restored alongside the rule states).
+    pub fn set_stats(&mut self, stats: ManagerStats) {
+        self.stats = stats;
+    }
+}
+
+/// The durable state of one registered rule, as captured in a checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleState {
+    /// Rule name; import verifies it against the registration order.
+    pub name: String,
+    /// The evaluator's formula states.
+    pub evaluator: EvaluatorState,
+    /// Bindings satisfied at the last evaluated state (edge-trigger memory).
+    pub last_envs: BTreeSet<tdb_ptl::Env>,
 }
 
 /// Creates the `__EXECUTED_<rule>` relation and its reader query if absent.
 fn ensure_executed_relation(db: &mut Database, rule: &str, arity: usize) -> Result<()> {
     let rel_name = executed_relation_name(rule);
     if db.relation(&rel_name).is_err() {
-        let mut cols: Vec<Column> =
-            (0..arity).map(|i| Column::new(format!("p{i}"), DType::Any)).collect();
+        let mut cols: Vec<Column> = (0..arity)
+            .map(|i| Column::new(format!("p{i}"), DType::Any))
+            .collect();
         cols.push(Column::new("time", DType::Time));
         let schema = Schema::new(cols)?;
         db.create_relation(rel_name.clone(), Relation::empty(schema))?;
@@ -420,10 +486,7 @@ mod tests {
     fn aggregate_rule_registers_helpers() {
         let mut m = RuleManager::new(ManagerConfig::default());
         let mut d = db();
-        d.define_query(
-            "price",
-            QueryDef::new(0, parse_query("item A").unwrap()),
-        );
+        d.define_query("price", QueryDef::new(0, parse_query("item A").unwrap()));
         let r = Rule::trigger(
             "avg_watch",
             parse_formula("avg(price(); time = 0; @sample) > 70").unwrap(),

@@ -29,7 +29,10 @@ impl<'a> StateView<'a> {
     pub fn new(state: &'a SystemState, index: usize) -> StateView<'a> {
         StateView {
             state,
-            snap: Snapshot { id: index as u64, db: Arc::new(state.db().clone()) },
+            snap: Snapshot {
+                id: index as u64,
+                db: Arc::new(state.db().clone()),
+            },
         }
     }
 
@@ -44,9 +47,7 @@ pub fn build_pterm(t: &Term, view: &StateView<'_>) -> Result<Arc<PTerm>> {
         Term::Const(v) => Ok(PTerm::val(v.clone())),
         Term::Var(v) => Ok(PTerm::var(v.clone())),
         Term::Time => Ok(PTerm::val(tdb_relation::Value::Time(view.state.time()))),
-        Term::Arith(op, a, b) => {
-            PTerm::arith(*op, build_pterm(a, view)?, build_pterm(b, view)?)
-        }
+        Term::Arith(op, a, b) => PTerm::arith(*op, build_pterm(a, view)?, build_pterm(b, view)?),
         Term::Neg(a) => {
             let a = build_pterm(a, view)?;
             let node = PTerm::Neg(a);
@@ -66,8 +67,10 @@ pub fn build_pterm(t: &Term, view: &StateView<'_>) -> Result<Arc<PTerm>> {
             }
         }
         Term::Query { name, args } => {
-            let args: Vec<Arc<PTerm>> =
-                args.iter().map(|a| build_pterm(a, view)).collect::<Result<_>>()?;
+            let args: Vec<Arc<PTerm>> = args
+                .iter()
+                .map(|a| build_pterm(a, view))
+                .collect::<Result<_>>()?;
             let node = PTerm::QuerySnap {
                 name: name.clone(),
                 args,
@@ -106,8 +109,10 @@ pub fn parteval_atom(f: &Formula, view: &StateView<'_>) -> Result<Arc<Residual>>
                     rel.schema().arity()
                 ))));
             }
-            let pat: Vec<Arc<PTerm>> =
-                pattern.iter().map(|t| build_pterm(t, view)).collect::<Result<_>>()?;
+            let pat: Vec<Arc<PTerm>> = pattern
+                .iter()
+                .map(|t| build_pterm(t, view))
+                .collect::<Result<_>>()?;
             let mut disjuncts = Vec::new();
             for row in rel.iter() {
                 let mut conj = Vec::with_capacity(pat.len());
@@ -119,8 +124,10 @@ pub fn parteval_atom(f: &Formula, view: &StateView<'_>) -> Result<Arc<Residual>>
             Ok(ror(disjuncts))
         }
         Formula::Event { name, pattern } => {
-            let pat: Vec<Arc<PTerm>> =
-                pattern.iter().map(|t| build_pterm(t, view)).collect::<Result<_>>()?;
+            let pat: Vec<Arc<PTerm>> = pattern
+                .iter()
+                .map(|t| build_pterm(t, view))
+                .collect::<Result<_>>()?;
             let mut disjuncts = Vec::new();
             for e in view.state.events().named(name) {
                 if e.args().len() != pat.len() {
@@ -162,9 +169,15 @@ mod tests {
         .unwrap();
         db.define_query(
             "price",
-            QueryDef::new(1, parse_query("select price from STOCK where name = $0").unwrap()),
+            QueryDef::new(
+                1,
+                parse_query("select price from STOCK where name = $0").unwrap(),
+            ),
         );
-        db.define_query("names", QueryDef::new(0, parse_query("select name from STOCK").unwrap()));
+        db.define_query(
+            "names",
+            QueryDef::new(0, parse_query("select name from STOCK").unwrap()),
+        );
         let events = EventSet::of([
             Event::new("login", vec![Value::str("alice")]),
             Event::new("login", vec![Value::str("bob")]),
@@ -237,10 +250,7 @@ mod tests {
     fn member_with_ground_pattern_folds() {
         let s = view_state();
         let v = StateView::new(&s, 0);
-        let f = Formula::member(
-            QueryRef::new("names", vec![]),
-            vec![Term::lit("IBM")],
-        );
+        let f = Formula::member(QueryRef::new("names", vec![]), vec![Term::lit("IBM")]);
         assert_eq!(*parteval_atom(&f, &v).unwrap(), Residual::True);
         let f = Formula::member(QueryRef::new("names", vec![]), vec![Term::lit("XXX")]);
         assert_eq!(*parteval_atom(&f, &v).unwrap(), Residual::False);

@@ -75,7 +75,11 @@ pub enum PTerm {
     Abs(Arc<PTerm>),
     /// A named query whose arguments were not all ground at partial
     /// evaluation time; it is evaluated against `snap` once they are.
-    QuerySnap { name: String, args: Vec<Arc<PTerm>>, snap: Snapshot },
+    QuerySnap {
+        name: String,
+        args: Vec<Arc<PTerm>>,
+        snap: Snapshot,
+    },
 }
 
 impl PTerm {
@@ -129,9 +133,7 @@ impl PTerm {
         match self {
             PTerm::Val(v) => Ok(v.clone()),
             PTerm::Var(v) => Err(CoreError::UnsolvableResidual(v.clone())),
-            PTerm::Arith(op, a, b) => {
-                Ok(eval_arith(*op, &a.eval_ground()?, &b.eval_ground()?)?)
-            }
+            PTerm::Arith(op, a, b) => Ok(eval_arith(*op, &a.eval_ground()?, &b.eval_ground()?)?),
             PTerm::Neg(a) => match a.eval_ground()? {
                 Value::Null => Ok(Value::Null),
                 Value::Int(i) => Ok(Value::Int(-i)),
@@ -151,8 +153,10 @@ impl PTerm {
                 })),
             },
             PTerm::QuerySnap { name, args, snap } => {
-                let args: Vec<Value> =
-                    args.iter().map(|a| a.eval_ground()).collect::<Result<_>>()?;
+                let args: Vec<Value> = args
+                    .iter()
+                    .map(|a| a.eval_ground())
+                    .collect::<Result<_>>()?;
                 let rel = snap.db.eval_named(name, &args)?;
                 Ok(tdb_ptl::relation_to_value(rel))
             }
@@ -193,10 +197,15 @@ impl PTerm {
                 }
             }
             PTerm::QuerySnap { name, args, snap } => {
-                let args: Vec<Arc<PTerm>> =
-                    args.iter().map(|a| a.subst(var, value)).collect::<Result<_>>()?;
-                let node =
-                    PTerm::QuerySnap { name: name.clone(), args, snap: snap.clone() };
+                let args: Vec<Arc<PTerm>> = args
+                    .iter()
+                    .map(|a| a.subst(var, value))
+                    .collect::<Result<_>>()?;
+                let node = PTerm::QuerySnap {
+                    name: name.clone(),
+                    args,
+                    snap: snap.clone(),
+                };
                 if node.is_ground() {
                     Ok(PTerm::val(node.eval_ground()?))
                 } else {
@@ -342,7 +351,9 @@ fn try_linearize(
                 } else {
                     return Ok(None);
                 };
-                let Some(cf) = c.as_f64() else { return Ok(None) };
+                let Some(cf) = c.as_f64() else {
+                    return Ok(None);
+                };
                 if cf == 0.0 {
                     return Ok(None);
                 }
@@ -363,7 +374,9 @@ fn try_linearize(
                     return Ok(None);
                 }
                 let c = b.eval_ground()?;
-                let Some(cf) = c.as_f64() else { return Ok(None) };
+                let Some(cf) = c.as_f64() else {
+                    return Ok(None);
+                };
                 if cf == 0.0 {
                     return Ok(None);
                 }
@@ -592,9 +605,7 @@ pub fn ror(children: impl IntoIterator<Item = Arc<Residual>>) -> Arc<Residual> {
                     CmpOp::Ge | CmpOp::Gt => {
                         let strict = con.op == CmpOp::Gt;
                         let replace = match &w.lower {
-                            Some((b, s)) => {
-                                con.value < *b || (con.value == *b && *s && !strict)
-                            }
+                            Some((b, s)) => con.value < *b || (con.value == *b && *s && !strict),
                             None => true,
                         };
                         if replace {
@@ -604,9 +615,7 @@ pub fn ror(children: impl IntoIterator<Item = Arc<Residual>>) -> Arc<Residual> {
                     CmpOp::Le | CmpOp::Lt => {
                         let strict = con.op == CmpOp::Lt;
                         let replace = match &w.upper {
-                            Some((b, s)) => {
-                                con.value > *b || (con.value == *b && *s && !strict)
-                            }
+                            Some((b, s)) => con.value > *b || (con.value == *b && *s && !strict),
                             None => true,
                         };
                         if replace {
@@ -641,8 +650,7 @@ pub fn ror(children: impl IntoIterator<Item = Arc<Residual>>) -> Arc<Residual> {
                 .lower
                 .as_ref()
                 .is_some_and(|(b, s)| v > b || (v == b && !*s))
-                || w
-                    .upper
+                || w.upper
                     .as_ref()
                     .is_some_and(|(b, s)| v < b || (v == b && !*s));
             if !absorbed {
@@ -669,7 +677,11 @@ pub fn subst(r: &Arc<Residual>, var: &str, value: &Value) -> Result<Arc<Residual
         Residual::True | Residual::False => Ok(r.clone()),
         Residual::Constraint(c) => {
             if c.var == var {
-                Ok(if c.op.eval(value, &c.value) { rtrue() } else { rfalse() })
+                Ok(if c.op.eval(value, &c.value) {
+                    rtrue()
+                } else {
+                    rfalse()
+                })
             } else {
                 Ok(r.clone())
             }
@@ -677,13 +689,17 @@ pub fn subst(r: &Arc<Residual>, var: &str, value: &Value) -> Result<Arc<Residual
         Residual::Cmp(op, a, b) => rcmp(*op, a.subst(var, value)?, b.subst(var, value)?),
         Residual::Not(g) => Ok(rnot(subst(g, var, value)?)),
         Residual::And(gs) => {
-            let gs: Vec<Arc<Residual>> =
-                gs.iter().map(|g| subst(g, var, value)).collect::<Result<_>>()?;
+            let gs: Vec<Arc<Residual>> = gs
+                .iter()
+                .map(|g| subst(g, var, value))
+                .collect::<Result<_>>()?;
             Ok(rand(gs))
         }
         Residual::Or(gs) => {
-            let gs: Vec<Arc<Residual>> =
-                gs.iter().map(|g| subst(g, var, value)).collect::<Result<_>>()?;
+            let gs: Vec<Arc<Residual>> = gs
+                .iter()
+                .map(|g| subst(g, var, value))
+                .collect::<Result<_>>()?;
             Ok(ror(gs))
         }
     }
@@ -773,10 +789,7 @@ pub fn residual_size(r: &Arc<Residual>) -> usize {
             return 0;
         }
         1 + match &**r {
-            Residual::True
-            | Residual::False
-            | Residual::Constraint(_)
-            | Residual::Cmp(..) => 0,
+            Residual::True | Residual::False | Residual::Constraint(_) | Residual::Cmp(..) => 0,
             Residual::Not(g) => go(g, seen),
             Residual::And(gs) | Residual::Or(gs) => gs.iter().map(|g| go(g, seen)).sum(),
         }
@@ -843,14 +856,10 @@ fn solve_rec(r: Arc<Residual>, env: Env, out: &mut BTreeSet<Env>) -> Result<()> 
                 return solve_rec(rest, env2, out);
             }
             // Otherwise distribute over an Or child.
-            if let Some((k, or_child)) = gs
-                .iter()
-                .enumerate()
-                .find_map(|(k, g)| match &**g {
-                    Residual::Or(branches) => Some((k, branches.clone())),
-                    _ => None,
-                })
-            {
+            if let Some((k, or_child)) = gs.iter().enumerate().find_map(|(k, g)| match &**g {
+                Residual::Or(branches) => Some((k, branches.clone())),
+                _ => None,
+            }) {
                 for branch in or_child {
                     let mut parts: Vec<Arc<Residual>> = Vec::with_capacity(gs.len());
                     for (j, g) in gs.iter().enumerate() {
@@ -1151,7 +1160,10 @@ mod tests {
         let mut db = Database::new();
         db.set_item("reg", Value::Int(42));
         db.define_query("reg_q", QueryDef::new(0, parse_query("item reg").unwrap()));
-        let snap = Snapshot { id: 1, db: Arc::new(db) };
+        let snap = Snapshot {
+            id: 1,
+            db: Arc::new(db),
+        };
         // A query term with a symbolic arg count of zero is ground and would
         // have been folded at parteval; simulate a symbolic arg instead.
         let qt = Arc::new(PTerm::QuerySnap {

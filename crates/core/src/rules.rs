@@ -16,8 +16,8 @@ use std::fmt;
 use std::sync::Arc;
 
 use tdb_engine::event::names::ATTEMPTS_TO_COMMIT;
-use tdb_relation::{Timestamp, Value};
 use tdb_ptl::{Env, Formula, Term};
+use tdb_relation::{Timestamp, Value};
 
 /// The reserved variable bound to the committing transaction id inside a
 /// constraint's desugared condition.
@@ -219,7 +219,9 @@ mod tests {
         let fc = r.firing_condition();
         match &fc {
             Formula::And(parts) => {
-                assert!(matches!(&parts[0], Formula::Event { name, .. } if name == ATTEMPTS_TO_COMMIT));
+                assert!(
+                    matches!(&parts[0], Formula::Event { name, .. } if name == ATTEMPTS_TO_COMMIT)
+                );
                 assert_eq!(parts[1], Formula::not(c));
             }
             other => panic!("expected and, got {other}"),
@@ -234,13 +236,21 @@ mod tests {
         let mut env = Env::new();
         env.insert("x".into(), Value::str("IBM"));
         env.insert("u".into(), Value::str("alice"));
-        let rec = FiringRecord { rule: "r".into(), state_index: 3, time: Timestamp(9), env };
+        let rec = FiringRecord {
+            rule: "r".into(),
+            state_index: 3,
+            time: Timestamp(9),
+            env,
+        };
         assert_eq!(rec.params(&r), vec![Value::str("alice"), Value::str("IBM")]);
     }
 
     #[test]
     fn program_action_debug_and_eq() {
-        let p = Program { name: "buy".into(), run: Arc::new(|_| vec![]) };
+        let p = Program {
+            name: "buy".into(),
+            run: Arc::new(|_| vec![]),
+        };
         assert_eq!(format!("{p:?}"), "Program(buy)");
         assert_eq!(p, p.clone());
         let f = Formula::cmp(CmpOp::Gt, Term::lit(1i64), Term::lit(0i64));

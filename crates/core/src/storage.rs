@@ -1,0 +1,233 @@
+//! Durability hooks: the logical operation log and the Theorem-1 snapshot.
+//!
+//! The paper's Theorem 1 (Section 5) says the per-rule formula states
+//! `F_{g,i}` are a *sufficient statistic* of the whole system history: the
+//! evaluator never looks back. That turns crash recovery into a bounded
+//! problem — a checkpoint needs only the current database, the clock, each
+//! rule's formula states, and a handful of counters, never the history
+//! itself. This module defines:
+//!
+//! * [`LogicalOp`] — one entry of the write-ahead log. The facade appends an
+//!   entry *before* applying each externally driven operation (updates,
+//!   events, ticks, transaction control, schema changes), so replaying the
+//!   log suffix through the normal dispatch path reproduces the exact
+//!   post-crash sequence of system states and rule firings. Everything the
+//!   rules themselves do (action transactions, cascades) is deterministic
+//!   given those inputs and is deliberately *not* logged.
+//! * [`WalSink`] — what the facade needs from a storage backend: append an
+//!   op, say when a checkpoint is due, and write one.
+//! * [`SystemSnapshot`] — the checkpoint payload implied by Theorem 1.
+//!
+//! The file formats, checksums and torn-tail handling live in the
+//! `tdb-storage` crate; this module is deliberately I/O-free so the core
+//! stays testable with in-memory sinks.
+
+use tdb_engine::{EventSet, SystemState, TxnId, WriteOp};
+use tdb_relation::{Database, QueryDef, Relation, Timestamp, Value};
+
+use crate::error::Result;
+use crate::manager::{ManagerStats, RuleState};
+use crate::rules::FiringRecord;
+
+/// One logged occurrence, mirroring the externally driven `ActiveDatabase`
+/// API. Replaying these through the facade reproduces the run bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalOp {
+    /// `create_relation` (schema setup).
+    CreateRelation { name: String, relation: Relation },
+    /// `define_query` (schema setup).
+    DefineQuery { name: String, def: QueryDef },
+    /// `set_item` (schema setup / direct item pokes).
+    SetItem { name: String, value: Value },
+    /// `add_rule`. Only the name is durable — actions may embed arbitrary
+    /// closures — so recovery resolves it against a caller-supplied catalog.
+    AddRule { name: String },
+    /// `set_batch`.
+    SetBatch { n: usize },
+    /// `set_cascade_limit`.
+    SetCascadeLimit { n: usize },
+    /// `advance_clock` (relative).
+    AdvanceClock { delta: i64 },
+    /// `advance_clock_to` (absolute; `run_until` steps log as these).
+    AdvanceClockTo { t: Timestamp },
+    /// `tick` — a clock-tick system state.
+    Tick,
+    /// `emit` / `emit_all` — user events (one system state).
+    Emit { events: EventSet },
+    /// `update` — a gated one-shot transaction.
+    Update { ops: Vec<WriteOp> },
+    /// `begin`. Transaction ids are allocated deterministically, so the
+    /// replayed `begin` yields the id later entries refer to.
+    Begin,
+    /// `write` — one buffered write inside an open transaction.
+    Write { txn: TxnId, op: WriteOp },
+    /// `commit` (gated; may deterministically re-abort on replay).
+    Commit { txn: TxnId },
+    /// `abort`.
+    Abort { txn: TxnId },
+    /// `flush` — force dispatch of a partial batch.
+    Flush,
+    /// A rule firing, appended *after* the op that produced it. Audit-only:
+    /// replay skips these (firings are re-derived), but they let offline
+    /// tooling reconstruct the firing log without re-running the rules.
+    Firing { record: FiringRecord },
+}
+
+impl LogicalOp {
+    /// Whether this entry is an audit record rather than a replayable input.
+    pub fn is_audit(&self) -> bool {
+        matches!(self, LogicalOp::Firing { .. })
+    }
+}
+
+/// The checkpoint payload: everything Theorem 1 says a restart needs, and
+/// nothing sized by the history. `states` carries only the retained suffix
+/// still awaiting dispatch (one state when quiescent; up to `batch` states
+/// when batching delays dispatch).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemSnapshot {
+    /// The current committed database.
+    pub db: Database,
+    /// The logical clock.
+    pub now: Timestamp,
+    /// Global index of `states[0]`.
+    pub history_offset: usize,
+    /// The retained history suffix (never empty).
+    pub states: Vec<SystemState>,
+    /// The history's retention cap, if any.
+    pub history_cap: Option<usize>,
+    /// Next transaction id to allocate.
+    pub next_txn: u64,
+    /// Engine auto-tick flag.
+    pub auto_tick: bool,
+    /// Names of the *user-registered* rules, in registration order. Restore
+    /// re-registers exactly these from the caller's catalog; auxiliary
+    /// helper rules (aggregate rewriting) regenerate deterministically.
+    pub registered: Vec<String>,
+    /// Per-rule formula states, in registration order (helpers included).
+    pub rules: Vec<RuleState>,
+    /// Manager counters.
+    pub stats: ManagerStats,
+    /// Undrained firing log.
+    pub firing_log: Vec<FiringRecord>,
+    /// First history index not yet dispatched.
+    pub next_dispatch: usize,
+    /// Pending states whose constraint evaluators already advanced.
+    pub gated: Vec<usize>,
+    /// Dispatch batch size.
+    pub batch: usize,
+    /// Cascade limit.
+    pub cascade_limit: usize,
+}
+
+impl SystemSnapshot {
+    /// Total number of states in the logical history this snapshot stands
+    /// for (the recovered history resumes at this length).
+    pub fn history_len(&self) -> usize {
+        self.history_offset + self.states.len()
+    }
+}
+
+/// A durability backend as seen from the facade: an append-only op log plus
+/// a checkpoint writer. Implementations decide the trigger policy
+/// ([`WalSink::wants_checkpoint`]) — e.g. every N appended ops or M bytes.
+pub trait WalSink: std::fmt::Debug {
+    /// Appends one op. Called *before* the op is applied (write-ahead).
+    fn append(&mut self, op: &LogicalOp) -> Result<()>;
+
+    /// Whether enough log has accumulated that the facade should checkpoint
+    /// at its next quiescent point (no open transactions, dispatch drained).
+    fn wants_checkpoint(&self) -> bool {
+        false
+    }
+
+    /// Writes a checkpoint and starts a fresh log segment for subsequent
+    /// appends.
+    fn checkpoint(&mut self, snap: &SystemSnapshot) -> Result<()>;
+}
+
+/// An in-memory sink for tests: keeps every op and snapshot, checkpoints on
+/// a fixed op cadence.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    /// Appended ops since the last checkpoint.
+    pub tail: Vec<LogicalOp>,
+    /// Snapshots taken, each paired with the ops logged before it since the
+    /// previous checkpoint.
+    pub checkpoints: Vec<(SystemSnapshot, Vec<LogicalOp>)>,
+    /// Checkpoint every this many non-audit ops (0 = never).
+    pub every_ops: usize,
+}
+
+impl MemorySink {
+    pub fn new(every_ops: usize) -> MemorySink {
+        MemorySink {
+            tail: Vec::new(),
+            checkpoints: Vec::new(),
+            every_ops,
+        }
+    }
+
+    /// The latest snapshot and the ops appended after it.
+    pub fn latest(&self) -> Option<(&SystemSnapshot, &[LogicalOp])> {
+        self.checkpoints
+            .last()
+            .map(|(s, _)| (s, self.tail.as_slice()))
+    }
+}
+
+impl WalSink for MemorySink {
+    fn append(&mut self, op: &LogicalOp) -> Result<()> {
+        self.tail.push(op.clone());
+        Ok(())
+    }
+
+    fn wants_checkpoint(&self) -> bool {
+        self.every_ops > 0 && self.tail.iter().filter(|o| !o.is_audit()).count() >= self.every_ops
+    }
+
+    fn checkpoint(&mut self, snap: &SystemSnapshot) -> Result<()> {
+        let since = std::mem::take(&mut self.tail);
+        self.checkpoints.push((snap.clone(), since));
+        Ok(())
+    }
+}
+
+/// A cloneable handle over a [`MemorySink`], for tests that need to keep
+/// inspecting the log after handing the sink (boxed) to the facade.
+#[derive(Debug, Clone, Default)]
+pub struct SharedMemorySink(std::rc::Rc<std::cell::RefCell<MemorySink>>);
+
+impl SharedMemorySink {
+    pub fn new(every_ops: usize) -> SharedMemorySink {
+        SharedMemorySink(std::rc::Rc::new(std::cell::RefCell::new(MemorySink::new(
+            every_ops,
+        ))))
+    }
+
+    /// Borrows the underlying sink (panics if the facade is mid-append,
+    /// which cannot happen from test code running between facade calls).
+    pub fn inner(&self) -> std::cell::Ref<'_, MemorySink> {
+        self.0.borrow()
+    }
+
+    /// The latest snapshot plus the ops appended after it, cloned out.
+    pub fn latest(&self) -> Option<(SystemSnapshot, Vec<LogicalOp>)> {
+        let inner = self.0.borrow();
+        inner.latest().map(|(s, ops)| (s.clone(), ops.to_vec()))
+    }
+}
+
+impl WalSink for SharedMemorySink {
+    fn append(&mut self, op: &LogicalOp) -> Result<()> {
+        self.0.borrow_mut().append(op)
+    }
+
+    fn wants_checkpoint(&self) -> bool {
+        self.0.borrow().wants_checkpoint()
+    }
+
+    fn checkpoint(&mut self, snap: &SystemSnapshot) -> Result<()> {
+        self.0.borrow_mut().checkpoint(snap)
+    }
+}

@@ -37,7 +37,10 @@ pub struct CheckpointRing {
 
 impl CheckpointRing {
     pub fn new(capacity: usize) -> CheckpointRing {
-        CheckpointRing { capacity: capacity.max(1), ring: VecDeque::new() }
+        CheckpointRing {
+            capacity: capacity.max(1),
+            ring: VecDeque::new(),
+        }
     }
 
     pub fn push(&mut self, idx: usize, ev: IncrementalEvaluator) {
@@ -110,12 +113,17 @@ impl TentativeTriggerRunner {
         // Restore the latest checkpoint before `start`, or start fresh.
         let (mut ev, from) = match self.checkpoints.before(start) {
             Some((i, ev)) => (ev, i + 1),
-            None => (IncrementalEvaluator::new(&self.condition, self.cfg.clone())?, 0),
+            None => (
+                IncrementalEvaluator::new(&self.condition, self.cfg.clone())?,
+                0,
+            ),
         };
         let mut firings = Vec::new();
         let end = history.len();
         for idx in from..end {
-            let Some(state) = history.get(idx) else { continue };
+            let Some(state) = history.get(idx) else {
+                continue;
+            };
             let root = ev.advance(state, idx)?;
             self.checkpoints.push(idx, ev.clone());
             // Report firings only for states at or after the dirty point —
@@ -162,7 +170,9 @@ impl DefiniteTriggerRunner {
         let definite = engine.definite_history();
         let mut firings = Vec::new();
         for idx in self.frontier..definite.len() {
-            let Some(state) = definite.get(idx) else { continue };
+            let Some(state) = definite.get(idx) else {
+                continue;
+            };
             let root = self.evaluator.advance(state, idx)?;
             for env in solve(&root)? {
                 firings.push(FiringRecord {
@@ -252,7 +262,10 @@ mod tests {
     }
 
     fn set(item: &str) -> WriteOp {
-        WriteOp::SetItem { item: item.into(), value: Value::Int(1) }
+        WriteOp::SetItem {
+            item: item.into(),
+            value: Value::Int(1),
+        }
     }
 
     /// The paper's Section 9.3 example: u1 (by T1), u2 (by T2), commit-T2,
@@ -283,8 +296,14 @@ mod tests {
     fn online_and_offline_differ_on_paper_history() {
         let e = paper_history();
         let c = u2_implies_u1();
-        assert!(offline_satisfied(&e, &c).unwrap(), "offline: T1's u1 counts");
-        assert!(!online_satisfied(&e, &c).unwrap(), "online: u1 invisible at T2's commit");
+        assert!(
+            offline_satisfied(&e, &c).unwrap(),
+            "offline: T1's u1 counts"
+        );
+        assert!(
+            !online_satisfied(&e, &c).unwrap(),
+            "online: u1 invisible at T2's commit"
+        );
     }
 
     #[test]

@@ -220,7 +220,10 @@ mod tests {
     }
 
     fn set_level(v: i64) -> WriteOp {
-        WriteOp::SetItem { item: "level".into(), value: Value::Int(v) }
+        WriteOp::SetItem {
+            item: "level".into(),
+            value: Value::Int(v),
+        }
     }
 
     #[test]
@@ -247,7 +250,10 @@ mod tests {
         assert!(!fired.contains(&"def"), "definite waits Δ");
         vt.advance_clock(6).unwrap();
         let fired: Vec<&str> = vt.firings().iter().map(|f| f.rule.as_str()).collect();
-        assert!(fired.contains(&"def"), "definite fires once the state is Δ old");
+        assert!(
+            fired.contains(&"def"),
+            "definite fires once the state is Δ old"
+        );
     }
 
     #[test]
@@ -273,7 +279,8 @@ mod tests {
     #[test]
     fn online_constraint_aborts_commit() {
         let mut vt = VtActiveDatabase::new(base(), 10);
-        vt.add_constraint("cap", parse_formula("level() <= 100").unwrap()).unwrap();
+        vt.add_constraint("cap", parse_formula("level() <= 100").unwrap())
+            .unwrap();
         vt.advance_clock(1).unwrap();
         let t = vt.begin().unwrap();
         vt.update(t, set_level(500)).unwrap();
@@ -314,8 +321,7 @@ mod tests {
         // Deploy the constraint after the fact and audit offline.
         vt.add_constraint(
             "never_two_consecutive_highs",
-            parse_formula("not previously(level() > 100 and lasttime(level() > 100))")
-                .unwrap(),
+            parse_formula("not previously(level() > 100 and lasttime(level() > 100))").unwrap(),
         )
         .unwrap();
         let report = vt.offline_report().unwrap();
@@ -327,12 +333,19 @@ mod tests {
     #[test]
     fn duplicate_names_rejected() {
         let mut vt = VtActiveDatabase::new(base(), 5);
-        vt.add_trigger("r", parse_formula("level() > 0").unwrap(), VtMode::Tentative)
-            .unwrap();
+        vt.add_trigger(
+            "r",
+            parse_formula("level() > 0").unwrap(),
+            VtMode::Tentative,
+        )
+        .unwrap();
         assert!(vt
             .add_trigger("r", parse_formula("level() > 0").unwrap(), VtMode::Definite)
             .is_err());
-        vt.add_constraint("c", parse_formula("level() >= 0").unwrap()).unwrap();
-        assert!(vt.add_constraint("c", parse_formula("level() >= 0").unwrap()).is_err());
+        vt.add_constraint("c", parse_formula("level() >= 0").unwrap())
+            .unwrap();
+        assert!(vt
+            .add_constraint("c", parse_formula("level() >= 0").unwrap())
+            .is_err());
     }
 }

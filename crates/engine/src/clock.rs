@@ -28,7 +28,10 @@ impl Clock {
     /// allowed — several events may occur at one instant).
     pub fn advance_to(&mut self, t: Timestamp) -> Result<()> {
         if t < self.now {
-            return Err(EngineError::ClockNotMonotonic { now: self.now.0, requested: t.0 });
+            return Err(EngineError::ClockNotMonotonic {
+                now: self.now.0,
+                requested: t.0,
+            });
         }
         self.now = t;
         Ok(())

@@ -66,13 +66,59 @@ impl Engine {
     pub fn with_history(db: Database, mut history: History) -> Engine {
         let clock = Clock::default();
         history.push(SystemState::new(db.clone(), EventSet::new(), clock.now()));
-        Engine { db, clock, history, open: BTreeMap::new(), next_txn: 1, auto_tick: true }
+        Engine {
+            db,
+            clock,
+            history,
+            open: BTreeMap::new(),
+            next_txn: 1,
+            auto_tick: true,
+        }
+    }
+
+    /// Rebuilds an engine from checkpointed parts. The history must be
+    /// non-empty and end at or before `now`; checkpoints are taken at
+    /// quiescent points, so no open transactions are restored (their ids
+    /// resume from `next_txn`).
+    pub fn from_parts(
+        db: Database,
+        now: Timestamp,
+        history: History,
+        next_txn: u64,
+        auto_tick: bool,
+    ) -> Result<Engine> {
+        if let Some(last) = history.last() {
+            if last.time() > now {
+                return Err(EngineError::ClockNotMonotonic {
+                    now: now.0,
+                    requested: last.time().0,
+                });
+            }
+        }
+        Ok(Engine {
+            db,
+            clock: Clock::starting_at(now),
+            history,
+            open: BTreeMap::new(),
+            next_txn,
+            auto_tick,
+        })
     }
 
     /// Disables automatic clock bumping; emitting two states at the same
     /// instant then becomes an error surfaced as a panic from `History`.
     pub fn set_auto_tick(&mut self, on: bool) {
         self.auto_tick = on;
+    }
+
+    /// The id the next transaction will receive (durable across restarts).
+    pub fn next_txn_id(&self) -> u64 {
+        self.next_txn
+    }
+
+    /// Whether the clock auto-bumps to keep state timestamps unique.
+    pub fn auto_tick(&self) -> bool {
+        self.auto_tick
     }
 
     pub fn now(&self) -> Timestamp {
@@ -131,7 +177,9 @@ impl Engine {
     /// Returns the global state index.
     pub fn emit(&mut self, events: EventSet) -> Result<usize> {
         let t = self.next_state_time()?;
-        Ok(self.history.push(SystemState::new(self.db.clone(), events, t)))
+        Ok(self
+            .history
+            .push(SystemState::new(self.db.clone(), events, t)))
     }
 
     /// Emits a single user event.
@@ -175,13 +223,19 @@ impl Engine {
             events.insert(Event::update(&target));
         }
         let time = self.next_state_time()?;
-        Ok(PreparedCommit { txn, candidate: SystemState::new(post, events, time) })
+        Ok(PreparedCommit {
+            txn,
+            candidate: SystemState::new(post, events, time),
+        })
     }
 
     /// Finishes a prepared commit: appends the candidate state and installs
     /// the post-commit database. Returns the global state index.
     pub fn finish_commit(&mut self, prepared: PreparedCommit) -> Result<usize> {
-        let mut t = self.open.remove(&prepared.txn).ok_or(EngineError::NoSuchTxn(prepared.txn))?;
+        let mut t = self
+            .open
+            .remove(&prepared.txn)
+            .ok_or(EngineError::NoSuchTxn(prepared.txn))?;
         t.mark_committed();
         self.db = prepared.candidate.db().clone();
         Ok(self.history.push(prepared.candidate))
@@ -227,7 +281,10 @@ impl Engine {
         }
         let time = self.next_state_time()?;
         self.open.insert(id, txn);
-        Ok(PreparedCommit { txn: id, candidate: SystemState::new(post, events, time) })
+        Ok(PreparedCommit {
+            txn: id,
+            candidate: SystemState::new(post, events, time),
+        })
     }
 
     /// Applies `ops` as one atomic, immediately committed update, producing
@@ -271,8 +328,11 @@ mod tests {
 
     fn engine() -> Engine {
         let mut db = Database::new();
-        db.create_relation("STOCK", Relation::empty(Schema::untyped(&["name", "price"])))
-            .unwrap();
+        db.create_relation(
+            "STOCK",
+            Relation::empty(Schema::untyped(&["name", "price"])),
+        )
+        .unwrap();
         Engine::new(db)
     }
 
@@ -287,15 +347,27 @@ mod tests {
     fn commit_applies_writes_atomically() {
         let mut e = engine();
         let t = e.begin().unwrap();
-        e.write(t, WriteOp::Insert { relation: "STOCK".into(), tuple: tuple!["IBM", 72i64] })
-            .unwrap();
-        assert!(e.db().relation("STOCK").unwrap().is_empty(), "buffered until commit");
+        e.write(
+            t,
+            WriteOp::Insert {
+                relation: "STOCK".into(),
+                tuple: tuple!["IBM", 72i64],
+            },
+        )
+        .unwrap();
+        assert!(
+            e.db().relation("STOCK").unwrap().is_empty(),
+            "buffered until commit"
+        );
         let p = e.prepare_commit(t).unwrap();
         assert!(
             p.candidate().db().relation("STOCK").unwrap().len() == 1,
             "candidate sees the write"
         );
-        assert!(e.db().relation("STOCK").unwrap().is_empty(), "prepare has no effect");
+        assert!(
+            e.db().relation("STOCK").unwrap().is_empty(),
+            "prepare has no effect"
+        );
         e.finish_commit(p).unwrap();
         assert_eq!(e.db().relation("STOCK").unwrap().len(), 1);
         e.history().validate_transaction_time().unwrap();
@@ -305,11 +377,26 @@ mod tests {
     fn abort_discards_writes() {
         let mut e = engine();
         let t = e.begin().unwrap();
-        e.write(t, WriteOp::SetItem { item: "x".into(), value: Value::Int(1) }).unwrap();
+        e.write(
+            t,
+            WriteOp::SetItem {
+                item: "x".into(),
+                value: Value::Int(1),
+            },
+        )
+        .unwrap();
         let p = e.prepare_commit(t).unwrap();
         e.abort_prepared(p).unwrap();
         assert!(e.db().item("x").is_err());
-        assert!(e.write(t, WriteOp::SetItem { item: "x".into(), value: Value::Int(2) }).is_err());
+        assert!(e
+            .write(
+                t,
+                WriteOp::SetItem {
+                    item: "x".into(),
+                    value: Value::Int(2)
+                }
+            )
+            .is_err());
         // History ends with a transaction_abort event.
         let last = e.history().last().unwrap();
         assert!(last.events().has_named(crate::event::names::TXN_ABORT));
@@ -320,14 +407,22 @@ mod tests {
         let mut e = engine();
         let idx = e
             .run_txn([
-                WriteOp::Insert { relation: "STOCK".into(), tuple: tuple!["IBM", 72i64] },
-                WriteOp::SetItem { item: "F".into(), value: Value::Int(0) },
+                WriteOp::Insert {
+                    relation: "STOCK".into(),
+                    tuple: tuple!["IBM", 72i64],
+                },
+                WriteOp::SetItem {
+                    item: "F".into(),
+                    value: Value::Int(0),
+                },
             ])
             .unwrap();
         let s = e.history().get(idx).unwrap();
         assert!(s.events().contains(&Event::update("STOCK")));
         assert!(s.events().contains(&Event::update("F")));
-        assert!(s.events().has_named(crate::event::names::ATTEMPTS_TO_COMMIT));
+        assert!(s
+            .events()
+            .has_named(crate::event::names::ATTEMPTS_TO_COMMIT));
         assert_eq!(s.events().commit_count(), 1);
     }
 
@@ -372,7 +467,15 @@ mod tests {
     fn unknown_txn_operations_fail() {
         let mut e = engine();
         let ghost = TxnId(99);
-        assert!(e.write(ghost, WriteOp::SetItem { item: "x".into(), value: Value::Int(1) }).is_err());
+        assert!(e
+            .write(
+                ghost,
+                WriteOp::SetItem {
+                    item: "x".into(),
+                    value: Value::Int(1)
+                }
+            )
+            .is_err());
         assert!(e.prepare_commit(ghost).is_err());
         assert!(e.abort(ghost).is_err());
     }
@@ -381,7 +484,14 @@ mod tests {
     fn invalid_write_fails_at_prepare() {
         let mut e = engine();
         let t = e.begin().unwrap();
-        e.write(t, WriteOp::Insert { relation: "NOPE".into(), tuple: tuple![1i64] }).unwrap();
+        e.write(
+            t,
+            WriteOp::Insert {
+                relation: "NOPE".into(),
+                tuple: tuple![1i64],
+            },
+        )
+        .unwrap();
         assert!(e.prepare_commit(t).is_err());
         // Transaction is still open; it can be aborted cleanly.
         e.abort(t).unwrap();

@@ -40,10 +40,16 @@ impl fmt::Display for EngineError {
                 write!(f, "at most one transaction may commit per instant")
             }
             EngineError::ValidTimeTooOld { valid, limit } => {
-                write!(f, "valid time {valid} older than the maximum-delay limit {limit}")
+                write!(
+                    f,
+                    "valid time {valid} older than the maximum-delay limit {limit}"
+                )
             }
             EngineError::ValidTimeInFuture { valid, now } => {
-                write!(f, "valid time {valid} is in the future of transaction time {now}")
+                write!(
+                    f,
+                    "valid time {valid} is in the future of transaction time {now}"
+                )
             }
             EngineError::Rel(e) => write!(f, "{e}"),
             EngineError::Aborted { txn, reason } => {

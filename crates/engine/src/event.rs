@@ -37,7 +37,10 @@ pub struct Event {
 
 impl Event {
     pub fn new(name: impl Into<Arc<str>>, args: Vec<Value>) -> Event {
-        Event { name: name.into(), args }
+        Event {
+            name: name.into(),
+            args,
+        }
     }
 
     /// A parameterless event.
@@ -91,11 +94,11 @@ impl Event {
     /// The transaction id if this is a transaction lifecycle event.
     pub fn txn_id(&self) -> Option<TxnId> {
         match self.name() {
-            names::TXN_BEGIN
-            | names::TXN_COMMIT
-            | names::TXN_ABORT
-            | names::ATTEMPTS_TO_COMMIT => {
-                self.args.first().and_then(Value::as_i64).map(|i| TxnId(i as u64))
+            names::TXN_BEGIN | names::TXN_COMMIT | names::TXN_ABORT | names::ATTEMPTS_TO_COMMIT => {
+                self.args
+                    .first()
+                    .and_then(Value::as_i64)
+                    .map(|i| TxnId(i as u64))
             }
             _ => None,
         }
@@ -127,7 +130,9 @@ impl EventSet {
     }
 
     pub fn of(events: impl IntoIterator<Item = Event>) -> EventSet {
-        EventSet { events: events.into_iter().collect() }
+        EventSet {
+            events: events.into_iter().collect(),
+        }
     }
 
     pub fn insert(&mut self, e: Event) {

@@ -41,7 +41,6 @@ impl SystemState {
     pub fn time(&self) -> Timestamp {
         self.time
     }
-
 }
 
 impl fmt::Display for SystemState {
@@ -73,7 +72,49 @@ impl History {
 
     /// A history that retains only the `cap` most recent states.
     pub fn with_capacity_limit(cap: usize) -> History {
-        History { states: Vec::new(), offset: 0, cap: Some(cap.max(1)) }
+        History {
+            states: Vec::new(),
+            offset: 0,
+            cap: Some(cap.max(1)),
+        }
+    }
+
+    /// Rebuilds a history from checkpointed parts: the global index of the
+    /// first retained state, the retained suffix itself, and the retention
+    /// cap. Panics under the same conditions as [`History::push`] (callers
+    /// deserializing untrusted bytes must validate order first).
+    pub fn from_parts(offset: usize, states: Vec<SystemState>, cap: Option<usize>) -> History {
+        for w in states.windows(2) {
+            assert!(
+                w[1].time() > w[0].time(),
+                "history timestamps must strictly increase ({} then {})",
+                w[0].time(),
+                w[1].time()
+            );
+        }
+        for s in &states {
+            assert!(
+                s.events().commit_count() <= 1,
+                "at most one transaction may commit per system state"
+            );
+        }
+        let mut h = History {
+            states,
+            offset,
+            cap,
+        };
+        if let Some(cap) = h.cap {
+            while h.states.len() > cap.max(1) {
+                h.states.remove(0);
+                h.offset += 1;
+            }
+        }
+        h
+    }
+
+    /// The retention cap this history was built with, if any.
+    pub fn capacity_limit(&self) -> Option<usize> {
+        self.cap
     }
 
     /// Total number of states ever appended.
@@ -132,7 +173,10 @@ impl History {
 
     /// Iterates retained states with their global indices.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &SystemState)> {
-        self.states.iter().enumerate().map(|(j, s)| (self.offset + j, s))
+        self.states
+            .iter()
+            .enumerate()
+            .map(|(j, s)| (self.offset + j, s))
     }
 
     /// Index of the latest state with `time() <= t`, if any is retained.

@@ -115,7 +115,12 @@ pub struct Transaction {
 
 impl Transaction {
     pub fn new(id: TxnId, begin_time: Timestamp) -> Transaction {
-        Transaction { id, begin_time, writes: Vec::new(), status: TxnStatus::Active }
+        Transaction {
+            id,
+            begin_time,
+            writes: Vec::new(),
+            status: TxnStatus::Active,
+        }
     }
 
     pub fn id(&self) -> TxnId {
@@ -137,13 +142,19 @@ impl Transaction {
     /// Buffers a write effective at commit time (transaction-time model).
     pub fn push_write(&mut self, op: WriteOp) {
         debug_assert_eq!(self.status, TxnStatus::Active);
-        self.writes.push(Write { op, valid_time: None });
+        self.writes.push(Write {
+            op,
+            valid_time: None,
+        });
     }
 
     /// Buffers a write with an explicit valid time (valid-time model).
     pub fn push_write_at(&mut self, op: WriteOp, valid_time: Timestamp) {
         debug_assert_eq!(self.status, TxnStatus::Active);
-        self.writes.push(Write { op, valid_time: Some(valid_time) });
+        self.writes.push(Write {
+            op,
+            valid_time: Some(valid_time),
+        });
     }
 
     /// Applies the whole write set to `db` (commit in the transaction-time
@@ -158,7 +169,11 @@ impl Transaction {
 
     /// Distinct catalog names touched by the write set, sorted.
     pub fn touched(&self) -> Vec<String> {
-        let mut t: Vec<String> = self.writes.iter().map(|w| w.op.target().to_string()).collect();
+        let mut t: Vec<String> = self
+            .writes
+            .iter()
+            .map(|w| w.op.target().to_string())
+            .collect();
         t.sort();
         t.dedup();
         t
@@ -180,16 +195,23 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new();
-        db.create_relation("S", Relation::empty(Schema::untyped(&["name", "price"]))).unwrap();
+        db.create_relation("S", Relation::empty(Schema::untyped(&["name", "price"])))
+            .unwrap();
         db
     }
 
     #[test]
     fn writes_are_buffered_not_applied() {
         let mut t = Transaction::new(TxnId(1), Timestamp(0));
-        t.push_write(WriteOp::Insert { relation: "S".into(), tuple: tuple!["IBM", 72i64] });
+        t.push_write(WriteOp::Insert {
+            relation: "S".into(),
+            tuple: tuple!["IBM", 72i64],
+        });
         let d = db();
-        assert!(d.relation("S").unwrap().is_empty(), "no effect before apply");
+        assert!(
+            d.relation("S").unwrap().is_empty(),
+            "no effect before apply"
+        );
         let mut d2 = d.clone();
         t.apply_all(&mut d2).unwrap();
         assert_eq!(d2.relation("S").unwrap().len(), 1);
@@ -198,8 +220,14 @@ mod tests {
     #[test]
     fn apply_order_is_preserved() {
         let mut t = Transaction::new(TxnId(1), Timestamp(0));
-        t.push_write(WriteOp::SetItem { item: "x".into(), value: Value::Int(1) });
-        t.push_write(WriteOp::SetItem { item: "x".into(), value: Value::Int(2) });
+        t.push_write(WriteOp::SetItem {
+            item: "x".into(),
+            value: Value::Int(1),
+        });
+        t.push_write(WriteOp::SetItem {
+            item: "x".into(),
+            value: Value::Int(2),
+        });
         let mut d = db();
         t.apply_all(&mut d).unwrap();
         assert_eq!(d.item("x").unwrap(), Value::Int(2));
@@ -208,12 +236,18 @@ mod tests {
     #[test]
     fn undo_inverts_insert_and_delete() {
         let mut d = db();
-        let ins = WriteOp::Insert { relation: "S".into(), tuple: tuple!["IBM", 72i64] };
+        let ins = WriteOp::Insert {
+            relation: "S".into(),
+            tuple: tuple!["IBM", 72i64],
+        };
         ins.apply(&mut d).unwrap();
         ins.undo(&mut d, None).unwrap();
         assert!(d.relation("S").unwrap().is_empty());
 
-        let del = WriteOp::Delete { relation: "S".into(), tuple: tuple!["IBM", 72i64] };
+        let del = WriteOp::Delete {
+            relation: "S".into(),
+            tuple: tuple!["IBM", 72i64],
+        };
         ins.apply(&mut d).unwrap();
         del.apply(&mut d).unwrap();
         del.undo(&mut d, None).unwrap();
@@ -223,16 +257,28 @@ mod tests {
     #[test]
     fn touched_deduplicates() {
         let mut t = Transaction::new(TxnId(1), Timestamp(0));
-        t.push_write(WriteOp::Insert { relation: "S".into(), tuple: tuple!["a", 1i64] });
-        t.push_write(WriteOp::Delete { relation: "S".into(), tuple: tuple!["a", 1i64] });
-        t.push_write(WriteOp::SetItem { item: "F".into(), value: Value::Int(0) });
+        t.push_write(WriteOp::Insert {
+            relation: "S".into(),
+            tuple: tuple!["a", 1i64],
+        });
+        t.push_write(WriteOp::Delete {
+            relation: "S".into(),
+            tuple: tuple!["a", 1i64],
+        });
+        t.push_write(WriteOp::SetItem {
+            item: "F".into(),
+            value: Value::Int(0),
+        });
         assert_eq!(t.touched(), vec!["F".to_string(), "S".into()]);
     }
 
     #[test]
     fn unknown_relation_fails_apply() {
         let mut t = Transaction::new(TxnId(1), Timestamp(0));
-        t.push_write(WriteOp::Insert { relation: "NOPE".into(), tuple: tuple![1i64] });
+        t.push_write(WriteOp::Insert {
+            relation: "NOPE".into(),
+            tuple: tuple![1i64],
+        });
         assert!(t.apply_all(&mut db()).is_err());
     }
 }

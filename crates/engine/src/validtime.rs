@@ -106,7 +106,13 @@ impl VtEngine {
     pub fn begin(&mut self) -> Result<TxnId> {
         let id = TxnId(self.next_txn);
         self.next_txn += 1;
-        self.txns.insert(id, VtTxn { status: TxnStatus::Active, commit_time: None });
+        self.txns.insert(
+            id,
+            VtTxn {
+                status: TxnStatus::Active,
+                commit_time: None,
+            },
+        );
         self.merge_state(self.now(), EventSet::of([Event::txn_begin(id)]), Vec::new())?;
         Ok(id)
     }
@@ -121,11 +127,17 @@ impl VtEngine {
         }
         let now = self.now();
         if valid > now {
-            return Err(EngineError::ValidTimeInFuture { valid: valid.0, now: now.0 });
+            return Err(EngineError::ValidTimeInFuture {
+                valid: valid.0,
+                now: now.0,
+            });
         }
         let limit = now.minus(self.max_delay);
         if valid < limit {
-            return Err(EngineError::ValidTimeTooOld { valid: valid.0, limit: limit.0 });
+            return Err(EngineError::ValidTimeTooOld {
+                valid: valid.0,
+                limit: limit.0,
+            });
         }
         let events = EventSet::of([Event::update(op.target())]);
         self.merge_state(valid, events, vec![VtUpdate { txn, op }])
@@ -140,7 +152,10 @@ impl VtEngine {
     pub fn emit_at(&mut self, events: EventSet, valid: Timestamp) -> Result<usize> {
         let now = self.now();
         if valid > now {
-            return Err(EngineError::ValidTimeInFuture { valid: valid.0, now: now.0 });
+            return Err(EngineError::ValidTimeInFuture {
+                valid: valid.0,
+                now: now.0,
+            });
         }
         self.merge_state(valid, events, Vec::new())
     }
@@ -210,7 +225,14 @@ impl VtEngine {
                 Ok(i)
             }
             Err(i) => {
-                self.states.insert(i, VtState { time: t, events, updates });
+                self.states.insert(
+                    i,
+                    VtState {
+                        time: t,
+                        events,
+                        updates,
+                    },
+                );
                 Ok(i)
             }
         }
@@ -272,7 +294,9 @@ impl VtEngine {
     /// included, full length).
     pub fn committed_history_at_infinity(&self) -> History {
         self.materialize(Timestamp::MAX, |u| {
-            self.txns.get(&u.txn).is_some_and(|i| i.status == TxnStatus::Committed)
+            self.txns
+                .get(&u.txn)
+                .is_some_and(|i| i.status == TxnStatus::Committed)
         })
     }
 
@@ -289,7 +313,11 @@ impl VtEngine {
         let mut by_txn: BTreeMap<TxnId, Vec<&VtUpdate>> = BTreeMap::new();
         for s in &self.states {
             for u in &s.updates {
-                if self.txns.get(&u.txn).is_some_and(|i| i.status == TxnStatus::Committed) {
+                if self
+                    .txns
+                    .get(&u.txn)
+                    .is_some_and(|i| i.status == TxnStatus::Committed)
+                {
                     by_txn.entry(u.txn).or_default().push(u);
                 }
             }
@@ -328,13 +356,19 @@ mod tests {
 
     fn base() -> Database {
         let mut db = Database::new();
-        db.create_relation("STOCK", Relation::empty(Schema::untyped(&["name", "price"])))
-            .unwrap();
+        db.create_relation(
+            "STOCK",
+            Relation::empty(Schema::untyped(&["name", "price"])),
+        )
+        .unwrap();
         db
     }
 
     fn set_price(p: i64) -> WriteOp {
-        WriteOp::SetItem { item: "price_IBM".into(), value: Value::Int(p) }
+        WriteOp::SetItem {
+            item: "price_IBM".into(),
+            value: Value::Int(p),
+        }
     }
 
     #[test]
@@ -348,7 +382,10 @@ mod tests {
         let h = e.committed_history(Timestamp(100));
         // The state at valid time 5 must carry the new price.
         let idx = h.index_at(Timestamp(5)).unwrap();
-        assert_eq!(h.get(idx).unwrap().db().item("price_IBM").unwrap(), Value::Int(72));
+        assert_eq!(
+            h.get(idx).unwrap().db().item("price_IBM").unwrap(),
+            Value::Int(72)
+        );
     }
 
     #[test]
@@ -385,7 +422,10 @@ mod tests {
         // At time 2 (t2's update posted, not yet committed at cutoff? —
         // committed AT 3 <= 10, so the update IS included at its valid time).
         let idx = h.index_at(Timestamp(2)).unwrap();
-        assert_eq!(h.get(idx).unwrap().db().item("price_IBM").unwrap(), Value::Int(20));
+        assert_eq!(
+            h.get(idx).unwrap().db().item("price_IBM").unwrap(),
+            Value::Int(20)
+        );
         // Cutoff before t2's commit: the update is stripped.
         let h2 = e.committed_history(Timestamp(2));
         assert!(h2.last().unwrap().db().item("price_IBM").is_err());
@@ -398,7 +438,13 @@ mod tests {
         let t = e.begin().unwrap();
         e.update(t, set_price(10)).unwrap();
         e.abort(t).unwrap();
-        assert!(e.tentative_history().last().unwrap().db().item("price_IBM").is_err());
+        assert!(e
+            .tentative_history()
+            .last()
+            .unwrap()
+            .db()
+            .item("price_IBM")
+            .is_err());
         assert!(e
             .committed_history_at_infinity()
             .last()
@@ -417,9 +463,23 @@ mod tests {
         let t1 = e.begin().unwrap();
         let t2 = e.begin().unwrap();
         e.advance_clock(1).unwrap();
-        e.update(t1, WriteOp::SetItem { item: "u1".into(), value: Value::Int(1) }).unwrap();
+        e.update(
+            t1,
+            WriteOp::SetItem {
+                item: "u1".into(),
+                value: Value::Int(1),
+            },
+        )
+        .unwrap();
         e.advance_clock(1).unwrap();
-        e.update(t2, WriteOp::SetItem { item: "u2".into(), value: Value::Int(1) }).unwrap();
+        e.update(
+            t2,
+            WriteOp::SetItem {
+                item: "u2".into(),
+                value: Value::Int(1),
+            },
+        )
+        .unwrap();
         e.advance_clock(1).unwrap();
         let c2 = e.commit(t2).unwrap();
         e.advance_clock(1).unwrap();
@@ -438,7 +498,10 @@ mod tests {
         // same commit point: u1 IS visible because T1 eventually commits.
         let offline = e.committed_history_at_infinity();
         let idx = offline.index_at(t2_commit).unwrap();
-        assert_eq!(offline.get(idx).unwrap().db().item("u1").unwrap(), Value::Int(1));
+        assert_eq!(
+            offline.get(idx).unwrap().db().item("u1").unwrap(),
+            Value::Int(1)
+        );
     }
 
     #[test]
@@ -454,7 +517,12 @@ mod tests {
         let collapsed = e.collapsed_committed_history();
         // Before the commit point the item must be absent…
         let before = collapsed.index_at(Timestamp(5)).unwrap();
-        assert!(collapsed.get(before).unwrap().db().item("price_IBM").is_err());
+        assert!(collapsed
+            .get(before)
+            .unwrap()
+            .db()
+            .item("price_IBM")
+            .is_err());
         // …and present exactly from the commit point.
         let at = collapsed.index_at(Timestamp(6)).unwrap();
         assert_eq!(
@@ -476,7 +544,10 @@ mod tests {
         e.advance_clock(10).unwrap();
         // now = 11, frontier = 6 >= all states: everything definite.
         let h = e.definite_history();
-        assert_eq!(h.last().unwrap().db().item("price_IBM").unwrap(), Value::Int(10));
+        assert_eq!(
+            h.last().unwrap().db().item("price_IBM").unwrap(),
+            Value::Int(10)
+        );
     }
 
     #[test]
@@ -493,7 +564,10 @@ mod tests {
         assert_eq!(h.len(), 2);
         // Later write at the same instant wins (application order).
         let idx = h.index_at(Timestamp(2)).unwrap();
-        assert_eq!(h.get(idx).unwrap().db().item("price_IBM").unwrap(), Value::Int(2));
+        assert_eq!(
+            h.get(idx).unwrap().db().item("price_IBM").unwrap(),
+            Value::Int(2)
+        );
     }
 
     #[test]

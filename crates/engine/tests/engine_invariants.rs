@@ -17,8 +17,11 @@ enum Step {
 fn step_strategy() -> impl Strategy<Value = Step> {
     prop_oneof![
         Just(Step::Begin),
-        (any::<u8>(), 0u8..4, any::<i8>())
-            .prop_map(|(txn, item, value)| Step::Write { txn, item, value }),
+        (any::<u8>(), 0u8..4, any::<i8>()).prop_map(|(txn, item, value)| Step::Write {
+            txn,
+            item,
+            value
+        }),
         any::<u8>().prop_map(|txn| Step::Commit { txn }),
         any::<u8>().prop_map(|txn| Step::Abort { txn }),
         (1u8..5).prop_map(|by| Step::Tick { by }),
@@ -29,7 +32,10 @@ fn base_db() -> Database {
     let mut db = Database::new();
     for i in 0..4 {
         db.set_item(format!("x{i}"), Value::Int(0));
-        db.define_query(format!("x{i}_q"), QueryDef::new(0, Query::item(format!("x{i}"))));
+        db.define_query(
+            format!("x{i}_q"),
+            QueryDef::new(0, Query::item(format!("x{i}"))),
+        );
     }
     db
 }
@@ -149,8 +155,11 @@ fn clock_rejection_is_clean() {
 fn capped_history_engine_still_works() {
     let mut e = Engine::with_history(base_db(), tdb_engine::History::with_capacity_limit(4));
     for i in 0..20i64 {
-        e.apply_update([WriteOp::SetItem { item: "x0".into(), value: Value::Int(i) }])
-            .unwrap();
+        e.apply_update([WriteOp::SetItem {
+            item: "x0".into(),
+            value: Value::Int(i),
+        }])
+        .unwrap();
     }
     assert_eq!(e.history().len(), 21);
     assert_eq!(e.history().retained(), 4);

@@ -76,7 +76,12 @@ pub fn check_single_assignment(f: &Formula) -> Result<()> {
 pub fn time_vars(f: &Formula) -> BTreeSet<String> {
     let mut out = BTreeSet::new();
     f.visit(&mut |g| {
-        if let Formula::Assign { var, term: Term::Time, .. } = g {
+        if let Formula::Assign {
+            var,
+            term: Term::Time,
+            ..
+        } = g
+        {
             out.insert(var.clone());
         }
     });
@@ -101,11 +106,7 @@ pub fn check_safety(f: &Formula) -> Result<()> {
     Ok(())
 }
 
-fn collect_generators(
-    f: &Formula,
-    positive: bool,
-    covered: &mut BTreeSet<String>,
-) -> Result<()> {
+fn collect_generators(f: &Formula, positive: bool, covered: &mut BTreeSet<String>) -> Result<()> {
     match f {
         Formula::True | Formula::False | Formula::Cmp(..) => Ok(()),
         Formula::Member { source, pattern } => {
@@ -191,14 +192,21 @@ mod tests {
     fn member_generator_makes_var_safe() {
         let f = Formula::and([
             Formula::member(QueryRef::new("names", vec![]), vec![Term::var("x")]),
-            Formula::cmp(CmpOp::Gt, Term::query("price", vec![Term::var("x")]), Term::lit(50i64)),
+            Formula::cmp(
+                CmpOp::Gt,
+                Term::query("price", vec![Term::var("x")]),
+                Term::lit(50i64),
+            ),
         ]);
         analyze(&f).unwrap();
     }
 
     #[test]
     fn negated_generator_does_not_cover() {
-        let f = Formula::not(Formula::member(QueryRef::new("names", vec![]), vec![Term::var("x")]));
+        let f = Formula::not(Formula::member(
+            QueryRef::new("names", vec![]),
+            vec![Term::var("x")],
+        ));
         assert!(matches!(analyze(&f), Err(PtlError::Unsafe { .. })));
         // Double negation restores positivity.
         let f2 = Formula::not(f);
@@ -216,7 +224,11 @@ mod tests {
         let f = Formula::assign(
             "x",
             Term::query("price", vec![Term::lit("IBM")]),
-            Formula::cmp(CmpOp::Lt, Term::query("price", vec![Term::lit("IBM")]), Term::var("x")),
+            Formula::cmp(
+                CmpOp::Lt,
+                Term::query("price", vec![Term::lit("IBM")]),
+                Term::var("x"),
+            ),
         );
         analyze(&f).unwrap();
     }

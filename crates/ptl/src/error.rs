@@ -34,7 +34,10 @@ impl fmt::Display for PtlError {
         match self {
             PtlError::UnboundVar(v) => write!(f, "unbound variable `{v}`"),
             PtlError::DuplicateAssignment(v) => {
-                write!(f, "variable `{v}` is assigned more than once; rename one occurrence")
+                write!(
+                    f,
+                    "variable `{v}` is assigned more than once; rename one occurrence"
+                )
             }
             PtlError::Unsafe { var, reason } => {
                 write!(f, "unsafe formula: free variable `{var}` {reason}")
@@ -77,7 +80,10 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(PtlError::UnboundVar("x".into()).to_string(), "unbound variable `x`");
+        assert_eq!(
+            PtlError::UnboundVar("x".into()).to_string(),
+            "unbound variable `x`"
+        );
         assert!(PtlError::Rel(RelError::UnknownTable("T".into()))
             .to_string()
             .contains("unknown relation"));

@@ -23,7 +23,10 @@ pub struct QueryRef {
 
 impl QueryRef {
     pub fn new(name: impl Into<String>, args: Vec<Term>) -> QueryRef {
-        QueryRef { name: name.into(), args }
+        QueryRef {
+            name: name.into(),
+            args,
+        }
     }
 }
 
@@ -38,10 +41,16 @@ pub enum Formula {
     /// query's result at the current state. Variables in the pattern act as
     /// *generators* — this is what makes free variables range-restricted
     /// (safe), the paper's answer to Chomicki's unsafe formulas.
-    Member { source: QueryRef, pattern: Vec<Term> },
+    Member {
+        source: QueryRef,
+        pattern: Vec<Term>,
+    },
     /// Event atom: an event with this name and matching arguments occurs in
     /// the current state. Pattern variables bind to event arguments.
-    Event { name: String, pattern: Vec<Term> },
+    Event {
+        name: String,
+        pattern: Vec<Term>,
+    },
     Not(Box<Formula>),
     And(Vec<Formula>),
     Or(Vec<Formula>),
@@ -57,7 +66,11 @@ pub enum Formula {
     /// Derived: `¬ Previously ¬g`.
     ThroughoutPast(Box<Formula>),
     /// The assignment operator `[var := term] body`.
-    Assign { var: String, term: Term, body: Box<Formula> },
+    Assign {
+        var: String,
+        term: Term,
+        body: Box<Formula>,
+    },
 }
 
 impl Formula {
@@ -66,7 +79,10 @@ impl Formula {
     }
 
     pub fn event(name: impl Into<String>, pattern: Vec<Term>) -> Formula {
-        Formula::Event { name: name.into(), pattern }
+        Formula::Event {
+            name: name.into(),
+            pattern,
+        }
     }
 
     pub fn member(source: QueryRef, pattern: Vec<Term>) -> Formula {
@@ -114,7 +130,11 @@ impl Formula {
     }
 
     pub fn assign(var: impl Into<String>, term: Term, body: Formula) -> Formula {
-        Formula::Assign { var: var.into(), term, body: Box::new(body) }
+        Formula::Assign {
+            var: var.into(),
+            term,
+            body: Box::new(body),
+        }
     }
 
     /// Free variables, in first-occurrence order. A variable is free if it
@@ -420,7 +440,11 @@ mod tests {
                         price(),
                         Term::mul(Term::lit(0.5), Term::var("x")),
                     ),
-                    Formula::cmp(CmpOp::Ge, Term::Time, Term::sub(Term::var("t"), Term::lit(10i64))),
+                    Formula::cmp(
+                        CmpOp::Ge,
+                        Term::Time,
+                        Term::sub(Term::var("t"), Term::lit(10i64)),
+                    ),
                 ])),
             ),
         )

@@ -206,7 +206,10 @@ fn primary(c: &mut Cursor) -> Result<Formula> {
     let left = term(c)?;
     if c.eat_kw("in") {
         let source = query_ref(c)?;
-        return Ok(Formula::Member { source, pattern: vec![left] });
+        return Ok(Formula::Member {
+            source,
+            pattern: vec![left],
+        });
     }
     let op = cmp_op(c)
         .ok_or_else(|| PtlError::Parse("expected comparison or `in` after term".into()))?;
@@ -389,10 +392,7 @@ mod tests {
     #[test]
     fn login_session_example_parses() {
         // "the value of A remains positive while user X is logged in"
-        let f = parse_formula(
-            "a() > 0 or not (not @logout(\"X\") since @login(\"X\"))",
-        )
-        .unwrap();
+        let f = parse_formula("a() > 0 or not (not @logout(\"X\") since @login(\"X\"))").unwrap();
         assert!(matches!(f, Formula::Or(_)));
         assert_eq!(f.event_names(), vec!["logout".to_string(), "login".into()]);
     }
@@ -462,10 +462,9 @@ mod tests {
     #[test]
     fn aggregate_syntax() {
         // Hourly average of IBM since 9AM, sampled at update_stocks events.
-        let f = parse_formula(
-            "avg(price(\"IBM\"); time = 540; @update_stocks) > 70 since time = 540",
-        )
-        .unwrap();
+        let f =
+            parse_formula("avg(price(\"IBM\"); time = 540; @update_stocks) > 70 since time = 540")
+                .unwrap();
         assert!(matches!(f, Formula::Since(..)));
         let mut has_agg = false;
         f.visit(&mut |g| {
@@ -504,8 +503,14 @@ mod tests {
     fn bad_input_rejected() {
         assert!(parse_formula("since @a").is_err());
         assert!(parse_formula("@a since").is_err());
-        assert!(parse_formula("price(\"IBM\")").is_err(), "bare term is not a formula");
-        assert!(parse_formula("[x = 3] true").is_err(), "assignment needs :=");
+        assert!(
+            parse_formula("price(\"IBM\")").is_err(),
+            "bare term is not a formula"
+        );
+        assert!(
+            parse_formula("[x = 3] true").is_err(),
+            "assignment needs :="
+        );
         assert!(parse_formula("x in ").is_err());
     }
 

@@ -52,9 +52,10 @@ fn core_term(t: &Term) -> Term {
         Term::Arith(op, a, b) => Term::arith(*op, core_term(a), core_term(b)),
         Term::Neg(a) => Term::Neg(Box::new(core_term(a))),
         Term::Abs(a) => Term::Abs(Box::new(core_term(a))),
-        Term::Query { name, args } => {
-            Term::Query { name: name.clone(), args: args.iter().map(core_term).collect() }
-        }
+        Term::Query { name, args } => Term::Query {
+            name: name.clone(),
+            args: args.iter().map(core_term).collect(),
+        },
         Term::Agg(agg) => Term::Agg(Box::new(TemporalAgg {
             func: agg.func,
             query: core_term(&agg.query),
@@ -112,7 +113,11 @@ mod tests {
         });
         assert!(!has_prev);
         // The aggregate's start formula was also rewritten.
-        if let Formula::Assign { term: Term::Agg(agg), .. } = &core {
+        if let Formula::Assign {
+            term: Term::Agg(agg),
+            ..
+        } = &core
+        {
             assert!(matches!(agg.start, Formula::Since(..)));
         } else {
             panic!("expected assignment over aggregate");

@@ -52,7 +52,10 @@ pub fn relation_to_value(rel: Relation) -> Value {
 pub fn eval_term(t: &Term, h: &History, i: usize, env: &Env) -> Result<Value> {
     match t {
         Term::Const(v) => Ok(v.clone()),
-        Term::Var(x) => env.get(x).cloned().ok_or_else(|| PtlError::UnboundVar(x.clone())),
+        Term::Var(x) => env
+            .get(x)
+            .cloned()
+            .ok_or_else(|| PtlError::UnboundVar(x.clone())),
         Term::Time => Ok(Value::Time(state(h, i)?.time())),
         Term::Arith(op, a, b) => {
             let a = eval_term(a, h, i, env)?;
@@ -72,8 +75,10 @@ pub fn eval_term(t: &Term, h: &History, i: usize, env: &Env) -> Result<Value> {
             v => Err(PtlError::TypeError(format!("no absolute value for {v}"))),
         },
         Term::Query { name, args } => {
-            let args: Vec<Value> =
-                args.iter().map(|a| eval_term(a, h, i, env)).collect::<Result<_>>()?;
+            let args: Vec<Value> = args
+                .iter()
+                .map(|a| eval_term(a, h, i, env))
+                .collect::<Result<_>>()?;
             let rel = state(h, i)?.db().eval_named(name, &args)?;
             Ok(relation_to_value(rel))
         }
@@ -116,11 +121,16 @@ pub fn eval(f: &Formula, h: &History, i: usize, env: &Env) -> Result<bool> {
             Ok(op.eval(&a, &b))
         }
         Formula::Member { source, pattern } => {
-            let args: Vec<Value> =
-                source.args.iter().map(|a| eval_term(a, h, i, env)).collect::<Result<_>>()?;
+            let args: Vec<Value> = source
+                .args
+                .iter()
+                .map(|a| eval_term(a, h, i, env))
+                .collect::<Result<_>>()?;
             let rel = state(h, i)?.db().eval_named(&source.name, &args)?;
-            let pat: Vec<Value> =
-                pattern.iter().map(|t| eval_term(t, h, i, env)).collect::<Result<_>>()?;
+            let pat: Vec<Value> = pattern
+                .iter()
+                .map(|t| eval_term(t, h, i, env))
+                .collect::<Result<_>>()?;
             if rel.schema().arity() != pat.len() {
                 return Err(PtlError::TypeError(format!(
                     "membership pattern arity {} does not match query `{}` arity {}",
@@ -133,8 +143,10 @@ pub fn eval(f: &Formula, h: &History, i: usize, env: &Env) -> Result<bool> {
             Ok(found)
         }
         Formula::Event { name, pattern } => {
-            let pat: Vec<Value> =
-                pattern.iter().map(|t| eval_term(t, h, i, env)).collect::<Result<_>>()?;
+            let pat: Vec<Value> = pattern
+                .iter()
+                .map(|t| eval_term(t, h, i, env))
+                .collect::<Result<_>>()?;
             Ok(state(h, i)?
                 .events()
                 .named(name)
@@ -213,10 +225,17 @@ pub fn eval(f: &Formula, h: &History, i: usize, env: &Env) -> Result<bool> {
 /// candidate combination is then checked with [`eval`]. This is the oracle
 /// for the incremental evaluator's binding extraction.
 pub fn fire_bindings(f: &Formula, h: &History, i: usize, base: &Env) -> Result<Vec<Env>> {
-    let free: Vec<String> =
-        f.free_vars().into_iter().filter(|v| !base.contains_key(v)).collect();
+    let free: Vec<String> = f
+        .free_vars()
+        .into_iter()
+        .filter(|v| !base.contains_key(v))
+        .collect();
     if free.is_empty() {
-        return Ok(if eval(f, h, i, base)? { vec![base.clone()] } else { vec![] });
+        return Ok(if eval(f, h, i, base)? {
+            vec![base.clone()]
+        } else {
+            vec![]
+        });
     }
 
     // Candidate values per free variable.
@@ -344,34 +363,50 @@ mod tests {
     use super::*;
     use crate::formula::QueryRef;
     use tdb_engine::{Engine, WriteOp};
-    use tdb_relation::{
-        parse_query, tuple, CmpOp, Database, QueryDef, Relation, Schema, Value,
-    };
+    use tdb_relation::{parse_query, tuple, CmpOp, Database, QueryDef, Relation, Schema, Value};
 
     /// A tiny stock engine: relation STOCK(name, price), query price(x),
     /// query names().
     fn stock_engine() -> Engine {
         let mut db = Database::new();
-        db.create_relation("STOCK", Relation::empty(Schema::untyped(&["name", "price"])))
-            .unwrap();
+        db.create_relation(
+            "STOCK",
+            Relation::empty(Schema::untyped(&["name", "price"])),
+        )
+        .unwrap();
         db.define_query(
             "price",
-            QueryDef::new(1, parse_query("select price from STOCK where name = $0").unwrap()),
+            QueryDef::new(
+                1,
+                parse_query("select price from STOCK where name = $0").unwrap(),
+            ),
         );
-        db.define_query("names", QueryDef::new(0, parse_query("select name from STOCK").unwrap()));
+        db.define_query(
+            "names",
+            QueryDef::new(0, parse_query("select name from STOCK").unwrap()),
+        );
         Engine::new(db)
     }
 
     /// One price change = one system state (`Engine::apply_update`).
     fn set_price(e: &mut Engine, name: &str, p: i64) {
-        let old = e.db().relation("STOCK").unwrap().iter().find_map(|t| {
-            (t.get(0) == Some(&Value::str(name))).then(|| t.clone())
-        });
+        let old = e
+            .db()
+            .relation("STOCK")
+            .unwrap()
+            .iter()
+            .find_map(|t| (t.get(0) == Some(&Value::str(name))).then(|| t.clone()));
         let mut ops = Vec::new();
         if let Some(old) = old {
-            ops.push(WriteOp::Delete { relation: "STOCK".into(), tuple: old });
+            ops.push(WriteOp::Delete {
+                relation: "STOCK".into(),
+                tuple: old,
+            });
         }
-        ops.push(WriteOp::Insert { relation: "STOCK".into(), tuple: tuple![name, p] });
+        ops.push(WriteOp::Insert {
+            relation: "STOCK".into(),
+            tuple: tuple![name, p],
+        });
         e.apply_update(ops).unwrap();
     }
 
@@ -411,11 +446,8 @@ mod tests {
         let h = e.history();
         let i = h.last_index().unwrap();
         let now_cheap = Formula::cmp(CmpOp::Lt, price_term("IBM"), Term::lit(50i64));
-        let was_dear = Formula::previously(Formula::cmp(
-            CmpOp::Gt,
-            price_term("IBM"),
-            Term::lit(50i64),
-        ));
+        let was_dear =
+            Formula::previously(Formula::cmp(CmpOp::Gt, price_term("IBM"), Term::lit(50i64)));
         let env = Env::new();
         assert!(eval(&now_cheap, h, i, &env).unwrap());
         assert!(eval(&was_dear, h, i, &env).unwrap());
@@ -514,14 +546,23 @@ mod tests {
         e.set_auto_tick(false);
         for &(p, t) in points {
             e.advance_clock_to(tdb_relation::Timestamp(t)).unwrap();
-            let old = e.db().relation("STOCK").unwrap().iter().find_map(|tp| {
-                (tp.get(0) == Some(&Value::str("IBM"))).then(|| tp.clone())
-            });
+            let old = e
+                .db()
+                .relation("STOCK")
+                .unwrap()
+                .iter()
+                .find_map(|tp| (tp.get(0) == Some(&Value::str("IBM"))).then(|| tp.clone()));
             let mut ops = Vec::new();
             if let Some(old) = old {
-                ops.push(WriteOp::Delete { relation: "STOCK".into(), tuple: old });
+                ops.push(WriteOp::Delete {
+                    relation: "STOCK".into(),
+                    tuple: old,
+                });
             }
-            ops.push(WriteOp::Insert { relation: "STOCK".into(), tuple: tuple!["IBM", p] });
+            ops.push(WriteOp::Insert {
+                relation: "STOCK".into(),
+                tuple: tuple!["IBM", p],
+            });
             e.apply_update(ops).unwrap();
         }
         e.history().clone()
@@ -545,7 +586,8 @@ mod tests {
     #[test]
     fn event_atoms_match_by_name_and_args() {
         let mut e = stock_engine();
-        e.emit_event(tdb_engine::Event::new("login", vec![Value::str("alice")])).unwrap();
+        e.emit_event(tdb_engine::Event::new("login", vec![Value::str("alice")]))
+            .unwrap();
         let h = e.history();
         let i = h.last_index().unwrap();
         let hit = Formula::event("login", vec![Term::lit("alice")]);
@@ -565,7 +607,11 @@ mod tests {
         // x in names() and price(x) >= 300 — fires for IBM and HP.
         let f = Formula::and([
             Formula::member(QueryRef::new("names", vec![]), vec![Term::var("x")]),
-            Formula::cmp(CmpOp::Ge, Term::query("price", vec![Term::var("x")]), Term::lit(300i64)),
+            Formula::cmp(
+                CmpOp::Ge,
+                Term::query("price", vec![Term::var("x")]),
+                Term::lit(300i64),
+            ),
         ]);
         let fired = fire_bindings(&f, h, i, &Env::new()).unwrap();
         let names: Vec<_> = fired.iter().map(|env| env["x"].clone()).collect();
@@ -575,7 +621,8 @@ mod tests {
     #[test]
     fn fire_bindings_sees_past_generators() {
         let mut e = stock_engine();
-        e.emit_event(tdb_engine::Event::new("login", vec![Value::str("alice")])).unwrap();
+        e.emit_event(tdb_engine::Event::new("login", vec![Value::str("alice")]))
+            .unwrap();
         e.emit_event(tdb_engine::Event::simple("tick")).unwrap();
         let h = e.history();
         let i = h.last_index().unwrap();

@@ -58,7 +58,10 @@ impl Term {
     }
 
     pub fn query(name: impl Into<String>, args: Vec<Term>) -> Term {
-        Term::Query { name: name.into(), args }
+        Term::Query {
+            name: name.into(),
+            args,
+        }
     }
 
     pub fn arith(op: ArithOp, a: Term, b: Term) -> Term {
@@ -82,7 +85,12 @@ impl Term {
     }
 
     pub fn agg(func: AggFunc, query: Term, start: Formula, sample: Formula) -> Term {
-        Term::Agg(Box::new(TemporalAgg { func, query, start, sample }))
+        Term::Agg(Box::new(TemporalAgg {
+            func,
+            query,
+            start,
+            sample,
+        }))
     }
 
     /// Variables occurring in the term (including inside aggregate
@@ -157,7 +165,11 @@ impl fmt::Display for Term {
                 write!(f, ")")
             }
             Term::Agg(agg) => {
-                write!(f, "{}({}; {}; {})", agg.func, agg.query, agg.start, agg.sample)
+                write!(
+                    f,
+                    "{}({}; {}; {})",
+                    agg.func, agg.query, agg.start, agg.sample
+                )
             }
         }
     }

@@ -81,7 +81,13 @@ pub struct Accumulator {
 
 impl Accumulator {
     pub fn new(func: AggFunc) -> Accumulator {
-        Accumulator { func, count: 0, sum: Value::Int(0), extreme: None, last: None }
+        Accumulator {
+            func,
+            count: 0,
+            sum: Value::Int(0),
+            extreme: None,
+            last: None,
+        }
     }
 
     pub fn func(&self) -> AggFunc {
@@ -106,7 +112,10 @@ impl Accumulator {
             AggFunc::Count => {}
             AggFunc::Sum | AggFunc::Avg => {
                 if !v.is_numeric() {
-                    return Err(RelError::TypeError { op: "sum", value: v.to_string() });
+                    return Err(RelError::TypeError {
+                        op: "sum",
+                        value: v.to_string(),
+                    });
                 }
                 self.sum = eval_arith(ArithOp::Add, &self.sum, v)?;
             }
@@ -163,12 +172,21 @@ mod tests {
 
     #[test]
     fn apply_basic() {
-        assert_eq!(AggFunc::Count.apply(ints(&[1, 2, 3])).unwrap(), Value::Int(3));
+        assert_eq!(
+            AggFunc::Count.apply(ints(&[1, 2, 3])).unwrap(),
+            Value::Int(3)
+        );
         assert_eq!(AggFunc::Sum.apply(ints(&[1, 2, 3])).unwrap(), Value::Int(6));
-        assert_eq!(AggFunc::Avg.apply(ints(&[1, 2, 3])).unwrap(), Value::float(2.0));
+        assert_eq!(
+            AggFunc::Avg.apply(ints(&[1, 2, 3])).unwrap(),
+            Value::float(2.0)
+        );
         assert_eq!(AggFunc::Min.apply(ints(&[3, 1, 2])).unwrap(), Value::Int(1));
         assert_eq!(AggFunc::Max.apply(ints(&[3, 1, 2])).unwrap(), Value::Int(3));
-        assert_eq!(AggFunc::Last.apply(ints(&[3, 1, 2])).unwrap(), Value::Int(2));
+        assert_eq!(
+            AggFunc::Last.apply(ints(&[3, 1, 2])).unwrap(),
+            Value::Int(2)
+        );
     }
 
     #[test]

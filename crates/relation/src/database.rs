@@ -131,6 +131,11 @@ impl Database {
             .ok_or_else(|| RelError::UnknownTable(name.to_string()))
     }
 
+    /// Iterates all registered query names (for serialization).
+    pub fn query_names(&self) -> impl Iterator<Item = &str> {
+        self.queries.keys().map(String::as_str)
+    }
+
     /// Evaluates a named query with arguments, checking arity.
     pub fn eval_named(&self, name: &str, args: &[Value]) -> Result<Relation> {
         let def = self.query_def(name)?;
@@ -196,8 +201,14 @@ mod tests {
     #[test]
     fn named_query_checks_arity() {
         let db = db();
-        assert_eq!(db.eval_named_scalar("price", &[Value::str("IBM")]).unwrap(), Value::Int(72));
-        assert!(matches!(db.eval_named("price", &[]), Err(RelError::Arity { .. })));
+        assert_eq!(
+            db.eval_named_scalar("price", &[Value::str("IBM")]).unwrap(),
+            Value::Int(72)
+        );
+        assert!(matches!(
+            db.eval_named("price", &[]),
+            Err(RelError::Arity { .. })
+        ));
         assert!(db.eval_named("nope", &[]).is_err());
     }
 
@@ -207,7 +218,11 @@ mod tests {
         let b = a.clone();
         a.insert_tuple("STOCK", tuple!["DEC", 45i64]).unwrap();
         assert_eq!(a.relation("STOCK").unwrap().len(), 2);
-        assert_eq!(b.relation("STOCK").unwrap().len(), 1, "snapshot must not see the write");
+        assert_eq!(
+            b.relation("STOCK").unwrap().len(),
+            1,
+            "snapshot must not see the write"
+        );
     }
 
     #[test]
@@ -224,7 +239,9 @@ mod tests {
     #[test]
     fn duplicate_relation_rejected() {
         let mut d = db();
-        assert!(d.create_relation("STOCK", Relation::empty(Schema::untyped(&["x"]))).is_err());
+        assert!(d
+            .create_relation("STOCK", Relation::empty(Schema::untyped(&["x"])))
+            .is_err());
     }
 
     #[test]

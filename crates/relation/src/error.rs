@@ -21,7 +21,11 @@ pub enum RelError {
     /// A query expected to produce a single scalar produced something else.
     NotScalar { rows: usize, cols: usize },
     /// A function/query was called with the wrong number of arguments.
-    Arity { name: String, expected: usize, found: usize },
+    Arity {
+        name: String,
+        expected: usize,
+        found: usize,
+    },
     /// A parameter placeholder `$i` had no binding in the environment.
     UnboundParam(usize),
     /// Integer or float division by zero.
@@ -46,9 +50,16 @@ impl fmt::Display for RelError {
                 write!(f, "type error: cannot apply `{op}` to {value}")
             }
             RelError::NotScalar { rows, cols } => {
-                write!(f, "expected scalar result, got {rows} row(s) x {cols} column(s)")
+                write!(
+                    f,
+                    "expected scalar result, got {rows} row(s) x {cols} column(s)"
+                )
             }
-            RelError::Arity { name, expected, found } => {
+            RelError::Arity {
+                name,
+                expected,
+                found,
+            } => {
                 write!(f, "`{name}` expects {expected} argument(s), found {found}")
             }
             RelError::UnboundParam(i) => write!(f, "unbound query parameter ${i}"),
@@ -74,7 +85,11 @@ mod tests {
         assert_eq!(e.to_string(), "unknown relation `STOCK`");
         let e = RelError::NotScalar { rows: 2, cols: 3 };
         assert!(e.to_string().contains("2 row(s)"));
-        let e = RelError::Arity { name: "price".into(), expected: 1, found: 2 };
+        let e = RelError::Arity {
+            name: "price".into(),
+            expected: 1,
+            found: 2,
+        };
         assert!(e.to_string().contains("expects 1"));
     }
 }

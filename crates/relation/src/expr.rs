@@ -171,9 +171,7 @@ impl ScalarExpr {
                 let idx = schema.index_of(name)?;
                 Ok(row.values()[idx].clone())
             }
-            ScalarExpr::Param(i) => {
-                params.get(*i).cloned().ok_or(RelError::UnboundParam(*i))
-            }
+            ScalarExpr::Param(i) => params.get(*i).cloned().ok_or(RelError::UnboundParam(*i)),
             ScalarExpr::Arith(op, a, b) => {
                 let a = a.eval(schema, row, params)?;
                 let b = b.eval(schema, row, params)?;
@@ -201,12 +199,18 @@ impl ScalarExpr {
             ScalarExpr::Neg(a) => match a.eval(schema, row, params)? {
                 Value::Int(i) => i.checked_neg().map(Value::Int).ok_or(RelError::Overflow),
                 Value::Float(f) => Ok(Value::float(-f)),
-                v => Err(RelError::TypeError { op: "neg", value: v.to_string() }),
+                v => Err(RelError::TypeError {
+                    op: "neg",
+                    value: v.to_string(),
+                }),
             },
             ScalarExpr::Abs(a) => match a.eval(schema, row, params)? {
                 Value::Int(i) => i.checked_abs().map(Value::Int).ok_or(RelError::Overflow),
                 Value::Float(f) => Ok(Value::float(f.abs())),
-                v => Err(RelError::TypeError { op: "abs", value: v.to_string() }),
+                v => Err(RelError::TypeError {
+                    op: "abs",
+                    value: v.to_string(),
+                }),
             },
         }
     }
@@ -244,7 +248,10 @@ impl ScalarExpr {
 }
 
 fn expect_bool(v: Value) -> Result<bool> {
-    v.as_bool().ok_or_else(|| RelError::TypeError { op: "boolean", value: v.to_string() })
+    v.as_bool().ok_or_else(|| RelError::TypeError {
+        op: "boolean",
+        value: v.to_string(),
+    })
 }
 
 /// Arithmetic over values: `Int op Int -> Int` (checked), anything involving
@@ -288,7 +295,10 @@ pub fn eval_arith(op: ArithOp, a: &Value, b: &Value) -> Result<Value> {
                     Ok(Int(t.0.rem_euclid(*d)))
                 }
             }
-            _ => Err(RelError::TypeError { op: op.symbol(), value: a.to_string() }),
+            _ => Err(RelError::TypeError {
+                op: op.symbol(),
+                value: a.to_string(),
+            }),
         },
         (Int(d), Time(t)) if op == ArithOp::Add => Ok(Time(t.plus(*d))),
         (Time(x), Time(y)) if op == ArithOp::Sub => Ok(Int(x.0.saturating_sub(y.0))),
@@ -297,7 +307,10 @@ pub fn eval_arith(op: ArithOp, a: &Value, b: &Value) -> Result<Value> {
                 (Some(x), Some(y)) => (x, y),
                 _ => {
                     let bad = if a.is_numeric() { b } else { a };
-                    return Err(RelError::TypeError { op: op.symbol(), value: bad.to_string() });
+                    return Err(RelError::TypeError {
+                        op: op.symbol(),
+                        value: bad.to_string(),
+                    });
                 }
             };
             let r = match op {
@@ -346,7 +359,10 @@ mod tests {
     use crate::tuple;
 
     fn row_env() -> (Schema, Tuple) {
-        (Schema::of(&[("name", DType::Str), ("price", DType::Int)]), tuple!["IBM", 72i64])
+        (
+            Schema::of(&[("name", DType::Str), ("price", DType::Int)]),
+            tuple!["IBM", 72i64],
+        )
     }
 
     #[test]
@@ -360,7 +376,10 @@ mod tests {
     fn params_resolve() {
         let (s, t) = row_env();
         let e = ScalarExpr::cmp(CmpOp::Eq, ScalarExpr::col("name"), ScalarExpr::Param(0));
-        assert_eq!(e.eval(&s, &t, &[Value::str("IBM")]).unwrap(), Value::Bool(true));
+        assert_eq!(
+            e.eval(&s, &t, &[Value::str("IBM")]).unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(e.eval(&s, &t, &[]).unwrap_err(), RelError::UnboundParam(0));
     }
 
@@ -381,14 +400,26 @@ mod tests {
         );
         assert_eq!(overflow.eval(&s, &t, &[]).unwrap_err(), RelError::Overflow);
         let div0 = ScalarExpr::arith(ArithOp::Div, ScalarExpr::lit(1i64), ScalarExpr::lit(0i64));
-        assert_eq!(div0.eval(&s, &t, &[]).unwrap_err(), RelError::DivisionByZero);
+        assert_eq!(
+            div0.eval(&s, &t, &[]).unwrap_err(),
+            RelError::DivisionByZero
+        );
     }
 
     #[test]
     fn null_propagates_through_arithmetic() {
-        assert_eq!(eval_arith(ArithOp::Mul, &Value::float(0.5), &Value::Null).unwrap(), Value::Null);
-        assert_eq!(eval_arith(ArithOp::Add, &Value::Null, &Value::Int(3)).unwrap(), Value::Null);
-        assert_eq!(eval_arith(ArithOp::Div, &Value::Null, &Value::Null).unwrap(), Value::Null);
+        assert_eq!(
+            eval_arith(ArithOp::Mul, &Value::float(0.5), &Value::Null).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            eval_arith(ArithOp::Add, &Value::Null, &Value::Int(3)).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            eval_arith(ArithOp::Div, &Value::Null, &Value::Null).unwrap(),
+            Value::Null
+        );
     }
 
     #[test]
@@ -399,7 +430,10 @@ mod tests {
             eval_arith(ArithOp::Sub, &t9, &Value::Int(60)).unwrap(),
             Value::Time(Timestamp(480))
         );
-        assert_eq!(eval_arith(ArithOp::Mod, &t9, &Value::Int(60)).unwrap(), Value::Int(0));
+        assert_eq!(
+            eval_arith(ArithOp::Mod, &t9, &Value::Int(60)).unwrap(),
+            Value::Int(0)
+        );
         assert_eq!(
             eval_arith(ArithOp::Sub, &t9, &Value::Time(Timestamp(500))).unwrap(),
             Value::Int(40)
@@ -419,7 +453,14 @@ mod tests {
 
     #[test]
     fn cmpop_algebra() {
-        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Eq, CmpOp::Ne, CmpOp::Ge, CmpOp::Gt] {
+        for op in [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Ge,
+            CmpOp::Gt,
+        ] {
             for (a, b) in [(1i64, 2i64), (2, 2), (3, 2)] {
                 let (a, b) = (Value::Int(a), Value::Int(b));
                 assert_eq!(op.eval(&a, &b), op.flip().eval(&b, &a), "flip {op:?}");
@@ -430,7 +471,14 @@ mod tests {
 
     #[test]
     fn null_comparisons_are_never_satisfied() {
-        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Eq, CmpOp::Ne, CmpOp::Ge, CmpOp::Gt] {
+        for op in [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Ge,
+            CmpOp::Gt,
+        ] {
             assert!(!op.eval(&Value::Null, &Value::Int(1)));
             assert!(!op.eval(&Value::Int(1), &Value::Null));
             assert!(!op.eval(&Value::Null, &Value::Null));

@@ -46,8 +46,8 @@ pub struct SpannedTok {
 
 /// Multi-character punctuation, longest first so `<=` wins over `<`.
 const PUNCTS: &[&str] = &[
-    "<=", ">=", "!=", "<>", ":=", "<-", "->", "&&", "||", "==", "(", ")", "[", "]", "{", "}",
-    ",", ";", "<", ">", "=", "+", "-", "*", "/", "%", "$", "@", "!", ".", "?",
+    "<=", ">=", "!=", "<>", ":=", "<-", "->", "&&", "||", "==", "(", ")", "[", "]", "{", "}", ",",
+    ";", "<", ">", "=", "+", "-", "*", "/", "%", "$", "@", "!", ".", "?",
 ];
 
 /// Tokenizes `src`. `--` starts a line comment.
@@ -88,13 +88,18 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
                 }
                 if d == quote {
                     i += 1;
-                    out.push(SpannedTok { tok: Tok::Str(s), offset: start });
+                    out.push(SpannedTok {
+                        tok: Tok::Str(s),
+                        offset: start,
+                    });
                     continue 'outer;
                 }
                 s.push(d);
                 i += 1;
             }
-            return Err(RelError::Parse(format!("unterminated string at offset {start}")));
+            return Err(RelError::Parse(format!(
+                "unterminated string at offset {start}"
+            )));
         }
         // Numbers.
         if c.is_ascii_digit() {
@@ -138,18 +143,26 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
                     break;
                 }
             }
-            out.push(SpannedTok { tok: Tok::Ident(src[start..i].to_string()), offset: start });
+            out.push(SpannedTok {
+                tok: Tok::Ident(src[start..i].to_string()),
+                offset: start,
+            });
             continue;
         }
         // Punctuation (longest match first).
         for p in PUNCTS {
             if src[i..].starts_with(p) {
-                out.push(SpannedTok { tok: Tok::Punct(p), offset: i });
+                out.push(SpannedTok {
+                    tok: Tok::Punct(p),
+                    offset: i,
+                });
                 i += p.len();
                 continue 'outer;
             }
         }
-        return Err(RelError::Parse(format!("unexpected character `{c}` at offset {i}")));
+        return Err(RelError::Parse(format!(
+            "unexpected character `{c}` at offset {i}"
+        )));
     }
     Ok(out)
 }
@@ -163,7 +176,10 @@ pub struct Cursor {
 
 impl Cursor {
     pub fn new(src: &str) -> Result<Cursor> {
-        Ok(Cursor { toks: lex(src)?, pos: 0 })
+        Ok(Cursor {
+            toks: lex(src)?,
+            pos: 0,
+        })
     }
 
     pub fn peek(&self) -> Option<&Tok> {
@@ -238,15 +254,24 @@ impl Cursor {
     pub fn expect_ident(&mut self) -> Result<String> {
         match self.next_tok() {
             Some(Tok::Ident(s)) => Ok(s),
-            Some(t) => Err(RelError::Parse(format!("expected identifier, found {}", t.describe()))),
-            None => Err(RelError::Parse("expected identifier, found end of input".into())),
+            Some(t) => Err(RelError::Parse(format!(
+                "expected identifier, found {}",
+                t.describe()
+            ))),
+            None => Err(RelError::Parse(
+                "expected identifier, found end of input".into(),
+            )),
         }
     }
 
     /// Builds a parse error naming the current token.
     pub fn error(&self, msg: &str) -> RelError {
         match self.toks.get(self.pos) {
-            Some(s) => RelError::Parse(format!("{msg}, found {} at offset {}", s.tok.describe(), s.offset)),
+            Some(s) => RelError::Parse(format!(
+                "{msg}, found {} at offset {}",
+                s.tok.describe(),
+                s.offset
+            )),
             None => RelError::Parse(format!("{msg}, found end of input")),
         }
     }

@@ -122,13 +122,18 @@ fn select(c: &mut Cursor) -> Result<Query> {
     }
 
     if !aggs.is_empty() || !group_keys.is_empty() {
-        if !projs.iter().all(|p| matches!(&p.expr, ScalarExpr::Col(n) if group_keys.contains(n))) {
+        if !projs
+            .iter()
+            .all(|p| matches!(&p.expr, ScalarExpr::Col(n) if group_keys.contains(n)))
+        {
             return Err(RelError::Parse(
                 "non-aggregate select items must be group-by columns".into(),
             ));
         }
         if star {
-            return Err(RelError::Parse("`*` cannot be combined with aggregation".into()));
+            return Err(RelError::Parse(
+                "`*` cannot be combined with aggregation".into(),
+            ));
         }
         let keys: Vec<&str> = group_keys.iter().map(String::as_str).collect();
         return Ok(src.group_by(&keys, aggs));
@@ -148,7 +153,11 @@ fn parse_item(c: &mut Cursor, projs: &mut Vec<ProjItem>, aggs: &mut Vec<AggItem>
             if matches!(c.peek_at(1), Some(Tok::Punct("("))) {
                 c.next_tok();
                 c.expect_punct("(")?;
-                let arg = if c.eat_punct("*") { None } else { Some(expr(c)?) };
+                let arg = if c.eat_punct("*") {
+                    None
+                } else {
+                    Some(expr(c)?)
+                };
                 c.expect_punct(")")?;
                 let name = if c.eat_kw("as") {
                     c.expect_ident()?
@@ -357,7 +366,10 @@ mod tests {
     #[test]
     fn parameterized_query() {
         let q = parse_query("select price from STOCK_FOR_SALE where name = $0").unwrap();
-        assert_eq!(q.eval_scalar(&db(), &[Value::str("DEC")]).unwrap(), Value::Int(45));
+        assert_eq!(
+            q.eval_scalar(&db(), &[Value::str("DEC")]).unwrap(),
+            Value::Int(45)
+        );
     }
 
     #[test]
@@ -436,7 +448,8 @@ mod tests {
     fn modulo_keyword_and_symbol() {
         let e = parse_expr("10 mod 3 = 10 % 3").unwrap();
         assert_eq!(
-            e.eval(&Schema::empty(), &crate::tuple::Tuple::unit(), &[]).unwrap(),
+            e.eval(&Schema::empty(), &crate::tuple::Tuple::unit(), &[])
+                .unwrap(),
             Value::Bool(true)
         );
     }

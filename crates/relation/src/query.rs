@@ -27,7 +27,10 @@ pub struct ProjItem {
 
 impl ProjItem {
     pub fn new(expr: ScalarExpr, name: impl Into<String>) -> ProjItem {
-        ProjItem { expr, name: name.into() }
+        ProjItem {
+            expr,
+            name: name.into(),
+        }
     }
 }
 
@@ -50,19 +53,44 @@ pub enum Query {
     /// A literal relation (used by tests and by the parser for `values`).
     Values(Relation),
     /// σ — keep rows satisfying the predicate.
-    Select { input: Box<Query>, pred: ScalarExpr },
+    Select {
+        input: Box<Query>,
+        pred: ScalarExpr,
+    },
     /// π — generalized projection (expressions, renames, reorders).
     /// Produces a set (duplicates collapse).
-    Project { input: Box<Query>, items: Vec<ProjItem> },
+    Project {
+        input: Box<Query>,
+        items: Vec<ProjItem>,
+    },
     /// Cross product (θ-joins are `Select` over `Join`).
-    Join { left: Box<Query>, right: Box<Query> },
-    Union { left: Box<Query>, right: Box<Query> },
-    Difference { left: Box<Query>, right: Box<Query> },
-    Intersect { left: Box<Query>, right: Box<Query> },
+    Join {
+        left: Box<Query>,
+        right: Box<Query>,
+    },
+    Union {
+        left: Box<Query>,
+        right: Box<Query>,
+    },
+    Difference {
+        left: Box<Query>,
+        right: Box<Query>,
+    },
+    Intersect {
+        left: Box<Query>,
+        right: Box<Query>,
+    },
     /// ρ — rename all columns.
-    Rename { input: Box<Query>, names: Vec<String> },
+    Rename {
+        input: Box<Query>,
+        names: Vec<String>,
+    },
     /// γ — group by columns and aggregate.
-    GroupBy { input: Box<Query>, keys: Vec<String>, aggs: Vec<AggItem> },
+    GroupBy {
+        input: Box<Query>,
+        keys: Vec<String>,
+        aggs: Vec<AggItem>,
+    },
 }
 
 impl Query {
@@ -75,34 +103,54 @@ impl Query {
     }
 
     pub fn select(self, pred: ScalarExpr) -> Query {
-        Query::Select { input: Box::new(self), pred }
+        Query::Select {
+            input: Box::new(self),
+            pred,
+        }
     }
 
     pub fn project(self, items: Vec<ProjItem>) -> Query {
-        Query::Project { input: Box::new(self), items }
+        Query::Project {
+            input: Box::new(self),
+            items,
+        }
     }
 
     /// Projection onto plain columns, keeping their names.
     pub fn project_cols(self, cols: &[&str]) -> Query {
-        let items =
-            cols.iter().map(|c| ProjItem::new(ScalarExpr::col(*c), (*c).to_string())).collect();
+        let items = cols
+            .iter()
+            .map(|c| ProjItem::new(ScalarExpr::col(*c), (*c).to_string()))
+            .collect();
         self.project(items)
     }
 
     pub fn join(self, other: Query) -> Query {
-        Query::Join { left: Box::new(self), right: Box::new(other) }
+        Query::Join {
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
 
     pub fn union(self, other: Query) -> Query {
-        Query::Union { left: Box::new(self), right: Box::new(other) }
+        Query::Union {
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
 
     pub fn difference(self, other: Query) -> Query {
-        Query::Difference { left: Box::new(self), right: Box::new(other) }
+        Query::Difference {
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
 
     pub fn intersect(self, other: Query) -> Query {
-        Query::Intersect { left: Box::new(self), right: Box::new(other) }
+        Query::Intersect {
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
 
     pub fn rename(self, names: &[&str]) -> Query {
@@ -142,7 +190,10 @@ impl Query {
                 let rel = input.eval(db, params)?;
                 let in_schema = rel.schema().clone();
                 let schema = Schema::new(
-                    items.iter().map(|p| Column::new(p.name.clone(), DType::Any)).collect(),
+                    items
+                        .iter()
+                        .map(|p| Column::new(p.name.clone(), DType::Any))
+                        .collect(),
                 )?;
                 let mut out = Relation::empty(schema);
                 for t in rel.iter() {
@@ -154,18 +205,14 @@ impl Query {
                 }
                 Ok(out)
             }
-            Query::Join { left, right } => {
-                left.eval(db, params)?.cross(&right.eval(db, params)?)
-            }
-            Query::Union { left, right } => {
-                left.eval(db, params)?.union(&right.eval(db, params)?)
-            }
+            Query::Join { left, right } => left.eval(db, params)?.cross(&right.eval(db, params)?),
+            Query::Union { left, right } => left.eval(db, params)?.union(&right.eval(db, params)?),
             Query::Difference { left, right } => {
                 left.eval(db, params)?.difference(&right.eval(db, params)?)
             }
-            Query::Intersect { left, right } => {
-                left.eval(db, params)?.intersection(&right.eval(db, params)?)
-            }
+            Query::Intersect { left, right } => left
+                .eval(db, params)?
+                .intersection(&right.eval(db, params)?),
             Query::Rename { input, names } => input.eval(db, params)?.rename(names),
             Query::GroupBy { input, keys, aggs } => {
                 eval_group_by(&input.eval(db, params)?, keys, aggs, params)
@@ -221,8 +268,10 @@ fn eval_group_by(
     params: &[Value],
 ) -> Result<Relation> {
     let in_schema = rel.schema().clone();
-    let key_idx: Vec<usize> =
-        keys.iter().map(|k| in_schema.index_of(k)).collect::<Result<_>>()?;
+    let key_idx: Vec<usize> = keys
+        .iter()
+        .map(|k| in_schema.index_of(k))
+        .collect::<Result<_>>()?;
 
     // Deterministic grouping: BTreeMap keyed by the group tuple.
     let mut groups: std::collections::BTreeMap<Tuple, Vec<crate::aggregate::Accumulator>> =
@@ -230,7 +279,9 @@ fn eval_group_by(
     for t in rel.iter() {
         let key = t.project(&key_idx);
         let accs = groups.entry(key).or_insert_with(|| {
-            aggs.iter().map(|a| crate::aggregate::Accumulator::new(a.func)).collect()
+            aggs.iter()
+                .map(|a| crate::aggregate::Accumulator::new(a.func))
+                .collect()
         });
         for (acc, item) in accs.iter_mut().zip(aggs) {
             let v = match &item.arg {
@@ -357,10 +408,20 @@ mod tests {
     fn parameterized_scalar_query() {
         // price(x) = select price from STOCK_FOR_SALE where name = $0
         let q = Query::table("STOCK_FOR_SALE")
-            .select(ScalarExpr::cmp(CmpOp::Eq, ScalarExpr::col("name"), ScalarExpr::Param(0)))
+            .select(ScalarExpr::cmp(
+                CmpOp::Eq,
+                ScalarExpr::col("name"),
+                ScalarExpr::Param(0),
+            ))
             .project_cols(&["price"]);
-        assert_eq!(q.eval_scalar(&db(), &[Value::str("IBM")]).unwrap(), Value::Int(350));
-        assert_eq!(q.eval_scalar(&db(), &[Value::str("NONE")]).unwrap(), Value::Null);
+        assert_eq!(
+            q.eval_scalar(&db(), &[Value::str("IBM")]).unwrap(),
+            Value::Int(350)
+        );
+        assert_eq!(
+            q.eval_scalar(&db(), &[Value::str("NONE")]).unwrap(),
+            Value::Null
+        );
     }
 
     #[test]
@@ -368,7 +429,11 @@ mod tests {
         let q = Query::table("STOCK_FOR_SALE").group_by(
             &["category"],
             vec![
-                AggItem { func: AggFunc::Count, arg: None, name: "n".into() },
+                AggItem {
+                    func: AggFunc::Count,
+                    arg: None,
+                    name: "n".into(),
+                },
                 AggItem {
                     func: AggFunc::Sum,
                     arg: Some(ScalarExpr::col("price")),
@@ -385,7 +450,14 @@ mod tests {
     fn global_aggregate_on_empty_input() {
         let q = Query::table("STOCK_FOR_SALE")
             .select(ScalarExpr::lit(false))
-            .group_by(&[], vec![AggItem { func: AggFunc::Count, arg: None, name: "n".into() }]);
+            .group_by(
+                &[],
+                vec![AggItem {
+                    func: AggFunc::Count,
+                    arg: None,
+                    name: "n".into(),
+                }],
+            );
         let r = q.eval(&db(), &[]).unwrap();
         assert_eq!(r.scalar_value().unwrap(), Value::Int(0));
     }
@@ -400,22 +472,46 @@ mod tests {
             ))
             .project_cols(&["name"]);
         let cheap = Query::table("STOCK_FOR_SALE")
-            .select(ScalarExpr::cmp(CmpOp::Lt, ScalarExpr::col("price"), ScalarExpr::lit(100i64)))
+            .select(ScalarExpr::cmp(
+                CmpOp::Lt,
+                ScalarExpr::col("price"),
+                ScalarExpr::lit(100i64),
+            ))
             .project_cols(&["name"]);
-        assert_eq!(tech.clone().union(cheap.clone()).eval(&db(), &[]).unwrap().len(), 2);
-        assert_eq!(tech.clone().difference(cheap.clone()).eval(&db(), &[]).unwrap().len(), 1);
+        assert_eq!(
+            tech.clone()
+                .union(cheap.clone())
+                .eval(&db(), &[])
+                .unwrap()
+                .len(),
+            2
+        );
+        assert_eq!(
+            tech.clone()
+                .difference(cheap.clone())
+                .eval(&db(), &[])
+                .unwrap()
+                .len(),
+            1
+        );
         assert_eq!(tech.intersect(cheap).eval(&db(), &[]).unwrap().len(), 1);
     }
 
     #[test]
     fn dependencies_are_collected() {
         let q = Query::table("A").join(Query::table("B").union(Query::item("F")));
-        assert_eq!(q.dependencies(), vec!["A".to_string(), "B".into(), "F".into()]);
+        assert_eq!(
+            q.dependencies(),
+            vec!["A".to_string(), "B".into(), "F".into()]
+        );
     }
 
     #[test]
     fn unknown_table_errors() {
         let q = Query::table("NOPE");
-        assert_eq!(q.eval(&db(), &[]).unwrap_err(), RelError::UnknownTable("NOPE".into()));
+        assert_eq!(
+            q.eval(&db(), &[]).unwrap_err(),
+            RelError::UnknownTable("NOPE".into())
+        );
     }
 }

@@ -19,7 +19,10 @@ pub struct Relation {
 impl Relation {
     /// The empty relation over `schema`.
     pub fn empty(schema: Schema) -> Relation {
-        Relation { schema, rows: BTreeSet::new() }
+        Relation {
+            schema,
+            rows: BTreeSet::new(),
+        }
     }
 
     /// Builds a relation, checking every tuple's arity against the schema.
@@ -88,7 +91,10 @@ impl Relation {
         if self.schema.arity() == 1 && self.rows.len() == 1 {
             Ok(self.rows.iter().next().expect("len checked").values()[0].clone())
         } else {
-            Err(RelError::NotScalar { rows: self.rows.len(), cols: self.schema.arity() })
+            Err(RelError::NotScalar {
+                rows: self.rows.len(),
+                cols: self.schema.arity(),
+            })
         }
     }
 
@@ -98,21 +104,30 @@ impl Relation {
         self.check_compatible(other)?;
         let mut rows = self.rows.clone();
         rows.extend(other.rows.iter().cloned());
-        Ok(Relation { schema: self.schema.clone(), rows })
+        Ok(Relation {
+            schema: self.schema.clone(),
+            rows,
+        })
     }
 
     /// Set difference `self - other`.
     pub fn difference(&self, other: &Relation) -> Result<Relation> {
         self.check_compatible(other)?;
         let rows = self.rows.difference(&other.rows).cloned().collect();
-        Ok(Relation { schema: self.schema.clone(), rows })
+        Ok(Relation {
+            schema: self.schema.clone(),
+            rows,
+        })
     }
 
     /// Set intersection.
     pub fn intersection(&self, other: &Relation) -> Result<Relation> {
         self.check_compatible(other)?;
         let rows = self.rows.intersection(&other.rows).cloned().collect();
-        Ok(Relation { schema: self.schema.clone(), rows })
+        Ok(Relation {
+            schema: self.schema.clone(),
+            rows,
+        })
     }
 
     /// Cross product, with right-hand columns renamed on clashes.
@@ -129,8 +144,10 @@ impl Relation {
 
     /// Projection onto named columns (may duplicate/reorder).
     pub fn project(&self, cols: &[&str]) -> Result<Relation> {
-        let indices: Vec<usize> =
-            cols.iter().map(|c| self.schema.index_of(c)).collect::<Result<_>>()?;
+        let indices: Vec<usize> = cols
+            .iter()
+            .map(|c| self.schema.index_of(c))
+            .collect::<Result<_>>()?;
         let mut names = Vec::with_capacity(cols.len());
         for (i, c) in cols.iter().enumerate() {
             // A repeated projection column would collide; disambiguate.
@@ -144,7 +161,9 @@ impl Relation {
             indices
                 .iter()
                 .zip(&names)
-                .map(|(&i, n)| crate::schema::Column::new(n.clone(), self.schema.columns()[i].dtype))
+                .map(|(&i, n)| {
+                    crate::schema::Column::new(n.clone(), self.schema.columns()[i].dtype)
+                })
                 .collect(),
         )?;
         let rows = self.rows.iter().map(|t| t.project(&indices)).collect();
@@ -153,7 +172,10 @@ impl Relation {
 
     /// Renames all columns.
     pub fn rename(&self, names: &[String]) -> Result<Relation> {
-        Ok(Relation { schema: self.schema.renamed(names)?, rows: self.rows.clone() })
+        Ok(Relation {
+            schema: self.schema.renamed(names)?,
+            rows: self.rows.clone(),
+        })
     }
 
     fn check_compatible(&self, other: &Relation) -> Result<()> {
@@ -188,7 +210,11 @@ mod tests {
         let schema = Schema::of(&[("name", DType::Str), ("price", DType::Int)]);
         Relation::from_rows(
             schema,
-            vec![tuple!["IBM", 72i64], tuple!["DEC", 45i64], tuple!["HP", 310i64]],
+            vec![
+                tuple!["IBM", 72i64],
+                tuple!["DEC", 45i64],
+                tuple!["HP", 310i64],
+            ],
         )
         .unwrap()
     }
@@ -232,8 +258,8 @@ mod tests {
     #[test]
     fn cross_product() {
         let a = stock();
-        let b = Relation::from_rows(Schema::untyped(&["tag"]), vec![tuple!["x"], tuple!["y"]])
-            .unwrap();
+        let b =
+            Relation::from_rows(Schema::untyped(&["tag"]), vec![tuple!["x"], tuple!["y"]]).unwrap();
         let c = a.cross(&b).unwrap();
         assert_eq!(c.len(), 6);
         assert_eq!(c.schema().arity(), 3);

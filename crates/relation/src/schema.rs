@@ -41,7 +41,10 @@ pub struct Column {
 
 impl Column {
     pub fn new(name: impl Into<String>, dtype: DType) -> Column {
-        Column { name: name.into(), dtype }
+        Column {
+            name: name.into(),
+            dtype,
+        }
     }
 }
 
@@ -64,7 +67,9 @@ impl Schema {
                 return Err(RelError::DuplicateColumn(c.name.clone()));
             }
         }
-        Ok(Schema { columns: columns.into() })
+        Ok(Schema {
+            columns: columns.into(),
+        })
     }
 
     /// Convenience constructor from `(name, dtype)` pairs.
@@ -81,7 +86,9 @@ impl Schema {
 
     /// The empty schema (zero columns; its relations are `{}` or `{()}`).
     pub fn empty() -> Schema {
-        Schema { columns: Arc::from(Vec::new()) }
+        Schema {
+            columns: Arc::from(Vec::new()),
+        }
     }
 
     pub fn columns(&self) -> &[Column] {

@@ -123,7 +123,8 @@ fn agg_min_max_bound_every_value() {
 #[test]
 fn snapshot_isolation_under_many_writes() {
     let mut db = Database::new();
-    db.create_relation("R", Relation::empty(Schema::untyped(&["x"]))).unwrap();
+    db.create_relation("R", Relation::empty(Schema::untyped(&["x"])))
+        .unwrap();
     let snaps: Vec<Database> = (0..10)
         .map(|i| {
             db.insert_tuple("R", tuple![i as i64]).unwrap();
@@ -131,6 +132,10 @@ fn snapshot_isolation_under_many_writes() {
         })
         .collect();
     for (i, s) in snaps.iter().enumerate() {
-        assert_eq!(s.relation("R").unwrap().len(), i + 1, "snapshot {i} is frozen");
+        assert_eq!(
+            s.relation("R").unwrap().len(),
+            i + 1,
+            "snapshot {i} is frozen"
+        );
     }
 }

@@ -1,0 +1,160 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! small slice of `rand`'s API it actually uses: `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, and `RngExt::random_range` over integer
+//! ranges. The generator is xoshiro256++ seeded through SplitMix64 — fast,
+//! well-distributed, and fully deterministic across platforms, which the
+//! workloads rely on for bit-for-bit replay.
+
+use std::ops::{Bound, RangeBounds};
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers (the subset of `rand::Rng` this workspace
+/// uses).
+pub trait RngExt: RngCore + Sized {
+    /// Uniformly samples an integer from `range` (half-open or inclusive).
+    /// Panics on an empty range.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: RangeBounds<T>,
+    {
+        T::sample_range(self, &range)
+    }
+}
+
+impl<T: RngCore + Sized> RngExt for T {}
+
+/// Integer types that can be sampled uniformly from a range.
+pub trait SampleUniform: Copy {
+    fn sample_range<G: RngCore, R: RangeBounds<Self>>(rng: &mut G, range: &R) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<G: RngCore, R: RangeBounds<Self>>(rng: &mut G, range: &R) -> Self {
+                let lo: i128 = match range.start_bound() {
+                    Bound::Included(&x) => x as i128,
+                    Bound::Excluded(&x) => x as i128 + 1,
+                    Bound::Unbounded => <$t>::MIN as i128,
+                };
+                let hi: i128 = match range.end_bound() {
+                    Bound::Included(&x) => x as i128,
+                    Bound::Excluded(&x) => x as i128 - 1,
+                    Bound::Unbounded => <$t>::MAX as i128,
+                };
+                assert!(lo <= hi, "cannot sample from empty range");
+                let span = (hi - lo + 1) as u128;
+                // Widening multiply maps a uniform u64 onto [0, span) with
+                // negligible bias for the spans used in tests and workloads.
+                let word = rng.next_u64() as u128;
+                let off = (word * span) >> 64;
+                (lo + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// The standard deterministic generator: xoshiro256++.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    fn from_state(seed: u64) -> StdRng {
+        // SplitMix64 expands the 64-bit seed into the full 256-bit state, as
+        // recommended by the xoshiro authors.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        StdRng::from_state(seed)
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Deterministic generators, mirroring `rand::rngs`.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: i64 = rng.random_range(-4..=5);
+            assert!((-4..=5).contains(&v));
+            let u: usize = rng.random_range(0..3);
+            assert!(u < 3);
+            let w: u32 = rng.random_range(0..1_000_000);
+            assert!(w < 1_000_000);
+        }
+    }
+
+    #[test]
+    fn all_values_reachable_in_small_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v: i64 = rng.random_range(-4..=5);
+            seen[(v + 4) as usize] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all values in -4..=5 hit: {seen:?}"
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Atomic checkpoint files holding one encoded [`SystemSnapshot`].
+//!
+//! Layout: the magic `"TDBCKPT1"`, then `seq: u64`, `len: u64`,
+//! `crc32(payload): u32`, then the payload. The file is written to a
+//! temporary sibling, fsynced, then renamed into place (and the directory
+//! fsynced), so a crash during checkpointing leaves either the old world
+//! or the new one — never a half-written file that validates.
+
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use tdb_core::SystemSnapshot;
+
+use crate::codec::{decode_snapshot, encode_snapshot};
+use crate::crc::crc32;
+use crate::{Result, StorageError};
+
+/// Magic string opening every checkpoint file.
+pub const CKPT_MAGIC: &[u8; 8] = b"TDBCKPT1";
+
+/// Bytes of checkpoint header (magic + seq + len + crc).
+pub const CKPT_HEADER: usize = 8 + 8 + 8 + 4;
+
+/// Name of checkpoint `seq` inside a storage directory.
+pub fn checkpoint_file_name(seq: u64) -> String {
+    format!("ckpt-{seq}.bin")
+}
+
+/// Parses `ckpt-<seq>.bin` back to `seq`.
+pub fn parse_checkpoint_name(name: &str) -> Option<u64> {
+    name.strip_prefix("ckpt-")?
+        .strip_suffix(".bin")?
+        .parse()
+        .ok()
+}
+
+/// Writes checkpoint `seq` into `dir` atomically; returns the payload size
+/// in bytes (the Theorem-1 footprint the bench reports on).
+pub fn write_checkpoint(dir: &Path, seq: u64, snap: &SystemSnapshot) -> Result<u64> {
+    let payload = encode_snapshot(snap);
+    let mut bytes = Vec::with_capacity(CKPT_HEADER + payload.len());
+    bytes.extend_from_slice(CKPT_MAGIC);
+    bytes.extend_from_slice(&seq.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+
+    let tmp = dir.join(format!(".ckpt-{seq}.tmp"));
+    let done = dir.join(checkpoint_file_name(seq));
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, &done)?;
+    // Persist the rename itself. Directory fsync is unsupported on some
+    // platforms; failure to open the dir is not fatal.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(payload.len() as u64)
+}
+
+/// Reads and validates one checkpoint file, returning its sequence number
+/// and decoded snapshot.
+pub fn read_checkpoint(path: &Path) -> Result<(u64, SystemSnapshot)> {
+    let display = path.display().to_string();
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+
+    if bytes.len() < CKPT_HEADER {
+        return Err(StorageError::Corrupt {
+            path: display,
+            why: format!(
+                "checkpoint header needs {CKPT_HEADER} bytes, file has {}",
+                bytes.len()
+            ),
+        });
+    }
+    if &bytes[..8] != CKPT_MAGIC {
+        return Err(StorageError::BadMagic { path: display });
+    }
+    let seq = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let len = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+    let crc = u32::from_le_bytes(bytes[24..28].try_into().expect("4 bytes"));
+    let payload = &bytes[CKPT_HEADER..];
+    if payload.len() as u64 != len {
+        return Err(StorageError::Corrupt {
+            path: display,
+            why: format!("payload is {} bytes, header promises {len}", payload.len()),
+        });
+    }
+    if crc32(payload) != crc {
+        return Err(StorageError::ChecksumMismatch {
+            path: display,
+            offset: CKPT_HEADER as u64,
+        });
+    }
+    Ok((seq, decode_snapshot(payload)?))
+}

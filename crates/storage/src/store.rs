@@ -1,0 +1,329 @@
+//! Directory-level storage: the [`FileStorage`] sink the facade logs
+//! through, and [`recover`] / [`recover_durable`] which rebuild an
+//! [`ActiveDatabase`] from a storage directory after a crash.
+//!
+//! Sequencing discipline: while segment `wal-k.log` is current, a
+//! checkpoint request writes `ckpt-(k+1).bin` (atomically) and then rotates
+//! to `wal-(k+1).log`. Checkpoint `k` therefore summarizes everything up
+//! to the start of `wal-k`, and recovery is: newest checkpoint that
+//! validates, plus replay of `wal-k.log .. wal-max.log` in order. Older
+//! checkpoints and segments are retained, so recovery can fall back past a
+//! corrupt newest checkpoint by replaying a longer suffix.
+
+use std::path::{Path, PathBuf};
+
+use tdb_core::{
+    ActiveDatabase, CoreError, LogicalOp, ManagerConfig, Rule, SystemSnapshot, WalSink,
+};
+
+use crate::checkpoint::{
+    checkpoint_file_name, parse_checkpoint_name, read_checkpoint, write_checkpoint,
+};
+use crate::wal::{
+    parse_segment_name, read_segment, segment_file_name, TailStatus, WalWriter, WAL_HEADER,
+};
+use crate::{Result, StorageError};
+
+/// When the sink asks the facade for a checkpoint. A threshold of `0`
+/// disables that trigger; explicit [`ActiveDatabase::checkpoint_now`] calls
+/// always work.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointPolicy {
+    /// Checkpoint after this many logged (non-audit) ops.
+    pub every_ops: usize,
+    /// Checkpoint after this many logged bytes.
+    pub every_bytes: u64,
+    /// `fsync` after every append (durable to the record, slow).
+    pub sync_on_append: bool,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> CheckpointPolicy {
+        CheckpointPolicy {
+            every_ops: 256,
+            every_bytes: 1 << 20,
+            sync_on_append: false,
+        }
+    }
+}
+
+/// A [`WalSink`] backed by a directory of log segments and checkpoints.
+#[derive(Debug)]
+pub struct FileStorage {
+    dir: PathBuf,
+    policy: CheckpointPolicy,
+    writer: WalWriter,
+    /// Non-audit ops appended since the last checkpoint.
+    ops_since: usize,
+    /// Bytes appended since the last checkpoint.
+    bytes_since: u64,
+}
+
+impl FileStorage {
+    /// Creates (or reuses) `dir` and opens a fresh segment numbered one
+    /// past anything already present, so existing files are never clobbered.
+    pub fn create(dir: &Path, policy: CheckpointPolicy) -> Result<FileStorage> {
+        std::fs::create_dir_all(dir)?;
+        let (ckpts, wals) = scan(dir)?;
+        let seq = ckpts
+            .iter()
+            .chain(wals.iter())
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(0);
+        let writer = WalWriter::create(
+            &dir.join(segment_file_name(seq)),
+            seq,
+            policy.sync_on_append,
+        )?;
+        Ok(FileStorage {
+            dir: dir.to_path_buf(),
+            policy,
+            writer,
+            ops_since: 0,
+            bytes_since: 0,
+        })
+    }
+
+    /// Reopens the newest segment for appending after [`recover`] validated
+    /// the directory. Any torn tail is truncated away first. If the
+    /// directory has checkpoints but no segment (crash between the two
+    /// steps of a rotation), the missing segment is created.
+    pub fn resume(dir: &Path, policy: CheckpointPolicy) -> Result<FileStorage> {
+        let (ckpts, wals) = scan(dir)?;
+        let writer = match wals.iter().max() {
+            Some(&seq) => {
+                let path = dir.join(segment_file_name(seq));
+                // A segment torn during its own creation is recreated.
+                if std::fs::metadata(&path)?.len() < WAL_HEADER as u64 {
+                    let w = WalWriter::create(&path, seq, policy.sync_on_append)?;
+                    return Ok(FileStorage {
+                        dir: dir.to_path_buf(),
+                        policy,
+                        writer: w,
+                        ops_since: 0,
+                        bytes_since: 0,
+                    });
+                }
+                let r = read_segment(&path, true)?;
+                let mut ops_since = 0;
+                for op in &r.ops {
+                    if !op.is_audit() {
+                        ops_since += 1;
+                    }
+                }
+                let w = WalWriter::resume(&path, seq, r.valid_len, policy.sync_on_append)?;
+                let bytes_since = w.len().saturating_sub(WAL_HEADER as u64);
+                return Ok(FileStorage {
+                    dir: dir.to_path_buf(),
+                    policy,
+                    writer: w,
+                    ops_since,
+                    bytes_since,
+                });
+            }
+            None => {
+                let seq = ckpts.iter().max().copied().unwrap_or(0);
+                WalWriter::create(
+                    &dir.join(segment_file_name(seq)),
+                    seq,
+                    policy.sync_on_append,
+                )?
+            }
+        };
+        Ok(FileStorage {
+            dir: dir.to_path_buf(),
+            policy,
+            writer,
+            ops_since: 0,
+            bytes_since: 0,
+        })
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Sequence number of the segment currently receiving appends.
+    pub fn current_seq(&self) -> u64 {
+        self.writer.seq()
+    }
+
+    /// Forces buffered records to stable storage.
+    pub fn sync(&mut self) -> Result<()> {
+        self.writer.sync()
+    }
+
+    fn append_impl(&mut self, op: &LogicalOp) -> Result<()> {
+        let bytes = self.writer.append(op)?;
+        self.bytes_since += bytes;
+        if !op.is_audit() {
+            self.ops_since += 1;
+        }
+        Ok(())
+    }
+
+    fn checkpoint_impl(&mut self, snap: &SystemSnapshot) -> Result<()> {
+        self.writer.sync()?;
+        let next = self.writer.seq() + 1;
+        write_checkpoint(&self.dir, next, snap)?;
+        self.writer = WalWriter::create(
+            &self.dir.join(segment_file_name(next)),
+            next,
+            self.policy.sync_on_append,
+        )?;
+        self.ops_since = 0;
+        self.bytes_since = 0;
+        Ok(())
+    }
+}
+
+impl WalSink for FileStorage {
+    fn append(&mut self, op: &LogicalOp) -> tdb_core::Result<()> {
+        self.append_impl(op)
+            .map_err(|e| CoreError::Storage(e.to_string()))
+    }
+
+    fn wants_checkpoint(&self) -> bool {
+        (self.policy.every_ops > 0 && self.ops_since >= self.policy.every_ops)
+            || (self.policy.every_bytes > 0 && self.bytes_since >= self.policy.every_bytes)
+    }
+
+    fn checkpoint(&mut self, snap: &SystemSnapshot) -> tdb_core::Result<()> {
+        self.checkpoint_impl(snap)
+            .map_err(|e| CoreError::Storage(e.to_string()))
+    }
+}
+
+// ---- recovery ---------------------------------------------------------------
+
+/// What [`recover`] found and did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Sequence number of the checkpoint recovery started from.
+    pub checkpoint_seq: u64,
+    /// Logged ops replayed on top of it (audit records included).
+    pub ops_replayed: usize,
+    /// Bytes of torn tail dropped from the final segment.
+    pub dropped_bytes: u64,
+    /// Newer checkpoints that failed validation, with the reason; recovery
+    /// fell back past them.
+    pub bad_checkpoints: Vec<(u64, String)>,
+}
+
+/// A recovered system plus the report of how it was rebuilt.
+#[derive(Debug)]
+pub struct Recovery {
+    pub adb: ActiveDatabase,
+    pub report: RecoveryReport,
+}
+
+fn scan(dir: &Path) -> Result<(Vec<u64>, Vec<u64>)> {
+    let mut ckpts = Vec::new();
+    let mut wals = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(seq) = parse_checkpoint_name(name) {
+            ckpts.push(seq);
+        } else if let Some(seq) = parse_segment_name(name) {
+            wals.push(seq);
+        }
+    }
+    ckpts.sort_unstable();
+    wals.sort_unstable();
+    Ok((ckpts, wals))
+}
+
+/// Rebuilds the system from `dir`: loads the newest checkpoint that
+/// validates (recording any newer ones that did not), replays every later
+/// log segment in order — strict for sealed segments, lossy for the final
+/// one — and returns the recovered [`ActiveDatabase`]. `catalog` must
+/// contain every rule the original run registered.
+pub fn recover(dir: &Path, catalog: &[Rule], cfg: ManagerConfig) -> Result<Recovery> {
+    let (ckpts, wals) = scan(dir)?;
+
+    // Newest checkpoint that validates wins; remember why newer ones lost.
+    let mut bad_checkpoints = Vec::new();
+    let mut chosen: Option<(u64, SystemSnapshot)> = None;
+    for &seq in ckpts.iter().rev() {
+        let path = dir.join(checkpoint_file_name(seq));
+        match read_checkpoint(&path) {
+            Ok((file_seq, snap)) if file_seq == seq => {
+                chosen = Some((seq, snap));
+                break;
+            }
+            Ok((file_seq, _)) => {
+                bad_checkpoints.push((
+                    seq,
+                    format!("header claims sequence {file_seq}, name says {seq}"),
+                ));
+            }
+            Err(e) => bad_checkpoints.push((seq, e.to_string())),
+        }
+    }
+    let Some((checkpoint_seq, snap)) = chosen else {
+        return Err(StorageError::NoCheckpoint);
+    };
+
+    // Replay wal-k .. wal-max. A hole in that range loses committed ops,
+    // so it is an error; no segments at or after k just means an empty tail.
+    let mut ops: Vec<LogicalOp> = Vec::new();
+    let mut dropped_bytes = 0;
+    if let Some(max_wal) = wals.iter().filter(|&&w| w >= checkpoint_seq).max().copied() {
+        for seq in checkpoint_seq..=max_wal {
+            if !wals.contains(&seq) {
+                return Err(StorageError::MissingSegment(seq));
+            }
+            let path = dir.join(segment_file_name(seq));
+            let last = seq == max_wal;
+            // A final segment shorter than its own header is a crash during
+            // rotation (the checkpoint landed, the new segment did not):
+            // an empty tail, not corruption.
+            let file_len = std::fs::metadata(&path)?.len();
+            if last && file_len < WAL_HEADER as u64 {
+                dropped_bytes = file_len;
+                continue;
+            }
+            let r = read_segment(&path, last)?;
+            if r.seq != seq {
+                return Err(StorageError::Corrupt {
+                    path: path.display().to_string(),
+                    why: format!("header claims sequence {}, name says {seq}", r.seq),
+                });
+            }
+            if let TailStatus::Truncated { dropped_bytes: d } = r.tail {
+                dropped_bytes = d;
+            }
+            ops.extend(r.ops);
+        }
+    }
+
+    let ops_replayed = ops.len();
+    let adb = ActiveDatabase::recover(snap, &ops, catalog, cfg)?;
+    Ok(Recovery {
+        adb,
+        report: RecoveryReport {
+            checkpoint_seq,
+            ops_replayed,
+            dropped_bytes,
+            bad_checkpoints,
+        },
+    })
+}
+
+/// [`recover`], then reattach durable storage: the newest segment is
+/// reopened (torn tail truncated), and attaching takes a fresh checkpoint
+/// so the next crash replays only from here.
+pub fn recover_durable(
+    dir: &Path,
+    catalog: &[Rule],
+    cfg: ManagerConfig,
+    policy: CheckpointPolicy,
+) -> Result<Recovery> {
+    let mut recovered = recover(dir, catalog, cfg)?;
+    let storage = FileStorage::resume(dir, policy)?;
+    recovered.adb.attach_wal(Box::new(storage))?;
+    Ok(recovered)
+}

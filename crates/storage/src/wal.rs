@@ -1,0 +1,399 @@
+//! Append-only log segments of [`LogicalOp`] records.
+//!
+//! A segment is the 16-byte header `"TDBWAL01"` + `seq: u64` followed by
+//! zero or more records, each `[u32 len][u32 crc32(payload)][payload]`.
+//! Appends go through [`WalWriter`]; [`read_segment`] walks a segment back
+//! into ops, in either *strict* mode (any defect is an error — used for
+//! every segment recovery has already sealed) or *lossy* mode (a torn or
+//! checksum-bad tail ends the read, keeping the valid prefix — legitimate
+//! only for the final segment, where a crash mid-append is expected).
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use tdb_core::LogicalOp;
+
+use crate::codec::{decode_logical_op, encode_logical_op};
+use crate::crc::crc32;
+use crate::{Result, StorageError};
+
+/// Magic string opening every log segment.
+pub const WAL_MAGIC: &[u8; 8] = b"TDBWAL01";
+
+/// Bytes of segment header (magic + sequence number).
+pub const WAL_HEADER: usize = 16;
+
+/// Per-record framing overhead (length + checksum).
+pub const RECORD_HEADER: usize = 8;
+
+/// Records larger than this are rejected as corrupt rather than allocated.
+/// Checkpoints carry the big state; a single logical op stays small.
+const MAX_RECORD: u32 = 256 * 1024 * 1024;
+
+/// Name of segment `seq` inside a storage directory.
+pub fn segment_file_name(seq: u64) -> String {
+    format!("wal-{seq}.log")
+}
+
+/// Parses `wal-<seq>.log` back to `seq`.
+pub fn parse_segment_name(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?
+        .strip_suffix(".log")?
+        .parse()
+        .ok()
+}
+
+// ---- writing ----------------------------------------------------------------
+
+/// An open, append-only log segment.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    seq: u64,
+    /// Bytes of the file known valid (header + whole records).
+    len: u64,
+    sync_on_append: bool,
+}
+
+impl WalWriter {
+    /// Creates segment `seq` at `path` (truncating any previous file) and
+    /// writes its header.
+    pub fn create(path: &Path, seq: u64, sync_on_append: bool) -> Result<WalWriter> {
+        let mut file = File::create(path)?;
+        file.write_all(WAL_MAGIC)?;
+        file.write_all(&seq.to_le_bytes())?;
+        file.sync_data()?;
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            seq,
+            len: WAL_HEADER as u64,
+            sync_on_append,
+        })
+    }
+
+    /// Reopens an existing segment for appending after recovery validated
+    /// its prefix. Any torn tail beyond `valid_len` is truncated away.
+    pub fn resume(
+        path: &Path,
+        seq: u64,
+        valid_len: u64,
+        sync_on_append: bool,
+    ) -> Result<WalWriter> {
+        let mut file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(valid_len)?;
+        file.seek(SeekFrom::End(0))?;
+        file.sync_data()?;
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            seq,
+            len: valid_len,
+            sync_on_append,
+        })
+    }
+
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Bytes of valid log written so far (including header).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len <= WAL_HEADER as u64
+    }
+
+    /// Appends one record; returns the bytes it occupies on disk.
+    pub fn append(&mut self, op: &LogicalOp) -> Result<u64> {
+        let payload = encode_logical_op(op);
+        let mut frame = Vec::with_capacity(RECORD_HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        if self.sync_on_append {
+            self.file.sync_data()?;
+        }
+        self.len += frame.len() as u64;
+        Ok(frame.len() as u64)
+    }
+
+    /// Forces buffered records to stable storage.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+// ---- reading ----------------------------------------------------------------
+
+/// How a segment read ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TailStatus {
+    /// The segment ended exactly on a record boundary.
+    Clean,
+    /// A torn or checksum-bad tail was dropped (lossy mode only).
+    Truncated {
+        /// Bytes discarded after the last whole record.
+        dropped_bytes: u64,
+    },
+}
+
+/// The contents of one log segment.
+#[derive(Debug)]
+pub struct SegmentRead {
+    /// Sequence number from the header.
+    pub seq: u64,
+    /// Decoded records, in append order.
+    pub ops: Vec<LogicalOp>,
+    /// Whether the tail was clean or truncated.
+    pub tail: TailStatus,
+    /// File offset just past the last whole record (where appends resume).
+    pub valid_len: u64,
+}
+
+/// Reads a whole segment.
+///
+/// In strict mode (`lossy = false`) any defect — short header, bad magic,
+/// torn record, checksum mismatch — is an error. In lossy mode a torn or
+/// checksum-bad **tail** ends the read and the valid prefix is returned;
+/// defects in the header are still errors, and a checksum-valid record
+/// that fails to decode is always an error (that is a format bug, not a
+/// crash artifact).
+pub fn read_segment(path: &Path, lossy: bool) -> Result<SegmentRead> {
+    let display = path.display().to_string();
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+
+    if bytes.len() < WAL_HEADER {
+        return Err(StorageError::Corrupt {
+            path: display,
+            why: format!(
+                "segment header needs {WAL_HEADER} bytes, file has {}",
+                bytes.len()
+            ),
+        });
+    }
+    if &bytes[..8] != WAL_MAGIC {
+        return Err(StorageError::BadMagic { path: display });
+    }
+    let seq = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+
+    let mut ops = Vec::new();
+    let mut pos = WAL_HEADER;
+    loop {
+        if pos == bytes.len() {
+            return Ok(SegmentRead {
+                seq,
+                ops,
+                tail: TailStatus::Clean,
+                valid_len: pos as u64,
+            });
+        }
+        let truncated = |pos: usize| SegmentRead {
+            seq,
+            ops: Vec::new(), // placeholder, replaced below
+            tail: TailStatus::Truncated {
+                dropped_bytes: (bytes.len() - pos) as u64,
+            },
+            valid_len: pos as u64,
+        };
+        // Record header.
+        if bytes.len() - pos < RECORD_HEADER {
+            if lossy {
+                let mut r = truncated(pos);
+                r.ops = ops;
+                return Ok(r);
+            }
+            return Err(StorageError::Corrupt {
+                path: display,
+                why: format!("torn record header at offset {pos}"),
+            });
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        if len > MAX_RECORD {
+            // An impossible length is corruption even in lossy mode when it
+            // is not at the tail; at the tail it reads as a torn append.
+            if lossy {
+                let mut r = truncated(pos);
+                r.ops = ops;
+                return Ok(r);
+            }
+            return Err(StorageError::Corrupt {
+                path: display,
+                why: format!("record length {len} at offset {pos} exceeds limit"),
+            });
+        }
+        let body_start = pos + RECORD_HEADER;
+        let body_end = body_start + len as usize;
+        if body_end > bytes.len() {
+            if lossy {
+                let mut r = truncated(pos);
+                r.ops = ops;
+                return Ok(r);
+            }
+            return Err(StorageError::Corrupt {
+                path: display,
+                why: format!("torn record body at offset {pos}"),
+            });
+        }
+        let payload = &bytes[body_start..body_end];
+        if crc32(payload) != crc {
+            if lossy {
+                let mut r = truncated(pos);
+                r.ops = ops;
+                return Ok(r);
+            }
+            return Err(StorageError::ChecksumMismatch {
+                path: display,
+                offset: pos as u64,
+            });
+        }
+        // A record whose checksum holds but whose bytes do not decode is a
+        // format incompatibility — never silently dropped.
+        ops.push(decode_logical_op(payload)?);
+        pos = body_end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdb_relation::Value;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tdb-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create tempdir");
+        dir
+    }
+
+    fn sample_ops() -> Vec<LogicalOp> {
+        vec![
+            LogicalOp::SetItem {
+                name: "x".into(),
+                value: Value::Int(1),
+            },
+            LogicalOp::Tick,
+            LogicalOp::SetItem {
+                name: "x".into(),
+                value: Value::str("two"),
+            },
+            LogicalOp::AdvanceClock { delta: 5 },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_segment() {
+        let dir = tempdir("roundtrip");
+        let path = dir.join(segment_file_name(7));
+        let mut w = WalWriter::create(&path, 7, false).unwrap();
+        for op in &sample_ops() {
+            w.append(op).unwrap();
+        }
+        w.sync().unwrap();
+        let r = read_segment(&path, false).unwrap();
+        assert_eq!(r.seq, 7);
+        assert_eq!(r.tail, TailStatus::Clean);
+        assert_eq!(r.ops.len(), 4);
+        assert_eq!(r.valid_len, w.len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lossy_read_drops_torn_tail_strict_read_errors() {
+        let dir = tempdir("torn");
+        let path = dir.join(segment_file_name(0));
+        let mut w = WalWriter::create(&path, 0, false).unwrap();
+        for op in &sample_ops() {
+            w.append(op).unwrap();
+        }
+        let full = w.len();
+        drop(w);
+        // Chop the last record in half.
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full - 3).unwrap();
+        drop(f);
+
+        let r = read_segment(&path, true).unwrap();
+        assert_eq!(r.ops.len(), 3);
+        assert!(matches!(r.tail, TailStatus::Truncated { .. }));
+        assert!(matches!(
+            read_segment(&path, false),
+            Err(StorageError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_is_checksum_mismatch_in_strict_mode() {
+        let dir = tempdir("flip");
+        let path = dir.join(segment_file_name(0));
+        let mut w = WalWriter::create(&path, 0, false).unwrap();
+        for op in &sample_ops() {
+            w.append(op).unwrap();
+        }
+        drop(w);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        match read_segment(&path, false) {
+            Err(StorageError::ChecksumMismatch { .. }) | Err(StorageError::Corrupt { .. }) => {}
+            other => panic!("expected corruption error, got {other:?}"),
+        }
+        // Lossy mode keeps whatever prefix still validates.
+        let r = read_segment(&path, true).unwrap();
+        assert!(r.ops.len() < 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_truncates_and_appends() {
+        let dir = tempdir("resume");
+        let path = dir.join(segment_file_name(2));
+        let mut w = WalWriter::create(&path, 2, false).unwrap();
+        for op in &sample_ops() {
+            w.append(op).unwrap();
+        }
+        let full = w.len();
+        drop(w);
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full - 2).unwrap();
+        drop(f);
+
+        let r = read_segment(&path, true).unwrap();
+        let mut w = WalWriter::resume(&path, r.seq, r.valid_len, false).unwrap();
+        w.append(&LogicalOp::Flush).unwrap();
+        w.sync().unwrap();
+
+        let r2 = read_segment(&path, false).unwrap();
+        assert_eq!(r2.tail, TailStatus::Clean);
+        assert_eq!(r2.ops.len(), 4); // 3 surviving + 1 new
+        assert!(matches!(r2.ops.last(), Some(LogicalOp::Flush)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let dir = tempdir("magic");
+        let path = dir.join("wal-0.log");
+        std::fs::write(&path, b"NOTAWAL!\0\0\0\0\0\0\0\0").unwrap();
+        assert!(matches!(
+            read_segment(&path, true),
+            Err(StorageError::BadMagic { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -18,9 +18,7 @@
 //! cargo run --example inventory_constraints
 //! ```
 
-use temporal_adb::core::{
-    offline_satisfied, online_satisfied, EvalConfig, TentativeTriggerRunner,
-};
+use temporal_adb::core::{offline_satisfied, online_satisfied, EvalConfig, TentativeTriggerRunner};
 use temporal_adb::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -93,10 +91,19 @@ fn valid_time_part() -> Result<(), Box<dyn std::error::Error>> {
     // 14:00 (t=0)…14:05: sales happen on time.
     vt.advance_clock(5)?;
     let t1 = vt.begin()?;
-    vt.update(t1, WriteOp::SetItem { item: "stock".into(), value: Value::Int(20) })?;
+    vt.update(
+        t1,
+        WriteOp::SetItem {
+            item: "stock".into(),
+            value: Value::Int(20),
+        },
+    )?;
     vt.commit(t1)?;
     let fired = tentative.process(&vt.tentative_history(), None)?;
-    println!("  t=5   stock := 20 (on time); tentative firings: {}", fired.len());
+    println!(
+        "  t=5   stock := 20 (on time); tentative firings: {}",
+        fired.len()
+    );
     assert!(fired.is_empty());
 
     // 14:07: a delivery that actually arrived at 14:02 is posted —
@@ -105,7 +112,10 @@ fn valid_time_part() -> Result<(), Box<dyn std::error::Error>> {
     let t2 = vt.begin()?;
     let dirty = vt.update_at(
         t2,
-        WriteOp::SetItem { item: "stock".into(), value: Value::Int(55) },
+        WriteOp::SetItem {
+            item: "stock".into(),
+            value: Value::Int(55),
+        },
         Timestamp(2),
     )?;
     vt.commit(t2)?;
@@ -136,9 +146,21 @@ fn valid_time_part() -> Result<(), Box<dyn std::error::Error>> {
     vt.advance_clock(2)?;
     let slow = vt.begin()?; // records the receipt, commits late
     let fast = vt.begin()?; // records the invoice, commits first
-    vt.update(slow, WriteOp::SetItem { item: "receipt".into(), value: Value::Int(1) })?;
+    vt.update(
+        slow,
+        WriteOp::SetItem {
+            item: "receipt".into(),
+            value: Value::Int(1),
+        },
+    )?;
     vt.advance_clock(1)?;
-    vt.update(fast, WriteOp::SetItem { item: "invoice".into(), value: Value::Int(1) })?;
+    vt.update(
+        fast,
+        WriteOp::SetItem {
+            item: "invoice".into(),
+            value: Value::Int(1),
+        },
+    )?;
     vt.advance_clock(4)?;
     vt.commit(fast)?;
     vt.advance_clock(2)?;

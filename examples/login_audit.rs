@@ -40,8 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         parse_formula(
             "executed(session_violation, u, s1) \
              and executed(session_violation, u, s2) and s1 < s2",
-        )?
-        ,
+        )?,
         Action::DbOps(vec![ActionOp::Insert {
             relation: "AUDIT".into(),
             tuple: vec![Term::var("u"), Term::lit("escalated")],
@@ -54,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "t={:>2}  {:<22} A={:?}",
             adb.now().0,
             what,
-            adb.db().item("A").map(|v| v.to_string()).unwrap_or_default()
+            adb.db()
+                .item("A")
+                .map(|v| v.to_string())
+                .unwrap_or_default()
         );
     };
 
@@ -67,17 +69,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     log(&mut adb, "bob logs in");
 
     adb.advance_clock(1)?;
-    adb.update([WriteOp::SetItem { item: "A".into(), value: Value::Int(-3) }])?;
+    adb.update([WriteOp::SetItem {
+        item: "A".into(),
+        value: Value::Int(-3),
+    }])?;
     log(&mut adb, "A drops to -3  (both!)");
 
     adb.advance_clock(1)?;
     adb.emit(Event::new("logout", vec![Value::str("bob")]))?;
     adb.advance_clock(1)?;
-    adb.update([WriteOp::SetItem { item: "A".into(), value: Value::Int(4) }])?;
+    adb.update([WriteOp::SetItem {
+        item: "A".into(),
+        value: Value::Int(4),
+    }])?;
     log(&mut adb, "A recovers; bob out");
 
     adb.advance_clock(1)?;
-    adb.update([WriteOp::SetItem { item: "A".into(), value: Value::Int(-1) }])?;
+    adb.update([WriteOp::SetItem {
+        item: "A".into(),
+        value: Value::Int(-1),
+    }])?;
     log(&mut adb, "A drops again (alice)");
 
     println!("\nfirings:");

@@ -14,7 +14,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Schema: STOCK(name, price), plus the `price(x)` function symbol
     //    (an n-ary query, per Section 4).
     let mut db = Database::new();
-    db.create_relation("STOCK", Relation::empty(Schema::untyped(&["name", "price"])))?;
+    db.create_relation(
+        "STOCK",
+        Relation::empty(Schema::untyped(&["name", "price"])),
+    )?;
     db.define_query(
         "price",
         QueryDef::new(1, parse_query("select price from STOCK where name = $0")?),
@@ -50,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    pruned the dead clauses away — see `retained_size`).
     println!("\nhistory B: (10,1) (15,2) (18,5) (11,20)");
     let mut db = Database::new();
-    db.create_relation("STOCK", Relation::empty(Schema::untyped(&["name", "price"])))?;
+    db.create_relation(
+        "STOCK",
+        Relation::empty(Schema::untyped(&["name", "price"])),
+    )?;
     db.define_query(
         "price",
         QueryDef::new(1, parse_query("select price from STOCK where name = $0")?),
@@ -93,18 +99,21 @@ fn set_price(
         .cloned();
     let mut ops = Vec::new();
     if let Some(old) = old {
-        ops.push(WriteOp::Delete { relation: "STOCK".into(), tuple: old });
+        ops.push(WriteOp::Delete {
+            relation: "STOCK".into(),
+            tuple: old,
+        });
     }
-    ops.push(WriteOp::Insert { relation: "STOCK".into(), tuple: tuple!["IBM", price] });
+    ops.push(WriteOp::Insert {
+        relation: "STOCK".into(),
+        tuple: tuple!["IBM", price],
+    });
     adb.update(ops)?;
     Ok(())
 }
 
 fn report(adb: &ActiveDatabase, price: i64, t: i64) {
-    let fired = adb
-        .firings()
-        .iter()
-        .any(|f| f.time == Timestamp(t));
+    let fired = adb.firings().iter().any(|f| f.time == Timestamp(t));
     println!(
         "  t={t:>2}  price={price:>3}  -> {}",
         if fired { "TRIGGER FIRED" } else { "-" }

@@ -20,7 +20,10 @@ use temporal_adb::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut db = Database::new();
-    db.create_relation("STOCK", Relation::empty(Schema::untyped(&["name", "price"])))?;
+    db.create_relation(
+        "STOCK",
+        Relation::empty(Schema::untyped(&["name", "price"])),
+    )?;
     db.define_query(
         "price",
         QueryDef::new(1, parse_query("select price from STOCK where name = $0")?),
@@ -51,8 +54,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Rule 3 (C of Section 7): IBM below 60 — recorded so rule 4 can see it.
     adb.add_rule(
-        Rule::trigger("cheap_ibm", parse_formula("price(\"IBM\") < 60")?, Action::Notify)
-            .recording_executed(),
+        Rule::trigger(
+            "cheap_ibm",
+            parse_formula("price(\"IBM\") < 60")?,
+            Action::Notify,
+        )
+        .recording_executed(),
     )?;
 
     // Rule 4 (A of Section 7): buy 50 shares every 10 minutes for an hour
@@ -92,10 +99,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .cloned();
         let mut ops = Vec::new();
         if let Some(old) = old {
-            ops.push(WriteOp::Delete { relation: "STOCK".into(), tuple: old });
+            ops.push(WriteOp::Delete {
+                relation: "STOCK".into(),
+                tuple: old,
+            });
         }
-        ops.push(WriteOp::Insert { relation: "STOCK".into(), tuple: tuple!["IBM", ibm] });
-        ops.push(WriteOp::SetItem { item: "dow".into(), value: Value::Int(dow) });
+        ops.push(WriteOp::Insert {
+            relation: "STOCK".into(),
+            tuple: tuple!["IBM", ibm],
+        });
+        ops.push(WriteOp::SetItem {
+            item: "dow".into(),
+            value: Value::Int(dow),
+        });
         adb.update(ops)?;
         adb.emit(Event::simple("update_stocks"))?;
         println!("t={t:>3}  IBM={ibm:>3}  DOW={dow}");
@@ -114,6 +130,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nshares bought by the temporal action: {bought}");
     assert!(adb.firings().iter().any(|f| f.rule == "avg_high"));
     assert!(adb.firings().iter().any(|f| f.rule == "cheap_ibm"));
-    assert!(bought.as_i64().unwrap_or(0) >= 100, "the bot bought in several rounds");
+    assert!(
+        bought.as_i64().unwrap_or(0) >= 100,
+        "the bot bought in several rounds"
+    );
     Ok(())
 }

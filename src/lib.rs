@@ -15,6 +15,8 @@
 //! * [`ptl`] — the PTL language (AST, parser, analyses, naive semantics);
 //! * [`core`] — the temporal component (incremental evaluator, rules,
 //!   aggregates, constraints, the `ActiveDatabase` facade);
+//! * [`storage`] — durability (write-ahead log, Theorem-1 checkpoints,
+//!   crash recovery);
 //! * [`baseline`] — comparator implementations (naive re-evaluation,
 //!   event-expression automata).
 //!
@@ -52,6 +54,7 @@ pub use tdb_core as core;
 pub use tdb_engine as engine;
 pub use tdb_ptl as ptl;
 pub use tdb_relation as relation;
+pub use tdb_storage as storage;
 
 /// The most commonly used items, for `use temporal_adb::prelude::*`.
 pub mod prelude {
@@ -62,7 +65,6 @@ pub mod prelude {
     pub use tdb_engine::{Engine, Event, EventSet, History, VtEngine, WriteOp};
     pub use tdb_ptl::{parse_formula, parse_term, Formula, Term};
     pub use tdb_relation::{
-        parse_query, tuple, Database, Query, QueryDef, Relation, Schema, Timestamp, Tuple,
-        Value,
+        parse_query, tuple, Database, Query, QueryDef, Relation, Schema, Timestamp, Tuple, Value,
     };
 }

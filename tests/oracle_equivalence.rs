@@ -17,13 +17,22 @@ enum Step {
 
 fn apply_script(steps: &[Step]) -> Engine {
     let mut db = Database::new();
-    db.create_relation("STOCK", Relation::empty(Schema::untyped(&["name", "price"])))
-        .unwrap();
+    db.create_relation(
+        "STOCK",
+        Relation::empty(Schema::untyped(&["name", "price"])),
+    )
+    .unwrap();
     db.define_query(
         "price",
-        QueryDef::new(1, parse_query("select price from STOCK where name = $0").unwrap()),
+        QueryDef::new(
+            1,
+            parse_query("select price from STOCK where name = $0").unwrap(),
+        ),
     );
-    db.define_query("names", QueryDef::new(0, parse_query("select name from STOCK").unwrap()));
+    db.define_query(
+        "names",
+        QueryDef::new(0, parse_query("select name from STOCK").unwrap()),
+    );
     let mut e = Engine::new(db);
     for s in steps {
         e.advance_clock(1).unwrap();
@@ -38,7 +47,10 @@ fn apply_script(steps: &[Step]) -> Engine {
                     .cloned();
                 let mut ops = Vec::new();
                 if let Some(old) = old {
-                    ops.push(WriteOp::Delete { relation: "STOCK".into(), tuple: old });
+                    ops.push(WriteOp::Delete {
+                        relation: "STOCK".into(),
+                        tuple: old,
+                    });
                 }
                 ops.push(WriteOp::Insert {
                     relation: "STOCK".into(),
@@ -188,5 +200,176 @@ proptest! {
             let b = aux.advance(s).unwrap();
             prop_assert_eq!(a, b, "state {}", i);
         }
+    }
+}
+
+// ---- crash-recovery equivalence ---------------------------------------------
+
+mod recovery {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use temporal_adb::prelude::{Action, ActiveDatabase, Rule};
+
+    /// One externally driven operation against the facade.
+    #[derive(Debug, Clone)]
+    pub enum DStep {
+        Price(i64),
+        Event(&'static str),
+        Balance(i64),
+        Skip,
+    }
+
+    pub fn dstep_strategy() -> impl Strategy<Value = DStep> {
+        prop_oneof![
+            (1i64..60).prop_map(DStep::Price),
+            Just(DStep::Event("ping")),
+            // Negative balances are vetoed by the constraint — the veto
+            // itself must replay identically.
+            (-20i64..200).prop_map(DStep::Balance),
+            Just(DStep::Skip),
+        ]
+    }
+
+    pub fn base_db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(
+            "STOCK",
+            Relation::empty(Schema::untyped(&["name", "price"])),
+        )
+        .unwrap();
+        db.define_query(
+            "price",
+            QueryDef::new(
+                1,
+                parse_query("select price from STOCK where name = $0").unwrap(),
+            ),
+        );
+        db.set_item("balance", Value::Int(100));
+        db.define_query(
+            "balance_q",
+            QueryDef::new(0, parse_query("item balance").unwrap()),
+        );
+        db
+    }
+
+    pub fn catalog() -> Vec<Rule> {
+        vec![
+            Rule::trigger(
+                "doubled",
+                parse_formula(
+                    "[t := time] [x := price(\"IBM\")] \
+                     previously(price(\"IBM\") <= 0.5 * x and time >= t - 10)",
+                )
+                .unwrap(),
+                Action::Notify,
+            ),
+            Rule::constraint("non_negative", parse_formula("balance_q() >= 0").unwrap()),
+        ]
+    }
+
+    pub fn apply(a: &mut ActiveDatabase, s: &DStep) {
+        a.advance_clock(1).unwrap();
+        match s {
+            DStep::Price(p) => {
+                let old = a
+                    .db()
+                    .relation("STOCK")
+                    .unwrap()
+                    .iter()
+                    .find_map(|t| (t.get(0) == Some(&Value::str("IBM"))).then(|| t.clone()));
+                let mut ops = Vec::new();
+                if let Some(old) = old {
+                    ops.push(WriteOp::Delete {
+                        relation: "STOCK".into(),
+                        tuple: old,
+                    });
+                }
+                ops.push(WriteOp::Insert {
+                    relation: "STOCK".into(),
+                    tuple: tuple!["IBM", *p],
+                });
+                a.update(ops).unwrap();
+            }
+            DStep::Event(name) => {
+                a.emit(Event::simple(*name)).unwrap();
+            }
+            DStep::Balance(b) => {
+                // Vetoed when negative: both runs see the same error.
+                let _ = a.update([WriteOp::SetItem {
+                    item: "balance".into(),
+                    value: Value::Int(*b),
+                }]);
+            }
+            DStep::Skip => {
+                a.tick().unwrap();
+            }
+        }
+    }
+
+    pub fn assert_same(a: &ActiveDatabase, b: &ActiveDatabase) {
+        assert_eq!(a.db(), b.db());
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.firings(), b.firings());
+        assert_eq!(a.history().len(), b.history().len());
+        assert_eq!(a.retained_size(), b.retained_size());
+    }
+
+    pub static DIR_COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+    pub fn unique_dir() -> std::path::PathBuf {
+        let n = DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("tdb-prop-{}-{n}", std::process::id()))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Crash-recovery equivalence at a random cut point: a durable run
+    /// killed after `cut` ops and recovered from disk is indistinguishable
+    /// from a volatile run of the same prefix — and both stay in lockstep
+    /// over the remaining suffix.
+    #[test]
+    fn recovery_is_equivalent_at_any_cut(
+        steps in proptest::collection::vec(recovery::dstep_strategy(), 1..20),
+        cut_pct in 0usize..100,
+        every_ops in 1usize..5,
+    ) {
+        use recovery::*;
+        use temporal_adb::core::ManagerConfig;
+        use temporal_adb::prelude::ActiveDatabase;
+        use temporal_adb::storage::{recover, CheckpointPolicy, FileStorage};
+
+        let cut = steps.len() * cut_pct / 100;
+        let dir = unique_dir();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let policy = CheckpointPolicy { every_ops, every_bytes: 0, sync_on_append: false };
+        let storage = FileStorage::create(&dir, policy).unwrap();
+        let mut durable = ActiveDatabase::with_storage(
+            base_db(), ManagerConfig::default(), Box::new(storage),
+        ).unwrap();
+        let mut volatile = ActiveDatabase::new(base_db());
+        for r in catalog() {
+            durable.add_rule(r.clone()).unwrap();
+            volatile.add_rule(r).unwrap();
+        }
+        for s in &steps[..cut] {
+            apply(&mut durable, s);
+            apply(&mut volatile, s);
+        }
+        drop(durable); // crash at the cut point
+
+        let rec = recover(&dir, &catalog(), ManagerConfig::default()).unwrap();
+        prop_assert!(rec.report.bad_checkpoints.is_empty());
+        let mut recovered = rec.adb;
+        assert_same(&recovered, &volatile);
+
+        for s in &steps[cut..] {
+            apply(&mut recovered, s);
+            apply(&mut volatile, s);
+        }
+        assert_same(&recovered, &volatile);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

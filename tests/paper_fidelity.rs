@@ -60,21 +60,29 @@ fn time_is_a_queryable_data_item() {
 #[test]
 fn sharp_increase_with_free_stock_variable() {
     let mut db = Database::new();
-    db.create_relation("STOCK", Relation::empty(Schema::untyped(&["name", "price"])))
-        .unwrap();
+    db.create_relation(
+        "STOCK",
+        Relation::empty(Schema::untyped(&["name", "price"])),
+    )
+    .unwrap();
     db.define_query(
         "price",
-        QueryDef::new(1, parse_query("select price from STOCK where name = $0").unwrap()),
+        QueryDef::new(
+            1,
+            parse_query("select price from STOCK where name = $0").unwrap(),
+        ),
     );
-    db.define_query("names", QueryDef::new(0, parse_query("select name from STOCK").unwrap()));
+    db.define_query(
+        "names",
+        QueryDef::new(0, parse_query("select name from STOCK").unwrap()),
+    );
     let mut adb = ActiveDatabase::new(db);
     // Some listed stock tripled since the previous state: the same term
     // price(x) denotes different instants inside and outside Lasttime —
     // the incremental evaluator snapshots it per state.
     adb.add_rule(Rule::trigger(
         "sharp_increase",
-        parse_formula("x in names() and lasttime(price(x) * 3 <= 30) and price(x) >= 30")
-            .unwrap(),
+        parse_formula("x in names() and lasttime(price(x) * 3 <= 30) and price(x) >= 30").unwrap(),
         Action::Notify,
     ))
     .unwrap();
@@ -88,9 +96,15 @@ fn sharp_increase_with_free_stock_variable() {
             .cloned();
         let mut ops = Vec::new();
         if let Some(old) = old {
-            ops.push(WriteOp::Delete { relation: "STOCK".into(), tuple: old });
+            ops.push(WriteOp::Delete {
+                relation: "STOCK".into(),
+                tuple: old,
+            });
         }
-        ops.push(WriteOp::Insert { relation: "STOCK".into(), tuple: tuple![name, p] });
+        ops.push(WriteOp::Insert {
+            relation: "STOCK".into(),
+            tuple: tuple![name, p],
+        });
         adb.advance_clock(1).unwrap();
         adb.update(ops).unwrap();
     };
@@ -107,15 +121,20 @@ fn sharp_increase_with_free_stock_variable() {
 #[test]
 fn relevance_follows_query_dependencies() {
     let mut db = Database::new();
-    db.create_relation("A", Relation::empty(Schema::untyped(&["v"]))).unwrap();
-    db.create_relation("B", Relation::empty(Schema::untyped(&["v"]))).unwrap();
+    db.create_relation("A", Relation::empty(Schema::untyped(&["v"])))
+        .unwrap();
+    db.create_relation("B", Relation::empty(Schema::untyped(&["v"])))
+        .unwrap();
     db.define_query(
         "count_a",
         QueryDef::new(0, parse_query("select count(*) as n from A").unwrap()),
     );
     let mut adb = ActiveDatabase::with_config(
         db,
-        ManagerConfig { relevance_filtering: true, ..Default::default() },
+        ManagerConfig {
+            relevance_filtering: true,
+            ..Default::default()
+        },
     );
     adb.add_rule(Rule::trigger(
         "watch_a",
@@ -125,11 +144,19 @@ fn relevance_follows_query_dependencies() {
     .unwrap();
     adb.advance_clock(1).unwrap();
     // Updating B is irrelevant to the rule: skipped.
-    adb.update([WriteOp::Insert { relation: "B".into(), tuple: tuple![1i64] }]).unwrap();
+    adb.update([WriteOp::Insert {
+        relation: "B".into(),
+        tuple: tuple![1i64],
+    }])
+    .unwrap();
     let skips_after_b = adb.stats().skips;
     assert!(skips_after_b > 0);
     // Updating A is relevant: evaluated and fired.
-    adb.update([WriteOp::Insert { relation: "A".into(), tuple: tuple![1i64] }]).unwrap();
+    adb.update([WriteOp::Insert {
+        relation: "A".into(),
+        tuple: tuple![1i64],
+    }])
+    .unwrap();
     assert_eq!(adb.firings().len(), 1);
 }
 
@@ -138,11 +165,19 @@ fn relevance_follows_query_dependencies() {
 #[test]
 fn commits_never_share_an_instant() {
     let mut adb = ActiveDatabase::new(Database::new());
-    adb.set_item("x", Value::Int(0));
+    adb.set_item("x", Value::Int(0)).unwrap();
     adb.advance_clock(1).unwrap();
     // Two immediate updates without advancing the clock in between.
-    adb.update([WriteOp::SetItem { item: "x".into(), value: Value::Int(1) }]).unwrap();
-    adb.update([WriteOp::SetItem { item: "x".into(), value: Value::Int(2) }]).unwrap();
+    adb.update([WriteOp::SetItem {
+        item: "x".into(),
+        value: Value::Int(1),
+    }])
+    .unwrap();
+    adb.update([WriteOp::SetItem {
+        item: "x".into(),
+        value: Value::Int(2),
+    }])
+    .unwrap();
     let mut commit_times = Vec::new();
     for (_, s) in adb.history().iter() {
         if s.events().commit_count() > 0 {
@@ -175,8 +210,11 @@ fn dow_jones_drop_condition() {
         while adb.now().0 < t {
             adb.advance_clock(1).unwrap();
         }
-        adb.update([WriteOp::SetItem { item: "dow".into(), value: Value::Int(v) }])
-            .unwrap();
+        adb.update([WriteOp::SetItem {
+            item: "dow".into(),
+            value: Value::Int(v),
+        }])
+        .unwrap();
     };
     set(&mut adb, 10, 10_100); // high point
     set(&mut adb, 60, 10_000);

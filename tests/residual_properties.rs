@@ -40,8 +40,9 @@ fn cmp_strategy() -> impl Strategy<Value = CmpOp> {
 }
 
 fn residual_strategy() -> impl Strategy<Value = Arc<Residual>> {
-    let atom = (cmp_strategy(), pterm_strategy(), pterm_strategy())
-        .prop_map(|(op, a, b)| rcmp(op, a, b).unwrap_or_else(|_| temporal_adb::core::residual::rfalse()));
+    let atom = (cmp_strategy(), pterm_strategy(), pterm_strategy()).prop_map(|(op, a, b)| {
+        rcmp(op, a, b).unwrap_or_else(|_| temporal_adb::core::residual::rfalse())
+    });
     atom.prop_recursive(3, 16, 3, |inner| {
         prop_oneof![
             inner.clone().prop_map(rnot),

@@ -7,13 +7,22 @@ use temporal_adb::prelude::*;
 
 fn stock_adb() -> ActiveDatabase {
     let mut db = Database::new();
-    db.create_relation("STOCK", Relation::empty(Schema::untyped(&["name", "price"])))
-        .unwrap();
+    db.create_relation(
+        "STOCK",
+        Relation::empty(Schema::untyped(&["name", "price"])),
+    )
+    .unwrap();
     db.define_query(
         "price",
-        QueryDef::new(1, parse_query("select price from STOCK where name = $0").unwrap()),
+        QueryDef::new(
+            1,
+            parse_query("select price from STOCK where name = $0").unwrap(),
+        ),
     );
-    db.define_query("names", QueryDef::new(0, parse_query("select name from STOCK").unwrap()));
+    db.define_query(
+        "names",
+        QueryDef::new(0, parse_query("select name from STOCK").unwrap()),
+    );
     ActiveDatabase::new(db)
 }
 
@@ -27,9 +36,15 @@ fn set_price(adb: &mut ActiveDatabase, name: &str, p: i64) {
         .cloned();
     let mut ops = Vec::new();
     if let Some(old) = old {
-        ops.push(WriteOp::Delete { relation: "STOCK".into(), tuple: old });
+        ops.push(WriteOp::Delete {
+            relation: "STOCK".into(),
+            tuple: old,
+        });
     }
-    ops.push(WriteOp::Insert { relation: "STOCK".into(), tuple: tuple![name, p] });
+    ops.push(WriteOp::Insert {
+        relation: "STOCK".into(),
+        tuple: tuple![name, p],
+    });
     adb.advance_clock(1).unwrap();
     adb.update(ops).unwrap();
 }
@@ -52,10 +67,7 @@ fn multi_rule_interaction() {
     .unwrap();
     adb.add_rule(Rule::trigger(
         "ever_doubled",
-        parse_formula(
-            "[x := price(\"IBM\")] previously(price(\"IBM\") <= 0.5 * x)",
-        )
-        .unwrap(),
+        parse_formula("[x := price(\"IBM\")] previously(price(\"IBM\") <= 0.5 * x)").unwrap(),
         Action::Notify,
     ))
     .unwrap();
@@ -87,14 +99,19 @@ fn level_triggered_rules_fire_repeatedly() {
     for p in [150, 160, 170] {
         set_price(&mut adb, "IBM", p);
     }
-    assert_eq!(adb.firings().len(), 3, "level semantics: every satisfying state");
+    assert_eq!(
+        adb.firings().len(),
+        3,
+        "level semantics: every satisfying state"
+    );
 }
 
 #[test]
 fn constraint_on_multi_statement_transaction() {
     let mut adb = stock_adb();
-    adb.set_item("total", Value::Int(0));
-    adb.define_query("total", QueryDef::new(0, Query::item("total")));
+    adb.set_item("total", Value::Int(0)).unwrap();
+    adb.define_query("total", QueryDef::new(0, Query::item("total")))
+        .unwrap();
     adb.add_rule(Rule::constraint(
         "cap",
         parse_formula("total() <= 10").unwrap(),
@@ -104,15 +121,43 @@ fn constraint_on_multi_statement_transaction() {
     // A transaction built op by op; the commit is gated as a whole.
     adb.advance_clock(1).unwrap();
     let txn = adb.begin().unwrap();
-    adb.write(txn, WriteOp::SetItem { item: "total".into(), value: Value::Int(5) }).unwrap();
-    adb.write(txn, WriteOp::SetItem { item: "total".into(), value: Value::Int(25) }).unwrap();
+    adb.write(
+        txn,
+        WriteOp::SetItem {
+            item: "total".into(),
+            value: Value::Int(5),
+        },
+    )
+    .unwrap();
+    adb.write(
+        txn,
+        WriteOp::SetItem {
+            item: "total".into(),
+            value: Value::Int(25),
+        },
+    )
+    .unwrap();
     assert!(adb.commit(txn).is_err(), "final state 25 > 10");
     assert_eq!(adb.db().item("total").unwrap(), Value::Int(0));
 
     adb.advance_clock(1).unwrap();
     let txn = adb.begin().unwrap();
-    adb.write(txn, WriteOp::SetItem { item: "total".into(), value: Value::Int(25) }).unwrap();
-    adb.write(txn, WriteOp::SetItem { item: "total".into(), value: Value::Int(7) }).unwrap();
+    adb.write(
+        txn,
+        WriteOp::SetItem {
+            item: "total".into(),
+            value: Value::Int(25),
+        },
+    )
+    .unwrap();
+    adb.write(
+        txn,
+        WriteOp::SetItem {
+            item: "total".into(),
+            value: Value::Int(7),
+        },
+    )
+    .unwrap();
     adb.commit(txn).unwrap();
     assert_eq!(
         adb.db().item("total").unwrap(),
@@ -129,7 +174,10 @@ fn relevance_filtering_preserves_firings_for_event_rules() {
         db.define_query("hits", QueryDef::new(0, Query::item("hits")));
         let mut adb = ActiveDatabase::with_config(
             db,
-            ManagerConfig { relevance_filtering: filtering, ..Default::default() },
+            ManagerConfig {
+                relevance_filtering: filtering,
+                ..Default::default()
+            },
         );
         adb.add_rule(Rule::trigger(
             "on_ping",
@@ -167,7 +215,13 @@ fn aggregate_with_start_reset() {
     adb.emit(Event::simple("open")).unwrap();
     adb.emit(Event::simple("sample")).unwrap(); // avg = 200
     adb.tick().unwrap();
-    assert_eq!(adb.firings().iter().filter(|f| f.rule == "session_avg_high").count(), 1);
+    assert_eq!(
+        adb.firings()
+            .iter()
+            .filter(|f| f.rule == "session_avg_high")
+            .count(),
+        1
+    );
 
     // A new session resets the window; a low sample keeps it below 100.
     set_price(&mut adb, "IBM", 10);
@@ -175,7 +229,10 @@ fn aggregate_with_start_reset() {
     adb.emit(Event::simple("sample")).unwrap(); // avg = 10
     adb.tick().unwrap();
     assert_eq!(
-        adb.firings().iter().filter(|f| f.rule == "session_avg_high").count(),
+        adb.firings()
+            .iter()
+            .filter(|f| f.rule == "session_avg_high")
+            .count(),
         1,
         "no new firing after the reset"
     );
@@ -209,8 +266,8 @@ fn executed_relation_rows_carry_params_and_time() {
 fn composite_action_two_steps_ten_apart() {
     // The Section 7 composite action A = A1; A2 with A2 ten units later.
     let mut adb = stock_adb();
-    adb.set_item("a1_done", Value::Int(0));
-    adb.set_item("a2_done", Value::Int(0));
+    adb.set_item("a1_done", Value::Int(0)).unwrap();
+    adb.set_item("a2_done", Value::Int(0)).unwrap();
     adb.add_rule(
         Rule::trigger(
             "r1",
@@ -250,7 +307,7 @@ fn batching_preserves_order_of_firings() {
         Action::Notify,
     ))
     .unwrap();
-    adb.set_batch(3);
+    adb.set_batch(3).unwrap();
     adb.advance_clock(1).unwrap();
     for k in 0..7i64 {
         adb.emit(Event::new("ping", vec![Value::Int(k)])).unwrap();
@@ -261,26 +318,38 @@ fn batching_preserves_order_of_firings() {
         .iter()
         .map(|f| f.env["k"].as_i64().unwrap())
         .collect();
-    assert_eq!(ks, vec![0, 1, 2, 3, 4, 5, 6], "delayed but in order, none lost");
+    assert_eq!(
+        ks,
+        vec![0, 1, 2, 3, 4, 5, 6],
+        "delayed but in order, none lost"
+    );
 }
 
 #[test]
 fn abort_state_is_visible_to_triggers() {
     // A trigger watching transaction_abort events sees gated rollbacks.
     let mut adb = stock_adb();
-    adb.set_item("b", Value::Int(0));
-    adb.define_query("b", QueryDef::new(0, Query::item("b")));
-    adb.add_rule(Rule::constraint("pos", parse_formula("b() >= 0").unwrap())).unwrap();
+    adb.set_item("b", Value::Int(0)).unwrap();
+    adb.define_query("b", QueryDef::new(0, Query::item("b")))
+        .unwrap();
+    adb.add_rule(Rule::constraint("pos", parse_formula("b() >= 0").unwrap()))
+        .unwrap();
     adb.add_rule(Rule::trigger(
         "abort_watch",
-        parse_formula(&format!("@{}(x)", temporal_adb::engine::event::names::TXN_ABORT))
-            .unwrap(),
+        parse_formula(&format!(
+            "@{}(x)",
+            temporal_adb::engine::event::names::TXN_ABORT
+        ))
+        .unwrap(),
         Action::Notify,
     ))
     .unwrap();
     adb.advance_clock(1).unwrap();
     assert!(adb
-        .update([WriteOp::SetItem { item: "b".into(), value: Value::Int(-5) }])
+        .update([WriteOp::SetItem {
+            item: "b".into(),
+            value: Value::Int(-5)
+        }])
         .is_err());
     assert!(adb.firings().iter().any(|f| f.rule == "abort_watch"));
 }

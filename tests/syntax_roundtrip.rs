@@ -48,17 +48,14 @@ fn formula_strategy() -> impl Strategy<Value = Formula> {
         (cmp_strategy(), term_strategy(), term_strategy())
             .prop_map(|(op, a, b)| Formula::cmp(op, a, b)),
         "[a-z][a-z0-9]{0,3}".prop_map(|e| Formula::event(e, vec![])),
-        ("[a-z][a-z0-9]{0,3}", "[a-z][a-z]{0,2}").prop_map(|(e, v)| {
-            Formula::event(e, vec![Term::var(v)])
-        }),
+        ("[a-z][a-z0-9]{0,3}", "[a-z][a-z]{0,2}")
+            .prop_map(|(e, v)| { Formula::event(e, vec![Term::var(v)]) }),
     ];
     atom.prop_recursive(3, 24, 2, |inner| {
         prop_oneof![
             inner.clone().prop_map(Formula::not),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Formula::And(vec![a, b])),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Formula::Or(vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::And(vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::Or(vec![a, b])),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::since(a, b)),
             inner.clone().prop_map(Formula::lasttime),
             inner.clone().prop_map(Formula::previously),

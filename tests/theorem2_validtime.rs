@@ -18,9 +18,17 @@ enum VtStep {
     Begin,
     /// Update item `u{idx % 3}` by transaction slot `txn % open`, lagging
     /// `lag` units behind now.
-    Update { txn: u8, idx: u8, lag: u8 },
-    Commit { txn: u8 },
-    Abort { txn: u8 },
+    Update {
+        txn: u8,
+        idx: u8,
+        lag: u8,
+    },
+    Commit {
+        txn: u8,
+    },
+    Abort {
+        txn: u8,
+    },
     Tick,
 }
 
@@ -166,11 +174,19 @@ fn committed_history_is_prefix_closed() {
     // no transaction committing in (t, t'] wrote retroactively before t.
     let steps = [
         VtStep::Begin,
-        VtStep::Update { txn: 0, idx: 0, lag: 0 },
+        VtStep::Update {
+            txn: 0,
+            idx: 0,
+            lag: 0,
+        },
         VtStep::Tick,
         VtStep::Commit { txn: 0 },
         VtStep::Begin,
-        VtStep::Update { txn: 0, idx: 1, lag: 0 },
+        VtStep::Update {
+            txn: 0,
+            idx: 1,
+            lag: 0,
+        },
         VtStep::Commit { txn: 0 },
     ];
     let vt = run_script(&steps);
