@@ -23,7 +23,7 @@
 //! advance, collapsing dead time-variable clauses so that conditions built
 //! from bounded temporal operators retain only bounded state.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use tdb_engine::SystemState;
@@ -85,13 +85,21 @@ enum Node {
 }
 
 /// The incremental evaluator for one condition.
+///
+/// The compiled node DAG and time-variable set are immutable after
+/// compilation and shared behind `Arc`s, so cloning an evaluator (the gate
+/// path speculatively advances a clone per pending commit) costs one
+/// reference bump plus a shallow copy of the `prev` pointer vector — it
+/// never copies formula structure.
 #[derive(Debug, Clone)]
 pub struct IncrementalEvaluator {
-    nodes: Vec<Node>,
-    time_vars: BTreeSet<String>,
+    nodes: Arc<[Node]>,
+    time_vars: Arc<BTreeSet<String>>,
     cfg: EvalConfig,
     /// `F_{g,i-1}` per node; meaningful once `started`.
     prev: Vec<Arc<Residual>>,
+    /// Recycled buffer for the next `advance` call's `F_{g,i}` vector.
+    scratch: Vec<Arc<Residual>>,
     started: bool,
     states_seen: usize,
 }
@@ -105,13 +113,15 @@ impl IncrementalEvaluator {
         let core = to_core(f);
         let time_vars = analysis::time_vars(&core);
         let mut nodes = Vec::new();
-        build_nodes(&core, &mut nodes)?;
+        let mut memo = HashMap::new();
+        build_nodes(&core, &mut nodes, &mut memo)?;
         let n = nodes.len();
         Ok(IncrementalEvaluator {
-            nodes,
-            time_vars,
+            nodes: nodes.into(),
+            time_vars: Arc::new(time_vars),
             cfg,
             prev: vec![rfalse(); n],
+            scratch: Vec::new(),
             started: false,
             states_seen: 0,
         })
@@ -163,8 +173,11 @@ impl IncrementalEvaluator {
     /// condition.
     pub fn advance(&mut self, state: &SystemState, index: usize) -> Result<Arc<Residual>> {
         let view = StateView::new(state, index);
-        let mut cur: Vec<Arc<Residual>> = Vec::with_capacity(self.nodes.len());
-        for (id, node) in self.nodes.iter().enumerate() {
+        let mut cur = std::mem::take(&mut self.scratch);
+        cur.clear();
+        cur.reserve(self.nodes.len());
+        let nodes = Arc::clone(&self.nodes);
+        for (id, node) in nodes.iter().enumerate() {
             let r = match node {
                 Node::Atom(a) => parteval_atom(a, &view)?,
                 Node::Not(g) => rnot(cur[*g].clone()),
@@ -211,7 +224,10 @@ impl IncrementalEvaluator {
         }
 
         let root = cur.last().expect("formula has at least one node").clone();
-        self.prev = cur;
+        // `cur` becomes the new `prev`; the old `prev` buffer is recycled
+        // for the next advance instead of being reallocated per state.
+        self.scratch = std::mem::replace(&mut self.prev, cur);
+        self.scratch.clear();
         self.started = true;
         self.states_seen += 1;
         Ok(root)
@@ -227,32 +243,45 @@ impl IncrementalEvaluator {
     }
 }
 
-fn build_nodes(f: &Formula, nodes: &mut Vec<Node>) -> Result<usize> {
+/// Compiles the formula into a flat node list, children before parents.
+/// Structurally identical subformulas share one node (and therefore one
+/// `F_{g,i}` slot): by Theorem 1 the formula state is a function of the
+/// subformula and the history alone, not of the occurrence site, so the
+/// sharing is semantics-preserving and shrinks both per-state work and
+/// checkpoint payloads.
+fn build_nodes(
+    f: &Formula,
+    nodes: &mut Vec<Node>,
+    memo: &mut HashMap<Formula, usize>,
+) -> Result<usize> {
+    if let Some(&id) = memo.get(f) {
+        return Ok(id);
+    }
     let node = match f {
         Formula::True
         | Formula::False
         | Formula::Cmp(..)
         | Formula::Member { .. }
         | Formula::Event { .. } => Node::Atom(f.clone()),
-        Formula::Not(g) => Node::Not(build_nodes(g, nodes)?),
+        Formula::Not(g) => Node::Not(build_nodes(g, nodes, memo)?),
         Formula::And(gs) => {
             let ids = gs
                 .iter()
-                .map(|g| build_nodes(g, nodes))
+                .map(|g| build_nodes(g, nodes, memo))
                 .collect::<Result<_>>()?;
             Node::And(ids)
         }
         Formula::Or(gs) => {
             let ids = gs
                 .iter()
-                .map(|g| build_nodes(g, nodes))
+                .map(|g| build_nodes(g, nodes, memo))
                 .collect::<Result<_>>()?;
             Node::Or(ids)
         }
-        Formula::Lasttime(g) => Node::Lasttime(build_nodes(g, nodes)?),
+        Formula::Lasttime(g) => Node::Lasttime(build_nodes(g, nodes, memo)?),
         Formula::Since(g, h) => {
-            let g = build_nodes(g, nodes)?;
-            let h = build_nodes(h, nodes)?;
+            let g = build_nodes(g, nodes, memo)?;
+            let h = build_nodes(h, nodes, memo)?;
             Node::Since(g, h)
         }
         Formula::Previously(_) | Formula::ThroughoutPast(_) => {
@@ -265,7 +294,7 @@ fn build_nodes(f: &Formula, nodes: &mut Vec<Node>) -> Result<usize> {
                     mentions: v.clone(),
                 });
             }
-            let body = build_nodes(body, nodes)?;
+            let body = build_nodes(body, nodes, memo)?;
             Node::Assign {
                 var: var.clone(),
                 term: term.clone(),
@@ -274,7 +303,9 @@ fn build_nodes(f: &Formula, nodes: &mut Vec<Node>) -> Result<usize> {
         }
     };
     nodes.push(node);
-    Ok(nodes.len() - 1)
+    let id = nodes.len() - 1;
+    memo.insert(f.clone(), id);
+    Ok(id)
 }
 
 #[cfg(test)]

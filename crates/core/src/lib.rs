@@ -25,6 +25,7 @@ pub mod error;
 pub mod facade;
 pub mod incremental;
 pub mod manager;
+pub mod parallel;
 pub mod parteval;
 pub mod residual;
 pub mod rules;
@@ -39,6 +40,8 @@ pub use incremental::{EvalConfig, EvaluatorState, IncrementalEvaluator};
 pub use manager::{
     executed_relation_name, GateOutcome, ManagerConfig, ManagerStats, RuleManager, RuleState,
 };
+pub use parallel::ParallelConfig;
+pub use residual::{intern_arc, interned_count};
 pub use rules::{Action, ActionOp, FiringRecord, Program, Rule, RuleKind, TXN_VAR};
 pub use storage::{LogicalOp, MemorySink, SharedMemorySink, SystemSnapshot, WalSink};
 pub use validtime::{

@@ -28,6 +28,7 @@ use tdb_relation::{Column, DType, Database, Query, QueryDef, Relation, Schema};
 use crate::aggregate::rewrite_aggregates;
 use crate::error::{CoreError, Result};
 use crate::incremental::{EvalConfig, EvaluatorState, IncrementalEvaluator};
+use crate::parallel::{run_partitioned, ParallelConfig};
 use crate::residual::solve;
 use crate::rules::{FiringRecord, Rule, RuleKind};
 
@@ -43,10 +44,12 @@ pub struct ManagerConfig {
     pub relevance_filtering: bool,
     /// Evaluator configuration shared by all rules.
     pub eval: EvalConfig,
+    /// Worker-pool configuration for dispatch/gate batches.
+    pub parallel: ParallelConfig,
 }
 
-/// Counters for the experiments (E3).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Counters for the experiments (E3, E13).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ManagerStats {
     /// Rule-state evaluations performed.
     pub evaluations: u64,
@@ -54,6 +57,20 @@ pub struct ManagerStats {
     pub skips: u64,
     /// Total firings.
     pub firings: u64,
+    /// Dispatch/gate batches that actually ran on more than one worker.
+    pub parallel_batches: u64,
+    /// Evaluations performed by each worker (index = worker id); index 0
+    /// includes sequential batches run on the caller's thread.
+    pub worker_evaluations: Vec<u64>,
+}
+
+impl ManagerStats {
+    fn record_worker(&mut self, worker: usize, evaluations: u64) {
+        if self.worker_evaluations.len() <= worker {
+            self.worker_evaluations.resize(worker + 1, 0);
+        }
+        self.worker_evaluations[worker] += evaluations;
+    }
 }
 
 #[derive(Debug)]
@@ -66,9 +83,9 @@ struct RuleRuntime {
     data: BTreeSet<String>,
     /// Whether the condition reads the clock.
     uses_time: bool,
-    /// Satisfying bindings at the previous evaluated state, for
-    /// edge-triggered firing.
-    last_envs: BTreeSet<tdb_ptl::Env>,
+    /// Satisfying bindings at the previous evaluated state (sorted,
+    /// deduplicated), for edge-triggered firing.
+    last_envs: Vec<tdb_ptl::Env>,
 }
 
 /// A pending constraint check for one candidate commit state: the cloned
@@ -105,7 +122,7 @@ impl RuleManager {
     }
 
     pub fn stats(&self) -> ManagerStats {
-        self.stats
+        self.stats.clone()
     }
 
     pub fn config(&self) -> &ManagerConfig {
@@ -212,7 +229,7 @@ impl RuleManager {
             events,
             data,
             uses_time,
-            last_envs: BTreeSet::new(),
+            last_envs: Vec::new(),
         });
         Ok(())
     }
@@ -245,66 +262,130 @@ impl RuleManager {
     /// returns the firings, in registration order. When
     /// `constraints_already_advanced` is set (the state was just gated),
     /// constraint evaluators are not advanced again.
+    ///
+    /// Large batches are partitioned over the configured worker pool: by
+    /// Theorem 1 each rule's update touches only that rule's own formula
+    /// states, so rules are advanced concurrently against the shared
+    /// `state` and the per-chunk results are concatenated back in
+    /// registration order — the output is identical to a sequential run.
     pub fn dispatch(
         &mut self,
         state: &SystemState,
         idx: usize,
         constraints_already_advanced: bool,
     ) -> Result<Vec<FiringRecord>> {
-        let mut firings = Vec::new();
+        // Phase 1 (sequential): relevance filtering picks the rules that
+        // must look at this state, preserving registration order.
+        let relevance = self.cfg.relevance_filtering;
+        let mut selected: Vec<&mut RuleRuntime> = Vec::new();
         for rt in self.runtimes.iter_mut() {
             if rt.rule.kind == RuleKind::Constraint && constraints_already_advanced {
                 continue;
             }
-            if self.cfg.relevance_filtering && !Self::relevant(rt, state) {
+            if relevance && !Self::relevant(rt, state) {
                 self.stats.skips += 1;
                 continue;
             }
-            self.stats.evaluations += 1;
-            let envs = rt.evaluator.advance_and_fire(state, idx)?;
-            let satisfied: BTreeSet<tdb_ptl::Env> = envs.into_iter().collect();
-            for env in &satisfied {
-                if rt.rule.edge_triggered && rt.last_envs.contains(env) {
-                    // Still satisfied, but not newly: no rising edge.
-                    continue;
-                }
-                self.stats.firings += 1;
-                firings.push(FiringRecord {
-                    rule: rt.rule.name.clone(),
-                    state_index: idx,
-                    time: state.time(),
-                    env: env.clone(),
-                });
-            }
-            rt.last_envs = satisfied;
+            selected.push(rt);
         }
-        Ok(firings)
+
+        // Phase 2: advance each selected rule's evaluator and apply the
+        // edge-trigger filter, in parallel when the batch is large enough.
+        let workers = self.cfg.parallel.effective_workers(selected.len());
+        let results = run_partitioned(&mut selected, workers, |worker, chunk| {
+            let mut evaluations = 0u64;
+            let mut firings: Vec<FiringRecord> = Vec::new();
+            for rt in chunk.iter_mut() {
+                evaluations += 1;
+                // `advance_and_fire` returns the satisfying bindings
+                // sorted and deduplicated.
+                let satisfied = rt.evaluator.advance_and_fire(state, idx)?;
+                for env in &satisfied {
+                    if rt.rule.edge_triggered && rt.last_envs.binary_search(env).is_ok() {
+                        // Still satisfied, but not newly: no rising edge.
+                        continue;
+                    }
+                    firings.push(FiringRecord {
+                        rule: rt.rule.name.clone(),
+                        state_index: idx,
+                        time: state.time(),
+                        env: env.clone(),
+                    });
+                }
+                rt.last_envs = satisfied;
+            }
+            Ok::<_, CoreError>((worker, evaluations, firings))
+        });
+
+        // Phase 3 (sequential): merge. Chunks are contiguous slices of the
+        // registration-ordered selection, so concatenation restores the
+        // sequential firing order exactly.
+        if workers > 1 {
+            self.stats.parallel_batches += 1;
+        }
+        let mut out = Vec::new();
+        for r in results {
+            let (worker, evaluations, firings) = r?;
+            self.stats.evaluations += evaluations;
+            self.stats.record_worker(worker, evaluations);
+            self.stats.firings += firings.len() as u64;
+            out.extend(firings);
+        }
+        Ok(out)
     }
 
     /// Evaluates every constraint against a candidate commit state, on
     /// cloned evaluators. If the commit is finished, install the clones
     /// with [`RuleManager::confirm_gate`]; if it is aborted, drop the
     /// outcome (the candidate state never happened).
+    ///
+    /// Like [`RuleManager::dispatch`], large constraint sets are spread
+    /// over the worker pool; cloning an evaluator is cheap (the compiled
+    /// node program is shared, only the previous-state pointers are
+    /// copied), so each worker advances private clones.
     pub fn gate(&mut self, candidate: &SystemState, idx: usize) -> Result<GateOutcome> {
+        let mut selected: Vec<(usize, &RuleRuntime)> = self
+            .runtimes
+            .iter()
+            .enumerate()
+            .filter(|(_, rt)| rt.rule.kind == RuleKind::Constraint)
+            .collect();
+
+        let workers = self.cfg.parallel.effective_workers(selected.len());
+        let results = run_partitioned(&mut selected, workers, |worker, chunk| {
+            let mut evaluations = 0u64;
+            let mut entries = Vec::with_capacity(chunk.len());
+            for (k, rt) in chunk.iter() {
+                let mut clone = rt.evaluator.clone();
+                evaluations += 1;
+                let root = clone.advance(candidate, idx)?;
+                let envs = solve(&root)?;
+                entries.push((*k, rt.rule.name.clone(), clone, envs));
+            }
+            Ok::<_, CoreError>((worker, evaluations, entries))
+        });
+
+        if workers > 1 {
+            self.stats.parallel_batches += 1;
+        }
         let mut violations = Vec::new();
         let mut clones = Vec::new();
-        for (k, rt) in self.runtimes.iter().enumerate() {
-            if rt.rule.kind != RuleKind::Constraint {
-                continue;
+        for r in results {
+            let (worker, evaluations, entries) = r?;
+            self.stats.evaluations += evaluations;
+            self.stats.record_worker(worker, evaluations);
+            for (k, name, clone, envs) in entries {
+                for env in envs {
+                    self.stats.firings += 1;
+                    violations.push(FiringRecord {
+                        rule: name.clone(),
+                        state_index: idx,
+                        time: candidate.time(),
+                        env,
+                    });
+                }
+                clones.push((k, clone));
             }
-            let mut clone = rt.evaluator.clone();
-            self.stats.evaluations += 1;
-            let root = clone.advance(candidate, idx)?;
-            for env in solve(&root)? {
-                self.stats.firings += 1;
-                violations.push(FiringRecord {
-                    rule: rt.rule.name.clone(),
-                    state_index: idx,
-                    time: candidate.time(),
-                    env,
-                });
-            }
-            clones.push((k, clone));
         }
         Ok(GateOutcome { violations, clones })
     }
@@ -350,7 +431,10 @@ impl RuleManager {
                 )));
             }
             rt.evaluator.import_state(st.evaluator)?;
-            rt.last_envs = st.last_envs;
+            let mut envs = st.last_envs;
+            envs.sort();
+            envs.dedup();
+            rt.last_envs = envs;
         }
         Ok(())
     }
@@ -368,8 +452,9 @@ pub struct RuleState {
     pub name: String,
     /// The evaluator's formula states.
     pub evaluator: EvaluatorState,
-    /// Bindings satisfied at the last evaluated state (edge-trigger memory).
-    pub last_envs: BTreeSet<tdb_ptl::Env>,
+    /// Bindings satisfied at the last evaluated state (edge-trigger
+    /// memory), sorted and deduplicated.
+    pub last_envs: Vec<tdb_ptl::Env>,
 }
 
 /// Creates the `__EXECUTED_<rule>` relation and its reader query if absent.

@@ -1,0 +1,150 @@
+//! Scoped worker pool for parallel rule dispatch.
+//!
+//! Theorem 1 makes dispatch embarrassingly parallel: each rule's formula
+//! state `F_{g,i}` is a function of the current system state and that
+//! rule's own `F_{g,i-1}` only, so distinct rules never share mutable
+//! state and can be advanced concurrently against the shared
+//! [`SystemState`](tdb_engine::SystemState). The pool here is
+//! deliberately minimal — `std::thread::scope` over contiguous chunks of
+//! the relevant-rule slice — so results concatenate back in registration
+//! order and parallel runs are byte-identical to sequential ones.
+//!
+//! No threads are kept alive between calls: dispatch batches are large
+//! (every relevant rule at one state) and the scoped spawn cost is
+//! amortized by [`ParallelConfig::min_rules_per_worker`], below which the
+//! caller's thread does all the work itself.
+
+use std::sync::OnceLock;
+
+/// How a [`RuleManager`](crate::manager::RuleManager) spreads one
+/// dispatch/gate batch over worker threads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Maximum number of worker threads (1 = sequential). Defaults to the
+    /// `TDB_WORKERS` environment variable, or 1 when unset.
+    pub workers: usize,
+    /// Minimum rules per worker before another thread is worth spawning;
+    /// batches smaller than `2 * min_rules_per_worker` run sequentially.
+    pub min_rules_per_worker: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> ParallelConfig {
+        ParallelConfig {
+            workers: env_workers(),
+            min_rules_per_worker: 16,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// A sequential configuration, ignoring `TDB_WORKERS`.
+    pub fn sequential() -> ParallelConfig {
+        ParallelConfig {
+            workers: 1,
+            min_rules_per_worker: 16,
+        }
+    }
+
+    /// Number of workers actually used for a batch of `items` rules.
+    pub fn effective_workers(&self, items: usize) -> usize {
+        if self.workers <= 1 || items == 0 {
+            return 1;
+        }
+        let by_load = items / self.min_rules_per_worker.max(1);
+        self.workers.min(by_load.max(1))
+    }
+}
+
+/// `TDB_WORKERS`, parsed once per process.
+fn env_workers() -> usize {
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::env::var("TDB_WORKERS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&w| w >= 1)
+            .unwrap_or(1)
+    })
+}
+
+/// Splits `items` into at most `workers` contiguous chunks and runs `f`
+/// on each from its own scoped thread, passing the worker index. Results
+/// come back in chunk order, so concatenating them preserves the input
+/// order. With one effective worker the closure runs on the caller's
+/// thread — no spawn, no overhead over a plain loop.
+pub fn run_partitioned<T, R, F>(items: &mut [T], workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    let n = items.len();
+    let w = workers.clamp(1, n.max(1));
+    if w <= 1 {
+        return vec![f(0, items)];
+    }
+    let chunk = n.div_ceil(w);
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(i, c)| s.spawn(move || f(i, c)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("dispatch worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_workers_respects_min_batch() {
+        let cfg = ParallelConfig {
+            workers: 8,
+            min_rules_per_worker: 16,
+        };
+        assert_eq!(cfg.effective_workers(0), 1);
+        assert_eq!(cfg.effective_workers(10), 1);
+        assert_eq!(cfg.effective_workers(31), 1);
+        assert_eq!(cfg.effective_workers(32), 2);
+        assert_eq!(cfg.effective_workers(64), 4);
+        assert_eq!(cfg.effective_workers(1000), 8);
+    }
+
+    #[test]
+    fn sequential_config_is_one_worker() {
+        assert_eq!(ParallelConfig::sequential().effective_workers(1000), 1);
+    }
+
+    #[test]
+    fn partitioned_results_concatenate_in_order() {
+        let mut items: Vec<usize> = (0..100).collect();
+        for workers in [1usize, 2, 4, 7] {
+            let out = run_partitioned(&mut items, workers, |w, chunk| (w, chunk.to_vec()));
+            assert_eq!(out.len(), workers.min(100));
+            let merged: Vec<usize> = out.iter().flat_map(|(_, c)| c.clone()).collect();
+            assert_eq!(merged, (0..100).collect::<Vec<_>>());
+            // Worker indices are assigned in chunk order.
+            for (i, (w, _)) in out.iter().enumerate() {
+                assert_eq!(*w, i);
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_mutation_is_visible() {
+        let mut items = vec![0u64; 57];
+        run_partitioned(&mut items, 4, |w, chunk| {
+            for x in chunk.iter_mut() {
+                *x = w as u64 + 1;
+            }
+        });
+        assert!(items.iter().all(|&x| x >= 1));
+    }
+}

@@ -31,7 +31,7 @@ impl<'a> StateView<'a> {
             state,
             snap: Snapshot {
                 id: index as u64,
-                db: Arc::new(state.db().clone()),
+                db: state.db_arc(),
             },
         }
     }

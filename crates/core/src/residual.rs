@@ -26,9 +26,11 @@
 //! future substitution satisfies collapse to `true` — this is what keeps
 //! the retained state bounded for bounded temporal operators.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use tdb_relation::{eval_arith, ArithOp, CmpOp, Database, Timestamp, Value};
 
@@ -39,7 +41,10 @@ pub type Env = BTreeMap<String, Value>;
 
 /// A database snapshot captured by a partially evaluated query term.
 /// Equality/ordering is by snapshot id (one snapshot per system state), so
-/// residual deduplication never compares whole databases.
+/// residual deduplication never compares whole databases. The interning
+/// arena uses a stricter identity — id *plus* database pointer — so that
+/// same-index states of different engines in one process never unify (see
+/// [`intern_arc`]).
 #[derive(Debug, Clone)]
 pub struct Snapshot {
     pub id: u64,
@@ -253,7 +258,12 @@ impl fmt::Display for Constraint {
 }
 
 /// A residual formula node.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+///
+/// Ordering and equality are structural, exactly as the derived
+/// implementations would be (`True < False < Constraint < Cmp < Not < And <
+/// Or`), but implemented manually with a pointer-equality fast path on
+/// shared children: interned nodes compare in O(1) per shared subtree.
+#[derive(Debug, Clone)]
 pub enum Residual {
     True,
     False,
@@ -266,13 +276,390 @@ pub enum Residual {
     Or(Vec<Arc<Residual>>),
 }
 
-/// Shared constants.
+impl Residual {
+    /// Variant rank, matching the declaration (and former derived) order.
+    fn rank(&self) -> u8 {
+        match self {
+            Residual::True => 0,
+            Residual::False => 1,
+            Residual::Constraint(_) => 2,
+            Residual::Cmp(..) => 3,
+            Residual::Not(_) => 4,
+            Residual::And(_) => 5,
+            Residual::Or(_) => 6,
+        }
+    }
+}
+
+fn arc_res_eq(a: &Arc<Residual>, b: &Arc<Residual>) -> bool {
+    Arc::ptr_eq(a, b) || **a == **b
+}
+
+fn arc_res_cmp(a: &Arc<Residual>, b: &Arc<Residual>) -> std::cmp::Ordering {
+    if Arc::ptr_eq(a, b) {
+        std::cmp::Ordering::Equal
+    } else {
+        (**a).cmp(&**b)
+    }
+}
+
+fn children_cmp(a: &[Arc<Residual>], b: &[Arc<Residual>]) -> std::cmp::Ordering {
+    // Lexicographic, then by length — the slice ordering `derive` would use.
+    for (x, y) in a.iter().zip(b) {
+        match arc_res_cmp(x, y) {
+            std::cmp::Ordering::Equal => {}
+            other => return other,
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+fn arc_pt_eq(a: &Arc<PTerm>, b: &Arc<PTerm>) -> bool {
+    Arc::ptr_eq(a, b) || **a == **b
+}
+
+fn arc_pt_cmp(a: &Arc<PTerm>, b: &Arc<PTerm>) -> std::cmp::Ordering {
+    if Arc::ptr_eq(a, b) {
+        std::cmp::Ordering::Equal
+    } else {
+        (**a).cmp(&**b)
+    }
+}
+
+impl PartialEq for Residual {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Residual::True, Residual::True) | (Residual::False, Residual::False) => true,
+            (Residual::Constraint(a), Residual::Constraint(b)) => a == b,
+            (Residual::Cmp(o1, a1, b1), Residual::Cmp(o2, a2, b2)) => {
+                o1 == o2 && arc_pt_eq(a1, a2) && arc_pt_eq(b1, b2)
+            }
+            (Residual::Not(a), Residual::Not(b)) => arc_res_eq(a, b),
+            (Residual::And(a), Residual::And(b)) | (Residual::Or(a), Residual::Or(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| arc_res_eq(x, y))
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Residual {}
+
+impl PartialOrd for Residual {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Residual {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        match (self, other) {
+            (Residual::True, Residual::True) | (Residual::False, Residual::False) => {
+                std::cmp::Ordering::Equal
+            }
+            (Residual::Constraint(a), Residual::Constraint(b)) => a.cmp(b),
+            (Residual::Cmp(o1, a1, b1), Residual::Cmp(o2, a2, b2)) => o1
+                .cmp(o2)
+                .then_with(|| arc_pt_cmp(a1, a2))
+                .then_with(|| arc_pt_cmp(b1, b2)),
+            (Residual::Not(a), Residual::Not(b)) => arc_res_cmp(a, b),
+            (Residual::And(a), Residual::And(b)) | (Residual::Or(a), Residual::Or(b)) => {
+                children_cmp(a, b)
+            }
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hash-consing arena.
+//
+// Every residual built through the smart constructors is *interned*:
+// structurally equal nodes share one `Arc` allocation with a precomputed
+// 64-bit hash. This makes the `F_{g,i}` recurrences cheap to build and
+// dedupe (pointer comparisons), keeps the aggregate retained state across
+// many rules compact, and lets checkpoints encode each distinct node once.
+//
+// The arena identity is *stricter* than public equality in one spot:
+// snapshots unify only when their `id` AND database pointer agree, so two
+// engines in one process whose histories share a state index never share
+// residual nodes (public equality compares snapshots by id alone).
+//
+// Structure: a process-global table sharded by node hash, plus a side table
+// mapping canonical node pointers to their hash so a parent's hash is
+// computed from its children's in O(#children). Lock order is always
+// table shard → hash shard, never the reverse. Arena references are
+// strong; a shard sweeps nodes whose only owner is the arena once it grows
+// past a watermark (holding the shard lock makes the `strong_count == 1`
+// test sound: a node with no outside owner can only be handed out by the
+// locked shard itself).
+// ---------------------------------------------------------------------------
+
+const ARENA_SHARDS: usize = 16;
+const ARENA_MIN_WATERMARK: usize = 1 << 12;
+
+struct ArenaShard {
+    table: HashMap<u64, Vec<Arc<Residual>>>,
+    entries: usize,
+    watermark: usize,
+}
+
+struct Arena {
+    shards: [Mutex<ArenaShard>; ARENA_SHARDS],
+    hashes: [Mutex<HashMap<usize, u64>>; ARENA_SHARDS],
+}
+
+fn arena() -> &'static Arena {
+    static ARENA: OnceLock<Arena> = OnceLock::new();
+    ARENA.get_or_init(|| Arena {
+        shards: std::array::from_fn(|_| {
+            Mutex::new(ArenaShard {
+                table: HashMap::new(),
+                entries: 0,
+                watermark: ARENA_MIN_WATERMARK,
+            })
+        }),
+        hashes: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+    })
+}
+
+fn ptr_shard(p: usize) -> usize {
+    // Low bits are alignment zeros; shift them out before sharding.
+    (p >> 4) % ARENA_SHARDS
+}
+
+fn recorded_hash(p: usize) -> Option<u64> {
+    arena().hashes[ptr_shard(p)]
+        .lock()
+        .expect("arena hash shard poisoned")
+        .get(&p)
+        .copied()
+}
+
+/// The arena hash of a possibly-foreign node: canonical children are looked
+/// up in the side table, foreign ones recomputed recursively.
+fn node_hash(r: &Arc<Residual>) -> u64 {
+    if let Some(h) = recorded_hash(Arc::as_ptr(r) as usize) {
+        return h;
+    }
+    shallow_hash(r)
+}
+
+fn shallow_hash(node: &Residual) -> u64 {
+    let mut h = DefaultHasher::new();
+    match node {
+        Residual::True => 0u8.hash(&mut h),
+        Residual::False => 1u8.hash(&mut h),
+        Residual::Constraint(c) => {
+            2u8.hash(&mut h);
+            c.var.hash(&mut h);
+            c.op.hash(&mut h);
+            c.value.hash(&mut h);
+        }
+        Residual::Cmp(op, a, b) => {
+            3u8.hash(&mut h);
+            op.hash(&mut h);
+            pterm_hash(a, &mut h);
+            pterm_hash(b, &mut h);
+        }
+        Residual::Not(g) => {
+            4u8.hash(&mut h);
+            node_hash(g).hash(&mut h);
+        }
+        Residual::And(gs) => {
+            5u8.hash(&mut h);
+            gs.len().hash(&mut h);
+            for g in gs {
+                node_hash(g).hash(&mut h);
+            }
+        }
+        Residual::Or(gs) => {
+            6u8.hash(&mut h);
+            gs.len().hash(&mut h);
+            for g in gs {
+                node_hash(g).hash(&mut h);
+            }
+        }
+    }
+    h.finish()
+}
+
+fn pterm_hash<H: Hasher>(t: &PTerm, h: &mut H) {
+    match t {
+        PTerm::Val(v) => {
+            0u8.hash(h);
+            v.hash(h);
+        }
+        PTerm::Var(v) => {
+            1u8.hash(h);
+            v.hash(h);
+        }
+        PTerm::Arith(op, a, b) => {
+            2u8.hash(h);
+            op.hash(h);
+            pterm_hash(a, h);
+            pterm_hash(b, h);
+        }
+        PTerm::Neg(a) => {
+            3u8.hash(h);
+            pterm_hash(a, h);
+        }
+        PTerm::Abs(a) => {
+            4u8.hash(h);
+            pterm_hash(a, h);
+        }
+        PTerm::QuerySnap { name, args, snap } => {
+            5u8.hash(h);
+            name.hash(h);
+            args.len().hash(h);
+            for a in args {
+                pterm_hash(a, h);
+            }
+            snap.id.hash(h);
+            (Arc::as_ptr(&snap.db) as usize).hash(h);
+        }
+    }
+}
+
+/// Arena identity of two nodes whose residual children are both canonical:
+/// children compare by pointer, snapshots by id *and* database pointer.
+fn arena_eq(a: &Residual, b: &Residual) -> bool {
+    match (a, b) {
+        (Residual::True, Residual::True) | (Residual::False, Residual::False) => true,
+        (Residual::Constraint(x), Residual::Constraint(y)) => x == y,
+        (Residual::Cmp(o1, a1, b1), Residual::Cmp(o2, a2, b2)) => {
+            o1 == o2 && pterm_arena_eq(a1, a2) && pterm_arena_eq(b1, b2)
+        }
+        (Residual::Not(x), Residual::Not(y)) => Arc::ptr_eq(x, y),
+        (Residual::And(x), Residual::And(y)) | (Residual::Or(x), Residual::Or(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(p, q)| Arc::ptr_eq(p, q))
+        }
+        _ => false,
+    }
+}
+
+fn pterm_arena_eq(a: &Arc<PTerm>, b: &Arc<PTerm>) -> bool {
+    if Arc::ptr_eq(a, b) {
+        return true;
+    }
+    match (&**a, &**b) {
+        (PTerm::Val(x), PTerm::Val(y)) => x == y,
+        (PTerm::Var(x), PTerm::Var(y)) => x == y,
+        (PTerm::Arith(o1, a1, b1), PTerm::Arith(o2, a2, b2)) => {
+            o1 == o2 && pterm_arena_eq(a1, a2) && pterm_arena_eq(b1, b2)
+        }
+        (PTerm::Neg(x), PTerm::Neg(y)) | (PTerm::Abs(x), PTerm::Abs(y)) => pterm_arena_eq(x, y),
+        (
+            PTerm::QuerySnap {
+                name: n1,
+                args: a1,
+                snap: s1,
+            },
+            PTerm::QuerySnap {
+                name: n2,
+                args: a2,
+                snap: s2,
+            },
+        ) => {
+            n1 == n2
+                && s1.id == s2.id
+                && Arc::ptr_eq(&s1.db, &s2.db)
+                && a1.len() == a2.len()
+                && a1.iter().zip(a2).all(|(x, y)| pterm_arena_eq(x, y))
+        }
+        _ => false,
+    }
+}
+
+/// Interns a node whose residual children are already canonical.
+fn intern(node: Residual) -> Arc<Residual> {
+    let h = shallow_hash(&node);
+    let a = arena();
+    let mut shard = a.shards[(h as usize) % ARENA_SHARDS]
+        .lock()
+        .expect("arena shard poisoned");
+    if let Some(bucket) = shard.table.get(&h) {
+        if let Some(existing) = bucket.iter().find(|e| arena_eq(e, &node)) {
+            return existing.clone();
+        }
+    }
+    let arc = Arc::new(node);
+    let p = Arc::as_ptr(&arc) as usize;
+    a.hashes[ptr_shard(p)]
+        .lock()
+        .expect("arena hash shard poisoned")
+        .insert(p, h);
+    shard.table.entry(h).or_default().push(arc.clone());
+    shard.entries += 1;
+    if shard.entries > shard.watermark {
+        sweep(&mut shard, a);
+    }
+    arc
+}
+
+/// Drops nodes whose only remaining owner is the arena itself. The hash
+/// side-table entry is removed *before* the `Arc` is dropped, so the side
+/// table never refers to freed (and possibly reused) addresses.
+fn sweep(shard: &mut ArenaShard, a: &Arena) {
+    let mut removed = 0usize;
+    shard.table.retain(|_, bucket| {
+        bucket.retain(|arc| {
+            if Arc::strong_count(arc) == 1 {
+                let p = Arc::as_ptr(arc) as usize;
+                a.hashes[ptr_shard(p)]
+                    .lock()
+                    .expect("arena hash shard poisoned")
+                    .remove(&p);
+                removed += 1;
+                false
+            } else {
+                true
+            }
+        });
+        !bucket.is_empty()
+    });
+    shard.entries -= removed;
+    shard.watermark = (shard.entries * 2).max(ARENA_MIN_WATERMARK);
+}
+
+/// Returns the canonical (interned) node for `r`, rebuilding foreign
+/// subtrees bottom-up. Already-canonical inputs return in O(1). Decoded
+/// checkpoints and hand-built test residuals go through here; everything
+/// produced by the smart constructors is canonical from birth.
+pub fn intern_arc(r: &Arc<Residual>) -> Arc<Residual> {
+    if recorded_hash(Arc::as_ptr(r) as usize).is_some() {
+        return r.clone();
+    }
+    let node = match &**r {
+        Residual::True => Residual::True,
+        Residual::False => Residual::False,
+        Residual::Constraint(c) => Residual::Constraint(c.clone()),
+        Residual::Cmp(op, a, b) => Residual::Cmp(*op, a.clone(), b.clone()),
+        Residual::Not(g) => Residual::Not(intern_arc(g)),
+        Residual::And(gs) => Residual::And(gs.iter().map(intern_arc).collect()),
+        Residual::Or(gs) => Residual::Or(gs.iter().map(intern_arc).collect()),
+    };
+    intern(node)
+}
+
+/// Number of residual nodes currently resident in the interning arena.
+pub fn interned_count() -> usize {
+    arena()
+        .shards
+        .iter()
+        .map(|s| s.lock().expect("arena shard poisoned").entries)
+        .sum()
+}
+
+/// Shared constants (interned once per process).
 pub fn rtrue() -> Arc<Residual> {
-    Arc::new(Residual::True)
+    static TRUE: OnceLock<Arc<Residual>> = OnceLock::new();
+    TRUE.get_or_init(|| intern(Residual::True)).clone()
 }
 
 pub fn rfalse() -> Arc<Residual> {
-    Arc::new(Residual::False)
+    static FALSE: OnceLock<Arc<Residual>> = OnceLock::new();
+    FALSE.get_or_init(|| intern(Residual::False)).clone()
 }
 
 /// Builds a comparison, folding ground sides and canonicalizing
@@ -290,7 +677,7 @@ pub fn rcmp(op: CmpOp, a: Arc<PTerm>, b: Arc<PTerm>) -> Result<Arc<Residual>> {
     if let Some(r) = try_linearize(op.flip(), &b, &a)? {
         return Ok(r);
     }
-    Ok(Arc::new(Residual::Cmp(op, a, b)))
+    Ok(intern(Residual::Cmp(op, a, b)))
 }
 
 /// Attempts to rewrite `sym op ground` into a canonical constraint by
@@ -312,7 +699,7 @@ fn try_linearize(
                     // `x op Null` is never satisfied.
                     return Ok(Some(rfalse()));
                 }
-                return Ok(Some(Arc::new(Residual::Constraint(Constraint {
+                return Ok(Some(intern(Residual::Constraint(Constraint {
                     var: v.clone(),
                     op,
                     value,
@@ -415,7 +802,7 @@ pub fn rnot(r: Arc<Residual>) -> Arc<Residual> {
         Residual::True => rfalse(),
         Residual::False => rtrue(),
         Residual::Not(inner) => inner.clone(),
-        _ => Arc::new(Residual::Not(r)),
+        _ => intern(Residual::Not(intern_arc(&r))),
     }
 }
 
@@ -490,7 +877,7 @@ impl Interval {
     /// Reconstructs the minimal constraint list for `var`.
     fn emit(&self, var: &str, out: &mut Vec<Arc<Residual>>) {
         let c = |op: CmpOp, v: &Value| {
-            Arc::new(Residual::Constraint(Constraint {
+            intern(Residual::Constraint(Constraint {
                 var: var.to_string(),
                 op,
                 value: v.clone(),
@@ -548,7 +935,7 @@ pub fn rand(children: impl IntoIterator<Item = Arc<Residual>>) -> Arc<Residual> 
                 }
             }
             _ => {
-                rest.insert(c);
+                rest.insert(intern_arc(&c));
             }
         }
     }
@@ -562,7 +949,7 @@ pub fn rand(children: impl IntoIterator<Item = Arc<Residual>>) -> Arc<Residual> 
     match out.len() {
         0 => rtrue(),
         1 => out.into_iter().next().expect("len checked"),
-        _ => Arc::new(Residual::And(out)),
+        _ => intern(Residual::And(out)),
     }
 }
 
@@ -625,14 +1012,14 @@ pub fn ror(children: impl IntoIterator<Item = Arc<Residual>>) -> Arc<Residual> {
                 }
             }
             _ => {
-                rest.insert(c);
+                rest.insert(intern_arc(&c));
             }
         }
     }
     let mut out: Vec<Arc<Residual>> = Vec::new();
     for (var, w) in &per_var {
         let c = |op: CmpOp, v: &Value| {
-            Arc::new(Residual::Constraint(Constraint {
+            intern(Residual::Constraint(Constraint {
                 var: var.clone(),
                 op,
                 value: v.clone(),
@@ -667,7 +1054,7 @@ pub fn ror(children: impl IntoIterator<Item = Arc<Residual>>) -> Arc<Residual> {
     match out.len() {
         0 => rfalse(),
         1 => out.into_iter().next().expect("len checked"),
-        _ => Arc::new(Residual::Or(out)),
+        _ => intern(Residual::Or(out)),
     }
 }
 

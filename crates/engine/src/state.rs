@@ -6,6 +6,7 @@
 //! its event set occurred; timestamps are strictly increasing.
 
 use std::fmt;
+use std::sync::Arc;
 
 use tdb_relation::{Database, Timestamp, Value};
 
@@ -17,7 +18,9 @@ pub const TIME_ITEM: &str = "time";
 /// One snapshot of the system: database state + simultaneous events + time.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemState {
-    db: Database,
+    /// Shared so that per-rule evaluation (and snapshots of the state taken
+    /// by residual formulas) can hold the database without copying it.
+    db: Arc<Database>,
     events: EventSet,
     time: Timestamp,
 }
@@ -27,11 +30,20 @@ impl SystemState {
     /// that queries (and PTL terms) can read the clock.
     pub fn new(mut db: Database, events: EventSet, time: Timestamp) -> SystemState {
         db.set_item(TIME_ITEM, Value::Time(time));
-        SystemState { db, events, time }
+        SystemState {
+            db: Arc::new(db),
+            events,
+            time,
+        }
     }
 
     pub fn db(&self) -> &Database {
         &self.db
+    }
+
+    /// The database snapshot as a cheaply clonable handle.
+    pub fn db_arc(&self) -> Arc<Database> {
+        Arc::clone(&self.db)
     }
 
     pub fn events(&self) -> &EventSet {

@@ -15,7 +15,7 @@ use crate::term::Term;
 
 /// A reference to a named database query with argument terms — the source
 /// of a membership atom.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct QueryRef {
     pub name: String,
     pub args: Vec<Term>,
@@ -31,7 +31,7 @@ impl QueryRef {
 }
 
 /// A PTL formula.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Formula {
     True,
     False,

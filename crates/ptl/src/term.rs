@@ -12,7 +12,7 @@ use tdb_relation::{AggFunc, ArithOp, Value};
 use crate::formula::Formula;
 
 /// A PTL term.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Term {
     /// A literal constant.
     Const(Value),
@@ -38,7 +38,7 @@ pub enum Term {
 /// A temporal aggregate: the aggregate `func` of the values of `query`,
 /// taken at the sampling points where `sample` holds, starting from the
 /// latest instant at which `start` held.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TemporalAgg {
     pub func: AggFunc,
     pub query: Term,

@@ -1,6 +1,6 @@
 //! Atomic checkpoint files holding one encoded [`SystemSnapshot`].
 //!
-//! Layout: the magic `"TDBCKPT1"`, then `seq: u64`, `len: u64`,
+//! Layout: the magic `"TDBCKPT2"`, then `seq: u64`, `len: u64`,
 //! `crc32(payload): u32`, then the payload. The file is written to a
 //! temporary sibling, fsynced, then renamed into place (and the directory
 //! fsynced), so a crash during checkpointing leaves either the old world
@@ -16,8 +16,10 @@ use crate::codec::{decode_snapshot, encode_snapshot};
 use crate::crc::crc32;
 use crate::{Result, StorageError};
 
-/// Magic string opening every checkpoint file.
-pub const CKPT_MAGIC: &[u8; 8] = b"TDBCKPT1";
+/// Magic string opening every checkpoint file. The trailing digit is the
+/// payload format version: `2` added the residual node table (backref
+/// dedup) and the parallel-dispatch counters to the stats block.
+pub const CKPT_MAGIC: &[u8; 8] = b"TDBCKPT2";
 
 /// Bytes of checkpoint header (magic + seq + len + crc).
 pub const CKPT_HEADER: usize = 8 + 8 + 8 + 4;

@@ -15,7 +15,7 @@
 //! residual tree refers to it by id; decoding rebuilds the sharing
 //! (`Arc`-identical snapshots stay shared).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use tdb_core::residual::{Constraint, PTerm, Residual, Snapshot};
@@ -810,13 +810,29 @@ pub fn put_stats(e: &mut Enc, s: &ManagerStats) {
     e.u64(s.evaluations);
     e.u64(s.skips);
     e.u64(s.firings);
+    e.u64(s.parallel_batches);
+    e.len(s.worker_evaluations.len());
+    for w in &s.worker_evaluations {
+        e.u64(*w);
+    }
 }
 
 pub fn get_stats(d: &mut Dec) -> Result<ManagerStats> {
+    let evaluations = d.u64("evaluations")?;
+    let skips = d.u64("skips")?;
+    let firings = d.u64("firings")?;
+    let parallel_batches = d.u64("parallel batches")?;
+    let nw = d.seq_len("worker evaluations", 8)?;
+    let mut worker_evaluations = Vec::with_capacity(nw);
+    for _ in 0..nw {
+        worker_evaluations.push(d.u64("worker evaluations entry")?);
+    }
     Ok(ManagerStats {
-        evaluations: d.u64("evaluations")?,
-        skips: d.u64("skips")?,
-        firings: d.u64("firings")?,
+        evaluations,
+        skips,
+        firings,
+        parallel_batches,
+        worker_evaluations,
     })
 }
 
@@ -923,8 +939,33 @@ fn get_pterm(d: &mut Dec, snaps: &BTreeMap<u64, Arc<Database>>) -> Result<Arc<PT
     }))
 }
 
-fn put_residual(e: &mut Enc, r: &Residual, table: &mut SnapTable) {
-    match r {
+/// Pointer-identity dedup for residual nodes across one snapshot's rule
+/// section. Residuals are hash-consed in memory, so shared subtrees are
+/// `Arc`-identical; each distinct node is encoded once, and every later
+/// occurrence is a backref (tag 7) to its index in emission order. Nodes
+/// are indexed in *completion* order (children before parents), which the
+/// decoder reproduces naturally.
+#[derive(Debug, Default)]
+struct ResDedup {
+    seen: HashMap<usize, u64>,
+    next: u64,
+}
+
+/// Decoded residual nodes in completion order; backrefs resolve here.
+/// Decoding re-interns every node, so recovered evaluator states share
+/// structure exactly like the live ones they checkpoint.
+type ResNodes = Vec<Arc<Residual>>;
+
+const RES_BACKREF: u8 = 7;
+
+fn put_residual(e: &mut Enc, r: &Arc<Residual>, table: &mut SnapTable, dedup: &mut ResDedup) {
+    let ptr = Arc::as_ptr(r) as usize;
+    if let Some(&idx) = dedup.seen.get(&ptr) {
+        e.u8(RES_BACKREF);
+        e.u64(idx);
+        return;
+    }
+    match &**r {
         Residual::True => e.u8(0),
         Residual::False => e.u8(1),
         Residual::Constraint(c) => {
@@ -941,27 +982,43 @@ fn put_residual(e: &mut Enc, r: &Residual, table: &mut SnapTable) {
         }
         Residual::Not(a) => {
             e.u8(4);
-            put_residual(e, a, table);
+            put_residual(e, a, table, dedup);
         }
         Residual::And(xs) => {
             e.u8(5);
             e.len(xs.len());
             for x in xs {
-                put_residual(e, x, table);
+                put_residual(e, x, table, dedup);
             }
         }
         Residual::Or(xs) => {
             e.u8(6);
             e.len(xs.len());
             for x in xs {
-                put_residual(e, x, table);
+                put_residual(e, x, table, dedup);
             }
         }
     }
+    dedup.seen.insert(ptr, dedup.next);
+    dedup.next += 1;
 }
 
-fn get_residual(d: &mut Dec, snaps: &BTreeMap<u64, Arc<Database>>) -> Result<Arc<Residual>> {
-    Ok(Arc::new(match d.u8("residual tag")? {
+fn get_residual(
+    d: &mut Dec,
+    snaps: &BTreeMap<u64, Arc<Database>>,
+    nodes: &mut ResNodes,
+) -> Result<Arc<Residual>> {
+    let tag = d.u8("residual tag")?;
+    if tag == RES_BACKREF {
+        let idx = d.usize_val("residual backref")?;
+        return nodes.get(idx).cloned().ok_or_else(|| {
+            StorageError::Decode(format!(
+                "residual backref {idx} out of range ({} nodes decoded)",
+                nodes.len()
+            ))
+        });
+    }
+    let node = match tag {
         0 => Residual::True,
         1 => Residual::False,
         2 => {
@@ -977,12 +1034,12 @@ fn get_residual(d: &mut Dec, snaps: &BTreeMap<u64, Arc<Database>>) -> Result<Arc
             let op = cmp_from(d.u8("residual cmp")?)?;
             Residual::Cmp(op, get_pterm(d, snaps)?, get_pterm(d, snaps)?)
         }
-        4 => Residual::Not(get_residual(d, snaps)?),
+        4 => Residual::Not(get_residual(d, snaps, nodes)?),
         5 => {
             let n = d.seq_len("residual and", 1)?;
             let mut xs = Vec::with_capacity(n);
             for _ in 0..n {
-                xs.push(get_residual(d, snaps)?);
+                xs.push(get_residual(d, snaps, nodes)?);
             }
             Residual::And(xs)
         }
@@ -990,18 +1047,27 @@ fn get_residual(d: &mut Dec, snaps: &BTreeMap<u64, Arc<Database>>) -> Result<Arc
             let n = d.seq_len("residual or", 1)?;
             let mut xs = Vec::with_capacity(n);
             for _ in 0..n {
-                xs.push(get_residual(d, snaps)?);
+                xs.push(get_residual(d, snaps, nodes)?);
             }
             Residual::Or(xs)
         }
         t => return Err(bad_tag("residual", t)),
-    }))
+    };
+    // Re-intern so recovered states regain the in-memory sharing.
+    let arc = tdb_core::intern_arc(&Arc::new(node));
+    nodes.push(arc.clone());
+    Ok(arc)
 }
 
-fn put_evaluator_state(e: &mut Enc, st: &EvaluatorState, table: &mut SnapTable) {
+fn put_evaluator_state(
+    e: &mut Enc,
+    st: &EvaluatorState,
+    table: &mut SnapTable,
+    dedup: &mut ResDedup,
+) {
     e.len(st.prev.len());
     for r in &st.prev {
-        put_residual(e, r, table);
+        put_residual(e, r, table, dedup);
     }
     e.boolean(st.started);
     e.len(st.states_seen);
@@ -1010,11 +1076,12 @@ fn put_evaluator_state(e: &mut Enc, st: &EvaluatorState, table: &mut SnapTable) 
 fn get_evaluator_state(
     d: &mut Dec,
     snaps: &BTreeMap<u64, Arc<Database>>,
+    nodes: &mut ResNodes,
 ) -> Result<EvaluatorState> {
     let n = d.seq_len("evaluator nodes", 1)?;
     let mut prev = Vec::with_capacity(n);
     for _ in 0..n {
-        prev.push(get_residual(d, snaps)?);
+        prev.push(get_residual(d, snaps, nodes)?);
     }
     Ok(EvaluatorState {
         prev,
@@ -1023,23 +1090,29 @@ fn get_evaluator_state(
     })
 }
 
-fn put_rule_state(e: &mut Enc, rs: &RuleState, table: &mut SnapTable) {
+fn put_rule_state(e: &mut Enc, rs: &RuleState, table: &mut SnapTable, dedup: &mut ResDedup) {
     e.str(&rs.name);
-    put_evaluator_state(e, &rs.evaluator, table);
+    put_evaluator_state(e, &rs.evaluator, table, dedup);
     e.len(rs.last_envs.len());
     for env in &rs.last_envs {
         put_env(e, env);
     }
 }
 
-fn get_rule_state(d: &mut Dec, snaps: &BTreeMap<u64, Arc<Database>>) -> Result<RuleState> {
+fn get_rule_state(
+    d: &mut Dec,
+    snaps: &BTreeMap<u64, Arc<Database>>,
+    nodes: &mut ResNodes,
+) -> Result<RuleState> {
     let name = d.str("rule name")?;
-    let evaluator = get_evaluator_state(d, snaps)?;
+    let evaluator = get_evaluator_state(d, snaps, nodes)?;
     let n = d.seq_len("last envs", 8)?;
-    let mut last_envs = std::collections::BTreeSet::new();
+    let mut last_envs = Vec::with_capacity(n);
     for _ in 0..n {
-        last_envs.insert(get_env(d)?);
+        last_envs.push(get_env(d)?);
     }
+    last_envs.sort();
+    last_envs.dedup();
     Ok(RuleState {
         name,
         evaluator,
@@ -1252,9 +1325,10 @@ pub fn decode_logical_op(bytes: &[u8]) -> Result<LogicalOp> {
 pub fn encode_snapshot(s: &SystemSnapshot) -> Vec<u8> {
     let mut rules_buf = Enc::new();
     let mut table = SnapTable::default();
+    let mut dedup = ResDedup::default();
     rules_buf.len(s.rules.len());
     for rs in &s.rules {
-        put_rule_state(&mut rules_buf, rs, &mut table);
+        put_rule_state(&mut rules_buf, rs, &mut table, &mut dedup);
     }
 
     let mut e = Enc::new();
@@ -1321,8 +1395,9 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<SystemSnapshot> {
     let snaps = SnapTable::decode(&mut d)?;
     let nr = d.seq_len("rule states", 2)?;
     let mut rules = Vec::with_capacity(nr);
+    let mut nodes = ResNodes::new();
     for _ in 0..nr {
-        rules.push(get_rule_state(&mut d, &snaps)?);
+        rules.push(get_rule_state(&mut d, &snaps, &mut nodes)?);
     }
     let stats = get_stats(&mut d)?;
     let nf = d.seq_len("firing log", 8)?;

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Runs the E13 parallel-dispatch sweep (rules × workers) and leaves a
+# machine-readable copy in BENCH_E13.json at the repo root.
+#
+# Usage:
+#   scripts/bench_e13.sh            # full sweep (10/100/1000 rules)
+#   scripts/bench_e13.sh --quick    # smaller sweep for smoke runs
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo build --release -p tdb-bench
+
+./target/release/harness e13 "$@"
+
+if [[ -f BENCH_E13.json ]]; then
+    echo "== BENCH_E13.json =="
+    cat BENCH_E13.json
+fi

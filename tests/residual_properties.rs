@@ -149,3 +149,66 @@ proptest! {
         }
     }
 }
+
+// ===== hash-consing: structurally equal residuals share one node =============
+
+mod interning {
+    use std::sync::Arc;
+
+    use proptest::prelude::*;
+    use temporal_adb::core::residual::{intern_arc, rand, rcmp, rnot, ror, PTerm, Residual};
+    use temporal_adb::relation::CmpOp;
+
+    /// A symbolic comparison that cannot fold to a constant.
+    fn atom(var: &str, k: i64) -> Arc<Residual> {
+        rcmp(CmpOp::Gt, PTerm::var(var), PTerm::val(k)).unwrap()
+    }
+
+    #[test]
+    fn equal_constructions_are_pointer_equal() {
+        let a1 = atom("x", 3);
+        let a2 = atom("x", 3);
+        assert!(Arc::ptr_eq(&a1, &a2), "equal atoms must share one node");
+        assert!(!Arc::ptr_eq(&a1, &atom("x", 4)));
+        assert!(!Arc::ptr_eq(&a1, &atom("y", 3)));
+
+        let c1 = rand([atom("x", 3), atom("y", 1)]);
+        let c2 = rand([atom("y", 1), atom("x", 3)]); // rand sorts children
+        assert!(Arc::ptr_eq(&c1, &c2), "And nodes must unify");
+
+        let d1 = ror([c1.clone(), rnot(atom("x", 0))]);
+        let d2 = ror([rnot(atom("x", 0)), c2]);
+        assert!(Arc::ptr_eq(&d1, &d2), "Or nodes must unify");
+    }
+
+    #[test]
+    fn foreign_trees_reintern_to_canonical_nodes() {
+        // x > y is not linearizable, so the constructor keeps a Cmp node
+        // and we can reproduce the exact structure by hand.
+        let canonical = rnot(rcmp(CmpOp::Gt, PTerm::var("x"), PTerm::var("y")).unwrap());
+        let foreign = Arc::new(Residual::Not(Arc::new(Residual::Cmp(
+            CmpOp::Gt,
+            PTerm::var("x"),
+            PTerm::var("y"),
+        ))));
+        assert!(!Arc::ptr_eq(&canonical, &foreign));
+        let reinterned = intern_arc(&foreign);
+        assert!(
+            Arc::ptr_eq(&canonical, &reinterned),
+            "intern_arc must map a foreign copy onto the canonical node"
+        );
+        // Idempotent and O(1) on already-canonical nodes.
+        assert!(Arc::ptr_eq(&reinterned, &intern_arc(&reinterned)));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Any residual built by the constructors re-interns to itself:
+        /// the arena holds exactly one node per structure.
+        #[test]
+        fn constructed_residuals_are_canonical(r in super::residual_strategy()) {
+            prop_assert!(Arc::ptr_eq(&r, &intern_arc(&r)));
+        }
+    }
+}
