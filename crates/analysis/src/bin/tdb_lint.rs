@@ -1,0 +1,81 @@
+//! `tdb-lint` — static verification of active-rule files.
+//!
+//! ```text
+//! tdb-lint [--json] FILE...
+//! ```
+//!
+//! Analyses each rule file (boundedness certification, triggering graph,
+//! structural lints) and prints a report per file. Exit status:
+//!
+//! * `0` — no deny-severity findings;
+//! * `1` — at least one deny-severity finding (e.g. TDB001 unbounded-state);
+//! * `2` — usage or parse error.
+
+use std::process::ExitCode;
+
+use tdb_analysis::{analyze_rule_set, parse_rule_file};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut files = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: tdb-lint [--json] FILE...");
+                println!();
+                println!("Statically verifies active-rule files: boundedness certification");
+                println!("(TDB001), structural lints (TDB002, TDB003), and triggering-graph");
+                println!("termination/confluence analysis (TDB010-TDB012).");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("tdb-lint: unknown flag `{flag}` (try --help)");
+                return ExitCode::from(2);
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: tdb-lint [--json] FILE...");
+        return ExitCode::from(2);
+    }
+
+    let mut denied = false;
+    let many = files.len() > 1;
+    for (i, path) in files.iter().enumerate() {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("tdb-lint: cannot read `{path}`: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let rule_file = match parse_rule_file(&src) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("tdb-lint: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let report = analyze_rule_set(&rule_file.rules);
+        denied |= report.has_denials();
+        if json {
+            println!("{}", report.render_json(Some(&src)));
+        } else {
+            if many {
+                if i > 0 {
+                    println!();
+                }
+                println!("== {path} ==");
+            }
+            print!("{}", report.render_text(Some(&src)));
+        }
+    }
+
+    if denied {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,34 @@
+//! # tdb-analysis
+//!
+//! Whole-rule-set static verifier for PTL-conditioned active rules
+//! (Sistla & Wolfson, SIGMOD 1995 — Section 5 discusses when the
+//! incremental evaluator's retained state stays bounded).
+//!
+//! Three passes:
+//!
+//! 1. [`certify`] — per-condition **boundedness certification**:
+//!    `Bounded(k)` / `BoundedByWindow(Δ)` / `Unbounded`, with diagnostics
+//!    pointing at the exact offending subformula;
+//! 2. [`TriggerGraph`] — **triggering-graph** analysis: read/write sets,
+//!    cycles (potential non-termination), self-triggers, and non-commuting
+//!    unordered pairs (confluence hazards);
+//! 3. [`Report`] — **structured diagnostics** with stable lint codes
+//!    (`TDB001`…), severities, and source spans, rendered as text or JSON.
+//!
+//! The same passes back the `tdb-lint` CLI binary and the rule manager's
+//! registration-time lint (`ManagerConfig { lint }` in `tdb-core`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
+pub mod boundedness;
+pub mod diagnostics;
+pub mod rulefile;
+pub mod ruleset;
+pub mod triggering;
+
+pub use boundedness::{certify, BoundCertificate, Boundedness, Offender};
+pub use diagnostics::{Diagnostic, LintCode, LintLevel, Report, RuleVerdict, Severity};
+pub use rulefile::{parse_rule_file, RuleFile};
+pub use ruleset::{analyze_rule_set, lint_rule, RuleInput};
+pub use triggering::{analyze_triggering, RuleSpec, TriggerGraph};

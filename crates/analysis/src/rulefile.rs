@@ -1,0 +1,221 @@
+//! A small textual rule-file format for `tdb-lint`.
+//!
+//! ```text
+//! -- comments run to end of line
+//! rule double_drop {
+//!     when [t := time] [x := price("IBM")]
+//!          previously(price("IBM") <= 0.5 * x and time >= t - 10);
+//!     then signal alert;
+//! }
+//! ```
+//!
+//! Grammar:
+//!
+//! ```text
+//! file   := rule*
+//! rule   := "rule" IDENT "{" "when" formula ";" "then" action ("," action)* ";" "}"
+//! action := "set" IDENT ":=" term
+//!         | "insert" IDENT "(" term ("," term)* ")"
+//!         | "delete" IDENT "(" term ("," term)* ")"
+//!         | "signal" IDENT
+//!         | "program" IDENT
+//!         | "notify" | "abort"
+//! ```
+//!
+//! Write-set mapping (rule files have no schema, so items and the
+//! same-named queries that read them share a name): `set`/`insert`/`delete
+//! X` writes `query:X`; `signal E` writes `event:E`; `program P` marks the
+//! action opaque; `notify`/`abort` write nothing. Every rule additionally
+//! writes its own executed relation `query:__executed_<name>`, so
+//! `executed("other", …)` atoms create triggering edges.
+//!
+//! The whole file is lexed once with the shared [`Cursor`], so the spans
+//! threaded into each rule's formula are **file-relative** — diagnostics
+//! point into the original source.
+
+use std::collections::BTreeSet;
+
+use tdb_ptl::{executed_query_name, parse_formula_cursor, parse_term_cursor, PtlError, Result};
+use tdb_relation::lexer::{Cursor, Tok};
+
+use crate::ruleset::RuleInput;
+
+/// A parsed rule file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuleFile {
+    pub rules: Vec<RuleInput>,
+}
+
+/// Parses a rule file into verifier inputs. Spans inside each rule's
+/// condition index into `src` itself.
+pub fn parse_rule_file(src: &str) -> Result<RuleFile> {
+    let mut c = Cursor::new(src)?;
+    let mut rules = Vec::new();
+    while !c.at_end() {
+        rules.push(parse_rule(&mut c)?);
+    }
+    Ok(RuleFile { rules })
+}
+
+fn err_here(c: &Cursor, msg: impl Into<String>) -> PtlError {
+    PtlError::ParseAt {
+        msg: msg.into(),
+        offset: c.offset(),
+    }
+}
+
+fn parse_rule(c: &mut Cursor) -> Result<RuleInput> {
+    if !c.eat_kw("rule") {
+        return Err(err_here(c, "expected `rule`"));
+    }
+    let name = match c.next_tok() {
+        Some(Tok::Ident(s)) => s,
+        _ => return Err(err_here(c, "expected rule name")),
+    };
+    if !c.eat_punct("{") {
+        return Err(err_here(c, "expected `{` after rule name"));
+    }
+    if !c.eat_kw("when") {
+        return Err(err_here(c, "expected `when`"));
+    }
+    let (condition, spans) = parse_formula_cursor(c)?;
+    if !c.eat_punct(";") {
+        return Err(err_here(c, "expected `;` after condition"));
+    }
+    if !c.eat_kw("then") {
+        return Err(err_here(c, "expected `then`"));
+    }
+    let mut writes = BTreeSet::new();
+    let mut opaque_action = false;
+    loop {
+        parse_action(c, &mut writes, &mut opaque_action)?;
+        if !c.eat_punct(",") {
+            break;
+        }
+    }
+    if !c.eat_punct(";") {
+        return Err(err_here(c, "expected `;` after actions"));
+    }
+    if !c.eat_punct("}") {
+        return Err(err_here(c, "expected `}` to close rule"));
+    }
+    writes.insert(format!("query:{}", executed_query_name(&name)));
+    Ok(RuleInput {
+        name,
+        condition,
+        spans: Some(spans),
+        extra_reads: BTreeSet::new(),
+        writes,
+        opaque_action,
+    })
+}
+
+fn parse_action(c: &mut Cursor, writes: &mut BTreeSet<String>, opaque: &mut bool) -> Result<()> {
+    if c.eat_kw("set") {
+        let item = c.expect_ident()?;
+        if !c.eat_punct(":=") {
+            return Err(err_here(c, "expected `:=` in `set`"));
+        }
+        parse_term_cursor(c)?;
+        writes.insert(format!("query:{item}"));
+        return Ok(());
+    }
+    if c.eat_kw("insert") || c.eat_kw("delete") {
+        let rel = c.expect_ident()?;
+        if !c.eat_punct("(") {
+            return Err(err_here(c, "expected `(` after relation name"));
+        }
+        if !c.eat_punct(")") {
+            loop {
+                parse_term_cursor(c)?;
+                if !c.eat_punct(",") {
+                    break;
+                }
+            }
+            if !c.eat_punct(")") {
+                return Err(err_here(c, "expected `)` after tuple"));
+            }
+        }
+        writes.insert(format!("query:{rel}"));
+        return Ok(());
+    }
+    if c.eat_kw("signal") {
+        let ev = c.expect_ident()?;
+        writes.insert(format!("event:{ev}"));
+        return Ok(());
+    }
+    if c.eat_kw("program") {
+        c.expect_ident()?;
+        *opaque = true;
+        return Ok(());
+    }
+    if c.eat_kw("notify") || c.eat_kw("abort") {
+        return Ok(());
+    }
+    Err(err_here(
+        c,
+        "expected an action: `set`, `insert`, `delete`, `signal`, `program`, `notify`, or `abort`",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_rules_with_file_relative_spans() {
+        let src = "-- demo\n\
+                   rule audit {\n\
+                   \x20   when @pulse and once @login(u);\n\
+                   \x20   then notify;\n\
+                   }\n";
+        let file = parse_rule_file(src).unwrap();
+        assert_eq!(file.rules.len(), 1);
+        let rule = &file.rules[0];
+        assert_eq!(rule.name, "audit");
+        // The `once …` subformula's span must point into the file source.
+        let spans = rule.spans.as_ref().unwrap();
+        let once = spans.child(1).unwrap();
+        assert_eq!(once.span.slice(src).unwrap(), "once @login(u)");
+        assert!(rule
+            .writes
+            .contains(&format!("query:{}", executed_query_name("audit"))));
+    }
+
+    #[test]
+    fn actions_map_to_write_resources() {
+        let src = "rule r {\n\
+                   \x20 when price(\"IBM\") > 10;\n\
+                   \x20 then set alarm := 1, insert log(time, \"hi\"), signal beep;\n\
+                   }\n\
+                   rule p { when @beep; then program handler; }\n";
+        let file = parse_rule_file(src).unwrap();
+        let r = &file.rules[0];
+        assert!(r.writes.contains("query:alarm"));
+        assert!(r.writes.contains("query:log"));
+        assert!(r.writes.contains("event:beep"));
+        assert!(!r.opaque_action);
+        let p = &file.rules[1];
+        assert!(p.opaque_action);
+    }
+
+    #[test]
+    fn errors_carry_file_offsets() {
+        let src = "rule r { when true then notify; }";
+        let err = parse_rule_file(src).unwrap_err();
+        match err {
+            PtlError::ParseAt { msg, offset } => {
+                assert!(msg.contains("expected `;` after condition"), "{msg}");
+                assert_eq!(offset, src.find("then").unwrap());
+            }
+            other => panic!("expected positioned error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn empty_insert_tuple_allowed() {
+        let src = "rule r { when true; then insert marks(); }";
+        let file = parse_rule_file(src).unwrap();
+        assert!(file.rules[0].writes.contains("query:marks"));
+    }
+}

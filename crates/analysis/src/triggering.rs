@@ -1,0 +1,274 @@
+//! Triggering-graph analysis: termination and confluence.
+//!
+//! Each rule contributes a node. Rule `A` *may trigger* rule `B` when `A`'s
+//! write set intersects `B`'s read set — executing `A`'s action can change
+//! the truth of `B`'s condition. Cycles in this graph mean a transaction's
+//! rule cascade may never quiesce (potential non-termination, TDB010);
+//! a self-loop is the degenerate case (TDB011). Two rules with no ordering
+//! between them whose write sets collide — or where one writes what the
+//! other reads — may produce different final states depending on dispatch
+//! order (confluence hazard, TDB012).
+//!
+//! Read and write sets name *resources*: `item:X`, `relation:R`,
+//! `event:E`. Opaque `Program` actions get a synthetic `program:<name>`
+//! write so they are never silently treated as pure.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One rule's interface to the triggering analysis.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuleSpec {
+    pub name: String,
+    /// Resources whose change can affect the rule's condition.
+    pub reads: BTreeSet<String>,
+    /// Resources the rule's action may change.
+    pub writes: BTreeSet<String>,
+    /// The action is an opaque program whose effects are unknown.
+    pub opaque_action: bool,
+}
+
+/// A directed edge `from` → `to`: firing `from` may trigger `to`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriggerEdge {
+    pub from: String,
+    pub to: String,
+    /// The resources `from` writes and `to` reads.
+    pub via: BTreeSet<String>,
+}
+
+/// An unordered pair of rules whose combined effect depends on order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfluencePair {
+    pub a: String,
+    pub b: String,
+    /// The conflicting resources.
+    pub via: BTreeSet<String>,
+}
+
+/// The triggering graph and its findings.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TriggerGraph {
+    pub edges: Vec<TriggerEdge>,
+    /// Strongly connected components with more than one rule (or a
+    /// self-loop), i.e. potential non-termination. Rule names, sorted.
+    pub cycles: Vec<Vec<String>>,
+    /// Rules whose own action writes what their condition reads.
+    pub self_triggers: Vec<TriggerEdge>,
+    pub confluence_hazards: Vec<ConfluencePair>,
+}
+
+/// Builds the triggering graph for a rule set and extracts cycles,
+/// self-loops and confluence hazards.
+pub fn analyze_triggering(rules: &[RuleSpec]) -> TriggerGraph {
+    let mut edges = Vec::new();
+    let mut self_triggers = Vec::new();
+    for a in rules {
+        for b in rules {
+            let via: BTreeSet<String> = a.writes.intersection(&b.reads).cloned().collect();
+            if via.is_empty() {
+                continue;
+            }
+            let edge = TriggerEdge {
+                from: a.name.clone(),
+                to: b.name.clone(),
+                via,
+            };
+            if a.name == b.name {
+                self_triggers.push(edge);
+            } else {
+                edges.push(edge);
+            }
+        }
+    }
+
+    let cycles = find_cycles(rules, &edges, &self_triggers);
+
+    let mut confluence_hazards = Vec::new();
+    for (i, a) in rules.iter().enumerate() {
+        for b in &rules[i + 1..] {
+            let mut via: BTreeSet<String> = a.writes.intersection(&b.writes).cloned().collect();
+            via.extend(a.writes.intersection(&b.reads).cloned());
+            via.extend(b.writes.intersection(&a.reads).cloned());
+            if !via.is_empty() {
+                confluence_hazards.push(ConfluencePair {
+                    a: a.name.clone(),
+                    b: b.name.clone(),
+                    via,
+                });
+            }
+        }
+    }
+
+    TriggerGraph {
+        edges,
+        cycles,
+        self_triggers,
+        confluence_hazards,
+    }
+}
+
+/// Tarjan-style SCC via iterative Kosaraju (two DFS passes); components of
+/// size ≥ 2 are cycles. Self-loops are reported separately (TDB011), not
+/// duplicated here.
+fn find_cycles(
+    rules: &[RuleSpec],
+    edges: &[TriggerEdge],
+    _self_triggers: &[TriggerEdge],
+) -> Vec<Vec<String>> {
+    let index: BTreeMap<&str, usize> = rules
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (r.name.as_str(), i))
+        .collect();
+    let n = rules.len();
+    let mut fwd: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in edges {
+        let (f, t) = (index[e.from.as_str()], index[e.to.as_str()]);
+        fwd[f].push(t);
+        rev[t].push(f);
+    }
+
+    // Pass 1: finish order on the forward graph.
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        let mut stack = vec![(start, 0usize)];
+        seen[start] = true;
+        while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+            if *next < fwd[v].len() {
+                let w = fwd[v][*next];
+                *next += 1;
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push((w, 0));
+                }
+            } else {
+                order.push(v);
+                stack.pop();
+            }
+        }
+    }
+
+    // Pass 2: components on the reverse graph in reverse finish order.
+    let mut comp = vec![usize::MAX; n];
+    let mut ncomp = 0;
+    for &start in order.iter().rev() {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![start];
+        comp[start] = ncomp;
+        while let Some(v) = stack.pop() {
+            for &w in &rev[v] {
+                if comp[w] == usize::MAX {
+                    comp[w] = ncomp;
+                    stack.push(w);
+                }
+            }
+        }
+        ncomp += 1;
+    }
+
+    let mut groups: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    for (i, r) in rules.iter().enumerate() {
+        groups.entry(comp[i]).or_default().push(r.name.clone());
+    }
+    let mut cycles: Vec<Vec<String>> = groups
+        .into_values()
+        .filter(|g| g.len() >= 2)
+        .map(|mut g| {
+            g.sort();
+            g
+        })
+        .collect();
+    cycles.sort();
+    cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(name: &str, reads: &[&str], writes: &[&str]) -> RuleSpec {
+        RuleSpec {
+            name: name.into(),
+            reads: reads.iter().map(|s| s.to_string()).collect(),
+            writes: writes.iter().map(|s| s.to_string()).collect(),
+            opaque_action: false,
+        }
+    }
+
+    #[test]
+    fn mutual_trigger_is_a_cycle() {
+        let g = analyze_triggering(&[
+            spec("a", &["item:x"], &["item:y"]),
+            spec("b", &["item:y"], &["item:x"]),
+        ]);
+        assert_eq!(g.cycles, vec![vec!["a".to_string(), "b".to_string()]]);
+        assert_eq!(g.edges.len(), 2);
+        assert!(g.self_triggers.is_empty());
+    }
+
+    #[test]
+    fn chain_is_acyclic() {
+        let g = analyze_triggering(&[
+            spec("a", &["item:x"], &["item:y"]),
+            spec("b", &["item:y"], &["item:z"]),
+            spec("c", &["item:z"], &[]),
+        ]);
+        assert!(g.cycles.is_empty());
+        assert_eq!(g.edges.len(), 2);
+    }
+
+    #[test]
+    fn self_trigger_detected() {
+        let g = analyze_triggering(&[spec("a", &["item:x"], &["item:x"])]);
+        assert_eq!(g.self_triggers.len(), 1);
+        assert!(g.cycles.is_empty());
+        assert_eq!(
+            g.self_triggers[0].via,
+            ["item:x".to_string()].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn confluence_pairs_on_shared_writes_and_read_write() {
+        let g = analyze_triggering(&[
+            spec("a", &["item:p"], &["item:w"]),
+            spec("b", &["item:q"], &["item:w"]),
+            spec("c", &["item:w"], &["item:v"]),
+        ]);
+        // a/b share a write; a/c and b/c conflict via write-vs-read on w.
+        assert_eq!(g.confluence_hazards.len(), 3);
+    }
+
+    #[test]
+    fn disjoint_rules_are_silent() {
+        let g = analyze_triggering(&[
+            spec("a", &["item:x"], &["item:y"]),
+            spec("b", &["item:p"], &["item:q"]),
+        ]);
+        assert!(g.edges.is_empty());
+        assert!(g.cycles.is_empty());
+        assert!(g.self_triggers.is_empty());
+        assert!(g.confluence_hazards.is_empty());
+    }
+
+    #[test]
+    fn three_cycle_found() {
+        let g = analyze_triggering(&[
+            spec("a", &["item:z"], &["item:x"]),
+            spec("b", &["item:x"], &["item:y"]),
+            spec("c", &["item:y"], &["item:z"]),
+            spec("d", &["item:x"], &[]),
+        ]);
+        assert_eq!(
+            g.cycles,
+            vec![vec!["a".to_string(), "b".to_string(), "c".to_string()]]
+        );
+    }
+}

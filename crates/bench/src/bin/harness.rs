@@ -476,5 +476,40 @@ fn main() {
             Err(e) => eprintln!("[harness] could not write BENCH_E13.json: {e}"),
         }
     }
+
+    flush();
+    if run("e14") {
+        mark("e14");
+        let (n_short, n_long) = if quick { (300, 1_200) } else { (1_000, 4_000) };
+        let rows = ex::e14_verdict_vs_growth(n_short, n_long);
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.workload.to_string(),
+                    r.verdict.clone(),
+                    r.retained_short.to_string(),
+                    r.retained_long.to_string(),
+                    f2(r.growth),
+                    r.consistent.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render(
+                "E14: analyzer verdicts vs measured residual growth",
+                &[
+                    "workload",
+                    "verdict",
+                    "retained@short",
+                    "retained@long",
+                    "growth",
+                    "consistent"
+                ],
+                &body,
+            )
+        );
+    }
     flush();
 }

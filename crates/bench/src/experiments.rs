@@ -1192,3 +1192,99 @@ pub fn e13_parallel_dispatch(
     }
     out
 }
+
+// ===== E14: analyzer verdicts vs measured residual growth ==================
+
+/// One workload of the static-analyzer cross-validation.
+#[derive(Debug)]
+pub struct E14Row {
+    pub workload: &'static str,
+    pub formula: &'static str,
+    /// `tdb_analysis::certify` verdict, rendered.
+    pub verdict: String,
+    /// Retained residual nodes after the short history.
+    pub retained_short: usize,
+    /// Retained residual nodes after the long history.
+    pub retained_long: usize,
+    /// `retained_long / retained_short`.
+    pub growth: f64,
+    /// The measured curve matches the certified class: `Bounded(k)` never
+    /// exceeds `k`, a window verdict plateaus (no new peak after the short
+    /// prefix), `Unbounded` at least doubles between the two checkpoints.
+    pub consistent: bool,
+}
+
+/// Adversarial history shared by every E14 workload: the clock ticks once
+/// per state, `price()` cycles through small values, `@login(uN)` carries a
+/// fresh binding each state, and a fixed user `"X"` logs in every 10th and
+/// out every 25th state.
+fn e14_drive(src: &str, states: usize) -> Vec<usize> {
+    use tdb_engine::{EventSet, SystemState};
+    use tdb_relation::{Database, Query, QueryDef};
+    let f = parse_formula(src).expect("parse");
+    let mut ev = IncrementalEvaluator::new(&f, EvalConfig::default()).expect("compile");
+    let mut db = Database::new();
+    db.define_query("price", QueryDef::new(0, Query::item("P")));
+    let mut sizes = Vec::with_capacity(states);
+    for i in 0..states {
+        db.set_item("P", Value::Int(1 + (i as i64 % 7)));
+        let mut events = EventSet::new();
+        events.insert(Event::new("login", vec![Value::str(format!("u{i}"))]));
+        if i % 10 == 0 {
+            events.insert(Event::new("login", vec![Value::str("X")]));
+        }
+        if i % 25 == 0 {
+            events.insert(Event::new("logout", vec![Value::str("X")]));
+        }
+        let state = SystemState::new(db.clone(), events, Timestamp(i as i64));
+        ev.advance(&state, i).expect("advance");
+        sizes.push(ev.retained_size());
+    }
+    sizes
+}
+
+/// Certify each workload statically, then measure actual residual retention
+/// at two history lengths and check the measurement against the verdict.
+pub fn e14_verdict_vs_growth(n_short: usize, n_long: usize) -> Vec<E14Row> {
+    use tdb_analysis::{certify, Boundedness};
+    const WORKLOADS: &[(&str, &str)] = &[
+        ("ground_since", "not @logout(\"X\") since @login(\"X\")"),
+        (
+            "windowed_login",
+            "[t := time] previously(@login(u) and time >= t - 200)",
+        ),
+        (
+            "windowed_price_drop",
+            "[p := price()] [t := time] previously(price() >= 2 * p and time >= t - 50)",
+        ),
+        ("unguarded_once", "once @login(u)"),
+    ];
+    let mut out = Vec::new();
+    for &(workload, src) in WORKLOADS {
+        let f = parse_formula(src).expect("parse");
+        let cert = certify(&f, None);
+        let sizes = e14_drive(src, n_long);
+        let retained_short = sizes[n_short - 1];
+        let retained_long = sizes[n_long - 1];
+        let growth = retained_long as f64 / retained_short.max(1) as f64;
+        let consistent = match cert.verdict {
+            Boundedness::Bounded { nodes, .. } => *sizes.iter().max().expect("nonempty") <= nodes,
+            Boundedness::BoundedByWindow { .. } => {
+                let early_peak = *sizes[..n_short].iter().max().expect("nonempty");
+                let late_peak = *sizes[n_short..].iter().max().expect("nonempty");
+                late_peak <= early_peak
+            }
+            Boundedness::Unbounded => retained_long >= 2 * retained_short,
+        };
+        out.push(E14Row {
+            workload,
+            formula: src,
+            verdict: cert.verdict.to_string(),
+            retained_short,
+            retained_long,
+            growth,
+            consistent,
+        });
+    }
+    out
+}

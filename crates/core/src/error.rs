@@ -17,6 +17,17 @@ pub enum CoreError {
     /// Temporal aggregates must be rewritten before incremental evaluation;
     /// one survived (internal error or direct misuse of the evaluator).
     UnrewrittenAggregate,
+    /// A derived temporal operator (`Previously` / `ThroughoutPast`) reached
+    /// the evaluator's compiler without being rewritten to core form.
+    UnrewrittenDerived(String),
+    /// Static analysis rejected the rule at registration
+    /// (`ManagerConfig { lint: LintLevel::Deny }` and a deny-severity
+    /// finding).
+    LintDenied {
+        rule: String,
+        code: String,
+        message: String,
+    },
     /// An assignment term mentions variables; assignment terms must be
     /// ground so their value is well-defined at the evaluation instant.
     NonGroundAssignment {
@@ -56,6 +67,15 @@ impl fmt::Display for CoreError {
             CoreError::UnrewrittenAggregate => {
                 write!(f, "temporal aggregate reached the incremental evaluator unrewritten")
             }
+            CoreError::UnrewrittenDerived(op) => write!(
+                f,
+                "derived operator `{op}` reached the evaluator without core rewriting"
+            ),
+            CoreError::LintDenied {
+                rule,
+                code,
+                message,
+            } => write!(f, "rule `{rule}` rejected by lint {code}: {message}"),
             CoreError::NonGroundAssignment { var, mentions } => write!(
                 f,
                 "assignment to `{var}` mentions variable `{mentions}`; assignment terms must be ground"

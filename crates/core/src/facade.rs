@@ -123,6 +123,18 @@ impl ActiveDatabase {
         self.manager.retained_size()
     }
 
+    /// Lint findings recorded while registering rules (see
+    /// [`ManagerConfig`]'s `lint` level).
+    pub fn lint_findings(&self) -> &[tdb_analysis::Diagnostic] {
+        self.manager.lint_findings()
+    }
+
+    /// Runs the whole-rule-set static verifier over every registered rule
+    /// (boundedness certification, per-rule lints, triggering graph).
+    pub fn lint_rule_set(&self) -> tdb_analysis::Report {
+        self.manager.lint_rule_set(self.engine.db())
+    }
+
     /// All firings so far (constraint violations included).
     pub fn firings(&self) -> &[FiringRecord] {
         &self.firing_log

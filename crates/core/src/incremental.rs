@@ -285,7 +285,14 @@ fn build_nodes(
             Node::Since(g, h)
         }
         Formula::Previously(_) | Formula::ThroughoutPast(_) => {
-            unreachable!("derived operators are rewritten before compilation")
+            // `to_core` runs in `new`, so this only fires if a rewrite case
+            // is missing; fail with a typed error rather than aborting.
+            let op = if matches!(f, Formula::Previously(_)) {
+                "previously"
+            } else {
+                "throughout_past"
+            };
+            return Err(CoreError::UnrewrittenDerived(op.into()));
         }
         Formula::Assign { var, term, body } => {
             if let Some(v) = term.vars().first() {

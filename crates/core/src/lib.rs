@@ -34,6 +34,8 @@ pub mod validtime;
 pub mod vtfacade;
 
 pub use auxrel::{AuxEvaluator, AuxState};
+// Static-verification vocabulary used by `ManagerConfig { lint }` and
+// `RuleManager::{lint_findings, lint_rule_set}`.
 pub use error::{CoreError, Result};
 pub use facade::ActiveDatabase;
 pub use incremental::{EvalConfig, EvaluatorState, IncrementalEvaluator};
@@ -44,6 +46,7 @@ pub use parallel::ParallelConfig;
 pub use residual::{intern_arc, interned_count};
 pub use rules::{Action, ActionOp, FiringRecord, Program, Rule, RuleKind, TXN_VAR};
 pub use storage::{LogicalOp, MemorySink, SharedMemorySink, SystemSnapshot, WalSink};
+pub use tdb_analysis::{Boundedness, Diagnostic, LintCode, LintLevel, Report, Severity};
 pub use validtime::{
     offline_satisfied, online_satisfied, theorem2_check, CheckpointRing, DefiniteTriggerRunner,
     TentativeTriggerRunner,

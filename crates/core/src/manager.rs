@@ -20,6 +20,7 @@
 
 use std::collections::BTreeSet;
 
+use tdb_analysis::{lint_rule, Diagnostic, LintLevel, Report, RuleInput, Severity};
 use tdb_engine::event::names::{CLOCK_TICK, UPDATE};
 use tdb_engine::SystemState;
 use tdb_ptl::{analyze, executed_query_name, Formula, Term};
@@ -30,7 +31,7 @@ use crate::error::{CoreError, Result};
 use crate::incremental::{EvalConfig, EvaluatorState, IncrementalEvaluator};
 use crate::parallel::{run_partitioned, ParallelConfig};
 use crate::residual::solve;
-use crate::rules::{FiringRecord, Rule, RuleKind};
+use crate::rules::{Action, ActionOp, FiringRecord, Rule, RuleKind};
 
 /// The relation holding a rule's execution history (Section 7).
 pub fn executed_relation_name(rule: &str) -> String {
@@ -46,6 +47,12 @@ pub struct ManagerConfig {
     pub eval: EvalConfig,
     /// Worker-pool configuration for dispatch/gate batches.
     pub parallel: ParallelConfig,
+    /// Registration-time static verification. At [`LintLevel::Warn`]
+    /// (default) findings are recorded and readable via
+    /// [`RuleManager::lint_findings`]; at [`LintLevel::Deny`] a
+    /// deny-severity finding (e.g. TDB001 unbounded-state) rejects the
+    /// registration with [`CoreError::LintDenied`].
+    pub lint: LintLevel,
 }
 
 /// Counters for the experiments (E3, E13).
@@ -110,6 +117,8 @@ pub struct RuleManager {
     cfg: ManagerConfig,
     runtimes: Vec<RuleRuntime>,
     stats: ManagerStats,
+    /// Warn-level (and below) findings accumulated at registration.
+    lint_findings: Vec<Diagnostic>,
 }
 
 impl RuleManager {
@@ -118,7 +127,14 @@ impl RuleManager {
             cfg,
             runtimes: Vec::new(),
             stats: ManagerStats::default(),
+            lint_findings: Vec::new(),
         }
+    }
+
+    /// Lint findings recorded at registration (empty under
+    /// [`LintLevel::Allow`]).
+    pub fn lint_findings(&self) -> &[Diagnostic] {
+        &self.lint_findings
     }
 
     pub fn stats(&self) -> ManagerStats {
@@ -210,6 +226,31 @@ impl RuleManager {
         }
         let events: BTreeSet<String> = analysis.event_names.iter().cloned().collect();
         let uses_time = formula_uses_time(&rw.condition);
+
+        // Static verification of the (rewritten) condition. Deny-severity
+        // findings reject the registration under `LintLevel::Deny`; under
+        // `Warn` they are recorded and readable via `lint_findings`.
+        if self.cfg.lint != LintLevel::Allow {
+            let input = RuleInput {
+                name: rule.name.clone(),
+                condition: rw.condition.clone(),
+                ..RuleInput::default()
+            };
+            let (_, diags) = lint_rule(&input);
+            if self.cfg.lint == LintLevel::Deny {
+                if let Some(d) = diags.iter().find(|d| d.severity == Severity::Deny) {
+                    return Err(CoreError::LintDenied {
+                        rule: rule.name.clone(),
+                        code: d.code.code().to_string(),
+                        message: match &d.subformula {
+                            Some(sub) => format!("{} (in `{sub}`)", d.message),
+                            None => d.message.clone(),
+                        },
+                    });
+                }
+            }
+            self.lint_findings.extend(diags);
+        }
 
         let mut evaluator = IncrementalEvaluator::new(&rw.condition, self.cfg.eval.clone())?;
         if let Some((t, idx)) = current {
@@ -443,6 +484,79 @@ impl RuleManager {
     pub fn set_stats(&mut self, stats: ManagerStats) {
         self.stats = stats;
     }
+
+    /// Runs the whole-rule-set static verifier over every registered rule:
+    /// per-rule boundedness certification and lints, plus the
+    /// triggering-graph termination/confluence analysis with read sets
+    /// resolved through the catalog (`db`) and write sets derived from the
+    /// registered actions.
+    pub fn lint_rule_set(&self, db: &Database) -> Report {
+        let inputs: Vec<RuleInput> = self
+            .runtimes
+            .iter()
+            .map(|rt| {
+                let (writes, opaque_action) = action_writes(&rt.rule);
+                RuleInput {
+                    name: rt.rule.name.clone(),
+                    condition: rt.rule.firing_condition(),
+                    spans: None,
+                    extra_reads: resource_reads(rt, db),
+                    writes,
+                    opaque_action,
+                }
+            })
+            .collect();
+        tdb_analysis::analyze_rule_set(&inputs)
+    }
+}
+
+/// The catalog resources a registered rule's condition reads, in the
+/// `item:` / `relation:` / `event:` namespace the triggering analysis uses.
+fn resource_reads(rt: &RuleRuntime, db: &Database) -> BTreeSet<String> {
+    let mut reads = BTreeSet::new();
+    for e in &rt.events {
+        reads.insert(format!("event:{e}"));
+    }
+    for d in &rt.data {
+        if db.has_item(d) {
+            reads.insert(format!("item:{d}"));
+        } else {
+            reads.insert(format!("relation:{d}"));
+        }
+    }
+    if rt.uses_time {
+        reads.insert("item:time".into());
+    }
+    reads
+}
+
+/// The catalog resources a rule's action writes, plus whether the action is
+/// an opaque program. Recording rules also write their `executed` relation.
+fn action_writes(rule: &Rule) -> (BTreeSet<String>, bool) {
+    let mut writes = BTreeSet::new();
+    let mut opaque = false;
+    match &rule.action {
+        Action::DbOps(ops) => {
+            for op in ops {
+                match op {
+                    ActionOp::SetItem { item, .. }
+                    | ActionOp::UpdateMin { item, .. }
+                    | ActionOp::UpdateMax { item, .. } => {
+                        writes.insert(format!("item:{item}"));
+                    }
+                    ActionOp::Insert { relation, .. } | ActionOp::Delete { relation, .. } => {
+                        writes.insert(format!("relation:{relation}"));
+                    }
+                }
+            }
+        }
+        Action::Program(_) => opaque = true,
+        Action::AbortTxn | Action::Notify => {}
+    }
+    if rule.record_executed {
+        writes.insert(format!("relation:{}", executed_relation_name(&rule.name)));
+    }
+    (writes, opaque)
 }
 
 /// The durable state of one registered rule, as captured in a checkpoint.
@@ -584,6 +698,83 @@ mod tests {
         assert!(names[1].contains("_upd"));
         assert!(d.has_item("__agg_avg_watch_0_sum"));
         assert!(d.has_item("__agg_avg_watch_0_avg"));
+    }
+
+    #[test]
+    fn lint_deny_rejects_unbounded_rule_with_typed_error() {
+        let mut m = RuleManager::new(ManagerConfig {
+            lint: LintLevel::Deny,
+            ..Default::default()
+        });
+        let mut d = db();
+        let r = Rule::trigger(
+            "audit",
+            parse_formula("@pulse and once @login(u)").unwrap(),
+            Action::Notify,
+        );
+        match m.register(r, &mut d, None) {
+            Err(CoreError::LintDenied { rule, code, .. }) => {
+                assert_eq!(rule, "audit");
+                assert_eq!(code, "TDB001");
+            }
+            other => panic!("expected LintDenied, got {other:?}"),
+        }
+        assert!(m.rule_names().is_empty(), "rejected rule must not register");
+
+        // The time-guarded variant is certified bounded and registers fine.
+        let guarded = Rule::trigger(
+            "audit",
+            parse_formula("[t := time] @pulse and once(@login(u) and time >= t - 30)").unwrap(),
+            Action::Notify,
+        );
+        m.register(guarded, &mut d, None).unwrap();
+        assert!(m.lint_findings().is_empty());
+    }
+
+    #[test]
+    fn lint_warn_records_findings_but_registers() {
+        let mut m = RuleManager::new(ManagerConfig::default());
+        let mut d = db();
+        let r = Rule::trigger(
+            "audit",
+            parse_formula("@pulse and once @login(u)").unwrap(),
+            Action::Notify,
+        );
+        m.register(r, &mut d, None).unwrap();
+        assert_eq!(m.rule_names(), ["audit"]);
+        assert_eq!(m.lint_findings().len(), 1);
+        assert_eq!(m.lint_findings()[0].code.code(), "TDB001");
+    }
+
+    #[test]
+    fn lint_rule_set_reports_mutual_trigger_cycle() {
+        let mut m = RuleManager::new(ManagerConfig::default());
+        let mut d = db();
+        d.set_item("B", tdb_relation::Value::Int(0));
+        d.define_query("b", QueryDef::new(0, parse_query("item B").unwrap()));
+        let bump_b = Rule::trigger(
+            "bump_b",
+            parse_formula("a() > 0").unwrap(),
+            Action::DbOps(vec![ActionOp::SetItem {
+                item: "B".into(),
+                value: Term::lit(1i64),
+            }]),
+        );
+        let bump_a = Rule::trigger(
+            "bump_a",
+            parse_formula("b() > 0").unwrap(),
+            Action::DbOps(vec![ActionOp::SetItem {
+                item: "A".into(),
+                value: Term::lit(1i64),
+            }]),
+        );
+        m.register(bump_b, &mut d, None).unwrap();
+        m.register(bump_a, &mut d, None).unwrap();
+        let report = m.lint_rule_set(&d);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|diag| diag.code.code() == "TDB010"));
     }
 
     #[test]

@@ -21,6 +21,8 @@ pub enum PtlError {
     NonGroundGeneratorArgs { query: String, var: String },
     /// A parse error in the PTL surface syntax.
     Parse(String),
+    /// A parse error with the byte offset of the offending token.
+    ParseAt { msg: String, offset: usize },
     /// An error from the relational substrate (query evaluation etc.).
     Rel(RelError),
     /// Evaluation referenced a history state that is no longer retained.
@@ -47,6 +49,9 @@ impl fmt::Display for PtlError {
                 "generator atom over `{query}` has non-ground argument mentioning `{var}`"
             ),
             PtlError::Parse(msg) => write!(f, "PTL parse error: {msg}"),
+            PtlError::ParseAt { msg, offset } => {
+                write!(f, "PTL parse error at byte {offset}: {msg}")
+            }
             PtlError::Rel(e) => write!(f, "{e}"),
             PtlError::StateEvicted(i) => {
                 write!(f, "history state {i} has been evicted and cannot be read")

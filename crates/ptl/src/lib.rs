@@ -29,12 +29,17 @@ mod formula;
 mod parser;
 mod rewrite;
 pub mod semantics;
+mod span;
 mod term;
 
 pub use analysis::{analyze, Analysis};
 pub use error::{PtlError, Result};
 pub use formula::{Formula, QueryRef};
-pub use parser::{executed_query_name, parse_formula, parse_term};
+pub use parser::{
+    executed_query_name, parse_formula, parse_formula_cursor, parse_formula_spanned, parse_term,
+    parse_term_cursor,
+};
 pub use rewrite::to_core;
 pub use semantics::{eval, eval_term, fire_bindings, relation_to_value, Env};
+pub use span::{Span, SpanNode};
 pub use term::{TemporalAgg, Term};

@@ -22,6 +22,11 @@
 //!           | AGG "(" term ";" formula ";" formula ")"   -- temporal aggregate
 //! ```
 //!
+//! Parsing also produces a [`SpanNode`] tree mirroring the formula (see
+//! [`parse_formula_spanned`]) so static analyses can point diagnostics at the
+//! byte range of any subformula, and every parse error carries the byte
+//! offset of the offending token ([`PtlError::ParseAt`]).
+//!
 //! Examples from the paper:
 //!
 //! ```
@@ -45,6 +50,7 @@ use tdb_relation::{AggFunc, ArithOp, CmpOp, Value};
 
 use crate::error::{PtlError, Result};
 use crate::formula::{Formula, QueryRef};
+use crate::span::{Span, SpanNode};
 use crate::term::Term;
 
 /// The name of the auto-maintained query exposing the `executed` relation of
@@ -56,17 +62,41 @@ pub fn executed_query_name(rule: &str) -> String {
 
 /// Parses a complete PTL formula.
 pub fn parse_formula(src: &str) -> Result<Formula> {
+    parse_formula_spanned(src).map(|(f, _)| f)
+}
+
+/// Parses a complete PTL formula along with a [`SpanNode`] tree mirroring
+/// its shape, for diagnostics that point into the source text.
+pub fn parse_formula_spanned(src: &str) -> Result<(Formula, SpanNode)> {
     let mut c = Cursor::new(src).map_err(rel_parse)?;
-    let f = formula(&mut c)?;
-    c.expect_end().map_err(rel_parse)?;
-    Ok(f)
+    let fs = formula(&mut c)?;
+    if !c.at_end() {
+        return Err(err_here(&c, "expected end of input"));
+    }
+    Ok(fs)
+}
+
+/// Parses one formula starting at the current cursor position, leaving the
+/// cursor just past it. Spans are offsets into the cursor's source, so a
+/// host language embedding PTL formulas (e.g. a rule file) gets
+/// file-relative positions for free.
+pub fn parse_formula_cursor(c: &mut Cursor) -> Result<(Formula, SpanNode)> {
+    formula(c)
+}
+
+/// Parses one term starting at the current cursor position, leaving the
+/// cursor just past it (for host languages embedding PTL terms).
+pub fn parse_term_cursor(c: &mut Cursor) -> Result<Term> {
+    term(c)
 }
 
 /// Parses a complete PTL term.
 pub fn parse_term(src: &str) -> Result<Term> {
     let mut c = Cursor::new(src).map_err(rel_parse)?;
     let t = term(&mut c)?;
-    c.expect_end().map_err(rel_parse)?;
+    if !c.at_end() {
+        return Err(err_here(&c, "expected end of input"));
+    }
     Ok(t)
 }
 
@@ -74,72 +104,152 @@ fn rel_parse(e: tdb_relation::RelError) -> PtlError {
     PtlError::Parse(e.to_string())
 }
 
-fn formula(c: &mut Cursor) -> Result<Formula> {
+/// A parse error naming the current token and its byte offset.
+fn err_here(c: &Cursor, msg: &str) -> PtlError {
+    let found = match c.peek() {
+        Some(t) => t.describe(),
+        None => "end of input".to_string(),
+    };
+    PtlError::ParseAt {
+        msg: format!("{msg}, found {found}"),
+        offset: c.offset(),
+    }
+}
+
+fn expect_punct(c: &mut Cursor, p: &str) -> Result<()> {
+    if c.eat_punct(p) {
+        Ok(())
+    } else {
+        Err(err_here(c, &format!("expected `{p}`")))
+    }
+}
+
+fn expect_ident(c: &mut Cursor) -> Result<String> {
+    match c.peek() {
+        Some(Tok::Ident(_)) => match c.next_tok() {
+            Some(Tok::Ident(s)) => Ok(s),
+            _ => unreachable!("peeked an identifier"),
+        },
+        _ => Err(err_here(c, "expected identifier")),
+    }
+}
+
+fn formula(c: &mut Cursor) -> Result<(Formula, SpanNode)> {
+    let start = c.offset();
     if c.eat_punct("[") {
-        let var = c.expect_ident().map_err(rel_parse)?;
-        c.expect_punct(":=").map_err(rel_parse)?;
+        let var = expect_ident(c)?;
+        expect_punct(c, ":=")?;
         let t = term(c)?;
-        c.expect_punct("]").map_err(rel_parse)?;
-        let body = formula(c)?;
-        return Ok(Formula::assign(var, t, body));
+        expect_punct(c, "]")?;
+        let (body, bspan) = formula(c)?;
+        let span = Span::new(start, bspan.span.end);
+        return Ok((
+            Formula::assign(var, t, body),
+            SpanNode {
+                span,
+                children: vec![bspan],
+            },
+        ));
     }
     or_f(c)
 }
 
-fn or_f(c: &mut Cursor) -> Result<Formula> {
+/// Joins n-ary connective parts: a single part passes through unchanged
+/// (mirroring `Formula::and`/`Formula::or` collapsing), otherwise the span
+/// node gets one child per part.
+fn nary(
+    parts: Vec<(Formula, SpanNode)>,
+    build: fn(Vec<Formula>) -> Formula,
+) -> (Formula, SpanNode) {
+    if parts.len() == 1 {
+        return parts.into_iter().next().expect("len checked");
+    }
+    let span = Span::new(
+        parts[0].1.span.start,
+        parts.last().expect("non-empty").1.span.end,
+    );
+    let (fs, children): (Vec<_>, Vec<_>) = parts.into_iter().unzip();
+    (build(fs), SpanNode { span, children })
+}
+
+fn or_f(c: &mut Cursor) -> Result<(Formula, SpanNode)> {
     let mut parts = vec![and_f(c)?];
     while c.eat_kw("or") || c.eat_punct("||") {
         parts.push(and_f(c)?);
     }
-    Ok(Formula::or(parts))
+    Ok(nary(parts, Formula::or))
 }
 
-fn and_f(c: &mut Cursor) -> Result<Formula> {
+fn and_f(c: &mut Cursor) -> Result<(Formula, SpanNode)> {
     let mut parts = vec![since_f(c)?];
     while c.eat_kw("and") || c.eat_punct("&&") {
         parts.push(since_f(c)?);
     }
-    Ok(Formula::and(parts))
+    Ok(nary(parts, Formula::and))
 }
 
 // `not` binds tighter than `since`: `not @logout since @login` reads as
 // `(not @logout) since @login`, matching the paper's examples.
-fn since_f(c: &mut Cursor) -> Result<Formula> {
-    let mut left = not_f(c)?;
+fn since_f(c: &mut Cursor) -> Result<(Formula, SpanNode)> {
+    let (mut lf, mut ls) = not_f(c)?;
     while c.eat_kw("since") {
-        let right = not_f(c)?;
-        left = Formula::since(left, right);
+        let (rf, rs) = not_f(c)?;
+        let span = Span::new(ls.span.start, rs.span.end);
+        lf = Formula::since(lf, rf);
+        ls = SpanNode {
+            span,
+            children: vec![ls, rs],
+        };
     }
-    Ok(left)
+    Ok((lf, ls))
 }
 
-fn not_f(c: &mut Cursor) -> Result<Formula> {
+fn not_f(c: &mut Cursor) -> Result<(Formula, SpanNode)> {
+    let start = c.offset();
     if c.eat_kw("not") || c.eat_punct("!") {
-        Ok(Formula::not(not_f(c)?))
+        let (f, s) = not_f(c)?;
+        let span = Span::new(start, s.span.end);
+        Ok((
+            Formula::not(f),
+            SpanNode {
+                span,
+                children: vec![s],
+            },
+        ))
     } else {
         unary_f(c)
     }
 }
 
-fn unary_f(c: &mut Cursor) -> Result<Formula> {
-    if c.eat_kw("lasttime") {
-        return Ok(Formula::lasttime(unary_f(c)?));
-    }
-    if c.eat_kw("previously") || c.eat_kw("once") {
-        return Ok(Formula::previously(unary_f(c)?));
-    }
-    if c.eat_kw("throughout_past") || c.eat_kw("historically") {
-        return Ok(Formula::throughout_past(unary_f(c)?));
-    }
-    primary(c)
+fn unary_f(c: &mut Cursor) -> Result<(Formula, SpanNode)> {
+    let start = c.offset();
+    let build: fn(Formula) -> Formula = if c.eat_kw("lasttime") {
+        Formula::lasttime
+    } else if c.eat_kw("previously") || c.eat_kw("once") {
+        Formula::previously
+    } else if c.eat_kw("throughout_past") || c.eat_kw("historically") {
+        Formula::throughout_past
+    } else {
+        return primary(c);
+    };
+    let (f, s) = unary_f(c)?;
+    let span = Span::new(start, s.span.end);
+    Ok((
+        build(f),
+        SpanNode {
+            span,
+            children: vec![s],
+        },
+    ))
 }
 
-fn primary(c: &mut Cursor) -> Result<Formula> {
+fn primary(c: &mut Cursor) -> Result<(Formula, SpanNode)> {
+    let start = c.offset();
     if c.eat_kw("true") {
-        return Ok(Formula::True);
+        return Ok((Formula::True, SpanNode::leaf(start, c.prev_end())));
     }
     if c.eat_kw("false") {
-        return Ok(Formula::False);
+        return Ok((Formula::False, SpanNode::leaf(start, c.prev_end())));
     }
     // Assignments may also appear nested under connectives.
     if matches!(c.peek(), Some(Tok::Punct("["))) {
@@ -147,7 +257,7 @@ fn primary(c: &mut Cursor) -> Result<Formula> {
     }
     // Event atom.
     if c.eat_punct("@") {
-        let name = c.expect_ident().map_err(rel_parse)?;
+        let name = expect_ident(c)?;
         let mut pattern = Vec::new();
         if c.eat_punct("(") && !c.eat_punct(")") {
             loop {
@@ -156,48 +266,53 @@ fn primary(c: &mut Cursor) -> Result<Formula> {
                     break;
                 }
             }
-            c.expect_punct(")").map_err(rel_parse)?;
+            expect_punct(c, ")")?;
         }
-        return Ok(Formula::Event { name, pattern });
+        return Ok((
+            Formula::Event { name, pattern },
+            SpanNode::leaf(start, c.prev_end()),
+        ));
     }
     // `executed(rule, args…)` sugar.
     if c.peek().is_some_and(|t| t.is_kw("executed"))
         && matches!(c.peek_at(1), Some(Tok::Punct("(")))
     {
         c.next_tok();
-        c.expect_punct("(").map_err(rel_parse)?;
-        let rule = match c.next_tok() {
-            Some(Tok::Ident(s)) => s,
-            Some(Tok::Str(s)) => s,
-            other => {
-                return Err(PtlError::Parse(format!(
-                    "expected rule name in executed(...), found {:?}",
-                    other.map(|t| t.describe())
-                )))
-            }
+        expect_punct(c, "(")?;
+        let rule = match c.peek() {
+            Some(Tok::Ident(_)) | Some(Tok::Str(_)) => match c.next_tok() {
+                Some(Tok::Ident(s)) | Some(Tok::Str(s)) => s,
+                _ => unreachable!("peeked a name"),
+            },
+            _ => return Err(err_here(c, "expected rule name in executed(...)")),
         };
         let mut pattern = Vec::new();
         while c.eat_punct(",") {
             pattern.push(term(c)?);
         }
-        c.expect_punct(")").map_err(rel_parse)?;
-        return Ok(Formula::Member {
-            source: QueryRef::new(executed_query_name(&rule), vec![]),
-            pattern,
-        });
+        expect_punct(c, ")")?;
+        return Ok((
+            Formula::Member {
+                source: QueryRef::new(executed_query_name(&rule), vec![]),
+                pattern,
+            },
+            SpanNode::leaf(start, c.prev_end()),
+        ));
     }
     // Parenthesized formula (backtrack to term forms on failure).
     if matches!(c.peek(), Some(Tok::Punct("("))) {
         let save = c.pos();
         c.next_tok();
-        if let Ok(f) = formula(c) {
+        if let Ok(mut f) = formula(c) {
             if c.eat_punct(")") {
+                // Widen the node's span to include the parentheses.
+                f.1.span = Span::new(start, c.prev_end());
                 return Ok(f);
             }
         }
         c.set_pos(save);
         // Tuple membership: "(" termlist ")" "in" qref.
-        if let Some(f) = try_tuple_member(c)? {
+        if let Some(f) = try_tuple_member(c, start)? {
             return Ok(f);
         }
         c.set_pos(save);
@@ -206,18 +321,23 @@ fn primary(c: &mut Cursor) -> Result<Formula> {
     let left = term(c)?;
     if c.eat_kw("in") {
         let source = query_ref(c)?;
-        return Ok(Formula::Member {
-            source,
-            pattern: vec![left],
-        });
+        return Ok((
+            Formula::Member {
+                source,
+                pattern: vec![left],
+            },
+            SpanNode::leaf(start, c.prev_end()),
+        ));
     }
-    let op = cmp_op(c)
-        .ok_or_else(|| PtlError::Parse("expected comparison or `in` after term".into()))?;
+    let op = cmp_op(c).ok_or_else(|| err_here(c, "expected comparison or `in` after term"))?;
     let right = term(c)?;
-    Ok(Formula::Cmp(op, left, right))
+    Ok((
+        Formula::Cmp(op, left, right),
+        SpanNode::leaf(start, c.prev_end()),
+    ))
 }
 
-fn try_tuple_member(c: &mut Cursor) -> Result<Option<Formula>> {
+fn try_tuple_member(c: &mut Cursor, start: usize) -> Result<Option<(Formula, SpanNode)>> {
     if !c.eat_punct("(") {
         return Ok(None);
     }
@@ -236,13 +356,16 @@ fn try_tuple_member(c: &mut Cursor) -> Result<Option<Formula>> {
         return Ok(None);
     }
     let source = query_ref(c)?;
-    Ok(Some(Formula::Member { source, pattern }))
+    Ok(Some((
+        Formula::Member { source, pattern },
+        SpanNode::leaf(start, c.prev_end()),
+    )))
 }
 
 fn query_ref(c: &mut Cursor) -> Result<QueryRef> {
-    let name = c.expect_ident().map_err(rel_parse)?;
+    let name = expect_ident(c)?;
     let mut args = Vec::new();
-    c.expect_punct("(").map_err(rel_parse)?;
+    expect_punct(c, "(")?;
     if !c.eat_punct(")") {
         loop {
             args.push(term(c)?);
@@ -250,7 +373,7 @@ fn query_ref(c: &mut Cursor) -> Result<QueryRef> {
                 break;
             }
         }
-        c.expect_punct(")").map_err(rel_parse)?;
+        expect_punct(c, ")")?;
     }
     Ok(QueryRef { name, args })
 }
@@ -317,13 +440,17 @@ fn unary_term(c: &mut Cursor) -> Result<Term> {
 }
 
 fn atom_term(c: &mut Cursor) -> Result<Term> {
+    if c.at_end() {
+        return Err(err_here(c, "expected term"));
+    }
+    let off = c.offset();
     match c.next_tok() {
         Some(Tok::Int(i)) => Ok(Term::lit(i)),
         Some(Tok::Float(f)) => Ok(Term::lit(f)),
         Some(Tok::Str(s)) => Ok(Term::Const(Value::str(s))),
         Some(Tok::Punct("(")) => {
             let t = term(c)?;
-            c.expect_punct(")").map_err(rel_parse)?;
+            expect_punct(c, ")")?;
             Ok(t)
         }
         Some(Tok::Ident(name)) => {
@@ -332,7 +459,7 @@ fn atom_term(c: &mut Cursor) -> Result<Term> {
             }
             if name.eq_ignore_ascii_case("abs") && c.eat_punct("(") {
                 let t = term(c)?;
-                c.expect_punct(")").map_err(rel_parse)?;
+                expect_punct(c, ")")?;
                 return Ok(Term::Abs(Box::new(t)));
             }
             // Aggregate call: AGG(term; formula; formula).
@@ -342,10 +469,10 @@ fn atom_term(c: &mut Cursor) -> Result<Term> {
                     c.next_tok();
                     let q = term(c)?;
                     if c.eat_punct(";") {
-                        let start = formula(c)?;
-                        c.expect_punct(";").map_err(rel_parse)?;
-                        let sample = formula(c)?;
-                        c.expect_punct(")").map_err(rel_parse)?;
+                        let (start, _) = formula(c)?;
+                        expect_punct(c, ";")?;
+                        let (sample, _) = formula(c)?;
+                        expect_punct(c, ")")?;
                         return Ok(Term::agg(func, q, start, sample));
                     }
                     // Not an aggregate after all — fall through to a query
@@ -362,14 +489,17 @@ fn atom_term(c: &mut Cursor) -> Result<Term> {
                             break;
                         }
                     }
-                    c.expect_punct(")").map_err(rel_parse)?;
+                    expect_punct(c, ")")?;
                 }
                 return Ok(Term::Query { name, args });
             }
             Ok(Term::var(name))
         }
-        Some(t) => Err(PtlError::Parse(format!("unexpected {}", t.describe()))),
-        None => Err(PtlError::Parse("unexpected end of input".into())),
+        Some(t) => Err(PtlError::ParseAt {
+            msg: format!("unexpected {}", t.describe()),
+            offset: off,
+        }),
+        None => Err(err_here(c, "expected term")),
     }
 }
 
@@ -512,6 +642,61 @@ mod tests {
             "assignment needs :="
         );
         assert!(parse_formula("x in ").is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_byte_offsets() {
+        // `since` with no right operand: error points at end of input.
+        let src = "@a since";
+        match parse_formula(src).unwrap_err() {
+            PtlError::ParseAt { offset, .. } => assert_eq!(offset, src.len()),
+            other => panic!("expected positioned error, got {other:?}"),
+        }
+        // A bare term followed by garbage points at the garbage token.
+        let src = "price(\"IBM\") ; true";
+        match parse_formula(src).unwrap_err() {
+            PtlError::ParseAt { offset, msg } => {
+                assert_eq!(offset, 13);
+                assert!(msg.contains("expected comparison or `in`"), "{msg}");
+            }
+            other => panic!("expected positioned error, got {other:?}"),
+        }
+        // Errors render the position.
+        let err = parse_formula("@a since").unwrap_err().to_string();
+        assert!(err.contains("at byte 8"), "{err}");
+    }
+
+    #[test]
+    fn spanned_parse_mirrors_formula_shape() {
+        let src = "[t := time] previously(@login(u) and time >= t - 10)";
+        let (f, spans) = parse_formula_spanned(src).unwrap();
+        // Assign -> Previously -> And -> [Event, Cmp].
+        assert_eq!(spans.span, Span::new(0, src.len()));
+        let prev = spans.child(0).unwrap();
+        match &f {
+            Formula::Assign { body, .. } => assert!(matches!(**body, Formula::Previously(_))),
+            other => panic!("expected assign, got {other}"),
+        }
+        assert_eq!(prev.span.slice(src).unwrap(), &src[12..]);
+        let and = prev.child(0).unwrap();
+        assert_eq!(and.children.len(), 2);
+        assert_eq!(and.child(0).unwrap().span.slice(src).unwrap(), "@login(u)");
+        assert_eq!(
+            and.child(1).unwrap().span.slice(src).unwrap(),
+            "time >= t - 10"
+        );
+    }
+
+    #[test]
+    fn spanned_parse_since_children() {
+        let src = "not @logout since @login";
+        let (_, spans) = parse_formula_spanned(src).unwrap();
+        assert_eq!(spans.children.len(), 2);
+        assert_eq!(
+            spans.child(0).unwrap().span.slice(src).unwrap(),
+            "not @logout"
+        );
+        assert_eq!(spans.child(1).unwrap().span.slice(src).unwrap(), "@login");
     }
 
     #[test]

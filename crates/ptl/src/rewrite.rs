@@ -113,15 +113,17 @@ mod tests {
         });
         assert!(!has_prev);
         // The aggregate's start formula was also rewritten.
-        if let Formula::Assign {
-            term: Term::Agg(agg),
-            ..
-        } = &core
-        {
-            assert!(matches!(agg.start, Formula::Since(..)));
-        } else {
-            panic!("expected assignment over aggregate");
-        }
+        let start_rewritten = matches!(
+            &core,
+            Formula::Assign {
+                term: Term::Agg(agg),
+                ..
+            } if matches!(agg.start, Formula::Since(..))
+        );
+        assert!(
+            start_rewritten,
+            "expected assignment over aggregate with a rewritten start formula, got {core}"
+        );
     }
 
     #[test]

@@ -37,11 +37,14 @@ impl Tok {
     }
 }
 
-/// A token plus its byte offset in the source.
+/// A token plus its byte range in the source.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpannedTok {
     pub tok: Tok,
+    /// Byte offset of the first byte of the token.
     pub offset: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
 }
 
 /// Multi-character punctuation, longest first so `<=` wins over `<`.
@@ -91,6 +94,7 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
                     out.push(SpannedTok {
                         tok: Tok::Str(s),
                         offset: start,
+                        end: i,
                     });
                     continue 'outer;
                 }
@@ -129,7 +133,11 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
                     RelError::Parse(format!("integer literal `{text}` out of range"))
                 })?)
             };
-            out.push(SpannedTok { tok, offset: start });
+            out.push(SpannedTok {
+                tok,
+                offset: start,
+                end: i,
+            });
             continue;
         }
         // Identifiers.
@@ -146,6 +154,7 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
             out.push(SpannedTok {
                 tok: Tok::Ident(src[start..i].to_string()),
                 offset: start,
+                end: i,
             });
             continue;
         }
@@ -155,6 +164,7 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
                 out.push(SpannedTok {
                     tok: Tok::Punct(p),
                     offset: i,
+                    end: i + p.len(),
                 });
                 i += p.len();
                 continue 'outer;
@@ -172,6 +182,7 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
 pub struct Cursor {
     toks: Vec<SpannedTok>,
     pos: usize,
+    src_len: usize,
 }
 
 impl Cursor {
@@ -179,11 +190,31 @@ impl Cursor {
         Ok(Cursor {
             toks: lex(src)?,
             pos: 0,
+            src_len: src.len(),
         })
     }
 
     pub fn peek(&self) -> Option<&Tok> {
         self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    /// Byte offset of the next unconsumed token, or the source length at the
+    /// end of input. Parsers use this to attach positions to errors and spans.
+    pub fn offset(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|s| s.offset)
+            .unwrap_or(self.src_len)
+    }
+
+    /// Byte offset one past the last consumed token (0 before any token has
+    /// been consumed). Parsers use this as the end of a just-parsed node.
+    pub fn prev_end(&self) -> usize {
+        if self.pos == 0 {
+            0
+        } else {
+            self.toks[self.pos - 1].end
+        }
     }
 
     /// Current position, for backtracking parsers.
@@ -333,6 +364,28 @@ mod tests {
         assert_eq!(c.expect_ident().unwrap(), "x");
         assert!(c.expect_end().is_ok());
         assert!(c.next_tok().is_none());
+    }
+
+    #[test]
+    fn tokens_carry_byte_ranges() {
+        let toks = lex("ab <= \"cd\" 12").unwrap();
+        assert_eq!((toks[0].offset, toks[0].end), (0, 2));
+        assert_eq!((toks[1].offset, toks[1].end), (3, 5));
+        assert_eq!((toks[2].offset, toks[2].end), (6, 10));
+        assert_eq!((toks[3].offset, toks[3].end), (11, 13));
+    }
+
+    #[test]
+    fn cursor_reports_offsets() {
+        let mut c = Cursor::new("abc defg").unwrap();
+        assert_eq!(c.offset(), 0);
+        assert_eq!(c.prev_end(), 0);
+        c.next_tok();
+        assert_eq!(c.offset(), 4);
+        assert_eq!(c.prev_end(), 3);
+        c.next_tok();
+        assert_eq!(c.offset(), 8, "end of input falls back to source length");
+        assert_eq!(c.prev_end(), 8);
     }
 
     #[test]

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Runs the tdb-lint binary over every examples/lint/*.rules file and diffs
+# the text report against its checked-in .expected snapshot. Used by the
+# `lint-examples` CI job; run locally from the repo root:
+#
+#   scripts/lint_examples.sh
+#
+# Regenerate snapshots after an intentional output change with:
+#
+#   TDB_UPDATE_SNAPSHOTS=1 cargo test --test lint_snapshots
+#
+# Note: tdb-lint exits 1 on deny-level findings (quickstart, login_audit);
+# that is expected — only an output/snapshot divergence fails this script.
+set -u
+
+cargo build --release -p tdb-analysis --bin tdb-lint || exit 2
+
+fail=0
+for rules in examples/lint/*.rules; do
+    expected="${rules%.rules}.expected"
+    if [ ! -f "$expected" ]; then
+        echo "MISSING SNAPSHOT: $expected" >&2
+        fail=1
+        continue
+    fi
+    actual="$(./target/release/tdb-lint "$rules")"
+    if ! diff -u "$expected" <(printf '%s\n' "$actual"); then
+        echo "MISMATCH: $rules diverged from $expected" >&2
+        fail=1
+    else
+        echo "ok: $rules"
+    fi
+done
+exit $fail

@@ -15,6 +15,9 @@
 //! * [`ptl`] — the PTL language (AST, parser, analyses, naive semantics);
 //! * [`core`] — the temporal component (incremental evaluator, rules,
 //!   aggregates, constraints, the `ActiveDatabase` facade);
+//! * [`analysis`] — the whole-rule-set static verifier (boundedness
+//!   certification, triggering-graph analysis, lint diagnostics) behind
+//!   the `tdb-lint` CLI;
 //! * [`storage`] — durability (write-ahead log, Theorem-1 checkpoints,
 //!   crash recovery);
 //! * [`baseline`] — comparator implementations (naive re-evaluation,
@@ -49,6 +52,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use tdb_analysis as analysis;
 pub use tdb_baseline as baseline;
 pub use tdb_core as core;
 pub use tdb_engine as engine;
@@ -58,6 +62,7 @@ pub use tdb_storage as storage;
 
 /// The most commonly used items, for `use temporal_adb::prelude::*`.
 pub mod prelude {
+    pub use tdb_analysis::{certify, Boundedness, LintLevel, Report};
     pub use tdb_core::{
         Action, ActionOp, ActiveDatabase, EvalConfig, FiringRecord, IncrementalEvaluator,
         ManagerConfig, Program, Rule,

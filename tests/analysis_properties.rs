@@ -1,0 +1,172 @@
+//! Property tests validating boundedness certificates against the real
+//! incremental evaluator:
+//!
+//! * `Bounded(k)` — drive 1000 states through `IncrementalEvaluator` and
+//!   assert the retained residual size never exceeds `k`;
+//! * `BoundedByWindow(Δ)` — retained state must plateau: on a long run the
+//!   peak is reached well before the end (no tail growth);
+//! * `Unbounded` — growth must actually occur on an adversarial history
+//!   (a fresh `@login(u)` binding every state).
+
+use proptest::prelude::*;
+
+use temporal_adb::analysis::{certify, Boundedness};
+use temporal_adb::core::{EvalConfig, IncrementalEvaluator};
+use temporal_adb::engine::{Event, EventSet, SystemState};
+use temporal_adb::ptl::parse_formula;
+use temporal_adb::relation::{Database, Query, QueryDef, Timestamp, Value};
+
+const STATES: usize = 1000;
+
+/// Drives `src` through `STATES` synthetic states and returns the retained
+/// residual size after each state.
+///
+/// The history is adversarial for unguarded accumulation: the clock ticks
+/// every state, `price()` cycles through small positive values, `@pulse`
+/// fires every third state, and `@login(uN)` carries a fresh argument at
+/// every state so variable-binding disjuncts can never collapse.
+fn drive(src: &str) -> Vec<usize> {
+    let f = parse_formula(src).unwrap();
+    let mut ev = IncrementalEvaluator::new(&f, EvalConfig::default()).unwrap();
+    let mut db = Database::new();
+    db.define_query("price", QueryDef::new(0, Query::item("P")));
+    let mut sizes = Vec::with_capacity(STATES);
+    for i in 0..STATES {
+        db.set_item("P", Value::Int(1 + (i as i64 % 7)));
+        let mut events = EventSet::new();
+        if i % 3 == 0 {
+            events.insert(Event::new("pulse", vec![]));
+        }
+        events.insert(Event::new("login", vec![Value::str(format!("u{i}"))]));
+        let state = SystemState::new(db.clone(), events, Timestamp(i as i64));
+        ev.advance(&state, i).unwrap();
+        sizes.push(ev.retained_size());
+    }
+    sizes
+}
+
+/// Always-evaluable ground atoms: no free variables anywhere.
+fn ground_atom() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("price() > 3".to_string()),
+        Just("price() > 0".to_string()),
+        Just("@pulse".to_string()),
+        Just("time >= 5".to_string()),
+        Just("true".to_string()),
+    ]
+}
+
+/// Ground formulas closed under the connectives and temporal operators.
+fn ground_formula() -> impl Strategy<Value = String> {
+    ground_atom().prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} and {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} or {b})")),
+            inner.clone().prop_map(|a| format!("not ({a})")),
+            inner.clone().prop_map(|a| format!("previously ({a})")),
+            inner.clone().prop_map(|a| format!("historically ({a})")),
+            inner.clone().prop_map(|a| format!("lasttime ({a})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} since {b})")),
+        ]
+    })
+}
+
+/// Unbounded cores: a variable-binding generator under an unguarded
+/// accumulating operator. The `since` bodies keep `g` always true so the
+/// accumulated disjuncts are never reset by a false `g`.
+fn unbounded_core() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("once @login(u)".to_string()),
+        Just("(time >= 0 since @login(u))".to_string()),
+        Just("(price() > 0 since @login(u))".to_string()),
+    ]
+}
+
+/// An unbounded core optionally composed with ground noise (in positions
+/// that cannot mask the accumulating subformula's own residuals).
+fn unbounded_formula() -> impl Strategy<Value = String> {
+    (unbounded_core(), ground_formula(), 0usize..3).prop_map(|(core, g, shape)| match shape {
+        0 => core,
+        1 => format!("({g} and {core})"),
+        _ => format!("({g} or {core})"),
+    })
+}
+
+/// Window-guarded accumulation: certified `BoundedByWindow(Δ)`.
+fn guarded_formula() -> impl Strategy<Value = String> {
+    (5i64..50, ground_formula(), 0usize..2).prop_map(|(delta, g, conj)| {
+        let conj = conj == 1;
+        let core = format!("previously(@login(u) and time >= t0 - {delta})");
+        if conj {
+            format!("[t0 := time] ({g} and {core})")
+        } else {
+            format!("[t0 := time] {core}")
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `Bounded(k)` is a hard ceiling: 1000 updates never retain more
+    /// than `k` residual nodes.
+    #[test]
+    fn bounded_certificates_hold_over_1000_states(src in ground_formula()) {
+        let f = parse_formula(&src).unwrap();
+        let cert = certify(&f, None);
+        match cert.verdict {
+            Boundedness::Bounded { nodes, data_scaled } => {
+                prop_assert!(!data_scaled, "ground formulas have no free variables: {src}");
+                let sizes = drive(&src);
+                let peak = *sizes.iter().max().unwrap();
+                prop_assert!(
+                    peak <= nodes,
+                    "certified k={nodes} but retained {peak} nodes: {src}"
+                );
+            }
+            other => prop_assert!(false, "ground formula certified {other:?}: {src}"),
+        }
+    }
+
+    /// `Unbounded` verdicts are not false alarms: the adversarial history
+    /// (fresh login binding per state) makes retained state actually grow.
+    #[test]
+    fn unbounded_certificates_exhibit_growth(src in unbounded_formula()) {
+        let f = parse_formula(&src).unwrap();
+        let cert = certify(&f, None);
+        prop_assert_eq!(
+            &cert.verdict, &Boundedness::Unbounded,
+            "expected unbounded for {}", &src
+        );
+        prop_assert!(!cert.offenders.is_empty());
+        let sizes = drive(&src);
+        prop_assert!(
+            sizes[STATES - 1] > sizes[STATES / 3],
+            "no growth between state {} ({}) and state {} ({}): {}",
+            STATES / 3, sizes[STATES / 3], STATES - 1, sizes[STATES - 1], &src
+        );
+    }
+
+    /// `BoundedByWindow(Δ)` means pruning keeps up: with one state per
+    /// clock tick the retained size plateaus — the whole-run peak is
+    /// already reached in the first 600 states (Δ < 50 ≪ 600).
+    #[test]
+    fn window_certificates_plateau(src in guarded_formula()) {
+        let f = parse_formula(&src).unwrap();
+        let cert = certify(&f, None);
+        match cert.verdict {
+            Boundedness::BoundedByWindow { delta } => {
+                prop_assert!((5..50).contains(&delta), "{}", &src);
+            }
+            other => prop_assert!(false, "expected window bound, got {other:?}: {src}"),
+        }
+        let sizes = drive(&src);
+        let early_peak = *sizes[..600].iter().max().unwrap();
+        let late_peak = *sizes[600..].iter().max().unwrap();
+        prop_assert!(
+            late_peak <= early_peak,
+            "retained state still growing after 600 states ({} -> {}): {}",
+            early_peak, late_peak, &src
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Snapshot tests for `tdb-lint` over the example rule files.
+//!
+//! Each `examples/lint/NAME.rules` has a checked-in
+//! `examples/lint/NAME.expected` holding the exact text report. Regenerate
+//! after an intentional output change with:
+//!
+//! ```text
+//! TDB_UPDATE_SNAPSHOTS=1 cargo test --test lint_snapshots
+//! ```
+
+use temporal_adb::analysis::{analyze_rule_set, parse_rule_file, Boundedness, Report};
+
+const DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/lint");
+
+fn report_for(name: &str) -> (String, Report) {
+    let src = std::fs::read_to_string(format!("{DIR}/{name}.rules")).unwrap();
+    let file = parse_rule_file(&src).unwrap();
+    (src.clone(), analyze_rule_set(&file.rules))
+}
+
+fn check_snapshot(name: &str) -> Report {
+    let (src, report) = report_for(name);
+    let rendered = report.render_text(Some(&src));
+    let expected_path = format!("{DIR}/{name}.expected");
+    if std::env::var_os("TDB_UPDATE_SNAPSHOTS").is_some() {
+        std::fs::write(&expected_path, &rendered).unwrap();
+        return report;
+    }
+    let expected = std::fs::read_to_string(&expected_path).unwrap_or_else(|e| {
+        panic!("missing snapshot {expected_path} ({e}); run with TDB_UPDATE_SNAPSHOTS=1")
+    });
+    assert_eq!(
+        rendered, expected,
+        "lint output for {name}.rules diverged from its snapshot; \
+         rerun with TDB_UPDATE_SNAPSHOTS=1 if the change is intentional"
+    );
+    report
+}
+
+#[test]
+fn quickstart_flags_raw_rule_and_certifies_windowed_variant() {
+    let report = check_snapshot("quickstart");
+    assert_eq!(report.verdicts[0].rule, "audit_raw");
+    assert_eq!(report.verdicts[0].boundedness, Boundedness::Unbounded);
+    assert_eq!(report.verdicts[1].rule, "audit_windowed");
+    assert_eq!(
+        report.verdicts[1].boundedness,
+        Boundedness::BoundedByWindow { delta: 30 }
+    );
+    // The TDB001 span must point at the offending `once` subformula.
+    let (src, _) = report_for("quickstart");
+    let tdb001: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code.code() == "TDB001")
+        .collect();
+    assert_eq!(tdb001.len(), 1);
+    assert_eq!(
+        tdb001[0].span.unwrap().slice(&src).unwrap(),
+        "once @login(u)"
+    );
+}
+
+#[test]
+fn stock_monitor_certified_window_bounded_and_graph_silent() {
+    let report = check_snapshot("stock_monitor");
+    assert_eq!(
+        report.verdicts[0].boundedness,
+        Boundedness::BoundedByWindow { delta: 10 }
+    );
+    assert_eq!(
+        report.verdicts[1].boundedness,
+        Boundedness::BoundedByWindow { delta: 120 }
+    );
+    assert!(report.diagnostics.is_empty());
+}
+
+#[test]
+fn login_audit_reports_unbounded_per_user_state() {
+    let report = check_snapshot("login_audit");
+    assert_eq!(report.verdicts[0].boundedness, Boundedness::Unbounded);
+    assert!(report.has_denials());
+}
+
+#[test]
+fn inventory_constraints_are_clean() {
+    let report = check_snapshot("inventory_constraints");
+    assert!(matches!(
+        report.verdicts[0].boundedness,
+        Boundedness::Bounded { .. }
+    ));
+    assert_eq!(
+        report.verdicts[1].boundedness,
+        Boundedness::BoundedByWindow { delta: 7 }
+    );
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+}
+
+#[test]
+fn cycle_example_reports_trigger_cycle() {
+    let report = check_snapshot("cycle");
+    assert!(report.diagnostics.iter().any(|d| d.code.code() == "TDB010"));
+    assert!(report.diagnostics.iter().any(|d| d.code.code() == "TDB012"));
+    assert!(!report.has_denials(), "cycle is warn-level, not deny");
+}
+
+#[test]
+fn json_rendering_is_stable_for_quickstart() {
+    let (src, report) = report_for("quickstart");
+    let json = report.render_json(Some(&src));
+    assert!(json.contains("\"verdict\":\"unbounded\""));
+    assert!(json.contains("\"verdict\":\"bounded-by-window\",\"delta\":30"));
+    assert!(json.contains("\"code\":\"TDB001\""));
+    assert!(json.contains("\"snippet\":\"once @login(u)\""));
+}
