@@ -1,0 +1,105 @@
+//! Delta-dispatch microbenchmarks: the three cost centers the E15
+//! experiment composes — read-set index probes, the sparse fast-path
+//! advance versus a full advance, and memoized evaluation of an atom
+//! shared across rules.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tdb_bench::workload::relation_watch_db;
+use tdb_core::parteval::{parteval_atom, parteval_atom_memo, StateView};
+use tdb_core::{EvalConfig, IncrementalEvaluator, ReadSetIndex};
+use tdb_engine::{EventSet, SystemState};
+use tdb_ptl::parse_formula;
+use tdb_relation::{Delta, Timestamp};
+
+fn names(names: &[String]) -> BTreeSet<String> {
+    names.iter().cloned().collect()
+}
+
+/// Probing a 1000-rule index with a single-relation delta.
+fn bench_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch_index");
+    group.sample_size(20);
+    for &rules in &[100usize, 1000] {
+        let relations = rules / 10;
+        let mut ix = ReadSetIndex::new();
+        for i in 0..rules {
+            ix.insert(
+                i,
+                &names(&[]),
+                &names(&[format!("W{}", i % relations)]),
+                false,
+            );
+        }
+        let delta = Delta::new(vec!["W3".into()], vec!["update".into()]);
+        let mut affected = Vec::new();
+        group.bench_with_input(BenchmarkId::new("affected", rules), &rules, |b, _| {
+            b.iter(|| {
+                ix.affected(black_box(&delta), &mut affected);
+                black_box(affected.iter().filter(|&&a| a).count())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// One E15-shaped rule advanced over an unaffected state: the sparse path
+/// (pointer copies) against the full path (atom re-evaluation).
+fn bench_advance(c: &mut Criterion) {
+    let db = relation_watch_db(4);
+    let state = SystemState::new(db, EventSet::new(), Timestamp(1));
+    let f = parse_formula("r0_q() > 100 and previously(r0_q() <= 100)").unwrap();
+    let mut seeded = IncrementalEvaluator::new(&f, EvalConfig::default()).unwrap();
+    seeded.advance(&state, 0).unwrap();
+    assert!(seeded.sparse_ready());
+
+    let mut group = c.benchmark_group("dispatch_advance");
+    group.sample_size(20);
+    group.bench_function("full", |b| {
+        let mut ev = seeded.clone();
+        let mut i = 1;
+        b.iter(|| {
+            i += 1;
+            black_box(ev.advance(black_box(&state), i).unwrap())
+        })
+    });
+    group.bench_function("sparse", |b| {
+        let mut ev = seeded.clone();
+        b.iter(|| black_box(ev.advance_sparse(Timestamp(1)).unwrap()))
+    });
+    group.finish();
+}
+
+/// Evaluating one interned atom many times at one state — the shape of a
+/// subformula shared by many rules — memoized against direct evaluation.
+fn bench_shared_atom(c: &mut Criterion) {
+    let db = relation_watch_db(4);
+    let state = SystemState::new(db, EventSet::new(), Timestamp(1));
+    let atom = Arc::new(
+        parse_formula("r0_q() > 100")
+            .map(|f| match f {
+                f @ tdb_ptl::Formula::Cmp(..) => f,
+                other => panic!("expected a comparison atom, got {other}"),
+            })
+            .unwrap(),
+    );
+
+    let mut group = c.benchmark_group("dispatch_shared_atom");
+    group.sample_size(20);
+    group.bench_function("direct", |b| {
+        let view = StateView::new(&state, 1);
+        b.iter(|| black_box(parteval_atom(black_box(&atom), &view).unwrap()))
+    });
+    group.bench_function("memoized", |b| {
+        let view = StateView::new(&state, 2);
+        parteval_atom_memo(&atom, &view).unwrap(); // warm the epoch
+        b.iter(|| black_box(parteval_atom_memo(black_box(&atom), &view).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_index, bench_advance, bench_shared_atom);
+criterion_main!(benches);

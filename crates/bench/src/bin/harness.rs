@@ -434,6 +434,7 @@ fn main() {
                     f2(r.speedup_vs_seq),
                     r.identical_firings.to_string(),
                     r.parallel_batches.to_string(),
+                    r.adaptive_seq_batches.to_string(),
                 ]
             })
             .collect();
@@ -448,7 +449,8 @@ fn main() {
                     "states/s",
                     "speedup",
                     "identical",
-                    "par batches"
+                    "par batches",
+                    "adapt seq"
                 ],
                 &body,
             )
@@ -459,7 +461,8 @@ fn main() {
             json.push_str(&format!(
                 "    {{\"rules\": {}, \"workers\": {}, \"us_per_state\": {:.3}, \
                  \"states_per_sec\": {:.1}, \"speedup_vs_seq\": {:.3}, \
-                 \"identical_firings\": {}, \"parallel_batches\": {}}}{}\n",
+                 \"identical_firings\": {}, \"parallel_batches\": {}, \
+                 \"adaptive_seq_batches\": {}}}{}\n",
                 r.rules,
                 r.workers,
                 r.us_per_state,
@@ -467,6 +470,7 @@ fn main() {
                 r.speedup_vs_seq,
                 r.identical_firings,
                 r.parallel_batches,
+                r.adaptive_seq_batches,
                 if i + 1 == rows.len() { "" } else { "," }
             ));
         }
@@ -474,6 +478,77 @@ fn main() {
         match std::fs::write("BENCH_E13.json", &json) {
             Ok(()) => eprintln!("[harness] wrote BENCH_E13.json"),
             Err(e) => eprintln!("[harness] could not write BENCH_E13.json: {e}"),
+        }
+    }
+
+    flush();
+    if run("e15") {
+        mark("e15");
+        let (rules, relations, states) = if quick {
+            (100, 10, 60)
+        } else {
+            (1_000, 100, 400)
+        };
+        let rows = ex::e15_delta_dispatch(rules, relations, states, seed);
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.rules.to_string(),
+                    r.relations.to_string(),
+                    r.delta_dispatch.to_string(),
+                    f2(r.us_per_state),
+                    f2(r.states_per_sec),
+                    f2(r.speedup_vs_exhaustive),
+                    r.identical_firings.to_string(),
+                    r.evaluations.to_string(),
+                    r.sparse_advances.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render(
+                "E15: delta-driven dispatch — sparse updates over many rules",
+                &[
+                    "rules",
+                    "relations",
+                    "delta",
+                    "us/state",
+                    "states/s",
+                    "speedup",
+                    "identical",
+                    "full evals",
+                    "sparse"
+                ],
+                &body,
+            )
+        );
+        // Machine-readable copy for tooling (scripts/bench_e15.sh and the
+        // CI smoke job via scripts/check_bench_e15.py).
+        let mut json = String::from("{\n  \"experiment\": \"e15\",\n  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"rules\": {}, \"relations\": {}, \"delta_dispatch\": {}, \
+                 \"us_per_state\": {:.3}, \"states_per_sec\": {:.1}, \
+                 \"speedup_vs_exhaustive\": {:.3}, \"identical_firings\": {}, \
+                 \"evaluations\": {}, \"sparse_advances\": {}}}{}\n",
+                r.rules,
+                r.relations,
+                r.delta_dispatch,
+                r.us_per_state,
+                r.states_per_sec,
+                r.speedup_vs_exhaustive,
+                r.identical_firings,
+                r.evaluations,
+                r.sparse_advances,
+                if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        match std::fs::write("BENCH_E15.json", &json) {
+            Ok(()) => eprintln!("[harness] wrote BENCH_E15.json"),
+            Err(e) => eprintln!("[harness] could not write BENCH_E15.json: {e}"),
         }
     }
 

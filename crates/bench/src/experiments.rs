@@ -18,8 +18,8 @@ use tdb_ptl::{parse_formula, Formula, Term};
 use tdb_relation::{Timestamp, Value};
 
 use crate::workload::{
-    hourly_average_formula, ibm_doubled_formula, item_watch_formula, set_price_ops, stock_db,
-    ticker_engine, watch_db, Ticker,
+    hourly_average_formula, ibm_doubled_formula, item_watch_formula, relation_watch_db,
+    set_price_ops, set_watch_row_ops, stock_db, ticker_engine, watch_db, Ticker,
 };
 
 fn micros(d: std::time::Duration) -> f64 {
@@ -156,10 +156,14 @@ pub fn e3_relevance(rule_counts: &[usize], states: usize, seed: u64) -> Vec<E3Ro
         .iter()
         .map(|&r| {
             let run = |filtering: bool| -> (u64, f64, Vec<(String, i64)>) {
+                // Delta dispatch (E15) would itself skip the unaffected
+                // rules; pin it off in both runs so the comparison isolates
+                // §8 relevance filtering against a truly exhaustive baseline.
                 let mut adb = ActiveDatabase::with_config(
                     watch_db(r),
                     ManagerConfig {
                         relevance_filtering: filtering,
+                        delta_dispatch: false,
                         ..Default::default()
                     },
                 );
@@ -1108,6 +1112,9 @@ pub struct E13Row {
     pub identical_firings: bool,
     /// Dispatch batches that actually ran on more than one worker.
     pub parallel_batches: u64,
+    /// Batches the adaptive scheduler demoted to one worker (too little
+    /// measured work per rule, or a single-CPU host).
+    pub adaptive_seq_batches: u64,
 }
 
 /// Theorem 1 makes dispatch embarrassingly parallel: each rule's formula
@@ -1127,16 +1134,22 @@ pub fn e13_parallel_dispatch(
 
     let mut out = Vec::new();
     for &r in rule_counts {
-        let run = |workers: usize| -> (f64, Vec<(String, i64, tdb_ptl::Env)>, u64) {
+        let run_once = |workers: usize| -> (f64, Vec<(String, i64, tdb_ptl::Env)>, u64, u64) {
             let mut adb = ActiveDatabase::with_config(
                 watch_db(r),
                 ManagerConfig {
-                    // No filtering: every rule looks at every state, which
-                    // is the regime parallel dispatch is for.
+                    // No filtering, no delta dispatch: every rule fully
+                    // evaluates every state, which is the regime parallel
+                    // dispatch is for.
                     relevance_filtering: false,
+                    delta_dispatch: false,
                     parallel: ParallelConfig {
                         workers,
                         min_rules_per_worker: 16,
+                        // Let the scheduler demote batches whose per-rule
+                        // work cannot amortize the thread spawns, so no
+                        // worker count reads slower than sequential.
+                        adaptive: true,
                     },
                     ..Default::default()
                 },
@@ -1169,15 +1182,41 @@ pub fn e13_parallel_dispatch(
                 .iter()
                 .map(|f| (f.rule.clone(), f.time.0, f.env.clone()))
                 .collect();
-            (us_per_state, firings, adb.stats().parallel_batches)
+            let stats = adb.stats();
+            (
+                us_per_state,
+                firings,
+                stats.parallel_batches,
+                stats.adaptive_seq_batches,
+            )
         };
+        // Interleaved best-of-five repetitions: the workload is
+        // deterministic, so the minimum is the least-noise estimate
+        // (container jitter only ever slows a run down), and sweeping the
+        // worker counts round-robin spreads that jitter across all
+        // configurations instead of biasing whichever ran last.
+        let mut sweep: Vec<usize> = vec![1];
+        sweep.extend(worker_counts.iter().copied().filter(|&w| w != 1));
+        type Rep = (f64, Vec<(String, i64, tdb_ptl::Env)>, u64, u64);
+        let mut best: std::collections::HashMap<usize, Rep> = std::collections::HashMap::new();
+        for _ in 0..5 {
+            for &w in &sweep {
+                let rep = run_once(w);
+                match best.get(&w) {
+                    Some(b) if rep.0 >= b.0 => {}
+                    _ => {
+                        best.insert(w, rep);
+                    }
+                }
+            }
+        }
 
-        let (seq_us, seq_firings, _) = run(1);
+        let (seq_us, seq_firings, _, _) = best[&1].clone();
         for &w in worker_counts {
-            let (us, firings, batches) = if w == 1 {
-                (seq_us, seq_firings.clone(), 0)
+            let (us, firings, batches, demoted) = if w == 1 {
+                (seq_us, seq_firings.clone(), 0, 0)
             } else {
-                run(w)
+                best[&w].clone()
             };
             out.push(E13Row {
                 rules: r,
@@ -1187,10 +1226,121 @@ pub fn e13_parallel_dispatch(
                 speedup_vs_seq: seq_us / us,
                 identical_firings: firings == seq_firings,
                 parallel_batches: batches,
+                adaptive_seq_batches: demoted,
             });
         }
     }
     out
+}
+
+// ===== E15: delta-driven dispatch — sparse updates over many rules ===========
+
+/// One row of the E15 table (one run configuration).
+#[derive(Debug, Clone)]
+pub struct E15Row {
+    pub rules: usize,
+    pub relations: usize,
+    /// Whether delta-driven dispatch was on for this run.
+    pub delta_dispatch: bool,
+    /// Full pipeline cost per state, µs (clock + commit + dispatch).
+    pub us_per_state: f64,
+    pub states_per_sec: f64,
+    /// Throughput relative to the exhaustive (delta off) run.
+    pub speedup_vs_exhaustive: f64,
+    /// The firing sequence (order included) equals the exhaustive run's.
+    pub identical_firings: bool,
+    /// Full evaluations performed.
+    pub evaluations: u64,
+    /// Sparse (fast-path) advances performed.
+    pub sparse_advances: u64,
+}
+
+/// The sparse-update regime the read-set index is for: many rules, each
+/// reading one of `relations` base relations, while every update touches
+/// exactly one relation. Exhaustive dispatch re-evaluates all `rules`
+/// conditions per state; delta dispatch fully evaluates only the
+/// `rules / relations` readers of the touched relation and moves the rest
+/// through the sparse path. Firings must be byte-identical — delta
+/// dispatch, unlike §8 relevance filtering, is not allowed to change
+/// semantics.
+pub fn e15_delta_dispatch(rules: usize, relations: usize, states: usize, seed: u64) -> Vec<E15Row> {
+    use tdb_core::{ManagerStats, ParallelConfig};
+    let relations = relations.max(1);
+
+    let run_once = |delta: bool| -> (f64, Vec<(String, i64, tdb_ptl::Env)>, ManagerStats) {
+        let mut adb = ActiveDatabase::with_config(
+            relation_watch_db(relations),
+            ManagerConfig {
+                relevance_filtering: false,
+                delta_dispatch: delta,
+                // Sequential: isolate the delta effect from thread scaling.
+                parallel: ParallelConfig::sequential(),
+                ..Default::default()
+            },
+        );
+        for i in 0..rules {
+            let j = i % relations;
+            // Edge-style temporal condition over one relation's single row.
+            let f = parse_formula(&format!("r{j}_q() > 100 and previously(r{j}_q() <= 100)"))
+                .expect("static formula");
+            adb.add_rule(Rule::trigger(format!("watch{i}"), f, Action::Notify))
+                .expect("registers");
+        }
+        let mut rng_state = seed;
+        let start = Instant::now();
+        for k in 0..states {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (rng_state >> 33) as usize % relations;
+            let value = 90 + (k as i64 % 21); // crosses 100 sometimes
+            adb.advance_clock(1).expect("clock");
+            let ops = set_watch_row_ops(adb.db(), j, value);
+            adb.update(ops).expect("update");
+        }
+        let us_per_state = micros(start.elapsed()) / states as f64;
+        let firings = adb
+            .firings()
+            .iter()
+            .map(|f| (f.rule.clone(), f.time.0, f.env.clone()))
+            .collect();
+        (us_per_state, firings, adb.stats())
+    };
+    // Best of two repetitions per configuration (deterministic workload;
+    // jitter only slows runs down).
+    let run = |delta: bool| {
+        let mut best = run_once(delta);
+        let rep = run_once(delta);
+        if rep.0 < best.0 {
+            best.0 = rep.0;
+        }
+        best
+    };
+
+    let (ex_us, ex_firings, ex_stats) = run(false);
+    let (d_us, d_firings, d_stats) = run(true);
+    vec![
+        E15Row {
+            rules,
+            relations,
+            delta_dispatch: false,
+            us_per_state: ex_us,
+            states_per_sec: 1e6 / ex_us,
+            speedup_vs_exhaustive: 1.0,
+            identical_firings: true,
+            evaluations: ex_stats.evaluations,
+            sparse_advances: ex_stats.sparse_advances,
+        },
+        E15Row {
+            rules,
+            relations,
+            delta_dispatch: true,
+            us_per_state: d_us,
+            states_per_sec: 1e6 / d_us,
+            speedup_vs_exhaustive: ex_us / d_us,
+            identical_firings: d_firings == ex_firings,
+            evaluations: d_stats.evaluations,
+            sparse_advances: d_stats.sparse_advances,
+        },
+    ]
 }
 
 // ===== E14: analyzer verdicts vs measured residual growth ==================

@@ -147,6 +147,52 @@ pub fn watch_db(n: usize) -> Database {
     db
 }
 
+/// A database with `n` single-row base relations `W0…W(n-1)` plus scalar
+/// reader queries `r<i>_q()` — the E15 sparse-update workload, exercising
+/// relation deltas (rather than scalar-item writes) end to end.
+pub fn relation_watch_db(n: usize) -> Database {
+    let mut db = Database::new();
+    for j in 0..n {
+        db.create_relation(
+            format!("W{j}"),
+            Relation::from_rows(Schema::untyped(&["v"]), vec![tuple![0i64]])
+                .expect("single seed row"),
+        )
+        .expect("fresh database");
+        db.define_query(
+            format!("r{j}_q"),
+            QueryDef::new(
+                0,
+                parse_query(&format!("select v from W{j}")).expect("static query"),
+            ),
+        );
+    }
+    db
+}
+
+/// The write-set replacing relation `W<j>`'s single row with `value`.
+pub fn set_watch_row_ops(db: &Database, j: usize, value: i64) -> Vec<WriteOp> {
+    let rel = format!("W{j}");
+    let old = db
+        .relation(&rel)
+        .expect("relation exists")
+        .iter()
+        .next()
+        .cloned();
+    let mut ops = Vec::with_capacity(2);
+    if let Some(old) = old {
+        ops.push(WriteOp::Delete {
+            relation: rel.clone(),
+            tuple: old,
+        });
+    }
+    ops.push(WriteOp::Insert {
+        relation: rel,
+        tuple: tuple![value],
+    });
+    ops
+}
+
 /// Login-session events: deterministic interleaving of logins/logouts for
 /// `users` users over `n` states.
 #[derive(Debug)]

@@ -24,13 +24,14 @@
 //! from bounded temporal operators retain only bounded state.
 
 use std::collections::{BTreeSet, HashMap};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use tdb_engine::SystemState;
 use tdb_ptl::{analysis, to_core, Formula, Term};
+use tdb_relation::{Timestamp, Value};
 
 use crate::error::{CoreError, Result};
-use crate::parteval::{build_pterm, parteval_atom, StateView};
+use crate::parteval::{build_pterm, parteval_atom_memo, StateView};
 use crate::residual::{
     prune_time, rand, residual_size, rfalse, rnot, ror, solve, subst, Env, Residual,
 };
@@ -69,9 +70,12 @@ pub struct EvaluatorState {
 }
 
 /// One node of the flattened subformula DAG (children precede parents).
+/// Atoms are interned process-wide (see [`intern_atom`]) so that the same
+/// atom occurring in different rules is one `Arc` — the pointer identity
+/// keys the cross-rule per-state memo in [`crate::parteval`].
 #[derive(Debug, Clone)]
 enum Node {
-    Atom(Formula),
+    Atom(Arc<Formula>),
     Not(usize),
     And(Vec<usize>),
     Or(Vec<usize>),
@@ -82,6 +86,63 @@ enum Node {
         term: Term,
         body: usize,
     },
+}
+
+/// A compiled condition: the subformula DAG plus its time-variable set.
+/// Compilation is a pure function of the core formula, so programs are
+/// shared process-wide — a thousand rules instantiated from the same
+/// condition template compile once and share one node array.
+#[derive(Debug, Clone)]
+struct Program {
+    nodes: Arc<[Node]>,
+    time_vars: Arc<BTreeSet<String>>,
+}
+
+/// Caps on the process-wide intern tables. Overflow clears the table:
+/// existing `Arc`s stay valid (sharing simply restarts), so the caps bound
+/// memory without affecting semantics.
+const PROGRAM_CACHE_CAP: usize = 1024;
+const ATOM_INTERN_CAP: usize = 4096;
+
+/// Compiles a core-form condition, reusing the process-wide program cache.
+fn compile_program(core: &Formula) -> Result<Program> {
+    static CACHE: OnceLock<Mutex<HashMap<Formula, Program>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(p) = cache.lock().expect("program cache lock").get(core) {
+        return Ok(p.clone());
+    }
+    let mut nodes = Vec::new();
+    let mut memo = HashMap::new();
+    build_nodes(core, &mut nodes, &mut memo)?;
+    let p = Program {
+        nodes: nodes.into(),
+        time_vars: Arc::new(analysis::time_vars(core)),
+    };
+    let mut c = cache.lock().expect("program cache lock");
+    if c.len() >= PROGRAM_CACHE_CAP {
+        c.clear();
+    }
+    c.insert(core.clone(), p.clone());
+    Ok(p)
+}
+
+/// Interns an atomic formula so that structurally identical atoms — within
+/// one rule or across rules — share one allocation. The returned pointer
+/// identity keys the per-state atom memo, which is what lets rule `B` reuse
+/// the partial evaluation rule `A` just paid for.
+fn intern_atom(f: &Formula) -> Arc<Formula> {
+    static ATOMS: OnceLock<Mutex<HashMap<Formula, Arc<Formula>>>> = OnceLock::new();
+    let table = ATOMS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut t = table.lock().expect("atom intern lock");
+    if let Some(a) = t.get(f) {
+        return a.clone();
+    }
+    if t.len() >= ATOM_INTERN_CAP {
+        t.clear();
+    }
+    let a = Arc::new(f.clone());
+    t.insert(f.clone(), a.clone());
+    a
 }
 
 /// The incremental evaluator for one condition.
@@ -100,6 +161,17 @@ pub struct IncrementalEvaluator {
     prev: Vec<Arc<Residual>>,
     /// Recycled buffer for the next `advance` call's `F_{g,i}` vector.
     scratch: Vec<Arc<Residual>>,
+    /// Last value each `Assign` node's ground term evaluated to, cached by
+    /// the full path so the sparse path can re-substitute without touching
+    /// the database. `None` until the node has been evaluated once (and
+    /// after a state import, whose snapshot does not carry term values).
+    assign_vals: Vec<Option<Value>>,
+    /// Whether the last advance was a *sparse pointer fixpoint*: it
+    /// reproduced `prev` slot for slot and the formula mentions no time
+    /// variables, so another sparse advance is guaranteed to be the
+    /// identity on the evaluator state (see
+    /// [`IncrementalEvaluator::at_sparse_fixpoint`]).
+    at_fixpoint: bool,
     started: bool,
     states_seen: usize,
 }
@@ -111,17 +183,16 @@ impl IncrementalEvaluator {
     pub fn new(f: &Formula, cfg: EvalConfig) -> Result<IncrementalEvaluator> {
         analysis::check_single_assignment(f)?;
         let core = to_core(f);
-        let time_vars = analysis::time_vars(&core);
-        let mut nodes = Vec::new();
-        let mut memo = HashMap::new();
-        build_nodes(&core, &mut nodes, &mut memo)?;
+        let Program { nodes, time_vars } = compile_program(&core)?;
         let n = nodes.len();
         Ok(IncrementalEvaluator {
-            nodes: nodes.into(),
-            time_vars: Arc::new(time_vars),
+            nodes,
+            time_vars,
             cfg,
             prev: vec![rfalse(); n],
             scratch: Vec::new(),
+            assign_vals: vec![None; n],
+            at_fixpoint: false,
             started: false,
             states_seen: 0,
         })
@@ -166,6 +237,10 @@ impl IncrementalEvaluator {
         self.prev = st.prev;
         self.started = st.started;
         self.states_seen = st.states_seen;
+        // Term-value caches are not part of the durable state; the sparse
+        // path stays unavailable until the next full advance refills them.
+        self.assign_vals = vec![None; self.nodes.len()];
+        self.at_fixpoint = false;
         Ok(())
     }
 
@@ -179,7 +254,7 @@ impl IncrementalEvaluator {
         let nodes = Arc::clone(&self.nodes);
         for (id, node) in nodes.iter().enumerate() {
             let r = match node {
-                Node::Atom(a) => parteval_atom(a, &view)?,
+                Node::Atom(a) => parteval_atom_memo(a, &view)?,
                 Node::Not(g) => rnot(cur[*g].clone()),
                 Node::And(gs) => rand(gs.iter().map(|&g| cur[g].clone())),
                 Node::Or(gs) => ror(gs.iter().map(|&g| cur[g].clone())),
@@ -202,14 +277,143 @@ impl IncrementalEvaluator {
                 }
                 Node::Assign { var, term, body } => {
                     let v = build_pterm(term, &view)?.eval_ground()?;
-                    subst(&cur[*body], var, &v)?
+                    let r = subst(&cur[*body], var, &v)?;
+                    self.assign_vals[id] = Some(v);
+                    r
                 }
             };
             cur.push(r);
         }
+        // A full advance read the database; make no fixpoint claim about
+        // the next state.
+        self.at_fixpoint = false;
+        self.finish_advance(cur, state.time())
+    }
 
-        if self.cfg.pruning {
-            let now = state.time();
+    /// Whether [`IncrementalEvaluator::advance_sparse`] may be used for the
+    /// next state: at least one full advance has run since compilation or
+    /// the last state import, so every `Assign` node has a cached term
+    /// value to re-substitute.
+    pub fn sparse_ready(&self) -> bool {
+        self.started
+            && self
+                .nodes
+                .iter()
+                .zip(&self.assign_vals)
+                .all(|(n, v)| !matches!(n, Node::Assign { .. }) || v.is_some())
+    }
+
+    /// Processes one system state *known not to intersect this condition's
+    /// read set* (no referenced event raised, no read relation/item
+    /// written, no clock use — established by the caller via the
+    /// [`ReadSetIndex`](crate::ReadSetIndex)). Semantics are identical to
+    /// [`IncrementalEvaluator::advance`], but no atom touches the database:
+    ///
+    /// * event atoms are `false` (none of the rule's events was raised);
+    /// * every other atom's partial evaluation equals last state's, so
+    ///   `F_{g,i} = F_{g,i-1}` is a pointer copy;
+    /// * connectives whose children all came out as pointer copies are
+    ///   themselves pointer copies — only `Lasttime`/`Since` (and anything
+    ///   above a changed child) recompute, via the usual Theorem 1
+    ///   recurrences over already-built residuals.
+    ///
+    /// Pointer equality is an optimization, not a correctness requirement:
+    /// when the hash-consing arena has dropped sharing the connective is
+    /// recomputed from the (equal) children, yielding the same residual.
+    pub fn advance_sparse(&mut self, now: Timestamp) -> Result<Arc<Residual>> {
+        assert!(
+            self.sparse_ready(),
+            "advance_sparse requires a prior full advance"
+        );
+        let mut cur = std::mem::take(&mut self.scratch);
+        cur.clear();
+        cur.reserve(self.nodes.len());
+        let nodes = Arc::clone(&self.nodes);
+        for (id, node) in nodes.iter().enumerate() {
+            let r = match node {
+                Node::Atom(a) => match &**a {
+                    // No event in the rule's read set occurred.
+                    Formula::Event { .. } => rfalse(),
+                    // Data atoms re-evaluate identically: copy `F_{g,i-1}`.
+                    _ => self.prev[id].clone(),
+                },
+                Node::Not(g) => {
+                    if Arc::ptr_eq(&cur[*g], &self.prev[*g]) {
+                        self.prev[id].clone()
+                    } else {
+                        rnot(cur[*g].clone())
+                    }
+                }
+                Node::And(gs) => {
+                    if gs.iter().all(|&g| Arc::ptr_eq(&cur[g], &self.prev[g])) {
+                        self.prev[id].clone()
+                    } else {
+                        rand(gs.iter().map(|&g| cur[g].clone()))
+                    }
+                }
+                Node::Or(gs) => {
+                    if gs.iter().all(|&g| Arc::ptr_eq(&cur[g], &self.prev[g])) {
+                        self.prev[id].clone()
+                    } else {
+                        ror(gs.iter().map(|&g| cur[g].clone()))
+                    }
+                }
+                Node::Lasttime(g) => self.prev[*g].clone(),
+                Node::Since(g, h) => ror([
+                    cur[*h].clone(),
+                    rand([cur[*g].clone(), self.prev[id].clone()]),
+                ]),
+                Node::Assign { var, body, .. } => {
+                    if Arc::ptr_eq(&cur[*body], &self.prev[*body]) {
+                        self.prev[id].clone()
+                    } else {
+                        let v = self.assign_vals[id]
+                            .as_ref()
+                            .expect("sparse_ready checked assign cache");
+                        subst(&cur[*body], var, v)?
+                    }
+                }
+            };
+            cur.push(r);
+        }
+        // Pointer fixpoint: the advance reproduced `prev` exactly, and with
+        // no time variables the §5 pruning is the identity too — so until
+        // an affecting delta arrives, further sparse advances cannot change
+        // the evaluator state and may be skipped outright (the dispatcher
+        // bumps `states_seen` via `note_noop_state`).
+        self.at_fixpoint =
+            self.time_vars.is_empty() && cur.iter().zip(&self.prev).all(|(a, b)| Arc::ptr_eq(a, b));
+        self.finish_advance(cur, now)
+    }
+
+    /// Whether the evaluator is at a sparse fixpoint: the last advance was
+    /// sparse and reproduced the formula states slot for slot. At a
+    /// fixpoint, processing another read-set-disjoint state is provably the
+    /// identity — same root residual, same satisfying bindings — so the
+    /// caller may replace [`IncrementalEvaluator::advance_sparse`] with
+    /// [`IncrementalEvaluator::note_noop_state`].
+    pub fn at_sparse_fixpoint(&self) -> bool {
+        self.at_fixpoint
+    }
+
+    /// Accounts for a state processed at a sparse fixpoint without touching
+    /// the formula states (which provably would not change).
+    pub fn note_noop_state(&mut self) {
+        debug_assert!(
+            self.at_fixpoint && self.sparse_ready(),
+            "note_noop_state requires a sparse fixpoint"
+        );
+        self.states_seen += 1;
+    }
+
+    /// Common tail of the full and sparse paths: Section 5 pruning, the
+    /// retained-size safety cap, and the `prev`/`scratch` buffer rotation.
+    fn finish_advance(
+        &mut self,
+        mut cur: Vec<Arc<Residual>>,
+        now: Timestamp,
+    ) -> Result<Arc<Residual>> {
+        if self.cfg.pruning && !self.time_vars.is_empty() {
             for r in cur.iter_mut() {
                 *r = prune_time(r, now, &self.time_vars);
             }
@@ -241,6 +445,13 @@ impl IncrementalEvaluator {
         let root = self.advance(state, index)?;
         solve(&root)
     }
+
+    /// Sparse counterpart of [`IncrementalEvaluator::advance_and_fire`];
+    /// see [`IncrementalEvaluator::advance_sparse`] for the precondition.
+    pub fn advance_sparse_and_fire(&mut self, now: Timestamp) -> Result<Vec<Env>> {
+        let root = self.advance_sparse(now)?;
+        solve(&root)
+    }
 }
 
 /// Compiles the formula into a flat node list, children before parents.
@@ -262,7 +473,7 @@ fn build_nodes(
         | Formula::False
         | Formula::Cmp(..)
         | Formula::Member { .. }
-        | Formula::Event { .. } => Node::Atom(f.clone()),
+        | Formula::Event { .. } => Node::Atom(intern_atom(f)),
         Formula::Not(g) => Node::Not(build_nodes(g, nodes, memo)?),
         Formula::And(gs) => {
             let ids = gs
@@ -573,6 +784,178 @@ mod tests {
         .unwrap();
         drive(&mut e, &mut ev, &mut fired); // logged out: no violation
         assert_eq!(fired, vec![false, false, true, false, false]);
+    }
+
+    /// On states that do not write the formula's read set, the sparse path
+    /// must produce byte-identical firings *and* byte-identical retained
+    /// formula states to a full advance.
+    #[test]
+    fn sparse_advance_matches_full_on_unaffected_states() {
+        let mut e = stock_engine();
+        set_price_at(&mut e, "IBM", 10, 1);
+        e.emit_event(tdb_engine::Event::simple("tick")).unwrap();
+        e.emit_event(tdb_engine::Event::simple("tick")).unwrap();
+        set_price_at(&mut e, "IBM", 25, 10);
+        e.emit_event(tdb_engine::Event::simple("tick")).unwrap();
+        set_price_at(&mut e, "IBM", 5, 20);
+        e.emit_event(tdb_engine::Event::simple("tick")).unwrap();
+
+        let formulas = [
+            "(price(\"IBM\") > 20 and previously(price(\"IBM\") <= 20)) \
+             or (price(\"IBM\") < 8 since price(\"IBM\") = 25)",
+            "[x := price(\"IBM\")] lasttime(price(\"IBM\") < x)",
+            "not previously(price(\"IBM\") > 20)",
+            "throughout_past(price(\"IBM\") < 100)",
+        ];
+        for src in formulas {
+            let f = parse_formula(src).unwrap();
+            let mut full = IncrementalEvaluator::compile(&f).unwrap();
+            let mut sparse = IncrementalEvaluator::compile(&f).unwrap();
+            assert!(!sparse.sparse_ready(), "sparse path needs a full advance");
+            let mut sparse_used = 0;
+            for (i, s) in e.history().iter() {
+                let a = full.advance_and_fire(s, i).unwrap();
+                let b = if !s.delta().touches("STOCK") && sparse.sparse_ready() {
+                    sparse_used += 1;
+                    sparse.advance_sparse_and_fire(s.time()).unwrap()
+                } else {
+                    sparse.advance_and_fire(s, i).unwrap()
+                };
+                assert_eq!(a, b, "firings diverge at state {i} for `{src}`");
+                assert_eq!(
+                    full.export_state(),
+                    sparse.export_state(),
+                    "formula states diverge at state {i} for `{src}`"
+                );
+            }
+            assert!(sparse_used >= 4, "history must exercise the sparse path");
+        }
+    }
+
+    /// Event atoms collapse to `false` on the sparse path (the rule's
+    /// events were not raised), keeping `since` chains exact.
+    #[test]
+    fn sparse_advance_handles_event_atoms() {
+        let mut e = stock_engine();
+        e.emit_event(tdb_engine::Event::new("login", vec![Value::str("X")]))
+            .unwrap();
+        e.emit_event(tdb_engine::Event::simple("tick")).unwrap();
+        e.emit_event(tdb_engine::Event::simple("tick")).unwrap();
+        e.emit_event(tdb_engine::Event::new("logout", vec![Value::str("X")]))
+            .unwrap();
+        e.emit_event(tdb_engine::Event::simple("tick")).unwrap();
+        let f = parse_formula("not @logout(\"X\") since @login(\"X\")").unwrap();
+        let mut full = IncrementalEvaluator::compile(&f).unwrap();
+        let mut sparse = IncrementalEvaluator::compile(&f).unwrap();
+        for (i, s) in e.history().iter() {
+            let relevant = s.delta().raises("login") || s.delta().raises("logout");
+            let a = full.advance_and_fire(s, i).unwrap();
+            let b = if !relevant && sparse.sparse_ready() {
+                sparse.advance_sparse_and_fire(s.time()).unwrap()
+            } else {
+                sparse.advance_and_fire(s, i).unwrap()
+            };
+            assert_eq!(a, b, "firings diverge at state {i}");
+            assert_eq!(full.export_state(), sparse.export_state());
+        }
+    }
+
+    /// Once a sparse advance reaches a pointer fixpoint, skipping further
+    /// unaffected states entirely (`note_noop_state`) leaves the evaluator
+    /// in exactly the state repeated sparse advances would: same formula
+    /// states, same counters, same future behavior.
+    #[test]
+    fn sparse_fixpoint_skip_is_exact() {
+        let mut e = stock_engine();
+        set_price_at(&mut e, "IBM", 10, 1);
+        let f =
+            parse_formula("price(\"IBM\") > 100 and previously(price(\"IBM\") <= 100)").unwrap();
+        let mut stepped = IncrementalEvaluator::compile(&f).unwrap();
+        let mut skipped = IncrementalEvaluator::compile(&f).unwrap();
+        let i = e.history().last_index().unwrap();
+        let s = e.history().get(i).unwrap().clone();
+        for ev in [&mut stepped, &mut skipped] {
+            ev.advance(&s, i).unwrap();
+            ev.advance_sparse(tdb_relation::Timestamp(2)).unwrap();
+            assert!(ev.at_sparse_fixpoint());
+        }
+        for k in 0..3 {
+            stepped
+                .advance_sparse(tdb_relation::Timestamp(3 + k))
+                .unwrap();
+            skipped.note_noop_state();
+        }
+        assert_eq!(stepped.export_state(), skipped.export_state());
+        assert!(stepped.at_sparse_fixpoint() && skipped.at_sparse_fixpoint());
+        // Both resume identically when the read set is finally written.
+        set_price_at(&mut e, "IBM", 120, 9);
+        let i = e.history().last_index().unwrap();
+        let s = e.history().get(i).unwrap().clone();
+        let a = stepped.advance_and_fire(&s, i).unwrap();
+        let b = skipped.advance_and_fire(&s, i).unwrap();
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "the crossing fires");
+        assert_eq!(stepped.export_state(), skipped.export_state());
+    }
+
+    #[test]
+    fn import_state_disables_sparse_until_full_advance() {
+        let mut e = stock_engine();
+        set_price_at(&mut e, "IBM", 10, 1);
+        set_price_at(&mut e, "IBM", 25, 2);
+        let f = parse_formula("[x := price(\"IBM\")] lasttime(price(\"IBM\") < x)").unwrap();
+        let mut ev = IncrementalEvaluator::compile(&f).unwrap();
+        for (i, s) in e.history().iter() {
+            ev.advance(s, i).unwrap();
+        }
+        assert!(ev.sparse_ready());
+        let snap = ev.export_state();
+        let mut restored = IncrementalEvaluator::compile(&f).unwrap();
+        restored.import_state(snap).unwrap();
+        assert!(
+            !restored.sparse_ready(),
+            "assign caches are not durable; a full advance must refill them"
+        );
+        let i = e.history().last_index().unwrap() + 1;
+        let s = SystemState::new(
+            e.db().clone(),
+            tdb_engine::EventSet::new(),
+            tdb_relation::Timestamp(9),
+        );
+        restored.advance(&s, i).unwrap();
+        assert!(restored.sparse_ready());
+    }
+
+    /// Evaluators compiled from the same condition share one program, and
+    /// evaluators compiled from *different* conditions share the interned
+    /// atoms they have in common — the pointer identities that key the
+    /// cross-rule memo in `parteval`.
+    #[test]
+    fn programs_and_atoms_are_interned_across_evaluators() {
+        let f =
+            parse_formula("price(\"IBM\") > 100 and previously(price(\"IBM\") <= 100)").unwrap();
+        let a = IncrementalEvaluator::compile(&f).unwrap();
+        let b = IncrementalEvaluator::compile(&f).unwrap();
+        assert!(
+            Arc::ptr_eq(&a.nodes, &b.nodes),
+            "same condition must compile to one shared program"
+        );
+        let g = parse_formula("price(\"IBM\") > 100").unwrap();
+        let c = IncrementalEvaluator::compile(&g).unwrap();
+        let c_atom = c
+            .nodes
+            .iter()
+            .find_map(|n| match n {
+                Node::Atom(x) => Some(x.clone()),
+                _ => None,
+            })
+            .expect("atomic condition has an atom node");
+        assert!(
+            a.nodes
+                .iter()
+                .any(|n| matches!(n, Node::Atom(x) if Arc::ptr_eq(x, &c_atom))),
+            "shared atom must be one interned Arc across different programs"
+        );
     }
 
     #[test]

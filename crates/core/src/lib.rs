@@ -27,6 +27,7 @@ pub mod incremental;
 pub mod manager;
 pub mod parallel;
 pub mod parteval;
+pub mod readset;
 pub mod residual;
 pub mod rules;
 pub mod storage;
@@ -43,6 +44,7 @@ pub use manager::{
     executed_relation_name, GateOutcome, ManagerConfig, ManagerStats, RuleManager, RuleState,
 };
 pub use parallel::ParallelConfig;
+pub use readset::ReadSetIndex;
 pub use residual::{intern_arc, interned_count};
 pub use rules::{Action, ActionOp, FiringRecord, Program, Rule, RuleKind, TXN_VAR};
 pub use storage::{LogicalOp, MemorySink, SharedMemorySink, SystemSnapshot, WalSink};

@@ -30,6 +30,7 @@ use crate::aggregate::rewrite_aggregates;
 use crate::error::{CoreError, Result};
 use crate::incremental::{EvalConfig, EvaluatorState, IncrementalEvaluator};
 use crate::parallel::{run_partitioned, ParallelConfig};
+use crate::readset::ReadSetIndex;
 use crate::residual::solve;
 use crate::rules::{Action, ActionOp, FiringRecord, Rule, RuleKind};
 
@@ -39,10 +40,16 @@ pub fn executed_relation_name(rule: &str) -> String {
 }
 
 /// Manager configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ManagerConfig {
     /// Enable Section 8 relevance filtering.
     pub relevance_filtering: bool,
+    /// Enable delta-driven dispatch (default on): rules whose read set does
+    /// not intersect the state's [`Delta`](tdb_relation::Delta) advance
+    /// through the sparse fast path instead of re-evaluating their atoms.
+    /// Unlike relevance filtering this never changes semantics — every rule
+    /// still advances at every state and firings are byte-identical.
+    pub delta_dispatch: bool,
     /// Evaluator configuration shared by all rules.
     pub eval: EvalConfig,
     /// Worker-pool configuration for dispatch/gate batches.
@@ -55,10 +62,22 @@ pub struct ManagerConfig {
     pub lint: LintLevel,
 }
 
-/// Counters for the experiments (E3, E13).
+impl Default for ManagerConfig {
+    fn default() -> ManagerConfig {
+        ManagerConfig {
+            relevance_filtering: false,
+            delta_dispatch: true,
+            eval: EvalConfig::default(),
+            parallel: ParallelConfig::default(),
+            lint: LintLevel::default(),
+        }
+    }
+}
+
+/// Counters for the experiments (E3, E13, E15).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ManagerStats {
-    /// Rule-state evaluations performed.
+    /// Full rule-state evaluations performed (atoms re-evaluated).
     pub evaluations: u64,
     /// Rule-state evaluations skipped by relevance filtering.
     pub skips: u64,
@@ -66,6 +85,12 @@ pub struct ManagerStats {
     pub firings: u64,
     /// Dispatch/gate batches that actually ran on more than one worker.
     pub parallel_batches: u64,
+    /// Sparse advances: rules moved forward through the delta-dispatch
+    /// fast path because the state's delta missed their read set.
+    pub sparse_advances: u64,
+    /// Batches the adaptive scheduler demoted to one worker because the
+    /// measured per-rule cost would not amortize the thread spawns.
+    pub adaptive_seq_batches: u64,
     /// Evaluations performed by each worker (index = worker id); index 0
     /// includes sequential batches run on the caller's thread.
     pub worker_evaluations: Vec<u64>,
@@ -117,8 +142,73 @@ pub struct RuleManager {
     cfg: ManagerConfig,
     runtimes: Vec<RuleRuntime>,
     stats: ManagerStats,
+    /// Inverted read-set index for delta-driven dispatch; grows with
+    /// `runtimes` (same ids, registration order).
+    index: ReadSetIndex,
+    /// Scratch bitmap for [`ReadSetIndex::affected`], recycled per state.
+    affected: Vec<bool>,
+    /// Smoothed cost of one full evaluation in nanoseconds, measured on
+    /// sequential batches; feeds the adaptive spawn decision.
+    ewma_eval_ns: Option<f64>,
     /// Warn-level (and below) findings accumulated at registration.
     lint_findings: Vec<Diagnostic>,
+}
+
+/// Rough cost of spawning and joining one scoped worker thread; a batch
+/// must carry at least this much measured work per worker before the
+/// adaptive scheduler lets it fan out.
+const SPAWN_COST_NS: f64 = 60_000.0;
+
+/// Wall-clock probe for the adaptive scheduler. Returns `None` under miri,
+/// whose isolation forbids clock reads (core unit tests stay I/O-free); the
+/// scheduler then never calibrates and stays sequential, which is also the
+/// only sensible choice inside the interpreter.
+fn probe_clock() -> Option<std::time::Instant> {
+    if cfg!(miri) {
+        None
+    } else {
+        Some(std::time::Instant::now())
+    }
+}
+
+/// Worker count for a batch of `items` rules of which `full` take the full
+/// evaluation path, after the adaptive demotion: on a single-CPU host, or
+/// while uncalibrated, or when the measured full-evaluation cost cannot
+/// amortize one spawn per worker, the batch runs on the caller's thread.
+/// Returns `(workers, demoted)`; the caller records demotions in
+/// `adaptive_seq_batches`. A free function over the config and cost
+/// estimate so dispatch can call it while holding rule borrows.
+fn plan_workers(
+    parallel: &ParallelConfig,
+    ewma_eval_ns: Option<f64>,
+    items: usize,
+    full: usize,
+) -> (usize, bool) {
+    let workers = parallel.effective_workers(items);
+    if workers <= 1 || !parallel.adaptive {
+        return (workers, false);
+    }
+    let worth = multi_cpu()
+        && match ewma_eval_ns {
+            // Uncalibrated: run sequentially once to measure.
+            None => false,
+            Some(per) => per * full as f64 > SPAWN_COST_NS * workers as f64,
+        };
+    if worth {
+        (workers, false)
+    } else {
+        (1, true)
+    }
+}
+
+/// Whether the host exposes more than one CPU, cached per process.
+fn multi_cpu() -> bool {
+    static MULTI: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *MULTI.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get() > 1)
+            .unwrap_or(true)
+    })
 }
 
 impl RuleManager {
@@ -127,6 +217,9 @@ impl RuleManager {
             cfg,
             runtimes: Vec::new(),
             stats: ManagerStats::default(),
+            index: ReadSetIndex::new(),
+            affected: Vec::new(),
+            ewma_eval_ns: None,
             lint_findings: Vec::new(),
         }
     }
@@ -264,6 +357,8 @@ impl RuleManager {
             let _ = evaluator.advance(&prime, idx)?;
         }
 
+        self.index
+            .insert(self.runtimes.len(), &events, &data, uses_time);
         self.runtimes.push(RuleRuntime {
             rule,
             evaluator,
@@ -316,10 +411,18 @@ impl RuleManager {
         constraints_already_advanced: bool,
     ) -> Result<Vec<FiringRecord>> {
         // Phase 1 (sequential): relevance filtering picks the rules that
-        // must look at this state, preserving registration order.
+        // must look at this state, preserving registration order; the
+        // read-set index picks, among those, the rules the state's delta
+        // can actually reach — the rest take the sparse path.
         let relevance = self.cfg.relevance_filtering;
-        let mut selected: Vec<&mut RuleRuntime> = Vec::new();
-        for rt in self.runtimes.iter_mut() {
+        let delta = self.cfg.delta_dispatch;
+        let mut affected = std::mem::take(&mut self.affected);
+        if delta {
+            self.index.affected(state.delta(), &mut affected);
+        }
+        let mut full = 0usize;
+        let mut selected: Vec<(bool, &mut RuleRuntime)> = Vec::new();
+        for (id, rt) in self.runtimes.iter_mut().enumerate() {
             if rt.rule.kind == RuleKind::Constraint && constraints_already_advanced {
                 continue;
             }
@@ -327,20 +430,55 @@ impl RuleManager {
                 self.stats.skips += 1;
                 continue;
             }
-            selected.push(rt);
+            let sparse = delta && !affected[id] && rt.evaluator.sparse_ready();
+            full += usize::from(!sparse);
+            selected.push((sparse, rt));
         }
+        self.affected = affected;
 
         // Phase 2: advance each selected rule's evaluator and apply the
-        // edge-trigger filter, in parallel when the batch is large enough.
-        let workers = self.cfg.parallel.effective_workers(selected.len());
+        // edge-trigger filter, in parallel when the batch is large enough
+        // (and the adaptive scheduler judges it worth the spawns).
+        let (workers, demoted) =
+            plan_workers(&self.cfg.parallel, self.ewma_eval_ns, selected.len(), full);
+        self.stats.adaptive_seq_batches += u64::from(demoted);
+        let t0 = probe_clock();
         let results = run_partitioned(&mut selected, workers, |worker, chunk| {
             let mut evaluations = 0u64;
+            let mut sparse_advances = 0u64;
             let mut firings: Vec<FiringRecord> = Vec::new();
-            for rt in chunk.iter_mut() {
-                evaluations += 1;
-                // `advance_and_fire` returns the satisfying bindings
-                // sorted and deduplicated.
-                let satisfied = rt.evaluator.advance_and_fire(state, idx)?;
+            for (sparse, rt) in chunk.iter_mut() {
+                if *sparse
+                    && rt.evaluator.at_sparse_fixpoint()
+                    && (rt.rule.edge_triggered || rt.last_envs.is_empty())
+                {
+                    // The evaluator is at a sparse fixpoint, so this state
+                    // cannot change its formula states or its satisfying
+                    // bindings; with the edge filter those bindings cannot
+                    // fire again either (and a level-triggered rule only
+                    // lands here with nothing satisfied). The whole advance
+                    // degenerates to a counter bump.
+                    rt.evaluator.note_noop_state();
+                    sparse_advances += 1;
+                    continue;
+                }
+                // Both paths return the satisfying bindings sorted and
+                // deduplicated.
+                let satisfied = if *sparse {
+                    sparse_advances += 1;
+                    rt.evaluator.advance_sparse_and_fire(state.time())?
+                } else {
+                    evaluations += 1;
+                    rt.evaluator.advance_and_fire(state, idx)?
+                };
+                if satisfied.is_empty() {
+                    // No-op rule: clear the edge memory in place, touching
+                    // no allocations on the (common) sparse fast path.
+                    if !rt.last_envs.is_empty() {
+                        rt.last_envs.clear();
+                    }
+                    continue;
+                }
                 for env in &satisfied {
                     if rt.rule.edge_triggered && rt.last_envs.binary_search(env).is_ok() {
                         // Still satisfied, but not newly: no rising edge.
@@ -355,8 +493,9 @@ impl RuleManager {
                 }
                 rt.last_envs = satisfied;
             }
-            Ok::<_, CoreError>((worker, evaluations, firings))
+            Ok::<_, CoreError>((worker, evaluations, sparse_advances, firings))
         });
+        self.note_batch_cost(t0, workers, full);
 
         // Phase 3 (sequential): merge. Chunks are contiguous slices of the
         // registration-ordered selection, so concatenation restores the
@@ -366,13 +505,29 @@ impl RuleManager {
         }
         let mut out = Vec::new();
         for r in results {
-            let (worker, evaluations, firings) = r?;
+            let (worker, evaluations, sparse_advances, firings) = r?;
             self.stats.evaluations += evaluations;
+            self.stats.sparse_advances += sparse_advances;
             self.stats.record_worker(worker, evaluations);
             self.stats.firings += firings.len() as u64;
             out.extend(firings);
         }
         Ok(out)
+    }
+
+    /// Folds a sequential batch's wall time into the per-evaluation cost
+    /// estimate (parallel batches are skipped: their elapsed time divides
+    /// across threads and would skew the estimate low).
+    fn note_batch_cost(&mut self, t0: Option<std::time::Instant>, workers: usize, full: usize) {
+        let Some(t0) = t0 else { return };
+        if workers != 1 || full == 0 {
+            return;
+        }
+        let per = t0.elapsed().as_nanos() as f64 / full as f64;
+        self.ewma_eval_ns = Some(match self.ewma_eval_ns {
+            None => per,
+            Some(e) => 0.7 * e + 0.3 * per,
+        });
     }
 
     /// Evaluates every constraint against a candidate commit state, on
@@ -385,26 +540,46 @@ impl RuleManager {
     /// node program is shared, only the previous-state pointers are
     /// copied), so each worker advances private clones.
     pub fn gate(&mut self, candidate: &SystemState, idx: usize) -> Result<GateOutcome> {
-        let mut selected: Vec<(usize, &RuleRuntime)> = self
-            .runtimes
-            .iter()
-            .enumerate()
-            .filter(|(_, rt)| rt.rule.kind == RuleKind::Constraint)
-            .collect();
+        let delta = self.cfg.delta_dispatch;
+        let mut affected = std::mem::take(&mut self.affected);
+        if delta {
+            self.index.affected(candidate.delta(), &mut affected);
+        }
+        let mut full = 0usize;
+        let mut selected: Vec<(bool, usize, &RuleRuntime)> = Vec::new();
+        for (k, rt) in self.runtimes.iter().enumerate() {
+            if rt.rule.kind != RuleKind::Constraint {
+                continue;
+            }
+            let sparse = delta && !affected[k] && rt.evaluator.sparse_ready();
+            full += usize::from(!sparse);
+            selected.push((sparse, k, rt));
+        }
+        self.affected = affected;
 
-        let workers = self.cfg.parallel.effective_workers(selected.len());
+        let (workers, demoted) =
+            plan_workers(&self.cfg.parallel, self.ewma_eval_ns, selected.len(), full);
+        self.stats.adaptive_seq_batches += u64::from(demoted);
+        let t0 = probe_clock();
         let results = run_partitioned(&mut selected, workers, |worker, chunk| {
             let mut evaluations = 0u64;
+            let mut sparse_advances = 0u64;
             let mut entries = Vec::with_capacity(chunk.len());
-            for (k, rt) in chunk.iter() {
+            for (sparse, k, rt) in chunk.iter() {
                 let mut clone = rt.evaluator.clone();
-                evaluations += 1;
-                let root = clone.advance(candidate, idx)?;
+                let root = if *sparse {
+                    sparse_advances += 1;
+                    clone.advance_sparse(candidate.time())?
+                } else {
+                    evaluations += 1;
+                    clone.advance(candidate, idx)?
+                };
                 let envs = solve(&root)?;
                 entries.push((*k, rt.rule.name.clone(), clone, envs));
             }
-            Ok::<_, CoreError>((worker, evaluations, entries))
+            Ok::<_, CoreError>((worker, evaluations, sparse_advances, entries))
         });
+        self.note_batch_cost(t0, workers, full);
 
         if workers > 1 {
             self.stats.parallel_batches += 1;
@@ -412,8 +587,9 @@ impl RuleManager {
         let mut violations = Vec::new();
         let mut clones = Vec::new();
         for r in results {
-            let (worker, evaluations, entries) = r?;
+            let (worker, evaluations, sparse_advances, entries) = r?;
             self.stats.evaluations += evaluations;
+            self.stats.sparse_advances += sparse_advances;
             self.stats.record_worker(worker, evaluations);
             for (k, name, clone, envs) in entries {
                 for env in envs {

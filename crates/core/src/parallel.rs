@@ -26,6 +26,12 @@ pub struct ParallelConfig {
     /// Minimum rules per worker before another thread is worth spawning;
     /// batches smaller than `2 * min_rules_per_worker` run sequentially.
     pub min_rules_per_worker: usize,
+    /// Let the manager fall back to a sequential batch when the measured
+    /// per-rule cost says the batch is too cheap to amortize thread spawns
+    /// (or the host has a single CPU). Purely a scheduling decision —
+    /// results are byte-identical either way. Disable to force the
+    /// partitioned path whenever `effective_workers` allows it.
+    pub adaptive: bool,
 }
 
 impl Default for ParallelConfig {
@@ -33,6 +39,7 @@ impl Default for ParallelConfig {
         ParallelConfig {
             workers: env_workers(),
             min_rules_per_worker: 16,
+            adaptive: true,
         }
     }
 }
@@ -43,6 +50,7 @@ impl ParallelConfig {
         ParallelConfig {
             workers: 1,
             min_rules_per_worker: 16,
+            adaptive: true,
         }
     }
 
@@ -108,6 +116,7 @@ mod tests {
         let cfg = ParallelConfig {
             workers: 8,
             min_rules_per_worker: 16,
+            adaptive: true,
         };
         assert_eq!(cfg.effective_workers(0), 1);
         assert_eq!(cfg.effective_workers(10), 1);

@@ -7,11 +7,13 @@
 //! — the in-memory analogue of the paper's auxiliary relations indexed by
 //! timestamp.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use tdb_engine::SystemState;
 use tdb_ptl::{Formula, Term};
-use tdb_relation::CmpOp;
+use tdb_relation::{CmpOp, Database, Timestamp};
 
 use crate::error::{CoreError, Result};
 use crate::residual::{rand, rcmp, rfalse, ror, rtrue, PTerm, Residual, Snapshot};
@@ -145,6 +147,77 @@ pub fn parteval_atom(f: &Formula, view: &StateView<'_>) -> Result<Arc<Residual>>
             "parteval_atom called on non-atomic formula {other}"
         )))),
     }
+}
+
+/// Cross-rule atom memo. The partial evaluation of a *data* atom is a pure
+/// function of the atom and the snapshot — `(index, database, clock)` —
+/// so when rules share a subformula (the compiler interns atoms
+/// process-wide, see [`crate::incremental`]), the first rule to evaluate
+/// it at a state pays for the query and every other rule reuses the
+/// residual. Sharded so parallel dispatch workers do not serialize on one
+/// lock.
+const MEMO_SHARDS: usize = 16;
+
+struct AtomMemoShard {
+    /// The state this shard's entries were computed at. The database `Arc`
+    /// is held strong so its address cannot be recycled while the epoch
+    /// compares by pointer.
+    epoch: Option<(u64, Timestamp, Arc<Database>)>,
+    /// Atom address → (the atom held strong, so the address cannot be
+    /// reused while the entry lives; its residual at this epoch).
+    map: HashMap<usize, (Arc<Formula>, Arc<Residual>)>,
+}
+
+fn memo_shards() -> &'static [Mutex<AtomMemoShard>; MEMO_SHARDS] {
+    static SHARDS: OnceLock<[Mutex<AtomMemoShard>; MEMO_SHARDS]> = OnceLock::new();
+    SHARDS.get_or_init(|| {
+        std::array::from_fn(|_| {
+            Mutex::new(AtomMemoShard {
+                epoch: None,
+                map: HashMap::new(),
+            })
+        })
+    })
+}
+
+static MEMO_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of atom evaluations answered from the memo.
+pub fn atom_memo_hits() -> u64 {
+    MEMO_HITS.load(Ordering::Relaxed)
+}
+
+/// Memoizing wrapper around [`parteval_atom`], keyed by the atom's interned
+/// address within the current state's epoch. Event atoms bypass the memo:
+/// they read the event set, which the epoch does not fingerprint, and they
+/// never touch the database anyway.
+pub fn parteval_atom_memo(atom: &Arc<Formula>, view: &StateView<'_>) -> Result<Arc<Residual>> {
+    if matches!(
+        &**atom,
+        Formula::Event { .. } | Formula::True | Formula::False
+    ) {
+        return parteval_atom(atom, view);
+    }
+    let key = Arc::as_ptr(atom) as usize;
+    let now = view.state.time();
+    let mut shard = memo_shards()[(key >> 5) % MEMO_SHARDS]
+        .lock()
+        .expect("atom memo lock");
+    let current = shard.epoch.as_ref().is_some_and(|(id, t, db)| {
+        *id == view.snap.id && *t == now && Arc::ptr_eq(db, &view.snap.db)
+    });
+    if !current {
+        shard.map.clear();
+        shard.epoch = Some((view.snap.id, now, view.snap.db.clone()));
+    } else if let Some((a, r)) = shard.map.get(&key) {
+        if Arc::ptr_eq(a, atom) {
+            MEMO_HITS.fetch_add(1, Ordering::Relaxed);
+            return Ok(r.clone());
+        }
+    }
+    let r = parteval_atom(atom, view)?;
+    shard.map.insert(key, (atom.clone(), r.clone()));
+    Ok(r)
 }
 
 #[cfg(test)]
@@ -291,6 +364,69 @@ mod tests {
             parteval_atom(&f, &v),
             Err(CoreError::UnrewrittenAggregate)
         ));
+    }
+
+    /// The memo must not leak one state's residual into another: same atom,
+    /// same snapshot id, different database ⇒ fresh evaluation.
+    #[test]
+    fn atom_memo_respects_state_epochs() {
+        let atom = Arc::new(Formula::cmp(
+            CmpOp::Gt,
+            Term::query("price", vec![Term::lit("IBM")]),
+            Term::lit(50i64),
+        ));
+        let s1 = view_state(); // IBM at 72
+        let r1 = parteval_atom_memo(&atom, &StateView::new(&s1, 0)).unwrap();
+        assert_eq!(*r1, Residual::True);
+        let mut db = Database::new();
+        db.create_relation(
+            "STOCK",
+            Relation::from_rows(
+                Schema::untyped(&["name", "price"]),
+                vec![tuple!["IBM", 10i64]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.define_query(
+            "price",
+            QueryDef::new(
+                1,
+                parse_query("select price from STOCK where name = $0").unwrap(),
+            ),
+        );
+        let s2 = SystemState::new(db, EventSet::new(), Timestamp(7));
+        let r2 = parteval_atom_memo(&atom, &StateView::new(&s2, 0)).unwrap();
+        assert_eq!(*r2, Residual::False);
+    }
+
+    /// Back-to-back evaluations of one interned atom at one state hit the
+    /// memo. (Other tests share the process-wide shards, so the hit is
+    /// retried across fresh epochs rather than asserted on the first try.)
+    #[test]
+    fn atom_memo_hits_on_repeated_evaluation() {
+        let s = view_state();
+        let atom = Arc::new(Formula::cmp(
+            CmpOp::Gt,
+            Term::query("price", vec![Term::lit("DEC")]),
+            Term::lit(40i64),
+        ));
+        let mut observed = false;
+        for i in 0..50 {
+            let v = StateView::new(&s, 100 + i);
+            let before = atom_memo_hits();
+            let a = parteval_atom_memo(&atom, &v).unwrap();
+            let b = parteval_atom_memo(&atom, &v).unwrap();
+            assert_eq!(a, b);
+            if atom_memo_hits() > before {
+                observed = true;
+                break;
+            }
+        }
+        assert!(
+            observed,
+            "repeated evaluation at one state should hit the memo"
+        );
     }
 
     #[test]

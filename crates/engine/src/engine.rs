@@ -216,7 +216,9 @@ impl Engine {
     pub fn prepare_commit(&mut self, txn: TxnId) -> Result<PreparedCommit> {
         let t = self.open.get(&txn).ok_or(EngineError::NoSuchTxn(txn))?;
         let mut post = self.db.clone();
+        post.track_changes();
         t.apply_all(&mut post)?;
+        let touched = post.take_changes();
 
         let mut events = EventSet::of([Event::attempts_to_commit(txn), Event::txn_commit(txn)]);
         for target in t.touched() {
@@ -225,7 +227,7 @@ impl Engine {
         let time = self.next_state_time()?;
         Ok(PreparedCommit {
             txn,
-            candidate: SystemState::new(post, events, time),
+            candidate: SystemState::with_delta(post, events, time, touched),
         })
     }
 
@@ -271,7 +273,9 @@ impl Engine {
             txn.push_write(op);
         }
         let mut post = self.db.clone();
+        post.track_changes();
         txn.apply_all(&mut post)?;
+        let touched = post.take_changes();
         let mut events = EventSet::of([Event::attempts_to_commit(id), Event::txn_commit(id)]);
         for target in txn.touched() {
             events.insert(Event::update(&target));
@@ -283,7 +287,7 @@ impl Engine {
         self.open.insert(id, txn);
         Ok(PreparedCommit {
             txn: id,
-            candidate: SystemState::new(post, events, time),
+            candidate: SystemState::with_delta(post, events, time, touched),
         })
     }
 
@@ -299,14 +303,18 @@ impl Engine {
             txn.push_write(op);
         }
         let mut post = self.db.clone();
+        post.track_changes();
         txn.apply_all(&mut post)?;
+        let touched = post.take_changes();
         let mut events = EventSet::of([Event::attempts_to_commit(id), Event::txn_commit(id)]);
         for target in txn.touched() {
             events.insert(Event::update(&target));
         }
         let time = self.next_state_time()?;
         self.db = post.clone();
-        Ok(self.history.push(SystemState::new(post, events, time)))
+        Ok(self
+            .history
+            .push(SystemState::with_delta(post, events, time, touched)))
     }
 
     /// One-shot convenience: begin, apply `ops`, commit unconditionally.

@@ -34,5 +34,6 @@ pub use engine::{Engine, PreparedCommit};
 pub use error::{EngineError, Result};
 pub use event::{Event, EventSet};
 pub use state::{History, SystemState, TIME_ITEM};
+pub use tdb_relation::Delta;
 pub use txn::{Transaction, TxnId, TxnStatus, Write, WriteOp};
 pub use validtime::VtEngine;

@@ -8,32 +8,85 @@
 use std::fmt;
 use std::sync::Arc;
 
-use tdb_relation::{Database, Timestamp, Value};
+use tdb_relation::{Database, Delta, Timestamp, Value};
 
+use crate::event::names::UPDATE;
 use crate::event::EventSet;
 
 /// The reserved name of the data item exposing the global clock.
 pub const TIME_ITEM: &str = "time";
 
 /// One snapshot of the system: database state + simultaneous events + time.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct SystemState {
     /// Shared so that per-rule evaluation (and snapshots of the state taken
     /// by residual formulas) can hold the database without copying it.
     db: Arc<Database>,
     events: EventSet,
     time: Timestamp,
+    /// What this state changed: touched catalog names + raised event names.
+    /// Shared because dispatch consults it once per registered rule set.
+    delta: Arc<Delta>,
+}
+
+/// Equality compares the observable state — database, events, time. The
+/// delta is derived data (commit states carry one `update(target)` event
+/// per touched name, so it reconstructs from the event set) and two equal
+/// states always carry equal deltas.
+impl PartialEq for SystemState {
+    fn eq(&self, other: &SystemState) -> bool {
+        self.db == other.db && self.events == other.events && self.time == other.time
+    }
+}
+
+/// Reconstructs the delta a state's event set implies: `update(target)`
+/// events name the touched catalog entries; every event name is "raised".
+fn delta_from_events(events: &EventSet) -> Delta {
+    let mut touched = Vec::new();
+    for e in events.named(UPDATE) {
+        if let Some(target) = e.args().first().and_then(|v| v.as_str()) {
+            touched.push(target.to_string());
+        }
+    }
+    let raised = events.iter().map(|e| e.name().to_string()).collect();
+    Delta::new(touched, raised)
 }
 
 impl SystemState {
     /// Builds a state, stamping the `time` data item into the snapshot so
-    /// that queries (and PTL terms) can read the clock.
+    /// that queries (and PTL terms) can read the clock. The delta is
+    /// derived from the event set (sufficient for every state the engine
+    /// produces, since commits tag their writes with `update` events).
     pub fn new(mut db: Database, events: EventSet, time: Timestamp) -> SystemState {
+        let delta = delta_from_events(&events);
         db.set_item(TIME_ITEM, Value::Time(time));
         SystemState {
             db: Arc::new(db),
             events,
             time,
+            delta: Arc::new(delta),
+        }
+    }
+
+    /// Builds a state with an explicitly tracked write set (from
+    /// [`Database::track_changes`]); the engine's commit paths use this so
+    /// the delta comes from the writes actually applied rather than from
+    /// the event annotations. The two sources coincide for engine-built
+    /// states — [`SystemState::new`] is the general fallback.
+    pub fn with_delta(
+        mut db: Database,
+        events: EventSet,
+        time: Timestamp,
+        touched: Vec<String>,
+    ) -> SystemState {
+        let raised = events.iter().map(|e| e.name().to_string()).collect();
+        let delta = Delta::new(touched, raised);
+        db.set_item(TIME_ITEM, Value::Time(time));
+        SystemState {
+            db: Arc::new(db),
+            events,
+            time,
+            delta: Arc::new(delta),
         }
     }
 
@@ -52,6 +105,11 @@ impl SystemState {
 
     pub fn time(&self) -> Timestamp {
         self.time
+    }
+
+    /// What this state changed (touched catalog names, raised events).
+    pub fn delta(&self) -> &Delta {
+        &self.delta
     }
 }
 
@@ -233,6 +291,44 @@ mod tests {
     fn time_item_is_stamped() {
         let s = state(7, EventSet::new());
         assert_eq!(s.db().item(TIME_ITEM).unwrap(), Value::Time(Timestamp(7)));
+    }
+
+    #[test]
+    fn delta_derives_from_update_events() {
+        let s = state(
+            1,
+            EventSet::of([
+                Event::txn_commit(TxnId(1)),
+                Event::update("STOCK"),
+                Event::update("balance"),
+            ]),
+        );
+        assert_eq!(
+            s.delta().touched_relations,
+            vec!["STOCK".to_string(), "balance".to_string()]
+        );
+        assert!(s.delta().raises(crate::event::names::TXN_COMMIT));
+        assert!(s.delta().raises(crate::event::names::UPDATE));
+        assert!(s.delta().touches("STOCK"));
+        assert!(!s.delta().touches("OTHER"));
+    }
+
+    #[test]
+    fn explicit_delta_matches_event_derived_delta() {
+        let events = EventSet::of([
+            Event::txn_commit(TxnId(3)),
+            Event::update("A"),
+            Event::update("B"),
+        ]);
+        let derived = state(2, events.clone());
+        let explicit = SystemState::with_delta(
+            Database::new(),
+            events,
+            Timestamp(2),
+            vec!["B".into(), "A".into()],
+        );
+        assert_eq!(derived.delta(), explicit.delta());
+        assert_eq!(derived, explicit, "delta never affects state equality");
     }
 
     #[test]

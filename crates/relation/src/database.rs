@@ -7,7 +7,7 @@
 //! and copied on write, so the engine can retain one snapshot per system
 //! state without quadratic memory cost.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use crate::error::{RelError, Result};
@@ -32,16 +32,59 @@ impl QueryDef {
 }
 
 /// An immutable-snapshot-friendly database state.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct Database {
     relations: BTreeMap<String, Arc<Relation>>,
     items: BTreeMap<String, Value>,
     queries: Arc<BTreeMap<String, QueryDef>>,
+    /// When tracking is armed, every relation/item written through the
+    /// mutation API is recorded here (the per-commit delta source).
+    changes: Option<BTreeSet<String>>,
 }
+
+/// Equality compares the catalog contents only; the transient
+/// change-tracking scratch never participates (two states that hold the
+/// same data are the same database state).
+impl PartialEq for Database {
+    fn eq(&self, other: &Database) -> bool {
+        self.relations == other.relations
+            && self.items == other.items
+            && self.queries == other.queries
+    }
+}
+
+impl Eq for Database {}
 
 impl Database {
     pub fn new() -> Database {
         Database::default()
+    }
+
+    // ---- change tracking -------------------------------------------------
+
+    /// Arms change tracking: subsequent writes record the touched relation
+    /// and item names until [`Database::take_changes`] disarms it. The
+    /// engine brackets a transaction's `apply_all` with this pair to derive
+    /// the commit's [`Delta`](crate::Delta).
+    pub fn track_changes(&mut self) {
+        self.changes = Some(BTreeSet::new());
+    }
+
+    /// Disarms tracking and returns the touched names, sorted and
+    /// deduplicated. Empty if tracking was never armed.
+    pub fn take_changes(&mut self) -> Vec<String> {
+        self.changes
+            .take()
+            .map(|c| c.into_iter().collect())
+            .unwrap_or_default()
+    }
+
+    fn note_change(&mut self, name: &str) {
+        if let Some(c) = self.changes.as_mut() {
+            if !c.contains(name) {
+                c.insert(name.to_string());
+            }
+        }
     }
 
     // ---- relations -------------------------------------------------------
@@ -52,6 +95,7 @@ impl Database {
         if self.relations.contains_key(&name) || self.items.contains_key(&name) {
             return Err(RelError::DuplicateColumn(name));
         }
+        self.note_change(&name);
         self.relations.insert(name, Arc::new(rel));
         Ok(())
     }
@@ -65,6 +109,9 @@ impl Database {
 
     /// Mutable access to a relation (copy-on-write under the snapshot `Arc`).
     pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation> {
+        if self.relations.contains_key(name) {
+            self.note_change(name);
+        }
         self.relations
             .get_mut(name)
             .map(Arc::make_mut)
@@ -73,6 +120,9 @@ impl Database {
 
     /// Replaces a relation wholesale.
     pub fn set_relation(&mut self, name: &str, rel: Relation) -> Result<()> {
+        if self.relations.contains_key(name) {
+            self.note_change(name);
+        }
         match self.relations.get_mut(name) {
             Some(slot) => {
                 *slot = Arc::new(rel);
@@ -99,7 +149,9 @@ impl Database {
     /// Registers or overwrites a scalar data item (aggregate registers, the
     /// `time` pseudo-item, etc.).
     pub fn set_item(&mut self, name: impl Into<String>, v: Value) {
-        self.items.insert(name.into(), v);
+        let name = name.into();
+        self.note_change(&name);
+        self.items.insert(name, v);
     }
 
     pub fn item(&self, name: &str) -> Result<Value> {
@@ -242,6 +294,38 @@ mod tests {
         assert!(d
             .create_relation("STOCK", Relation::empty(Schema::untyped(&["x"])))
             .is_err());
+    }
+
+    #[test]
+    fn change_tracking_records_writes_between_arm_and_take() {
+        let mut d = db();
+        // Not armed: writes are not recorded.
+        d.set_item("X", Value::Int(1));
+        assert!(d.take_changes().is_empty());
+
+        d.track_changes();
+        d.set_item("X", Value::Int(2));
+        d.insert_tuple("STOCK", tuple!["DEC", 45i64]).unwrap();
+        d.delete_tuple("STOCK", &tuple!["DEC", 45i64]).unwrap();
+        let mut changes = d.take_changes();
+        changes.sort();
+        assert_eq!(changes, vec!["STOCK".to_string(), "X".to_string()]);
+        // Disarmed again.
+        d.set_item("Y", Value::Int(3));
+        assert!(d.take_changes().is_empty());
+    }
+
+    #[test]
+    fn tracking_scratch_does_not_affect_equality() {
+        let a = db();
+        let mut b = db();
+        b.track_changes();
+        b.set_item("Z", Value::Int(1));
+        let _ = b.take_changes();
+        assert_ne!(a, b, "data difference still shows");
+        let mut c = db();
+        c.track_changes();
+        assert_eq!(a, c, "armed-but-unused tracking is invisible");
     }
 
     #[test]

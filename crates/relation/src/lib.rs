@@ -26,6 +26,7 @@
 
 mod aggregate;
 mod database;
+mod delta;
 mod error;
 mod expr;
 pub mod lexer;
@@ -39,6 +40,7 @@ mod value;
 
 pub use aggregate::{Accumulator, AggFunc};
 pub use database::{Database, QueryDef};
+pub use delta::Delta;
 pub use error::{RelError, Result};
 pub use expr::{eval_arith, ArithOp, CmpOp, ScalarExpr};
 pub use parser::{parse_expr, parse_query};

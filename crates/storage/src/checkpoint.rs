@@ -1,6 +1,6 @@
 //! Atomic checkpoint files holding one encoded [`SystemSnapshot`].
 //!
-//! Layout: the magic `"TDBCKPT2"`, then `seq: u64`, `len: u64`,
+//! Layout: the magic `"TDBCKPT3"`, then `seq: u64`, `len: u64`,
 //! `crc32(payload): u32`, then the payload. The file is written to a
 //! temporary sibling, fsynced, then renamed into place (and the directory
 //! fsynced), so a crash during checkpointing leaves either the old world
@@ -18,8 +18,9 @@ use crate::{Result, StorageError};
 
 /// Magic string opening every checkpoint file. The trailing digit is the
 /// payload format version: `2` added the residual node table (backref
-/// dedup) and the parallel-dispatch counters to the stats block.
-pub const CKPT_MAGIC: &[u8; 8] = b"TDBCKPT2";
+/// dedup) and the parallel-dispatch counters to the stats block; `3` added
+/// the delta-dispatch counters (sparse advances, adaptive demotions).
+pub const CKPT_MAGIC: &[u8; 8] = b"TDBCKPT3";
 
 /// Bytes of checkpoint header (magic + seq + len + crc).
 pub const CKPT_HEADER: usize = 8 + 8 + 8 + 4;

@@ -811,6 +811,8 @@ pub fn put_stats(e: &mut Enc, s: &ManagerStats) {
     e.u64(s.skips);
     e.u64(s.firings);
     e.u64(s.parallel_batches);
+    e.u64(s.sparse_advances);
+    e.u64(s.adaptive_seq_batches);
     e.len(s.worker_evaluations.len());
     for w in &s.worker_evaluations {
         e.u64(*w);
@@ -822,6 +824,8 @@ pub fn get_stats(d: &mut Dec) -> Result<ManagerStats> {
     let skips = d.u64("skips")?;
     let firings = d.u64("firings")?;
     let parallel_batches = d.u64("parallel batches")?;
+    let sparse_advances = d.u64("sparse advances")?;
+    let adaptive_seq_batches = d.u64("adaptive sequential batches")?;
     let nw = d.seq_len("worker evaluations", 8)?;
     let mut worker_evaluations = Vec::with_capacity(nw);
     for _ in 0..nw {
@@ -832,6 +836,8 @@ pub fn get_stats(d: &mut Dec) -> Result<ManagerStats> {
         skips,
         firings,
         parallel_batches,
+        sparse_advances,
+        adaptive_seq_batches,
         worker_evaluations,
     })
 }

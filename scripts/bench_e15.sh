@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Runs the E15 delta-dispatch experiment (sparse updates over many rules)
+# and leaves a machine-readable copy in BENCH_E15.json at the repo root.
+#
+# Usage:
+#   scripts/bench_e15.sh            # full run (1000 rules / 100 relations)
+#   scripts/bench_e15.sh --quick    # smaller run for smoke tests / CI
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo build --release -p tdb-bench
+
+./target/release/harness e15 "$@"
+
+if [[ -f BENCH_E15.json ]]; then
+    echo "== BENCH_E15.json =="
+    cat BENCH_E15.json
+    python3 scripts/check_bench_e15.py BENCH_E15.json
+fi

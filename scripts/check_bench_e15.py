@@ -1,0 +1,18 @@
+#!/usr/bin/env python3
+"""Schema/correctness check for BENCH_E15.json: every row must carry the
+expected fields, and delta dispatch must never change the firing sequence."""
+import json
+import sys
+
+FIELDS = {"rules", "relations", "delta_dispatch", "us_per_state", "states_per_sec",
+          "speedup_vs_exhaustive", "identical_firings", "evaluations", "sparse_advances"}
+
+doc = json.load(open(sys.argv[1] if len(sys.argv) > 1 else "BENCH_E15.json"))
+rows = doc["rows"]
+assert doc["experiment"] == "e15" and rows, "not an E15 result"
+for row in rows:
+    missing = FIELDS - row.keys()
+    assert not missing, f"row missing fields: {sorted(missing)}"
+    assert row["identical_firings"] is True, f"firings diverged: {row}"
+assert any(r["delta_dispatch"] and r["sparse_advances"] > 0 for r in rows), "sparse path never ran"
+print(f"check_bench_e15: OK ({len(rows)} rows, firings identical)")

@@ -39,14 +39,20 @@ fn watch_db(n: usize) -> Database {
 }
 
 /// Builds the rule catalog: edge-triggered watches, temporal conditions,
-/// and a constraint (so the parallel gate path runs too).
-fn build(n_rules: usize, workers: usize) -> ActiveDatabase {
+/// and a constraint (so the parallel gate path runs too). `delta_dispatch`
+/// stays on for the property tests (sparse and full advances must merge
+/// identically across worker counts); `parallel_path_is_exercised` turns it
+/// off because only full evaluations land in `worker_evaluations`.
+fn build(n_rules: usize, workers: usize, delta_dispatch: bool) -> ActiveDatabase {
     let cfg = ManagerConfig {
         relevance_filtering: false,
+        delta_dispatch,
         parallel: ParallelConfig {
             workers,
-            // Force real partitioning even at small rule counts.
+            // Force real partitioning even at small rule counts, and keep
+            // the adaptive scheduler from demoting these tiny batches.
             min_rules_per_worker: 1,
+            adaptive: false,
         },
         ..Default::default()
     };
@@ -106,8 +112,8 @@ proptest! {
         n_rules in 3usize..12,
         steps in proptest::collection::vec(step_strategy(12), 5..40),
     ) {
-        let mut seq = build(n_rules, 1);
-        let mut par = build(n_rules, 4);
+        let mut seq = build(n_rules, 1, true);
+        let mut par = build(n_rules, 4, true);
         let (f_seq, c_seq, db_seq) = run(&mut seq, &steps);
         let (f_par, c_par, db_par) = run(&mut par, &steps);
         prop_assert_eq!(&f_seq, &f_par);
@@ -127,8 +133,8 @@ proptest! {
         workers in 2usize..9,
         steps in proptest::collection::vec(step_strategy(6), 5..25),
     ) {
-        let mut seq = build(6, 1);
-        let mut par = build(6, workers);
+        let mut seq = build(6, 1, true);
+        let mut par = build(6, workers, true);
         let (f_seq, c_seq, db_seq) = run(&mut seq, &steps);
         let (f_par, c_par, db_par) = run(&mut par, &steps);
         prop_assert_eq!(&f_seq, &f_par);
@@ -147,7 +153,7 @@ fn parallel_path_is_exercised() {
             value: 90 + (k as i64 % 25),
         })
         .collect();
-    let mut par = build(8, 4);
+    let mut par = build(8, 4, false);
     run(&mut par, &steps);
     let stats = par.stats();
     assert!(
