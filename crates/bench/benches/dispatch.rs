@@ -1,17 +1,23 @@
 //! Delta-dispatch microbenchmarks: the three cost centers the E15
 //! experiment composes — read-set index probes, the sparse fast-path
 //! advance versus a full advance, and memoized evaluation of an atom
-//! shared across rules.
+//! shared across rules — plus the end-to-end dispatch cost with the obs
+//! subsystem off and on (the off branch is the PR-5 acceptance bar:
+//! disabled observability must stay within noise, < 2%).
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use tdb_bench::workload::relation_watch_db;
+use tdb_bench::workload::{relation_watch_db, set_watch_row_ops};
 use tdb_core::parteval::{parteval_atom, parteval_atom_memo, StateView};
-use tdb_core::{EvalConfig, IncrementalEvaluator, ReadSetIndex};
+use tdb_core::{
+    Action, ActiveDatabase, EvalConfig, IncrementalEvaluator, ManagerConfig, ParallelConfig,
+    ReadSetIndex, Rule,
+};
 use tdb_engine::{EventSet, SystemState};
+use tdb_obs::{ObsConfig, Registry};
 use tdb_ptl::parse_formula;
 use tdb_relation::{Delta, Timestamp};
 
@@ -101,5 +107,69 @@ fn bench_shared_atom(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_index, bench_advance, bench_shared_atom);
+/// End-to-end dispatch of one E15-shaped state over 100 rules with the obs
+/// subsystem disabled, enabled into a private registry, and — as the
+/// baseline the disabled branch is judged against — the same config before
+/// this PR existed has no equivalent, so `obs_off` *is* the reference:
+/// `obs_off` vs `obs_on` bounds the recording cost, and `obs_off` must sit
+/// within noise of historic E15 numbers (< 2% acceptance bar).
+fn bench_obs_overhead(c: &mut Criterion) {
+    const RULES: usize = 100;
+    const RELATIONS: usize = 10;
+
+    let build = |obs: ObsConfig| {
+        let mut adb = ActiveDatabase::with_config(
+            relation_watch_db(RELATIONS),
+            ManagerConfig {
+                relevance_filtering: false,
+                delta_dispatch: true,
+                parallel: ParallelConfig::sequential(),
+                obs,
+                ..Default::default()
+            },
+        );
+        for i in 0..RULES {
+            let j = i % RELATIONS;
+            let f =
+                parse_formula(&format!("r{j}_q() > 100 and previously(r{j}_q() <= 100)")).unwrap();
+            adb.add_rule(Rule::trigger(format!("watch{i}"), f, Action::Notify))
+                .unwrap();
+        }
+        adb
+    };
+
+    let mut group = c.benchmark_group("dispatch_obs");
+    group.sample_size(400);
+    group.bench_function("obs_off", |b| {
+        let mut adb = build(ObsConfig::off());
+        let mut k = 0i64;
+        b.iter(|| {
+            k += 1;
+            adb.advance_clock(1).unwrap();
+            let ops = set_watch_row_ops(adb.db(), (k as usize) % RELATIONS, 90 + k % 21);
+            adb.update(black_box(ops)).unwrap();
+            black_box(adb.firings().len())
+        })
+    });
+    group.bench_function("obs_on", |b| {
+        let mut adb = build(ObsConfig::with_registry(Arc::new(Registry::new())));
+        let mut k = 0i64;
+        b.iter(|| {
+            k += 1;
+            adb.advance_clock(1).unwrap();
+            let ops = set_watch_row_ops(adb.db(), (k as usize) % RELATIONS, 90 + k % 21);
+            adb.update(black_box(ops)).unwrap();
+            black_box(adb.firings().len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_index,
+    bench_advance,
+    bench_shared_atom,
+    bench_obs_overhead
+);
 criterion_main!(benches);

@@ -4,7 +4,11 @@
 //! cargo run --release -p tdb-bench --bin harness            # all experiments
 //! cargo run --release -p tdb-bench --bin harness -- e1 e5   # a subset
 //! cargo run --release -p tdb-bench --bin harness -- --quick # smaller sweeps
+//! cargo run --release -p tdb-bench --bin harness -- e15 --metrics-json m.json
 //! ```
+//!
+//! `--metrics-json PATH` enables the global obs registry for the whole run
+//! and writes its JSON snapshot to `PATH` on exit.
 
 use std::io::Write;
 
@@ -24,11 +28,29 @@ fn flush() {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let wanted: Vec<String> = args
+    // `--metrics-json out.json`: turn the global obs registry on for the
+    // whole run and dump its JSON snapshot to `out.json` before exiting.
+    let metrics_json: Option<String> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
-        .cloned()
-        .collect();
+        .position(|a| a == "--metrics-json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if metrics_json.is_some() {
+        tdb_obs::set_enabled(true);
+    }
+    let mut wanted: Vec<String> = Vec::new();
+    let mut skip_next = false;
+    for a in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--metrics-json" {
+            skip_next = true;
+        } else if !a.starts_with("--") {
+            wanted.push(a.clone());
+        }
+    }
     let run = |name: &str| wanted.is_empty() || wanted.iter().any(|w| w == name);
     let seed = 42u64;
 
@@ -553,6 +575,71 @@ fn main() {
     }
 
     flush();
+    if run("e16") {
+        mark("e16");
+        let (rules, relations, states) = if quick {
+            (100, 10, 60)
+        } else {
+            (1_000, 100, 400)
+        };
+        let rows = ex::e16_obs_overhead(rules, relations, states, seed);
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.rules.to_string(),
+                    r.obs_enabled.to_string(),
+                    f2(r.us_per_state),
+                    f2(r.states_per_sec),
+                    format!("{:.2}%", r.overhead_pct),
+                    r.identical_firings.to_string(),
+                    r.distinct_metrics.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render(
+                "E16: observability overhead — obs off vs recording registry",
+                &[
+                    "rules",
+                    "obs",
+                    "us/state",
+                    "states/s",
+                    "overhead",
+                    "identical",
+                    "metrics"
+                ],
+                &body,
+            )
+        );
+        // Machine-readable copy for tooling (scripts/bench_e16.sh).
+        let mut json = String::from("{\n  \"experiment\": \"e16\",\n  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"rules\": {}, \"relations\": {}, \"obs_enabled\": {}, \
+                 \"us_per_state\": {:.3}, \"states_per_sec\": {:.1}, \
+                 \"overhead_pct\": {:.3}, \"identical_firings\": {}, \
+                 \"distinct_metrics\": {}}}{}\n",
+                r.rules,
+                r.relations,
+                r.obs_enabled,
+                r.us_per_state,
+                r.states_per_sec,
+                r.overhead_pct,
+                r.identical_firings,
+                r.distinct_metrics,
+                if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        match std::fs::write("BENCH_E16.json", &json) {
+            Ok(()) => eprintln!("[harness] wrote BENCH_E16.json"),
+            Err(e) => eprintln!("[harness] could not write BENCH_E16.json: {e}"),
+        }
+    }
+
+    flush();
     if run("e14") {
         mark("e14");
         let (n_short, n_long) = if quick { (300, 1_200) } else { (1_000, 4_000) };
@@ -587,4 +674,11 @@ fn main() {
         );
     }
     flush();
+
+    if let Some(path) = metrics_json {
+        match std::fs::write(&path, tdb_obs::global().render_json()) {
+            Ok(()) => eprintln!("[harness] wrote metrics snapshot to {path}"),
+            Err(e) => eprintln!("[harness] could not write {path}: {e}"),
+        }
+    }
 }

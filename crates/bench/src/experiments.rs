@@ -1438,3 +1438,126 @@ pub fn e14_verdict_vs_growth(n_short: usize, n_long: usize) -> Vec<E14Row> {
     }
     out
 }
+
+// ===== E16: observability overhead =========================================
+
+/// One row of the E16 table (one obs configuration over the same workload).
+#[derive(Debug, Clone)]
+pub struct E16Row {
+    pub rules: usize,
+    pub relations: usize,
+    /// Whether the obs subsystem recorded metrics for this run.
+    pub obs_enabled: bool,
+    /// Full pipeline cost per state, µs (clock + commit + dispatch).
+    pub us_per_state: f64,
+    pub states_per_sec: f64,
+    /// Added cost relative to the obs-off run, percent (0 for the off row).
+    pub overhead_pct: f64,
+    /// The firing sequence (order included) equals the obs-off run's —
+    /// instrumentation must never change semantics.
+    pub identical_firings: bool,
+    /// Distinct metric families the enabled run recorded into its private
+    /// registry (0 for the off row).
+    pub distinct_metrics: usize,
+}
+
+/// Observability tax: the E15 sparse-update workload (delta dispatch on —
+/// the production configuration the instrumentation has to be cheap in)
+/// run once with `ObsConfig::off` and once recording into a private
+/// registry. The acceptance bar is < 2% overhead with obs off at the
+/// dispatch layer; the enabled row documents the cost of full recording.
+pub fn e16_obs_overhead(rules: usize, relations: usize, states: usize, seed: u64) -> Vec<E16Row> {
+    use std::sync::Arc;
+    use tdb_core::ParallelConfig;
+    use tdb_obs::{ObsConfig, Registry};
+    let relations = relations.max(1);
+
+    type Firings = Vec<(String, i64, tdb_ptl::Env)>;
+    let run_once = |registry: Option<Arc<Registry>>| -> (f64, Firings, usize) {
+        let obs = match &registry {
+            Some(r) => ObsConfig::with_registry(r.clone()),
+            None => ObsConfig::off(),
+        };
+        let mut adb = ActiveDatabase::with_config(
+            relation_watch_db(relations),
+            ManagerConfig {
+                relevance_filtering: false,
+                delta_dispatch: true,
+                parallel: ParallelConfig::sequential(),
+                obs,
+                ..Default::default()
+            },
+        );
+        for i in 0..rules {
+            let j = i % relations;
+            let f = parse_formula(&format!("r{j}_q() > 100 and previously(r{j}_q() <= 100)"))
+                .expect("static formula");
+            adb.add_rule(Rule::trigger(format!("watch{i}"), f, Action::Notify))
+                .expect("registers");
+        }
+        let mut rng_state = seed;
+        let start = Instant::now();
+        for k in 0..states {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (rng_state >> 33) as usize % relations;
+            let value = 90 + (k as i64 % 21); // crosses 100 sometimes
+            adb.advance_clock(1).expect("clock");
+            let ops = set_watch_row_ops(adb.db(), j, value);
+            adb.update(ops).expect("update");
+        }
+        let us_per_state = micros(start.elapsed()) / states as f64;
+        let firings = adb
+            .firings()
+            .iter()
+            .map(|f| (f.rule.clone(), f.time.0, f.env.clone()))
+            .collect();
+        let distinct = registry
+            .map(|r| {
+                r.snapshot()
+                    .metrics
+                    .iter()
+                    .map(|m| m.name.clone())
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .len()
+            })
+            .unwrap_or(0);
+        (us_per_state, firings, distinct)
+    };
+    // Best of three repetitions per configuration: the deltas measured here
+    // are small, so take more care against scheduler jitter than E15 does.
+    let run = |on: bool| {
+        let mut best = run_once(on.then(|| Arc::new(Registry::new())));
+        for _ in 0..2 {
+            let rep = run_once(on.then(|| Arc::new(Registry::new())));
+            if rep.0 < best.0 {
+                best.0 = rep.0;
+            }
+        }
+        best
+    };
+
+    let (off_us, off_firings, _) = run(false);
+    let (on_us, on_firings, distinct) = run(true);
+    vec![
+        E16Row {
+            rules,
+            relations,
+            obs_enabled: false,
+            us_per_state: off_us,
+            states_per_sec: 1e6 / off_us,
+            overhead_pct: 0.0,
+            identical_firings: true,
+            distinct_metrics: 0,
+        },
+        E16Row {
+            rules,
+            relations,
+            obs_enabled: true,
+            us_per_state: on_us,
+            states_per_sec: 1e6 / on_us,
+            overhead_pct: (on_us / off_us - 1.0) * 100.0,
+            identical_firings: on_firings == off_firings,
+            distinct_metrics: distinct,
+        },
+    ]
+}

@@ -8,7 +8,8 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use tdb_engine::{Engine, WriteOp};
+use tdb_core::{Action, ActiveDatabase, Rule};
+use tdb_engine::{Engine, Event, WriteOp};
 use tdb_ptl::{parse_formula, Formula};
 use tdb_relation::{parse_query, tuple, Database, QueryDef, Relation, Schema, Value};
 
@@ -193,6 +194,195 @@ pub fn set_watch_row_ops(db: &Database, j: usize, value: i64) -> Vec<WriteOp> {
     ops
 }
 
+// ---- differential-harness generators ----------------------------------------
+
+/// Scalar watch items in the differential schema (`w0…`).
+pub const DIFF_ITEMS: usize = 4;
+/// Single-row base relations in the differential schema (`W0…`).
+pub const DIFF_RELATIONS: usize = 3;
+
+/// The differential-harness database: [`DIFF_ITEMS`] scalar watch items
+/// (`w<i>` + `w<i>_q()` readers) merged with [`DIFF_RELATIONS`] single-row
+/// base relations (`W<j>` + `r<j>_q()` readers), so one workload exercises
+/// item deltas, relation deltas and event deltas side by side.
+pub fn differential_db() -> Database {
+    let mut db = watch_db(DIFF_ITEMS);
+    for j in 0..DIFF_RELATIONS {
+        db.create_relation(
+            format!("W{j}"),
+            Relation::from_rows(Schema::untyped(&["v"]), vec![tuple![0i64]])
+                .expect("single seed row"),
+        )
+        .expect("fresh database");
+        db.define_query(
+            format!("r{j}_q"),
+            QueryDef::new(
+                0,
+                parse_query(&format!("select v from W{j}")).expect("static query"),
+            ),
+        );
+    }
+    db
+}
+
+/// One externally driven operation in a differential workload.
+#[derive(Debug, Clone)]
+pub enum DiffStep {
+    /// Set scalar watch item `w<item>` (item delta).
+    SetItem {
+        item: usize,
+        value: i64,
+    },
+    /// Replace base relation `W<rel>`'s single row (relation delta).
+    SetRow {
+        rel: usize,
+        value: i64,
+    },
+    /// Raise `@login("X")` / `@logout("X")` (event delta).
+    Login,
+    Logout,
+    /// Raise `@mark` — the sampling event of the generated aggregates.
+    Mark,
+    /// Advance the clock without touching data (empty delta).
+    Tick,
+}
+
+/// A seeded step script for the differential harness. Values stay in
+/// `80..125` so the generated thresholds see genuine rising/falling edges.
+pub fn differential_steps(seed: u64, n: usize) -> Vec<DiffStep> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| match rng.random_range(0..10u32) {
+            0..=2 => DiffStep::SetItem {
+                item: rng.random_range(0..DIFF_ITEMS),
+                value: rng.random_range(80..125),
+            },
+            3..=5 => DiffStep::SetRow {
+                rel: rng.random_range(0..DIFF_RELATIONS),
+                value: rng.random_range(80..125),
+            },
+            6 => {
+                if rng.random_range(0..2u32) == 0 {
+                    DiffStep::Login
+                } else {
+                    DiffStep::Logout
+                }
+            }
+            7 | 8 => DiffStep::Mark,
+            _ => DiffStep::Tick,
+        })
+        .collect()
+}
+
+/// Applies one step through the facade (one clock unit per step). Returns
+/// whether the operation committed (vetoes and re-raised errors read as
+/// `false`, keeping the commit pattern comparable across configurations).
+pub fn apply_diff_step(adb: &mut ActiveDatabase, s: &DiffStep) -> bool {
+    adb.advance_clock(1).expect("monotone clock");
+    match s {
+        DiffStep::SetItem { item, value } => adb
+            .update([WriteOp::SetItem {
+                item: format!("w{item}"),
+                value: Value::Int(*value),
+            }])
+            .is_ok(),
+        DiffStep::SetRow { rel, value } => {
+            let name = format!("W{rel}");
+            let old = adb
+                .db()
+                .relation(&name)
+                .expect("relation exists")
+                .iter()
+                .next()
+                .cloned()
+                .expect("single-row relation");
+            adb.update([
+                WriteOp::Delete {
+                    relation: name.clone(),
+                    tuple: old,
+                },
+                WriteOp::Insert {
+                    relation: name,
+                    tuple: tuple![*value],
+                },
+            ])
+            .is_ok()
+        }
+        DiffStep::Login => adb.emit(Event::new("login", vec![Value::str("X")])).is_ok(),
+        DiffStep::Logout => adb
+            .emit(Event::new("logout", vec![Value::str("X")]))
+            .is_ok(),
+        DiffStep::Mark => adb.emit(Event::simple("mark")).is_ok(),
+        DiffStep::Tick => adb.tick().is_ok(),
+    }
+}
+
+/// A seeded random rule catalog over the [`differential_db`] schema:
+/// rising-edge thresholds, relation watches, bounded time windows, event
+/// `Since` chains and temporal aggregates (`avg`/`max`/`count` sampled at
+/// `@mark` / `@login`). All rules are `Notify` triggers, so the observable
+/// trace is exactly the firing sequence.
+///
+/// Aggregate-backed rules are named `agg…`: their Section 6.1.1 rewriting
+/// becomes visible one system state *after* the sampling state ("firing may
+/// be delayed, but not go unrecognized"), so the differential harness
+/// compares them across configurations rather than against the naive
+/// full-history oracle. Every other rule (named `ptl…`) matches the
+/// `tdb_baseline::NaiveDetector` semantics exactly.
+pub fn differential_rules(seed: u64, n: usize) -> Vec<Rule> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|k| {
+            let c: i64 = rng.random_range(85..120);
+            let item = rng.random_range(0..DIFF_ITEMS);
+            let rel = rng.random_range(0..DIFF_RELATIONS);
+            let window: i64 = rng.random_range(3..13);
+            let (name, src) = match k % 8 {
+                0 => (
+                    format!("ptl{k}_rising"),
+                    format!("w{item}_q() > {c} and previously(w{item}_q() <= {c})"),
+                ),
+                1 => (
+                    format!("ptl{k}_relation"),
+                    format!("lasttime(r{rel}_q() <= {c}) and r{rel}_q() > {c}"),
+                ),
+                2 => (
+                    format!("ptl{k}_window"),
+                    format!("[t := time] previously(w{item}_q() >= {c} and time >= t - {window})"),
+                ),
+                3 => (
+                    format!("ptl{k}_since"),
+                    format!("(w{item}_q() <= {c}) since @mark"),
+                ),
+                4 => (
+                    format!("ptl{k}_session"),
+                    "not @logout(\"X\") since @login(\"X\")".to_string(),
+                ),
+                5 => (
+                    format!("agg{k}_avg"),
+                    format!("avg(w{item}_q(); time = 0; @mark) > {c}"),
+                ),
+                6 => (
+                    format!("agg{k}_max"),
+                    format!("max(r{rel}_q(); time = 0; @mark) >= {c}"),
+                ),
+                _ => (
+                    format!("agg{k}_count"),
+                    format!(
+                        "count(w{item}_q(); time = 0; @login) >= {}",
+                        rng.random_range(2..7)
+                    ),
+                ),
+            };
+            Rule::trigger(
+                name,
+                parse_formula(&src).expect("generated formula parses"),
+                Action::Notify,
+            )
+        })
+        .collect()
+}
+
 /// Login-session events: deterministic interleaving of logins/logouts for
 /// `users` users over `n` states.
 #[derive(Debug)]
@@ -253,6 +443,34 @@ mod tests {
         let db = watch_db(4);
         assert!(db.has_item("w3"));
         assert!(db.query_def("w0_q").is_ok());
+    }
+
+    #[test]
+    fn differential_generators_are_deterministic() {
+        let a = differential_rules(42, 16);
+        let b = differential_rules(42, 16);
+        assert_eq!(a.len(), 16);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.condition, y.condition);
+            tdb_ptl::analyze(&x.condition).unwrap();
+        }
+        let s = differential_steps(7, 100);
+        let t = differential_steps(7, 100);
+        assert_eq!(s.len(), 100);
+        assert_eq!(format!("{s:?}"), format!("{t:?}"));
+    }
+
+    #[test]
+    fn differential_db_serves_every_generated_query() {
+        let mut adb = ActiveDatabase::new(differential_db());
+        for r in differential_rules(3, 16) {
+            adb.add_rule(r).unwrap();
+        }
+        for s in differential_steps(3, 40) {
+            apply_diff_step(&mut adb, &s);
+        }
+        assert!(adb.history().len() > 40, "every step appends a state");
     }
 
     #[test]

@@ -24,6 +24,23 @@ use crate::storage::{LogicalOp, SystemSnapshot, WalSink};
 /// Default bound on the number of states processed by one cascade.
 const DEFAULT_CASCADE_LIMIT: usize = 10_000;
 
+/// Registry handles for the sink-agnostic WAL counters (logical ops
+/// appended, checkpoints written), resolved once per process. The physical
+/// byte/latency metrics live in `tdb-storage`'s file backend; these count
+/// at the facade so in-memory sinks are covered too. Touched only while
+/// [`tdb_obs::enabled`].
+fn wal_counters() -> &'static (tdb_obs::Counter, tdb_obs::Counter) {
+    static COUNTERS: std::sync::OnceLock<(tdb_obs::Counter, tdb_obs::Counter)> =
+        std::sync::OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let r = tdb_obs::global();
+        (
+            r.counter("tdb_wal_logical_ops_total"),
+            r.counter("tdb_wal_checkpoints_total"),
+        )
+    })
+}
+
 /// An active database: engine + temporal component.
 #[derive(Debug)]
 pub struct ActiveDatabase {
@@ -121,6 +138,28 @@ impl ActiveDatabase {
     /// Retained formula-state size across all rules (experiment E2).
     pub fn retained_size(&self) -> usize {
         self.manager.retained_size()
+    }
+
+    /// Whether this system records metrics (see `ManagerConfig { obs }`).
+    pub fn metrics_enabled(&self) -> bool {
+        self.manager.metrics_enabled()
+    }
+
+    /// Prometheus text exposition of the metrics registry this system
+    /// records into (the process-global registry unless the config
+    /// supplied a private one). Layers instrumented through free functions
+    /// (parteval memo, readset fan-out, WAL, engine) always record into
+    /// the global registry.
+    pub fn metrics_prometheus(&self) -> String {
+        self.manager.force_retained_gauge();
+        self.manager.config().obs.registry().render_prometheus()
+    }
+
+    /// JSON snapshot of the same registry as
+    /// [`ActiveDatabase::metrics_prometheus`].
+    pub fn metrics_json(&self) -> String {
+        self.manager.force_retained_gauge();
+        self.manager.config().obs.registry().render_json()
     }
 
     /// Lint findings recorded while registering rules (see
@@ -317,7 +356,14 @@ impl ActiveDatabase {
             return Ok(());
         }
         let snap = self.snapshot()?;
-        self.wal.as_mut().expect("checked above").checkpoint(&snap)
+        self.wal
+            .as_mut()
+            .expect("checked above")
+            .checkpoint(&snap)?;
+        if tdb_obs::enabled() {
+            wal_counters().1.inc();
+        }
+        Ok(())
     }
 
     /// Appends one op to the WAL before it applies (write-ahead). The
@@ -326,6 +372,9 @@ impl ActiveDatabase {
     fn log_op(&mut self, op: impl FnOnce() -> LogicalOp) -> Result<()> {
         if let Some(w) = self.wal.as_mut() {
             w.append(&op())?;
+            if tdb_obs::enabled() {
+                wal_counters().0.inc();
+            }
         }
         Ok(())
     }
@@ -348,10 +397,14 @@ impl ActiveDatabase {
         let Some(w) = self.wal.as_mut() else {
             return Ok(());
         };
-        for record in &self.firing_log[self.logged_firings.min(self.firing_log.len())..] {
+        let pending = &self.firing_log[self.logged_firings.min(self.firing_log.len())..];
+        for record in pending {
             w.append(&LogicalOp::Firing {
                 record: record.clone(),
             })?;
+        }
+        if tdb_obs::enabled() {
+            wal_counters().0.add(pending.len() as u64);
         }
         self.logged_firings = self.firing_log.len();
         Ok(())
@@ -618,6 +671,8 @@ impl ActiveDatabase {
         self.processing = true;
         let result = self.process_inner();
         self.processing = false;
+        // One gauge refresh per quiescent dispatch round (not per state).
+        self.manager.update_retained_gauge();
         result
     }
 

@@ -36,6 +36,20 @@ use crate::residual::{
     prune_time, rand, residual_size, rfalse, rnot, ror, solve, subst, Env, Residual,
 };
 
+/// Registry handles for the §5-pruning instrumentation (total residual
+/// nodes entering and leaving `prune_time` per advance), resolved once per
+/// process. Touched only while [`tdb_obs::enabled`].
+fn prune_counters() -> &'static (tdb_obs::Counter, tdb_obs::Counter) {
+    static COUNTERS: OnceLock<(tdb_obs::Counter, tdb_obs::Counter)> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let r = tdb_obs::global();
+        (
+            r.counter("tdb_residual_nodes_preprune_total"),
+            r.counter("tdb_residual_nodes_postprune_total"),
+        )
+    })
+}
+
 /// Evaluator configuration.
 #[derive(Debug, Clone)]
 pub struct EvalConfig {
@@ -413,6 +427,11 @@ impl IncrementalEvaluator {
         mut cur: Vec<Arc<Residual>>,
         now: Timestamp,
     ) -> Result<Arc<Residual>> {
+        let observe_pruning = tdb_obs::enabled() && self.cfg.pruning && !self.time_vars.is_empty();
+        if observe_pruning {
+            let pre: usize = cur.iter().map(residual_size).sum();
+            prune_counters().0.add(pre as u64);
+        }
         if self.cfg.pruning && !self.time_vars.is_empty() {
             for r in cur.iter_mut() {
                 *r = prune_time(r, now, &self.time_vars);
@@ -420,6 +439,9 @@ impl IncrementalEvaluator {
         }
 
         let total: usize = cur.iter().map(residual_size).sum();
+        if observe_pruning {
+            prune_counters().1.add(total as u64);
+        }
         if total > self.cfg.max_residual {
             return Err(CoreError::ResidualTooLarge {
                 limit: self.cfg.max_residual,

@@ -49,6 +49,9 @@ pub use residual::{intern_arc, interned_count};
 pub use rules::{Action, ActionOp, FiringRecord, Program, Rule, RuleKind, TXN_VAR};
 pub use storage::{LogicalOp, MemorySink, SharedMemorySink, SystemSnapshot, WalSink};
 pub use tdb_analysis::{Boundedness, Diagnostic, LintCode, LintLevel, Report, Severity};
+// Observability wiring used by `ManagerConfig { obs }` and the facade's
+// metrics accessors.
+pub use tdb_obs::ObsConfig;
 pub use validtime::{
     offline_satisfied, online_satisfied, theorem2_check, CheckpointRing, DefiniteTriggerRunner,
     TentativeTriggerRunner,

@@ -19,10 +19,12 @@
 //!   it, enabling composite and temporal actions.
 
 use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
 
 use tdb_analysis::{lint_rule, Diagnostic, LintLevel, Report, RuleInput, Severity};
 use tdb_engine::event::names::{CLOCK_TICK, UPDATE};
 use tdb_engine::SystemState;
+use tdb_obs::{Counter, Gauge, Histogram, ObsConfig, Registry};
 use tdb_ptl::{analyze, executed_query_name, Formula, Term};
 use tdb_relation::{Column, DType, Database, Query, QueryDef, Relation, Schema};
 
@@ -60,6 +62,13 @@ pub struct ManagerConfig {
     /// deny-severity finding (e.g. TDB001 unbounded-state) rejects the
     /// registration with [`CoreError::LintDenied`].
     pub lint: LintLevel,
+    /// Observability wiring. The default ([`ObsConfig::inherit`]) follows
+    /// the process-global [`tdb_obs::enabled`] flag at construction time;
+    /// [`ObsConfig::disabled`] pins instrumentation off regardless. The
+    /// config also carries the slow-rule log threshold
+    /// (`obs.slow_rule_ns`): full evaluations slower than it are appended
+    /// to [`tdb_obs::trace::slow_rules`].
+    pub obs: ObsConfig,
 }
 
 impl Default for ManagerConfig {
@@ -70,7 +79,98 @@ impl Default for ManagerConfig {
             eval: EvalConfig::default(),
             parallel: ParallelConfig::default(),
             lint: LintLevel::default(),
+            obs: ObsConfig::inherit(),
         }
+    }
+}
+
+/// Pre-resolved metric handles for the dispatch/gate hot paths: fetched
+/// from the registry once at manager construction so the steady state
+/// never takes a registry lock. The manager holds `Option<DispatchMetrics>`
+/// — disabled observability is a single branch on `None`.
+#[derive(Debug)]
+struct DispatchMetrics {
+    /// `None` = the process-global registry (kept to mint per-worker
+    /// counters lazily).
+    registry: Option<Arc<Registry>>,
+    slow_rule_ns: u64,
+    // dispatch (per processed commit state)
+    commits: Counter,
+    rule_visits: Counter,
+    gated_skips: Counter,
+    relevance_skips: Counter,
+    full_evaluations: Counter,
+    sparse_advances: Counter,
+    fixpoint_skips: Counter,
+    firings: Counter,
+    rule_eval_ns: Arc<Histogram>,
+    // gate (per candidate commit state)
+    gate_checks: Counter,
+    gate_full: Counter,
+    gate_sparse: Counter,
+    gate_violations: Counter,
+    // worker pool (shared by dispatch and gate)
+    parallel_batches: Counter,
+    adaptive_seq_batches: Counter,
+    batch_ns: Arc<Histogram>,
+    worker_evals: Mutex<Vec<Counter>>,
+    retained_nodes: Gauge,
+    /// Dispatch rounds since the retained gauge was last refreshed; the
+    /// refresh walks every evaluator's residual DAG, so it only runs every
+    /// [`RETAINED_GAUGE_PERIOD`] rounds (and on demand before exposition).
+    retained_rounds: std::sync::atomic::AtomicU64,
+}
+
+/// Dispatch rounds between `tdb_retained_residual_nodes` refreshes.
+const RETAINED_GAUGE_PERIOD: u64 = 64;
+
+impl DispatchMetrics {
+    fn new(obs: &ObsConfig) -> DispatchMetrics {
+        let r = obs.registry();
+        DispatchMetrics {
+            slow_rule_ns: obs.slow_rule_ns,
+            commits: r.counter("tdb_dispatch_commits_total"),
+            rule_visits: r.counter("tdb_dispatch_rule_visits_total"),
+            gated_skips: r.counter("tdb_dispatch_gated_constraint_skips_total"),
+            relevance_skips: r.counter("tdb_dispatch_relevance_skipped_rules_total"),
+            full_evaluations: r.counter("tdb_dispatch_full_evaluations_total"),
+            sparse_advances: r.counter("tdb_dispatch_sparse_advances_total"),
+            fixpoint_skips: r.counter("tdb_dispatch_fixpoint_skipped_rules_total"),
+            firings: r.counter("tdb_firings_total"),
+            rule_eval_ns: r.histogram("tdb_rule_eval_ns"),
+            gate_checks: r.counter("tdb_gate_checks_total"),
+            gate_full: r.counter("tdb_gate_full_evaluations_total"),
+            gate_sparse: r.counter("tdb_gate_sparse_advances_total"),
+            gate_violations: r.counter("tdb_gate_violations_total"),
+            parallel_batches: r.counter("tdb_parallel_batches_total"),
+            adaptive_seq_batches: r.counter("tdb_parallel_adaptive_seq_batches_total"),
+            batch_ns: r.histogram("tdb_parallel_batch_ns"),
+            worker_evals: Mutex::new(Vec::new()),
+            retained_nodes: r.gauge("tdb_retained_residual_nodes"),
+            retained_rounds: std::sync::atomic::AtomicU64::new(0),
+            registry: obs.registry.clone(),
+        }
+    }
+
+    fn registry(&self) -> &Registry {
+        match &self.registry {
+            Some(r) => r,
+            None => tdb_obs::global(),
+        }
+    }
+
+    /// The `tdb_parallel_worker_evaluations_total{worker="…"}` counter for
+    /// one worker, minted on first use and cached.
+    fn worker_counter(&self, worker: usize) -> Counter {
+        let mut cache = self.worker_evals.lock().expect("worker counter cache");
+        while cache.len() <= worker {
+            let label = cache.len().to_string();
+            cache.push(self.registry().counter_with(
+                "tdb_parallel_worker_evaluations_total",
+                &[("worker", &label)],
+            ));
+        }
+        cache[worker].clone()
     }
 }
 
@@ -152,6 +252,9 @@ pub struct RuleManager {
     ewma_eval_ns: Option<f64>,
     /// Warn-level (and below) findings accumulated at registration.
     lint_findings: Vec<Diagnostic>,
+    /// Metric handles, resolved once from `cfg.obs`; `None` when
+    /// observability is off, which the hot paths test with one branch.
+    metrics: Option<DispatchMetrics>,
 }
 
 /// Rough cost of spawning and joining one scoped worker thread; a batch
@@ -213,6 +316,7 @@ fn multi_cpu() -> bool {
 
 impl RuleManager {
     pub fn new(cfg: ManagerConfig) -> RuleManager {
+        let metrics = cfg.obs.is_enabled().then(|| DispatchMetrics::new(&cfg.obs));
         RuleManager {
             cfg,
             runtimes: Vec::new(),
@@ -221,6 +325,39 @@ impl RuleManager {
             affected: Vec::new(),
             ewma_eval_ns: None,
             lint_findings: Vec::new(),
+            metrics,
+        }
+    }
+
+    /// Whether this manager records metrics (resolved from its
+    /// [`ObsConfig`] at construction).
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics.is_some()
+    }
+
+    /// Periodically refreshes the `tdb_retained_residual_nodes` gauge from
+    /// the live evaluators: the walk is O(rules × residual size), far more
+    /// than the rest of a dispatch round's instrumentation, so only every
+    /// [`RETAINED_GAUGE_PERIOD`]-th call (the first included) does it. A
+    /// no-op when observability is off.
+    pub fn update_retained_gauge(&self) {
+        if let Some(m) = &self.metrics {
+            let round = m
+                .retained_rounds
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if round % RETAINED_GAUGE_PERIOD == 0 {
+                self.force_retained_gauge();
+            }
+        }
+    }
+
+    /// Refreshes the `tdb_retained_residual_nodes` gauge unconditionally
+    /// (used right before metric exposition). A no-op when observability
+    /// is off.
+    pub fn force_retained_gauge(&self) {
+        if let Some(m) = &self.metrics {
+            m.retained_nodes
+                .set(i64::try_from(self.retained_size()).unwrap_or(i64::MAX));
         }
     }
 
@@ -421,13 +558,19 @@ impl RuleManager {
             self.index.affected(state.delta(), &mut affected);
         }
         let mut full = 0usize;
+        let mut visits = 0u64;
+        let mut gated_skips = 0u64;
+        let mut relevance_skips = 0u64;
         let mut selected: Vec<(bool, &mut RuleRuntime)> = Vec::new();
         for (id, rt) in self.runtimes.iter_mut().enumerate() {
+            visits += 1;
             if rt.rule.kind == RuleKind::Constraint && constraints_already_advanced {
+                gated_skips += 1;
                 continue;
             }
             if relevance && !Self::relevant(rt, state) {
                 self.stats.skips += 1;
+                relevance_skips += 1;
                 continue;
             }
             let sparse = delta && !affected[id] && rt.evaluator.sparse_ready();
@@ -442,10 +585,17 @@ impl RuleManager {
         let (workers, demoted) =
             plan_workers(&self.cfg.parallel, self.ewma_eval_ns, selected.len(), full);
         self.stats.adaptive_seq_batches += u64::from(demoted);
+        let metrics = self.metrics.as_ref();
         let t0 = probe_clock();
         let results = run_partitioned(&mut selected, workers, |worker, chunk| {
+            let chunk_t0 = if metrics.is_some() {
+                tdb_obs::now()
+            } else {
+                None
+            };
             let mut evaluations = 0u64;
             let mut sparse_advances = 0u64;
+            let mut fixpoint_skips = 0u64;
             let mut firings: Vec<FiringRecord> = Vec::new();
             for (sparse, rt) in chunk.iter_mut() {
                 if *sparse
@@ -460,6 +610,7 @@ impl RuleManager {
                     // degenerates to a counter bump.
                     rt.evaluator.note_noop_state();
                     sparse_advances += 1;
+                    fixpoint_skips += 1;
                     continue;
                 }
                 // Both paths return the satisfying bindings sorted and
@@ -469,7 +620,19 @@ impl RuleManager {
                     rt.evaluator.advance_sparse_and_fire(state.time())?
                 } else {
                     evaluations += 1;
-                    rt.evaluator.advance_and_fire(state, idx)?
+                    match metrics {
+                        None => rt.evaluator.advance_and_fire(state, idx)?,
+                        Some(m) => {
+                            let eval_t0 = tdb_obs::now();
+                            let satisfied = rt.evaluator.advance_and_fire(state, idx)?;
+                            let ns = tdb_obs::elapsed_ns(eval_t0);
+                            m.rule_eval_ns.observe(ns);
+                            if m.slow_rule_ns > 0 && ns >= m.slow_rule_ns {
+                                tdb_obs::trace::record_slow_rule(&rt.rule.name, ns, m.slow_rule_ns);
+                            }
+                            satisfied
+                        }
+                    }
                 };
                 if satisfied.is_empty() {
                     // No-op rule: clear the edge memory in place, touching
@@ -493,7 +656,15 @@ impl RuleManager {
                 }
                 rt.last_envs = satisfied;
             }
-            Ok::<_, CoreError>((worker, evaluations, sparse_advances, firings))
+            let chunk_ns = tdb_obs::elapsed_ns(chunk_t0);
+            Ok::<_, CoreError>((
+                worker,
+                evaluations,
+                sparse_advances,
+                fixpoint_skips,
+                chunk_ns,
+                firings,
+            ))
         });
         self.note_batch_cost(t0, workers, full);
 
@@ -503,13 +674,31 @@ impl RuleManager {
         if workers > 1 {
             self.stats.parallel_batches += 1;
         }
+        if let Some(m) = &self.metrics {
+            m.commits.inc();
+            m.rule_visits.add(visits);
+            m.gated_skips.add(gated_skips);
+            m.relevance_skips.add(relevance_skips);
+            m.adaptive_seq_batches.add(u64::from(demoted));
+            if workers > 1 {
+                m.parallel_batches.inc();
+            }
+        }
         let mut out = Vec::new();
         for r in results {
-            let (worker, evaluations, sparse_advances, firings) = r?;
+            let (worker, evaluations, sparse_advances, fixpoint_skips, chunk_ns, firings) = r?;
             self.stats.evaluations += evaluations;
             self.stats.sparse_advances += sparse_advances;
             self.stats.record_worker(worker, evaluations);
             self.stats.firings += firings.len() as u64;
+            if let Some(m) = &self.metrics {
+                m.full_evaluations.add(evaluations);
+                m.sparse_advances.add(sparse_advances - fixpoint_skips);
+                m.fixpoint_skips.add(fixpoint_skips);
+                m.firings.add(firings.len() as u64);
+                m.batch_ns.observe(chunk_ns);
+                m.worker_counter(worker).add(evaluations);
+            }
             out.extend(firings);
         }
         Ok(out)
@@ -560,8 +749,14 @@ impl RuleManager {
         let (workers, demoted) =
             plan_workers(&self.cfg.parallel, self.ewma_eval_ns, selected.len(), full);
         self.stats.adaptive_seq_batches += u64::from(demoted);
+        let metrics = self.metrics.as_ref();
         let t0 = probe_clock();
         let results = run_partitioned(&mut selected, workers, |worker, chunk| {
+            let chunk_t0 = if metrics.is_some() {
+                tdb_obs::now()
+            } else {
+                None
+            };
             let mut evaluations = 0u64;
             let mut sparse_advances = 0u64;
             let mut entries = Vec::with_capacity(chunk.len());
@@ -577,23 +772,40 @@ impl RuleManager {
                 let envs = solve(&root)?;
                 entries.push((*k, rt.rule.name.clone(), clone, envs));
             }
-            Ok::<_, CoreError>((worker, evaluations, sparse_advances, entries))
+            let chunk_ns = tdb_obs::elapsed_ns(chunk_t0);
+            Ok::<_, CoreError>((worker, evaluations, sparse_advances, chunk_ns, entries))
         });
         self.note_batch_cost(t0, workers, full);
 
         if workers > 1 {
             self.stats.parallel_batches += 1;
         }
+        if let Some(m) = &self.metrics {
+            m.gate_checks.inc();
+            m.adaptive_seq_batches.add(u64::from(demoted));
+            if workers > 1 {
+                m.parallel_batches.inc();
+            }
+        }
         let mut violations = Vec::new();
         let mut clones = Vec::new();
         for r in results {
-            let (worker, evaluations, sparse_advances, entries) = r?;
+            let (worker, evaluations, sparse_advances, chunk_ns, entries) = r?;
             self.stats.evaluations += evaluations;
             self.stats.sparse_advances += sparse_advances;
             self.stats.record_worker(worker, evaluations);
+            if let Some(m) = &self.metrics {
+                m.gate_full.add(evaluations);
+                m.gate_sparse.add(sparse_advances);
+                m.batch_ns.observe(chunk_ns);
+                m.worker_counter(worker).add(evaluations);
+            }
             for (k, name, clone, envs) in entries {
                 for env in envs {
                     self.stats.firings += 1;
+                    if let Some(m) = &self.metrics {
+                        m.gate_violations.inc();
+                    }
                     violations.push(FiringRecord {
                         rule: name.clone(),
                         state_index: idx,

@@ -187,6 +187,20 @@ pub fn atom_memo_hits() -> u64 {
     MEMO_HITS.load(Ordering::Relaxed)
 }
 
+/// Registry handles for the memo's lookup/hit counters, resolved once per
+/// process (the memo itself is process-wide, so its counters always live
+/// in the global registry). Touched only while [`tdb_obs::enabled`].
+fn memo_counters() -> &'static (tdb_obs::Counter, tdb_obs::Counter) {
+    static COUNTERS: OnceLock<(tdb_obs::Counter, tdb_obs::Counter)> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let r = tdb_obs::global();
+        (
+            r.counter("tdb_atom_memo_lookups_total"),
+            r.counter("tdb_atom_memo_hits_total"),
+        )
+    })
+}
+
 /// Memoizing wrapper around [`parteval_atom`], keyed by the atom's interned
 /// address within the current state's epoch. Event atoms bypass the memo:
 /// they read the event set, which the epoch does not fingerprint, and they
@@ -200,6 +214,9 @@ pub fn parteval_atom_memo(atom: &Arc<Formula>, view: &StateView<'_>) -> Result<A
     }
     let key = Arc::as_ptr(atom) as usize;
     let now = view.state.time();
+    if tdb_obs::enabled() {
+        memo_counters().0.inc();
+    }
     let mut shard = memo_shards()[(key >> 5) % MEMO_SHARDS]
         .lock()
         .expect("atom memo lock");
@@ -212,6 +229,9 @@ pub fn parteval_atom_memo(atom: &Arc<Formula>, view: &StateView<'_>) -> Result<A
     } else if let Some((a, r)) = shard.map.get(&key) {
         if Arc::ptr_eq(a, atom) {
             MEMO_HITS.fetch_add(1, Ordering::Relaxed);
+            if tdb_obs::enabled() {
+                memo_counters().1.inc();
+            }
             return Ok(r.clone());
         }
     }

@@ -110,7 +110,27 @@ impl ReadSetIndex {
                 affected[id] = true;
             }
         }
+        if tdb_obs::enabled() {
+            let fanout = affected.iter().filter(|&&b| b).count() as u64;
+            let (marks, hist) = readset_metrics();
+            marks.add(fanout);
+            hist.observe(fanout);
+        }
     }
+}
+
+/// Registry handles for the delta fan-out instrumentation, resolved once
+/// per process. Touched only while [`tdb_obs::enabled`].
+fn readset_metrics() -> &'static (tdb_obs::Counter, std::sync::Arc<tdb_obs::Histogram>) {
+    static METRICS: std::sync::OnceLock<(tdb_obs::Counter, std::sync::Arc<tdb_obs::Histogram>)> =
+        std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = tdb_obs::global();
+        (
+            r.counter("tdb_readset_affected_marks_total"),
+            r.histogram("tdb_readset_delta_fanout"),
+        )
+    })
 }
 
 #[cfg(test)]

@@ -16,6 +16,14 @@ use crate::event::EventSet;
 /// The reserved name of the data item exposing the global clock.
 pub const TIME_ITEM: &str = "time";
 
+/// Registry handle for `tdb_states_total` (system states appended to any
+/// history), resolved once per process. Touched only while
+/// [`tdb_obs::enabled`].
+fn states_counter() -> &'static tdb_obs::Counter {
+    static COUNTER: std::sync::OnceLock<tdb_obs::Counter> = std::sync::OnceLock::new();
+    COUNTER.get_or_init(|| tdb_obs::global().counter("tdb_states_total"))
+}
+
 /// One snapshot of the system: database state + simultaneous events + time.
 #[derive(Debug, Clone)]
 pub struct SystemState {
@@ -231,6 +239,9 @@ impl History {
             s.events().commit_count() <= 1,
             "at most one transaction may commit per system state"
         );
+        if tdb_obs::enabled() {
+            states_counter().inc();
+        }
         self.states.push(s);
         if let Some(cap) = self.cap {
             while self.states.len() > cap {

@@ -11,6 +11,20 @@
 //! state's event set (commit states carry one `update(target)` event per
 //! touched catalog name), which is why checkpoints never persist them.
 
+/// Registry handles for the per-commit change-summary counters, resolved
+/// once per process. Touched only while [`tdb_obs::enabled`].
+fn delta_counters() -> &'static (tdb_obs::Counter, tdb_obs::Counter) {
+    static COUNTERS: std::sync::OnceLock<(tdb_obs::Counter, tdb_obs::Counter)> =
+        std::sync::OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let r = tdb_obs::global();
+        (
+            r.counter("tdb_delta_touched_names_total"),
+            r.counter("tdb_delta_raised_events_total"),
+        )
+    })
+}
+
 /// What changed at one system state: touched catalog names + raised events.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Delta {
@@ -31,6 +45,11 @@ impl Delta {
         touched_relations.dedup();
         raised_events.sort();
         raised_events.dedup();
+        if tdb_obs::enabled() {
+            let (touched, raised) = delta_counters();
+            touched.add(touched_relations.len() as u64);
+            raised.add(raised_events.len() as u64);
+        }
         Delta {
             touched_relations,
             raised_events,

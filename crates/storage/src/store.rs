@@ -155,7 +155,15 @@ impl FileStorage {
     }
 
     fn append_impl(&mut self, op: &LogicalOp) -> Result<()> {
+        let observe = tdb_obs::enabled();
+        let t0 = if observe { tdb_obs::now() } else { None };
         let bytes = self.writer.append(op)?;
+        if observe {
+            let m = wal_metrics();
+            m.appends.inc();
+            m.append_bytes.add(bytes);
+            m.append_ns.observe(tdb_obs::elapsed_ns(t0));
+        }
         self.bytes_since += bytes;
         if !op.is_audit() {
             self.ops_since += 1;
@@ -164,18 +172,54 @@ impl FileStorage {
     }
 
     fn checkpoint_impl(&mut self, snap: &SystemSnapshot) -> Result<()> {
+        let observe = tdb_obs::enabled();
+        let t0 = if observe { tdb_obs::now() } else { None };
         self.writer.sync()?;
         let next = self.writer.seq() + 1;
-        write_checkpoint(&self.dir, next, snap)?;
+        let ckpt_bytes = write_checkpoint(&self.dir, next, snap)?;
         self.writer = WalWriter::create(
             &self.dir.join(segment_file_name(next)),
             next,
             self.policy.sync_on_append,
         )?;
+        if observe {
+            let m = wal_metrics();
+            m.checkpoints.inc();
+            m.checkpoint_bytes
+                .set(i64::try_from(ckpt_bytes).unwrap_or(i64::MAX));
+            m.checkpoint_ns.observe(tdb_obs::elapsed_ns(t0));
+        }
         self.ops_since = 0;
         self.bytes_since = 0;
         Ok(())
     }
+}
+
+/// Registry handles for the durability-layer instrumentation, resolved
+/// once per process. Touched only while [`tdb_obs::enabled`].
+struct WalMetrics {
+    appends: tdb_obs::Counter,
+    append_bytes: tdb_obs::Counter,
+    append_ns: std::sync::Arc<tdb_obs::Histogram>,
+    checkpoints: tdb_obs::Counter,
+    /// Size of the most recent checkpoint file.
+    checkpoint_bytes: tdb_obs::Gauge,
+    checkpoint_ns: std::sync::Arc<tdb_obs::Histogram>,
+}
+
+fn wal_metrics() -> &'static WalMetrics {
+    static METRICS: std::sync::OnceLock<WalMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = tdb_obs::global();
+        WalMetrics {
+            appends: r.counter("tdb_wal_appends_total"),
+            append_bytes: r.counter("tdb_wal_append_bytes_total"),
+            append_ns: r.histogram("tdb_wal_append_ns"),
+            checkpoints: r.counter("tdb_checkpoint_total"),
+            checkpoint_bytes: r.gauge("tdb_checkpoint_bytes"),
+            checkpoint_ns: r.histogram("tdb_checkpoint_ns"),
+        }
+    })
 }
 
 impl WalSink for FileStorage {

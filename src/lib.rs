@@ -21,7 +21,9 @@
 //! * [`storage`] — durability (write-ahead log, Theorem-1 checkpoints,
 //!   crash recovery);
 //! * [`baseline`] — comparator implementations (naive re-evaluation,
-//!   event-expression automata).
+//!   event-expression automata);
+//! * [`obs`] — zero-dependency observability (metrics registry, tracing
+//!   spans, slow-rule log) wired through every layer above.
 //!
 //! ## Quickstart
 //!
@@ -56,6 +58,7 @@ pub use tdb_analysis as analysis;
 pub use tdb_baseline as baseline;
 pub use tdb_core as core;
 pub use tdb_engine as engine;
+pub use tdb_obs as obs;
 pub use tdb_ptl as ptl;
 pub use tdb_relation as relation;
 pub use tdb_storage as storage;

@@ -1,0 +1,371 @@
+//! Deterministic differential fuzzing of the whole dispatch stack, with the
+//! observability registry as a second oracle.
+//!
+//! A seeded random rule catalog (rising-edge thresholds, bounded windows,
+//! event `Since` chains, temporal aggregates) runs through a 500+-state
+//! seeded history under all 8 combinations of {delta dispatch off/on} ×
+//! {sequential / forced 4-worker parallel} × {no WAL / in-memory WAL}. The
+//! checks:
+//!
+//! * firings, commit/abort pattern and final database are byte-identical
+//!   across every combination;
+//! * the non-aggregate firings equal a `tdb_baseline::NaiveDetector`
+//!   full-history re-evaluation with the manager's edge-trigger filter
+//!   replayed on top (aggregate rules are excluded: their Section 6.1.1
+//!   rewriting is *delayed by one state* by design, so they are compared
+//!   across configurations instead);
+//! * per-run metrics invariants hold on a private registry: every rule
+//!   visit is accounted for by exactly one dispatch outcome, the rule
+//!   evaluation histogram count equals the full-evaluation counter (one
+//!   timer start per full evaluation), the firings counter equals the
+//!   firing log, and the registry mirrors `ManagerStats`;
+//! * global free-function counters (atom memo, read-set fan-out) stay
+//!   consistent: memo hits never exceed lookups.
+
+use std::sync::Arc;
+
+use temporal_adb::baseline::NaiveDetector;
+use temporal_adb::core::{
+    ActiveDatabase, FiringRecord, ManagerConfig, ManagerStats, ParallelConfig, Rule,
+    SharedMemorySink,
+};
+use temporal_adb::engine::History;
+use temporal_adb::obs::{ObsConfig, Registry, RegistrySnapshot};
+use temporal_adb::relation::Database;
+
+use tdb_bench::workload::{
+    apply_diff_step, differential_db, differential_rules, differential_steps,
+};
+
+const STEP_SEED: u64 = 0xD1FF_5EED;
+const RULE_SEED: u64 = 0x0B5E_CA4E;
+const STEPS: usize = 520;
+const RULES: usize = 12;
+
+/// The full observable trace of one configuration, plus its metrics.
+struct RunOut {
+    firings: Vec<FiringRecord>,
+    commits: Vec<bool>,
+    db: Database,
+    history: History,
+    stats: ManagerStats,
+    snap: RegistrySnapshot,
+}
+
+fn run_combo(delta_dispatch: bool, workers: usize, wal: bool) -> RunOut {
+    let registry = Arc::new(Registry::new());
+    let cfg = ManagerConfig {
+        delta_dispatch,
+        parallel: ParallelConfig {
+            workers,
+            min_rules_per_worker: 1,
+            adaptive: false,
+        },
+        obs: ObsConfig::with_registry(registry.clone()),
+        ..Default::default()
+    };
+    let mut adb = if wal {
+        ActiveDatabase::with_storage(differential_db(), cfg, Box::new(SharedMemorySink::new(64)))
+            .unwrap()
+    } else {
+        ActiveDatabase::with_config(differential_db(), cfg)
+    };
+    for r in differential_rules(RULE_SEED, RULES) {
+        adb.add_rule(r).unwrap();
+    }
+    let commits: Vec<bool> = differential_steps(STEP_SEED, STEPS)
+        .iter()
+        .map(|s| apply_diff_step(&mut adb, s))
+        .collect();
+    RunOut {
+        firings: adb.firings().to_vec(),
+        commits,
+        db: adb.db().clone(),
+        history: adb.history().clone(),
+        stats: adb.stats(),
+        snap: registry.snapshot(),
+    }
+}
+
+/// Replays the manager's firing semantics over `history` with one
+/// [`NaiveDetector`] per rule: state 0 primes the detectors (the manager
+/// discards firings at registration time), every later state fires the
+/// sorted satisfying bindings that were not already satisfied at the
+/// previous state (the rising-edge filter).
+fn naive_firings(rules: &[Rule], history: &History) -> Vec<FiringRecord> {
+    let mut detectors: Vec<NaiveDetector> = rules
+        .iter()
+        .map(|r| NaiveDetector::new(r.condition.clone()))
+        .collect();
+    let mut last_envs: Vec<Vec<temporal_adb::ptl::Env>> = vec![Vec::new(); rules.len()];
+    let mut out = Vec::new();
+    let mut states = history.iter();
+    let (_, s0) = states
+        .next()
+        .expect("history starts with the initial state");
+    for d in &mut detectors {
+        d.observe(s0);
+    }
+    for (idx, s) in states {
+        for (k, rule) in rules.iter().enumerate() {
+            let mut satisfied = detectors[k].advance_and_fire(s).unwrap();
+            satisfied.sort();
+            satisfied.dedup();
+            if satisfied.is_empty() {
+                last_envs[k].clear();
+                continue;
+            }
+            for env in &satisfied {
+                if rule.edge_triggered && last_envs[k].binary_search(env).is_ok() {
+                    continue;
+                }
+                out.push(FiringRecord {
+                    rule: rule.name.clone(),
+                    state_index: idx,
+                    time: s.time(),
+                    env: env.clone(),
+                });
+            }
+            last_envs[k] = satisfied;
+        }
+    }
+    out
+}
+
+/// The per-run metric invariants every configuration must satisfy.
+fn assert_metric_invariants(label: &str, out: &RunOut) {
+    let c = |name: &str| out.snap.counter(name).unwrap_or(0);
+    let visits = c("tdb_dispatch_rule_visits_total");
+    let full = c("tdb_dispatch_full_evaluations_total");
+    let sparse = c("tdb_dispatch_sparse_advances_total");
+    let fixpoint = c("tdb_dispatch_fixpoint_skipped_rules_total");
+    let gated = c("tdb_dispatch_gated_constraint_skips_total");
+    let relevance = c("tdb_dispatch_relevance_skipped_rules_total");
+    assert!(visits > 0, "{label}: dispatch never ran");
+    assert_eq!(
+        visits,
+        gated + relevance + full + sparse + fixpoint,
+        "{label}: every rule visit must resolve to exactly one outcome"
+    );
+    let commits = c("tdb_dispatch_commits_total");
+    assert!(commits > 0, "{label}: no commit states dispatched");
+    assert_eq!(
+        visits % commits,
+        0,
+        "{label}: each dispatch visits the whole catalog"
+    );
+
+    let eval_hist = out
+        .snap
+        .histogram("tdb_rule_eval_ns")
+        .expect("rule evaluation histogram registered");
+    assert_eq!(
+        eval_hist.count, full,
+        "{label}: one evaluation timer per full evaluation"
+    );
+    let batch_hist = out
+        .snap
+        .histogram("tdb_parallel_batch_ns")
+        .expect("batch histogram registered");
+    assert!(batch_hist.count > 0, "{label}: batch timings recorded");
+
+    assert_eq!(
+        c("tdb_firings_total"),
+        out.firings.len() as u64,
+        "{label}: firings counter equals the firing log"
+    );
+
+    // The registry mirrors the legacy `ManagerStats` counters exactly
+    // (the checkpoint codec still serializes the struct; the registry is
+    // additive alongside it).
+    assert_eq!(full, out.stats.evaluations, "{label}: evaluations");
+    assert_eq!(
+        sparse + fixpoint,
+        out.stats.sparse_advances,
+        "{label}: sparse advances (registry splits out fixpoint skips)"
+    );
+    assert_eq!(
+        c("tdb_parallel_batches_total"),
+        out.stats.parallel_batches,
+        "{label}: parallel batches"
+    );
+    assert_eq!(
+        c("tdb_parallel_adaptive_seq_batches_total"),
+        out.stats.adaptive_seq_batches,
+        "{label}: adaptive demotions"
+    );
+    assert_eq!(
+        out.snap
+            .counter_family("tdb_parallel_worker_evaluations_total"),
+        out.stats.worker_evaluations.iter().sum::<u64>(),
+        "{label}: per-worker evaluation totals"
+    );
+}
+
+#[test]
+fn eight_combos_agree_and_match_the_naive_oracle() {
+    // Free-function instrumentation (atom memo, read-set fan-out, WAL)
+    // records into the process-global registry only while the global flag
+    // is on; those counters are monotone, so snapshots stay comparable
+    // even with other tests running in this binary.
+    temporal_adb::obs::set_enabled(true);
+    let global_before = temporal_adb::obs::global().snapshot();
+
+    let reference = run_combo(false, 1, false);
+    assert!(
+        !reference.firings.is_empty(),
+        "the seeded workload must produce firings (dead differential test otherwise)"
+    );
+    assert_eq!(reference.commits.len(), STEPS);
+    assert_eq!(
+        reference.history.retained(),
+        reference.history.len(),
+        "the oracle walks the full history; nothing may be evicted"
+    );
+
+    // Oracle: naive full-history re-evaluation of every non-aggregate rule.
+    let rules = differential_rules(RULE_SEED, RULES);
+    let oracle_rules: Vec<Rule> = rules
+        .iter()
+        .filter(|r| r.name.starts_with("ptl"))
+        .cloned()
+        .collect();
+    assert!(
+        oracle_rules.len() >= RULES / 2,
+        "most generated rules must be naive-comparable"
+    );
+    let expected = naive_firings(&oracle_rules, &reference.history);
+    let oracle_names: Vec<&str> = oracle_rules.iter().map(|r| r.name.as_str()).collect();
+    let got: Vec<FiringRecord> = reference
+        .firings
+        .iter()
+        .filter(|f| oracle_names.contains(&f.rule.as_str()))
+        .cloned()
+        .collect();
+    assert!(
+        !expected.is_empty(),
+        "the oracle subset must fire (dead oracle otherwise)"
+    );
+    assert_eq!(
+        got, expected,
+        "incremental dispatch diverged from the naive full-history oracle"
+    );
+
+    // All eight combinations produce byte-identical observable traces.
+    assert_metric_invariants("delta=off workers=1 wal=off", &reference);
+    for delta in [false, true] {
+        for workers in [1usize, 4] {
+            for wal in [false, true] {
+                if (delta, workers, wal) == (false, 1, false) {
+                    continue;
+                }
+                let label = format!("delta={delta} workers={workers} wal={wal}");
+                let out = run_combo(delta, workers, wal);
+                assert_eq!(out.firings, reference.firings, "{label}: firings diverge");
+                assert_eq!(out.commits, reference.commits, "{label}: commits diverge");
+                assert_eq!(out.db, reference.db, "{label}: final databases diverge");
+                assert_metric_invariants(&label, &out);
+                if delta {
+                    assert!(
+                        out.snap
+                            .counter("tdb_dispatch_sparse_advances_total")
+                            .unwrap_or(0)
+                            + out
+                                .snap
+                                .counter("tdb_dispatch_fixpoint_skipped_rules_total")
+                                .unwrap_or(0)
+                            > 0,
+                        "{label}: delta dispatch must actually take the sparse path"
+                    );
+                }
+                if workers > 1 {
+                    assert!(
+                        out.stats.parallel_batches > 0,
+                        "{label}: forced 4-worker config never ran a parallel batch"
+                    );
+                }
+            }
+        }
+    }
+
+    // Global free-function counters: monotone and internally consistent.
+    let global_after = temporal_adb::obs::global().snapshot();
+    let delta_of = |name: &str| {
+        global_after.counter(name).unwrap_or(0) - global_before.counter(name).unwrap_or(0)
+    };
+    let lookups = delta_of("tdb_atom_memo_lookups_total");
+    let hits = delta_of("tdb_atom_memo_hits_total");
+    assert!(lookups > 0, "atom memo never consulted");
+    assert!(hits <= lookups, "memo hits exceed lookups");
+    assert!(
+        delta_of("tdb_states_total") > 0,
+        "state counter never advanced"
+    );
+    assert!(
+        delta_of("tdb_wal_logical_ops_total") > 0,
+        "WAL combos must record logical appends"
+    );
+    assert!(
+        delta_of("tdb_wal_checkpoints_total") > 0,
+        "the in-memory sink's checkpoint cadence must have triggered"
+    );
+    assert!(
+        delta_of("tdb_delta_touched_names_total") > 0,
+        "delta summaries never counted"
+    );
+}
+
+/// Regression for the worker-attribution stats: under a forced 4-worker
+/// pool the per-worker evaluation counters on the registry must agree with
+/// `ManagerStats::worker_evaluations` index by index, and work must really
+/// land on more than one worker.
+#[test]
+fn worker_stats_match_registry_under_forced_parallelism() {
+    let out = run_combo(true, 4, false);
+    assert!(out.stats.parallel_batches > 0, "no parallel batches ran");
+    let per_worker: Vec<u64> = {
+        let mut v: Vec<(usize, u64)> = out
+            .snap
+            .metrics
+            .iter()
+            .filter(|m| m.name == "tdb_parallel_worker_evaluations_total")
+            .map(|m| {
+                let worker: usize = m
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == "worker")
+                    .expect("worker label")
+                    .1
+                    .parse()
+                    .expect("numeric worker id");
+                match m.value {
+                    temporal_adb::obs::MetricValue::Counter(c) => (worker, c),
+                    _ => panic!("worker evaluations must be a counter"),
+                }
+            })
+            .collect();
+        v.sort();
+        let max = v.last().map(|(w, _)| *w).unwrap_or(0);
+        let mut dense = vec![0u64; max + 1];
+        for (w, c) in v {
+            dense[w] = c;
+        }
+        dense
+    };
+    let mut stats_workers = out.stats.worker_evaluations.clone();
+    while stats_workers.last() == Some(&0) {
+        stats_workers.pop();
+    }
+    let mut registry_workers = per_worker;
+    while registry_workers.last() == Some(&0) {
+        registry_workers.pop();
+    }
+    assert_eq!(
+        registry_workers, stats_workers,
+        "registry worker counters diverge from ManagerStats::worker_evaluations"
+    );
+    assert!(
+        registry_workers.iter().filter(|&&c| c > 0).count() > 1,
+        "forced 4-worker pool attributed all evaluations to one worker"
+    );
+}
