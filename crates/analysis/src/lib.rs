@@ -29,6 +29,8 @@ pub mod triggering;
 
 pub use boundedness::{certify, BoundCertificate, Boundedness, Offender};
 pub use diagnostics::{Diagnostic, LintCode, LintLevel, Report, RuleVerdict, Severity};
-pub use rulefile::{parse_rule_file, RuleFile};
+pub use rulefile::{
+    parse_rule_file, parse_rule_file_full, ParsedAction, ParsedRule, ParsedRuleFile, RuleFile,
+};
 pub use ruleset::{analyze_rule_set, lint_rule, RuleInput};
 pub use triggering::{analyze_triggering, RuleSpec, TriggerGraph};

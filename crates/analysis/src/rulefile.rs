@@ -35,7 +35,9 @@
 
 use std::collections::BTreeSet;
 
-use tdb_ptl::{executed_query_name, parse_formula_cursor, parse_term_cursor, PtlError, Result};
+use tdb_ptl::{
+    executed_query_name, parse_formula_cursor, parse_term_cursor, PtlError, Result, Term,
+};
 use tdb_relation::lexer::{Cursor, Tok};
 
 use crate::ruleset::RuleInput;
@@ -46,15 +48,63 @@ pub struct RuleFile {
     pub rules: Vec<RuleInput>,
 }
 
+/// One action of a rule, structurally. The verifier only needs the write
+/// *set* (see [`RuleInput::writes`]); consumers that execute rules — the
+/// network server registers rules shipped as rule-file text — need the
+/// terms themselves, so the parser keeps both.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParsedAction {
+    /// `set ITEM := term`.
+    Set { item: String, value: Term },
+    /// `insert REL(term, …)`.
+    Insert { relation: String, tuple: Vec<Term> },
+    /// `delete REL(term, …)`.
+    Delete { relation: String, tuple: Vec<Term> },
+    /// `signal EVENT` — raise an event (write-set only; execution backends
+    /// may not support it).
+    Signal { event: String },
+    /// `program NAME` — an opaque host program.
+    Program { name: String },
+    /// `notify`.
+    Notify,
+    /// `abort` — the rule is an integrity constraint.
+    Abort,
+}
+
+/// A rule with both its verifier input and its structured actions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedRule {
+    pub input: RuleInput,
+    pub actions: Vec<ParsedAction>,
+}
+
+/// A rule file parsed with full action structure.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParsedRuleFile {
+    pub rules: Vec<ParsedRule>,
+}
+
 /// Parses a rule file into verifier inputs. Spans inside each rule's
 /// condition index into `src` itself.
 pub fn parse_rule_file(src: &str) -> Result<RuleFile> {
+    Ok(RuleFile {
+        rules: parse_rule_file_full(src)?
+            .rules
+            .into_iter()
+            .map(|r| r.input)
+            .collect(),
+    })
+}
+
+/// Parses a rule file keeping the structured actions alongside each rule's
+/// verifier input.
+pub fn parse_rule_file_full(src: &str) -> Result<ParsedRuleFile> {
     let mut c = Cursor::new(src)?;
     let mut rules = Vec::new();
     while !c.at_end() {
         rules.push(parse_rule(&mut c)?);
     }
-    Ok(RuleFile { rules })
+    Ok(ParsedRuleFile { rules })
 }
 
 fn err_here(c: &Cursor, msg: impl Into<String>) -> PtlError {
@@ -64,7 +114,7 @@ fn err_here(c: &Cursor, msg: impl Into<String>) -> PtlError {
     }
 }
 
-fn parse_rule(c: &mut Cursor) -> Result<RuleInput> {
+fn parse_rule(c: &mut Cursor) -> Result<ParsedRule> {
     if !c.eat_kw("rule") {
         return Err(err_here(c, "expected `rule`"));
     }
@@ -85,10 +135,9 @@ fn parse_rule(c: &mut Cursor) -> Result<RuleInput> {
     if !c.eat_kw("then") {
         return Err(err_here(c, "expected `then`"));
     }
-    let mut writes = BTreeSet::new();
-    let mut opaque_action = false;
+    let mut actions = Vec::new();
     loop {
-        parse_action(c, &mut writes, &mut opaque_action)?;
+        actions.push(parse_action(c)?);
         if !c.eat_punct(",") {
             break;
         }
@@ -99,35 +148,57 @@ fn parse_rule(c: &mut Cursor) -> Result<RuleInput> {
     if !c.eat_punct("}") {
         return Err(err_here(c, "expected `}` to close rule"));
     }
+
+    let mut writes = BTreeSet::new();
+    let mut opaque_action = false;
+    for a in &actions {
+        match a {
+            ParsedAction::Set { item, .. } => {
+                writes.insert(format!("query:{item}"));
+            }
+            ParsedAction::Insert { relation, .. } | ParsedAction::Delete { relation, .. } => {
+                writes.insert(format!("query:{relation}"));
+            }
+            ParsedAction::Signal { event } => {
+                writes.insert(format!("event:{event}"));
+            }
+            ParsedAction::Program { .. } => opaque_action = true,
+            ParsedAction::Notify | ParsedAction::Abort => {}
+        }
+    }
     writes.insert(format!("query:{}", executed_query_name(&name)));
-    Ok(RuleInput {
-        name,
-        condition,
-        spans: Some(spans),
-        extra_reads: BTreeSet::new(),
-        writes,
-        opaque_action,
+    Ok(ParsedRule {
+        input: RuleInput {
+            name,
+            condition,
+            spans: Some(spans),
+            extra_reads: BTreeSet::new(),
+            writes,
+            opaque_action,
+        },
+        actions,
     })
 }
 
-fn parse_action(c: &mut Cursor, writes: &mut BTreeSet<String>, opaque: &mut bool) -> Result<()> {
+fn parse_action(c: &mut Cursor) -> Result<ParsedAction> {
     if c.eat_kw("set") {
         let item = c.expect_ident()?;
         if !c.eat_punct(":=") {
             return Err(err_here(c, "expected `:=` in `set`"));
         }
-        parse_term_cursor(c)?;
-        writes.insert(format!("query:{item}"));
-        return Ok(());
+        let value = parse_term_cursor(c)?;
+        return Ok(ParsedAction::Set { item, value });
     }
-    if c.eat_kw("insert") || c.eat_kw("delete") {
+    let insert = c.eat_kw("insert");
+    if insert || c.eat_kw("delete") {
         let rel = c.expect_ident()?;
         if !c.eat_punct("(") {
             return Err(err_here(c, "expected `(` after relation name"));
         }
+        let mut tuple = Vec::new();
         if !c.eat_punct(")") {
             loop {
-                parse_term_cursor(c)?;
+                tuple.push(parse_term_cursor(c)?);
                 if !c.eat_punct(",") {
                     break;
                 }
@@ -136,21 +207,31 @@ fn parse_action(c: &mut Cursor, writes: &mut BTreeSet<String>, opaque: &mut bool
                 return Err(err_here(c, "expected `)` after tuple"));
             }
         }
-        writes.insert(format!("query:{rel}"));
-        return Ok(());
+        return Ok(if insert {
+            ParsedAction::Insert {
+                relation: rel,
+                tuple,
+            }
+        } else {
+            ParsedAction::Delete {
+                relation: rel,
+                tuple,
+            }
+        });
     }
     if c.eat_kw("signal") {
         let ev = c.expect_ident()?;
-        writes.insert(format!("event:{ev}"));
-        return Ok(());
+        return Ok(ParsedAction::Signal { event: ev });
     }
     if c.eat_kw("program") {
-        c.expect_ident()?;
-        *opaque = true;
-        return Ok(());
+        let name = c.expect_ident()?;
+        return Ok(ParsedAction::Program { name });
     }
-    if c.eat_kw("notify") || c.eat_kw("abort") {
-        return Ok(());
+    if c.eat_kw("notify") {
+        return Ok(ParsedAction::Notify);
+    }
+    if c.eat_kw("abort") {
+        return Ok(ParsedAction::Abort);
     }
     Err(err_here(
         c,

@@ -112,11 +112,28 @@ struct Program {
     time_vars: Arc<BTreeSet<String>>,
 }
 
-/// Caps on the process-wide intern tables. Overflow clears the table:
-/// existing `Arc`s stay valid (sharing simply restarts), so the caps bound
-/// memory without affecting semantics.
+/// Caps on the process-wide intern tables. These tables are shared by
+/// *every* tenant in the process (a multi-tenant server registers rules
+/// from many independent databases through them), so overflow must degrade
+/// fairly: instead of clearing the whole table — which would let one tenant
+/// registering a burst of unique rules evict every other tenant's entries
+/// at once — overflow evicts half the entries. Existing `Arc`s stay valid
+/// either way (sharing simply restarts for evicted shapes), so the caps
+/// bound memory without affecting semantics, and a misbehaving tenant can
+/// degrade cross-rule sharing for others by at most a constant factor per
+/// burst rather than resetting it completely.
 const PROGRAM_CACHE_CAP: usize = 1024;
 const ATOM_INTERN_CAP: usize = 4096;
+
+/// Evicts roughly half of `map` (arbitrary entries — `HashMap` iteration
+/// order is effectively random, so no tenant's entries are preferred).
+fn evict_half<K: Clone + std::hash::Hash + Eq, V>(map: &mut HashMap<K, V>) {
+    let keep = map.len() / 2;
+    let victims: Vec<K> = map.keys().skip(keep).cloned().collect();
+    for k in victims {
+        map.remove(&k);
+    }
+}
 
 /// Compiles a core-form condition, reusing the process-wide program cache.
 fn compile_program(core: &Formula) -> Result<Program> {
@@ -134,7 +151,7 @@ fn compile_program(core: &Formula) -> Result<Program> {
     };
     let mut c = cache.lock().expect("program cache lock");
     if c.len() >= PROGRAM_CACHE_CAP {
-        c.clear();
+        evict_half(&mut c);
     }
     c.insert(core.clone(), p.clone());
     Ok(p)
@@ -143,7 +160,11 @@ fn compile_program(core: &Formula) -> Result<Program> {
 /// Interns an atomic formula so that structurally identical atoms — within
 /// one rule or across rules — share one allocation. The returned pointer
 /// identity keys the per-state atom memo, which is what lets rule `B` reuse
-/// the partial evaluation rule `A` just paid for.
+/// the partial evaluation rule `A` just paid for. Atoms are compared by
+/// structure only, never by originating database, so sharing across tenants
+/// is sound: an atom is just a formula shape, and the per-state memo keys
+/// on (snapshot id, database pointer) epochs which never collide between
+/// tenants.
 fn intern_atom(f: &Formula) -> Arc<Formula> {
     static ATOMS: OnceLock<Mutex<HashMap<Formula, Arc<Formula>>>> = OnceLock::new();
     let table = ATOMS.get_or_init(|| Mutex::new(HashMap::new()));
@@ -152,7 +173,7 @@ fn intern_atom(f: &Formula) -> Arc<Formula> {
         return a.clone();
     }
     if t.len() >= ATOM_INTERN_CAP {
-        t.clear();
+        evict_half(&mut t);
     }
     let a = Arc::new(f.clone());
     t.insert(f.clone(), a.clone());

@@ -30,6 +30,7 @@ pub mod parteval;
 pub mod readset;
 pub mod residual;
 pub mod rules;
+pub mod shard;
 pub mod storage;
 pub mod validtime;
 pub mod vtfacade;
@@ -45,8 +46,9 @@ pub use manager::{
 };
 pub use parallel::ParallelConfig;
 pub use readset::ReadSetIndex;
-pub use residual::{intern_arc, interned_count};
+pub use residual::{intern_arc, interned_count, sweep_arena};
 pub use rules::{Action, ActionOp, FiringRecord, Program, Rule, RuleKind, TXN_VAR};
+pub use shard::{ApplyOutcome, Shard, ShardStats};
 pub use storage::{LogicalOp, MemorySink, SharedMemorySink, SystemSnapshot, WalSink};
 pub use tdb_analysis::{Boundedness, Diagnostic, LintCode, LintLevel, Report, Severity};
 // Observability wiring used by `ManagerConfig { obs }` and the facade's

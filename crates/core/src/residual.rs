@@ -651,6 +651,30 @@ pub fn interned_count() -> usize {
         .sum()
 }
 
+/// Forces a sweep of every arena shard, dropping nodes whose only owner is
+/// the arena, and returns the number of nodes still resident.
+///
+/// The normal sweep runs lazily when a shard's insert count crosses its
+/// watermark, which is the right amortization for a steady workload but
+/// leaves dead nodes resident after a burst *ends* — in a multi-tenant
+/// process, a tenant that built a large formula state and then went idle
+/// (or was dropped) would otherwise pin its dead nodes until some other
+/// tenant's inserts happen to trip that shard's watermark. Servers call
+/// this on tenant teardown or on a slow maintenance tick; each shard also
+/// re-arms its watermark from its post-sweep live count, so one tenant's
+/// historical peak stops inflating the sweep threshold every other tenant
+/// shares.
+pub fn sweep_arena() -> usize {
+    let a = arena();
+    let mut live = 0;
+    for shard in &a.shards {
+        let mut s = shard.lock().expect("arena shard poisoned");
+        sweep(&mut s, a);
+        live += s.entries;
+    }
+    live
+}
+
 /// Shared constants (interned once per process).
 pub fn rtrue() -> Arc<Residual> {
     static TRUE: OnceLock<Arc<Residual>> = OnceLock::new();

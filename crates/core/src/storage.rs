@@ -131,7 +131,11 @@ impl SystemSnapshot {
 /// A durability backend as seen from the facade: an append-only op log plus
 /// a checkpoint writer. Implementations decide the trigger policy
 /// ([`WalSink::wants_checkpoint`]) — e.g. every N appended ops or M bytes.
-pub trait WalSink: std::fmt::Debug {
+///
+/// Sinks must be [`Send`]: a multi-tenant server pins each tenant's
+/// [`crate::ActiveDatabase`] (sink included) to a shard worker thread, and
+/// tenants may be handed between threads at creation time.
+pub trait WalSink: std::fmt::Debug + Send {
     /// Appends one op. Called *before* the op is applied (write-ahead).
     fn append(&mut self, op: &LogicalOp) -> Result<()>;
 
@@ -196,38 +200,38 @@ impl WalSink for MemorySink {
 /// A cloneable handle over a [`MemorySink`], for tests that need to keep
 /// inspecting the log after handing the sink (boxed) to the facade.
 #[derive(Debug, Clone, Default)]
-pub struct SharedMemorySink(std::rc::Rc<std::cell::RefCell<MemorySink>>);
+pub struct SharedMemorySink(std::sync::Arc<std::sync::Mutex<MemorySink>>);
 
 impl SharedMemorySink {
     pub fn new(every_ops: usize) -> SharedMemorySink {
-        SharedMemorySink(std::rc::Rc::new(std::cell::RefCell::new(MemorySink::new(
+        SharedMemorySink(std::sync::Arc::new(std::sync::Mutex::new(MemorySink::new(
             every_ops,
         ))))
     }
 
-    /// Borrows the underlying sink (panics if the facade is mid-append,
-    /// which cannot happen from test code running between facade calls).
-    pub fn inner(&self) -> std::cell::Ref<'_, MemorySink> {
-        self.0.borrow()
+    /// Locks the underlying sink (never contended from test code running
+    /// between facade calls).
+    pub fn inner(&self) -> std::sync::MutexGuard<'_, MemorySink> {
+        self.0.lock().expect("memory sink poisoned")
     }
 
     /// The latest snapshot plus the ops appended after it, cloned out.
     pub fn latest(&self) -> Option<(SystemSnapshot, Vec<LogicalOp>)> {
-        let inner = self.0.borrow();
+        let inner = self.inner();
         inner.latest().map(|(s, ops)| (s.clone(), ops.to_vec()))
     }
 }
 
 impl WalSink for SharedMemorySink {
     fn append(&mut self, op: &LogicalOp) -> Result<()> {
-        self.0.borrow_mut().append(op)
+        self.inner().append(op)
     }
 
     fn wants_checkpoint(&self) -> bool {
-        self.0.borrow().wants_checkpoint()
+        self.inner().wants_checkpoint()
     }
 
     fn checkpoint(&mut self, snap: &SystemSnapshot) -> Result<()> {
-        self.0.borrow_mut().checkpoint(snap)
+        self.inner().checkpoint(snap)
     }
 }

@@ -1,0 +1,209 @@
+//! Multi-tenant smoke driver for a running tdb-server (used by CI).
+//!
+//! ```text
+//! tdb-smoke --addr HOST:PORT [--tenants N] [--commits K]
+//! ```
+//!
+//! One thread per tenant, each on its own connection: create the tenant,
+//! register a watch rule and a cap constraint, subscribe to firings, drive
+//! `K` commits, then check (a) every expected firing arrived both in the
+//! commit responses and on the subscription stream, (b) the final queried
+//! value is right, (c) the constraint vetoed the out-of-range op, and
+//! (d) the metrics exposition carries the server families. Exits non-zero
+//! on any mismatch.
+
+use std::process::ExitCode;
+
+use tdb_core::storage::LogicalOp;
+use tdb_engine::WriteOp;
+use tdb_relation::{parse_query, QueryDef, Relation, Value};
+use tdb_server::wire::MetricsFormat;
+use tdb_server::Client;
+
+const RULES: &str = "rule watch { when n() >= 5; then notify; }\n\
+                     rule cap { when n() <= 100; then abort; }\n";
+
+fn drive(addr: &str, tenant: &str, commits: i64) -> Result<usize, String> {
+    let e =
+        |what: &'static str| move |err: tdb_server::ServerError| format!("{tenant}: {what}: {err}");
+    let mut c = Client::connect(addr).map_err(e("connect"))?;
+    c.create_tenant(tenant, false).map_err(e("create"))?;
+    let seed = c
+        .commit(
+            tenant,
+            vec![
+                LogicalOp::SetItem {
+                    name: "n".into(),
+                    value: Value::Int(0),
+                },
+                LogicalOp::DefineQuery {
+                    name: "n".into(),
+                    def: QueryDef::new(0, parse_query("item n").map_err(|e| e.to_string())?),
+                },
+            ],
+        )
+        .map_err(e("seed"))?;
+    if !seed.all_ok() {
+        return Err(format!("{tenant}: seed ops rejected: {:?}", seed.outcomes));
+    }
+    let (names, _) = c.register_rules(tenant, RULES).map_err(e("register"))?;
+    if names != ["watch", "cap"] {
+        return Err(format!("{tenant}: registered {names:?}"));
+    }
+    let sub = c.subscribe(tenant).map_err(e("subscribe"))?;
+
+    let mut expected_firings = 0usize;
+    for i in 1..=commits {
+        let out = c
+            .commit(
+                tenant,
+                vec![
+                    LogicalOp::AdvanceClock { delta: 1 },
+                    LogicalOp::Update {
+                        ops: vec![WriteOp::SetItem {
+                            item: "n".into(),
+                            value: Value::Int(i),
+                        }],
+                    },
+                ],
+            )
+            .map_err(e("commit"))?;
+        if !out.all_ok() {
+            return Err(format!("{tenant}: commit {i} rejected: {:?}", out.outcomes));
+        }
+        // `watch` is edge-triggered: it fires once, when n first reaches 5.
+        if i == 5 {
+            expected_firings += 1;
+            if out.firings.len() != 1 || out.firings[0].rule != "watch" {
+                return Err(format!("{tenant}: commit {i} firings {:?}", out.firings));
+            }
+        } else if !out.firings.is_empty() {
+            return Err(format!("{tenant}: unexpected firings at {i}"));
+        }
+    }
+
+    // The cap constraint vetoes an out-of-range write: op-level Err, value
+    // unchanged.
+    let veto = c
+        .commit(
+            tenant,
+            vec![
+                LogicalOp::AdvanceClock { delta: 1 },
+                LogicalOp::Update {
+                    ops: vec![WriteOp::SetItem {
+                        item: "n".into(),
+                        value: Value::Int(500),
+                    }],
+                },
+            ],
+        )
+        .map_err(e("veto commit"))?;
+    if veto.outcomes[1].is_ok() {
+        return Err(format!("{tenant}: constraint did not veto"));
+    }
+
+    let rel = c.query(tenant, "item n", vec![]).map_err(e("query"))?;
+    if rel != Relation::scalar(Value::Int(commits)) {
+        return Err(format!("{tenant}: final value {rel:?}, wanted {commits}"));
+    }
+
+    // Every expected firing must also have been streamed to the
+    // subscription (plus the constraint firing from the veto).
+    c.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .map_err(e("timeout"))?;
+    let mut streamed = 0usize;
+    for _ in 0..expected_firings {
+        let (id, rec) = c.recv_firing().map_err(e("recv_firing"))?;
+        if id != sub || rec.rule != "watch" {
+            return Err(format!("{tenant}: streamed ({id}, {})", rec.rule));
+        }
+        streamed += 1;
+    }
+    let (_, cap_rec) = c.recv_firing().map_err(e("recv cap firing"))?;
+    if cap_rec.rule != "cap" {
+        return Err(format!(
+            "{tenant}: expected cap firing, got {}",
+            cap_rec.rule
+        ));
+    }
+
+    let stats = c.tenant_stats(tenant).map_err(e("stats"))?;
+    if stats.rules != 2 || stats.firings == 0 {
+        return Err(format!("{tenant}: stats {stats:?}"));
+    }
+    Ok(streamed)
+}
+
+fn main() -> ExitCode {
+    let mut addr = String::new();
+    let mut tenants = 4usize;
+    let mut commits = 8i64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = value(),
+            "--tenants" => tenants = value().parse().unwrap_or(4),
+            "--commits" => commits = value().parse().unwrap_or(8).max(6),
+            _ => {
+                eprintln!("usage: tdb-smoke --addr HOST:PORT [--tenants N] [--commits K]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if addr.is_empty() {
+        eprintln!("usage: tdb-smoke --addr HOST:PORT [--tenants N] [--commits K]");
+        return ExitCode::from(2);
+    }
+
+    let handles: Vec<_> = (0..tenants)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || drive(&addr, &format!("smoke-{i}"), commits))
+        })
+        .collect();
+    let mut failures = 0;
+    let mut streamed = 0;
+    for h in handles {
+        match h.join() {
+            Ok(Ok(n)) => streamed += n,
+            Ok(Err(msg)) => {
+                eprintln!("FAIL {msg}");
+                failures += 1;
+            }
+            Err(_) => {
+                eprintln!("FAIL driver thread panicked");
+                failures += 1;
+            }
+        }
+    }
+
+    // The shared exposition must carry the server families.
+    match Client::connect(&addr).and_then(|mut c| c.metrics(MetricsFormat::Prometheus)) {
+        Ok(text) => {
+            for family in ["tdb_server_requests_total", "tdb_server_tenant_states"] {
+                if !text.contains(family) {
+                    eprintln!("FAIL metrics exposition missing {family}");
+                    failures += 1;
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("FAIL metrics scrape: {e}");
+            failures += 1;
+        }
+    }
+
+    if failures == 0 {
+        println!("SMOKE OK tenants={tenants} commits={commits} streamed_firings={streamed}");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("SMOKE FAILED ({failures} failure(s))");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,120 @@
+//! Server-side observability: request counters, latency histograms,
+//! connection/tenant gauges — all registered in the shared `tdb-obs`
+//! registry so one `Metrics` request (or scrape of the daemon's output)
+//! sees the server *and* every tenant's manager-level instrumentation in a
+//! single exposition.
+//!
+//! Naming: `tdb_server_*` for server-owned series; per-tenant gauges carry
+//! a `tenant` label (`tdb_server_tenant_states{tenant="acme"}`), matching
+//! the labeled-family support in [`tdb_obs::Registry::render_prometheus`].
+
+use tdb_obs::{elapsed_ns, global, now, Counter, Gauge};
+
+/// Pre-resolved handles for the per-request hot path.
+#[derive(Debug, Clone)]
+pub struct ServerMetrics {
+    pub connections_open: Gauge,
+    pub connections_total: Counter,
+    pub requests_total: Counter,
+    pub request_errors: Counter,
+    pub frames_rejected: Counter,
+    pub tenants: Gauge,
+    pub subscriptions: Gauge,
+    pub firings_streamed: Counter,
+}
+
+impl ServerMetrics {
+    /// Resolves every handle from the global registry.
+    pub fn resolve() -> ServerMetrics {
+        let r = global();
+        ServerMetrics {
+            connections_open: r.gauge("tdb_server_connections_open"),
+            connections_total: r.counter("tdb_server_connections_total"),
+            requests_total: r.counter("tdb_server_requests_total"),
+            request_errors: r.counter("tdb_server_request_errors_total"),
+            frames_rejected: r.counter("tdb_server_frames_rejected_total"),
+            tenants: r.gauge("tdb_server_tenants"),
+            subscriptions: r.gauge("tdb_server_subscriptions"),
+            firings_streamed: r.counter("tdb_server_firings_streamed_total"),
+        }
+    }
+
+    /// Records one serviced request: a per-kind counter and its latency.
+    pub fn observe_request(&self, kind: &'static str, t0: Option<std::time::Instant>, ok: bool) {
+        self.requests_total.inc();
+        if !ok {
+            self.request_errors.inc();
+        }
+        let r = global();
+        r.counter_with("tdb_server_requests", &[("kind", kind)])
+            .inc();
+        r.histogram_with("tdb_server_request_ns", &[("kind", kind)])
+            .observe(elapsed_ns(t0));
+    }
+}
+
+/// Starts a latency measurement (None under miri — records 0).
+pub fn request_timer() -> Option<std::time::Instant> {
+    now()
+}
+
+/// Publishes one tenant's point-in-time gauges under its `tenant` label.
+pub fn publish_tenant_gauges(name: &str, stats: &tdb_core::ShardStats, wal_bytes: u64) {
+    let r = global();
+    let labels: &[(&str, &str)] = &[("tenant", name)];
+    let as_i64 = |v: usize| i64::try_from(v).unwrap_or(i64::MAX);
+    r.gauge_with("tdb_server_tenant_states", labels)
+        .set(as_i64(stats.states));
+    r.gauge_with("tdb_server_tenant_rules", labels)
+        .set(as_i64(stats.rules));
+    r.gauge_with("tdb_server_tenant_firings", labels)
+        .set(as_i64(stats.firings));
+    r.gauge_with("tdb_server_tenant_retained", labels)
+        .set(as_i64(stats.retained));
+    r.gauge_with("tdb_server_tenant_wal_bytes", labels)
+        .set(i64::try_from(wal_bytes).unwrap_or(i64::MAX));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_observation_lands_in_registry() {
+        let m = ServerMetrics::resolve();
+        let before = global()
+            .snapshot()
+            .counter_family("tdb_server_requests_total");
+        m.observe_request("commit", request_timer(), true);
+        m.observe_request("commit", request_timer(), false);
+        let snap = global().snapshot();
+        assert_eq!(snap.counter_family("tdb_server_requests_total"), before + 2);
+        assert!(snap.counter_family("tdb_server_request_errors_total") >= 1);
+        let text = snap.render_prometheus();
+        assert!(
+            text.contains("tdb_server_requests{kind=\"commit\"}"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn tenant_gauges_carry_tenant_label() {
+        let stats = tdb_core::ShardStats {
+            states: 3,
+            rules: 2,
+            firings: 1,
+            retained: 8,
+            now: tdb_relation::Timestamp(5),
+        };
+        publish_tenant_gauges("acme", &stats, 4096);
+        let text = global().snapshot().render_prometheus();
+        assert!(
+            text.contains("tdb_server_tenant_states{tenant=\"acme\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tdb_server_tenant_wal_bytes{tenant=\"acme\"} 4096"),
+            "{text}"
+        );
+    }
+}

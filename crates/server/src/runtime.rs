@@ -1,0 +1,731 @@
+//! The shard pool: a fixed set of OS worker threads, each owning the
+//! tenants routed to it, fed through per-worker MPSC queues.
+//!
+//! Ownership model (see `DESIGN.md` §12): a tenant lives on exactly one
+//! worker thread for its whole life — the worker's queue serializes every
+//! op against it, so a tenant's firing log is as deterministic as a
+//! single-process library run. Tenants on *different* workers share no
+//! mutable state (the residual interning arena and compiled-program cache
+//! are process-wide but internally synchronized and bounded), so workers
+//! never contend beyond the global metrics registry.
+//!
+//! Requests travel as [`Job`]s with a rendezvous reply channel; firing
+//! subscriptions are push-based — after every commit the owning worker
+//! writes `Response::Firing` frames straight to each subscribed
+//! connection's shared writer.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use tdb_analysis::LintLevel;
+use tdb_core::manager::ManagerConfig;
+use tdb_core::rules::FiringRecord;
+use tdb_core::storage::LogicalOp;
+use tdb_core::ShardStats;
+use tdb_relation::{Relation, Value};
+use tdb_storage::codec::encode_snapshot;
+use tdb_storage::CheckpointPolicy;
+
+use crate::metrics::{publish_tenant_gauges, ServerMetrics};
+use crate::tenant::Tenant;
+use crate::wire::{encode_response, write_frame, ErrorCode, Response};
+use crate::{Result, ServerError};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// TCP listen address; use port 0 to let the OS pick (tests).
+    pub addr: String,
+    /// Worker threads in the shard pool.
+    pub workers: usize,
+    /// Root directory for durable tenants (one subdirectory each). `None`
+    /// makes `CreateTenant { durable: true }` a typed error.
+    pub data_dir: Option<PathBuf>,
+    /// Registration-time lint level applied to every tenant's manager.
+    pub lint: LintLevel,
+    /// Checkpoint/sync policy for durable tenants. The default syncs on
+    /// every append: an acked commit survives `SIGKILL`.
+    pub checkpoint: CheckpointPolicy,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:7171".into(),
+            workers: 4,
+            data_dir: None,
+            lint: LintLevel::Warn,
+            checkpoint: CheckpointPolicy {
+                sync_on_append: true,
+                ..CheckpointPolicy::default()
+            },
+        }
+    }
+}
+
+impl ServerConfig {
+    fn manager_config(&self) -> ManagerConfig {
+        ManagerConfig {
+            lint: self.lint,
+            ..ManagerConfig::default()
+        }
+    }
+}
+
+/// A connection's outbound half, shared between its request/response loop
+/// and the workers pushing subscription frames at it. The mutex is the
+/// per-connection write serialization point.
+pub type SharedWriter = Arc<Mutex<dyn Write + Send>>;
+
+/// One unit of work for a shard worker. Replies are rendezvous channels;
+/// a dropped reply receiver just discards the answer.
+enum Job {
+    /// Create (or, at startup, reopen) a tenant on this worker.
+    Create {
+        name: String,
+        durable: bool,
+        reply: Sender<Result<()>>,
+    },
+    Register {
+        tenant: String,
+        source: String,
+        reply: Sender<Result<(Vec<String>, Vec<String>)>>,
+    },
+    Commit {
+        tenant: String,
+        ops: Vec<LogicalOp>,
+        #[allow(clippy::type_complexity)]
+        reply: Sender<Result<(Vec<std::result::Result<(), String>>, Vec<FiringRecord>)>>,
+    },
+    Query {
+        tenant: String,
+        text: String,
+        params: Vec<Value>,
+        reply: Sender<Result<Relation>>,
+    },
+    Snapshot {
+        tenant: String,
+        reply: Sender<Result<Vec<u8>>>,
+    },
+    Firings {
+        tenant: String,
+        from: usize,
+        reply: Sender<Result<Vec<FiringRecord>>>,
+    },
+    Subscribe {
+        tenant: String,
+        id: u64,
+        writer: SharedWriter,
+        reply: Sender<Result<()>>,
+    },
+    Stats {
+        tenant: String,
+        reply: Sender<Result<(ShardStats, u64)>>,
+    },
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self {
+            Job::Create { .. } => "Create",
+            Job::Register { .. } => "Register",
+            Job::Commit { .. } => "Commit",
+            Job::Query { .. } => "Query",
+            Job::Snapshot { .. } => "Snapshot",
+            Job::Firings { .. } => "Firings",
+            Job::Subscribe { .. } => "Subscribe",
+            Job::Stats { .. } => "Stats",
+        };
+        write!(f, "Job::{kind}")
+    }
+}
+
+/// The shard pool. Cheap to share (`Arc` it); [`Runtime::shutdown`]
+/// consumes the last owner, drains the queues, checkpoints durable tenants
+/// and joins the workers.
+#[derive(Debug)]
+pub struct Runtime {
+    cfg: ServerConfig,
+    queues: Vec<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    /// tenant name → worker index. Entries are reserved before the Create
+    /// job runs (and rolled back on failure) so two racing creates of one
+    /// name serialize here, not on the worker.
+    route: Mutex<HashMap<String, usize>>,
+    next_worker: AtomicUsize,
+    pub metrics: ServerMetrics,
+}
+
+impl Runtime {
+    /// Spawns the pool and reopens any durable tenants found under
+    /// `data_dir` (each subdirectory is one tenant, recovered via
+    /// checkpoint + WAL replay before the server accepts connections).
+    pub fn start(cfg: ServerConfig) -> Result<Runtime> {
+        let workers = cfg.workers.max(1);
+        let mut queues = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (tx, rx) = channel::<Job>();
+            let wcfg = cfg.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("tdb-shard-{i}"))
+                .spawn(move || worker_loop(rx, wcfg))
+                .map_err(|e| ServerError::Storage(format!("spawning worker: {e}")))?;
+            queues.push(tx);
+            handles.push(handle);
+        }
+        let rt = Runtime {
+            cfg,
+            queues,
+            workers: handles,
+            route: Mutex::new(HashMap::new()),
+            next_worker: AtomicUsize::new(0),
+            metrics: ServerMetrics::resolve(),
+        };
+        rt.reopen_existing()?;
+        Ok(rt)
+    }
+
+    /// Recovers every tenant directory under `data_dir`.
+    fn reopen_existing(&self) -> Result<()> {
+        let Some(root) = self.cfg.data_dir.clone() else {
+            return Ok(());
+        };
+        if !root.exists() {
+            std::fs::create_dir_all(&root)
+                .map_err(|e| ServerError::Storage(format!("{}: {e}", root.display())))?;
+            return Ok(());
+        }
+        let mut names: Vec<String> = std::fs::read_dir(&root)
+            .map_err(|e| ServerError::Storage(format!("{}: {e}", root.display())))?
+            .flatten()
+            .filter(|e| e.path().is_dir())
+            .filter_map(|e| e.file_name().to_str().map(String::from))
+            .collect();
+        names.sort();
+        for name in names {
+            self.create_tenant(&name, true)?;
+        }
+        Ok(())
+    }
+
+    /// Creates a tenant (or reopens a durable one — creation is idempotent
+    /// against a directory left by a previous incarnation, which is how
+    /// restart recovery works; a *live* duplicate name is a typed error).
+    pub fn create_tenant(&self, name: &str, durable: bool) -> Result<()> {
+        validate_tenant_name(name)?;
+        if durable && self.cfg.data_dir.is_none() {
+            return Err(ServerError::Remote {
+                code: ErrorCode::Storage,
+                message: "server started without --data-dir; durable tenants unavailable".into(),
+            });
+        }
+        let worker = {
+            let mut route = self.route.lock().expect("route poisoned");
+            if route.contains_key(name) {
+                return Err(ServerError::Remote {
+                    code: ErrorCode::TenantExists,
+                    message: format!("tenant `{name}` already exists"),
+                });
+            }
+            let w = self.next_worker.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+            route.insert(name.to_string(), w);
+            w
+        };
+        let (tx, rx) = channel();
+        let sent = self.queues[worker].send(Job::Create {
+            name: name.to_string(),
+            durable,
+            reply: tx,
+        });
+        let result = match sent {
+            Ok(()) => recv_reply(rx),
+            Err(_) => Err(internal("worker queue closed")),
+        };
+        if result.is_err() {
+            self.route.lock().expect("route poisoned").remove(name);
+        } else {
+            self.metrics.tenants.add(1);
+        }
+        result
+    }
+
+    /// Live tenant names, sorted.
+    pub fn tenants(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .route
+            .lock()
+            .expect("route poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    fn send(&self, tenant: &str, job: Job) -> Result<()> {
+        let worker = {
+            let route = self.route.lock().expect("route poisoned");
+            match route.get(tenant) {
+                Some(&w) => w,
+                None => {
+                    return Err(ServerError::Remote {
+                        code: ErrorCode::NoSuchTenant,
+                        message: format!("no tenant `{tenant}`"),
+                    })
+                }
+            }
+        };
+        self.queues[worker]
+            .send(job)
+            .map_err(|_| internal("worker queue closed"))
+    }
+
+    pub fn register_rules(&self, tenant: &str, source: &str) -> Result<(Vec<String>, Vec<String>)> {
+        let (tx, rx) = channel();
+        self.send(
+            tenant,
+            Job::Register {
+                tenant: tenant.to_string(),
+                source: source.to_string(),
+                reply: tx,
+            },
+        )?;
+        recv_reply(rx)
+    }
+
+    #[allow(clippy::type_complexity)]
+    pub fn commit(
+        &self,
+        tenant: &str,
+        ops: Vec<LogicalOp>,
+    ) -> Result<(Vec<std::result::Result<(), String>>, Vec<FiringRecord>)> {
+        let (tx, rx) = channel();
+        self.send(
+            tenant,
+            Job::Commit {
+                tenant: tenant.to_string(),
+                ops,
+                reply: tx,
+            },
+        )?;
+        recv_reply(rx)
+    }
+
+    pub fn query(&self, tenant: &str, text: &str, params: Vec<Value>) -> Result<Relation> {
+        let (tx, rx) = channel();
+        self.send(
+            tenant,
+            Job::Query {
+                tenant: tenant.to_string(),
+                text: text.to_string(),
+                params,
+                reply: tx,
+            },
+        )?;
+        recv_reply(rx)
+    }
+
+    pub fn snapshot(&self, tenant: &str) -> Result<Vec<u8>> {
+        let (tx, rx) = channel();
+        self.send(
+            tenant,
+            Job::Snapshot {
+                tenant: tenant.to_string(),
+                reply: tx,
+            },
+        )?;
+        recv_reply(rx)
+    }
+
+    pub fn firings(&self, tenant: &str, from: usize) -> Result<Vec<FiringRecord>> {
+        let (tx, rx) = channel();
+        self.send(
+            tenant,
+            Job::Firings {
+                tenant: tenant.to_string(),
+                from,
+                reply: tx,
+            },
+        )?;
+        recv_reply(rx)
+    }
+
+    /// Registers `writer` for push-streamed firings of `tenant`,
+    /// correlated by request id `id`.
+    pub fn subscribe(&self, tenant: &str, id: u64, writer: SharedWriter) -> Result<()> {
+        let (tx, rx) = channel();
+        self.send(
+            tenant,
+            Job::Subscribe {
+                tenant: tenant.to_string(),
+                id,
+                writer,
+                reply: tx,
+            },
+        )?;
+        recv_reply(rx)?;
+        self.metrics.subscriptions.add(1);
+        Ok(())
+    }
+
+    pub fn stats(&self, tenant: &str) -> Result<(ShardStats, u64)> {
+        let (tx, rx) = channel();
+        self.send(
+            tenant,
+            Job::Stats {
+                tenant: tenant.to_string(),
+                reply: tx,
+            },
+        )?;
+        recv_reply(rx)
+    }
+
+    /// Drains every queue, checkpoints durable tenants, joins the workers.
+    pub fn shutdown(self) {
+        drop(self.queues);
+        for h in self.workers {
+            let _ = h.join();
+        }
+    }
+}
+
+fn internal(msg: &str) -> ServerError {
+    ServerError::Remote {
+        code: ErrorCode::Internal,
+        message: msg.into(),
+    }
+}
+
+fn recv_reply<T>(rx: Receiver<Result<T>>) -> Result<T> {
+    rx.recv()
+        .unwrap_or_else(|_| Err(internal("worker dropped the request")))
+}
+
+/// Tenant names become directory names; keep them path-safe.
+fn validate_tenant_name(name: &str) -> Result<()> {
+    let ok = !name.is_empty()
+        && name.len() <= 64
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+    if ok {
+        Ok(())
+    } else {
+        Err(ServerError::Remote {
+            code: ErrorCode::Protocol,
+            message: format!("invalid tenant name `{name}`: use 1-64 chars of [A-Za-z0-9_-]"),
+        })
+    }
+}
+
+// ---- worker -----------------------------------------------------------------
+
+struct WorkerState {
+    cfg: ServerConfig,
+    tenants: HashMap<String, Tenant>,
+    /// Per-tenant firing subscribers: (subscription request id, writer).
+    subscribers: HashMap<String, Vec<(u64, SharedWriter)>>,
+    metrics: ServerMetrics,
+}
+
+fn worker_loop(rx: Receiver<Job>, cfg: ServerConfig) {
+    let mut st = WorkerState {
+        cfg,
+        tenants: HashMap::new(),
+        subscribers: HashMap::new(),
+        metrics: ServerMetrics::resolve(),
+    };
+    while let Ok(job) = rx.recv() {
+        st.handle(job);
+    }
+    // Queue closed: graceful shutdown. Checkpoint durable tenants so the
+    // next start recovers from a fresh snapshot instead of a long replay.
+    for tenant in st.tenants.values_mut() {
+        if tenant.durable_dir().is_some() {
+            let _ = tenant.shard_mut().adb_mut().checkpoint_now();
+        }
+    }
+}
+
+impl WorkerState {
+    fn tenant_mut(&mut self, name: &str) -> Result<&mut Tenant> {
+        self.tenants
+            .get_mut(name)
+            .ok_or_else(|| ServerError::Remote {
+                code: ErrorCode::NoSuchTenant,
+                message: format!("no tenant `{name}`"),
+            })
+    }
+
+    fn handle(&mut self, job: Job) {
+        match job {
+            Job::Create {
+                name,
+                durable,
+                reply,
+            } => {
+                let r = self.create(&name, durable);
+                let _ = reply.send(r);
+            }
+            Job::Register {
+                tenant,
+                source,
+                reply,
+            } => {
+                let r = self
+                    .tenant_mut(&tenant)
+                    .and_then(|t| t.register_rules(&source));
+                let _ = reply.send(r);
+            }
+            Job::Commit { tenant, ops, reply } => {
+                let r = self.commit(&tenant, &ops);
+                let _ = reply.send(r);
+            }
+            Job::Query {
+                tenant,
+                text,
+                params,
+                reply,
+            } => {
+                let r = self
+                    .tenant_mut(&tenant)
+                    .and_then(|t| t.query(&text, &params));
+                let _ = reply.send(r);
+            }
+            Job::Snapshot { tenant, reply } => {
+                let r = self.tenant_mut(&tenant).and_then(|t| {
+                    let snap = t.shard().adb().snapshot().map_err(ServerError::Core)?;
+                    Ok(encode_snapshot(&snap))
+                });
+                let _ = reply.send(r);
+            }
+            Job::Firings {
+                tenant,
+                from,
+                reply,
+            } => {
+                let r = self
+                    .tenant_mut(&tenant)
+                    .map(|t| t.shard().firings_from(from));
+                let _ = reply.send(r);
+            }
+            Job::Subscribe {
+                tenant,
+                id,
+                writer,
+                reply,
+            } => {
+                let r = self.tenant_mut(&tenant).map(|_| ());
+                if r.is_ok() {
+                    self.subscribers
+                        .entry(tenant)
+                        .or_default()
+                        .push((id, writer));
+                }
+                let _ = reply.send(r);
+            }
+            Job::Stats { tenant, reply } => {
+                let r = self.tenant_mut(&tenant).map(|t| {
+                    let stats = t.stats();
+                    let wal = t.wal_bytes();
+                    (stats, wal)
+                });
+                if let Ok((stats, wal)) = &r {
+                    publish_tenant_gauges(&tenant, stats, *wal);
+                }
+                let _ = reply.send(r);
+            }
+        }
+    }
+
+    fn create(&mut self, name: &str, durable: bool) -> Result<()> {
+        let mcfg = self.cfg.manager_config();
+        let tenant = if durable {
+            let root = self
+                .cfg
+                .data_dir
+                .clone()
+                .ok_or_else(|| internal("durable create routed without data_dir"))?;
+            Tenant::durable(name, &root.join(name), mcfg, self.cfg.checkpoint)?
+        } else {
+            Tenant::volatile(name, mcfg)
+        };
+        self.tenants.insert(name.to_string(), tenant);
+        Ok(())
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn commit(
+        &mut self,
+        tenant: &str,
+        ops: &[LogicalOp],
+    ) -> Result<(Vec<std::result::Result<(), String>>, Vec<FiringRecord>)> {
+        let t = self.tenant_mut(tenant)?;
+        let mut outcomes = Vec::with_capacity(ops.len());
+        let mut firings = Vec::new();
+        for op in ops {
+            let out = t.apply(op)?;
+            outcomes.push(out.result);
+            firings.extend(out.firings);
+        }
+        let stats = t.stats();
+        let wal = t.wal_bytes();
+        publish_tenant_gauges(tenant, &stats, wal);
+        if !firings.is_empty() {
+            self.push_firings(tenant, &firings);
+        }
+        Ok((outcomes, firings))
+    }
+
+    /// Streams `firings` to every subscriber of `tenant`, dropping dead
+    /// connections.
+    fn push_firings(&mut self, tenant: &str, firings: &[FiringRecord]) {
+        let Some(subs) = self.subscribers.get_mut(tenant) else {
+            return;
+        };
+        let metrics = &self.metrics;
+        subs.retain(|(id, writer)| {
+            let mut w = match writer.lock() {
+                Ok(w) => w,
+                Err(_) => {
+                    metrics.subscriptions.add(-1);
+                    return false;
+                }
+            };
+            for f in firings {
+                let payload = encode_response(*id, &Response::Firing { record: f.clone() });
+                if write_frame(&mut *w, &payload).is_err() {
+                    metrics.subscriptions.add(-1);
+                    return false;
+                }
+                metrics.firings_streamed.inc();
+            }
+            true
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdb_engine::WriteOp;
+    use tdb_relation::QueryDef;
+
+    fn seed(rt: &Runtime, tenant: &str) {
+        rt.create_tenant(tenant, false).unwrap();
+        let (outcomes, _) = rt
+            .commit(
+                tenant,
+                vec![
+                    LogicalOp::SetItem {
+                        name: "n".into(),
+                        value: Value::Int(0),
+                    },
+                    LogicalOp::DefineQuery {
+                        name: "n".into(),
+                        def: QueryDef::new(0, tdb_relation::parse_query("item n").unwrap()),
+                    },
+                ],
+            )
+            .unwrap();
+        assert!(outcomes.iter().all(|o| o.is_ok()));
+    }
+
+    #[test]
+    fn tenants_route_and_serialize_independently() {
+        let rt = Runtime::start(ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        for name in ["a", "b", "c"] {
+            seed(&rt, name);
+            rt.register_rules(name, "rule watch { when n() >= 5; then notify; }")
+                .unwrap();
+        }
+        assert_eq!(rt.tenants(), vec!["a", "b", "c"]);
+        assert!(matches!(
+            rt.create_tenant("a", false).unwrap_err(),
+            ServerError::Remote {
+                code: ErrorCode::TenantExists,
+                ..
+            }
+        ));
+
+        let bump = |v: i64| {
+            vec![
+                LogicalOp::AdvanceClock { delta: 1 },
+                LogicalOp::Update {
+                    ops: vec![WriteOp::SetItem {
+                        item: "n".into(),
+                        value: Value::Int(v),
+                    }],
+                },
+            ]
+        };
+        let (_, firings_a) = rt.commit("a", bump(7)).unwrap();
+        assert_eq!(firings_a.len(), 1);
+        let (_, firings_b) = rt.commit("b", bump(3)).unwrap();
+        assert!(firings_b.is_empty(), "tenant b must not see a's state");
+        assert_eq!(
+            rt.query("a", "item n", vec![]).unwrap(),
+            Relation::scalar(Value::Int(7))
+        );
+        assert_eq!(rt.firings("a", 0).unwrap().len(), 1);
+        assert_eq!(rt.firings("b", 0).unwrap().len(), 0);
+        let (stats, wal) = rt.stats("a").unwrap();
+        assert_eq!(stats.rules, 1);
+        assert_eq!(wal, 0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn subscriptions_receive_pushed_firing_frames() {
+        let rt = Runtime::start(ServerConfig::default()).unwrap();
+        seed(&rt, "t");
+        rt.register_rules("t", "rule watch { when n() >= 5; then notify; }")
+            .unwrap();
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        #[derive(Debug)]
+        struct VecWriter(Arc<Mutex<Vec<u8>>>);
+        impl Write for VecWriter {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        rt.subscribe("t", 99, Arc::new(Mutex::new(VecWriter(buf.clone()))))
+            .unwrap();
+        rt.commit(
+            "t",
+            vec![
+                LogicalOp::AdvanceClock { delta: 1 },
+                LogicalOp::Update {
+                    ops: vec![WriteOp::SetItem {
+                        item: "n".into(),
+                        value: Value::Int(9),
+                    }],
+                },
+            ],
+        )
+        .unwrap();
+        let bytes = buf.lock().unwrap().clone();
+        let payload = crate::wire::read_frame(&mut &bytes[..]).unwrap();
+        let (id, resp) = crate::wire::decode_response(&payload).unwrap();
+        assert_eq!(id, 99);
+        match resp {
+            Response::Firing { record } => assert_eq!(record.rule, "watch"),
+            other => panic!("expected firing frame, got {other:?}"),
+        }
+        rt.shutdown();
+    }
+}

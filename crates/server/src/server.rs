@@ -1,0 +1,329 @@
+//! TCP front end: accept loop, per-connection request/response threads,
+//! and the in-process [`ServerHandle`] used by the daemon binary, the
+//! tests and the E17 harness.
+//!
+//! Threading: one acceptor thread (non-blocking accept + shutdown flag),
+//! one thread per live connection, and the shard pool underneath
+//! ([`Runtime`]). A connection's writes — its own responses and any
+//! subscription frames pushed by shard workers — serialize on the shared
+//! writer mutex; reads stay unlocked on the connection thread.
+//!
+//! Error discipline: semantic failures (`no such tenant`, lint denial, a
+//! constraint veto) travel as [`Response::Error`] and the connection
+//! continues; *framing* failures (bad checksum, oversized length, garbage
+//! payload) poison the byte stream — the server answers one final
+//! `Error { code: Protocol }` frame with id 0 and closes.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use tdb_obs::global;
+
+use crate::metrics::request_timer;
+use crate::runtime::{Runtime, ServerConfig, SharedWriter};
+use crate::wire::{
+    decode_request, encode_response, read_frame, write_frame, ErrorCode, MetricsFormat,
+    ProtocolError, Request, Response, PROTOCOL_VERSION,
+};
+use crate::{Result, ServerError};
+
+/// Namespace for [`Server::start`].
+#[derive(Debug)]
+pub struct Server;
+
+/// Live connections: the raw stream (for shutdown) + its thread handle.
+type ConnList = Arc<Mutex<Vec<(TcpStream, JoinHandle<()>)>>>;
+
+/// A running server: the bound address, the shard pool, and every live
+/// connection. Dropping the handle does NOT stop the server — call
+/// [`ServerHandle::stop`].
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    runtime: Arc<Runtime>,
+    stopping: Arc<AtomicBool>,
+    acceptor: JoinHandle<()>,
+    conns: ConnList,
+}
+
+impl Server {
+    /// Binds `cfg.addr`, recovers any durable tenants under the data
+    /// directory, and starts accepting connections.
+    pub fn start(cfg: ServerConfig) -> Result<ServerHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let runtime = Arc::new(Runtime::start(cfg)?);
+        let stopping = Arc::new(AtomicBool::new(false));
+        let conns: ConnList = Arc::new(Mutex::new(Vec::new()));
+
+        let acceptor = {
+            let runtime = Arc::clone(&runtime);
+            let stopping = Arc::clone(&stopping);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("tdb-accept".into())
+                .spawn(move || accept_loop(listener, runtime, stopping, conns))
+                .map_err(|e| ServerError::Storage(format!("spawning acceptor: {e}")))?
+        };
+
+        Ok(ServerHandle {
+            addr,
+            runtime,
+            stopping,
+            acceptor,
+            conns,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Direct access to the shard pool (tests, in-process drivers).
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+
+    /// True once a client sent `Shutdown` (or [`ServerHandle::stop`] ran).
+    pub fn stop_requested(&self) -> bool {
+        self.stopping.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until shutdown is requested.
+    pub fn wait(&self) {
+        while !self.stop_requested() {
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+
+    /// Stops accepting, closes every connection, drains the shard pool
+    /// (checkpointing durable tenants) and joins all threads.
+    pub fn stop(self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        let _ = self.acceptor.join();
+        let conns = std::mem::take(&mut *self.conns.lock().expect("conns poisoned"));
+        for (stream, handle) in conns {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            let _ = handle.join();
+        }
+        // On Err a straggler still holds the pool; the queues close when
+        // the last clone drops.
+        if let Ok(rt) = Arc::try_unwrap(self.runtime) {
+            rt.shutdown();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    runtime: Arc<Runtime>,
+    stopping: Arc<AtomicBool>,
+    conns: ConnList,
+) {
+    while !stopping.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let Ok(watch) = stream.try_clone() else {
+                    continue;
+                };
+                runtime.metrics.connections_total.inc();
+                runtime.metrics.connections_open.add(1);
+                let rt = Arc::clone(&runtime);
+                let flag = Arc::clone(&stopping);
+                let spawned =
+                    std::thread::Builder::new()
+                        .name("tdb-conn".into())
+                        .spawn(move || {
+                            handle_connection(stream, &rt, &flag);
+                            rt.metrics.connections_open.add(-1);
+                        });
+                if let Ok(handle) = spawned {
+                    conns.lock().expect("conns poisoned").push((watch, handle));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, rt: &Runtime, stopping: &AtomicBool) {
+    let _ = stream.set_nodelay(true);
+    let writer: SharedWriter = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut reader = stream;
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(p) => p,
+            Err(ProtocolError::Closed) => return,
+            Err(e) => {
+                // The byte stream is unrecoverable; answer once and close.
+                rt.metrics.frames_rejected.inc();
+                send(
+                    &writer,
+                    0,
+                    &Response::Error {
+                        code: ErrorCode::Protocol,
+                        message: e.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        let (id, req) = match decode_request(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                rt.metrics.frames_rejected.inc();
+                send(
+                    &writer,
+                    0,
+                    &Response::Error {
+                        code: ErrorCode::Protocol,
+                        message: e.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        let kind = request_kind(&req);
+        let shutdown = matches!(req, Request::Shutdown);
+        let t0 = request_timer();
+        let resp = service(rt, &writer, id, req);
+        let ok = !matches!(resp, Response::Error { .. });
+        rt.metrics.observe_request(kind, t0, ok);
+        if !send(&writer, id, &resp) {
+            return;
+        }
+        if shutdown {
+            stopping.store(true, Ordering::SeqCst);
+            return;
+        }
+    }
+}
+
+fn send(writer: &SharedWriter, id: u64, resp: &Response) -> bool {
+    let payload = encode_response(id, resp);
+    let mut w = match writer.lock() {
+        Ok(w) => w,
+        Err(_) => return false,
+    };
+    write_frame(&mut *w, &payload).is_ok() && w.flush().is_ok()
+}
+
+fn request_kind(req: &Request) -> &'static str {
+    match req {
+        Request::Hello { .. } => "hello",
+        Request::CreateTenant { .. } => "create_tenant",
+        Request::ListTenants => "list_tenants",
+        Request::RegisterRule { .. } => "register_rule",
+        Request::Commit { .. } => "commit",
+        Request::Query { .. } => "query",
+        Request::Snapshot { .. } => "snapshot",
+        Request::Firings { .. } => "firings",
+        Request::SubscribeFirings { .. } => "subscribe",
+        Request::TenantStats { .. } => "tenant_stats",
+        Request::Metrics { .. } => "metrics",
+        Request::Shutdown => "shutdown",
+    }
+}
+
+/// Maps a [`ServerError`] onto the wire's error vocabulary.
+fn error_response(e: ServerError) -> Response {
+    let (code, message) = match e {
+        ServerError::Remote { code, message } => (code, message),
+        ServerError::Protocol(p) => (ErrorCode::Protocol, p.to_string()),
+        ServerError::Core(c) => {
+            let code = match &c {
+                tdb_core::CoreError::LintDenied { .. } => ErrorCode::Lint,
+                tdb_core::CoreError::Storage(_) => ErrorCode::Storage,
+                _ => ErrorCode::Internal,
+            };
+            (code, c.to_string())
+        }
+        ServerError::Storage(m) => (ErrorCode::Storage, m),
+        ServerError::Invalid(m) => (ErrorCode::Protocol, m),
+    };
+    Response::Error { code, message }
+}
+
+fn service(rt: &Runtime, writer: &SharedWriter, id: u64, req: Request) -> Response {
+    let r: Result<Response> = match req {
+        Request::Hello { version } => {
+            if version == PROTOCOL_VERSION {
+                Ok(Response::HelloOk {
+                    version: PROTOCOL_VERSION,
+                })
+            } else {
+                Err(ServerError::Remote {
+                    code: ErrorCode::Protocol,
+                    message: format!(
+                        "protocol version {version} not supported (server speaks {PROTOCOL_VERSION})"
+                    ),
+                })
+            }
+        }
+        Request::CreateTenant { name, durable } => rt
+            .create_tenant(&name, durable)
+            .map(|()| Response::TenantCreated),
+        Request::ListTenants => Ok(Response::Tenants {
+            names: rt.tenants(),
+        }),
+        Request::RegisterRule { tenant, source } => {
+            rt.register_rules(&tenant, &source)
+                .map(|(registered, findings)| Response::RulesRegistered {
+                    registered,
+                    findings,
+                })
+        }
+        Request::Commit { tenant, ops } => rt
+            .commit(&tenant, ops)
+            .map(|(outcomes, firings)| Response::Committed { outcomes, firings }),
+        Request::Query {
+            tenant,
+            text,
+            params,
+        } => rt
+            .query(&tenant, &text, params)
+            .map(|relation| Response::Rows { relation }),
+        Request::Snapshot { tenant } => rt
+            .snapshot(&tenant)
+            .map(|bytes| Response::SnapshotData { bytes }),
+        Request::Firings { tenant, from } => rt
+            .firings(&tenant, usize::try_from(from).unwrap_or(usize::MAX))
+            .map(|records| Response::FiringsList { from, records }),
+        Request::SubscribeFirings { tenant } => rt
+            .subscribe(&tenant, id, Arc::clone(writer))
+            .map(|()| Response::Subscribed),
+        Request::TenantStats { tenant } => {
+            rt.stats(&tenant).map(|(s, wal_bytes)| Response::Stats {
+                states: s.states as u64,
+                rules: s.rules as u64,
+                firings: s.firings as u64,
+                retained: s.retained as u64,
+                now: s.now,
+                wal_bytes,
+            })
+        }
+        Request::Metrics { format } => {
+            let snap = global().snapshot();
+            let text = match format {
+                MetricsFormat::Prometheus => snap.render_prometheus(),
+                MetricsFormat::Json => snap.to_json(),
+            };
+            Ok(Response::MetricsText { text })
+        }
+        Request::Shutdown => Ok(Response::ShuttingDown),
+    };
+    r.unwrap_or_else(error_response)
+}

@@ -1,0 +1,379 @@
+//! One tenant: a [`Shard`] plus its durability root and rule-source store.
+//!
+//! Rules cross the wire as rule-file *text* (the `tdb-analysis` format) —
+//! core actions can embed host closures (`Action::Program`), which cannot
+//! be serialized, so the wire speaks the closed textual subset and
+//! [`rule_from_parsed`] maps it onto core rules:
+//!
+//! * `abort` (alone) → [`Rule::constraint`] — the paper's integrity
+//!   constraint desugaring;
+//! * `set` / `insert` / `delete` → [`Action::DbOps`];
+//! * `notify` → [`Action::Notify`] (and is implied when combined with
+//!   database operations — every firing is recorded regardless);
+//! * `signal` / `program` → a typed `Unsupported` error: the wire cannot
+//!   ship a host program, and signaling foreign events from actions is not
+//!   part of the server's execution model.
+//!
+//! A durable tenant owns one directory: the WAL + checkpoints managed by
+//! [`FileStorage`], plus `rules.tdbr` — an append-only file of every rule
+//! source ever registered. The source is appended and synced *before* the
+//! `AddRule` op reaches the WAL, so recovery can always rebuild a catalog
+//! that is a superset of the ops it will replay (a crash between the two
+//! leaves an unused catalog entry, never a dangling `AddRule`).
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use tdb_analysis::{parse_rule_file_full, ParsedAction, ParsedRule};
+use tdb_core::manager::ManagerConfig;
+use tdb_core::rules::{Action, ActionOp, Rule};
+use tdb_core::shard::{ApplyOutcome, Shard, ShardStats};
+use tdb_core::storage::LogicalOp;
+use tdb_relation::{parse_query, Relation, Value};
+use tdb_storage::{CheckpointPolicy, FileStorage, RecoveryReport};
+
+use crate::wire::ErrorCode;
+use crate::{Result, ServerError};
+
+/// File (inside a durable tenant's directory) accumulating registered rule
+/// sources, one newline-separated block per registration.
+pub const RULES_FILE: &str = "rules.tdbr";
+
+/// Maps one parsed rule onto a core [`Rule`]. See the module docs for the
+/// action mapping.
+pub fn rule_from_parsed(p: &ParsedRule) -> Result<Rule> {
+    let name = &p.input.name;
+    let mut ops: Vec<ActionOp> = Vec::new();
+    let mut abort = false;
+    let mut notify = false;
+    for a in &p.actions {
+        match a {
+            ParsedAction::Set { item, value } => ops.push(ActionOp::SetItem {
+                item: item.clone(),
+                value: value.clone(),
+            }),
+            ParsedAction::Insert { relation, tuple } => ops.push(ActionOp::Insert {
+                relation: relation.clone(),
+                tuple: tuple.clone(),
+            }),
+            ParsedAction::Delete { relation, tuple } => ops.push(ActionOp::Delete {
+                relation: relation.clone(),
+                tuple: tuple.clone(),
+            }),
+            ParsedAction::Notify => notify = true,
+            ParsedAction::Abort => abort = true,
+            ParsedAction::Signal { event } => {
+                return Err(ServerError::Remote {
+                    code: ErrorCode::Unsupported,
+                    message: format!(
+                        "rule `{name}`: `signal {event}` is not executable over the wire"
+                    ),
+                });
+            }
+            ParsedAction::Program { name: prog } => {
+                return Err(ServerError::Remote {
+                    code: ErrorCode::Unsupported,
+                    message: format!(
+                        "rule `{name}`: `program {prog}` embeds a host closure and cannot \
+                         be shipped over the wire"
+                    ),
+                });
+            }
+        }
+    }
+    if abort {
+        if !ops.is_empty() || notify {
+            return Err(ServerError::Remote {
+                code: ErrorCode::Unsupported,
+                message: format!(
+                    "rule `{name}`: `abort` makes the rule an integrity constraint and \
+                     cannot be combined with other actions"
+                ),
+            });
+        }
+        return Ok(Rule::constraint(name.clone(), p.input.condition.clone()));
+    }
+    let action = if ops.is_empty() {
+        Action::Notify
+    } else {
+        Action::DbOps(ops)
+    };
+    Ok(Rule::trigger(name.clone(), p.input.condition.clone(), action).recording_executed())
+}
+
+/// Parses rule-file text into core rules, rejecting unsupported actions.
+pub fn rules_from_source(source: &str) -> Result<Vec<Rule>> {
+    let parsed = parse_rule_file_full(source).map_err(|e| ServerError::Remote {
+        code: ErrorCode::Parse,
+        message: e.to_string(),
+    })?;
+    parsed.rules.iter().map(rule_from_parsed).collect()
+}
+
+/// One tenant: shard + (for durable tenants) its directory.
+#[derive(Debug)]
+pub struct Tenant {
+    name: String,
+    shard: Shard,
+    /// `Some` for durable tenants: the directory holding WAL segments,
+    /// checkpoints and `rules.tdbr`.
+    dir: Option<PathBuf>,
+    /// How the tenant came back, when it was recovered from disk.
+    pub recovery: Option<RecoveryReport>,
+}
+
+impl Tenant {
+    /// A fresh in-memory tenant.
+    pub fn volatile(name: impl Into<String>, cfg: ManagerConfig) -> Tenant {
+        Tenant {
+            name: name.into(),
+            shard: Shard::volatile(tdb_relation::Database::new(), cfg),
+            dir: None,
+            recovery: None,
+        }
+    }
+
+    /// Creates a durable tenant under `dir` (which must not already hold
+    /// one) — or, when `dir` contains a previous incarnation, recovers it:
+    /// re-parses `rules.tdbr` into the catalog, replays checkpoint + WAL,
+    /// and resumes appending.
+    pub fn durable(
+        name: impl Into<String>,
+        dir: &Path,
+        cfg: ManagerConfig,
+        policy: CheckpointPolicy,
+    ) -> Result<Tenant> {
+        let name = name.into();
+        let rules_path = dir.join(RULES_FILE);
+        if rules_path.exists() {
+            return Tenant::reopen(name, dir, cfg, policy);
+        }
+        std::fs::create_dir_all(dir).map_err(|e| storage_err(dir, e))?;
+        let storage = FileStorage::create(dir, policy)
+            .map_err(|e| ServerError::Storage(format!("{}: {e}", dir.display())))?;
+        std::fs::write(&rules_path, b"").map_err(|e| storage_err(dir, e))?;
+        let shard = Shard::durable(tdb_relation::Database::new(), cfg, Box::new(storage))?;
+        Ok(Tenant {
+            name,
+            shard,
+            dir: Some(dir.to_path_buf()),
+            recovery: None,
+        })
+    }
+
+    fn reopen(
+        name: String,
+        dir: &Path,
+        cfg: ManagerConfig,
+        policy: CheckpointPolicy,
+    ) -> Result<Tenant> {
+        let source =
+            std::fs::read_to_string(dir.join(RULES_FILE)).map_err(|e| storage_err(dir, e))?;
+        // The persisted catalog may be a superset of the replayed `AddRule`
+        // ops (crash between rule-file sync and WAL append) — that is fine:
+        // recovery resolves ops against it by name.
+        let catalog = rules_from_source(&source)?;
+        let recovered = tdb_storage::recover_durable(dir, &catalog, cfg, policy)
+            .map_err(|e| ServerError::Storage(format!("{}: {e}", dir.display())))?;
+        Ok(Tenant {
+            name,
+            shard: Shard::new(recovered.adb, catalog),
+            dir: Some(dir.to_path_buf()),
+            recovery: Some(recovered.report),
+        })
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn durable_dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    pub fn shard(&self) -> &Shard {
+        &self.shard
+    }
+
+    pub fn shard_mut(&mut self) -> &mut Shard {
+        &mut self.shard
+    }
+
+    /// Registers every rule in `source`, returning the registered names and
+    /// any lint findings recorded for them (rendered as text). For durable
+    /// tenants the source is appended to `rules.tdbr` and synced *before*
+    /// the first registration logs its `AddRule`.
+    pub fn register_rules(&mut self, source: &str) -> Result<(Vec<String>, Vec<String>)> {
+        let rules = rules_from_source(source)?;
+        if rules.is_empty() {
+            return Err(ServerError::Remote {
+                code: ErrorCode::Parse,
+                message: "rule source contains no rules".into(),
+            });
+        }
+        if let Some(dir) = &self.dir {
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(dir.join(RULES_FILE))
+                .map_err(|e| storage_err(dir, e))?;
+            f.write_all(source.as_bytes())
+                .and_then(|()| f.write_all(b"\n"))
+                .and_then(|()| f.sync_all())
+                .map_err(|e| storage_err(dir, e))?;
+        }
+        let findings_before = self.shard.adb().lint_findings().len();
+        let mut registered = Vec::with_capacity(rules.len());
+        for rule in rules {
+            let name = rule.name.clone();
+            self.shard.add_rule(rule).map_err(|e| match e {
+                tdb_core::CoreError::LintDenied { .. } => ServerError::Remote {
+                    code: ErrorCode::Lint,
+                    message: e.to_string(),
+                },
+                other => ServerError::Core(other),
+            })?;
+            registered.push(name);
+        }
+        let findings = self.shard.adb().lint_findings()[findings_before..]
+            .iter()
+            .map(|d| d.to_string())
+            .collect();
+        Ok((registered, findings))
+    }
+
+    /// Applies one logical op (see [`Shard::apply`]).
+    pub fn apply(&mut self, op: &LogicalOp) -> Result<ApplyOutcome> {
+        self.shard.apply(op).map_err(ServerError::Core)
+    }
+
+    /// Evaluates ad-hoc query text against the tenant's current database.
+    pub fn query(&self, text: &str, params: &[Value]) -> Result<Relation> {
+        let q = parse_query(text).map_err(|e| ServerError::Remote {
+            code: ErrorCode::Parse,
+            message: e.to_string(),
+        })?;
+        q.eval(self.shard.adb().db(), params)
+            .map_err(|e| ServerError::Remote {
+                code: ErrorCode::Internal,
+                message: e.to_string(),
+            })
+    }
+
+    /// Total bytes under the tenant's durable directory (0 when volatile).
+    pub fn wal_bytes(&self) -> u64 {
+        let Some(dir) = &self.dir else { return 0 };
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return 0;
+        };
+        entries
+            .flatten()
+            .filter_map(|e| e.metadata().ok())
+            .filter(|m| m.is_file())
+            .map(|m| m.len())
+            .sum()
+    }
+
+    pub fn stats(&self) -> ShardStats {
+        self.shard.stats()
+    }
+}
+
+fn storage_err(dir: &Path, e: std::io::Error) -> ServerError {
+    ServerError::Storage(format!("{}: {e}", dir.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdb_core::rules::RuleKind;
+    use tdb_engine::WriteOp;
+
+    const SRC: &str = "rule watch { when n() >= 5; then notify; }\n\
+                       rule cap { when n() <= 10; then abort; }\n";
+
+    fn seed_ops() -> Vec<LogicalOp> {
+        vec![
+            LogicalOp::SetItem {
+                name: "n".into(),
+                value: Value::Int(0),
+            },
+            LogicalOp::DefineQuery {
+                name: "n".into(),
+                def: tdb_relation::QueryDef::new(0, parse_query("item n").unwrap()),
+            },
+        ]
+    }
+
+    #[test]
+    fn maps_actions_onto_core_rules() {
+        let rules = rules_from_source(SRC).unwrap();
+        assert_eq!(rules[0].kind, RuleKind::Trigger);
+        assert!(matches!(rules[0].action, Action::Notify));
+        assert_eq!(rules[1].kind, RuleKind::Constraint);
+
+        let dbops =
+            rules_from_source("rule r { when n() > 0; then set m := n() + 1, insert log(time); }")
+                .unwrap();
+        match &dbops[0].action {
+            Action::DbOps(ops) => assert_eq!(ops.len(), 2),
+            other => panic!("expected DbOps, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsupported_actions_are_typed_errors() {
+        for (src, frag) in [
+            ("rule r { when true; then program p; }", "program"),
+            ("rule r { when true; then signal s; }", "signal"),
+            ("rule r { when true; then notify, abort; }", "abort"),
+        ] {
+            match rules_from_source(src).unwrap_err() {
+                ServerError::Remote { code, message } => {
+                    assert_eq!(code, ErrorCode::Unsupported, "{message}");
+                    assert!(message.contains(frag), "{message}");
+                }
+                other => panic!("expected remote error, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn durable_tenant_recovers_rules_and_firings() {
+        let dir = std::env::temp_dir().join(format!("tdb-tenant-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let policy = CheckpointPolicy {
+            sync_on_append: true,
+            ..Default::default()
+        };
+
+        let mut t = Tenant::durable("acme", &dir, ManagerConfig::default(), policy).unwrap();
+        for op in seed_ops() {
+            assert!(t.apply(&op).unwrap().ok());
+        }
+        let (names, _) = t.register_rules(SRC).unwrap();
+        assert_eq!(names, vec!["watch".to_string(), "cap".to_string()]);
+        t.apply(&LogicalOp::AdvanceClock { delta: 1 }).unwrap();
+        let out = t
+            .apply(&LogicalOp::Update {
+                ops: vec![WriteOp::SetItem {
+                    item: "n".into(),
+                    value: Value::Int(7),
+                }],
+            })
+            .unwrap();
+        assert_eq!(out.firings.len(), 1);
+        let firings = t.shard().firings_from(0);
+        assert!(t.wal_bytes() > 0);
+        drop(t);
+
+        let t2 = Tenant::durable("acme", &dir, ManagerConfig::default(), policy).unwrap();
+        assert!(t2.recovery.is_some());
+        assert_eq!(t2.shard().catalog().len(), 2);
+        assert_eq!(t2.shard().firings_from(0), firings);
+        assert_eq!(
+            t2.query("item n", &[]).unwrap(),
+            Relation::scalar(Value::Int(7))
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

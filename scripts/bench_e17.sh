@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Runs the E17 server shard-scaling experiment (1/2/4/8 tenants, one per
+# pool worker, driven concurrently over real TCP) and leaves a
+# machine-readable copy in BENCH_E17.json at the repo root.
+#
+# On a single-CPU host every multi-shard row is host-limited: the JSON
+# carries `host_cpus` and a per-row `host_limited` flag, and the
+# acceptance bar there is "no degradation + identical firings", not
+# speedup. See EXPERIMENTS.md E17.
+#
+# Usage:
+#   scripts/bench_e17.sh            # full run (1500 states per tenant)
+#   scripts/bench_e17.sh --quick    # smaller run for smoke tests / CI
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo build --release -p tdb-bench
+
+./target/release/harness e17 "$@"
+
+if [[ -f BENCH_E17.json ]]; then
+    echo "== BENCH_E17.json =="
+    cat BENCH_E17.json
+    python3 - <<'EOF'
+import json
+doc = json.load(open("BENCH_E17.json"))
+rows = doc["rows"]
+assert len(rows) == 4, f"expected 4 rows, got {len(rows)}"
+assert all(r["firings_ok"] for r in rows), "a tenant diverged from the library oracle"
+base = rows[0]["agg_states_per_sec"]
+for r in rows[1:]:
+    # Host-limited rows must not collapse; unconstrained rows must scale.
+    floor = 0.5 if r["host_limited"] else 0.8 * min(r["shards"], doc["host_cpus"])
+    ratio = r["agg_states_per_sec"] / base
+    assert ratio >= floor, f"shards={r['shards']}: {ratio:.2f}x < floor {floor:.2f}x"
+print(f"E17 OK: host_cpus={doc['host_cpus']}, "
+      + ", ".join(f"{r['shards']}sh={r['agg_states_per_sec']:.0f}/s" for r in rows))
+EOF
+fi
