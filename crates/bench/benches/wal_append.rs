@@ -1,0 +1,68 @@
+//! Group-commit microbenchmark: per-op WAL appends vs one batched append,
+//! at batch sizes 1 / 8 / 64 / 512, with durability on (`SyncPolicy::Always`
+//! — each append or batch rides one `sync_data`). The batched side encodes
+//! the whole group as a single `LogicalOp::Batch` record, so the fsync count
+//! drops from N to 1 per group; this is the storage-layer half of the E18
+//! end-to-end speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tdb_core::storage::{LogicalOp, SyncPolicy, WalSink};
+use tdb_relation::Value;
+use tdb_storage::{CheckpointPolicy, FileStorage};
+
+const OPS_PER_RUN: usize = 512;
+
+fn sample_ops(n: usize) -> Vec<LogicalOp> {
+    (0..n)
+        .map(|i| LogicalOp::SetItem {
+            name: format!("w{}", i % 8),
+            value: Value::Int(i as i64),
+        })
+        .collect()
+}
+
+fn durable_storage(tag: &str) -> (std::path::PathBuf, FileStorage) {
+    let dir = std::env::temp_dir().join(format!("tdb-wal-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let policy = CheckpointPolicy {
+        every_ops: usize::MAX,
+        every_bytes: 0,
+        sync: SyncPolicy::Always,
+    };
+    let storage = FileStorage::create(&dir, policy).expect("bench storage dir");
+    (dir, storage)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_append");
+    group.sample_size(10);
+    let ops = sample_ops(OPS_PER_RUN);
+
+    group.bench_function("per_op", |b| {
+        let (dir, mut storage) = durable_storage("per-op");
+        b.iter(|| {
+            for op in &ops {
+                storage.append(op).expect("append");
+            }
+        });
+        drop(storage);
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+
+    for batch in [1usize, 8, 64, 512] {
+        group.bench_with_input(BenchmarkId::new("batched", batch), &batch, |b, &batch| {
+            let (dir, mut storage) = durable_storage(&format!("batch-{batch}"));
+            b.iter(|| {
+                for chunk in ops.chunks(batch) {
+                    storage.append_batch(chunk).expect("append batch");
+                }
+            });
+            drop(storage);
+            let _ = std::fs::remove_dir_all(&dir);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

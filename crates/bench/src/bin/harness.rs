@@ -702,6 +702,71 @@ fn main() {
     }
 
     flush();
+    if run("e18") {
+        mark("e18");
+        let (rule_counts, relations, states): (&[usize], usize, usize) = if quick {
+            (&[20, 100], 10, 240)
+        } else {
+            (&[100, 1_000], 100, 2_000)
+        };
+        let rows = ex::e18_group_commit(rule_counts, relations, states, seed, &[1, 7, 64]);
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.rules.to_string(),
+                    if r.batch == 0 {
+                        "per-op".to_string()
+                    } else {
+                        r.batch.to_string()
+                    },
+                    f2(r.us_per_state),
+                    f2(r.states_per_sec),
+                    f2(r.speedup_vs_per_op),
+                    r.identical_firings.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render(
+                "E18: group commit — durable ingest throughput (SyncPolicy::Always)",
+                &[
+                    "rules",
+                    "batch",
+                    "us/state",
+                    "states/s",
+                    "speedup",
+                    "identical"
+                ],
+                &body,
+            )
+        );
+        // Machine-readable copy for tooling (scripts/bench_e18.sh and the
+        // CI smoke job via scripts/check_bench_e18.py).
+        let mut json = String::from("{\n  \"experiment\": \"e18\",\n  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"rules\": {}, \"batch\": {}, \"us_per_state\": {:.3}, \
+                 \"states_per_sec\": {:.1}, \"speedup_vs_per_op\": {:.3}, \
+                 \"identical_firings\": {}}}{}\n",
+                r.rules,
+                r.batch,
+                r.us_per_state,
+                r.states_per_sec,
+                r.speedup_vs_per_op,
+                r.identical_firings,
+                if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        match std::fs::write("BENCH_E18.json", &json) {
+            Ok(()) => eprintln!("[harness] wrote BENCH_E18.json"),
+            Err(e) => eprintln!("[harness] could not write BENCH_E18.json: {e}"),
+        }
+    }
+
+    flush();
     if run("e14") {
         mark("e14");
         let (n_short, n_long) = if quick { (300, 1_200) } else { (1_000, 4_000) };

@@ -1014,7 +1014,7 @@ pub fn e12_durability(sizes: &[usize], seed: u64) -> Vec<E12Row> {
             let policy = CheckpointPolicy {
                 every_ops: 64,
                 every_bytes: 0,
-                sync_on_append: false,
+                sync: tdb_core::SyncPolicy::Never,
             };
             let storage = FileStorage::create(&dir, policy).expect("storage dir");
             let mut adb = ActiveDatabase::with_storage(
@@ -1341,6 +1341,192 @@ pub fn e15_delta_dispatch(rules: usize, relations: usize, states: usize, seed: u
             sparse_advances: d_stats.sparse_advances,
         },
     ]
+}
+
+// ===== E18: group commit — durable ingest throughput =========================
+
+/// One row of the E18 table (one rule count × one commit granularity).
+#[derive(Debug, Clone)]
+pub struct E18Row {
+    /// Rules registered (each watching one relation).
+    pub rules: usize,
+    /// States per group commit; `0` marks the per-op baseline (every
+    /// logical op is its own WAL record and fsync).
+    pub batch: usize,
+    pub us_per_state: f64,
+    pub states_per_sec: f64,
+    /// Throughput relative to the per-op durable baseline at the same
+    /// rule count.
+    pub speedup_vs_per_op: f64,
+    /// The firing sequence (rule, time, env — order included) equals the
+    /// per-op run's.
+    pub identical_firings: bool,
+}
+
+/// Group commit with durability on: the E15 sparse-update workload driven
+/// through a real [`FileStorage`] under `SyncPolicy::Always`, per-op
+/// commits (two fsyncs per state: clock + update) vs `commit_batch` groups
+/// riding one WAL record and one fsync each. The firing log must be
+/// byte-identical at every batch size — group commit changes *when*
+/// evaluation runs (once per batch, §8's delayed-not-lost schedule), never
+/// what fires, and the catalog here is Notify-only so even the delayed
+/// schedule reproduces the per-op interleaving exactly.
+///
+/// Swept over rule counts because the two regimes bound the speedup
+/// differently: with few rules per update the per-state cost is
+/// fsync-dominated and batching returns the full fsync amortization
+/// (≥10× on any host where an fsync costs ≥ a few rule evaluations);
+/// with many rules the required evaluation work — identical on both
+/// sides — becomes the floor, and the measured ratio is host-limited by
+/// how cheap this machine's fsync is.
+pub fn e18_group_commit(
+    rule_counts: &[usize],
+    relations: usize,
+    states: usize,
+    seed: u64,
+    batches: &[usize],
+) -> Vec<E18Row> {
+    use tdb_core::storage::{LogicalOp, SyncPolicy};
+    use tdb_core::ParallelConfig;
+    use tdb_storage::{CheckpointPolicy, FileStorage};
+    let relations = relations.max(1);
+
+    // The whole update script, precomputed: state k replaces relation
+    // `W<script[k].0>`'s single row with `script[k].1`.
+    let script: Vec<(usize, i64)> = {
+        let mut rng_state = seed;
+        (0..states)
+            .map(|k| {
+                rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let j = (rng_state >> 33) as usize % relations;
+                (j, 90 + (k as i64 % 21)) // crosses 100 sometimes
+            })
+            .collect()
+    };
+
+    let fresh_adb = |rules: usize, tag: &str| -> (std::path::PathBuf, ActiveDatabase) {
+        let dir = std::env::temp_dir().join(format!("tdb-e18-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let policy = CheckpointPolicy {
+            every_ops: usize::MAX, // isolate append/fsync cost from checkpoints
+            every_bytes: 0,
+            sync: SyncPolicy::Always,
+        };
+        let storage = FileStorage::create(&dir, policy).expect("storage dir");
+        let mut adb = ActiveDatabase::with_storage(
+            relation_watch_db(relations),
+            ManagerConfig {
+                relevance_filtering: false,
+                delta_dispatch: true,
+                parallel: ParallelConfig::sequential(),
+                ..Default::default()
+            },
+            Box::new(storage),
+        )
+        .expect("durable facade");
+        for i in 0..rules {
+            let j = i % relations;
+            let f = parse_formula(&format!("r{j}_q() > 100 and previously(r{j}_q() <= 100)"))
+                .expect("static formula");
+            adb.add_rule(Rule::trigger(format!("watch{i}"), f, Action::Notify))
+                .expect("registers");
+        }
+        (dir, adb)
+    };
+    let firings_of = |adb: &ActiveDatabase| -> Vec<(String, i64, tdb_ptl::Env)> {
+        adb.firings()
+            .iter()
+            .map(|f| (f.rule.clone(), f.time.0, f.env.clone()))
+            .collect()
+    };
+
+    // fsync latency on a shared host drifts by integer factors between
+    // runs; each configuration keeps the best of a few repetitions so the
+    // table reflects the workload, not a background-load spike. Every
+    // repetition's firing log still has to match the baseline's.
+    const REPS: usize = 3;
+
+    let mut rows = Vec::new();
+    for &rules in rule_counts {
+        // Per-op durable baseline: each state is advance_clock + update,
+        // each logical op its own record and fsync.
+        let mut base_us = f64::INFINITY;
+        let mut base_firings = Vec::new();
+        for rep in 0..REPS {
+            let (dir, mut adb) = fresh_adb(rules, &format!("r{rules}-perop"));
+            let start = Instant::now();
+            for &(j, value) in &script {
+                adb.advance_clock(1).expect("clock");
+                let ops = set_watch_row_ops(adb.db(), j, value);
+                adb.update(ops).expect("update");
+            }
+            let us = micros(start.elapsed()) / states as f64;
+            base_us = base_us.min(us);
+            if rep == 0 {
+                base_firings = firings_of(&adb);
+            }
+            drop(adb);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+
+        rows.push(E18Row {
+            rules,
+            batch: 0,
+            us_per_state: base_us,
+            states_per_sec: 1e6 / base_us,
+            speedup_vs_per_op: 1.0,
+            identical_firings: true,
+        });
+
+        for &batch in batches {
+            let mut best_us = f64::INFINITY;
+            let mut identical = true;
+            for _ in 0..REPS {
+                let (dir, mut adb) = fresh_adb(rules, &format!("r{rules}-b{batch}"));
+                // Lower the script to logical ops against a shadow of the
+                // single-row relations (the live row may be unapplied
+                // mid-batch).
+                let mut shadow = vec![0i64; relations];
+                let start = Instant::now();
+                for chunk in script.chunks(batch) {
+                    let mut ops = Vec::with_capacity(chunk.len() * 2);
+                    for &(j, value) in chunk {
+                        ops.push(LogicalOp::AdvanceClock { delta: 1 });
+                        ops.push(LogicalOp::Update {
+                            ops: vec![
+                                WriteOp::Delete {
+                                    relation: format!("W{j}"),
+                                    tuple: tdb_relation::tuple![shadow[j]],
+                                },
+                                WriteOp::Insert {
+                                    relation: format!("W{j}"),
+                                    tuple: tdb_relation::tuple![value],
+                                },
+                            ],
+                        });
+                        shadow[j] = value;
+                    }
+                    for out in adb.commit_batch(&ops, &[]).expect("batch commits") {
+                        out.result.expect("no vetoes in this workload");
+                    }
+                }
+                let us = micros(start.elapsed()) / states as f64;
+                best_us = best_us.min(us);
+                identical &= firings_of(&adb) == base_firings;
+                drop(adb);
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+            rows.push(E18Row {
+                rules,
+                batch,
+                us_per_state: best_us,
+                states_per_sec: 1e6 / best_us,
+                speedup_vs_per_op: base_us / best_us,
+                identical_firings: identical,
+            });
+        }
+    }
+    rows
 }
 
 // ===== E14: analyzer verdicts vs measured residual growth ==================

@@ -8,8 +8,8 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use tdb_core::{Action, ActiveDatabase, Rule};
-use tdb_engine::{Engine, Event, WriteOp};
+use tdb_core::{Action, ActiveDatabase, LogicalOp, Rule};
+use tdb_engine::{Engine, Event, EventSet, WriteOp};
 use tdb_ptl::{parse_formula, Formula};
 use tdb_relation::{parse_query, tuple, Database, QueryDef, Relation, Schema, Value};
 
@@ -315,6 +315,51 @@ pub fn apply_diff_step(adb: &mut ActiveDatabase, s: &DiffStep) -> bool {
         DiffStep::Mark => adb.emit(Event::simple("mark")).is_ok(),
         DiffStep::Tick => adb.tick().is_ok(),
     }
+}
+
+/// Lowers one step to the logical ops [`apply_diff_step`] would log, so a
+/// step script can be regrouped into group commits
+/// (`ActiveDatabase::commit_batch`) without consulting a live database.
+/// `rows` is a shadow of the single-row `W<j>` relations (current value per
+/// relation, all `0` initially) — [`DiffStep::SetRow`] needs the old tuple
+/// to delete, and in a batch that tuple may not be applied yet.
+pub fn diff_step_ops(s: &DiffStep, rows: &mut [i64]) -> Vec<LogicalOp> {
+    let mut ops = vec![LogicalOp::AdvanceClock { delta: 1 }];
+    match s {
+        DiffStep::SetItem { item, value } => ops.push(LogicalOp::Update {
+            ops: vec![WriteOp::SetItem {
+                item: format!("w{item}"),
+                value: Value::Int(*value),
+            }],
+        }),
+        DiffStep::SetRow { rel, value } => {
+            let old = rows[*rel];
+            rows[*rel] = *value;
+            ops.push(LogicalOp::Update {
+                ops: vec![
+                    WriteOp::Delete {
+                        relation: format!("W{rel}"),
+                        tuple: tuple![old],
+                    },
+                    WriteOp::Insert {
+                        relation: format!("W{rel}"),
+                        tuple: tuple![*value],
+                    },
+                ],
+            });
+        }
+        DiffStep::Login => ops.push(LogicalOp::Emit {
+            events: EventSet::of([Event::new("login", vec![Value::str("X")])]),
+        }),
+        DiffStep::Logout => ops.push(LogicalOp::Emit {
+            events: EventSet::of([Event::new("logout", vec![Value::str("X")])]),
+        }),
+        DiffStep::Mark => ops.push(LogicalOp::Emit {
+            events: EventSet::of([Event::simple("mark")]),
+        }),
+        DiffStep::Tick => ops.push(LogicalOp::Tick),
+    }
+    ops
 }
 
 /// A seeded random rule catalog over the [`differential_db`] schema:

@@ -59,6 +59,27 @@ pub enum CoreError {
     Rel(RelError),
 }
 
+impl CoreError {
+    /// Whether this is a *deterministic op-level failure*: one that
+    /// re-occurs identically whenever the same op sequence is applied to
+    /// the same starting state — a constraint veto, a cascade-limit trip, a
+    /// bad write, a duplicate registration. Replay and batched commit
+    /// absorb these into per-op outcomes (the system stays usable, and
+    /// recovery reproduces them instead of failing); everything else is
+    /// structural — the system and its inputs disagree — and propagates.
+    pub fn is_deterministic(&self) -> bool {
+        matches!(
+            self,
+            CoreError::Engine(_)
+                | CoreError::CascadeLimit(_)
+                | CoreError::Rel(_)
+                | CoreError::Ptl(_)
+                | CoreError::LintDenied { .. }
+                | CoreError::DuplicateRule(_)
+        )
+    }
+}
+
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -12,7 +12,7 @@
 //! * optional batching delays dispatch until several states are pending
 //!   ("trigger firing may be delayed, but not go unrecognized").
 
-use tdb_engine::{Engine, EngineError, Event, EventSet, History, TxnId, WriteOp};
+use tdb_engine::{Engine, EngineError, Event, EventSet, History, SystemState, TxnId, WriteOp};
 use tdb_ptl::Env;
 use tdb_relation::{Database, QueryDef, Relation, Timestamp, Value};
 
@@ -39,6 +39,25 @@ fn wal_counters() -> &'static (tdb_obs::Counter, tdb_obs::Counter) {
             r.counter("tdb_wal_checkpoints_total"),
         )
     })
+}
+
+/// What applying one member of a [`ActiveDatabase::commit_batch`] produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOpOutcome {
+    /// `Err(message)` when the op itself was deterministically rejected
+    /// (e.g. an update vetoed by an integrity constraint).
+    pub result: std::result::Result<(), String>,
+    /// History length right after this op applied: a firing with
+    /// `state_index < states_end` was produced by this op or an earlier
+    /// one, which lets callers attribute the batch's pooled firings back
+    /// to individual ops.
+    pub states_end: usize,
+}
+
+impl BatchOpOutcome {
+    pub fn ok(&self) -> bool {
+        self.result.is_ok()
+    }
 }
 
 /// An active database: engine + temporal component.
@@ -345,8 +364,170 @@ impl ActiveDatabase {
                 let _ = self.flush();
             }
             LogicalOp::Firing { .. } => {}
+            LogicalOp::Batch { ops } => {
+                if let Err(e) = self.commit_batch(ops, catalog) {
+                    // Deterministic re-failures out of the batch's closing
+                    // dispatch (vetoes, cascade limits, residual blowups)
+                    // happened in the original run too and are absorbed,
+                    // mirroring the state-driving arms above; structural
+                    // errors (catalog mismatch, storage) surface.
+                    let deterministic = e.is_deterministic()
+                        || matches!(
+                            e,
+                            CoreError::ResidualTooLarge { .. }
+                                | CoreError::UnsolvableResidual(_)
+                                | CoreError::MissingActionParam(_)
+                        );
+                    if !deterministic {
+                        return Err(e);
+                    }
+                }
+            }
         }
         Ok(())
+    }
+
+    /// Applies a group-committed batch of externally driven ops. The whole
+    /// batch is write-ahead logged as *one* record — one buffered write
+    /// and, under [`crate::storage::SyncPolicy::Always`], one fsync for all
+    /// of it — and rule dispatch is delayed to the end of the batch, where
+    /// the accumulated states are advanced in a single slice pass
+    /// ([`RuleManager::dispatch_slice`](crate::RuleManager::dispatch_slice)).
+    /// Section 8 sanctions the delay: "trigger firing may be delayed, but
+    /// not go unrecognized". Because the batch occupies one WAL record, a
+    /// crash mid-write tears the record and recovery drops the whole batch
+    /// — an acked batch is fully durable, an unacked one fully absent.
+    ///
+    /// Deterministic op-level failures (constraint vetoes, bad writes) land
+    /// in the per-op outcomes; structural errors (an op naming a rule
+    /// missing from `catalog`) propagate, leaving the ops applied so far in
+    /// place exactly as replay would. Errors out of the closing dispatch
+    /// itself (e.g. a cascade-limit trip) surface on the returned `Result`
+    /// after every outcome was collected.
+    ///
+    /// Two op classes cannot ride the delayed-dispatch window and drain the
+    /// pending states eagerly instead (they still share the batch's single
+    /// log record and fsync):
+    ///
+    /// * gating ops (`Update` / `Commit`) while integrity constraints are
+    ///   registered — constraints gate a candidate from their *current*
+    ///   formula states, so they must have seen every earlier state;
+    /// * ops that reconfigure dispatch itself (`AddRule`, `SetBatch`,
+    ///   `SetCascadeLimit`, `Flush`).
+    pub fn commit_batch(
+        &mut self,
+        ops: &[LogicalOp],
+        catalog: &[Rule],
+    ) -> Result<Vec<BatchOpOutcome>> {
+        for op in ops {
+            if matches!(op, LogicalOp::Batch { .. } | LogicalOp::Firing { .. }) {
+                return Err(CoreError::Storage(
+                    "batches carry replayable inputs only (no nested batches, no audit records)"
+                        .into(),
+                ));
+            }
+        }
+        if ops.is_empty() {
+            return Ok(Vec::new());
+        }
+        if let Some(w) = self.wal.as_mut() {
+            w.append_batch(ops)?;
+            if tdb_obs::enabled() {
+                wal_counters().0.add(ops.len() as u64);
+            }
+        }
+        // The batch window: detach the sink (the members are already
+        // logged; firing audits and checkpoints wait for the batch end, so
+        // no checkpoint can land mid-batch) and suppress dispatch
+        // (`process` no-ops re-entrantly while `processing` is set).
+        let wal = self.wal.take();
+        debug_assert!(!self.processing, "commit_batch cannot run from an action");
+        self.processing = true;
+        let mut out = Vec::with_capacity(ops.len());
+        let mut structural = None;
+        for op in ops {
+            let eager = match op {
+                LogicalOp::Update { .. } | LogicalOp::Commit { .. } => {
+                    self.manager.has_constraints()
+                }
+                LogicalOp::AddRule { .. }
+                | LogicalOp::SetBatch { .. }
+                | LogicalOp::SetCascadeLimit { .. }
+                | LogicalOp::Flush => true,
+                _ => false,
+            };
+            let r = if eager {
+                self.processing = false;
+                let drained = self.process();
+                let r = drained.and_then(|()| self.apply_batch_op(op, catalog));
+                self.processing = true;
+                r
+            } else {
+                self.apply_batch_op(op, catalog)
+            };
+            match r {
+                Ok(()) => out.push(BatchOpOutcome {
+                    result: Ok(()),
+                    states_end: self.engine.history().len(),
+                }),
+                Err(e) if e.is_deterministic() => out.push(BatchOpOutcome {
+                    result: Err(e.to_string()),
+                    states_end: self.engine.history().len(),
+                }),
+                Err(e) => {
+                    structural = Some(e);
+                    break;
+                }
+            }
+        }
+        self.processing = false;
+        self.wal = wal;
+        // Close the window: one slice dispatch over everything pending,
+        // then the usual audit/checkpoint bookkeeping.
+        let p = self.process();
+        self.after_op()?;
+        if let Some(e) = structural {
+            return Err(e);
+        }
+        p?;
+        Ok(out)
+    }
+
+    /// Applies one batch member through the normal typed methods. Inside
+    /// the batch window the sink is detached and `processing` is set, so
+    /// the methods neither re-log nor dispatch — the same discipline replay
+    /// uses, minus its error absorption.
+    fn apply_batch_op(&mut self, op: &LogicalOp, catalog: &[Rule]) -> Result<()> {
+        match op {
+            LogicalOp::CreateRelation { name, relation } => {
+                self.create_relation(name.clone(), relation.clone())
+            }
+            LogicalOp::DefineQuery { name, def } => self.define_query(name.clone(), def.clone()),
+            LogicalOp::SetItem { name, value } => self.set_item(name.clone(), value.clone()),
+            LogicalOp::AddRule { name } => {
+                let rule = catalog
+                    .iter()
+                    .find(|r| r.name == *name)
+                    .cloned()
+                    .ok_or_else(|| CoreError::NoSuchRule(name.clone()))?;
+                self.add_rule(rule)
+            }
+            LogicalOp::SetBatch { n } => self.set_batch(*n),
+            LogicalOp::SetCascadeLimit { n } => self.set_cascade_limit(*n),
+            LogicalOp::AdvanceClock { delta } => self.advance_clock(*delta).map(|_| ()),
+            LogicalOp::AdvanceClockTo { t } => self.advance_clock_to(*t).map(|_| ()),
+            LogicalOp::Tick => self.tick(),
+            LogicalOp::Emit { events } => self.emit_all(events.clone()).map(|_| ()),
+            LogicalOp::Update { ops } => self.update(ops.clone()).map(|_| ()),
+            LogicalOp::Begin => self.begin().map(|_| ()),
+            LogicalOp::Write { txn, op } => self.write(*txn, op.clone()),
+            LogicalOp::Commit { txn } => self.commit(*txn).map(|_| ()),
+            LogicalOp::Abort { txn } => self.abort(*txn).map(|_| ()),
+            LogicalOp::Flush => self.flush(),
+            LogicalOp::Firing { .. } | LogicalOp::Batch { .. } => {
+                unreachable!("validated by commit_batch")
+            }
+        }
     }
 
     /// Writes a checkpoint to the attached sink immediately (no-op when
@@ -678,28 +859,55 @@ impl ActiveDatabase {
 
     fn process_inner(&mut self) -> Result<()> {
         let mut processed = 0usize;
-        while self
-            .engine
-            .history()
-            .len()
-            .saturating_sub(self.next_dispatch)
-            >= self.batch
-        {
-            let idx = self.next_dispatch;
-            self.next_dispatch += 1;
-            processed += 1;
-            if processed > self.cascade_limit {
-                return Err(CoreError::CascadeLimit(self.cascade_limit));
-            }
-            let state = self
+        loop {
+            let pending = self
                 .engine
                 .history()
-                .get(idx)
-                .expect("pending state must be retained")
-                .clone();
-            let constraints_done = self.gated.remove(&idx);
-            let firings = self.manager.dispatch(&state, idx, constraints_done)?;
-            self.handle_firings(firings)?;
+                .len()
+                .saturating_sub(self.next_dispatch);
+            if pending < self.batch {
+                break;
+            }
+            // The historical per-state loop dispatched while at least
+            // `batch` states stayed pending — i.e. exactly the first
+            // `pending - batch + 1` of them. Taking them as one slice
+            // preserves that window and lets the manager amortize
+            // classification and fixpoint skips across it; a single-state
+            // window (the per-op common case) delegates to the per-state
+            // dispatcher unchanged.
+            let mut take = pending - self.batch + 1;
+            let fatal = processed + take > self.cascade_limit;
+            if fatal {
+                // Mirror the per-state loop bit for bit: dispatch up to the
+                // budget, then consume (but do not dispatch) the over-limit
+                // state and fail.
+                take = self.cascade_limit - processed;
+            }
+            processed += take;
+            let start = self.next_dispatch;
+            self.next_dispatch += take;
+            if take > 0 {
+                let states: Vec<SystemState> = (start..start + take)
+                    .map(|i| {
+                        self.engine
+                            .history()
+                            .get(i)
+                            .expect("pending state must be retained")
+                            .clone()
+                    })
+                    .collect();
+                let constraints_done: Vec<bool> = (start..start + take)
+                    .map(|i| self.gated.remove(&i))
+                    .collect();
+                let firings = self
+                    .manager
+                    .dispatch_slice(&states, start, &constraints_done)?;
+                self.handle_firings(firings)?;
+            }
+            if fatal {
+                self.next_dispatch += 1;
+                return Err(CoreError::CascadeLimit(self.cascade_limit));
+            }
         }
         Ok(())
     }

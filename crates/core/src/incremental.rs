@@ -126,13 +126,26 @@ const PROGRAM_CACHE_CAP: usize = 1024;
 const ATOM_INTERN_CAP: usize = 4096;
 
 /// Evicts roughly half of `map` (arbitrary entries — `HashMap` iteration
-/// order is effectively random, so no tenant's entries are preferred).
-fn evict_half<K: Clone + std::hash::Hash + Eq, V>(map: &mut HashMap<K, V>) {
+/// order is effectively random, so no tenant's entries are preferred) and
+/// returns how many entries were dropped.
+fn evict_half<K: Clone + std::hash::Hash + Eq, V>(map: &mut HashMap<K, V>) -> usize {
     let keep = map.len() / 2;
     let victims: Vec<K> = map.keys().skip(keep).cloned().collect();
+    let evicted = victims.len();
     for k in victims {
         map.remove(&k);
     }
+    evicted
+}
+
+/// Registry handle for the process-global cache eviction counter. Both
+/// intern tables feed the same counter: what matters operationally is that
+/// evictions are happening at all (cross-rule/cross-tenant sharing is being
+/// degraded), not which table overflowed. Touched only while
+/// [`tdb_obs::enabled`].
+fn eviction_counter() -> &'static tdb_obs::Counter {
+    static COUNTER: OnceLock<tdb_obs::Counter> = OnceLock::new();
+    COUNTER.get_or_init(|| tdb_obs::global().counter("tdb_cache_evictions_total"))
 }
 
 /// Compiles a core-form condition, reusing the process-wide program cache.
@@ -151,7 +164,10 @@ fn compile_program(core: &Formula) -> Result<Program> {
     };
     let mut c = cache.lock().expect("program cache lock");
     if c.len() >= PROGRAM_CACHE_CAP {
-        evict_half(&mut c);
+        let evicted = evict_half(&mut c);
+        if tdb_obs::enabled() {
+            eviction_counter().add(evicted as u64);
+        }
     }
     c.insert(core.clone(), p.clone());
     Ok(p)
@@ -173,7 +189,10 @@ fn intern_atom(f: &Formula) -> Arc<Formula> {
         return a.clone();
     }
     if t.len() >= ATOM_INTERN_CAP {
-        evict_half(&mut t);
+        let evicted = evict_half(&mut t);
+        if tdb_obs::enabled() {
+            eviction_counter().add(evicted as u64);
+        }
     }
     let a = Arc::new(f.clone());
     t.insert(f.clone(), a.clone());
@@ -434,11 +453,20 @@ impl IncrementalEvaluator {
     /// Accounts for a state processed at a sparse fixpoint without touching
     /// the formula states (which provably would not change).
     pub fn note_noop_state(&mut self) {
+        self.note_noop_states(1);
+    }
+
+    /// Bulk form of [`IncrementalEvaluator::note_noop_state`]: accounts for
+    /// a whole run of consecutive read-set-disjoint states in O(1). The
+    /// batched dispatch path collapses a fixpoint run — a rule untouched by
+    /// an entire commit batch — into one call, which is what makes the
+    /// unaffected-rule cost of a batch independent of its length.
+    pub fn note_noop_states(&mut self, n: usize) {
         debug_assert!(
             self.at_fixpoint && self.sparse_ready(),
-            "note_noop_state requires a sparse fixpoint"
+            "note_noop_states requires a sparse fixpoint"
         );
-        self.states_seen += 1;
+        self.states_seen += n;
     }
 
     /// Common tail of the full and sparse paths: Section 5 pruning, the

@@ -39,7 +39,7 @@ pub use auxrel::{AuxEvaluator, AuxState};
 // Static-verification vocabulary used by `ManagerConfig { lint }` and
 // `RuleManager::{lint_findings, lint_rule_set}`.
 pub use error::{CoreError, Result};
-pub use facade::ActiveDatabase;
+pub use facade::{ActiveDatabase, BatchOpOutcome};
 pub use incremental::{EvalConfig, EvaluatorState, IncrementalEvaluator};
 pub use manager::{
     executed_relation_name, GateOutcome, ManagerConfig, ManagerStats, RuleManager, RuleState,
@@ -49,7 +49,7 @@ pub use readset::ReadSetIndex;
 pub use residual::{intern_arc, interned_count, sweep_arena};
 pub use rules::{Action, ActionOp, FiringRecord, Program, Rule, RuleKind, TXN_VAR};
 pub use shard::{ApplyOutcome, Shard, ShardStats};
-pub use storage::{LogicalOp, MemorySink, SharedMemorySink, SystemSnapshot, WalSink};
+pub use storage::{LogicalOp, MemorySink, SharedMemorySink, SyncPolicy, SystemSnapshot, WalSink};
 pub use tdb_analysis::{Boundedness, Diagnostic, LintCode, LintLevel, Report, Severity};
 // Observability wiring used by `ManagerConfig { obs }` and the facade's
 // metrics accessors.

@@ -220,6 +220,19 @@ struct RuleRuntime {
     last_envs: Vec<tdb_ptl::Env>,
 }
 
+/// One rule's planned action for one state of a dispatched slice (see
+/// [`RuleManager::dispatch_slice`]). Classification happens up front,
+/// sequentially, so the parallel phase is pure evaluator work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SliceStep {
+    /// Not visited: gated constraint or relevance-filtered out.
+    Skip,
+    /// Full advance against the state.
+    Full,
+    /// Read-set-disjoint state: sparse advance (or fixpoint skip).
+    Sparse,
+}
+
 /// A pending constraint check for one candidate commit state: the cloned
 /// evaluators must be installed with [`RuleManager::confirm_gate`] iff the
 /// commit goes through.
@@ -700,6 +713,302 @@ impl RuleManager {
                 m.worker_counter(worker).add(evaluations);
             }
             out.extend(firings);
+        }
+        Ok(out)
+    }
+
+    /// Whether any registered rule is an integrity constraint. The batched
+    /// commit path uses this to decide if a gating op must drain pending
+    /// states first (constraint evaluators gate against the candidate from
+    /// their *current* formula states, so they must have seen every earlier
+    /// state).
+    pub fn has_constraints(&self) -> bool {
+        self.runtimes
+            .iter()
+            .any(|rt| rt.rule.kind == RuleKind::Constraint)
+    }
+
+    /// Advances every rule across a *slice* of consecutive pending states
+    /// in one pass — the batched-evaluation half of group commit. Produces
+    /// exactly the firings (same records, same order) and the same
+    /// evaluator/counter state as calling [`RuleManager::dispatch`] once
+    /// per state:
+    ///
+    /// * classification (gated constraints, relevance, read-set deltas) is
+    ///   per `(rule, state)`, mirroring the per-state run;
+    /// * workers partition *rules*, not states: each rule replays its own
+    ///   time-ordered step subsequence, which by Theorem 1 touches only its
+    ///   own formula states, so rule-major order is equivalent to
+    ///   state-major order per rule;
+    /// * worker results land in per-state buckets and are concatenated
+    ///   state-major then registration-major, restoring the sequential
+    ///   firing order bit for bit;
+    /// * a rule unaffected by the whole slice collapses its sparse
+    ///   fixpoint run into one O(1) bulk skip
+    ///   ([`IncrementalEvaluator::note_noop_states`]), which is what makes
+    ///   an idle rule's cost independent of the batch length.
+    ///
+    /// `constraints_advanced[i]` marks slice states whose constraint
+    /// evaluators already advanced at gate time (gated commits).
+    pub fn dispatch_slice(
+        &mut self,
+        states: &[SystemState],
+        base: usize,
+        constraints_advanced: &[bool],
+    ) -> Result<Vec<FiringRecord>> {
+        debug_assert_eq!(states.len(), constraints_advanced.len());
+        if states.len() == 1 {
+            return self.dispatch(&states[0], base, constraints_advanced[0]);
+        }
+        let nstates = states.len();
+        let relevance = self.cfg.relevance_filtering;
+        let delta = self.cfg.delta_dispatch;
+
+        // Phase 1a: merge the slice's deltas through the read-set index,
+        // transposing the per-state bitmaps into one bitmask row per rule
+        // (bit `i` of row `id` = state `i` touches rule `id`'s read set).
+        // Classification below walks rule-major, so a row keeps a rule's
+        // whole slice in one or two cache lines instead of probing
+        // `nstates` scattered per-state bitmaps at offset `id`. The union
+        // flag marks rules untouched by *every* delta in the slice, which
+        // is what lets the bulk fast path retire them in O(1).
+        let nrules = self.runtimes.len();
+        let words = nstates.div_ceil(64);
+        let mut masks: Vec<u64> = Vec::new();
+        let mut union_affected: Vec<bool> = Vec::new();
+        if delta {
+            masks.resize(nrules * words, 0);
+            union_affected.resize(nrules, false);
+            let mut bits = std::mem::take(&mut self.affected);
+            for (i, state) in states.iter().enumerate() {
+                self.index.affected(state.delta(), &mut bits);
+                let (w, bit) = (i / 64, 1u64 << (i % 64));
+                for (id, &b) in bits.iter().enumerate() {
+                    if b {
+                        masks[id * words + w] |= bit;
+                        union_affected[id] = true;
+                    }
+                }
+            }
+            self.affected = bits;
+        }
+        let any_gated = constraints_advanced.iter().any(|&b| b);
+
+        // Phase 1b (sequential): classify every (rule, state) pair into its
+        // step kind, tracking sparse readiness as it evolves through the
+        // slice (a full advance caches every assignment value, so all later
+        // steps may go sparse).
+        let mut full_total = 0usize;
+        let mut visits = 0u64;
+        let mut gated_skips = 0u64;
+        let mut relevance_skips = 0u64;
+        let mut bulk_fixpoint = 0u64;
+        let mut selected: Vec<(Vec<SliceStep>, &mut RuleRuntime)> = Vec::new();
+        for (id, rt) in self.runtimes.iter_mut().enumerate() {
+            visits += nstates as u64;
+            // Bulk fast path: a rule untouched by the whole slice whose
+            // evaluator is already at its sparse fixpoint would classify
+            // every step Sparse and then skip every one of them — exactly
+            // the degenerate run the per-step loop collapses with
+            // `note_noop_states`. Recognizing it here costs O(1) per rule
+            // per slice instead of O(nstates), so an idle rule's dispatch
+            // cost is independent of the batch length.
+            let gate_may_skip = any_gated && rt.rule.kind == RuleKind::Constraint;
+            if delta
+                && !relevance
+                && !union_affected[id]
+                && !gate_may_skip
+                && rt.evaluator.sparse_ready()
+                && rt.evaluator.at_sparse_fixpoint()
+                && (rt.rule.edge_triggered || rt.last_envs.is_empty())
+            {
+                rt.evaluator.note_noop_states(nstates);
+                bulk_fixpoint += nstates as u64;
+                continue;
+            }
+            let row = if delta {
+                &masks[id * words..(id + 1) * words]
+            } else {
+                &[][..]
+            };
+            let mut steps = vec![SliceStep::Skip; nstates];
+            let mut ready = rt.evaluator.sparse_ready();
+            let mut any = false;
+            for (i, state) in states.iter().enumerate() {
+                if rt.rule.kind == RuleKind::Constraint && constraints_advanced[i] {
+                    gated_skips += 1;
+                    continue;
+                }
+                if relevance && !Self::relevant(rt, state) {
+                    self.stats.skips += 1;
+                    relevance_skips += 1;
+                    continue;
+                }
+                let sparse = delta && (row[i / 64] >> (i % 64)) & 1 == 0 && ready;
+                if sparse {
+                    steps[i] = SliceStep::Sparse;
+                } else {
+                    steps[i] = SliceStep::Full;
+                    ready = true;
+                    full_total += 1;
+                }
+                any = true;
+            }
+            if any {
+                selected.push((steps, rt));
+            }
+        }
+        // Phase 2: replay each selected rule's step subsequence, in
+        // parallel when the slice is large enough.
+        let (workers, demoted) = plan_workers(
+            &self.cfg.parallel,
+            self.ewma_eval_ns,
+            selected.len(),
+            full_total,
+        );
+        self.stats.adaptive_seq_batches += u64::from(demoted);
+        let metrics = self.metrics.as_ref();
+        let t0 = probe_clock();
+        let results = run_partitioned(&mut selected, workers, |worker, chunk| {
+            let chunk_t0 = if metrics.is_some() {
+                tdb_obs::now()
+            } else {
+                None
+            };
+            let mut evaluations = 0u64;
+            let mut sparse_advances = 0u64;
+            let mut fixpoint_skips = 0u64;
+            let mut buckets: Vec<Vec<FiringRecord>> = vec![Vec::new(); nstates];
+            for (steps, rt) in chunk.iter_mut() {
+                let mut skip_run = 0usize;
+                for (i, step) in steps.iter().enumerate() {
+                    let sparse = match step {
+                        SliceStep::Skip => continue,
+                        SliceStep::Sparse => true,
+                        SliceStep::Full => false,
+                    };
+                    if sparse
+                        && rt.evaluator.at_sparse_fixpoint()
+                        && (rt.rule.edge_triggered || rt.last_envs.is_empty())
+                    {
+                        // Same degenerate case as the per-state path; here
+                        // consecutive skips accumulate into one bulk
+                        // account at the end of the run.
+                        skip_run += 1;
+                        sparse_advances += 1;
+                        fixpoint_skips += 1;
+                        continue;
+                    }
+                    if skip_run > 0 {
+                        rt.evaluator.note_noop_states(skip_run);
+                        skip_run = 0;
+                    }
+                    let satisfied = if sparse {
+                        sparse_advances += 1;
+                        rt.evaluator.advance_sparse_and_fire(states[i].time())?
+                    } else {
+                        evaluations += 1;
+                        match metrics {
+                            None => rt.evaluator.advance_and_fire(&states[i], base + i)?,
+                            Some(m) => {
+                                let eval_t0 = tdb_obs::now();
+                                let satisfied =
+                                    rt.evaluator.advance_and_fire(&states[i], base + i)?;
+                                let ns = tdb_obs::elapsed_ns(eval_t0);
+                                m.rule_eval_ns.observe(ns);
+                                if m.slow_rule_ns > 0 && ns >= m.slow_rule_ns {
+                                    tdb_obs::trace::record_slow_rule(
+                                        &rt.rule.name,
+                                        ns,
+                                        m.slow_rule_ns,
+                                    );
+                                }
+                                satisfied
+                            }
+                        }
+                    };
+                    if satisfied.is_empty() {
+                        if !rt.last_envs.is_empty() {
+                            rt.last_envs.clear();
+                        }
+                        continue;
+                    }
+                    for env in &satisfied {
+                        if rt.rule.edge_triggered && rt.last_envs.binary_search(env).is_ok() {
+                            continue;
+                        }
+                        buckets[i].push(FiringRecord {
+                            rule: rt.rule.name.clone(),
+                            state_index: base + i,
+                            time: states[i].time(),
+                            env: env.clone(),
+                        });
+                    }
+                    rt.last_envs = satisfied;
+                }
+                if skip_run > 0 {
+                    rt.evaluator.note_noop_states(skip_run);
+                }
+            }
+            let chunk_ns = tdb_obs::elapsed_ns(chunk_t0);
+            Ok::<_, CoreError>((
+                worker,
+                evaluations,
+                sparse_advances,
+                fixpoint_skips,
+                chunk_ns,
+                buckets,
+            ))
+        });
+        self.note_batch_cost(t0, workers, full_total);
+
+        // Phase 3 (sequential): merge per-state buckets across workers.
+        // Workers hold contiguous registration-ordered rule chunks, so for
+        // each state, concatenating buckets in worker order restores the
+        // registration order — and iterating states outermost restores the
+        // state-major order of the sequential run.
+        if workers > 1 {
+            self.stats.parallel_batches += 1;
+        }
+        // Bulk-skipped rules report exactly what their degenerate per-step
+        // runs would have: every visit a sparse advance, all of them
+        // fixpoint skips.
+        self.stats.sparse_advances += bulk_fixpoint;
+        if let Some(m) = &self.metrics {
+            m.commits.add(nstates as u64);
+            m.rule_visits.add(visits);
+            m.gated_skips.add(gated_skips);
+            m.relevance_skips.add(relevance_skips);
+            m.fixpoint_skips.add(bulk_fixpoint);
+            m.adaptive_seq_batches.add(u64::from(demoted));
+            if workers > 1 {
+                m.parallel_batches.inc();
+            }
+        }
+        let mut merged: Vec<Vec<FiringRecord>> = vec![Vec::new(); nstates];
+        for r in results {
+            let (worker, evaluations, sparse_advances, fixpoint_skips, chunk_ns, buckets) = r?;
+            self.stats.evaluations += evaluations;
+            self.stats.sparse_advances += sparse_advances;
+            self.stats.record_worker(worker, evaluations);
+            if let Some(m) = &self.metrics {
+                m.full_evaluations.add(evaluations);
+                m.sparse_advances.add(sparse_advances - fixpoint_skips);
+                m.fixpoint_skips.add(fixpoint_skips);
+                m.batch_ns.observe(chunk_ns);
+                m.worker_counter(worker).add(evaluations);
+            }
+            for (i, bucket) in buckets.into_iter().enumerate() {
+                merged[i].extend(bucket);
+            }
+        }
+        let mut out = Vec::new();
+        for bucket in merged {
+            self.stats.firings += bucket.len() as u64;
+            if let Some(m) = &self.metrics {
+                m.firings.add(bucket.len() as u64);
+            }
+            out.extend(bucket);
         }
         Ok(out)
     }

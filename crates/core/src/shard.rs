@@ -131,20 +131,46 @@ impl Shard {
         let result = match self.apply_inner(op) {
             Ok(()) => Ok(()),
             // Deterministic op-level failures leave the shard usable.
-            Err(
-                e @ (CoreError::Engine(_)
-                | CoreError::CascadeLimit(_)
-                | CoreError::Rel(_)
-                | CoreError::Ptl(_)
-                | CoreError::LintDenied { .. }
-                | CoreError::DuplicateRule(_)),
-            ) => Err(e.to_string()),
+            Err(e) if e.is_deterministic() => Err(e.to_string()),
             Err(e) => return Err(e),
         };
         Ok(ApplyOutcome {
             result,
             firings: self.drain_new_firings(),
         })
+    }
+
+    /// Applies a whole group-committed batch through
+    /// [`ActiveDatabase::commit_batch`] — one WAL record, one fsync, one
+    /// closing dispatch pass — and buckets the pooled firings back onto
+    /// the member ops by their `states_end` watermarks (a firing belongs
+    /// to the first op whose watermark covers its state). Firings from the
+    /// closing dispatch's own action cascades attach to the last op, which
+    /// is where §8's "delayed, not unrecognized" guarantee lands them.
+    pub fn apply_batch(&mut self, ops: &[LogicalOp]) -> Result<Vec<ApplyOutcome>> {
+        let outcomes = self.adb.commit_batch(ops, &self.catalog)?;
+        let firings = self.drain_new_firings();
+        let mut out = Vec::with_capacity(outcomes.len());
+        let mut cursor = 0usize;
+        for (k, o) in outcomes.iter().enumerate() {
+            // Firing state indices are non-decreasing in the log, so each
+            // op's bucket is the next contiguous run under its watermark.
+            let end = if k + 1 == outcomes.len() {
+                firings.len()
+            } else {
+                let mut end = cursor;
+                while end < firings.len() && firings[end].state_index < o.states_end {
+                    end += 1;
+                }
+                end
+            };
+            out.push(ApplyOutcome {
+                result: o.result.clone(),
+                firings: firings[cursor..end].to_vec(),
+            });
+            cursor = end;
+        }
+        Ok(out)
     }
 
     fn apply_inner(&mut self, op: &LogicalOp) -> Result<()> {
@@ -179,6 +205,7 @@ impl Shard {
             LogicalOp::Flush => self.adb.flush(),
             // Audit records are outputs, not inputs.
             LogicalOp::Firing { .. } => Ok(()),
+            LogicalOp::Batch { ops } => self.adb.commit_batch(ops, &self.catalog).map(|_| ()),
         }
     }
 

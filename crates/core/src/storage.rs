@@ -71,12 +71,58 @@ pub enum LogicalOp {
     /// replay skips these (firings are re-derived), but they let offline
     /// tooling reconstruct the firing log without re-running the rules.
     Firing { record: FiringRecord },
+    /// A group-committed batch: N externally driven ops logged as *one*
+    /// record and acknowledged behind a single fsync. The whole batch is
+    /// atomic in the log — a crash mid-write tears the one record, which
+    /// the lossy tail read drops entirely, so recovery lands on a batch
+    /// boundary and never replays half a batch. Replay applies the ops in
+    /// order through `commit_batch` semantics (dispatch is delayed to the
+    /// batch end, which §8 permits: firings may be delayed, never lost).
+    Batch { ops: Vec<LogicalOp> },
 }
 
 impl LogicalOp {
     /// Whether this entry is an audit record rather than a replayable input.
     pub fn is_audit(&self) -> bool {
         matches!(self, LogicalOp::Firing { .. })
+    }
+
+    /// How many replayable inputs this entry carries (a batch counts each
+    /// member; audit records count zero). Checkpoint cadences use this so a
+    /// batched run checkpoints on the same op budget as a per-op run.
+    pub fn input_ops(&self) -> usize {
+        match self {
+            LogicalOp::Firing { .. } => 0,
+            LogicalOp::Batch { ops } => ops.iter().map(LogicalOp::input_ops).sum(),
+            _ => 1,
+        }
+    }
+}
+
+/// When the durable log forces data to disk. Threaded from the facade's
+/// storage configuration down to the WAL writer so callers pick their
+/// durability point explicitly instead of the old hard-coded
+/// `sync_on_append` flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// `sync_data` at every commit boundary: once per appended op, and once
+    /// per appended *batch* — the whole group rides a single fsync, which
+    /// is the point of group commit. Checkpoint installation also syncs.
+    /// Acked writes survive power loss.
+    Always,
+    /// No implicit fsync on the append or checkpoint paths; the OS decides
+    /// when pages reach disk. Crash durability is only as strong as the
+    /// page cache, but throughput-bound ingest (and tests) avoid the
+    /// per-commit fsync entirely. This mirrors the old
+    /// `sync_on_append: false` default.
+    #[default]
+    Never,
+}
+
+impl SyncPolicy {
+    /// Whether appends (and checkpoint installs) must fsync.
+    pub fn sync_on_append(self) -> bool {
+        matches!(self, SyncPolicy::Always)
     }
 }
 
@@ -139,6 +185,14 @@ pub trait WalSink: std::fmt::Debug + Send {
     /// Appends one op. Called *before* the op is applied (write-ahead).
     fn append(&mut self, op: &LogicalOp) -> Result<()>;
 
+    /// Appends a whole batch as one atomic log entry, ahead of applying any
+    /// of its ops. The default wraps the ops in [`LogicalOp::Batch`]; file
+    /// sinks override this to encode the group in place and pay one
+    /// buffered write + one fsync for all of it.
+    fn append_batch(&mut self, ops: &[LogicalOp]) -> Result<()> {
+        self.append(&LogicalOp::Batch { ops: ops.to_vec() })
+    }
+
     /// Whether enough log has accumulated that the facade should checkpoint
     /// at its next quiescent point (no open transactions, dispatch drained).
     fn wants_checkpoint(&self) -> bool {
@@ -187,7 +241,8 @@ impl WalSink for MemorySink {
     }
 
     fn wants_checkpoint(&self) -> bool {
-        self.every_ops > 0 && self.tail.iter().filter(|o| !o.is_audit()).count() >= self.every_ops
+        self.every_ops > 0
+            && self.tail.iter().map(LogicalOp::input_ops).sum::<usize>() >= self.every_ops
     }
 
     fn checkpoint(&mut self, snap: &SystemSnapshot) -> Result<()> {

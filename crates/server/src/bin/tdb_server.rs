@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! tdb-server [--addr HOST:PORT] [--workers N] [--data-dir DIR]
-//!            [--lint allow|warn|deny] [--no-sync] [--quiet]
+//!            [--lint allow|warn|deny] [--no-sync]
+//!            [--coalesce-window USEC] [--quiet]
 //! ```
 //!
 //! Prints `listening on <addr>` (the resolved address — port 0 works) once
@@ -18,7 +19,7 @@ use tdb_server::{Server, ServerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: tdb-server [--addr HOST:PORT] [--workers N] [--data-dir DIR] \
-         [--lint allow|warn|deny] [--no-sync] [--quiet]"
+         [--lint allow|warn|deny] [--no-sync] [--coalesce-window USEC] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -49,7 +50,11 @@ fn main() -> ExitCode {
                     _ => usage(),
                 }
             }
-            "--no-sync" => cfg.checkpoint.sync_on_append = false,
+            "--no-sync" => cfg.checkpoint.sync = tdb_core::SyncPolicy::Never,
+            "--coalesce-window" => match value("microseconds").parse() {
+                Ok(us) => cfg.coalesce_window_us = us,
+                Err(_) => usage(),
+            },
             "--quiet" => quiet = true,
             "--help" | "-h" => usage(),
             _ => usage(),

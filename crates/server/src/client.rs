@@ -171,6 +171,20 @@ impl Client {
         }
     }
 
+    /// Applies `ops` as one atomic group commit: the server writes a single
+    /// WAL record, fsyncs once, and dispatches one evaluation slice. The
+    /// `Ok` means the entire batch is durable; a crash mid-batch recovers
+    /// none of it.
+    pub fn commit_batch(&mut self, tenant: &str, ops: Vec<LogicalOp>) -> Result<CommitOutcome> {
+        match self.request(Request::CommitBatch {
+            tenant: tenant.into(),
+            ops,
+        })? {
+            Response::Committed { outcomes, firings } => Ok(CommitOutcome { outcomes, firings }),
+            other => Err(unexpected("Committed", &other)),
+        }
+    }
+
     pub fn query(&mut self, tenant: &str, text: &str, params: Vec<Value>) -> Result<Relation> {
         match self.request(Request::Query {
             tenant: tenant.into(),

@@ -26,7 +26,7 @@ use tdb_analysis::LintLevel;
 use tdb_core::manager::ManagerConfig;
 use tdb_core::rules::FiringRecord;
 use tdb_core::storage::LogicalOp;
-use tdb_core::ShardStats;
+use tdb_core::{ShardStats, SyncPolicy};
 use tdb_relation::{Relation, Value};
 use tdb_storage::codec::encode_snapshot;
 use tdb_storage::CheckpointPolicy;
@@ -51,6 +51,12 @@ pub struct ServerConfig {
     /// Checkpoint/sync policy for durable tenants. The default syncs on
     /// every append: an acked commit survives `SIGKILL`.
     pub checkpoint: CheckpointPolicy,
+    /// Group-commit window in microseconds. When non-zero, a worker that
+    /// dequeues a commit keeps draining *consecutive commits for the same
+    /// tenant* from its queue for up to this long and applies them as one
+    /// batch — one WAL record, one fsync, one evaluation slice. `0`
+    /// disables coalescing (every commit is its own batch).
+    pub coalesce_window_us: u64,
 }
 
 impl Default for ServerConfig {
@@ -61,9 +67,10 @@ impl Default for ServerConfig {
             data_dir: None,
             lint: LintLevel::Warn,
             checkpoint: CheckpointPolicy {
-                sync_on_append: true,
+                sync: SyncPolicy::Always,
                 ..CheckpointPolicy::default()
             },
+            coalesce_window_us: 0,
         }
     }
 }
@@ -102,6 +109,14 @@ enum Job {
         #[allow(clippy::type_complexity)]
         reply: Sender<Result<(Vec<std::result::Result<(), String>>, Vec<FiringRecord>)>>,
     },
+    /// Group commit: `ops` become one WAL record / one fsync / one
+    /// evaluation slice (see `ActiveDatabase::commit_batch`).
+    CommitBatch {
+        tenant: String,
+        ops: Vec<LogicalOp>,
+        #[allow(clippy::type_complexity)]
+        reply: Sender<Result<(Vec<std::result::Result<(), String>>, Vec<FiringRecord>)>>,
+    },
     Query {
         tenant: String,
         text: String,
@@ -135,6 +150,7 @@ impl std::fmt::Debug for Job {
             Job::Create { .. } => "Create",
             Job::Register { .. } => "Register",
             Job::Commit { .. } => "Commit",
+            Job::CommitBatch { .. } => "CommitBatch",
             Job::Query { .. } => "Query",
             Job::Snapshot { .. } => "Snapshot",
             Job::Firings { .. } => "Firings",
@@ -317,6 +333,26 @@ impl Runtime {
         recv_reply(rx)
     }
 
+    /// Applies `ops` as one atomic group commit on the tenant's worker:
+    /// one WAL record, one fsync, one batched evaluation slice.
+    #[allow(clippy::type_complexity)]
+    pub fn commit_batch(
+        &self,
+        tenant: &str,
+        ops: Vec<LogicalOp>,
+    ) -> Result<(Vec<std::result::Result<(), String>>, Vec<FiringRecord>)> {
+        let (tx, rx) = channel();
+        self.send(
+            tenant,
+            Job::CommitBatch {
+                tenant: tenant.to_string(),
+                ops,
+                reply: tx,
+            },
+        )?;
+        recv_reply(rx)
+    }
+
     pub fn query(&self, tenant: &str, text: &str, params: Vec<Value>) -> Result<Relation> {
         let (tx, rx) = channel();
         self.send(
@@ -435,14 +471,30 @@ struct WorkerState {
 }
 
 fn worker_loop(rx: Receiver<Job>, cfg: ServerConfig) {
+    let window_us = cfg.coalesce_window_us;
     let mut st = WorkerState {
         cfg,
         tenants: HashMap::new(),
         subscribers: HashMap::new(),
         metrics: ServerMetrics::resolve(),
     };
-    while let Ok(job) = rx.recv() {
-        st.handle(job);
+    // When coalescing, a non-matching job dequeued while a group was open
+    // carries over to the next iteration instead of being dropped.
+    let mut carry: Option<Job> = None;
+    loop {
+        let job = match carry.take() {
+            Some(j) => j,
+            None => match rx.recv() {
+                Ok(j) => j,
+                Err(_) => break,
+            },
+        };
+        match job {
+            Job::Commit { tenant, ops, reply } if window_us > 0 => {
+                carry = st.coalesced_commit(&rx, window_us, tenant, ops, reply);
+            }
+            other => st.handle(other),
+        }
     }
     // Queue closed: graceful shutdown. Checkpoint durable tenants so the
     // next start recovers from a fresh snapshot instead of a long replay.
@@ -485,6 +537,10 @@ impl WorkerState {
             }
             Job::Commit { tenant, ops, reply } => {
                 let r = self.commit(&tenant, &ops);
+                let _ = reply.send(r);
+            }
+            Job::CommitBatch { tenant, ops, reply } => {
+                let r = self.commit_batch(&tenant, &ops);
                 let _ = reply.send(r);
             }
             Job::Query {
@@ -581,6 +637,122 @@ impl WorkerState {
             self.push_firings(tenant, &firings);
         }
         Ok((outcomes, firings))
+    }
+
+    /// One group commit: `ops` ride a single WAL record and fsync, and are
+    /// dispatched as one evaluation slice.
+    #[allow(clippy::type_complexity)]
+    fn commit_batch(
+        &mut self,
+        tenant: &str,
+        ops: &[LogicalOp],
+    ) -> Result<(Vec<std::result::Result<(), String>>, Vec<FiringRecord>)> {
+        let t = self.tenant_mut(tenant)?;
+        let outs = t.apply_batch(ops)?;
+        let mut outcomes = Vec::with_capacity(outs.len());
+        let mut firings = Vec::new();
+        for out in outs {
+            outcomes.push(out.result);
+            firings.extend(out.firings);
+        }
+        let stats = t.stats();
+        let wal = t.wal_bytes();
+        publish_tenant_gauges(tenant, &stats, wal);
+        if !firings.is_empty() {
+            self.push_firings(tenant, &firings);
+        }
+        Ok((outcomes, firings))
+    }
+
+    /// Time-window coalescer: starting from one dequeued `Commit`, keeps
+    /// draining *consecutive commits for the same tenant* from the worker
+    /// queue for up to `window_us`, applies them as one group commit, and
+    /// answers each original request with its own slice of the outcomes and
+    /// firings. The first non-matching job closes the group and is returned
+    /// to the worker loop as carry-over.
+    #[allow(clippy::type_complexity)]
+    fn coalesced_commit(
+        &mut self,
+        rx: &Receiver<Job>,
+        window_us: u64,
+        tenant: String,
+        ops: Vec<LogicalOp>,
+        reply: Sender<Result<(Vec<std::result::Result<(), String>>, Vec<FiringRecord>)>>,
+    ) -> Option<Job> {
+        type CommitReply =
+            Sender<Result<(Vec<std::result::Result<(), String>>, Vec<FiringRecord>)>>;
+        let mut all_ops = ops;
+        let mut group: Vec<(usize, CommitReply)> = vec![(all_ops.len(), reply)];
+        let mut carry = None;
+        let deadline = std::time::Instant::now() + std::time::Duration::from_micros(window_us);
+        loop {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            match rx.recv_timeout(left) {
+                Ok(Job::Commit {
+                    tenant: t2,
+                    ops,
+                    reply,
+                }) if t2 == tenant => {
+                    group.push((ops.len(), reply));
+                    all_ops.extend(ops);
+                }
+                Ok(other) => {
+                    carry = Some(other);
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+        match self.apply_grouped(&tenant, &all_ops) {
+            Ok(outs) => {
+                let mut firings = Vec::new();
+                let mut iter = outs.into_iter();
+                for (n, reply) in group {
+                    let mut outcomes = Vec::with_capacity(n);
+                    let mut job_firings = Vec::new();
+                    for out in iter.by_ref().take(n) {
+                        outcomes.push(out.result);
+                        job_firings.extend(out.firings);
+                    }
+                    firings.extend_from_slice(&job_firings);
+                    let _ = reply.send(Ok((outcomes, job_firings)));
+                }
+                let (stats, wal) = {
+                    let t = self.tenants.get(&tenant).expect("tenant applied");
+                    (t.stats(), t.wal_bytes())
+                };
+                publish_tenant_gauges(&tenant, &stats, wal);
+                if !firings.is_empty() {
+                    self.push_firings(&tenant, &firings);
+                }
+            }
+            Err(e) => {
+                // A structural failure fails every commit in the group; the
+                // error is rendered once and fanned out as typed copies.
+                let (code, message) = match e {
+                    ServerError::Remote { code, message } => (code, message),
+                    other => (ErrorCode::Internal, other.to_string()),
+                };
+                for (_, reply) in group {
+                    let _ = reply.send(Err(ServerError::Remote {
+                        code,
+                        message: message.clone(),
+                    }));
+                }
+            }
+        }
+        carry
+    }
+
+    fn apply_grouped(
+        &mut self,
+        tenant: &str,
+        ops: &[LogicalOp],
+    ) -> Result<Vec<tdb_core::ApplyOutcome>> {
+        self.tenant_mut(tenant)?.apply_batch(ops)
     }
 
     /// Streams `firings` to every subscriber of `tenant`, dropping dead

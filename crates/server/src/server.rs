@@ -228,6 +228,7 @@ fn request_kind(req: &Request) -> &'static str {
         Request::ListTenants => "list_tenants",
         Request::RegisterRule { .. } => "register_rule",
         Request::Commit { .. } => "commit",
+        Request::CommitBatch { .. } => "commit_batch",
         Request::Query { .. } => "query",
         Request::Snapshot { .. } => "snapshot",
         Request::Firings { .. } => "firings",
@@ -288,6 +289,9 @@ fn service(rt: &Runtime, writer: &SharedWriter, id: u64, req: Request) -> Respon
         }
         Request::Commit { tenant, ops } => rt
             .commit(&tenant, ops)
+            .map(|(outcomes, firings)| Response::Committed { outcomes, firings }),
+        Request::CommitBatch { tenant, ops } => rt
+            .commit_batch(&tenant, ops)
             .map(|(outcomes, firings)| Response::Committed { outcomes, firings }),
         Request::Query {
             tenant,

@@ -246,6 +246,13 @@ impl Tenant {
         self.shard.apply(op).map_err(ServerError::Core)
     }
 
+    /// Applies `ops` as one atomic group commit (see [`Shard::apply_batch`]):
+    /// one WAL record, one fsync, one evaluation slice. Returns one outcome
+    /// per op, firings attributed to the op whose state produced them.
+    pub fn apply_batch(&mut self, ops: &[LogicalOp]) -> Result<Vec<ApplyOutcome>> {
+        self.shard.apply_batch(ops).map_err(ServerError::Core)
+    }
+
     /// Evaluates ad-hoc query text against the tenant's current database.
     pub fn query(&self, text: &str, params: &[Value]) -> Result<Relation> {
         let q = parse_query(text).map_err(|e| ServerError::Remote {
@@ -342,7 +349,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("tdb-tenant-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let policy = CheckpointPolicy {
-            sync_on_append: true,
+            sync: tdb_core::SyncPolicy::Always,
             ..Default::default()
         };
 

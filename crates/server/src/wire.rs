@@ -152,8 +152,14 @@ pub enum Request {
     /// `tdb-analysis`), lint-gated at the server's configured level.
     RegisterRule { tenant: String, source: String },
     /// Apply a batch of logical ops in order. Op-level failures (constraint
-    /// vetoes) are reported per-op; the batch does not stop.
+    /// vetoes) are reported per-op; the batch does not stop. Each op is its
+    /// own WAL record and fsync (under `SyncPolicy::Always`).
     Commit { tenant: String, ops: Vec<LogicalOp> },
+    /// Apply `ops` as one *group commit*: a single WAL record, a single
+    /// fsync, and one batched evaluation slice. The ack means the whole
+    /// batch is durable; a crash mid-batch recovers none of it. Responds
+    /// with the same [`Response::Committed`] shape as `Commit`.
+    CommitBatch { tenant: String, ops: Vec<LogicalOp> },
     /// Evaluate a relational query against the tenant's current database.
     Query {
         tenant: String,
@@ -397,6 +403,14 @@ pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
             });
         }
         Request::Shutdown => e.u8(12),
+        Request::CommitBatch { tenant, ops } => {
+            e.u8(13);
+            e.str(tenant);
+            e.len(ops.len());
+            for op in ops {
+                put_bytes(&mut e, &encode_logical_op(op));
+            }
+        }
     }
     e.into_bytes()
 }
@@ -468,6 +482,16 @@ pub fn decode_request(payload: &[u8]) -> std::result::Result<(u64, Request), Pro
             },
         },
         12 => Request::Shutdown,
+        13 => {
+            let tenant = d.str("tenant name").map_err(dec_err)?;
+            let n = d.seq_len("batch ops", 9).map_err(dec_err)?;
+            let mut ops = Vec::with_capacity(n);
+            for _ in 0..n {
+                let bytes = get_bytes(&mut d, "op bytes")?;
+                ops.push(decode_logical_op(&bytes).map_err(dec_err)?);
+            }
+            Request::CommitBatch { tenant, ops }
+        }
         other => {
             return Err(ProtocolError::Decode(format!(
                 "unknown request tag {other}"

@@ -41,6 +41,20 @@ pub fn parse_checkpoint_name(name: &str) -> Option<u64> {
 /// Writes checkpoint `seq` into `dir` atomically; returns the payload size
 /// in bytes (the Theorem-1 footprint the bench reports on).
 pub fn write_checkpoint(dir: &Path, seq: u64, snap: &SystemSnapshot) -> Result<u64> {
+    write_checkpoint_with(dir, seq, snap, true)
+}
+
+/// [`write_checkpoint`] with an explicit durability switch. With `sync`
+/// off, the temp-write/rename dance still guarantees no half-written file
+/// ever validates, but nothing forces the bytes (or the rename) to disk —
+/// the [`tdb_core::storage::SyncPolicy::Never`] contract, where crash
+/// durability is only as strong as the page cache.
+pub fn write_checkpoint_with(
+    dir: &Path,
+    seq: u64,
+    snap: &SystemSnapshot,
+    sync: bool,
+) -> Result<u64> {
     let payload = encode_snapshot(snap);
     let mut bytes = Vec::with_capacity(CKPT_HEADER + payload.len());
     bytes.extend_from_slice(CKPT_MAGIC);
@@ -54,13 +68,17 @@ pub fn write_checkpoint(dir: &Path, seq: u64, snap: &SystemSnapshot) -> Result<u
     {
         let mut f = File::create(&tmp)?;
         f.write_all(&bytes)?;
-        f.sync_all()?;
+        if sync {
+            f.sync_all()?;
+        }
     }
     std::fs::rename(&tmp, &done)?;
     // Persist the rename itself. Directory fsync is unsupported on some
     // platforms; failure to open the dir is not fatal.
-    if let Ok(d) = File::open(dir) {
-        let _ = d.sync_all();
+    if sync {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
     }
     Ok(payload.len() as u64)
 }

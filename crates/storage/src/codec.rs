@@ -1188,21 +1188,39 @@ pub fn decode_aux_state(bytes: &[u8]) -> Result<AuxState> {
 /// Encodes one WAL record payload.
 pub fn encode_logical_op(op: &LogicalOp) -> Vec<u8> {
     let mut e = Enc::new();
+    put_logical_op(&mut e, op);
+    e.into_bytes()
+}
+
+/// Encodes a group commit: byte-identical to
+/// `encode_logical_op(&LogicalOp::Batch { ops })` without materializing the
+/// wrapper, so the WAL writer can frame a borrowed slice directly.
+pub fn encode_logical_op_batch(ops: &[LogicalOp]) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u8(17);
+    e.len(ops.len());
+    for op in ops {
+        put_logical_op(&mut e, op);
+    }
+    e.into_bytes()
+}
+
+fn put_logical_op(e: &mut Enc, op: &LogicalOp) {
     match op {
         LogicalOp::CreateRelation { name, relation } => {
             e.u8(0);
             e.str(name);
-            put_relation(&mut e, relation);
+            put_relation(e, relation);
         }
         LogicalOp::DefineQuery { name, def } => {
             e.u8(1);
             e.str(name);
-            put_query_def(&mut e, def);
+            put_query_def(e, def);
         }
         LogicalOp::SetItem { name, value } => {
             e.u8(2);
             e.str(name);
-            put_value(&mut e, value);
+            put_value(e, value);
         }
         LogicalOp::AddRule { name } => {
             e.u8(3);
@@ -1222,25 +1240,25 @@ pub fn encode_logical_op(op: &LogicalOp) -> Vec<u8> {
         }
         LogicalOp::AdvanceClockTo { t } => {
             e.u8(7);
-            put_timestamp(&mut e, *t);
+            put_timestamp(e, *t);
         }
         LogicalOp::Tick => e.u8(8),
         LogicalOp::Emit { events } => {
             e.u8(9);
-            put_event_set(&mut e, events);
+            put_event_set(e, events);
         }
         LogicalOp::Update { ops } => {
             e.u8(10);
             e.len(ops.len());
             for op in ops {
-                put_write_op(&mut e, op);
+                put_write_op(e, op);
             }
         }
         LogicalOp::Begin => e.u8(11),
         LogicalOp::Write { txn, op } => {
             e.u8(12);
             e.u64(txn.0);
-            put_write_op(&mut e, op);
+            put_write_op(e, op);
         }
         LogicalOp::Commit { txn } => {
             e.u8(13);
@@ -1253,27 +1271,46 @@ pub fn encode_logical_op(op: &LogicalOp) -> Vec<u8> {
         LogicalOp::Flush => e.u8(15),
         LogicalOp::Firing { record } => {
             e.u8(16);
-            put_firing(&mut e, record);
+            put_firing(e, record);
+        }
+        LogicalOp::Batch { ops } => {
+            debug_assert!(
+                ops.iter().all(|o| !matches!(o, LogicalOp::Batch { .. })),
+                "batches never nest"
+            );
+            e.u8(17);
+            e.len(ops.len());
+            for op in ops {
+                put_logical_op(e, op);
+            }
         }
     }
-    e.into_bytes()
 }
 
 /// Decodes one WAL record payload.
 pub fn decode_logical_op(bytes: &[u8]) -> Result<LogicalOp> {
     let mut d = Dec::new(bytes);
+    let op = get_logical_op(&mut d, true)?;
+    d.finish("logical op")?;
+    Ok(op)
+}
+
+/// `allow_batch` is false for batch members: group commits are one level
+/// deep by construction, and bounding the decoder the same way keeps
+/// recursion depth (and thus stack use on adversarial input) at one.
+fn get_logical_op(d: &mut Dec, allow_batch: bool) -> Result<LogicalOp> {
     let op = match d.u8("logical op tag")? {
         0 => LogicalOp::CreateRelation {
             name: d.str("relation name")?,
-            relation: get_relation(&mut d)?,
+            relation: get_relation(d)?,
         },
         1 => LogicalOp::DefineQuery {
             name: d.str("query name")?,
-            def: get_query_def(&mut d)?,
+            def: get_query_def(d)?,
         },
         2 => LogicalOp::SetItem {
             name: d.str("item name")?,
-            value: get_value(&mut d)?,
+            value: get_value(d)?,
         },
         3 => LogicalOp::AddRule {
             name: d.str("rule name")?,
@@ -1288,24 +1325,24 @@ pub fn decode_logical_op(bytes: &[u8]) -> Result<LogicalOp> {
             delta: d.i64("clock delta")?,
         },
         7 => LogicalOp::AdvanceClockTo {
-            t: get_timestamp(&mut d)?,
+            t: get_timestamp(d)?,
         },
         8 => LogicalOp::Tick,
         9 => LogicalOp::Emit {
-            events: get_event_set(&mut d)?,
+            events: get_event_set(d)?,
         },
         10 => {
             let n = d.seq_len("update ops", 2)?;
             let mut ops = Vec::with_capacity(n);
             for _ in 0..n {
-                ops.push(get_write_op(&mut d)?);
+                ops.push(get_write_op(d)?);
             }
             LogicalOp::Update { ops }
         }
         11 => LogicalOp::Begin,
         12 => LogicalOp::Write {
             txn: TxnId(d.u64("txn id")?),
-            op: get_write_op(&mut d)?,
+            op: get_write_op(d)?,
         },
         13 => LogicalOp::Commit {
             txn: TxnId(d.u64("txn id")?),
@@ -1315,11 +1352,18 @@ pub fn decode_logical_op(bytes: &[u8]) -> Result<LogicalOp> {
         },
         15 => LogicalOp::Flush,
         16 => LogicalOp::Firing {
-            record: get_firing(&mut d)?,
+            record: get_firing(d)?,
         },
+        17 if allow_batch => {
+            let n = d.seq_len("batch ops", 1)?;
+            let mut ops = Vec::with_capacity(n);
+            for _ in 0..n {
+                ops.push(get_logical_op(d, false)?);
+            }
+            LogicalOp::Batch { ops }
+        }
         t => return Err(bad_tag("logical op", t)),
     };
-    d.finish("logical op")?;
     Ok(op)
 }
 

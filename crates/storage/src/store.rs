@@ -12,12 +12,13 @@
 
 use std::path::{Path, PathBuf};
 
+use tdb_core::storage::SyncPolicy;
 use tdb_core::{
     ActiveDatabase, CoreError, LogicalOp, ManagerConfig, Rule, SystemSnapshot, WalSink,
 };
 
 use crate::checkpoint::{
-    checkpoint_file_name, parse_checkpoint_name, read_checkpoint, write_checkpoint,
+    checkpoint_file_name, parse_checkpoint_name, read_checkpoint, write_checkpoint_with,
 };
 use crate::wal::{
     parse_segment_name, read_segment, segment_file_name, TailStatus, WalWriter, WAL_HEADER,
@@ -33,8 +34,9 @@ pub struct CheckpointPolicy {
     pub every_ops: usize,
     /// Checkpoint after this many logged bytes.
     pub every_bytes: u64,
-    /// `fsync` after every append (durable to the record, slow).
-    pub sync_on_append: bool,
+    /// When appends (and checkpoint installs) force data to disk. Group
+    /// commits pay the [`SyncPolicy::Always`] fsync once per *batch*.
+    pub sync: SyncPolicy,
 }
 
 impl Default for CheckpointPolicy {
@@ -42,7 +44,7 @@ impl Default for CheckpointPolicy {
         CheckpointPolicy {
             every_ops: 256,
             every_bytes: 1 << 20,
-            sync_on_append: false,
+            sync: SyncPolicy::Never,
         }
     }
 }
@@ -71,11 +73,7 @@ impl FileStorage {
             .max()
             .map(|m| m + 1)
             .unwrap_or(0);
-        let writer = WalWriter::create(
-            &dir.join(segment_file_name(seq)),
-            seq,
-            policy.sync_on_append,
-        )?;
+        let writer = WalWriter::create(&dir.join(segment_file_name(seq)), seq, policy.sync)?;
         Ok(FileStorage {
             dir: dir.to_path_buf(),
             policy,
@@ -96,7 +94,7 @@ impl FileStorage {
                 let path = dir.join(segment_file_name(seq));
                 // A segment torn during its own creation is recreated.
                 if std::fs::metadata(&path)?.len() < WAL_HEADER as u64 {
-                    let w = WalWriter::create(&path, seq, policy.sync_on_append)?;
+                    let w = WalWriter::create(&path, seq, policy.sync)?;
                     return Ok(FileStorage {
                         dir: dir.to_path_buf(),
                         policy,
@@ -106,13 +104,8 @@ impl FileStorage {
                     });
                 }
                 let r = read_segment(&path, true)?;
-                let mut ops_since = 0;
-                for op in &r.ops {
-                    if !op.is_audit() {
-                        ops_since += 1;
-                    }
-                }
-                let w = WalWriter::resume(&path, seq, r.valid_len, policy.sync_on_append)?;
+                let ops_since = r.ops.iter().map(LogicalOp::input_ops).sum();
+                let w = WalWriter::resume(&path, seq, r.valid_len, policy.sync)?;
                 let bytes_since = w.len().saturating_sub(WAL_HEADER as u64);
                 return Ok(FileStorage {
                     dir: dir.to_path_buf(),
@@ -124,11 +117,7 @@ impl FileStorage {
             }
             None => {
                 let seq = ckpts.iter().max().copied().unwrap_or(0);
-                WalWriter::create(
-                    &dir.join(segment_file_name(seq)),
-                    seq,
-                    policy.sync_on_append,
-                )?
+                WalWriter::create(&dir.join(segment_file_name(seq)), seq, policy.sync)?
             }
         };
         Ok(FileStorage {
@@ -165,22 +154,44 @@ impl FileStorage {
             m.append_ns.observe(tdb_obs::elapsed_ns(t0));
         }
         self.bytes_since += bytes;
-        if !op.is_audit() {
-            self.ops_since += 1;
+        self.ops_since += op.input_ops();
+        Ok(())
+    }
+
+    /// Group commit: the whole batch is one record, one buffered write, and
+    /// (under [`SyncPolicy::Always`]) one `sync_data`. Checkpoint cadence
+    /// counts every member op so batched ingest checkpoints on the same
+    /// budget as per-op ingest.
+    fn append_batch_impl(&mut self, ops: &[LogicalOp]) -> Result<()> {
+        let observe = tdb_obs::enabled();
+        let t0 = if observe { tdb_obs::now() } else { None };
+        let bytes = self.writer.append_batch(ops)?;
+        if observe {
+            let m = wal_metrics();
+            m.appends.inc();
+            m.batch_appends.inc();
+            m.batched_ops.add(ops.len() as u64);
+            m.append_bytes.add(bytes);
+            m.append_ns.observe(tdb_obs::elapsed_ns(t0));
         }
+        self.bytes_since += bytes;
+        self.ops_since += ops.iter().map(LogicalOp::input_ops).sum::<usize>();
         Ok(())
     }
 
     fn checkpoint_impl(&mut self, snap: &SystemSnapshot) -> Result<()> {
         let observe = tdb_obs::enabled();
         let t0 = if observe { tdb_obs::now() } else { None };
-        self.writer.sync()?;
+        let sync = self.policy.sync.sync_on_append();
+        if sync {
+            self.writer.sync()?;
+        }
         let next = self.writer.seq() + 1;
-        let ckpt_bytes = write_checkpoint(&self.dir, next, snap)?;
+        let ckpt_bytes = write_checkpoint_with(&self.dir, next, snap, sync)?;
         self.writer = WalWriter::create(
             &self.dir.join(segment_file_name(next)),
             next,
-            self.policy.sync_on_append,
+            self.policy.sync,
         )?;
         if observe {
             let m = wal_metrics();
@@ -199,6 +210,8 @@ impl FileStorage {
 /// once per process. Touched only while [`tdb_obs::enabled`].
 struct WalMetrics {
     appends: tdb_obs::Counter,
+    batch_appends: tdb_obs::Counter,
+    batched_ops: tdb_obs::Counter,
     append_bytes: tdb_obs::Counter,
     append_ns: std::sync::Arc<tdb_obs::Histogram>,
     checkpoints: tdb_obs::Counter,
@@ -213,6 +226,8 @@ fn wal_metrics() -> &'static WalMetrics {
         let r = tdb_obs::global();
         WalMetrics {
             appends: r.counter("tdb_wal_appends_total"),
+            batch_appends: r.counter("tdb_wal_batch_appends_total"),
+            batched_ops: r.counter("tdb_wal_batched_ops_total"),
             append_bytes: r.counter("tdb_wal_append_bytes_total"),
             append_ns: r.histogram("tdb_wal_append_ns"),
             checkpoints: r.counter("tdb_checkpoint_total"),
@@ -225,6 +240,11 @@ fn wal_metrics() -> &'static WalMetrics {
 impl WalSink for FileStorage {
     fn append(&mut self, op: &LogicalOp) -> tdb_core::Result<()> {
         self.append_impl(op)
+            .map_err(|e| CoreError::Storage(e.to_string()))
+    }
+
+    fn append_batch(&mut self, ops: &[LogicalOp]) -> tdb_core::Result<()> {
+        self.append_batch_impl(ops)
             .map_err(|e| CoreError::Storage(e.to_string()))
     }
 

@@ -12,9 +12,10 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+use tdb_core::storage::SyncPolicy;
 use tdb_core::LogicalOp;
 
-use crate::codec::{decode_logical_op, encode_logical_op};
+use crate::codec::{decode_logical_op, encode_logical_op, encode_logical_op_batch};
 use crate::crc::crc32;
 use crate::{Result, StorageError};
 
@@ -54,44 +55,43 @@ pub struct WalWriter {
     seq: u64,
     /// Bytes of the file known valid (header + whole records).
     len: u64,
-    sync_on_append: bool,
+    sync: SyncPolicy,
 }
 
 impl WalWriter {
     /// Creates segment `seq` at `path` (truncating any previous file) and
     /// writes its header.
-    pub fn create(path: &Path, seq: u64, sync_on_append: bool) -> Result<WalWriter> {
+    pub fn create(path: &Path, seq: u64, sync: SyncPolicy) -> Result<WalWriter> {
         let mut file = File::create(path)?;
         file.write_all(WAL_MAGIC)?;
         file.write_all(&seq.to_le_bytes())?;
-        file.sync_data()?;
+        if sync.sync_on_append() {
+            file.sync_data()?;
+        }
         Ok(WalWriter {
             file,
             path: path.to_path_buf(),
             seq,
             len: WAL_HEADER as u64,
-            sync_on_append,
+            sync,
         })
     }
 
     /// Reopens an existing segment for appending after recovery validated
     /// its prefix. Any torn tail beyond `valid_len` is truncated away.
-    pub fn resume(
-        path: &Path,
-        seq: u64,
-        valid_len: u64,
-        sync_on_append: bool,
-    ) -> Result<WalWriter> {
+    pub fn resume(path: &Path, seq: u64, valid_len: u64, sync: SyncPolicy) -> Result<WalWriter> {
         let mut file = OpenOptions::new().write(true).open(path)?;
         file.set_len(valid_len)?;
         file.seek(SeekFrom::End(0))?;
-        file.sync_data()?;
+        if sync.sync_on_append() {
+            file.sync_data()?;
+        }
         Ok(WalWriter {
             file,
             path: path.to_path_buf(),
             seq,
             len: valid_len,
-            sync_on_append,
+            sync,
         })
     }
 
@@ -113,14 +113,47 @@ impl WalWriter {
     }
 
     /// Appends one record; returns the bytes it occupies on disk.
+    ///
+    /// Only records with a nonzero [`LogicalOp::input_ops`] (replayable
+    /// input) force the [`SyncPolicy::Always`] fsync. Audit records (firings)
+    /// are derivable — recovery regenerates them by re-dispatching the
+    /// inputs — so they ride the next input record's sync instead of paying
+    /// their own; a crash can only lose audit records that were never part
+    /// of an acknowledged state.
     pub fn append(&mut self, op: &LogicalOp) -> Result<u64> {
-        let payload = encode_logical_op(op);
+        let sync = self.sync.sync_on_append() && op.input_ops() > 0;
+        self.append_payload(encode_logical_op(op), sync)
+    }
+
+    /// Group commit: appends a whole batch of ops as **one** record (the
+    /// [`LogicalOp::Batch`] encoding), so the group costs one buffered
+    /// write and — under [`SyncPolicy::Always`] — one `sync_data` total.
+    /// Because the batch is a single checksummed record, a crash mid-write
+    /// tears the whole record and the lossy tail read drops the entire
+    /// batch: recovery always lands on a batch boundary. Returns the bytes
+    /// the record occupies on disk.
+    pub fn append_batch(&mut self, ops: &[LogicalOp]) -> Result<u64> {
+        let sync =
+            self.sync.sync_on_append() && ops.iter().map(LogicalOp::input_ops).sum::<usize>() > 0;
+        self.append_payload(encode_logical_op_batch(ops), sync)
+    }
+
+    fn append_payload(&mut self, payload: Vec<u8>, sync: bool) -> Result<u64> {
+        if payload.len() as u64 > MAX_RECORD as u64 {
+            return Err(StorageError::Corrupt {
+                path: self.path.display().to_string(),
+                why: format!(
+                    "record payload of {} bytes exceeds the {MAX_RECORD}-byte limit",
+                    payload.len()
+                ),
+            });
+        }
         let mut frame = Vec::with_capacity(RECORD_HEADER + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
         self.file.write_all(&frame)?;
-        if self.sync_on_append {
+        if sync {
             self.file.sync_data()?;
         }
         self.len += frame.len() as u64;
@@ -297,7 +330,7 @@ mod tests {
     fn roundtrip_segment() {
         let dir = tempdir("roundtrip");
         let path = dir.join(segment_file_name(7));
-        let mut w = WalWriter::create(&path, 7, false).unwrap();
+        let mut w = WalWriter::create(&path, 7, SyncPolicy::Never).unwrap();
         for op in &sample_ops() {
             w.append(op).unwrap();
         }
@@ -314,7 +347,7 @@ mod tests {
     fn lossy_read_drops_torn_tail_strict_read_errors() {
         let dir = tempdir("torn");
         let path = dir.join(segment_file_name(0));
-        let mut w = WalWriter::create(&path, 0, false).unwrap();
+        let mut w = WalWriter::create(&path, 0, SyncPolicy::Never).unwrap();
         for op in &sample_ops() {
             w.append(op).unwrap();
         }
@@ -339,7 +372,7 @@ mod tests {
     fn bit_flip_is_checksum_mismatch_in_strict_mode() {
         let dir = tempdir("flip");
         let path = dir.join(segment_file_name(0));
-        let mut w = WalWriter::create(&path, 0, false).unwrap();
+        let mut w = WalWriter::create(&path, 0, SyncPolicy::Never).unwrap();
         for op in &sample_ops() {
             w.append(op).unwrap();
         }
@@ -363,7 +396,7 @@ mod tests {
     fn resume_truncates_and_appends() {
         let dir = tempdir("resume");
         let path = dir.join(segment_file_name(2));
-        let mut w = WalWriter::create(&path, 2, false).unwrap();
+        let mut w = WalWriter::create(&path, 2, SyncPolicy::Never).unwrap();
         for op in &sample_ops() {
             w.append(op).unwrap();
         }
@@ -374,7 +407,7 @@ mod tests {
         drop(f);
 
         let r = read_segment(&path, true).unwrap();
-        let mut w = WalWriter::resume(&path, r.seq, r.valid_len, false).unwrap();
+        let mut w = WalWriter::resume(&path, r.seq, r.valid_len, SyncPolicy::Never).unwrap();
         w.append(&LogicalOp::Flush).unwrap();
         w.sync().unwrap();
 
@@ -382,6 +415,55 @@ mod tests {
         assert_eq!(r2.tail, TailStatus::Clean);
         assert_eq!(r2.ops.len(), 4); // 3 surviving + 1 new
         assert!(matches!(r2.ops.last(), Some(LogicalOp::Flush)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn batch_roundtrips_as_one_record() {
+        let dir = tempdir("batch");
+        let path = dir.join(segment_file_name(1));
+        let mut w = WalWriter::create(&path, 1, SyncPolicy::Never).unwrap();
+        let before = w.len();
+        let frame = w.append_batch(&sample_ops()).unwrap();
+        w.sync().unwrap();
+        assert_eq!(w.len(), before + frame, "the batch is exactly one frame");
+
+        let r = read_segment(&path, false).unwrap();
+        assert_eq!(r.tail, TailStatus::Clean);
+        assert_eq!(r.ops, vec![LogicalOp::Batch { ops: sample_ops() }]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A batch torn at *any* byte cut must drop entirely: a lossy read never
+    /// surfaces a half-applied batch.
+    #[test]
+    fn torn_batch_is_all_or_nothing() {
+        let dir = tempdir("torn-batch");
+        let path = dir.join(segment_file_name(0));
+        let mut w = WalWriter::create(&path, 0, SyncPolicy::Never).unwrap();
+        w.append(&LogicalOp::Tick).unwrap();
+        let boundary = w.len();
+        w.append_batch(&sample_ops()).unwrap();
+        let full = w.len();
+        drop(w);
+        let original = std::fs::read(&path).unwrap();
+        assert_eq!(original.len() as u64, full);
+
+        for cut in boundary..full {
+            std::fs::write(&path, &original[..cut as usize]).unwrap();
+            let r = read_segment(&path, true).unwrap();
+            assert_eq!(
+                r.ops,
+                vec![LogicalOp::Tick],
+                "cut at {cut}: the torn batch must vanish whole"
+            );
+            assert_eq!(r.valid_len, boundary, "cut at {cut}");
+            if cut == boundary {
+                assert_eq!(r.tail, TailStatus::Clean);
+            } else {
+                assert!(matches!(r.tail, TailStatus::Truncated { .. }));
+            }
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -5,7 +5,7 @@
 
 use std::path::PathBuf;
 
-use tdb_core::{Action, ActiveDatabase, ManagerConfig, Rule};
+use tdb_core::{Action, ActiveDatabase, ManagerConfig, Rule, SyncPolicy};
 use tdb_engine::WriteOp;
 use tdb_ptl::parse_formula;
 use tdb_relation::{parse_query, tuple, Database, QueryDef, Relation, Schema, Value};
@@ -83,7 +83,7 @@ fn tight_policy() -> CheckpointPolicy {
     CheckpointPolicy {
         every_ops: 2,
         every_bytes: 0,
-        sync_on_append: false,
+        sync: SyncPolicy::Never,
     }
 }
 
@@ -323,6 +323,148 @@ fn recover_durable_survives_repeated_crashes() {
     let mut third = rec.adb;
     set_price(&mut third, "IBM", 20);
     assert_same(&third, &volatile);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---- group commit -----------------------------------------------------------
+
+/// Lowers a price script to the logical ops of one group commit. `shadow`
+/// carries the last applied price across batches (the delete of the old
+/// tuple cannot read the live database: earlier ops of the same batch may
+/// not be applied yet when the list is built).
+fn price_batch(shadow: &mut Option<i64>, prices: &[i64]) -> Vec<tdb_core::LogicalOp> {
+    use tdb_core::LogicalOp;
+    let mut ops = Vec::new();
+    for &p in prices {
+        ops.push(LogicalOp::AdvanceClock { delta: 1 });
+        let mut w = Vec::new();
+        if let Some(old) = *shadow {
+            w.push(WriteOp::Delete {
+                relation: "STOCK".into(),
+                tuple: tuple!["IBM", old],
+            });
+        }
+        w.push(WriteOp::Insert {
+            relation: "STOCK".into(),
+            tuple: tuple!["IBM", p],
+        });
+        *shadow = Some(p);
+        ops.push(LogicalOp::Update { ops: w });
+    }
+    ops
+}
+
+fn assert_same_observable(a: &ActiveDatabase, b: &ActiveDatabase) -> bool {
+    a.db() == b.db() && a.now() == b.now() && a.firings() == b.firings()
+}
+
+/// The group-commit atomicity property: a batch is ONE WAL record, so a
+/// crash that tears the log at *any* byte leaves a prefix of whole batches
+/// — recovery must land exactly on a batch boundary, never apply half a
+/// batch. Cuts sweep the newest segment from the header boundary to full
+/// length (seeded pseudo-random offsets plus the exact boundaries), and
+/// every recovered state must equal one of the batch-boundary oracles.
+#[test]
+fn mid_batch_crash_recovers_to_a_batch_boundary() {
+    let dir = tempdir("midbatch");
+    let policy = CheckpointPolicy {
+        every_ops: 1000, // no checkpoint mid-run: the WAL tail carries every batch
+        every_bytes: 0,
+        sync: SyncPolicy::Always,
+    };
+    let storage = FileStorage::create(&dir, policy).unwrap();
+    let mut live =
+        ActiveDatabase::with_storage(base_db(), ManagerConfig::default(), Box::new(storage))
+            .unwrap();
+    for r in catalog() {
+        live.add_rule(r).unwrap();
+    }
+    let scripts: Vec<Vec<i64>> = vec![
+        vec![10, 11],
+        vec![12, 6, 25], // 6 → 25 plants a "doubled" firing inside a batch
+        vec![24, 26, 13, 27],
+        vec![28, 14],
+    ];
+    let mut shadow = None;
+    for s in &scripts {
+        let ops = price_batch(&mut shadow, s);
+        let outs = live.commit_batch(&ops, &catalog()).unwrap();
+        assert!(outs.iter().all(|o| o.result.is_ok()));
+    }
+    assert!(
+        live.firings().iter().any(|f| f.rule == "doubled"),
+        "the script must fire inside a batch (dead property otherwise)"
+    );
+    drop(live); // crash
+
+    // One oracle per batch boundary: the state after the first `m` batches.
+    let oracles: Vec<ActiveDatabase> = (0..=scripts.len())
+        .map(|m| {
+            let mut adb = ActiveDatabase::new(base_db());
+            for r in catalog() {
+                adb.add_rule(r).unwrap();
+            }
+            let mut shadow = None;
+            for s in &scripts[..m] {
+                let ops = price_batch(&mut shadow, s);
+                adb.commit_batch(&ops, &catalog()).unwrap();
+            }
+            adb
+        })
+        .collect();
+
+    let newest = newest_segment(&dir);
+    let full = std::fs::metadata(&newest).unwrap().len();
+    // Seeded LCG cuts across the record region (below 16 the segment
+    // *header* is torn — a typed `Corrupt`, not a lossy tail) plus the
+    // interesting exact offsets.
+    let mut cuts: Vec<u64> = vec![16, full - 1, full];
+    let mut seed = 0x5EED_CAFEu64;
+    for _ in 0..48 {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        cuts.push(16 + seed % (full - 16));
+    }
+    let mut boundaries_seen = std::collections::BTreeSet::new();
+    for cut in cuts {
+        let scratch = tempdir(&format!("midbatch-cut{cut}"));
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let p = entry.unwrap().path();
+            std::fs::copy(&p, scratch.join(p.file_name().unwrap())).unwrap();
+        }
+        let torn = scratch.join(newest.file_name().unwrap());
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&torn)
+            .unwrap()
+            .set_len(cut)
+            .unwrap();
+
+        let rec = recover(&scratch, &catalog(), ManagerConfig::default()).unwrap();
+        let m = oracles
+            .iter()
+            .position(|o| assert_same_observable(o, &rec.adb));
+        match m {
+            Some(m) => {
+                boundaries_seen.insert(m);
+                assert_eq!(
+                    rec.adb.history().len(),
+                    oracles[m].history().len(),
+                    "cut {cut}/{full}: same observables but a different history"
+                );
+            }
+            None => panic!(
+                "cut {cut}/{full}: recovered state matches no batch-boundary prefix \
+                 (a torn batch was half-applied)"
+            ),
+        }
+        std::fs::remove_dir_all(&scratch).unwrap();
+    }
+    assert!(
+        boundaries_seen.len() > 2,
+        "cuts must land on several distinct boundaries, saw {boundaries_seen:?}"
+    );
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

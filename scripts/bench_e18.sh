@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Runs the E18 group-commit experiment (durable ingest throughput: per-op
+# fsync'd commits vs batched commit_batch groups) and leaves a
+# machine-readable copy in BENCH_E18.json at the repo root.
+#
+# Usage:
+#   scripts/bench_e18.sh            # full run (100 and 1000 rules / 100 relations)
+#   scripts/bench_e18.sh --quick    # smaller run for smoke tests / CI
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo build --release -p tdb-bench
+
+./target/release/harness e18 "$@"
+
+if [[ -f BENCH_E18.json ]]; then
+    echo "== BENCH_E18.json =="
+    cat BENCH_E18.json
+    python3 scripts/check_bench_e18.py BENCH_E18.json
+fi

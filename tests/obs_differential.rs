@@ -34,7 +34,8 @@ use temporal_adb::obs::{ObsConfig, Registry, RegistrySnapshot};
 use temporal_adb::relation::Database;
 
 use tdb_bench::workload::{
-    apply_diff_step, differential_db, differential_rules, differential_steps,
+    apply_diff_step, diff_step_ops, differential_db, differential_rules, differential_steps,
+    DIFF_RELATIONS,
 };
 
 const STEP_SEED: u64 = 0xD1FF_5EED;
@@ -53,6 +54,15 @@ struct RunOut {
 }
 
 fn run_combo(delta_dispatch: bool, workers: usize, wal: bool) -> RunOut {
+    run_combo_with(
+        &differential_rules(RULE_SEED, RULES),
+        delta_dispatch,
+        workers,
+        wal,
+    )
+}
+
+fn run_combo_with(rules: &[Rule], delta_dispatch: bool, workers: usize, wal: bool) -> RunOut {
     let registry = Arc::new(Registry::new());
     let cfg = ManagerConfig {
         delta_dispatch,
@@ -70,8 +80,8 @@ fn run_combo(delta_dispatch: bool, workers: usize, wal: bool) -> RunOut {
     } else {
         ActiveDatabase::with_config(differential_db(), cfg)
     };
-    for r in differential_rules(RULE_SEED, RULES) {
-        adb.add_rule(r).unwrap();
+    for r in rules {
+        adb.add_rule(r.clone()).unwrap();
     }
     let commits: Vec<bool> = differential_steps(STEP_SEED, STEPS)
         .iter()
@@ -313,6 +323,131 @@ fn eight_combos_agree_and_match_the_naive_oracle() {
         delta_of("tdb_delta_touched_names_total") > 0,
         "delta summaries never counted"
     );
+}
+
+/// Reruns the seeded workload through `ActiveDatabase::commit_batch`,
+/// regrouping the step script into group commits of `batch` steps each.
+fn run_combo_batched(
+    rules: &[Rule],
+    delta_dispatch: bool,
+    workers: usize,
+    wal: bool,
+    batch: usize,
+) -> RunOut {
+    let registry = Arc::new(Registry::new());
+    let cfg = ManagerConfig {
+        delta_dispatch,
+        parallel: ParallelConfig {
+            workers,
+            min_rules_per_worker: 1,
+            adaptive: false,
+        },
+        obs: ObsConfig::with_registry(registry.clone()),
+        ..Default::default()
+    };
+    let mut adb = if wal {
+        ActiveDatabase::with_storage(differential_db(), cfg, Box::new(SharedMemorySink::new(64)))
+            .unwrap()
+    } else {
+        ActiveDatabase::with_config(differential_db(), cfg)
+    };
+    for r in rules {
+        adb.add_rule(r.clone()).unwrap();
+    }
+    let steps = differential_steps(STEP_SEED, STEPS);
+    let mut rows = vec![0i64; DIFF_RELATIONS];
+    let mut commits = Vec::with_capacity(STEPS);
+    for chunk in steps.chunks(batch) {
+        let mut ops = Vec::new();
+        let mut payload_at = Vec::with_capacity(chunk.len());
+        for s in chunk {
+            let lowered = diff_step_ops(s, &mut rows);
+            payload_at.push(ops.len() + lowered.len() - 1);
+            ops.extend(lowered);
+        }
+        let outcomes = adb.commit_batch(&ops, &[]).unwrap();
+        // The step's commit bit is its payload op's outcome (the leading
+        // `AdvanceClock` never fails), mirroring `apply_diff_step`.
+        for &i in &payload_at {
+            commits.push(outcomes[i].result.is_ok());
+        }
+    }
+    RunOut {
+        firings: adb.firings().to_vec(),
+        commits,
+        db: adb.db().clone(),
+        history: adb.history().clone(),
+        stats: adb.stats(),
+        snap: registry.snapshot(),
+    }
+}
+
+/// Group commit must not change what fires: regrouping the whole 520-step
+/// script into batches of 1, 7 and 64 steps — under sequential and forced
+/// 4-worker dispatch, with and without delta dispatch, on a live WAL sink —
+/// reproduces the per-op reference run *byte-identically* (firings with
+/// their state indices and timestamps, commit pattern, final database,
+/// history), and with the same evaluation work (full evaluations and
+/// sparse advances).
+///
+/// Scope: the byte-identical guarantee is for non-cascading rules, so the
+/// multi-step batches run the `ptl…` (Notify-only) catalog. Rules whose
+/// actions *write data* — here the §6.1.1 aggregate maintenance triggers —
+/// follow the paper §8 schedule under batching: their writes land after
+/// the batch's own states, so downstream firings are delayed (never lost)
+/// relative to per-op interleaving; those are covered at `batch = 1`,
+/// where the group degenerates to per-op dispatch. Per-slice counters
+/// (`parallel_batches`, `adaptive_seq_batches`) legitimately differ — a
+/// slice is one batch — and are not compared.
+#[test]
+fn batched_commits_reproduce_per_op_run_byte_identically() {
+    temporal_adb::obs::set_enabled(true);
+    let all_rules = differential_rules(RULE_SEED, RULES);
+    let ptl_rules: Vec<Rule> = all_rules
+        .iter()
+        .filter(|r| r.name.starts_with("ptl"))
+        .cloned()
+        .collect();
+    assert!(ptl_rules.len() >= RULES / 2, "catalog mostly notify-only");
+
+    // Full catalog (aggregates included) at batch size 1: every group is
+    // one step, so dispatch interleaves exactly as the per-op run.
+    {
+        let reference = run_combo(true, 1, true);
+        let out = run_combo_batched(&all_rules, true, 1, true, 1);
+        assert_eq!(out.firings, reference.firings, "full catalog: firings");
+        assert_eq!(out.commits, reference.commits, "full catalog: commits");
+        assert_eq!(out.db, reference.db, "full catalog: databases");
+    }
+
+    for (delta, workers, wal) in [(false, 1usize, true), (true, 4, true), (true, 1, false)] {
+        // Evaluation work (full vs sparse) depends on the dispatch config,
+        // so each batched run compares against the per-op run of the *same*
+        // configuration.
+        let reference = run_combo_with(&ptl_rules, delta, workers, wal);
+        assert!(!reference.firings.is_empty(), "dead workload");
+        for batch in [1usize, 7, 64] {
+            let label = format!("batch={batch} delta={delta} workers={workers} wal={wal}");
+            let out = run_combo_batched(&ptl_rules, delta, workers, wal, batch);
+            assert_eq!(out.firings, reference.firings, "{label}: firings diverge");
+            assert_eq!(out.commits, reference.commits, "{label}: commits diverge");
+            assert_eq!(out.db, reference.db, "{label}: final databases diverge");
+            assert_eq!(
+                out.history.len(),
+                reference.history.len(),
+                "{label}: history length diverges"
+            );
+            assert_eq!(
+                out.stats.evaluations, reference.stats.evaluations,
+                "{label}: full-evaluation count diverges"
+            );
+            assert_eq!(
+                out.stats.sparse_advances, reference.stats.sparse_advances,
+                "{label}: sparse-advance count diverges"
+            );
+            assert_metric_invariants(&label, &out);
+        }
+    }
 }
 
 /// Regression for the worker-attribution stats: under a forced 4-worker

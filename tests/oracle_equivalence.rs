@@ -444,7 +444,7 @@ proptest! {
         let dir = unique_dir();
         let _ = std::fs::remove_dir_all(&dir);
 
-        let policy = CheckpointPolicy { every_ops, every_bytes: 0, sync_on_append: false };
+        let policy = CheckpointPolicy { every_ops, every_bytes: 0, sync: tdb_core::SyncPolicy::Never };
         let storage = FileStorage::create(&dir, policy).unwrap();
         let mut durable = ActiveDatabase::with_storage(
             base_db(), ManagerConfig::default(), Box::new(storage),
@@ -495,7 +495,7 @@ proptest! {
         let dir = unique_dir();
         let _ = std::fs::remove_dir_all(&dir);
 
-        let policy = CheckpointPolicy { every_ops, every_bytes: 0, sync_on_append: false };
+        let policy = CheckpointPolicy { every_ops, every_bytes: 0, sync: tdb_core::SyncPolicy::Never };
         let storage = FileStorage::create(&dir, policy).unwrap();
         let mut durable = ActiveDatabase::with_storage(
             base_db(), ManagerConfig::default(), Box::new(storage),
