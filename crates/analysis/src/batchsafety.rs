@@ -1,0 +1,458 @@
+//! Batch-safety certification: when is fused slice evaluation exact?
+//!
+//! `commit_batch` appends every state of a batch first and dispatches once
+//! over the whole slice (PR 7's `dispatch_slice`). A rule whose action
+//! writes data appends its write *after* the slice — a legal Section 8
+//! *delayed* schedule, but not the per-op *immediate* schedule, so
+//! downstream firings can shift. This pass classifies a rule set by how
+//! much of the fused fast path can be kept while still guaranteeing
+//! byte-identical firings:
+//!
+//! * [`BatchCertificate::Exact`] — no rule writes anything: the fused
+//!   slice appends exactly the states the per-op schedule would, so fused
+//!   dispatch is already byte-identical.
+//! * [`BatchCertificate::Stratified`] — there are writers, but the
+//!   write-cascade graph is acyclic with `k` strata: the runtime fences
+//!   the slice at ops that can fire a writer, draining the cascade there
+//!   (write states land at their per-op positions), and fuses everything
+//!   in between.
+//! * [`BatchCertificate::CascadeRequired`] — cyclic or opaque cascades:
+//!   exact semantics needs mid-batch re-entry after every state-producing
+//!   op.
+//!
+//! Why *any* writer demotes `Exact`: a fired action appends a write state,
+//! and appending consumes a clock tick (the engine auto-bumps so state
+//! timestamps stay unique). Under the delayed schedule the write state
+//! lands after the batch, so every in-batch state after the firing carries
+//! a timestamp one lower than its per-op twin — and firing records include
+//! the state's timestamp. Fence-draining at the ops that can fire the
+//! writer (the `Stratified` execution) appends the write state at its
+//! per-op position, which restores byte-identity even though nobody reads
+//! the written data.
+//!
+//! The cascade *graph* is subtler than `writes ∩ reads = ∅`. An inserted
+//! write state shifts *state adjacency* even when nobody reads the written
+//! data: event atoms are false at non-op states (a false gap between two
+//! op states changes edge detection), `lasttime` looks at the immediate
+//! predecessor state, aggregate terms become visible one state after
+//! sampling, and clock reads see the inserted state's timestamp.
+//! Conditions containing any of these are **order-sensitive**; the pass
+//! models the hazard with a synthetic [`STATE_ORDER`] resource that every
+//! data-writing action writes and every order-sensitive condition reads —
+//! a writer with an order-sensitive condition therefore self-cycles into
+//! `CascadeRequired`. Actions whose *value terms* read database state
+//! (queries, aggregates, the clock) are recorded as **impure**: their
+//! materialized values depend on the evaluation point, which the
+//! stratified fences pin to the per-op schedule.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Synthetic resource standing for the position of states in the history.
+/// Every data-writing action writes it (its firing inserts a state);
+/// every order-sensitive condition reads it.
+pub const STATE_ORDER: &str = "order:states";
+
+/// One rule's interface to the batch-safety pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchRule {
+    pub name: String,
+    /// Resources whose change can affect the rule's condition.
+    pub reads: BTreeSet<String>,
+    /// Resources the rule's action writes. Non-empty means firing this
+    /// rule appends at least one state to the history.
+    pub writes: BTreeSet<String>,
+    /// The action is an opaque program whose write set is unknown.
+    pub opaque_action: bool,
+    /// The condition's value depends on state adjacency (event atoms,
+    /// `lasttime`, aggregate terms, clock reads), not just on current data
+    /// values.
+    pub order_sensitive: bool,
+    /// The action's value terms read database state (queries, aggregates,
+    /// the clock) at materialization time, so a delayed schedule can
+    /// materialize different values.
+    pub impure_action_values: bool,
+}
+
+/// The certificate lattice: `Exact` ⊑ `Stratified(k)` ⊑ `CascadeRequired`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BatchCertificate {
+    /// Fused slice dispatch is byte-identical to the per-op schedule.
+    #[default]
+    Exact,
+    /// Acyclic write-cascades of depth `strata`; exact under fence-drained
+    /// sub-slice execution.
+    Stratified { strata: usize },
+    /// Cyclic or opaque write-cascades; exact only with mid-batch
+    /// re-entry after every state-producing op.
+    CascadeRequired,
+}
+
+impl BatchCertificate {
+    /// The stable name used in JSON/SARIF output and wire encodings.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BatchCertificate::Exact => "exact",
+            BatchCertificate::Stratified { .. } => "stratified",
+            BatchCertificate::CascadeRequired => "cascade-required",
+        }
+    }
+
+    /// Scalar encoding for gauges and wire stats: `Exact` is 0,
+    /// `Stratified(k)` is `k` (always ≥ 1), `CascadeRequired` is -1.
+    pub fn gauge_value(&self) -> i64 {
+        match self {
+            BatchCertificate::Exact => 0,
+            BatchCertificate::Stratified { strata } => i64::try_from(*strata).unwrap_or(i64::MAX),
+            BatchCertificate::CascadeRequired => -1,
+        }
+    }
+}
+
+impl fmt::Display for BatchCertificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchCertificate::Exact => write!(f, "exact"),
+            BatchCertificate::Stratified { strata } => write!(f, "stratified({strata})"),
+            BatchCertificate::CascadeRequired => write!(f, "cascade-required"),
+        }
+    }
+}
+
+/// A directed hazard edge: `writer`'s action can influence `reader`'s
+/// condition inside a batch, via the listed resources.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CascadeEdge {
+    pub writer: String,
+    pub reader: String,
+    /// The resources `writer` writes and `reader` reads ([`STATE_ORDER`]
+    /// when the hazard is state adjacency rather than data).
+    pub via: BTreeSet<String>,
+}
+
+/// The full result of the pass: the certificate plus everything needed to
+/// explain it (edges for TDB013, cycles for TDB014, opaque/impure writers
+/// for TDB015, and the stratification itself).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchSafety {
+    pub certificate: BatchCertificate,
+    /// All write→read hazard edges, writer-major order.
+    pub edges: Vec<CascadeEdge>,
+    /// Cyclic groups of rules (including self-cycles as singletons).
+    pub cycles: Vec<Vec<String>>,
+    /// Rules with opaque program actions (unknown write sets).
+    pub opaque: Vec<String>,
+    /// Data-writing rules whose action value terms read database state.
+    pub impure: Vec<String>,
+    /// Rules grouped by cascade depth (stratum 0 first). Populated only
+    /// for `Stratified`.
+    pub strata: Vec<Vec<String>>,
+}
+
+/// Certifies a rule set for batched evaluation. See the module docs for
+/// the classification rules.
+pub fn certify_batch_safety(rules: &[BatchRule]) -> BatchSafety {
+    let is_writer = |r: &BatchRule| r.opaque_action || !r.writes.is_empty();
+
+    let mut edges = Vec::new();
+    for a in rules.iter().filter(|r| is_writer(r)) {
+        for b in rules {
+            let mut via: BTreeSet<String> = a.writes.intersection(&b.reads).cloned().collect();
+            if a.opaque_action {
+                // Unknown write set: conservatively reaches every condition.
+                via.insert(format!("program:{}", a.name));
+            }
+            if b.order_sensitive {
+                via.insert(STATE_ORDER.to_string());
+            }
+            if via.is_empty() {
+                continue;
+            }
+            edges.push(CascadeEdge {
+                writer: a.name.clone(),
+                reader: b.name.clone(),
+                via,
+            });
+        }
+    }
+
+    let opaque: Vec<String> = rules
+        .iter()
+        .filter(|r| r.opaque_action)
+        .map(|r| r.name.clone())
+        .collect();
+    let impure: Vec<String> = rules
+        .iter()
+        .filter(|r| is_writer(r) && r.impure_action_values)
+        .map(|r| r.name.clone())
+        .collect();
+
+    let cycles = find_cycles(rules, &edges);
+
+    let has_writer = rules.iter().any(is_writer);
+    let certificate = if !opaque.is_empty() || !cycles.is_empty() {
+        BatchCertificate::CascadeRequired
+    } else if !has_writer {
+        BatchCertificate::Exact
+    } else {
+        // Any writer demotes Exact: its write state consumes a clock tick,
+        // so fusing past the firing op would shift every later in-batch
+        // timestamp off the per-op schedule (see the module docs).
+        BatchCertificate::Stratified {
+            strata: cascade_depth(rules, &edges),
+        }
+    };
+
+    let strata = match certificate {
+        BatchCertificate::Stratified { .. } => stratify(rules, &edges),
+        _ => Vec::new(),
+    };
+
+    BatchSafety {
+        certificate,
+        edges,
+        cycles,
+        opaque,
+        impure,
+        strata,
+    }
+}
+
+fn index_of(rules: &[BatchRule]) -> BTreeMap<&str, usize> {
+    rules
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (r.name.as_str(), i))
+        .collect()
+}
+
+/// Strongly connected components of size ≥ 2, plus self-cycles as
+/// singletons — iterative Kosaraju, mirroring `triggering::find_cycles`.
+fn find_cycles(rules: &[BatchRule], edges: &[CascadeEdge]) -> Vec<Vec<String>> {
+    let index = index_of(rules);
+    let n = rules.len();
+    let mut fwd: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut self_cycles = Vec::new();
+    for e in edges {
+        let (f, t) = (index[e.writer.as_str()], index[e.reader.as_str()]);
+        if f == t {
+            self_cycles.push(vec![e.writer.clone()]);
+            continue;
+        }
+        fwd[f].push(t);
+        rev[t].push(f);
+    }
+
+    // Pass 1: finish order on the forward graph.
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        let mut stack = vec![(start, 0usize)];
+        seen[start] = true;
+        while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+            if *next < fwd[v].len() {
+                let w = fwd[v][*next];
+                *next += 1;
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push((w, 0));
+                }
+            } else {
+                order.push(v);
+                stack.pop();
+            }
+        }
+    }
+
+    // Pass 2: components on the reverse graph in reverse finish order.
+    let mut comp = vec![usize::MAX; n];
+    let mut ncomp = 0;
+    for &start in order.iter().rev() {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![start];
+        comp[start] = ncomp;
+        while let Some(v) = stack.pop() {
+            for &w in &rev[v] {
+                if comp[w] == usize::MAX {
+                    comp[w] = ncomp;
+                    stack.push(w);
+                }
+            }
+        }
+        ncomp += 1;
+    }
+
+    let mut groups: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    for (i, r) in rules.iter().enumerate() {
+        groups.entry(comp[i]).or_default().push(r.name.clone());
+    }
+    let mut cycles: Vec<Vec<String>> = groups
+        .into_values()
+        .filter(|g| g.len() >= 2)
+        .map(|mut g| {
+            g.sort();
+            g
+        })
+        .collect();
+    cycles.extend(self_cycles);
+    cycles.sort();
+    cycles.dedup();
+    cycles
+}
+
+/// Depth of each rule in the (acyclic) cascade DAG: 0 for rules no writer
+/// influences, `1 + max(depth of influencing writers)` otherwise.
+fn depths(rules: &[BatchRule], edges: &[CascadeEdge]) -> Vec<usize> {
+    let index = index_of(rules);
+    let n = rules.len();
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in edges {
+        let (f, t) = (index[e.writer.as_str()], index[e.reader.as_str()]);
+        preds[t].push(f);
+    }
+    // Memoized longest path; the caller guarantees acyclicity.
+    let mut depth = vec![usize::MAX; n];
+    fn walk(v: usize, preds: &[Vec<usize>], depth: &mut [usize]) -> usize {
+        if depth[v] != usize::MAX {
+            return depth[v];
+        }
+        depth[v] = 0; // acyclic by contract; breaks accidental re-entry
+        let d = preds[v]
+            .iter()
+            .map(|&p| 1 + walk(p, preds, depth))
+            .max()
+            .unwrap_or(0);
+        depth[v] = d;
+        d
+    }
+    for v in 0..n {
+        walk(v, &preds, &mut depth);
+    }
+    depth
+}
+
+/// Number of strata: the longest write→read chain, counted in rules.
+/// At least 1 whenever any writer exists (an impure writer with no edges
+/// still needs one fence stratum).
+fn cascade_depth(rules: &[BatchRule], edges: &[CascadeEdge]) -> usize {
+    depths(rules, edges).into_iter().max().map_or(1, |d| d + 1)
+}
+
+/// Groups rule names by cascade depth, stratum 0 first.
+fn stratify(rules: &[BatchRule], edges: &[CascadeEdge]) -> Vec<Vec<String>> {
+    let depth = depths(rules, edges);
+    let k = depth.iter().copied().max().map_or(0, |d| d + 1);
+    let mut strata = vec![Vec::new(); k];
+    for (i, r) in rules.iter().enumerate() {
+        strata[depth[i]].push(r.name.clone());
+    }
+    strata
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(name: &str, reads: &[&str], writes: &[&str]) -> BatchRule {
+        BatchRule {
+            name: name.into(),
+            reads: reads.iter().map(|s| s.to_string()).collect(),
+            writes: writes.iter().map(|s| s.to_string()).collect(),
+            ..BatchRule::default()
+        }
+    }
+
+    #[test]
+    fn notify_only_is_exact() {
+        let s = certify_batch_safety(&[rule("a", &["item:x"], &[]), rule("b", &["item:y"], &[])]);
+        assert_eq!(s.certificate, BatchCertificate::Exact);
+        assert!(s.edges.is_empty());
+    }
+
+    #[test]
+    fn unread_pure_write_is_stratified_not_exact() {
+        // Even an unread pure write demotes Exact: the write state consumes
+        // a clock tick, shifting later in-batch timestamps unless fenced.
+        let s = certify_batch_safety(&[
+            rule("w", &["item:x"], &["item:sink"]),
+            rule("r", &["item:y"], &[]),
+        ]);
+        assert_eq!(s.certificate, BatchCertificate::Stratified { strata: 1 });
+        assert!(s.edges.is_empty());
+        assert_eq!(s.strata, vec![vec!["w".to_string(), "r".to_string()]]);
+    }
+
+    #[test]
+    fn write_read_chain_stratifies() {
+        let s = certify_batch_safety(&[
+            rule("a", &["item:x"], &["item:mid"]),
+            rule("b", &["item:mid"], &["item:out"]),
+            rule("c", &["item:out"], &[]),
+        ]);
+        assert_eq!(s.certificate, BatchCertificate::Stratified { strata: 3 });
+        assert_eq!(s.edges.len(), 2);
+        assert_eq!(s.strata.len(), 3);
+        assert_eq!(s.strata[0], vec!["a".to_string()]);
+        assert_eq!(s.strata[1], vec!["b".to_string()]);
+        assert_eq!(s.strata[2], vec!["c".to_string()]);
+    }
+
+    #[test]
+    fn order_sensitive_reader_sees_any_writer() {
+        let mut reader = rule("r", &["event:tick"], &[]);
+        reader.order_sensitive = true;
+        let s = certify_batch_safety(&[rule("w", &["item:x"], &["item:sink"]), reader]);
+        assert_eq!(s.certificate, BatchCertificate::Stratified { strata: 2 });
+        assert_eq!(s.edges.len(), 1);
+        assert!(s.edges[0].via.contains(STATE_ORDER));
+    }
+
+    #[test]
+    fn impure_writer_demotes_exact_to_stratified() {
+        let mut w = rule("w", &["item:x"], &["item:sink"]);
+        w.impure_action_values = true;
+        let s = certify_batch_safety(&[w, rule("r", &["item:y"], &[])]);
+        assert_eq!(s.certificate, BatchCertificate::Stratified { strata: 1 });
+        assert_eq!(s.impure, vec!["w".to_string()]);
+    }
+
+    #[test]
+    fn mutual_writes_require_cascade() {
+        let s = certify_batch_safety(&[
+            rule("a", &["item:y"], &["item:x"]),
+            rule("b", &["item:x"], &["item:y"]),
+        ]);
+        assert_eq!(s.certificate, BatchCertificate::CascadeRequired);
+        assert_eq!(s.cycles, vec![vec!["a".to_string(), "b".to_string()]]);
+    }
+
+    #[test]
+    fn self_write_is_a_cycle() {
+        let s = certify_batch_safety(&[rule("a", &["item:x"], &["item:x"])]);
+        assert_eq!(s.certificate, BatchCertificate::CascadeRequired);
+        assert_eq!(s.cycles, vec![vec!["a".to_string()]]);
+    }
+
+    #[test]
+    fn opaque_action_requires_cascade() {
+        let mut w = rule("p", &["item:x"], &[]);
+        w.opaque_action = true;
+        let s = certify_batch_safety(&[w, rule("r", &["item:y"], &[])]);
+        assert_eq!(s.certificate, BatchCertificate::CascadeRequired);
+        assert_eq!(s.opaque, vec!["p".to_string()]);
+        // Opaque writer reaches every rule, itself included.
+        assert_eq!(s.edges.len(), 2);
+    }
+
+    #[test]
+    fn empty_rule_set_is_exact() {
+        let s = certify_batch_safety(&[]);
+        assert_eq!(s.certificate, BatchCertificate::Exact);
+    }
+}

@@ -1,11 +1,12 @@
 //! `tdb-lint` — static verification of active-rule files.
 //!
 //! ```text
-//! tdb-lint [--json] FILE...
+//! tdb-lint [--json | --sarif] [--batch-safety] FILE...
 //! ```
 //!
 //! Analyses each rule file (boundedness certification, triggering graph,
-//! structural lints) and prints a report per file. Exit status:
+//! structural lints, batch-safety certification) and prints a report per
+//! file (`--sarif` merges all files into one SARIF 2.1.0 log). Exit status:
 //!
 //! * `0` — no deny-severity findings;
 //! * `1` — at least one deny-severity finding (e.g. TDB001 unbounded-state);
@@ -13,20 +14,30 @@
 
 use std::process::ExitCode;
 
-use tdb_analysis::{analyze_rule_set, parse_rule_file};
+use tdb_analysis::{analyze_rule_set, parse_rule_file, render_sarif, Report, SarifEntry};
 
 fn main() -> ExitCode {
     let mut json = false;
+    let mut sarif = false;
+    let mut batch_only = false;
     let mut files = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--json" => json = true,
+            "--sarif" => sarif = true,
+            "--batch-safety" => batch_only = true,
             "--help" | "-h" => {
-                println!("usage: tdb-lint [--json] FILE...");
+                println!("usage: tdb-lint [--json | --sarif] [--batch-safety] FILE...");
                 println!();
                 println!("Statically verifies active-rule files: boundedness certification");
-                println!("(TDB001), structural lints (TDB002, TDB003), and triggering-graph");
-                println!("termination/confluence analysis (TDB010-TDB012).");
+                println!("(TDB001), structural lints (TDB002, TDB003), triggering-graph");
+                println!("termination/confluence analysis (TDB010-TDB012), and batch-safety");
+                println!("certification (TDB013-TDB015: exact / stratified / cascade-required).");
+                println!();
+                println!("  --batch-safety  report only the batch-safety certificate and");
+                println!("                  its TDB013-TDB015 findings");
+                println!("  --json          machine-readable JSON, one object per file");
+                println!("  --sarif         one SARIF 2.1.0 log covering all files");
                 return ExitCode::SUCCESS;
             }
             flag if flag.starts_with('-') => {
@@ -37,13 +48,12 @@ fn main() -> ExitCode {
         }
     }
     if files.is_empty() {
-        eprintln!("usage: tdb-lint [--json] FILE...");
+        eprintln!("usage: tdb-lint [--json | --sarif] [--batch-safety] FILE...");
         return ExitCode::from(2);
     }
 
-    let mut denied = false;
-    let many = files.len() > 1;
-    for (i, path) in files.iter().enumerate() {
+    let mut reports: Vec<(String, Report, String)> = Vec::new();
+    for path in &files {
         let src = match std::fs::read_to_string(path) {
             Ok(s) => s,
             Err(e) => {
@@ -58,18 +68,38 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let report = analyze_rule_set(&rule_file.rules);
-        denied |= report.has_denials();
-        if json {
-            println!("{}", report.render_json(Some(&src)));
-        } else {
-            if many {
-                if i > 0 {
-                    println!();
+        let mut report = analyze_rule_set(&rule_file.rules);
+        if batch_only {
+            report = report.batch_safety_only();
+        }
+        reports.push((path.clone(), report, src));
+    }
+
+    let denied = reports.iter().any(|(_, r, _)| r.has_denials());
+    if sarif {
+        let entries: Vec<SarifEntry<'_>> = reports
+            .iter()
+            .map(|(path, report, src)| SarifEntry {
+                uri: path,
+                report,
+                src: Some(src),
+            })
+            .collect();
+        println!("{}", render_sarif(&entries));
+    } else {
+        let many = reports.len() > 1;
+        for (i, (path, report, src)) in reports.iter().enumerate() {
+            if json {
+                println!("{}", report.render_json(Some(src)));
+            } else {
+                if many {
+                    if i > 0 {
+                        println!();
+                    }
+                    println!("== {path} ==");
                 }
-                println!("== {path} ==");
+                print!("{}", report.render_text(Some(src)));
             }
-            print!("{}", report.render_text(Some(&src)));
         }
     }
 

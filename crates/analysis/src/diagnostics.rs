@@ -10,6 +10,7 @@ use std::fmt;
 
 use tdb_ptl::Span;
 
+use crate::batchsafety::{BatchCertificate, BatchSafety};
 use crate::boundedness::Boundedness;
 
 /// Severity of a finding. `Deny` findings reject rule registration when the
@@ -75,6 +76,17 @@ pub enum LintCode {
     /// TDB012: an unordered rule pair does not commute (shared read/write
     /// sets) — the outcome depends on execution order.
     ConfluenceHazard,
+    /// TDB013: a data-writing action can influence a condition evaluated
+    /// inside the same batch — fused slice dispatch would follow a delayed
+    /// (Section 8) schedule on this edge.
+    BatchWriteHazard,
+    /// TDB014: the write-cascade graph is cyclic; batched evaluation must
+    /// re-enter dispatch after every state-producing op to stay exact.
+    CascadeCycle,
+    /// TDB015: an opaque program action (unknown write set) or an action
+    /// whose value terms read database state at materialization time makes
+    /// the cascade unanalyzable or value-unstable under fusion.
+    OpaqueCascade,
 }
 
 impl LintCode {
@@ -86,6 +98,9 @@ impl LintCode {
             LintCode::TriggerCycle => "TDB010",
             LintCode::SelfTrigger => "TDB011",
             LintCode::ConfluenceHazard => "TDB012",
+            LintCode::BatchWriteHazard => "TDB013",
+            LintCode::CascadeCycle => "TDB014",
+            LintCode::OpaqueCascade => "TDB015",
         }
     }
 
@@ -97,6 +112,9 @@ impl LintCode {
             LintCode::TriggerCycle => "trigger-cycle",
             LintCode::SelfTrigger => "self-trigger",
             LintCode::ConfluenceHazard => "confluence-hazard",
+            LintCode::BatchWriteHazard => "batch-write-hazard",
+            LintCode::CascadeCycle => "cascade-cycle",
+            LintCode::OpaqueCascade => "opaque-cascade",
         }
     }
 
@@ -108,7 +126,26 @@ impl LintCode {
             LintCode::TriggerCycle => Severity::Warn,
             LintCode::SelfTrigger => Severity::Warn,
             LintCode::ConfluenceHazard => Severity::Allow,
+            LintCode::BatchWriteHazard => Severity::Allow,
+            LintCode::CascadeCycle => Severity::Warn,
+            LintCode::OpaqueCascade => Severity::Warn,
         }
+    }
+
+    /// Every code in the catalogue, in code order (drives the SARIF
+    /// `tool.driver.rules` table).
+    pub fn all() -> &'static [LintCode] {
+        &[
+            LintCode::UnboundedState,
+            LintCode::TrivialCondition,
+            LintCode::AlwaysRelevant,
+            LintCode::TriggerCycle,
+            LintCode::SelfTrigger,
+            LintCode::ConfluenceHazard,
+            LintCode::BatchWriteHazard,
+            LintCode::CascadeCycle,
+            LintCode::OpaqueCascade,
+        ]
     }
 }
 
@@ -155,6 +192,9 @@ pub struct RuleVerdict {
 pub struct Report {
     pub verdicts: Vec<RuleVerdict>,
     pub diagnostics: Vec<Diagnostic>,
+    /// Batch-safety certificate for the whole rule set (set by
+    /// `analyze_rule_set`; absent for single-rule lints).
+    pub batch_safety: Option<BatchSafety>,
 }
 
 impl Report {
@@ -165,6 +205,28 @@ impl Report {
             .any(|d| d.severity == Severity::Deny)
     }
 
+    /// Restricts the report to the batch-safety view: the certificate plus
+    /// TDB013–TDB015 findings, dropping per-rule verdicts and other lints.
+    pub fn batch_safety_only(&self) -> Report {
+        Report {
+            verdicts: Vec::new(),
+            diagnostics: self
+                .diagnostics
+                .iter()
+                .filter(|d| {
+                    matches!(
+                        d.code,
+                        LintCode::BatchWriteHazard
+                            | LintCode::CascadeCycle
+                            | LintCode::OpaqueCascade
+                    )
+                })
+                .cloned()
+                .collect(),
+            batch_safety: self.batch_safety.clone(),
+        }
+    }
+
     /// Renders the report as human-readable text. When `src` (the rule
     /// file's source) is given, spans resolve to `line:col` plus the source
     /// snippet they cover.
@@ -173,7 +235,11 @@ impl Report {
         for v in &self.verdicts {
             out.push_str(&format!("rule `{}`: {}\n", v.rule, v.boundedness));
         }
-        if !self.verdicts.is_empty() && !self.diagnostics.is_empty() {
+        if let Some(bs) = &self.batch_safety {
+            out.push_str(&format!("batch-safety: {}\n", bs.certificate));
+        }
+        let header = !self.verdicts.is_empty() || self.batch_safety.is_some();
+        if header && !self.diagnostics.is_empty() {
             out.push('\n');
         }
         for d in &self.diagnostics {
@@ -258,8 +324,114 @@ impl Report {
             }
             out.push('}');
         }
-        out.push_str("]}");
+        out.push(']');
+        if let Some(bs) = &self.batch_safety {
+            out.push_str(&format!(
+                ",\"batch_safety\":{{\"certificate\":{}",
+                json_str(bs.certificate.as_str())
+            ));
+            if let BatchCertificate::Stratified { strata } = bs.certificate {
+                out.push_str(&format!(",\"strata\":{strata}"));
+            }
+            out.push_str(",\"edges\":[");
+            for (i, e) in bs.edges.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"writer\":{},\"reader\":{},\"via\":[{}]}}",
+                    json_str(&e.writer),
+                    json_str(&e.reader),
+                    e.via
+                        .iter()
+                        .map(|v| json_str(v))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push('}');
         out
+    }
+
+    /// Renders the report as a SARIF 2.1.0 log with a single run, for CI
+    /// code-scanning annotations. `uri` names the analysed rule file;
+    /// `src` (when given) resolves spans to line/column regions.
+    pub fn render_sarif(&self, uri: &str, src: Option<&str>) -> String {
+        render_sarif(&[SarifEntry {
+            uri,
+            report: self,
+            src,
+        }])
+    }
+}
+
+/// One analysed file for the SARIF renderer.
+#[derive(Debug, Clone, Copy)]
+pub struct SarifEntry<'a> {
+    pub uri: &'a str,
+    pub report: &'a Report,
+    pub src: Option<&'a str>,
+}
+
+/// Renders one SARIF 2.1.0 log covering every entry (one run, one result
+/// per diagnostic). Hand rolled like the JSON renderer — the build
+/// environment is offline, so no serde.
+pub fn render_sarif(entries: &[SarifEntry<'_>]) -> String {
+    let mut out = String::from(
+        "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\
+         \"name\":\"tdb-lint\",\"rules\":[",
+    );
+    for (i, code) in LintCode::all().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":{},\"name\":{},\"defaultConfiguration\":{{\"level\":{}}}}}",
+            json_str(code.code()),
+            json_str(code.name()),
+            json_str(sarif_level(code.default_severity()))
+        ));
+    }
+    out.push_str("]}},\"results\":[");
+    let mut first = true;
+    for entry in entries {
+        for d in &entry.report.diagnostics {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"ruleId\":{},\"level\":{},\"message\":{{\"text\":{}}}",
+                json_str(d.code.code()),
+                json_str(sarif_level(d.severity)),
+                json_str(&format!("rule `{}`: {}", d.rule, d.message))
+            ));
+            out.push_str(&format!(
+                ",\"locations\":[{{\"physicalLocation\":{{\
+                 \"artifactLocation\":{{\"uri\":{}}}",
+                json_str(entry.uri)
+            ));
+            if let (Some(span), Some(src)) = (d.span, entry.src) {
+                let (line, col) = span.line_col(src);
+                out.push_str(&format!(
+                    ",\"region\":{{\"startLine\":{line},\"startColumn\":{col}}}"
+                ));
+            }
+            out.push_str("}}]}");
+        }
+    }
+    out.push_str("]}]}");
+    out
+}
+
+fn sarif_level(sev: Severity) -> &'static str {
+    match sev {
+        Severity::Allow => "note",
+        Severity::Warn => "warning",
+        Severity::Deny => "error",
     }
 }
 

@@ -4,7 +4,7 @@
 //! (Sistla & Wolfson, SIGMOD 1995 — Section 5 discusses when the
 //! incremental evaluator's retained state stays bounded).
 //!
-//! Three passes:
+//! Four passes:
 //!
 //! 1. [`certify`] — per-condition **boundedness certification**:
 //!    `Bounded(k)` / `BoundedByWindow(Δ)` / `Unbounded`, with diagnostics
@@ -12,8 +12,13 @@
 //! 2. [`TriggerGraph`] — **triggering-graph** analysis: read/write sets,
 //!    cycles (potential non-termination), self-triggers, and non-commuting
 //!    unordered pairs (confluence hazards);
-//! 3. [`Report`] — **structured diagnostics** with stable lint codes
-//!    (`TDB001`…), severities, and source spans, rendered as text or JSON.
+//! 3. [`certify_batch_safety`] — **batch-safety certification**: is fused
+//!    slice evaluation byte-identical to the per-op schedule (`Exact`), or
+//!    does it need fence-drained sub-slices (`Stratified(k)`) or mid-batch
+//!    re-entry (`CascadeRequired`)?
+//! 4. [`Report`] — **structured diagnostics** with stable lint codes
+//!    (`TDB001`…), severities, and source spans, rendered as text, JSON,
+//!    or SARIF 2.1.0.
 //!
 //! The same passes back the `tdb-lint` CLI binary and the rule manager's
 //! registration-time lint (`ManagerConfig { lint }` in `tdb-core`).
@@ -21,16 +26,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_debug_implementations)]
 
+pub mod batchsafety;
 pub mod boundedness;
 pub mod diagnostics;
 pub mod rulefile;
 pub mod ruleset;
 pub mod triggering;
 
+pub use batchsafety::{
+    certify_batch_safety, BatchCertificate, BatchRule, BatchSafety, CascadeEdge, STATE_ORDER,
+};
 pub use boundedness::{certify, BoundCertificate, Boundedness, Offender};
-pub use diagnostics::{Diagnostic, LintCode, LintLevel, Report, RuleVerdict, Severity};
+pub use diagnostics::{
+    render_sarif, Diagnostic, LintCode, LintLevel, Report, RuleVerdict, SarifEntry, Severity,
+};
 pub use rulefile::{
     parse_rule_file, parse_rule_file_full, ParsedAction, ParsedRule, ParsedRuleFile, RuleFile,
 };
-pub use ruleset::{analyze_rule_set, lint_rule, RuleInput};
+pub use ruleset::{analyze_rule_set, lint_rule, order_sensitive, term_reads_state, RuleInput};
 pub use triggering::{analyze_triggering, RuleSpec, TriggerGraph};

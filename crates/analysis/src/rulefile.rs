@@ -40,7 +40,7 @@ use tdb_ptl::{
 };
 use tdb_relation::lexer::{Cursor, Tok};
 
-use crate::ruleset::RuleInput;
+use crate::ruleset::{term_reads_state, RuleInput};
 
 /// A parsed rule file.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -151,13 +151,16 @@ fn parse_rule(c: &mut Cursor) -> Result<ParsedRule> {
 
     let mut writes = BTreeSet::new();
     let mut opaque_action = false;
+    let mut impure_action_values = false;
     for a in &actions {
         match a {
-            ParsedAction::Set { item, .. } => {
+            ParsedAction::Set { item, value } => {
                 writes.insert(format!("query:{item}"));
+                impure_action_values |= term_reads_state(value);
             }
-            ParsedAction::Insert { relation, .. } | ParsedAction::Delete { relation, .. } => {
+            ParsedAction::Insert { relation, tuple } | ParsedAction::Delete { relation, tuple } => {
                 writes.insert(format!("query:{relation}"));
+                impure_action_values |= tuple.iter().any(term_reads_state);
             }
             ParsedAction::Signal { event } => {
                 writes.insert(format!("event:{event}"));
@@ -175,6 +178,8 @@ fn parse_rule(c: &mut Cursor) -> Result<ParsedRule> {
             extra_reads: BTreeSet::new(),
             writes,
             opaque_action,
+            impure_action_values,
+            level_triggered: false,
         },
         actions,
     })

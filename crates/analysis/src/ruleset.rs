@@ -3,8 +3,9 @@
 
 use std::collections::BTreeSet;
 
-use tdb_ptl::{Formula, SpanNode, Term};
+use tdb_ptl::{Formula, Span, SpanNode, Term};
 
+use crate::batchsafety::{certify_batch_safety, BatchRule, STATE_ORDER};
 use crate::boundedness::certify;
 use crate::diagnostics::{Diagnostic, LintCode, Report, RuleVerdict};
 use crate::triggering::{analyze_triggering, RuleSpec};
@@ -27,6 +28,13 @@ pub struct RuleInput {
     pub writes: BTreeSet<String>,
     /// The action is an opaque program with unknown effects.
     pub opaque_action: bool,
+    /// The action's value terms read database state (queries, aggregates,
+    /// the clock), so a delayed schedule can materialize different values.
+    pub impure_action_values: bool,
+    /// The rule fires at *every* satisfying state, not just on rising
+    /// edges — which makes it order-sensitive for batch-safety purposes
+    /// (an inserted write state is one more state it can fire at).
+    pub level_triggered: bool,
 }
 
 impl Default for RuleInput {
@@ -38,6 +46,8 @@ impl Default for RuleInput {
             extra_reads: BTreeSet::new(),
             writes: BTreeSet::new(),
             opaque_action: false,
+            impure_action_values: false,
+            level_triggered: false,
         }
     }
 }
@@ -80,6 +90,50 @@ fn uses_time(f: &Formula) -> bool {
         Formula::And(gs) | Formula::Or(gs) => gs.iter().any(uses_time),
         Formula::Since(g, h) => uses_time(g) || uses_time(h),
         Formula::Assign { term: t, body, .. } => term(t) || uses_time(body),
+    }
+}
+
+/// Whether a condition's value depends on *where* a fired action's write
+/// state lands in the history, rather than just on current data values:
+/// event atoms are false at inserted write states, `lasttime` looks at the
+/// immediate predecessor state, aggregate terms become visible one state
+/// after sampling, and clock reads see the write state's timestamp — which
+/// under a delayed schedule is the batch-end clock, not the firing state's
+/// clock. Such conditions can change value when a fired action inserts a
+/// state, even if they never read what it writes.
+pub fn order_sensitive(f: &Formula) -> bool {
+    fn term(t: &Term) -> bool {
+        match t {
+            Term::Agg(_) | Term::Time => true,
+            Term::Arith(_, a, b) => term(a) || term(b),
+            Term::Neg(a) | Term::Abs(a) => term(a),
+            Term::Query { args, .. } => args.iter().any(term),
+            Term::Const(_) | Term::Var(_) => false,
+        }
+    }
+    match f {
+        Formula::Event { .. } | Formula::Lasttime(_) => true,
+        Formula::True | Formula::False => false,
+        Formula::Cmp(_, a, b) => term(a) || term(b),
+        Formula::Member { source, pattern } => {
+            source.args.iter().any(term) || pattern.iter().any(term)
+        }
+        Formula::Not(g) | Formula::Previously(g) | Formula::ThroughoutPast(g) => order_sensitive(g),
+        Formula::And(gs) | Formula::Or(gs) => gs.iter().any(order_sensitive),
+        Formula::Since(g, h) => order_sensitive(g) || order_sensitive(h),
+        Formula::Assign { term: t, body, .. } => term(t) || order_sensitive(body),
+    }
+}
+
+/// Whether evaluating this term reads database state (a query, an
+/// aggregate, or the clock) — as opposed to constants and per-state
+/// bound variables, which materialize identically under any schedule.
+pub fn term_reads_state(t: &Term) -> bool {
+    match t {
+        Term::Query { .. } | Term::Agg(_) | Term::Time => true,
+        Term::Arith(_, a, b) => term_reads_state(a) || term_reads_state(b),
+        Term::Neg(a) | Term::Abs(a) => term_reads_state(a),
+        Term::Const(_) | Term::Var(_) => false,
     }
 }
 
@@ -211,7 +265,148 @@ pub fn analyze_rule_set(rules: &[RuleInput]) -> Report {
         ));
     }
 
+    // Batch-safety certification (TDB013–TDB015): can a whole batch be
+    // evaluated as one fused slice without changing any firing?
+    let batch_rules: Vec<BatchRule> = rules
+        .iter()
+        .map(|r| {
+            let mut reads = condition_reads(&r.condition);
+            reads.extend(r.extra_reads.iter().cloned());
+            BatchRule {
+                name: r.name.clone(),
+                reads,
+                writes: r.writes.clone(),
+                opaque_action: r.opaque_action,
+                order_sensitive: order_sensitive(&r.condition) || r.level_triggered,
+                impure_action_values: r.impure_action_values,
+            }
+        })
+        .collect();
+    let safety = certify_batch_safety(&batch_rules);
+
+    for edge in &safety.edges {
+        let mut d = Diagnostic::new(
+            LintCode::BatchWriteHazard,
+            &edge.reader,
+            format!(
+                "firing `{}` writes {} which this condition observes; \
+                 fused batch evaluation would follow a delayed (Section 8) schedule",
+                edge.writer,
+                join_resources(&edge.via)
+            ),
+        );
+        if let Some(reader) = rules.iter().find(|r| r.name == edge.reader) {
+            if let Some(spans) = reader.spans.as_ref() {
+                d.span = edge
+                    .via
+                    .iter()
+                    .find_map(|res| find_read_span(&reader.condition, spans, res));
+            }
+            if d.span.is_none() {
+                d.subformula = Some(reader.condition.to_string());
+            }
+        }
+        d.note = Some(
+            "batched execution fences before ops that can fire the writer, \
+             draining the cascade to preserve the per-op schedule"
+                .into(),
+        );
+        report.diagnostics.push(d);
+    }
+    for cycle in &safety.cycles {
+        let mut d = Diagnostic::new(
+            LintCode::CascadeCycle,
+            cycle.join(", "),
+            format!(
+                "write-cascade cycle through {}; exact batched evaluation \
+                 must re-enter dispatch after every state-producing op",
+                cycle
+                    .iter()
+                    .map(|r| format!("`{r}`"))
+                    .collect::<Vec<_>>()
+                    .join(" -> ")
+            ),
+        );
+        d.note =
+            Some("run with eager cascade mode, or break the cycle to regain slice fusion".into());
+        report.diagnostics.push(d);
+    }
+    for name in &safety.opaque {
+        report.diagnostics.push(Diagnostic::new(
+            LintCode::OpaqueCascade,
+            name,
+            "action is an opaque program with an unknown write set; \
+             batches cannot be fused around it",
+        ));
+    }
+    for name in &safety.impure {
+        let mut d = Diagnostic::new(
+            LintCode::OpaqueCascade,
+            name,
+            "action value terms read database state at materialization time; \
+             a fused (delayed) schedule could write different values",
+        );
+        d.note = Some("batched execution fences before materializing this action".into());
+        report.diagnostics.push(d);
+    }
+    report.batch_safety = Some(safety);
+
     report
+}
+
+/// Locates the subformula through which `f` reads `res`, walking the span
+/// tree in parallel. [`STATE_ORDER`] resolves to the first order-sensitive
+/// construct (event atom, `lasttime`, aggregate term).
+fn find_read_span(f: &Formula, sn: &SpanNode, res: &str) -> Option<Span> {
+    fn term_reads(t: &Term, res: &str) -> bool {
+        match t {
+            Term::Query { name, args } => {
+                res.strip_prefix("query:") == Some(name.as_str())
+                    || args.iter().any(|a| term_reads(a, res))
+            }
+            Term::Agg(agg) => res == STATE_ORDER || term_reads(&agg.query, res),
+            Term::Time => res == "item:time" || res == STATE_ORDER,
+            Term::Arith(_, a, b) => term_reads(a, res) || term_reads(b, res),
+            Term::Neg(a) | Term::Abs(a) => term_reads(a, res),
+            Term::Const(_) | Term::Var(_) => false,
+        }
+    }
+    let here = match f {
+        Formula::Cmp(_, a, b) => term_reads(a, res) || term_reads(b, res),
+        Formula::Member { source, pattern } => {
+            res.strip_prefix("query:") == Some(source.name.as_str())
+                || source.args.iter().any(|t| term_reads(t, res))
+                || pattern.iter().any(|t| term_reads(t, res))
+        }
+        Formula::Event { name, pattern } => {
+            res.strip_prefix("event:") == Some(name.as_str())
+                || res == STATE_ORDER
+                || pattern.iter().any(|t| term_reads(t, res))
+        }
+        Formula::Lasttime(_) => res == STATE_ORDER,
+        _ => false,
+    };
+    if here {
+        return Some(sn.span);
+    }
+    let kids: Vec<&Formula> = match f {
+        Formula::Not(g)
+        | Formula::Lasttime(g)
+        | Formula::Previously(g)
+        | Formula::ThroughoutPast(g) => vec![g],
+        Formula::And(gs) | Formula::Or(gs) => gs.iter().collect(),
+        Formula::Since(g, h) => vec![g, h],
+        Formula::Assign { term, body, .. } => {
+            if term_reads(term, res) {
+                return Some(sn.span);
+            }
+            vec![body]
+        }
+        _ => Vec::new(),
+    };
+    kids.iter()
+        .enumerate()
+        .find_map(|(i, k)| sn.child(i).and_then(|c| find_read_span(k, c, res)))
 }
 
 fn join_resources(set: &BTreeSet<String>) -> String {
@@ -234,9 +429,8 @@ mod tests {
             name: name.into(),
             condition,
             spans: Some(spans),
-            extra_reads: BTreeSet::new(),
             writes: writes.iter().map(|s| s.to_string()).collect(),
-            opaque_action: false,
+            ..RuleInput::default()
         }
     }
 

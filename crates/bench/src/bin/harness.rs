@@ -767,6 +767,74 @@ fn main() {
     }
 
     flush();
+    if run("e19") {
+        mark("e19");
+        let (states, batches): (usize, &[usize]) = if quick {
+            (360, &[7, 64])
+        } else {
+            (3_000, &[7, 64])
+        };
+        let rows = ex::e19_certified_batching(states, seed, batches);
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.catalog.to_string(),
+                    r.certificate.clone(),
+                    r.batch.to_string(),
+                    f2(r.eager_us_per_state),
+                    f2(r.eager_speedup),
+                    f2(r.fused_speedup),
+                    f2(r.retention),
+                    r.identical_firings.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render(
+                "E19: certified eager batching — speedup retained per certificate class",
+                &[
+                    "catalog",
+                    "certificate",
+                    "batch",
+                    "us/state",
+                    "eager x",
+                    "fused x",
+                    "retention",
+                    "identical"
+                ],
+                &body,
+            )
+        );
+        // Machine-readable copy for tooling (scripts/bench_e19.sh and the
+        // CI smoke job via scripts/check_bench_e19.py).
+        let mut json = String::from("{\n  \"experiment\": \"e19\",\n  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"catalog\": \"{}\", \"certificate\": \"{}\", \"batch\": {}, \
+                 \"eager_us_per_state\": {:.3}, \"eager_speedup\": {:.3}, \
+                 \"fused_speedup\": {:.3}, \"retention\": {:.3}, \
+                 \"identical_firings\": {}}}{}\n",
+                r.catalog,
+                r.certificate,
+                r.batch,
+                r.eager_us_per_state,
+                r.eager_speedup,
+                r.fused_speedup,
+                r.retention,
+                r.identical_firings,
+                if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        match std::fs::write("BENCH_E19.json", &json) {
+            Ok(()) => eprintln!("[harness] wrote BENCH_E19.json"),
+            Err(e) => eprintln!("[harness] could not write BENCH_E19.json: {e}"),
+        }
+    }
+
+    flush();
     if run("e14") {
         mark("e14");
         let (n_short, n_long) = if quick { (300, 1_200) } else { (1_000, 4_000) };

@@ -1529,6 +1529,182 @@ pub fn e18_group_commit(
     rows
 }
 
+// ===== E19: batch-safety certificates — certified eager batching ===========
+
+/// One row of the E19 table (one catalog × one batch size).
+#[derive(Debug, Clone)]
+pub struct E19Row {
+    /// Catalog name (`exact`, `stratified`, `cascade-required`).
+    pub catalog: &'static str,
+    /// The certificate the analyzer assigned at registration, rendered.
+    pub certificate: String,
+    pub batch: usize,
+    /// Durable ingest cost under certified eager batching, µs/state.
+    pub eager_us_per_state: f64,
+    /// Eager batching vs the per-op durable baseline.
+    pub eager_speedup: f64,
+    /// Always-fused (delayed-schedule) batching vs the same baseline —
+    /// the upper bound group commit alone can reach.
+    pub fused_speedup: f64,
+    /// `eager_speedup / fused_speedup`: how much of the fused-batch
+    /// speedup certified execution retains while staying per-op faithful.
+    pub retention: f64,
+    /// The eager firing log (rule, time, env — order included) is
+    /// byte-identical to the per-op run's.
+    pub identical_firings: bool,
+}
+
+/// Certified eager batching vs always-fused batching, per certificate
+/// class. Three catalogs over the differential schema — no writers
+/// (`exact`), an acyclic write cascade (`stratified`), a write cycle
+/// (`cascade-required`) — each driven through a durable `FileStorage`
+/// under `SyncPolicy::Always` three ways: per-op commits (the semantic
+/// baseline), `commit_batch` in always-fused delayed mode (PR 7
+/// semantics: fast, but firings may land late), and `commit_batch` in
+/// eager mode, where the certificate picks the dispatch strategy (fused /
+/// fenced strata / per-op drains) and the firing log must stay
+/// byte-identical to the baseline. `retention` says how much of the
+/// fused-batch speedup certification keeps while restoring exactness:
+/// near 1.0 for `exact` (same code path) and `stratified` (fences only
+/// where a writer can fire), lower for `cascade-required` (a drain after
+/// every state-producing op — correctness at a documented cost).
+pub fn e19_certified_batching(states: usize, seed: u64, batches: &[usize]) -> Vec<E19Row> {
+    use tdb_core::manager::CascadeMode;
+    use tdb_core::storage::SyncPolicy;
+    use tdb_core::ParallelConfig;
+    use tdb_storage::{CheckpointPolicy, FileStorage};
+
+    use crate::workload::{
+        apply_diff_step, diff_step_ops, differential_cascade_rules, differential_steps,
+        differential_stratified_rules, differential_writer_db, DIFF_ITEMS, DIFF_RELATIONS,
+    };
+
+    // Pure notify catalog: rising-edge watches, no data writes → exact.
+    let exact_rules = || -> Vec<Rule> {
+        let mut rules = Vec::new();
+        for i in 0..DIFF_ITEMS {
+            let f = parse_formula(&format!("w{i}_q() > 100 and previously(w{i}_q() <= 100)"))
+                .expect("static formula");
+            rules.push(Rule::trigger(format!("edge_w{i}"), f, Action::Notify));
+        }
+        for j in 0..DIFF_RELATIONS {
+            let f = parse_formula(&format!("r{j}_q() > 110 and previously(r{j}_q() <= 110)"))
+                .expect("static formula");
+            rules.push(Rule::trigger(format!("edge_r{j}"), f, Action::Notify));
+        }
+        rules
+    };
+    let catalogs: Vec<(&'static str, Vec<Rule>)> = vec![
+        ("exact", exact_rules()),
+        ("stratified", differential_stratified_rules()),
+        ("cascade-required", differential_cascade_rules()),
+    ];
+    let steps = differential_steps(seed, states);
+
+    let fresh = |rules: &[Rule], mode: CascadeMode, tag: &str| {
+        let dir = std::env::temp_dir().join(format!("tdb-e19-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let policy = CheckpointPolicy {
+            every_ops: usize::MAX, // isolate append/fsync cost from checkpoints
+            every_bytes: 0,
+            sync: SyncPolicy::Always,
+        };
+        let storage = FileStorage::create(&dir, policy).expect("storage dir");
+        let mut adb = ActiveDatabase::with_storage(
+            differential_writer_db(),
+            ManagerConfig {
+                relevance_filtering: false,
+                delta_dispatch: true,
+                parallel: ParallelConfig::sequential(),
+                cascade: mode,
+                ..Default::default()
+            },
+            Box::new(storage),
+        )
+        .expect("durable facade");
+        for r in rules {
+            adb.add_rule(r.clone()).expect("registers");
+        }
+        (dir, adb)
+    };
+    let firings_of = |adb: &ActiveDatabase| -> Vec<(String, i64, tdb_ptl::Env)> {
+        adb.firings()
+            .iter()
+            .map(|f| (f.rule.clone(), f.time.0, f.env.clone()))
+            .collect()
+    };
+
+    // Best-of-REPS per configuration, as in E18: fsync latency on a shared
+    // host drifts between runs; identity still has to hold on every rep.
+    const REPS: usize = 3;
+
+    let mut rows = Vec::new();
+    for (name, rules) in &catalogs {
+        // Per-op durable baseline: the reference firing log.
+        let mut base_us = f64::INFINITY;
+        let mut base_firings = Vec::new();
+        for rep in 0..REPS {
+            let (dir, mut adb) = fresh(rules, CascadeMode::Delayed, &format!("{name}-perop"));
+            let start = Instant::now();
+            for s in &steps {
+                apply_diff_step(&mut adb, s);
+            }
+            base_us = base_us.min(micros(start.elapsed()) / states as f64);
+            if rep == 0 {
+                base_firings = firings_of(&adb);
+            }
+            drop(adb);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+
+        let run_batched = |mode: CascadeMode, batch: usize, tag: &str| -> (f64, bool, String) {
+            let mut best_us = f64::INFINITY;
+            let mut identical = true;
+            let mut cert = String::new();
+            for _ in 0..REPS {
+                let (dir, mut adb) = fresh(rules, mode, tag);
+                cert = adb.batch_certificate().to_string();
+                let mut shadow = vec![0i64; DIFF_RELATIONS];
+                let start = Instant::now();
+                for chunk in steps.chunks(batch) {
+                    let mut ops = Vec::with_capacity(chunk.len() * 2);
+                    for s in chunk {
+                        ops.extend(diff_step_ops(s, &mut shadow));
+                    }
+                    for out in adb.commit_batch(&ops, &[]).expect("batch commits") {
+                        out.result.expect("no vetoes in this workload");
+                    }
+                }
+                best_us = best_us.min(micros(start.elapsed()) / states as f64);
+                identical &= firings_of(&adb) == base_firings;
+                drop(adb);
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+            (best_us, identical, cert)
+        };
+
+        for &batch in batches {
+            let (fused_us, _, _) =
+                run_batched(CascadeMode::Delayed, batch, &format!("{name}-f{batch}"));
+            let (eager_us, identical, cert) =
+                run_batched(CascadeMode::Eager, batch, &format!("{name}-e{batch}"));
+            let eager_speedup = base_us / eager_us;
+            let fused_speedup = base_us / fused_us;
+            rows.push(E19Row {
+                catalog: name,
+                certificate: cert,
+                batch,
+                eager_us_per_state: eager_us,
+                eager_speedup,
+                fused_speedup,
+                retention: eager_speedup / fused_speedup,
+                identical_firings: identical,
+            });
+        }
+    }
+    rows
+}
+
 // ===== E14: analyzer verdicts vs measured residual growth ==================
 
 /// One workload of the static-analyzer cross-validation.

@@ -8,9 +8,9 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use tdb_core::{Action, ActiveDatabase, LogicalOp, Rule};
+use tdb_core::{Action, ActionOp, ActiveDatabase, LogicalOp, Rule};
 use tdb_engine::{Engine, Event, EventSet, WriteOp};
-use tdb_ptl::{parse_formula, Formula};
+use tdb_ptl::{parse_formula, parse_term, Formula, Term};
 use tdb_relation::{parse_query, tuple, Database, QueryDef, Relation, Schema, Value};
 
 /// A seeded random-walk price series for one stock.
@@ -426,6 +426,111 @@ pub fn differential_rules(seed: u64, n: usize) -> Vec<Rule> {
             )
         })
         .collect()
+}
+
+/// [`differential_db`] plus two sink items `s0`/`s1` (with `s0_q()` /
+/// `s1_q()` readers) that only fired actions write. The external step
+/// scripts never touch the sinks, so every sink change in a run is a
+/// rule-action write — which is exactly what the batch-safety
+/// differential tests need to observe.
+pub fn differential_writer_db() -> Database {
+    let mut db = differential_db();
+    for s in ["s0", "s1"] {
+        db.set_item(s.to_string(), Value::Int(0));
+        db.define_query(
+            format!("{s}_q"),
+            QueryDef::new(0, tdb_relation::Query::item(s)),
+        );
+    }
+    db
+}
+
+fn set_item_action(item: &str, value: Term) -> Action {
+    Action::DbOps(vec![ActionOp::SetItem {
+        item: item.into(),
+        value,
+    }])
+}
+
+fn writer_rule(name: &str, condition: &str, item: &str, value: Term) -> Rule {
+    Rule::trigger(
+        name,
+        parse_formula(condition).expect("static writer condition parses"),
+        set_item_action(item, value),
+    )
+}
+
+/// A data-writing catalog over [`differential_writer_db`] that certifies
+/// `stratified(2)`: four writers with pure-data (inertial) conditions in
+/// stratum 0 feeding two sink readers in stratum 1, no cycles.
+///
+/// The catalog deliberately covers the fence-soundness corner cases:
+/// `w_prev`'s condition is a bare `previously(…)` (temporal memory — its
+/// edge-firing must still coincide with a read-set-touching state, the
+/// inertia property the stratified fences rely on), `w_snap`'s action
+/// value reads the database at materialization time (impure — the fences
+/// pin its evaluation point to the per-op schedule), and `r_last` is an
+/// order-sensitive (`lasttime`) reader of a written sink.
+pub fn differential_stratified_rules() -> Vec<Rule> {
+    vec![
+        writer_rule(
+            "w_up",
+            "w0_q() > 100 and previously(w0_q() <= 100)",
+            "s0",
+            Term::lit(1i64),
+        ),
+        writer_rule(
+            "w_dn",
+            "w0_q() <= 100 and previously(w0_q() > 100)",
+            "s0",
+            Term::lit(0i64),
+        ),
+        writer_rule("w_prev", "previously(w1_q() > 110)", "s1", Term::lit(7i64)),
+        writer_rule(
+            "w_snap",
+            "w2_q() > 105 and previously(w2_q() <= 105)",
+            "s1",
+            parse_term("w2_q() + 1").expect("static action term parses"),
+        ),
+        Rule::trigger(
+            "r_edge",
+            parse_formula("s0_q() = 1").expect("static reader parses"),
+            Action::Notify,
+        ),
+        Rule::trigger(
+            "r_last",
+            parse_formula("lasttime(s1_q() = 0) and s1_q() != 0").expect("static reader parses"),
+            Action::Notify,
+        ),
+    ]
+}
+
+/// A data-writing catalog over [`differential_writer_db`] that certifies
+/// `cascade-required`: `pong` reads *and* writes `s0` (a self-cycle), so
+/// no amount of fencing can predict the cascade statically. Every chain
+/// quiesces (`drv` raises `s0` to 1, `pong` rewrites it to 2, nothing
+/// fires on 2), so eager re-entry terminates.
+pub fn differential_cascade_rules() -> Vec<Rule> {
+    vec![
+        writer_rule(
+            "drv",
+            "w0_q() > 100 and previously(w0_q() <= 100)",
+            "s0",
+            Term::lit(1i64),
+        ),
+        writer_rule("pong", "s0_q() = 1", "s0", Term::lit(2i64)),
+        writer_rule(
+            "rearm",
+            "w0_q() <= 100 and previously(w0_q() > 100)",
+            "s0",
+            Term::lit(0i64),
+        ),
+        Rule::trigger(
+            "obs",
+            parse_formula("s0_q() = 2").expect("static reader parses"),
+            Action::Notify,
+        ),
+    ]
 }
 
 /// Login-session events: deterministic interleaving of logins/logouts for

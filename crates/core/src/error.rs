@@ -48,6 +48,14 @@ pub enum CoreError {
     CascadeLimit(usize),
     /// An action referenced a parameter the condition did not bind.
     MissingActionParam(String),
+    /// A fired action materialized a write outside the rule's statically
+    /// declared write set — the batch-safety certificate would be unsound.
+    /// Internal invariant; reaching it means the static analyzer and the
+    /// action materializer disagree.
+    WriteSetViolation {
+        rule: String,
+        resource: String,
+    },
     /// A recovery snapshot does not match the rule catalog or system shape
     /// it is being restored into.
     RestoreMismatch(String),
@@ -114,6 +122,10 @@ impl fmt::Display for CoreError {
             CoreError::MissingActionParam(p) => {
                 write!(f, "action parameter `{p}` was not bound by the condition")
             }
+            CoreError::WriteSetViolation { rule, resource } => write!(
+                f,
+                "rule `{rule}` wrote `{resource}` outside its declared write set"
+            ),
             CoreError::RestoreMismatch(why) => write!(f, "snapshot restore failed: {why}"),
             CoreError::Storage(why) => write!(f, "storage failure: {why}"),
             CoreError::Ptl(e) => write!(f, "{e}"),

@@ -16,8 +16,12 @@ use tdb_engine::{Engine, EngineError, Event, EventSet, History, SystemState, Txn
 use tdb_ptl::Env;
 use tdb_relation::{Database, QueryDef, Relation, Timestamp, Value};
 
+use tdb_analysis::BatchCertificate;
+
 use crate::error::{CoreError, Result};
-use crate::manager::{executed_relation_name, ManagerConfig, ManagerStats, RuleManager};
+use crate::manager::{
+    action_writes, executed_relation_name, CascadeMode, ManagerConfig, ManagerStats, RuleManager,
+};
 use crate::rules::{Action, ActionOp, FiringRecord, Rule};
 use crate::storage::{LogicalOp, SystemSnapshot, WalSink};
 
@@ -191,6 +195,20 @@ impl ActiveDatabase {
     /// (boundedness certification, per-rule lints, triggering graph).
     pub fn lint_rule_set(&self) -> tdb_analysis::Report {
         self.manager.lint_rule_set(self.engine.db())
+    }
+
+    /// The batch-safety certificate for the registered rule set — what
+    /// [`commit_batch`](Self::commit_batch) may fuse without diverging from
+    /// the per-op schedule. Recomputed at every registration.
+    pub fn batch_certificate(&self) -> BatchCertificate {
+        self.manager.batch_certificate()
+    }
+
+    /// The full batch-safety analysis behind
+    /// [`batch_certificate`](Self::batch_certificate): cascade edges,
+    /// cycles, opaque/impure rules, strata sizes.
+    pub fn batch_safety(&self) -> &tdb_analysis::BatchSafety {
+        self.manager.batch_safety()
     }
 
     /// All firings so far (constraint violations included).
@@ -456,7 +474,7 @@ impl ActiveDatabase {
                 | LogicalOp::Flush => true,
                 _ => false,
             };
-            let r = if eager {
+            let mut r = if eager {
                 self.processing = false;
                 let drained = self.process();
                 let r = drained.and_then(|()| self.apply_batch_op(op, catalog));
@@ -465,6 +483,24 @@ impl ActiveDatabase {
             } else {
                 self.apply_batch_op(op, catalog)
             };
+            // Eager cascade mode: drain the pending states right after any
+            // op that can fire a data-writing rule, so the writer's action
+            // lands at its per-op position (a deterministically rejected op
+            // still appended its abort state, so it drains too).
+            let applied = match &r {
+                Ok(()) => true,
+                Err(e) => e.is_deterministic(),
+            };
+            if applied && self.fence_after(op) {
+                self.processing = false;
+                let drained = self.process();
+                self.processing = true;
+                // Mirror the per-op methods, where a dispatch error takes
+                // precedence over the op's own result.
+                if let Err(e) = drained {
+                    r = Err(e);
+                }
+            }
             match r {
                 Ok(()) => out.push(BatchOpOutcome {
                     result: Ok(()),
@@ -491,6 +527,67 @@ impl ActiveDatabase {
         }
         p?;
         Ok(out)
+    }
+
+    /// Whether a batched commit must drain the pending states right after
+    /// this op, under [`CascadeMode::Eager`].
+    ///
+    /// The certificate decides how much fusion survives:
+    ///
+    /// * `Exact` — no fences; the fused slice is already byte-identical;
+    /// * `Stratified` — fence ops that touch a writer's read set (data,
+    ///   events, or the clock). Between fences no writer's condition can
+    ///   change, so edge-triggered writers cannot fire inside the fused
+    ///   sub-slice, and draining *after* the touching op replays the
+    ///   per-op interleaving exactly (an action materializes against the
+    ///   state that fired it). `Commit` is fenced conservatively: its
+    ///   writes live in the transaction, not the op;
+    /// * `CascadeRequired` — fence every state-producing op; each drain
+    ///   then sees exactly the one state the per-op schedule would have.
+    ///
+    /// Non-state-producing ops (`SetItem`, clock advances, schema setup)
+    /// never fence — the per-op path does not dispatch after them either.
+    fn fence_after(&self, op: &LogicalOp) -> bool {
+        if self.manager.config().cascade != CascadeMode::Eager {
+            return false;
+        }
+        let state_producing = matches!(
+            op,
+            LogicalOp::Update { .. }
+                | LogicalOp::Emit { .. }
+                | LogicalOp::Tick
+                | LogicalOp::Begin
+                | LogicalOp::Commit { .. }
+                | LogicalOp::Abort { .. }
+        );
+        if !state_producing {
+            return false;
+        }
+        match self.manager.batch_certificate() {
+            BatchCertificate::Exact => false,
+            BatchCertificate::CascadeRequired => true,
+            BatchCertificate::Stratified { .. } => {
+                let fences = self.manager.writer_fences();
+                match op {
+                    LogicalOp::Update { ops } => {
+                        ops.iter().any(|w| fences.data.contains(w.target()))
+                            || fences.events.contains(tdb_engine::event::names::UPDATE)
+                    }
+                    LogicalOp::Commit { .. } => fences.any,
+                    LogicalOp::Emit { events } => {
+                        events.iter().any(|e| fences.events.contains(e.name()))
+                    }
+                    LogicalOp::Tick => {
+                        fences.time || fences.events.contains(tdb_engine::event::names::CLOCK_TICK)
+                    }
+                    // Begin/abort states change no data and no clock; a
+                    // stratified catalog's writers read only data and time
+                    // (event-reading writers are order-sensitive and land
+                    // in `CascadeRequired`), so they cannot fire here.
+                    _ => false,
+                }
+            }
+        }
     }
 
     /// Applies one batch member through the normal typed methods. Inside
@@ -929,6 +1026,27 @@ impl ActiveDatabase {
                     self.materialize_ops(&dynamic, &firing.env)?
                 }
             };
+            // Soundness tripwire for the batch-safety certificate: every
+            // materialized write must sit inside the rule's statically
+            // declared write set (opaque programs excepted — the analyzer
+            // already treats their write set as unknown).
+            if !matches!(rule.action, Action::Program(_)) {
+                let (declared, _) = action_writes(&rule, false);
+                for w in &ops {
+                    let resource = match w {
+                        WriteOp::SetItem { item, .. } => format!("item:{item}"),
+                        WriteOp::Insert { relation, .. } | WriteOp::Delete { relation, .. } => {
+                            format!("relation:{relation}")
+                        }
+                    };
+                    if !declared.contains(&resource) {
+                        return Err(CoreError::WriteSetViolation {
+                            rule: rule.name.clone(),
+                            resource,
+                        });
+                    }
+                }
+            }
 
             // Record the execution (Section 7) alongside the action.
             let mut all_ops = ops;
@@ -1574,6 +1692,197 @@ mod durability_tests {
             sink.inner().checkpoints.len() > during,
             "deferred checkpoint lands"
         );
+    }
+
+    /// A stratified catalog: a pure writer (`alarm` sets an item from a
+    /// constant) feeding a pure reader (`page` watches that item).
+    fn cascade_fixture(cascade: CascadeMode) -> ActiveDatabase {
+        let mut db = Database::new();
+        db.create_relation(
+            "STOCK",
+            Relation::empty(Schema::untyped(&["name", "price"])),
+        )
+        .unwrap();
+        db.define_query(
+            "price",
+            QueryDef::new(
+                1,
+                parse_query("select price from STOCK where name = $0").unwrap(),
+            ),
+        );
+        db.set_item("ALARM", Value::Int(0));
+        db.define_query(
+            "alarm_q",
+            QueryDef::new(0, parse_query("item ALARM").unwrap()),
+        );
+        let mut a = ActiveDatabase::with_config(
+            db,
+            ManagerConfig {
+                cascade,
+                ..Default::default()
+            },
+        );
+        a.add_rule(Rule::trigger(
+            "alarm",
+            parse_formula("price(\"IBM\") >= 100").unwrap(),
+            Action::DbOps(vec![ActionOp::SetItem {
+                item: "ALARM".into(),
+                value: tdb_ptl::Term::lit(1i64),
+            }]),
+        ))
+        .unwrap();
+        a.add_rule(Rule::trigger(
+            "page",
+            parse_formula("alarm_q() > 0").unwrap(),
+            Action::Notify,
+        ))
+        .unwrap();
+        a
+    }
+
+    /// Price swings with a clock advance *after* the firing op, so a
+    /// delayed action write lands at a later timestamp than a per-op one.
+    fn cascade_ops() -> Vec<LogicalOp> {
+        let ins = |p: i64| WriteOp::Insert {
+            relation: "STOCK".into(),
+            tuple: tuple!["IBM", p],
+        };
+        let del = |p: i64| WriteOp::Delete {
+            relation: "STOCK".into(),
+            tuple: tuple!["IBM", p],
+        };
+        vec![
+            LogicalOp::Update { ops: vec![ins(50)] },
+            LogicalOp::AdvanceClock { delta: 1 },
+            LogicalOp::Update {
+                ops: vec![del(50), ins(120)],
+            },
+            LogicalOp::AdvanceClock { delta: 1 },
+            LogicalOp::Update {
+                ops: vec![del(120), ins(80)],
+            },
+        ]
+    }
+
+    /// Schedule-independent firing identity: state indexes shift between
+    /// schedules, but (rule, time, bindings) must not.
+    fn firing_sig(a: &ActiveDatabase) -> Vec<(String, i64, Env)> {
+        a.firings()
+            .iter()
+            .map(|f| (f.rule.clone(), f.time.0, f.env.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn eager_cascade_batch_matches_per_op_schedule() {
+        // Per-op oracle.
+        let mut oracle = cascade_fixture(CascadeMode::Delayed);
+        for op in cascade_ops() {
+            match op {
+                LogicalOp::Update { ops } => {
+                    oracle.update(ops).unwrap();
+                }
+                LogicalOp::AdvanceClock { delta } => {
+                    oracle.advance_clock(delta).unwrap();
+                }
+                _ => unreachable!(),
+            }
+        }
+
+        // One fused batch under the eager cascade mode.
+        let mut eager = cascade_fixture(CascadeMode::Eager);
+        assert_eq!(
+            eager.batch_certificate(),
+            BatchCertificate::Stratified { strata: 2 }
+        );
+        let outcomes = eager.commit_batch(&cascade_ops(), &[]).unwrap();
+        assert!(outcomes.iter().all(|o| o.ok()));
+
+        assert_eq!(firing_sig(&eager), firing_sig(&oracle));
+        assert_eq!(
+            eager.db().item("ALARM").unwrap(),
+            oracle.db().item("ALARM").unwrap()
+        );
+        // The oracle fired `alarm` at the 120-price state (t=2) and `page`
+        // at the auto-bumped write state right after it (t=3) — before the
+        // batch's second clock advance.
+        assert_eq!(
+            firing_sig(&oracle)
+                .iter()
+                .map(|(r, t, _)| (r.as_str(), *t))
+                .collect::<Vec<_>>(),
+            vec![("alarm", 2), ("page", 3)]
+        );
+    }
+
+    /// The §8 gap this PR closes, demonstrated: the default delayed batch
+    /// is a legal schedule but not byte-identical — the cascaded write
+    /// lands after the batch, at the batch-end clock.
+    #[test]
+    fn delayed_cascade_batch_diverges_from_per_op() {
+        let mut delayed = cascade_fixture(CascadeMode::Delayed);
+        let outcomes = delayed.commit_batch(&cascade_ops(), &[]).unwrap();
+        assert!(outcomes.iter().all(|o| o.ok()));
+        assert_eq!(
+            firing_sig(&delayed)
+                .iter()
+                .map(|(r, t, _)| (r.as_str(), *t))
+                .collect::<Vec<_>>(),
+            vec![("alarm", 2), ("page", 4)],
+            "delayed write state inherits the batch-end clock"
+        );
+    }
+
+    /// An exact catalog (no writers) stays on the fused fast path: eager
+    /// mode inserts no drains, and the fused dispatch already matches.
+    #[test]
+    fn eager_mode_exact_catalog_stays_fused() {
+        let mut a = cascade_fixture(CascadeMode::Eager);
+        // Replace the catalog read: build a fresh fixture without a writer.
+        let mut db = Database::new();
+        db.create_relation(
+            "STOCK",
+            Relation::empty(Schema::untyped(&["name", "price"])),
+        )
+        .unwrap();
+        db.define_query(
+            "price",
+            QueryDef::new(
+                1,
+                parse_query("select price from STOCK where name = $0").unwrap(),
+            ),
+        );
+        let mut b = ActiveDatabase::with_config(
+            db,
+            ManagerConfig {
+                cascade: CascadeMode::Eager,
+                ..Default::default()
+            },
+        );
+        b.add_rule(Rule::trigger(
+            "watch",
+            parse_formula("price(\"IBM\") >= 100").unwrap(),
+            Action::Notify,
+        ))
+        .unwrap();
+        assert_eq!(b.batch_certificate(), BatchCertificate::Exact);
+        assert!(!b.manager.writer_fences().any);
+        let outcomes = b.commit_batch(&cascade_ops(), &[]).unwrap();
+        assert!(outcomes.iter().all(|o| o.ok()));
+        assert_eq!(
+            firing_sig(&b)
+                .iter()
+                .map(|(r, t, _)| (r.as_str(), *t))
+                .collect::<Vec<_>>(),
+            vec![("watch", 2)]
+        );
+        // The stratified fixture still works when driven per-op.
+        a.update(vec![WriteOp::Insert {
+            relation: "STOCK".into(),
+            tuple: tuple!["IBM", 150],
+        }])
+        .unwrap();
+        assert_eq!(a.firings().len(), 2, "alarm + page per-op");
     }
 
     /// Recovery with a catalog missing a registered rule is a typed error.

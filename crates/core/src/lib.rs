@@ -42,7 +42,8 @@ pub use error::{CoreError, Result};
 pub use facade::{ActiveDatabase, BatchOpOutcome};
 pub use incremental::{EvalConfig, EvaluatorState, IncrementalEvaluator};
 pub use manager::{
-    executed_relation_name, GateOutcome, ManagerConfig, ManagerStats, RuleManager, RuleState,
+    executed_relation_name, CascadeMode, GateOutcome, ManagerConfig, ManagerStats, RuleManager,
+    RuleState, WriterFences,
 };
 pub use parallel::ParallelConfig;
 pub use readset::ReadSetIndex;
@@ -50,7 +51,9 @@ pub use residual::{intern_arc, interned_count, sweep_arena};
 pub use rules::{Action, ActionOp, FiringRecord, Program, Rule, RuleKind, TXN_VAR};
 pub use shard::{ApplyOutcome, Shard, ShardStats};
 pub use storage::{LogicalOp, MemorySink, SharedMemorySink, SyncPolicy, SystemSnapshot, WalSink};
-pub use tdb_analysis::{Boundedness, Diagnostic, LintCode, LintLevel, Report, Severity};
+pub use tdb_analysis::{
+    BatchCertificate, BatchSafety, Boundedness, Diagnostic, LintCode, LintLevel, Report, Severity,
+};
 // Observability wiring used by `ManagerConfig { obs }` and the facade's
 // metrics accessors.
 pub use tdb_obs::ObsConfig;

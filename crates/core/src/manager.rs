@@ -21,7 +21,10 @@
 use std::collections::BTreeSet;
 use std::sync::{Arc, Mutex};
 
-use tdb_analysis::{lint_rule, Diagnostic, LintLevel, Report, RuleInput, Severity};
+use tdb_analysis::{
+    certify_batch_safety, lint_rule, BatchCertificate, BatchRule, BatchSafety, Diagnostic,
+    LintLevel, Report, RuleInput, Severity,
+};
 use tdb_engine::event::names::{CLOCK_TICK, UPDATE};
 use tdb_engine::SystemState;
 use tdb_obs::{Counter, Gauge, Histogram, ObsConfig, Registry};
@@ -39,6 +42,42 @@ use crate::rules::{Action, ActionOp, FiringRecord, Rule, RuleKind};
 /// The relation holding a rule's execution history (Section 7).
 pub fn executed_relation_name(rule: &str) -> String {
     format!("__EXECUTED_{rule}")
+}
+
+/// How the facade's batched commit path (`commit_batch`) treats
+/// write-cascading rules, guided by the batch-safety certificate the
+/// manager maintains at registration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CascadeMode {
+    /// All batch states are appended first and dispatched as one fused
+    /// slice; fired actions land *after* the batch — a legal Section 8
+    /// *delayed* schedule, maximally fused but not byte-identical to the
+    /// per-op schedule when rules write data.
+    #[default]
+    Delayed,
+    /// Byte-identical to the per-op schedule for every certificate class:
+    /// `Exact` catalogs stay fully fused, `Stratified` catalogs drain the
+    /// pending sub-slice after each op that can fire a writer (fences from
+    /// [`RuleManager::writer_fences`]), and `CascadeRequired` catalogs
+    /// drain after every state-producing op.
+    Eager,
+}
+
+/// What a batched commit must fence on under [`CascadeMode::Eager`] with a
+/// `Stratified` certificate: the union of the read sets of every rule
+/// whose action writes. An op touching any of these can change a writer's
+/// condition, so the pending states are drained right after it — between
+/// fences no writer can fire, and the fused sub-slice is exact.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WriterFences {
+    /// Catalog names (relations + items) some writer's condition reads.
+    pub data: BTreeSet<String>,
+    /// Event names some writer's condition references.
+    pub events: BTreeSet<String>,
+    /// Some writer's condition reads the clock.
+    pub time: bool,
+    /// Whether any writer is registered at all.
+    pub any: bool,
 }
 
 /// Manager configuration.
@@ -69,6 +108,9 @@ pub struct ManagerConfig {
     /// (`obs.slow_rule_ns`): full evaluations slower than it are appended
     /// to [`tdb_obs::trace::slow_rules`].
     pub obs: ObsConfig,
+    /// How batched commits handle write-cascading rules (see
+    /// [`CascadeMode`]). Default: [`CascadeMode::Delayed`].
+    pub cascade: CascadeMode,
 }
 
 impl Default for ManagerConfig {
@@ -80,6 +122,7 @@ impl Default for ManagerConfig {
             parallel: ParallelConfig::default(),
             lint: LintLevel::default(),
             obs: ObsConfig::inherit(),
+            cascade: CascadeMode::default(),
         }
     }
 }
@@ -265,6 +308,11 @@ pub struct RuleManager {
     ewma_eval_ns: Option<f64>,
     /// Warn-level (and below) findings accumulated at registration.
     lint_findings: Vec<Diagnostic>,
+    /// Batch-safety certificate over the registered rule set, recomputed
+    /// at every registration.
+    batch_safety: BatchSafety,
+    /// Union of the writers' read sets, driving the eager-mode fences.
+    fences: WriterFences,
     /// Metric handles, resolved once from `cfg.obs`; `None` when
     /// observability is off, which the hot paths test with one branch.
     metrics: Option<DispatchMetrics>,
@@ -338,6 +386,8 @@ impl RuleManager {
             affected: Vec::new(),
             ewma_eval_ns: None,
             lint_findings: Vec::new(),
+            batch_safety: BatchSafety::default(),
+            fences: WriterFences::default(),
             metrics,
         }
     }
@@ -517,7 +567,69 @@ impl RuleManager {
             uses_time,
             last_envs: Vec::new(),
         });
+        self.recertify(db);
         Ok(())
+    }
+
+    /// Recomputes the batch-safety certificate and the eager-mode fences
+    /// over the whole registered rule set. Runs at every registration —
+    /// a new rule can change any earlier rule's role (e.g. referencing
+    /// `executed(r, …)` materializes `r`'s executed relation, turning `r`
+    /// into a writer).
+    fn recertify(&mut self, db: &Database) {
+        let rules = self.batch_rules(db);
+        self.batch_safety = certify_batch_safety(&rules);
+        let mut fences = WriterFences::default();
+        for (rt, br) in self.runtimes.iter().zip(&rules) {
+            if br.opaque_action || !br.writes.is_empty() {
+                fences.any = true;
+                fences.data.extend(rt.data.iter().cloned());
+                fences.events.extend(rt.events.iter().cloned());
+                fences.time |= rt.uses_time;
+            }
+        }
+        self.fences = fences;
+    }
+
+    /// The per-rule batch-safety inputs, with read sets resolved through
+    /// the catalog and write sets derived from the registered actions.
+    fn batch_rules(&self, db: &Database) -> Vec<BatchRule> {
+        self.runtimes
+            .iter()
+            .map(|rt| {
+                let record = effectively_recording(&rt.rule, db);
+                let (writes, opaque_action) = action_writes(&rt.rule, record);
+                BatchRule {
+                    name: rt.rule.name.clone(),
+                    reads: resource_reads(rt, db),
+                    writes,
+                    opaque_action,
+                    // Level-triggered rules fire at every satisfying
+                    // state — an inserted write state is one more chance
+                    // to fire, so they are order-sensitive regardless of
+                    // the condition's syntax.
+                    order_sensitive: tdb_analysis::order_sensitive(&rt.rule.firing_condition())
+                        || !rt.rule.edge_triggered,
+                    impure_action_values: action_impure(&rt.rule),
+                }
+            })
+            .collect()
+    }
+
+    /// The batch-safety certificate over the registered rule set, as of
+    /// the last registration.
+    pub fn batch_safety(&self) -> &BatchSafety {
+        &self.batch_safety
+    }
+
+    /// Shorthand for the certificate class.
+    pub fn batch_certificate(&self) -> BatchCertificate {
+        self.batch_safety.certificate
+    }
+
+    /// The fences batched commits consult under [`CascadeMode::Eager`].
+    pub fn writer_fences(&self) -> &WriterFences {
+        &self.fences
     }
 
     /// Whether the rule must look at this state (Section 8 filtering).
@@ -1192,7 +1304,8 @@ impl RuleManager {
             .runtimes
             .iter()
             .map(|rt| {
-                let (writes, opaque_action) = action_writes(&rt.rule);
+                let record = effectively_recording(&rt.rule, db);
+                let (writes, opaque_action) = action_writes(&rt.rule, record);
                 RuleInput {
                     name: rt.rule.name.clone(),
                     condition: rt.rule.firing_condition(),
@@ -1200,6 +1313,8 @@ impl RuleManager {
                     extra_reads: resource_reads(rt, db),
                     writes,
                     opaque_action,
+                    impure_action_values: action_impure(&rt.rule),
+                    level_triggered: !rt.rule.edge_triggered,
                 }
             })
             .collect();
@@ -1227,9 +1342,18 @@ fn resource_reads(rt: &RuleRuntime, db: &Database) -> BTreeSet<String> {
     reads
 }
 
+/// Whether a firing of this rule is recorded in its `executed` relation:
+/// either the rule opted in, or some other rule referenced `executed(r, …)`
+/// and materialized the relation (the facade records into it whenever it
+/// exists).
+pub(crate) fn effectively_recording(rule: &Rule, db: &Database) -> bool {
+    rule.record_executed || db.relation(&executed_relation_name(&rule.name)).is_ok()
+}
+
 /// The catalog resources a rule's action writes, plus whether the action is
-/// an opaque program. Recording rules also write their `executed` relation.
-fn action_writes(rule: &Rule) -> (BTreeSet<String>, bool) {
+/// an opaque program. With `record` set (see [`effectively_recording`]) the
+/// rule also writes its `executed` relation and the `rule_execute` event.
+pub(crate) fn action_writes(rule: &Rule, record: bool) -> (BTreeSet<String>, bool) {
     let mut writes = BTreeSet::new();
     let mut opaque = false;
     match &rule.action {
@@ -1250,10 +1374,33 @@ fn action_writes(rule: &Rule) -> (BTreeSet<String>, bool) {
         Action::Program(_) => opaque = true,
         Action::AbortTxn | Action::Notify => {}
     }
-    if rule.record_executed {
+    if record {
         writes.insert(format!("relation:{}", executed_relation_name(&rule.name)));
+        writes.insert(format!("event:{}", tdb_engine::event::names::RULE_EXECUTE));
     }
     (writes, opaque)
+}
+
+/// Whether the action's value terms read database state (queries,
+/// aggregates, the clock) at materialization time. `UpdateMin`/`UpdateMax`
+/// always do — they read the register's current value. The `executed`
+/// record is pure: it stores the firing's own time and bindings.
+pub(crate) fn action_impure(rule: &Rule) -> bool {
+    fn op_impure(op: &ActionOp) -> bool {
+        use tdb_analysis::term_reads_state;
+        match op {
+            ActionOp::SetItem { value, .. } => term_reads_state(value),
+            ActionOp::UpdateMin { .. } | ActionOp::UpdateMax { .. } => true,
+            ActionOp::Insert { tuple, .. } | ActionOp::Delete { tuple, .. } => {
+                tuple.iter().any(term_reads_state)
+            }
+        }
+    }
+    match &rule.action {
+        Action::DbOps(ops) => ops.iter().any(op_impure),
+        // Opaque programs already force `CascadeRequired`.
+        Action::Program(_) | Action::AbortTxn | Action::Notify => false,
+    }
 }
 
 /// The durable state of one registered rule, as captured in a checkpoint.
@@ -1472,6 +1619,111 @@ mod tests {
             .diagnostics
             .iter()
             .any(|diag| diag.code.code() == "TDB010"));
+    }
+
+    #[test]
+    fn batch_certificate_tracks_registrations() {
+        let mut m = RuleManager::new(ManagerConfig::default());
+        let mut d = db();
+        d.set_item("SINK", tdb_relation::Value::Int(0));
+        d.define_query("sink", QueryDef::new(0, parse_query("item SINK").unwrap()));
+
+        // Notify-only catalog: exact, no fences.
+        let watch = Rule::trigger("watch", parse_formula("a() > 0").unwrap(), Action::Notify);
+        m.register(watch, &mut d, None).unwrap();
+        assert_eq!(m.batch_certificate(), BatchCertificate::Exact);
+        assert!(!m.writer_fences().any);
+
+        // A pure writer to an item nobody reads yet: stratified (its write
+        // state consumes a clock tick, so it must be fence-drained), with
+        // the fences covering the writer's read set.
+        let mark = Rule::trigger(
+            "mark",
+            parse_formula("a() > 1").unwrap(),
+            Action::DbOps(vec![ActionOp::SetItem {
+                item: "SINK".into(),
+                value: Term::lit(1i64),
+            }]),
+        );
+        m.register(mark, &mut d, None).unwrap();
+        assert_eq!(
+            m.batch_certificate(),
+            BatchCertificate::Stratified { strata: 1 }
+        );
+        assert!(m.writer_fences().any);
+        assert!(m.writer_fences().data.contains("A"));
+
+        // A reader of the written item: acyclic write cascade, stratified.
+        let follow = Rule::trigger(
+            "follow",
+            parse_formula("sink() > 0").unwrap(),
+            Action::Notify,
+        );
+        m.register(follow, &mut d, None).unwrap();
+        assert_eq!(
+            m.batch_certificate(),
+            BatchCertificate::Stratified { strata: 2 }
+        );
+        let edges = &m.batch_safety().edges;
+        assert!(edges
+            .iter()
+            .any(|e| e.writer == "mark" && e.reader == "follow"));
+
+        // A rule writing its own read set: cyclic, cascade-required.
+        let bump = Rule::trigger(
+            "bump",
+            parse_formula("a() < 10").unwrap(),
+            Action::DbOps(vec![ActionOp::SetItem {
+                item: "A".into(),
+                value: Term::lit(1i64),
+            }]),
+        );
+        m.register(bump, &mut d, None).unwrap();
+        assert_eq!(m.batch_certificate(), BatchCertificate::CascadeRequired);
+        assert_eq!(m.batch_safety().cycles, vec![vec!["bump".to_string()]]);
+    }
+
+    #[test]
+    fn level_triggered_writer_requires_cascade() {
+        let mut m = RuleManager::new(ManagerConfig::default());
+        let mut d = db();
+        // A level-triggered writer fires at every satisfying state — an
+        // inserted write state included — so it is order-sensitive and
+        // self-cycles through the state-order resource.
+        let r = Rule::trigger(
+            "persist",
+            parse_formula("a() > 0").unwrap(),
+            Action::DbOps(vec![ActionOp::SetItem {
+                item: "SINK".into(),
+                value: Term::lit(1i64),
+            }]),
+        )
+        .level_triggered();
+        m.register(r, &mut d, None).unwrap();
+        assert_eq!(m.batch_certificate(), BatchCertificate::CascadeRequired);
+    }
+
+    #[test]
+    fn impure_action_values_demote_to_stratified() {
+        let mut m = RuleManager::new(ManagerConfig::default());
+        let mut d = db();
+        // The written value reads a query at materialization time: a
+        // delayed schedule could write a different value even though
+        // nobody reads the sink.
+        let r = Rule::trigger(
+            "snapshot",
+            parse_formula("a() > 1").unwrap(),
+            Action::DbOps(vec![ActionOp::SetItem {
+                item: "SINK".into(),
+                value: tdb_ptl::parse_term("a() + 1").unwrap(),
+            }]),
+        );
+        m.register(r, &mut d, None).unwrap();
+        assert_eq!(
+            m.batch_certificate(),
+            BatchCertificate::Stratified { strata: 1 }
+        );
+        assert_eq!(m.batch_safety().impure, vec!["snapshot".to_string()]);
     }
 
     #[test]

@@ -58,6 +58,9 @@ pub struct ShardStats {
     pub retained: usize,
     /// The shard's logical clock.
     pub now: Timestamp,
+    /// Batch-safety certificate for the registered rule set (what group
+    /// commits may fuse without diverging from the per-op schedule).
+    pub batch_safety: tdb_analysis::BatchCertificate,
 }
 
 /// One tenant: an active database plus its rule catalog and a firing
@@ -232,6 +235,7 @@ impl Shard {
             firings: self.adb.firings().len(),
             retained: self.adb.retained_size(),
             now: self.adb.now(),
+            batch_safety: self.adb.batch_certificate(),
         }
     }
 }

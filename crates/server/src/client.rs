@@ -45,6 +45,9 @@ pub struct TenantStats {
     pub retained: u64,
     pub now: Timestamp,
     pub wal_bytes: u64,
+    /// Batch-safety certificate, scalar-encoded: 0 = exact, k ≥ 1 =
+    /// stratified with k strata, -1 = cascade-required.
+    pub batch_safety: i64,
 }
 
 /// A blocking connection to a tdb-server.
@@ -240,6 +243,7 @@ impl Client {
                 retained,
                 now,
                 wal_bytes,
+                batch_safety,
             } => Ok(TenantStats {
                 states,
                 rules,
@@ -247,6 +251,7 @@ impl Client {
                 retained,
                 now,
                 wal_bytes,
+                batch_safety,
             }),
             other => Err(unexpected("Stats", &other)),
         }

@@ -73,6 +73,10 @@ pub fn publish_tenant_gauges(name: &str, stats: &tdb_core::ShardStats, wal_bytes
         .set(as_i64(stats.retained));
     r.gauge_with("tdb_server_tenant_wal_bytes", labels)
         .set(i64::try_from(wal_bytes).unwrap_or(i64::MAX));
+    // Batch-safety certificate as a scalar: 0 = exact, k ≥ 1 = stratified
+    // with k strata, -1 = cascade-required.
+    r.gauge_with("tdb_server_batch_safety", labels)
+        .set(stats.batch_safety.gauge_value());
 }
 
 #[cfg(test)]
@@ -105,6 +109,7 @@ mod tests {
             firings: 1,
             retained: 8,
             now: tdb_relation::Timestamp(5),
+            batch_safety: tdb_core::BatchCertificate::Stratified { strata: 2 },
         };
         publish_tenant_gauges("acme", &stats, 4096);
         let text = global().snapshot().render_prometheus();
@@ -114,6 +119,10 @@ mod tests {
         );
         assert!(
             text.contains("tdb_server_tenant_wal_bytes{tenant=\"acme\"} 4096"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tdb_server_batch_safety{tenant=\"acme\"} 2"),
             "{text}"
         );
     }

@@ -19,13 +19,14 @@ use std::io::Write;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
 use tdb_analysis::LintLevel;
-use tdb_core::manager::ManagerConfig;
+use tdb_core::manager::{CascadeMode, ManagerConfig};
 use tdb_core::rules::FiringRecord;
 use tdb_core::storage::LogicalOp;
+use tdb_core::BatchCertificate;
 use tdb_core::{ShardStats, SyncPolicy};
 use tdb_relation::{Relation, Value};
 use tdb_storage::codec::encode_snapshot;
@@ -79,6 +80,12 @@ impl ServerConfig {
     fn manager_config(&self) -> ManagerConfig {
         ManagerConfig {
             lint: self.lint,
+            // Tenants run the eager cascade mode: group commits (and the
+            // coalescer) stay byte-identical to the per-op schedule for
+            // every batch-safety certificate class — fences are inserted
+            // only where the certificate says the fused slice could
+            // diverge.
+            cascade: CascadeMode::Eager,
             ..ManagerConfig::default()
         }
     }
@@ -242,7 +249,10 @@ impl Runtime {
             });
         }
         let worker = {
-            let mut route = self.route.lock().expect("route poisoned");
+            // The routing table has no multi-step invariants (single
+            // insert/remove per holder), so a poisoned lock — a panic on
+            // some other connection thread — leaves it fully usable.
+            let mut route = self.route.lock().unwrap_or_else(PoisonError::into_inner);
             if route.contains_key(name) {
                 return Err(ServerError::Remote {
                     code: ErrorCode::TenantExists,
@@ -264,7 +274,10 @@ impl Runtime {
             Err(_) => Err(internal("worker queue closed")),
         };
         if result.is_err() {
-            self.route.lock().expect("route poisoned").remove(name);
+            self.route
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .remove(name);
         } else {
             self.metrics.tenants.add(1);
         }
@@ -276,7 +289,7 @@ impl Runtime {
         let mut names: Vec<String> = self
             .route
             .lock()
-            .expect("route poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .keys()
             .cloned()
             .collect();
@@ -286,7 +299,7 @@ impl Runtime {
 
     fn send(&self, tenant: &str, job: Job) -> Result<()> {
         let worker = {
-            let route = self.route.lock().expect("route poisoned");
+            let route = self.route.lock().unwrap_or_else(PoisonError::into_inner);
             match route.get(tenant) {
                 Some(&w) => w,
                 None => {
@@ -670,6 +683,13 @@ impl WorkerState {
     /// answers each original request with its own slice of the outcomes and
     /// firings. The first non-matching job closes the group and is returned
     /// to the worker loop as carry-over.
+    ///
+    /// The coalescer consults the tenant's batch-safety certificate first:
+    /// a `CascadeRequired` rule set gains nothing from a wider evaluation
+    /// slice (the eager cascade mode re-enters dispatch after every
+    /// state-producing op anyway), so the window is skipped and the commit
+    /// applies immediately instead of buying only fsync amortization with
+    /// added latency. `Exact` and `Stratified` tenants coalesce normally.
     #[allow(clippy::type_complexity)]
     fn coalesced_commit(
         &mut self,
@@ -684,26 +704,32 @@ impl WorkerState {
         let mut all_ops = ops;
         let mut group: Vec<(usize, CommitReply)> = vec![(all_ops.len(), reply)];
         let mut carry = None;
+        let coalescable = !matches!(
+            self.tenants.get(&tenant).map(|t| t.batch_certificate()),
+            Some(BatchCertificate::CascadeRequired)
+        );
         let deadline = std::time::Instant::now() + std::time::Duration::from_micros(window_us);
-        loop {
-            let left = deadline.saturating_duration_since(std::time::Instant::now());
-            if left.is_zero() {
-                break;
-            }
-            match rx.recv_timeout(left) {
-                Ok(Job::Commit {
-                    tenant: t2,
-                    ops,
-                    reply,
-                }) if t2 == tenant => {
-                    group.push((ops.len(), reply));
-                    all_ops.extend(ops);
-                }
-                Ok(other) => {
-                    carry = Some(other);
+        if coalescable {
+            loop {
+                let left = deadline.saturating_duration_since(std::time::Instant::now());
+                if left.is_zero() {
                     break;
                 }
-                Err(_) => break,
+                match rx.recv_timeout(left) {
+                    Ok(Job::Commit {
+                        tenant: t2,
+                        ops,
+                        reply,
+                    }) if t2 == tenant => {
+                        group.push((ops.len(), reply));
+                        all_ops.extend(ops);
+                    }
+                    Ok(other) => {
+                        carry = Some(other);
+                        break;
+                    }
+                    Err(_) => break,
+                }
             }
         }
         match self.apply_grouped(&tenant, &all_ops) {
@@ -720,11 +746,12 @@ impl WorkerState {
                     firings.extend_from_slice(&job_firings);
                     let _ = reply.send(Ok((outcomes, job_firings)));
                 }
-                let (stats, wal) = {
-                    let t = self.tenants.get(&tenant).expect("tenant applied");
-                    (t.stats(), t.wal_bytes())
-                };
-                publish_tenant_gauges(&tenant, &stats, wal);
+                // `apply_grouped` just succeeded, so the tenant exists; the
+                // lookup stays fallible to keep this path panic-free.
+                if let Some(t) = self.tenants.get(&tenant) {
+                    let (stats, wal) = (t.stats(), t.wal_bytes());
+                    publish_tenant_gauges(&tenant, &stats, wal);
+                }
                 if !firings.is_empty() {
                     self.push_firings(&tenant, &firings);
                 }
@@ -784,6 +811,7 @@ impl WorkerState {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may unwrap
 mod tests {
     use super::*;
     use tdb_engine::WriteOp;
@@ -854,6 +882,55 @@ mod tests {
         let (stats, wal) = rt.stats("a").unwrap();
         assert_eq!(stats.rules, 1);
         assert_eq!(wal, 0);
+        rt.shutdown();
+    }
+
+    /// With a coalescing window configured, a `CascadeRequired` tenant
+    /// skips the window (no coalescing gain) but commits stay exact: the
+    /// eager cascade mode re-enters dispatch mid-batch, so a self-writing
+    /// rule fires at the state that satisfied it, not at batch end.
+    #[test]
+    fn coalescer_consults_certificate_and_stays_exact() {
+        let rt = Runtime::start(ServerConfig {
+            workers: 1,
+            coalesce_window_us: 500,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        seed(&rt, "t");
+        let (_, findings) = rt
+            .register_rules("t", "rule bump { when n() = 1; then set n := 2; }")
+            .unwrap();
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.contains("batch-safety: cascade-required")),
+            "register reports the certificate: {findings:?}"
+        );
+        let (outcomes, firings) = rt
+            .commit(
+                "t",
+                vec![
+                    LogicalOp::AdvanceClock { delta: 1 },
+                    LogicalOp::Update {
+                        ops: vec![WriteOp::SetItem {
+                            item: "n".into(),
+                            value: Value::Int(1),
+                        }],
+                    },
+                ],
+            )
+            .unwrap();
+        assert!(outcomes.iter().all(|o| o.is_ok()));
+        assert_eq!(firings.len(), 1);
+        assert_eq!(firings[0].rule, "bump");
+        assert_eq!(
+            rt.query("t", "item n", vec![]).unwrap(),
+            Relation::scalar(Value::Int(2)),
+            "the fired action's write applied"
+        );
+        let (stats, _) = rt.stats("t").unwrap();
+        assert_eq!(stats.batch_safety.gauge_value(), -1);
         rt.shutdown();
     }
 

@@ -16,7 +16,7 @@
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -108,7 +108,7 @@ impl ServerHandle {
     pub fn stop(self) {
         self.stopping.store(true, Ordering::SeqCst);
         let _ = self.acceptor.join();
-        let conns = std::mem::take(&mut *self.conns.lock().expect("conns poisoned"));
+        let conns = std::mem::take(&mut *self.conns.lock().unwrap_or_else(PoisonError::into_inner));
         for (stream, handle) in conns {
             let _ = stream.shutdown(std::net::Shutdown::Both);
             let _ = handle.join();
@@ -145,7 +145,10 @@ fn accept_loop(
                             rt.metrics.connections_open.add(-1);
                         });
                 if let Ok(handle) = spawned {
-                    conns.lock().expect("conns poisoned").push((watch, handle));
+                    conns
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push((watch, handle));
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -317,6 +320,7 @@ fn service(rt: &Runtime, writer: &SharedWriter, id: u64, req: Request) -> Respon
                 retained: s.retained as u64,
                 now: s.now,
                 wal_bytes,
+                batch_safety: s.batch_safety.gauge_value(),
             })
         }
         Request::Metrics { format } => {

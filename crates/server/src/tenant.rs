@@ -234,11 +234,23 @@ impl Tenant {
             })?;
             registered.push(name);
         }
-        let findings = self.shard.adb().lint_findings()[findings_before..]
+        let mut findings: Vec<String> = self.shard.adb().lint_findings()[findings_before..]
             .iter()
             .map(|d| d.to_string())
             .collect();
+        // Every registration re-certifies batch safety for the whole rule
+        // set; report the post-registration certificate with the findings so
+        // clients learn what group commits may fuse.
+        findings.push(format!(
+            "batch-safety: {}",
+            self.shard.adb().batch_certificate()
+        ));
         Ok((registered, findings))
+    }
+
+    /// The tenant's current batch-safety certificate.
+    pub fn batch_certificate(&self) -> tdb_core::BatchCertificate {
+        self.shard.adb().batch_certificate()
     }
 
     /// Applies one logical op (see [`Shard::apply`]).
@@ -290,6 +302,7 @@ fn storage_err(dir: &Path, e: std::io::Error) -> ServerError {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may unwrap
 mod tests {
     use super::*;
     use tdb_core::rules::RuleKind;

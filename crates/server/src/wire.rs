@@ -226,6 +226,9 @@ pub enum Response {
         retained: u64,
         now: Timestamp,
         wal_bytes: u64,
+        /// Batch-safety certificate, scalar-encoded: 0 = exact, k ≥ 1 =
+        /// stratified with k strata, -1 = cascade-required.
+        batch_safety: i64,
     },
     MetricsText {
         text: String,
@@ -259,8 +262,8 @@ pub fn write_frame<W: Write + ?Sized>(
 pub fn read_frame(r: &mut impl Read) -> std::result::Result<Vec<u8>, ProtocolError> {
     let mut head = [0u8; 8];
     read_exact_or_close(r, &mut head, true)?;
-    let len = u32::from_le_bytes(head[..4].try_into().expect("4 bytes"));
-    let crc = u32::from_le_bytes(head[4..].try_into().expect("4 bytes"));
+    let len = u32::from_le_bytes(tdb_storage::codec::first_n(&head[..4]));
+    let crc = u32::from_le_bytes(tdb_storage::codec::first_n(&head[4..]));
     if len > MAX_FRAME {
         return Err(ProtocolError::Oversized { len });
     }
@@ -569,6 +572,7 @@ pub fn encode_response(id: u64, resp: &Response) -> Vec<u8> {
             retained,
             now,
             wal_bytes,
+            batch_safety,
         } => {
             e.u8(42);
             e.u64(*states);
@@ -577,6 +581,7 @@ pub fn encode_response(id: u64, resp: &Response) -> Vec<u8> {
             e.u64(*retained);
             put_timestamp(&mut e, *now);
             e.u64(*wal_bytes);
+            e.i64(*batch_safety);
         }
         Response::MetricsText { text } => {
             e.u8(43);
@@ -656,6 +661,7 @@ pub fn decode_response(payload: &[u8]) -> std::result::Result<(u64, Response), P
             retained: d.u64("retained").map_err(dec_err)?,
             now: get_timestamp(&mut d).map_err(dec_err)?,
             wal_bytes: d.u64("wal bytes").map_err(dec_err)?,
+            batch_safety: d.i64("batch safety").map_err(dec_err)?,
         },
         43 => Response::MetricsText {
             text: d.str("metrics text").map_err(dec_err)?,
@@ -681,6 +687,7 @@ pub fn decode_response(payload: &[u8]) -> std::result::Result<(u64, Response), P
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may unwrap
 mod tests {
     use super::*;
 

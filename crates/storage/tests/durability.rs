@@ -3,6 +3,8 @@
 //! system indistinguishable from one that never crashed — and every
 //! corruption mode must surface as a typed [`StorageError`], never a panic.
 
+#![allow(clippy::disallowed_methods)] // tests may unwrap
+
 use std::path::PathBuf;
 
 use tdb_core::{Action, ActiveDatabase, ManagerConfig, Rule, SyncPolicy};

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Runs the E19 certified-batching experiment (durable ingest under the
+# batch-safety certificate: per-op baseline vs always-fused vs certified
+# eager batching, per certificate class) and leaves a machine-readable
+# copy in BENCH_E19.json at the repo root.
+#
+# Usage:
+#   scripts/bench_e19.sh            # full run (3000 states)
+#   scripts/bench_e19.sh --quick    # smaller run for smoke tests / CI
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo build --release -p tdb-bench
+
+./target/release/harness e19 "$@"
+
+if [[ -f BENCH_E19.json ]]; then
+    echo "== BENCH_E19.json =="
+    cat BENCH_E19.json
+    python3 scripts/check_bench_e19.py BENCH_E19.json
+fi

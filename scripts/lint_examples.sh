@@ -31,4 +31,22 @@ for rules in examples/lint/*.rules; do
         echo "ok: $rules"
     fi
 done
+
+# The batch-safety SARIF view over the batch examples has a checked-in
+# golden; CI uploads the same log as an artifact (sarif_out, below).
+sarif_golden="examples/lint/batch_safety.sarif.expected"
+sarif_out="${TDB_SARIF_OUT:-}"
+actual_sarif="$(./target/release/tdb-lint --batch-safety --sarif \
+    examples/lint/batch_notify_only.rules \
+    examples/lint/batch_stratified.rules \
+    examples/lint/batch_opaque.rules)"
+if ! diff -u "$sarif_golden" <(printf '%s\n' "$actual_sarif"); then
+    echo "MISMATCH: --batch-safety --sarif diverged from $sarif_golden" >&2
+    fail=1
+else
+    echo "ok: batch-safety SARIF golden"
+fi
+if [ -n "$sarif_out" ]; then
+    printf '%s\n' "$actual_sarif" > "$sarif_out"
+fi
 exit $fail
