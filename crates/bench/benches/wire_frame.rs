@@ -1,0 +1,63 @@
+//! Wire-protocol frame read microbenchmark: per-frame allocation
+//! (`read_frame`) vs the reusable scratch buffer (`read_frame_into`) that
+//! steady-state connection loops hold, across small (commit-ack sized) and
+//! large (snapshot-chunk sized) payloads.
+
+use std::io::Cursor;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tdb_server::wire::{read_frame, read_frame_into, write_frame, FrameScratch};
+
+/// `n` back-to-back frames of `payload_len` bytes, as they would sit in a
+/// socket buffer.
+fn frames(n: usize, payload_len: usize) -> Vec<u8> {
+    let payload = vec![0xa5u8; payload_len];
+    let mut buf = Vec::with_capacity(n * (payload_len + 8));
+    for _ in 0..n {
+        write_frame(&mut buf, &payload).expect("Vec writes cannot fail");
+    }
+    buf
+}
+
+fn bench(c: &mut Criterion) {
+    const FRAMES: usize = 256;
+    let mut group = c.benchmark_group("wire_frame");
+    for &(label, len) in &[
+        ("ack_64b", 64usize),
+        ("firing_1k", 1024),
+        ("chunk_64k", 64 * 1024),
+    ] {
+        let stream = frames(FRAMES, len);
+        group.bench_with_input(
+            BenchmarkId::new("alloc_per_frame", label),
+            &stream,
+            |b, s| {
+                b.iter(|| {
+                    let mut r = Cursor::new(s.as_slice());
+                    let mut total = 0usize;
+                    for _ in 0..FRAMES {
+                        total += read_frame(&mut r).expect("well-formed frame").len();
+                    }
+                    total
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("scratch_reuse", label), &stream, |b, s| {
+            b.iter(|| {
+                let mut r = Cursor::new(s.as_slice());
+                let mut scratch = FrameScratch::new();
+                let mut total = 0usize;
+                for _ in 0..FRAMES {
+                    total += read_frame_into(&mut r, &mut scratch)
+                        .expect("well-formed frame")
+                        .len();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -85,6 +85,11 @@ pub struct ActiveDatabase {
     logged_firings: usize,
     /// User-registered rule names in registration order (for snapshots).
     registered: Vec<String>,
+    /// Mid-batch eager drains taken by [`commit_batch`](Self::commit_batch)
+    /// because the batch-safety certificate fenced an op. Monotonic;
+    /// schedulers read deltas to estimate how much fusion a stratified
+    /// tenant actually loses.
+    batch_fences: u64,
 }
 
 impl ActiveDatabase {
@@ -107,6 +112,7 @@ impl ActiveDatabase {
             wal: None,
             logged_firings: 0,
             registered: Vec::new(),
+            batch_fences: 0,
         }
     }
 
@@ -202,6 +208,13 @@ impl ActiveDatabase {
     /// the per-op schedule. Recomputed at every registration.
     pub fn batch_certificate(&self) -> BatchCertificate {
         self.manager.batch_certificate()
+    }
+
+    /// Total mid-batch fence drains taken by group commits so far (see
+    /// `batch_fences` on the struct). Deltas of this against ops applied
+    /// give a stratified tenant's observed fence-hit rate.
+    pub fn batch_fence_drains(&self) -> u64 {
+        self.batch_fences
     }
 
     /// The full batch-safety analysis behind
@@ -303,6 +316,7 @@ impl ActiveDatabase {
             wal: None,
             logged_firings,
             registered: snap.registered,
+            batch_fences: 0,
         })
     }
 
@@ -492,6 +506,7 @@ impl ActiveDatabase {
                 Err(e) => e.is_deterministic(),
             };
             if applied && self.fence_after(op) {
+                self.batch_fences += 1;
                 self.processing = false;
                 let drained = self.process();
                 self.processing = true;

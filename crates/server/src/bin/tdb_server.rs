@@ -3,7 +3,8 @@
 //! ```text
 //! tdb-server [--addr HOST:PORT] [--workers N] [--data-dir DIR]
 //!            [--lint allow|warn|deny] [--no-sync]
-//!            [--coalesce-window USEC] [--quiet]
+//!            [--conn-mode poll|thread] [--coalesce-window USEC]
+//!            [--no-adaptive] [--no-rebalance] [--quiet]
 //! ```
 //!
 //! Prints `listening on <addr>` (the resolved address — port 0 works) once
@@ -14,12 +15,13 @@
 use std::process::ExitCode;
 
 use tdb_analysis::LintLevel;
-use tdb_server::{Server, ServerConfig};
+use tdb_server::{ConnMode, Server, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: tdb-server [--addr HOST:PORT] [--workers N] [--data-dir DIR] \
-         [--lint allow|warn|deny] [--no-sync] [--coalesce-window USEC] [--quiet]"
+         [--lint allow|warn|deny] [--no-sync] [--conn-mode poll|thread] \
+         [--coalesce-window USEC] [--no-adaptive] [--no-rebalance] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -51,10 +53,21 @@ fn main() -> ExitCode {
                 }
             }
             "--no-sync" => cfg.checkpoint.sync = tdb_core::SyncPolicy::Never,
+            "--conn-mode" => {
+                cfg.conn_mode = match value("mode").as_str() {
+                    "poll" => ConnMode::Poll,
+                    "thread" => ConnMode::Thread,
+                    _ => usage(),
+                }
+            }
+            // A fixed window disables the adaptive coalescer (manual
+            // override); 0 restores the adaptive default.
             "--coalesce-window" => match value("microseconds").parse() {
                 Ok(us) => cfg.coalesce_window_us = us,
                 Err(_) => usage(),
             },
+            "--no-adaptive" => cfg.adaptive_coalesce = false,
+            "--no-rebalance" => cfg.rebalance = false,
             "--quiet" => quiet = true,
             "--help" | "-h" => usage(),
             _ => usage(),

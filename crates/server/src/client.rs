@@ -14,8 +14,8 @@ use tdb_core::storage::LogicalOp;
 use tdb_relation::{Relation, Timestamp, Value};
 
 use crate::wire::{
-    decode_response, encode_request, read_frame, write_frame, MetricsFormat, Request, Response,
-    PROTOCOL_VERSION,
+    decode_response, encode_request, read_frame_into, write_frame, FrameScratch, MetricsFormat,
+    Request, Response, PROTOCOL_VERSION,
 };
 use crate::{Result, ServerError};
 
@@ -59,6 +59,9 @@ pub struct Client {
     /// Streamed `Firing` frames that arrived while awaiting a response:
     /// `(subscription id, record)`.
     queued: VecDeque<(u64, FiringRecord)>,
+    /// Reusable frame-read buffer (grow-only with evict, see
+    /// [`FrameScratch`]).
+    scratch: FrameScratch,
 }
 
 impl Client {
@@ -71,6 +74,7 @@ impl Client {
             reader: stream,
             next_id: 1,
             queued: VecDeque::new(),
+            scratch: FrameScratch::new(),
         };
         match c.request(Request::Hello {
             version: PROTOCOL_VERSION,
@@ -93,8 +97,8 @@ impl Client {
         self.next_id += 1;
         write_frame(&mut self.writer, &encode_request(id, &req))?;
         loop {
-            let payload = read_frame(&mut self.reader)?;
-            let (rid, resp) = decode_response(&payload)?;
+            let payload = read_frame_into(&mut self.reader, &mut self.scratch)?;
+            let (rid, resp) = decode_response(payload)?;
             match resp {
                 Response::Firing { record } => self.queued.push_back((rid, record)),
                 Response::Error { code, message } if rid == id || rid == 0 => {
@@ -117,8 +121,8 @@ impl Client {
         if let Some(f) = self.queued.pop_front() {
             return Ok(f);
         }
-        let payload = read_frame(&mut self.reader)?;
-        let (rid, resp) = decode_response(&payload)?;
+        let payload = read_frame_into(&mut self.reader, &mut self.scratch)?;
+        let (rid, resp) = decode_response(payload)?;
         match resp {
             Response::Firing { record } => Ok((rid, record)),
             Response::Error { code, message } => Err(ServerError::Remote { code, message }),

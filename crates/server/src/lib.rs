@@ -26,11 +26,15 @@
 //! and [`Client`] (a blocking client). See `DESIGN.md` §12 for the
 //! shard/ownership model and the wire format.
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the one audited FFI block in [`poll`] can opt
+// out locally; everything else stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_debug_implementations)]
 
 pub mod client;
+pub mod conn;
 pub mod metrics;
+pub mod poll;
 pub mod runtime;
 pub mod server;
 pub mod tenant;
@@ -39,7 +43,7 @@ pub mod wire;
 use std::fmt;
 
 pub use client::{Client, CommitOutcome, TenantStats};
-pub use runtime::ServerConfig;
+pub use runtime::{ConnMode, ServerConfig};
 pub use server::{Server, ServerHandle};
 pub use wire::{ErrorCode, ProtocolError, Request, Response, PROTOCOL_VERSION};
 

@@ -21,6 +21,11 @@ pub struct ServerMetrics {
     pub tenants: Gauge,
     pub subscriptions: Gauge,
     pub firings_streamed: Counter,
+    /// Outbound-queue stall episodes (a connection crossed its soft
+    /// backpressure limit).
+    pub conn_backpressure: Counter,
+    /// Tenant re-pins executed by the load balancer.
+    pub repins: Counter,
 }
 
 impl ServerMetrics {
@@ -36,6 +41,8 @@ impl ServerMetrics {
             tenants: r.gauge("tdb_server_tenants"),
             subscriptions: r.gauge("tdb_server_subscriptions"),
             firings_streamed: r.counter("tdb_server_firings_streamed_total"),
+            conn_backpressure: r.counter("tdb_server_conn_backpressure_total"),
+            repins: r.counter("tdb_server_tenant_repins_total"),
         }
     }
 

@@ -1,26 +1,39 @@
 //! The shard pool: a fixed set of OS worker threads, each owning the
 //! tenants routed to it, fed through per-worker MPSC queues.
 //!
-//! Ownership model (see `DESIGN.md` §12): a tenant lives on exactly one
-//! worker thread for its whole life — the worker's queue serializes every
-//! op against it, so a tenant's firing log is as deterministic as a
-//! single-process library run. Tenants on *different* workers share no
-//! mutable state (the residual interning arena and compiled-program cache
-//! are process-wide but internally synchronized and bounded), so workers
-//! never contend beyond the global metrics registry.
+//! Ownership model (see `DESIGN.md` §12/§15): a tenant lives on exactly one
+//! worker thread at a time — the worker's queue serializes every op against
+//! it, so a tenant's firing log is as deterministic as a single-process
+//! library run. Tenants on *different* workers share no mutable state (the
+//! residual interning arena and compiled-program cache are process-wide but
+//! internally synchronized and bounded), so workers never contend beyond
+//! the global metrics registry.
 //!
-//! Requests travel as [`Job`]s with a rendezvous reply channel; firing
-//! subscriptions are push-based — after every commit the owning worker
-//! writes `Response::Firing` frames straight to each subscribed
-//! connection's shared writer.
+//! Requests travel as [`Job`]s inside [`Envelope`]s: the envelope carries a
+//! per-tenant pending guard so the router always knows whether a tenant has
+//! queued or in-flight work. That is what makes *re-pinning* safe: an idle
+//! tenant (pending count zero, observed under the route lock) can be moved
+//! from the hottest worker to the coldest with an `Expect`/`Extract`/
+//! `Install` handshake that preserves the per-tenant FIFO (§15 argues the
+//! ordering). Per-worker queue-depth and busy EWMAs ([`WorkerLoad`]) feed
+//! the rebalance planner and the `tdb_server_worker_*` gauges.
+//!
+//! Commits coalesce in one of two modes: a fixed window
+//! (`--coalesce-window`, the E18 behavior) or — the default — an *adaptive*
+//! window sized per tenant from the observed group-apply latency and
+//! discounted by the batch-safety certificate (`CascadeRequired` → no
+//! window, `Stratified` → discounted by the observed fence-hit rate). An
+//! adaptive window only opens while the worker queue is non-empty, so a
+//! lone serial client never pays window latency.
 
 use std::collections::HashMap;
 use std::io::Write;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use tdb_analysis::LintLevel;
 use tdb_core::manager::{CascadeMode, ManagerConfig};
@@ -28,14 +41,29 @@ use tdb_core::rules::FiringRecord;
 use tdb_core::storage::LogicalOp;
 use tdb_core::BatchCertificate;
 use tdb_core::{ShardStats, SyncPolicy};
+use tdb_obs::global;
 use tdb_relation::{Relation, Value};
 use tdb_storage::codec::encode_snapshot;
 use tdb_storage::CheckpointPolicy;
 
+use crate::conn::{DEFAULT_OUTBUF_HARD, DEFAULT_OUTBUF_SOFT};
 use crate::metrics::{publish_tenant_gauges, ServerMetrics};
 use crate::tenant::Tenant;
-use crate::wire::{encode_response, write_frame, ErrorCode, Response};
+use crate::wire::{
+    encode_response, write_frame, ErrorCode, MetricsFormat, Request, Response, PROTOCOL_VERSION,
+};
 use crate::{Result, ServerError};
+
+/// How the front end owns client sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnMode {
+    /// One poller thread owns every socket via `poll(2)` readiness;
+    /// complete frames are handed to the shard pool (the default).
+    Poll,
+    /// One OS thread per connection (the pre-poller baseline, kept for
+    /// comparison benchmarks).
+    Thread,
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -52,12 +80,26 @@ pub struct ServerConfig {
     /// Checkpoint/sync policy for durable tenants. The default syncs on
     /// every append: an acked commit survives `SIGKILL`.
     pub checkpoint: CheckpointPolicy,
-    /// Group-commit window in microseconds. When non-zero, a worker that
-    /// dequeues a commit keeps draining *consecutive commits for the same
-    /// tenant* from its queue for up to this long and applies them as one
-    /// batch — one WAL record, one fsync, one evaluation slice. `0`
-    /// disables coalescing (every commit is its own batch).
+    /// Fixed group-commit window in microseconds. When non-zero it
+    /// overrides the adaptive coalescer: a worker that dequeues a commit
+    /// keeps draining *consecutive commits for the same tenant* from its
+    /// queue for up to this long and applies them as one batch — one WAL
+    /// record, one fsync, one evaluation slice. `0` (the default) defers
+    /// to `adaptive_coalesce`.
     pub coalesce_window_us: u64,
+    /// Size each tenant's coalescing window from its observed group-apply
+    /// latency and arrival pattern, ceiling-ed by the batch-safety
+    /// certificate. Only consulted while `coalesce_window_us == 0`.
+    pub adaptive_coalesce: bool,
+    /// Connection-layer mode (readiness poller vs thread-per-connection).
+    pub conn_mode: ConnMode,
+    /// Move idle tenants off the hottest worker when load skews.
+    pub rebalance: bool,
+    /// Outbound queue backpressure thresholds per connection (poller
+    /// mode): past `soft` a stall episode is counted, past `hard` the
+    /// connection is killed instead of buffering without bound.
+    pub outbuf_soft_limit: usize,
+    pub outbuf_hard_limit: usize,
 }
 
 impl Default for ServerConfig {
@@ -72,6 +114,11 @@ impl Default for ServerConfig {
                 ..CheckpointPolicy::default()
             },
             coalesce_window_us: 0,
+            adaptive_coalesce: true,
+            conn_mode: ConnMode::Poll,
+            rebalance: true,
+            outbuf_soft_limit: DEFAULT_OUTBUF_SOFT,
+            outbuf_hard_limit: DEFAULT_OUTBUF_HARD,
         }
     }
 }
@@ -96,6 +143,122 @@ impl ServerConfig {
 /// per-connection write serialization point.
 pub type SharedWriter = Arc<Mutex<dyn Write + Send>>;
 
+// ---- adaptive coalescing ----------------------------------------------------
+
+/// Widest window the adaptive coalescer will ever open.
+const ADAPTIVE_MAX_WINDOW_US: u64 = 5_000;
+/// First-commit bootstrap window (no latency observation yet).
+const ADAPTIVE_BOOTSTRAP_US: u64 = 100;
+
+/// Per-tenant observations driving the adaptive commit coalescer. Lives on
+/// the owning worker (no locks) and migrates with the tenant.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct AdaptiveState {
+    /// EWMA of ns one group apply takes — dominated by the WAL fsync for
+    /// durable tenants, by the evaluation slice for volatile ones.
+    apply_ns: u64,
+    /// `batch_fence_drains()` value at the last observation.
+    fences_at: u64,
+    /// EWMA of fence drains per 1000 ops (the stratified discount).
+    fence_permille: u64,
+}
+
+impl AdaptiveState {
+    fn observe(&mut self, ops: u64, dt_ns: u64, fences_total: u64) {
+        self.apply_ns = if self.apply_ns == 0 {
+            dt_ns
+        } else {
+            (self.apply_ns * 3 + dt_ns) / 4
+        };
+        let delta = fences_total.saturating_sub(self.fences_at);
+        self.fences_at = fences_total;
+        if ops > 0 {
+            let inst = delta
+                .saturating_mul(1000)
+                .checked_div(ops)
+                .unwrap_or(0)
+                .min(1000);
+            self.fence_permille = (self.fence_permille * 3 + inst) / 4;
+        }
+    }
+
+    /// The window this tenant's commits should coalesce over:
+    /// `discount(certificate) × clamp(apply_ewma)`. Waiting about one
+    /// group-apply time collects everything that would otherwise queue
+    /// behind the fsync anyway, so the window buys batching without adding
+    /// latency beyond what the slowest-path op already costs.
+    fn window_us(&self, cert: &BatchCertificate) -> u64 {
+        let discount_permille = match cert {
+            BatchCertificate::CascadeRequired => return 0,
+            BatchCertificate::Exact => 1000,
+            // A stratified tenant loses fusion at every fence; discount
+            // the window by the observed fence-hit rate.
+            BatchCertificate::Stratified { .. } => 1000 - self.fence_permille.min(1000),
+        };
+        let base = if self.apply_ns == 0 {
+            ADAPTIVE_BOOTSTRAP_US
+        } else {
+            (self.apply_ns / 1000).clamp(ADAPTIVE_BOOTSTRAP_US / 2, ADAPTIVE_MAX_WINDOW_US)
+        };
+        base * discount_permille / 1000
+    }
+}
+
+// ---- load tracking ----------------------------------------------------------
+
+/// One worker's load signals, shared lock-free between the worker, the
+/// router, and the rebalance planner.
+#[derive(Debug, Default)]
+pub struct WorkerLoad {
+    /// Envelopes enqueued and not yet dequeued.
+    depth: AtomicI64,
+    /// EWMA of the worker's busy fraction over ~100 ms buckets, ‰.
+    busy_permille: AtomicU64,
+}
+
+impl WorkerLoad {
+    pub fn queue_depth(&self) -> i64 {
+        self.depth.load(Ordering::Acquire)
+    }
+
+    pub fn busy_permille(&self) -> u64 {
+        self.busy_permille.load(Ordering::Relaxed)
+    }
+}
+
+/// Busy/idle accumulator a worker folds into its [`WorkerLoad`] EWMA.
+#[derive(Debug, Default)]
+struct BusyMeter {
+    busy: Duration,
+    idle: Duration,
+}
+
+impl BusyMeter {
+    fn flush_if_due(&mut self, load: &WorkerLoad) {
+        if self.busy + self.idle >= Duration::from_millis(100) {
+            self.flush(load);
+        }
+    }
+
+    fn flush(&mut self, load: &WorkerLoad) {
+        let total = self.busy + self.idle;
+        if total.is_zero() {
+            return;
+        }
+        let inst = (self.busy.as_nanos() * 1000 / total.as_nanos()) as u64;
+        let old = load.busy_permille.load(Ordering::Relaxed);
+        load.busy_permille
+            .store((old * 3 + inst) / 4, Ordering::Relaxed);
+        self.busy = Duration::ZERO;
+        self.idle = Duration::ZERO;
+    }
+}
+
+// ---- jobs -------------------------------------------------------------------
+
+type CommitResult = Result<(Vec<std::result::Result<(), String>>, Vec<FiringRecord>)>;
+type CommitReply = Sender<CommitResult>;
+
 /// One unit of work for a shard worker. Replies are rendezvous channels;
 /// a dropped reply receiver just discards the answer.
 enum Job {
@@ -113,16 +276,14 @@ enum Job {
     Commit {
         tenant: String,
         ops: Vec<LogicalOp>,
-        #[allow(clippy::type_complexity)]
-        reply: Sender<Result<(Vec<std::result::Result<(), String>>, Vec<FiringRecord>)>>,
+        reply: CommitReply,
     },
     /// Group commit: `ops` become one WAL record / one fsync / one
     /// evaluation slice (see `ActiveDatabase::commit_batch`).
     CommitBatch {
         tenant: String,
         ops: Vec<LogicalOp>,
-        #[allow(clippy::type_complexity)]
-        reply: Sender<Result<(Vec<std::result::Result<(), String>>, Vec<FiringRecord>)>>,
+        reply: CommitReply,
     },
     Query {
         tenant: String,
@@ -149,6 +310,60 @@ enum Job {
         tenant: String,
         reply: Sender<Result<(ShardStats, u64)>>,
     },
+    /// A request arriving through the poller: the worker services it and
+    /// writes the response frame to the connection itself (no rendezvous,
+    /// the poller never blocks on the shard pool).
+    Net {
+        id: u64,
+        req: Request,
+        writer: SharedWriter,
+        t0: Option<Instant>,
+    },
+    /// Migration, step 1 (to the destination worker): buffer every job for
+    /// `tenant` until its shard arrives via `Install`.
+    Expect { tenant: String },
+    /// Migration, step 2 (to the source worker): remove the tenant and
+    /// ship it to `dest`.
+    Extract {
+        tenant: String,
+        dest: Sender<Envelope>,
+        dest_load: Arc<WorkerLoad>,
+    },
+    /// Migration, step 3 (back on the destination): install the shard and
+    /// drain the jobs buffered since `Expect`.
+    Install { transfer: Box<TenantTransfer> },
+}
+
+/// Everything that moves with a tenant during re-pinning.
+pub(crate) struct TenantTransfer {
+    name: String,
+    /// `None` only if the source worker no longer had the shard (a bug
+    /// upstream); the destination then answers `NoSuchTenant` naturally.
+    tenant: Option<Tenant>,
+    subscribers: Vec<(u64, SharedWriter)>,
+    adaptive: Option<AdaptiveState>,
+}
+
+impl Job {
+    /// The tenant whose per-tenant order this job participates in — used
+    /// to buffer jobs during migration. Control jobs and `Create` (whose
+    /// route was fixed at reservation time) return `None`.
+    fn tenant(&self) -> Option<&str> {
+        match self {
+            Job::Register { tenant, .. }
+            | Job::Commit { tenant, .. }
+            | Job::CommitBatch { tenant, .. }
+            | Job::Query { tenant, .. }
+            | Job::Snapshot { tenant, .. }
+            | Job::Firings { tenant, .. }
+            | Job::Subscribe { tenant, .. }
+            | Job::Stats { tenant, .. } => Some(tenant),
+            Job::Net { req, .. } => request_tenant(req),
+            Job::Create { .. } | Job::Expect { .. } | Job::Extract { .. } | Job::Install { .. } => {
+                None
+            }
+        }
+    }
 }
 
 impl std::fmt::Debug for Job {
@@ -163,10 +378,85 @@ impl std::fmt::Debug for Job {
             Job::Firings { .. } => "Firings",
             Job::Subscribe { .. } => "Subscribe",
             Job::Stats { .. } => "Stats",
+            Job::Net { .. } => "Net",
+            Job::Expect { .. } => "Expect",
+            Job::Extract { .. } => "Extract",
+            Job::Install { .. } => "Install",
         };
         write!(f, "Job::{kind}")
     }
 }
+
+/// Decrements a tenant's pending count when dropped — the router's "no
+/// queued or in-flight work" signal that gates re-pinning.
+struct PendingGuard(Arc<AtomicU64>);
+
+impl PendingGuard {
+    fn acquire(pending: &Arc<AtomicU64>) -> PendingGuard {
+        pending.fetch_add(1, Ordering::AcqRel);
+        PendingGuard(Arc::clone(pending))
+    }
+}
+
+impl Drop for PendingGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// What actually travels a worker queue: the job plus its tenant's pending
+/// guard (held until the worker finishes the job).
+struct Envelope {
+    job: Job,
+    _guard: Option<PendingGuard>,
+}
+
+/// Where a commit's answer goes: a rendezvous channel (in-process callers,
+/// thread-mode connections) or straight onto a poller connection.
+enum CommitSink {
+    Channel(CommitReply),
+    Net {
+        id: u64,
+        writer: SharedWriter,
+        t0: Option<Instant>,
+    },
+}
+
+impl CommitSink {
+    fn respond(self, metrics: &ServerMetrics, r: CommitResult) {
+        match self {
+            CommitSink::Channel(tx) => {
+                let _ = tx.send(r);
+            }
+            CommitSink::Net { id, writer, t0 } => {
+                let resp = r
+                    .map(|(outcomes, firings)| Response::Committed { outcomes, firings })
+                    .unwrap_or_else(error_response);
+                let ok = !matches!(resp, Response::Error { .. });
+                metrics.observe_request("commit", t0, ok);
+                send_response(&writer, id, &resp);
+            }
+        }
+    }
+}
+
+// ---- routing ----------------------------------------------------------------
+
+/// Where a tenant lives, plus the signals the rebalance planner needs.
+#[derive(Debug)]
+struct TenantRoute {
+    worker: usize,
+    /// Queued + in-flight jobs for this tenant (see [`PendingGuard`]).
+    pending: Arc<AtomicU64>,
+    /// `ms` (since runtime start) of the last job submitted.
+    last_active: AtomicU64,
+}
+
+/// Don't re-pin again within this long of the last move.
+const REBALANCE_COOLDOWN: Duration = Duration::from_millis(500);
+/// Busy thresholds (‰) for the hottest/coldest worker pair.
+const REBALANCE_HOT_PERMILLE: u64 = 600;
+const REBALANCE_COLD_PERMILLE: u64 = 200;
 
 /// The shard pool. Cheap to share (`Arc` it); [`Runtime::shutdown`]
 /// consumes the last owner, drains the queues, checkpoints durable tenants
@@ -174,13 +464,16 @@ impl std::fmt::Debug for Job {
 #[derive(Debug)]
 pub struct Runtime {
     cfg: ServerConfig,
-    queues: Vec<Sender<Job>>,
+    queues: Vec<Sender<Envelope>>,
     workers: Vec<JoinHandle<()>>,
-    /// tenant name → worker index. Entries are reserved before the Create
-    /// job runs (and rolled back on failure) so two racing creates of one
+    /// tenant name → route. Entries are reserved before the Create job
+    /// runs (and rolled back on failure) so two racing creates of one
     /// name serialize here, not on the worker.
-    route: Mutex<HashMap<String, usize>>,
+    route: Mutex<HashMap<String, TenantRoute>>,
     next_worker: AtomicUsize,
+    loads: Vec<Arc<WorkerLoad>>,
+    epoch: Instant,
+    last_repin: Mutex<Option<Instant>>,
     pub metrics: ServerMetrics,
 }
 
@@ -192,15 +485,19 @@ impl Runtime {
         let workers = cfg.workers.max(1);
         let mut queues = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
+        let mut loads = Vec::with_capacity(workers);
         for i in 0..workers {
-            let (tx, rx) = channel::<Job>();
+            let (tx, rx) = channel::<Envelope>();
+            let load = Arc::new(WorkerLoad::default());
             let wcfg = cfg.clone();
+            let wload = Arc::clone(&load);
             let handle = std::thread::Builder::new()
                 .name(format!("tdb-shard-{i}"))
-                .spawn(move || worker_loop(rx, wcfg))
+                .spawn(move || worker_loop(rx, wcfg, wload))
                 .map_err(|e| ServerError::Storage(format!("spawning worker: {e}")))?;
             queues.push(tx);
             handles.push(handle);
+            loads.push(load);
         }
         let rt = Runtime {
             cfg,
@@ -208,6 +505,9 @@ impl Runtime {
             workers: handles,
             route: Mutex::new(HashMap::new()),
             next_worker: AtomicUsize::new(0),
+            loads,
+            epoch: Instant::now(),
+            last_repin: Mutex::new(None),
             metrics: ServerMetrics::resolve(),
         };
         rt.reopen_existing()?;
@@ -237,6 +537,15 @@ impl Runtime {
         Ok(())
     }
 
+    /// The configuration the pool was started with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    fn now_ms(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
     /// Creates a tenant (or reopens a durable one — creation is idempotent
     /// against a directory left by a previous incarnation, which is how
     /// restart recovery works; a *live* duplicate name is a typed error).
@@ -248,7 +557,7 @@ impl Runtime {
                 message: "server started without --data-dir; durable tenants unavailable".into(),
             });
         }
-        let worker = {
+        let (worker, guard) = {
             // The routing table has no multi-step invariants (single
             // insert/remove per holder), so a poisoned lock — a panic on
             // some other connection thread — leaves it fully usable.
@@ -260,18 +569,31 @@ impl Runtime {
                 });
             }
             let w = self.next_worker.fetch_add(1, Ordering::Relaxed) % self.queues.len();
-            route.insert(name.to_string(), w);
-            w
+            let pending = Arc::new(AtomicU64::new(0));
+            let guard = PendingGuard::acquire(&pending);
+            route.insert(
+                name.to_string(),
+                TenantRoute {
+                    worker: w,
+                    pending,
+                    last_active: AtomicU64::new(self.now_ms()),
+                },
+            );
+            (w, guard)
         };
         let (tx, rx) = channel();
-        let sent = self.queues[worker].send(Job::Create {
-            name: name.to_string(),
-            durable,
-            reply: tx,
-        });
+        let sent = self.enqueue(
+            worker,
+            Job::Create {
+                name: name.to_string(),
+                durable,
+                reply: tx,
+            },
+            Some(guard),
+        );
         let result = match sent {
             Ok(()) => recv_reply(rx),
-            Err(_) => Err(internal("worker queue closed")),
+            Err(e) => Err(e),
         };
         if result.is_err() {
             self.route
@@ -297,11 +619,24 @@ impl Runtime {
         names
     }
 
+    fn enqueue(&self, worker: usize, job: Job, guard: Option<PendingGuard>) -> Result<()> {
+        self.loads[worker].depth.fetch_add(1, Ordering::AcqRel);
+        self.queues[worker]
+            .send(Envelope { job, _guard: guard })
+            .map_err(|_| {
+                self.loads[worker].depth.fetch_sub(1, Ordering::AcqRel);
+                internal("worker queue closed")
+            })
+    }
+
     fn send(&self, tenant: &str, job: Job) -> Result<()> {
-        let worker = {
+        let (worker, guard) = {
             let route = self.route.lock().unwrap_or_else(PoisonError::into_inner);
             match route.get(tenant) {
-                Some(&w) => w,
+                Some(r) => {
+                    r.last_active.store(self.now_ms(), Ordering::Relaxed);
+                    (r.worker, PendingGuard::acquire(&r.pending))
+                }
                 None => {
                     return Err(ServerError::Remote {
                         code: ErrorCode::NoSuchTenant,
@@ -310,9 +645,7 @@ impl Runtime {
                 }
             }
         };
-        self.queues[worker]
-            .send(job)
-            .map_err(|_| internal("worker queue closed"))
+        self.enqueue(worker, job, Some(guard))
     }
 
     pub fn register_rules(&self, tenant: &str, source: &str) -> Result<(Vec<String>, Vec<String>)> {
@@ -435,6 +768,196 @@ impl Runtime {
         recv_reply(rx)
     }
 
+    /// Routes one poller-decoded request. Cheap tenant-free requests are
+    /// answered inline (`Some`); tenant-scoped requests are dispatched as
+    /// [`Job::Net`] — the owning worker writes the response itself and the
+    /// poller never blocks on the shard pool (`None`).
+    pub fn submit_net(
+        &self,
+        id: u64,
+        req: Request,
+        writer: &SharedWriter,
+        t0: Option<Instant>,
+    ) -> Option<Response> {
+        match req {
+            Request::Hello { version } => Some(if version == PROTOCOL_VERSION {
+                Response::HelloOk {
+                    version: PROTOCOL_VERSION,
+                }
+            } else {
+                Response::Error {
+                    code: ErrorCode::Protocol,
+                    message: format!(
+                        "protocol version {version} not supported (server speaks {PROTOCOL_VERSION})"
+                    ),
+                }
+            }),
+            Request::ListTenants => Some(Response::Tenants {
+                names: self.tenants(),
+            }),
+            Request::Metrics { format } => {
+                let snap = global().snapshot();
+                let text = match format {
+                    MetricsFormat::Prometheus => snap.render_prometheus(),
+                    MetricsFormat::Json => snap.to_json(),
+                };
+                Some(Response::MetricsText { text })
+            }
+            Request::Shutdown => Some(Response::ShuttingDown),
+            Request::CreateTenant { name, durable } => Some(
+                self.create_tenant(&name, durable)
+                    .map(|()| Response::TenantCreated)
+                    .unwrap_or_else(error_response),
+            ),
+            other => {
+                let Some(tenant) = request_tenant(&other).map(String::from) else {
+                    return Some(error_response(internal("request is not worker-routable")));
+                };
+                match self.send(
+                    &tenant,
+                    Job::Net {
+                        id,
+                        req: other,
+                        writer: Arc::clone(writer),
+                        t0,
+                    },
+                ) {
+                    Ok(()) => None,
+                    Err(e) => Some(error_response(e)),
+                }
+            }
+        }
+    }
+
+    /// Per-worker load signals (planner, gauges, tests).
+    pub fn worker_loads(&self) -> &[Arc<WorkerLoad>] {
+        &self.loads
+    }
+
+    /// Publishes the `tdb_server_worker_*` gauges.
+    pub fn publish_worker_gauges(&self) {
+        let r = global();
+        for (i, load) in self.loads.iter().enumerate() {
+            let label = i.to_string();
+            let labels: &[(&str, &str)] = &[("worker", &label)];
+            r.gauge_with("tdb_server_worker_queue_depth", labels)
+                .set(load.queue_depth());
+            r.gauge_with("tdb_server_worker_busy_permille", labels)
+                .set(i64::try_from(load.busy_permille()).unwrap_or(i64::MAX));
+        }
+    }
+
+    /// Moves `tenant` to worker `to` at a safe boundary. Refuses (typed
+    /// error) while the tenant has queued or in-flight work — the caller
+    /// retries on a later tick. See `DESIGN.md` §15 for why the
+    /// `Expect`/`Extract`/`Install` handshake preserves per-tenant order.
+    pub fn repin(&self, tenant: &str, to: usize) -> Result<()> {
+        if to >= self.queues.len() {
+            return Err(internal("no such worker"));
+        }
+        let mut route = self.route.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(r) = route.get_mut(tenant) else {
+            return Err(ServerError::Remote {
+                code: ErrorCode::NoSuchTenant,
+                message: format!("no tenant `{tenant}`"),
+            });
+        };
+        if r.worker == to {
+            return Ok(());
+        }
+        if r.pending.load(Ordering::Acquire) != 0 {
+            return Err(internal(
+                "tenant has queued or in-flight work; re-pin refused",
+            ));
+        }
+        let from = r.worker;
+        // Order matters, and the route lock is held across all three
+        // steps: `Expect` reaches the destination queue before the route
+        // flips, so every job submitted after the flip queues behind it
+        // and gets buffered until `Install` delivers the shard. The source
+        // queue holds no job for this tenant (pending == 0), so `Extract`
+        // is its next and last touch there.
+        self.enqueue(
+            to,
+            Job::Expect {
+                tenant: tenant.to_string(),
+            },
+            None,
+        )?;
+        self.enqueue(
+            from,
+            Job::Extract {
+                tenant: tenant.to_string(),
+                dest: self.queues[to].clone(),
+                dest_load: Arc::clone(&self.loads[to]),
+            },
+            None,
+        )?;
+        r.worker = to;
+        self.metrics.repins.inc();
+        Ok(())
+    }
+
+    /// One planner tick: if the busiest worker is saturated and the
+    /// calmest one is idle, move the longest-idle tenant (no queued or
+    /// in-flight work) from hot to cold. Called periodically by the
+    /// connection layer; cheap when balanced.
+    pub fn maybe_rebalance(&self) {
+        if !self.cfg.rebalance || self.queues.len() < 2 {
+            return;
+        }
+        {
+            let last = self
+                .last_repin
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if let Some(t) = *last {
+                if t.elapsed() < REBALANCE_COOLDOWN {
+                    return;
+                }
+            }
+        }
+        let busy: Vec<u64> = self.loads.iter().map(|l| l.busy_permille()).collect();
+        let (mut hot, mut cold) = (0usize, 0usize);
+        for i in 1..busy.len() {
+            if busy[i] > busy[hot] {
+                hot = i;
+            }
+            if busy[i] < busy[cold] {
+                cold = i;
+            }
+        }
+        if hot == cold || busy[hot] < REBALANCE_HOT_PERMILLE || busy[cold] > REBALANCE_COLD_PERMILLE
+        {
+            return;
+        }
+        let victim = {
+            let route = self.route.lock().unwrap_or_else(PoisonError::into_inner);
+            let on_hot = route.values().filter(|r| r.worker == hot).count();
+            if on_hot < 2 {
+                // Moving the only tenant just relocates the hotspot.
+                return;
+            }
+            route
+                .iter()
+                .filter(|(_, r)| r.worker == hot && r.pending.load(Ordering::Acquire) == 0)
+                .min_by(|(an, ar), (bn, br)| {
+                    ar.last_active
+                        .load(Ordering::Relaxed)
+                        .cmp(&br.last_active.load(Ordering::Relaxed))
+                        .then_with(|| an.cmp(bn))
+                })
+                .map(|(name, _)| name.clone())
+        };
+        let Some(victim) = victim else { return };
+        if self.repin(&victim, cold).is_ok() {
+            *self
+                .last_repin
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) = Some(Instant::now());
+        }
+    }
+
     /// Drains every queue, checkpoints durable tenants, joins the workers.
     pub fn shutdown(self) {
         drop(self.queues);
@@ -473,6 +996,69 @@ fn validate_tenant_name(name: &str) -> Result<()> {
     }
 }
 
+/// The tenant a wire request addresses, if any.
+pub(crate) fn request_tenant(req: &Request) -> Option<&str> {
+    match req {
+        Request::RegisterRule { tenant, .. }
+        | Request::Commit { tenant, .. }
+        | Request::CommitBatch { tenant, .. }
+        | Request::Query { tenant, .. }
+        | Request::Snapshot { tenant }
+        | Request::Firings { tenant, .. }
+        | Request::SubscribeFirings { tenant }
+        | Request::TenantStats { tenant } => Some(tenant),
+        _ => None,
+    }
+}
+
+/// The per-kind label a request is observed under.
+pub(crate) fn request_kind(req: &Request) -> &'static str {
+    match req {
+        Request::Hello { .. } => "hello",
+        Request::CreateTenant { .. } => "create_tenant",
+        Request::ListTenants => "list_tenants",
+        Request::RegisterRule { .. } => "register_rule",
+        Request::Commit { .. } => "commit",
+        Request::CommitBatch { .. } => "commit_batch",
+        Request::Query { .. } => "query",
+        Request::Snapshot { .. } => "snapshot",
+        Request::Firings { .. } => "firings",
+        Request::SubscribeFirings { .. } => "subscribe",
+        Request::TenantStats { .. } => "tenant_stats",
+        Request::Metrics { .. } => "metrics",
+        Request::Shutdown => "shutdown",
+    }
+}
+
+/// Maps a [`ServerError`] onto the wire's error vocabulary.
+pub(crate) fn error_response(e: ServerError) -> Response {
+    let (code, message) = match e {
+        ServerError::Remote { code, message } => (code, message),
+        ServerError::Protocol(p) => (ErrorCode::Protocol, p.to_string()),
+        ServerError::Core(c) => {
+            let code = match &c {
+                tdb_core::CoreError::LintDenied { .. } => ErrorCode::Lint,
+                tdb_core::CoreError::Storage(_) => ErrorCode::Storage,
+                _ => ErrorCode::Internal,
+            };
+            (code, c.to_string())
+        }
+        ServerError::Storage(m) => (ErrorCode::Storage, m),
+        ServerError::Invalid(m) => (ErrorCode::Protocol, m),
+    };
+    Response::Error { code, message }
+}
+
+/// Writes one response frame under the connection's writer lock.
+pub(crate) fn send_response(writer: &SharedWriter, id: u64, resp: &Response) -> bool {
+    let payload = encode_response(id, resp);
+    let mut w = match writer.lock() {
+        Ok(w) => w,
+        Err(_) => return false,
+    };
+    write_frame(&mut *w, &payload).is_ok() && w.flush().is_ok()
+}
+
 // ---- worker -----------------------------------------------------------------
 
 struct WorkerState {
@@ -480,34 +1066,92 @@ struct WorkerState {
     tenants: HashMap<String, Tenant>,
     /// Per-tenant firing subscribers: (subscription request id, writer).
     subscribers: HashMap<String, Vec<(u64, SharedWriter)>>,
+    /// Per-tenant adaptive-coalescing observations.
+    adaptive: HashMap<String, AdaptiveState>,
+    /// Tenants migrating *to* this worker: jobs buffered until `Install`.
+    expected: HashMap<String, Vec<Envelope>>,
+    load: Arc<WorkerLoad>,
     metrics: ServerMetrics,
 }
 
-fn worker_loop(rx: Receiver<Job>, cfg: ServerConfig) {
-    let window_us = cfg.coalesce_window_us;
+fn worker_loop(rx: Receiver<Envelope>, cfg: ServerConfig, load: Arc<WorkerLoad>) {
+    let fixed_us = cfg.coalesce_window_us;
+    let adaptive = fixed_us == 0 && cfg.adaptive_coalesce;
     let mut st = WorkerState {
         cfg,
         tenants: HashMap::new(),
         subscribers: HashMap::new(),
+        adaptive: HashMap::new(),
+        expected: HashMap::new(),
+        load: Arc::clone(&load),
         metrics: ServerMetrics::resolve(),
     };
-    // When coalescing, a non-matching job dequeued while a group was open
-    // carries over to the next iteration instead of being dropped.
-    let mut carry: Option<Job> = None;
+    // When coalescing, a non-matching envelope dequeued while a group was
+    // open carries over to the next iteration instead of being dropped.
+    let mut carry: Option<Envelope> = None;
+    let mut meter = BusyMeter::default();
     loop {
-        let job = match carry.take() {
-            Some(j) => j,
-            None => match rx.recv() {
-                Ok(j) => j,
-                Err(_) => break,
-            },
+        let env = match carry.take() {
+            Some(e) => e,
+            None => {
+                let t_wait = Instant::now();
+                // A bounded wait keeps the busy EWMA fresh even while the
+                // worker sits idle (the planner must see it as cold).
+                match rx.recv_timeout(Duration::from_millis(100)) {
+                    Ok(e) => {
+                        load.depth.fetch_sub(1, Ordering::AcqRel);
+                        meter.idle += t_wait.elapsed();
+                        e
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        meter.idle += t_wait.elapsed();
+                        meter.flush(&load);
+                        continue;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
         };
+        // Jobs for a tenant whose shard has not arrived yet wait in the
+        // buffer; `Install` drains them in arrival order.
+        if let Some(t) = env.job.tenant() {
+            if let Some(buf) = st.expected.get_mut(t) {
+                buf.push(env);
+                continue;
+            }
+        }
+        let t_busy = Instant::now();
+        let Envelope { job, _guard } = env;
         match job {
-            Job::Commit { tenant, ops, reply } if window_us > 0 => {
-                carry = st.coalesced_commit(&rx, window_us, tenant, ops, reply);
+            Job::Commit { tenant, ops, reply } => {
+                let window = st.commit_window_us(&tenant, fixed_us, adaptive);
+                if window > 0 {
+                    carry =
+                        st.coalesced_commit(&rx, window, tenant, ops, CommitSink::Channel(reply));
+                } else {
+                    let r = st.commit(&tenant, &ops);
+                    let _ = reply.send(r);
+                }
+            }
+            Job::Net {
+                id,
+                req: Request::Commit { tenant, ops },
+                writer,
+                t0,
+            } => {
+                let window = st.commit_window_us(&tenant, fixed_us, adaptive);
+                let sink = CommitSink::Net { id, writer, t0 };
+                if window > 0 {
+                    carry = st.coalesced_commit(&rx, window, tenant, ops, sink);
+                } else {
+                    let r = st.commit(&tenant, &ops);
+                    sink.respond(&st.metrics.clone(), r);
+                }
             }
             other => st.handle(other),
         }
+        meter.busy += t_busy.elapsed();
+        meter.flush_if_due(&load);
     }
     // Queue closed: graceful shutdown. Checkpoint durable tenants so the
     // next start recovers from a fresh snapshot instead of a long replay.
@@ -526,6 +1170,28 @@ impl WorkerState {
                 code: ErrorCode::NoSuchTenant,
                 message: format!("no tenant `{name}`"),
             })
+    }
+
+    /// How long this commit should linger collecting followers: a fixed
+    /// window if configured, else the tenant's adaptive window — but only
+    /// while other work is queued (an empty queue means a window is pure
+    /// added latency for a serial client).
+    fn commit_window_us(&mut self, tenant: &str, fixed_us: u64, adaptive: bool) -> u64 {
+        if fixed_us > 0 {
+            return fixed_us;
+        }
+        if !adaptive || self.load.queue_depth() <= 0 {
+            return 0;
+        }
+        let Some(t) = self.tenants.get(tenant) else {
+            return 0;
+        };
+        let cert = t.batch_certificate();
+        self.adaptive
+            .get(tenant)
+            .cloned()
+            .unwrap_or_default()
+            .window_us(&cert)
     }
 
     fn handle(&mut self, job: Job) {
@@ -568,10 +1234,7 @@ impl WorkerState {
                 let _ = reply.send(r);
             }
             Job::Snapshot { tenant, reply } => {
-                let r = self.tenant_mut(&tenant).and_then(|t| {
-                    let snap = t.shard().adb().snapshot().map_err(ServerError::Core)?;
-                    Ok(encode_snapshot(&snap))
-                });
+                let r = self.snapshot(&tenant);
                 let _ = reply.send(r);
             }
             Job::Firings {
@@ -600,17 +1263,155 @@ impl WorkerState {
                 let _ = reply.send(r);
             }
             Job::Stats { tenant, reply } => {
-                let r = self.tenant_mut(&tenant).map(|t| {
-                    let stats = t.stats();
-                    let wal = t.wal_bytes();
-                    (stats, wal)
-                });
-                if let Ok((stats, wal)) = &r {
-                    publish_tenant_gauges(&tenant, stats, *wal);
-                }
+                let r = self.stats(&tenant);
                 let _ = reply.send(r);
             }
+            Job::Net {
+                id,
+                req,
+                writer,
+                t0,
+            } => self.service_net(id, req, writer, t0),
+            Job::Expect { tenant } => {
+                self.expected.entry(tenant).or_default();
+            }
+            Job::Extract {
+                tenant,
+                dest,
+                dest_load,
+            } => {
+                let transfer = TenantTransfer {
+                    name: tenant.clone(),
+                    tenant: self.tenants.remove(&tenant),
+                    subscribers: self.subscribers.remove(&tenant).unwrap_or_default(),
+                    adaptive: self.adaptive.remove(&tenant),
+                };
+                dest_load.depth.fetch_add(1, Ordering::AcqRel);
+                if dest
+                    .send(Envelope {
+                        job: Job::Install {
+                            transfer: Box::new(transfer),
+                        },
+                        _guard: None,
+                    })
+                    .is_err()
+                {
+                    dest_load.depth.fetch_sub(1, Ordering::AcqRel);
+                }
+            }
+            Job::Install { transfer } => {
+                let TenantTransfer {
+                    name,
+                    tenant,
+                    subscribers,
+                    adaptive,
+                } = *transfer;
+                if let Some(t) = tenant {
+                    self.tenants.insert(name.clone(), t);
+                }
+                if !subscribers.is_empty() {
+                    self.subscribers.insert(name.clone(), subscribers);
+                }
+                if let Some(a) = adaptive {
+                    self.adaptive.insert(name.clone(), a);
+                }
+                if let Some(buffered) = self.expected.remove(&name) {
+                    for env in buffered {
+                        let Envelope { job, _guard } = env;
+                        // Buffered jobs replay in arrival order; no
+                        // coalescing inside the drain (it is short).
+                        self.handle(job);
+                    }
+                }
+            }
         }
+    }
+
+    /// Services a poller-dispatched request and writes the response frame.
+    fn service_net(&mut self, id: u64, req: Request, writer: SharedWriter, t0: Option<Instant>) {
+        let kind = request_kind(&req);
+        let r: Result<Response> = match req {
+            Request::RegisterRule { tenant, source } => self
+                .tenant_mut(&tenant)
+                .and_then(|t| t.register_rules(&source))
+                .map(|(registered, findings)| Response::RulesRegistered {
+                    registered,
+                    findings,
+                }),
+            Request::Commit { tenant, ops } => self
+                .commit(&tenant, &ops)
+                .map(|(outcomes, firings)| Response::Committed { outcomes, firings }),
+            Request::CommitBatch { tenant, ops } => self
+                .commit_batch(&tenant, &ops)
+                .map(|(outcomes, firings)| Response::Committed { outcomes, firings }),
+            Request::Query {
+                tenant,
+                text,
+                params,
+            } => self
+                .tenant_mut(&tenant)
+                .and_then(|t| t.query(&text, &params))
+                .map(|relation| Response::Rows { relation }),
+            Request::Snapshot { tenant } => self
+                .snapshot(&tenant)
+                .map(|bytes| Response::SnapshotData { bytes }),
+            Request::Firings { tenant, from } => self
+                .tenant_mut(&tenant)
+                .map(|t| {
+                    t.shard()
+                        .firings_from(usize::try_from(from).unwrap_or(usize::MAX))
+                })
+                .map(|records| Response::FiringsList { from, records }),
+            Request::SubscribeFirings { tenant } => {
+                let r = self.tenant_mut(&tenant).map(|_| ());
+                if r.is_ok() {
+                    self.subscribers
+                        .entry(tenant)
+                        .or_default()
+                        .push((id, Arc::clone(&writer)));
+                    self.metrics.subscriptions.add(1);
+                }
+                r.map(|()| Response::Subscribed)
+            }
+            Request::TenantStats { tenant } => {
+                self.stats(&tenant).map(|(s, wal_bytes)| Response::Stats {
+                    states: s.states as u64,
+                    rules: s.rules as u64,
+                    firings: s.firings as u64,
+                    retained: s.retained as u64,
+                    now: s.now,
+                    wal_bytes,
+                    batch_safety: s.batch_safety.gauge_value(),
+                })
+            }
+            other => Err(internal(&format!(
+                "request `{}` is not worker-routable",
+                request_kind(&other)
+            ))),
+        };
+        let resp = r.unwrap_or_else(error_response);
+        let ok = !matches!(resp, Response::Error { .. });
+        self.metrics.observe_request(kind, t0, ok);
+        send_response(&writer, id, &resp);
+    }
+
+    fn snapshot(&mut self, tenant: &str) -> Result<Vec<u8>> {
+        self.tenant_mut(tenant).and_then(|t| {
+            let snap = t.shard().adb().snapshot().map_err(ServerError::Core)?;
+            Ok(encode_snapshot(&snap))
+        })
+    }
+
+    fn stats(&mut self, tenant: &str) -> Result<(ShardStats, u64)> {
+        let r = self.tenant_mut(tenant).map(|t| {
+            let stats = t.stats();
+            let wal = t.wal_bytes();
+            (stats, wal)
+        });
+        if let Ok((stats, wal)) = &r {
+            publish_tenant_gauges(tenant, stats, *wal);
+        }
+        r
     }
 
     fn create(&mut self, name: &str, durable: bool) -> Result<()> {
@@ -629,12 +1430,28 @@ impl WorkerState {
         Ok(())
     }
 
+    /// Folds one group apply's duration and fence count into the tenant's
+    /// adaptive state.
+    fn observe_apply(&mut self, tenant: &str, ops: usize, dt: Duration) {
+        let fences = self
+            .tenants
+            .get(tenant)
+            .map(|t| t.shard().adb().batch_fence_drains())
+            .unwrap_or(0);
+        let dt_ns = u64::try_from(dt.as_nanos()).unwrap_or(u64::MAX);
+        self.adaptive
+            .entry(tenant.to_string())
+            .or_default()
+            .observe(ops as u64, dt_ns, fences);
+    }
+
     #[allow(clippy::type_complexity)]
     fn commit(
         &mut self,
         tenant: &str,
         ops: &[LogicalOp],
     ) -> Result<(Vec<std::result::Result<(), String>>, Vec<FiringRecord>)> {
+        let t0 = Instant::now();
         let t = self.tenant_mut(tenant)?;
         let mut outcomes = Vec::with_capacity(ops.len());
         let mut firings = Vec::new();
@@ -646,6 +1463,7 @@ impl WorkerState {
         let stats = t.stats();
         let wal = t.wal_bytes();
         publish_tenant_gauges(tenant, &stats, wal);
+        self.observe_apply(tenant, ops.len(), t0.elapsed());
         if !firings.is_empty() {
             self.push_firings(tenant, &firings);
         }
@@ -660,6 +1478,7 @@ impl WorkerState {
         tenant: &str,
         ops: &[LogicalOp],
     ) -> Result<(Vec<std::result::Result<(), String>>, Vec<FiringRecord>)> {
+        let t0 = Instant::now();
         let t = self.tenant_mut(tenant)?;
         let outs = t.apply_batch(ops)?;
         let mut outcomes = Vec::with_capacity(outs.len());
@@ -671,18 +1490,19 @@ impl WorkerState {
         let stats = t.stats();
         let wal = t.wal_bytes();
         publish_tenant_gauges(tenant, &stats, wal);
+        self.observe_apply(tenant, ops.len(), t0.elapsed());
         if !firings.is_empty() {
             self.push_firings(tenant, &firings);
         }
         Ok((outcomes, firings))
     }
 
-    /// Time-window coalescer: starting from one dequeued `Commit`, keeps
+    /// Time-window coalescer: starting from one dequeued commit, keeps
     /// draining *consecutive commits for the same tenant* from the worker
     /// queue for up to `window_us`, applies them as one group commit, and
     /// answers each original request with its own slice of the outcomes and
-    /// firings. The first non-matching job closes the group and is returned
-    /// to the worker loop as carry-over.
+    /// firings. The first non-matching envelope closes the group and is
+    /// returned to the worker loop as carry-over.
     ///
     /// The coalescer consults the tenant's batch-safety certificate first:
     /// a `CascadeRequired` rule set gains nothing from a wider evaluation
@@ -690,53 +1510,79 @@ impl WorkerState {
     /// state-producing op anyway), so the window is skipped and the commit
     /// applies immediately instead of buying only fsync amortization with
     /// added latency. `Exact` and `Stratified` tenants coalesce normally.
-    #[allow(clippy::type_complexity)]
     fn coalesced_commit(
         &mut self,
-        rx: &Receiver<Job>,
+        rx: &Receiver<Envelope>,
         window_us: u64,
         tenant: String,
         ops: Vec<LogicalOp>,
-        reply: Sender<Result<(Vec<std::result::Result<(), String>>, Vec<FiringRecord>)>>,
-    ) -> Option<Job> {
-        type CommitReply =
-            Sender<Result<(Vec<std::result::Result<(), String>>, Vec<FiringRecord>)>>;
+        sink: CommitSink,
+    ) -> Option<Envelope> {
         let mut all_ops = ops;
-        let mut group: Vec<(usize, CommitReply)> = vec![(all_ops.len(), reply)];
+        let mut group: Vec<(usize, CommitSink)> = vec![(all_ops.len(), sink)];
+        // Members' pending guards stay alive until their replies are sent,
+        // so the router keeps seeing the tenant as busy.
+        let mut guards: Vec<Option<PendingGuard>> = Vec::new();
         let mut carry = None;
         let coalescable = !matches!(
             self.tenants.get(&tenant).map(|t| t.batch_certificate()),
             Some(BatchCertificate::CascadeRequired)
         );
-        let deadline = std::time::Instant::now() + std::time::Duration::from_micros(window_us);
+        let deadline = Instant::now() + Duration::from_micros(window_us);
         if coalescable {
             loop {
-                let left = deadline.saturating_duration_since(std::time::Instant::now());
+                let left = deadline.saturating_duration_since(Instant::now());
                 if left.is_zero() {
                     break;
                 }
                 match rx.recv_timeout(left) {
-                    Ok(Job::Commit {
-                        tenant: t2,
-                        ops,
-                        reply,
-                    }) if t2 == tenant => {
-                        group.push((ops.len(), reply));
-                        all_ops.extend(ops);
-                    }
-                    Ok(other) => {
-                        carry = Some(other);
-                        break;
+                    Ok(env) => {
+                        self.load.depth.fetch_sub(1, Ordering::AcqRel);
+                        if let Some(t) = env.job.tenant() {
+                            if let Some(buf) = self.expected.get_mut(t) {
+                                buf.push(env);
+                                continue;
+                            }
+                        }
+                        let Envelope { job, _guard } = env;
+                        match job {
+                            Job::Commit {
+                                tenant: t2,
+                                ops,
+                                reply,
+                            } if t2 == tenant => {
+                                group.push((ops.len(), CommitSink::Channel(reply)));
+                                all_ops.extend(ops);
+                                guards.push(_guard);
+                            }
+                            Job::Net {
+                                id,
+                                req: Request::Commit { tenant: t2, ops },
+                                writer,
+                                t0,
+                            } if t2 == tenant => {
+                                group.push((ops.len(), CommitSink::Net { id, writer, t0 }));
+                                all_ops.extend(ops);
+                                guards.push(_guard);
+                            }
+                            other => {
+                                carry = Some(Envelope { job: other, _guard });
+                                break;
+                            }
+                        }
                     }
                     Err(_) => break,
                 }
             }
         }
+        let t0 = Instant::now();
         match self.apply_grouped(&tenant, &all_ops) {
             Ok(outs) => {
+                self.observe_apply(&tenant, all_ops.len(), t0.elapsed());
                 let mut firings = Vec::new();
                 let mut iter = outs.into_iter();
-                for (n, reply) in group {
+                let metrics = self.metrics.clone();
+                for (n, sink) in group {
                     let mut outcomes = Vec::with_capacity(n);
                     let mut job_firings = Vec::new();
                     for out in iter.by_ref().take(n) {
@@ -744,7 +1590,7 @@ impl WorkerState {
                         job_firings.extend(out.firings);
                     }
                     firings.extend_from_slice(&job_firings);
-                    let _ = reply.send(Ok((outcomes, job_firings)));
+                    sink.respond(&metrics, Ok((outcomes, job_firings)));
                 }
                 // `apply_grouped` just succeeded, so the tenant exists; the
                 // lookup stays fallible to keep this path panic-free.
@@ -763,14 +1609,19 @@ impl WorkerState {
                     ServerError::Remote { code, message } => (code, message),
                     other => (ErrorCode::Internal, other.to_string()),
                 };
-                for (_, reply) in group {
-                    let _ = reply.send(Err(ServerError::Remote {
-                        code,
-                        message: message.clone(),
-                    }));
+                let metrics = self.metrics.clone();
+                for (_, sink) in group {
+                    sink.respond(
+                        &metrics,
+                        Err(ServerError::Remote {
+                            code,
+                            message: message.clone(),
+                        }),
+                    );
                 }
             }
         }
+        drop(guards);
         carry
     }
 
@@ -805,6 +1656,7 @@ impl WorkerState {
                 }
                 metrics.firings_streamed.inc();
             }
+            let _ = w.flush();
             true
         });
     }
@@ -837,6 +1689,18 @@ mod tests {
         assert!(outcomes.iter().all(|o| o.is_ok()));
     }
 
+    fn bump(v: i64) -> Vec<LogicalOp> {
+        vec![
+            LogicalOp::AdvanceClock { delta: 1 },
+            LogicalOp::Update {
+                ops: vec![WriteOp::SetItem {
+                    item: "n".into(),
+                    value: Value::Int(v),
+                }],
+            },
+        ]
+    }
+
     #[test]
     fn tenants_route_and_serialize_independently() {
         let rt = Runtime::start(ServerConfig {
@@ -858,17 +1722,6 @@ mod tests {
             }
         ));
 
-        let bump = |v: i64| {
-            vec![
-                LogicalOp::AdvanceClock { delta: 1 },
-                LogicalOp::Update {
-                    ops: vec![WriteOp::SetItem {
-                        item: "n".into(),
-                        value: Value::Int(v),
-                    }],
-                },
-            ]
-        };
         let (_, firings_a) = rt.commit("a", bump(7)).unwrap();
         assert_eq!(firings_a.len(), 1);
         let (_, firings_b) = rt.commit("b", bump(3)).unwrap();
@@ -954,19 +1807,7 @@ mod tests {
         }
         rt.subscribe("t", 99, Arc::new(Mutex::new(VecWriter(buf.clone()))))
             .unwrap();
-        rt.commit(
-            "t",
-            vec![
-                LogicalOp::AdvanceClock { delta: 1 },
-                LogicalOp::Update {
-                    ops: vec![WriteOp::SetItem {
-                        item: "n".into(),
-                        value: Value::Int(9),
-                    }],
-                },
-            ],
-        )
-        .unwrap();
+        rt.commit("t", bump(9)).unwrap();
         let bytes = buf.lock().unwrap().clone();
         let payload = crate::wire::read_frame(&mut &bytes[..]).unwrap();
         let (id, resp) = crate::wire::decode_response(&payload).unwrap();
@@ -975,6 +1816,207 @@ mod tests {
             Response::Firing { record } => assert_eq!(record.rule, "watch"),
             other => panic!("expected firing frame, got {other:?}"),
         }
+        rt.shutdown();
+    }
+
+    /// Re-pinning a tenant across workers preserves results, firing order,
+    /// and live subscriptions (the shard, its subscribers and its adaptive
+    /// state all move together).
+    #[test]
+    fn repin_preserves_order_and_subscriptions() {
+        let rt = Runtime::start(ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        seed(&rt, "mv");
+        rt.register_rules("mv", "rule watch { when n() >= 5; then notify; }")
+            .unwrap();
+        // Firings are edge-triggered, so each commit drops n below the
+        // threshold and then crosses it again: exactly one firing each.
+        let toggle = |v: i64| {
+            vec![
+                LogicalOp::AdvanceClock { delta: 1 },
+                LogicalOp::Update {
+                    ops: vec![WriteOp::SetItem {
+                        item: "n".into(),
+                        value: Value::Int(-1),
+                    }],
+                },
+                LogicalOp::Update {
+                    ops: vec![WriteOp::SetItem {
+                        item: "n".into(),
+                        value: Value::Int(v),
+                    }],
+                },
+            ]
+        };
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        #[derive(Debug)]
+        struct VecWriter(Arc<Mutex<Vec<u8>>>);
+        impl Write for VecWriter {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        rt.subscribe("mv", 7, Arc::new(Mutex::new(VecWriter(buf.clone()))))
+            .unwrap();
+
+        // A reply races the worker's pending-guard drop by a few µs, so an
+        // immediate re-pin can be (correctly) refused; the planner would
+        // just retry next tick. Spin like the planner does.
+        let repin = |tenant: &str, to: usize| {
+            for _ in 0..1000 {
+                match rt.repin(tenant, to) {
+                    Ok(()) => return,
+                    Err(_) => std::thread::sleep(Duration::from_millis(1)),
+                }
+            }
+            panic!("re-pin of `{tenant}` to worker {to} never became safe");
+        };
+
+        let before = rt.metrics.repins.get();
+        // Bounce the tenant between both workers, committing in between:
+        // every commit must land on exactly one owner, in order.
+        for (i, dst) in [(1usize, 1usize), (2, 0), (3, 1), (4, 0)] {
+            repin("mv", dst);
+            let (outcomes, firings) = rt.commit("mv", toggle(i as i64 * 10)).unwrap();
+            assert!(outcomes.iter().all(|o| o.is_ok()), "after repin to {dst}");
+            assert_eq!(firings.len(), 1);
+        }
+        assert_eq!(rt.metrics.repins.get(), before + 4);
+        assert_eq!(
+            rt.query("mv", "item n", vec![]).unwrap(),
+            Relation::scalar(Value::Int(40))
+        );
+        let all = rt.firings("mv", 0).unwrap();
+        assert_eq!(all.len(), 4, "one firing per post-repin commit");
+        let times: Vec<_> = all.iter().map(|f| f.time).collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted, "per-tenant firing order survived moves");
+
+        // The subscriber moved with the shard: 4 pushed frames, in order.
+        let bytes = buf.lock().unwrap().clone();
+        let mut rd: &[u8] = &bytes;
+        let mut pushed = Vec::new();
+        while let Ok(payload) = crate::wire::read_frame(&mut rd) {
+            let (id, resp) = crate::wire::decode_response(&payload).unwrap();
+            assert_eq!(id, 7);
+            match resp {
+                Response::Firing { record } => pushed.push(record),
+                other => panic!("expected firing, got {other:?}"),
+            }
+        }
+        assert_eq!(pushed, all, "pushed stream matches the firing log");
+
+        // Busy tenants refuse to move: simulate in-flight work.
+        {
+            let route = rt.route.lock().unwrap();
+            route
+                .get("mv")
+                .unwrap()
+                .pending
+                .fetch_add(1, Ordering::SeqCst);
+        }
+        assert!(rt.repin("mv", 1).is_err());
+        {
+            let route = rt.route.lock().unwrap();
+            route
+                .get("mv")
+                .unwrap()
+                .pending
+                .fetch_sub(1, Ordering::SeqCst);
+        }
+        rt.shutdown();
+    }
+
+    /// The adaptive window follows the certificate: cascade-required
+    /// tenants never open one, stratified tenants discount by fence rate,
+    /// exact tenants track the observed apply latency.
+    #[test]
+    fn adaptive_window_respects_certificate_and_latency() {
+        let mut a = AdaptiveState::default();
+        assert_eq!(
+            a.window_us(&BatchCertificate::Exact),
+            ADAPTIVE_BOOTSTRAP_US,
+            "bootstrap before any observation"
+        );
+        assert_eq!(a.window_us(&BatchCertificate::CascadeRequired), 0);
+
+        // Observe ~2ms applies with no fences: window tracks latency.
+        for _ in 0..8 {
+            a.observe(10, 2_000_000, 0);
+        }
+        let w = a.window_us(&BatchCertificate::Exact);
+        assert!((1_000..=3_000).contains(&w), "window {w}µs tracks ~2ms");
+
+        // Every op fences: a stratified tenant's window collapses.
+        let mut fences = 0;
+        for _ in 0..8 {
+            fences += 10;
+            a.observe(10, 2_000_000, fences);
+        }
+        let w = a.window_us(&BatchCertificate::Stratified { strata: 2 });
+        assert!(
+            w < 300,
+            "fence-saturated stratified window should collapse, got {w}µs"
+        );
+        // Latency is capped so a pathological fsync can't freeze a worker.
+        let mut b = AdaptiveState::default();
+        b.observe(1, u64::MAX / 2, 0);
+        assert!(b.window_us(&BatchCertificate::Exact) <= ADAPTIVE_MAX_WINDOW_US);
+        rt_smoke_for_net_jobs();
+    }
+
+    /// `submit_net` services tenant-free requests inline and routes
+    /// tenant-scoped ones to workers that answer on the wire.
+    fn rt_smoke_for_net_jobs() {
+        let rt = Runtime::start(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        seed(&rt, "net");
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        #[derive(Debug)]
+        struct VecWriter(Arc<Mutex<Vec<u8>>>);
+        impl Write for VecWriter {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let writer: SharedWriter = Arc::new(Mutex::new(VecWriter(buf.clone())));
+        assert!(matches!(
+            rt.submit_net(1, Request::ListTenants, &writer, None),
+            Some(Response::Tenants { .. })
+        ));
+        // A tenant-scoped request is answered by the worker on the writer.
+        let r = rt.submit_net(
+            2,
+            Request::Commit {
+                tenant: "net".into(),
+                ops: bump(5),
+            },
+            &writer,
+            None,
+        );
+        assert!(r.is_none(), "worker owns the response");
+        // Rendezvous behind it to make sure the Net job was serviced.
+        let _ = rt.stats("net").unwrap();
+        let bytes = buf.lock().unwrap().clone();
+        let payload = crate::wire::read_frame(&mut &bytes[..]).unwrap();
+        let (id, resp) = crate::wire::decode_response(&payload).unwrap();
+        assert_eq!(id, 2);
+        assert!(matches!(resp, Response::Committed { .. }), "{resp:?}");
         rt.shutdown();
     }
 }

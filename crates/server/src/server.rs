@@ -1,12 +1,23 @@
-//! TCP front end: accept loop, per-connection request/response threads,
-//! and the in-process [`ServerHandle`] used by the daemon binary, the
-//! tests and the E17 harness.
+//! TCP front end, in two interchangeable shapes (`ServerConfig::conn_mode`):
 //!
-//! Threading: one acceptor thread (non-blocking accept + shutdown flag),
-//! one thread per live connection, and the shard pool underneath
-//! ([`Runtime`]). A connection's writes — its own responses and any
-//! subscription frames pushed by shard workers — serialize on the shared
-//! writer mutex; reads stay unlocked on the connection thread.
+//! **Poll** (the default): one poller thread owns every client socket.
+//! `poll(2)` reports readiness; reads are nonblocking and reassembled into
+//! per-connection frame buffers ([`crate::wire::FrameAssembler`]); complete
+//! requests dispatch to the shard pool as `Job::Net` and the owning worker
+//! writes the response itself through the connection's outbound queue
+//! ([`crate::conn`]). The write side is backpressured: a worker's bytes
+//! land in a bounded per-connection buffer, the poller drains it as the
+//! socket accepts bytes (resuming partial writes), and a consumer that
+//! stops reading is disconnected at the hard limit instead of growing the
+//! heap. N idle subscribers cost N sockets and one thread, not N threads.
+//!
+//! **Thread**: the pre-poller baseline — one blocking thread per
+//! connection. Kept because it is the honest comparison point for E20 and
+//! occasionally useful for debugging with a thread-per-request view.
+//!
+//! Either way the shard pool underneath is identical, and the poller's
+//! periodic tick drives the load balancer ([`Runtime::maybe_rebalance`])
+//! and the `tdb_server_worker_*` gauges.
 //!
 //! Error discipline: semantic failures (`no such tenant`, lint denial, a
 //! constraint veto) travel as [`Response::Error`] and the connection
@@ -14,16 +25,22 @@
 //! payload) poison the byte stream — the server answers one final
 //! `Error { code: Protocol }` frame with id 0 and closes.
 
+use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use tdb_obs::global;
 
+use crate::conn::{Conn, ConnShared};
 use crate::metrics::request_timer;
-use crate::runtime::{Runtime, ServerConfig, SharedWriter};
+use crate::poll::{poll_fds, PollFd, WakePair, POLLIN, POLLOUT};
+use crate::runtime::{
+    error_response, request_kind, send_response, ConnMode, Runtime, ServerConfig, SharedWriter,
+};
 use crate::wire::{
     decode_request, encode_response, read_frame, write_frame, ErrorCode, MetricsFormat,
     ProtocolError, Request, Response, PROTOCOL_VERSION,
@@ -34,8 +51,12 @@ use crate::{Result, ServerError};
 #[derive(Debug)]
 pub struct Server;
 
-/// Live connections: the raw stream (for shutdown) + its thread handle.
+/// Live connections (thread mode only): the raw stream (for shutdown) +
+/// its thread handle. The poller owns its sockets directly.
 type ConnList = Arc<Mutex<Vec<(TcpStream, JoinHandle<()>)>>>;
+
+/// How often the front end ticks the load balancer and worker gauges.
+const TICK: Duration = Duration::from_millis(250);
 
 /// A running server: the bound address, the shard pool, and every live
 /// connection. Dropping the handle does NOT stop the server — call
@@ -56,6 +77,7 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let conn_mode = cfg.conn_mode;
         let runtime = Arc::new(Runtime::start(cfg)?);
         let stopping = Arc::new(AtomicBool::new(false));
         let conns: ConnList = Arc::new(Mutex::new(Vec::new()));
@@ -63,11 +85,18 @@ impl Server {
         let acceptor = {
             let runtime = Arc::clone(&runtime);
             let stopping = Arc::clone(&stopping);
-            let conns = Arc::clone(&conns);
-            std::thread::Builder::new()
-                .name("tdb-accept".into())
-                .spawn(move || accept_loop(listener, runtime, stopping, conns))
-                .map_err(|e| ServerError::Storage(format!("spawning acceptor: {e}")))?
+            match conn_mode {
+                ConnMode::Poll => std::thread::Builder::new()
+                    .name("tdb-poll".into())
+                    .spawn(move || poll_loop(listener, runtime, stopping)),
+                ConnMode::Thread => {
+                    let conns = Arc::clone(&conns);
+                    std::thread::Builder::new()
+                        .name("tdb-accept".into())
+                        .spawn(move || accept_loop(listener, runtime, stopping, conns))
+                }
+            }
+            .map_err(|e| ServerError::Storage(format!("spawning acceptor: {e}")))?
         };
 
         Ok(ServerHandle {
@@ -121,12 +150,192 @@ impl ServerHandle {
     }
 }
 
+// ---- poll mode --------------------------------------------------------------
+
+/// The readiness event loop: one thread, every socket.
+///
+/// Each iteration: build the poll set (listener + waker + one entry per
+/// connection, `POLLOUT` only while bytes are queued), `poll(2)`, accept a
+/// burst, read every readable socket dry and dispatch its complete frames,
+/// drain every outbound queue the socket will accept, then close whatever
+/// died. Workers wake the poller through the [`WakePair`] when they queue
+/// response or subscription bytes, so a sleeping poller never sits on
+/// finished work.
+fn poll_loop(listener: TcpListener, runtime: Arc<Runtime>, stopping: Arc<AtomicBool>) {
+    let Ok(mut wake) = WakePair::new() else {
+        stopping.store(true, Ordering::SeqCst);
+        return;
+    };
+    let cfg = runtime.config().clone();
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut fds: Vec<PollFd> = Vec::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut last_tick = Instant::now();
+    while !stopping.load(Ordering::SeqCst) {
+        fds.clear();
+        fds.push(PollFd::new(listener.as_raw_fd(), POLLIN));
+        fds.push(PollFd::new(wake.fd(), POLLIN));
+        for c in &conns {
+            let mut events = 0i16;
+            if !c.closing {
+                events |= POLLIN;
+            }
+            if c.shared.pending() > 0 {
+                events |= POLLOUT;
+            }
+            // Errors/hangups are reported regardless of `events`.
+            fds.push(PollFd::new(c.stream.as_raw_fd(), events));
+        }
+        if poll_fds(&mut fds, 100).is_err() {
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        }
+        wake.drain();
+
+        if fds[0].readable() {
+            while let Ok((stream, _)) = listener.accept() {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                runtime.metrics.connections_total.inc();
+                runtime.metrics.connections_open.add(1);
+                let shared = ConnShared::new(
+                    wake.waker(),
+                    cfg.outbuf_soft_limit,
+                    cfg.outbuf_hard_limit,
+                    runtime.metrics.conn_backpressure.clone(),
+                );
+                conns.push(Conn::new(stream, shared));
+            }
+        }
+
+        // Read + dispatch. Connections accepted this iteration have no
+        // poll entry yet; they are polled next time around (≤100ms away).
+        let polled = fds.len() - 2;
+        for (i, c) in conns.iter_mut().enumerate().take(polled) {
+            let r = fds[i + 2];
+            if r.broken() {
+                c.shared.kill();
+                continue;
+            }
+            if c.closing || !r.readable() {
+                continue;
+            }
+            loop {
+                match c.stream.read(&mut buf) {
+                    Ok(0) => {
+                        c.closing = true;
+                        break;
+                    }
+                    Ok(n) => c.asm.ingest(&buf[..n]),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        c.shared.kill();
+                        break;
+                    }
+                }
+            }
+            drain_frames(c, &runtime, &stopping);
+        }
+
+        // Write side: push queued bytes at every socket that has room.
+        for c in &mut conns {
+            if c.shared.pending() > 0 && c.shared.flush_to(&mut c.stream).is_err() {
+                c.shared.kill();
+            }
+        }
+
+        // Close pass: killed queues (socket death or slow-consumer
+        // overflow) go now; `closing` connections linger until their
+        // outbound queue drains, so a final error/shutdown frame gets out.
+        let open = &runtime.metrics.connections_open;
+        conns.retain_mut(|c| {
+            let done = c.shared.killed() || (c.closing && c.shared.pending() == 0);
+            if done {
+                open.add(-1);
+                c.shared.kill();
+                let _ = c.stream.shutdown(std::net::Shutdown::Both);
+            }
+            !done
+        });
+
+        if last_tick.elapsed() >= TICK {
+            last_tick = Instant::now();
+            runtime.maybe_rebalance();
+            runtime.publish_worker_gauges();
+        }
+    }
+    for c in conns {
+        runtime.metrics.connections_open.add(-1);
+        c.shared.kill();
+        let _ = c.stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// Decodes and dispatches every complete frame `c` has buffered. Cheap,
+/// tenant-free requests are answered inline by [`Runtime::submit_net`];
+/// tenant-scoped requests travel to the owning worker, which writes the
+/// response into the connection's outbound queue itself.
+fn drain_frames(c: &mut Conn, rt: &Runtime, stopping: &AtomicBool) {
+    loop {
+        enum Step {
+            Req(u64, Request),
+            Done,
+            Bad(ProtocolError),
+        }
+        let step = match c.asm.next_frame() {
+            Ok(Some(payload)) => match decode_request(payload) {
+                Ok((id, req)) => Step::Req(id, req),
+                Err(e) => Step::Bad(e),
+            },
+            Ok(None) => Step::Done,
+            Err(e) => Step::Bad(e),
+        };
+        match step {
+            Step::Done => return,
+            Step::Bad(e) => {
+                rt.metrics.frames_rejected.inc();
+                send_response(
+                    &c.writer,
+                    0,
+                    &Response::Error {
+                        code: ErrorCode::Protocol,
+                        message: e.to_string(),
+                    },
+                );
+                c.closing = true;
+                return;
+            }
+            Step::Req(id, req) => {
+                let kind = request_kind(&req);
+                let is_shutdown = matches!(req, Request::Shutdown);
+                let t0 = request_timer();
+                if let Some(resp) = rt.submit_net(id, req, &c.writer, t0) {
+                    let ok = !matches!(resp, Response::Error { .. });
+                    rt.metrics.observe_request(kind, t0, ok);
+                    send_response(&c.writer, id, &resp);
+                }
+                if is_shutdown {
+                    stopping.store(true, Ordering::SeqCst);
+                    c.closing = true;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+// ---- thread mode ------------------------------------------------------------
+
 fn accept_loop(
     listener: TcpListener,
     runtime: Arc<Runtime>,
     stopping: Arc<AtomicBool>,
     conns: ConnList,
 ) {
+    let mut last_tick = Instant::now();
     while !stopping.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
@@ -134,13 +343,15 @@ fn accept_loop(
                     continue;
                 };
                 runtime.metrics.connections_total.inc();
-                runtime.metrics.connections_open.add(1);
                 let rt = Arc::clone(&runtime);
                 let flag = Arc::clone(&stopping);
                 let spawned =
                     std::thread::Builder::new()
                         .name("tdb-conn".into())
                         .spawn(move || {
+                            // Balanced inside the thread so a failed spawn
+                            // can never leak an increment.
+                            rt.metrics.connections_open.add(1);
                             handle_connection(stream, &rt, &flag);
                             rt.metrics.connections_open.add(-1);
                         });
@@ -155,6 +366,11 @@ fn accept_loop(
                 std::thread::sleep(Duration::from_millis(5));
             }
             Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+        if last_tick.elapsed() >= TICK {
+            last_tick = Instant::now();
+            runtime.maybe_rebalance();
+            runtime.publish_worker_gauges();
         }
     }
 }
@@ -222,43 +438,6 @@ fn send(writer: &SharedWriter, id: u64, resp: &Response) -> bool {
         Err(_) => return false,
     };
     write_frame(&mut *w, &payload).is_ok() && w.flush().is_ok()
-}
-
-fn request_kind(req: &Request) -> &'static str {
-    match req {
-        Request::Hello { .. } => "hello",
-        Request::CreateTenant { .. } => "create_tenant",
-        Request::ListTenants => "list_tenants",
-        Request::RegisterRule { .. } => "register_rule",
-        Request::Commit { .. } => "commit",
-        Request::CommitBatch { .. } => "commit_batch",
-        Request::Query { .. } => "query",
-        Request::Snapshot { .. } => "snapshot",
-        Request::Firings { .. } => "firings",
-        Request::SubscribeFirings { .. } => "subscribe",
-        Request::TenantStats { .. } => "tenant_stats",
-        Request::Metrics { .. } => "metrics",
-        Request::Shutdown => "shutdown",
-    }
-}
-
-/// Maps a [`ServerError`] onto the wire's error vocabulary.
-fn error_response(e: ServerError) -> Response {
-    let (code, message) = match e {
-        ServerError::Remote { code, message } => (code, message),
-        ServerError::Protocol(p) => (ErrorCode::Protocol, p.to_string()),
-        ServerError::Core(c) => {
-            let code = match &c {
-                tdb_core::CoreError::LintDenied { .. } => ErrorCode::Lint,
-                tdb_core::CoreError::Storage(_) => ErrorCode::Storage,
-                _ => ErrorCode::Internal,
-            };
-            (code, c.to_string())
-        }
-        ServerError::Storage(m) => (ErrorCode::Storage, m),
-        ServerError::Invalid(m) => (ErrorCode::Protocol, m),
-    };
-    Response::Error { code, message }
 }
 
 fn service(rt: &Runtime, writer: &SharedWriter, id: u64, req: Request) -> Response {

@@ -242,6 +242,141 @@ pub enum Response {
 
 // ---- framing ----------------------------------------------------------------
 
+/// Capacity a read scratch starts at (and shrinks back to after a large
+/// frame inflated it past [`SCRATCH_EVICT`]).
+const SCRATCH_BASE: usize = 16 * 1024;
+
+/// Capacity threshold above which a fully drained scratch releases its
+/// allocation: one 64 MiB snapshot frame must not pin 64 MiB per
+/// connection forever.
+const SCRATCH_EVICT: usize = 1 << 20;
+
+/// A connection's reusable frame-read buffer. One frame read used to
+/// allocate a fresh payload `Vec`; a scratch is grow-only across frames
+/// (amortizing the allocation to zero on steady state) with an evict
+/// threshold so a single oversized frame does not pin its high-water mark.
+#[derive(Debug, Default)]
+pub struct FrameScratch {
+    buf: Vec<u8>,
+}
+
+impl FrameScratch {
+    pub fn new() -> FrameScratch {
+        FrameScratch {
+            buf: Vec::with_capacity(SCRATCH_BASE),
+        }
+    }
+
+    /// Current backing capacity (tests, metrics).
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    fn maybe_evict(&mut self) {
+        if self.buf.capacity() > SCRATCH_EVICT {
+            self.buf = Vec::with_capacity(SCRATCH_BASE);
+        }
+    }
+}
+
+/// Reads one frame's payload into `scratch`, verifying length cap and
+/// checksum. The returned slice borrows the scratch; the next call reuses
+/// the same allocation.
+pub fn read_frame_into<'a>(
+    r: &mut impl Read,
+    scratch: &'a mut FrameScratch,
+) -> std::result::Result<&'a [u8], ProtocolError> {
+    let mut head = [0u8; 8];
+    read_exact_or_close(r, &mut head, true)?;
+    let len = u32::from_le_bytes(tdb_storage::codec::first_n(&head[..4]));
+    let crc = u32::from_le_bytes(tdb_storage::codec::first_n(&head[4..]));
+    if len > MAX_FRAME {
+        return Err(ProtocolError::Oversized { len });
+    }
+    scratch.maybe_evict();
+    scratch.buf.clear();
+    scratch.buf.resize(len as usize, 0);
+    read_exact_or_close(r, &mut scratch.buf, false)?;
+    if crc32(&scratch.buf) != crc {
+        return Err(ProtocolError::Checksum);
+    }
+    Ok(&scratch.buf)
+}
+
+/// Incremental frame reassembly for nonblocking reads: the poller appends
+/// whatever bytes the socket had ([`FrameAssembler::ingest`]) and drains
+/// complete frames ([`FrameAssembler::next_frame`]); partial frames stay
+/// buffered until the next readiness event. The buffer is grow-only with
+/// the same evict discipline as [`FrameScratch`].
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    /// Bytes at the front already handed out as complete frames.
+    pos: usize,
+}
+
+impl FrameAssembler {
+    pub fn new() -> FrameAssembler {
+        FrameAssembler {
+            buf: Vec::with_capacity(SCRATCH_BASE),
+            pos: 0,
+        }
+    }
+
+    /// Appends raw bytes read off the socket.
+    pub fn ingest(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet returned as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// The next complete frame's payload, or `None` when more bytes are
+    /// needed. Framing failures (oversized header, checksum mismatch) are
+    /// typed errors — the stream is unrecoverable past them.
+    pub fn next_frame(&mut self) -> std::result::Result<Option<&[u8]>, ProtocolError> {
+        self.compact();
+        let avail = self.buf.len() - self.pos;
+        if avail < 8 {
+            return Ok(None);
+        }
+        let head = &self.buf[self.pos..self.pos + 8];
+        let len = u32::from_le_bytes(tdb_storage::codec::first_n(&head[..4]));
+        let crc = u32::from_le_bytes(tdb_storage::codec::first_n(&head[4..]));
+        if len > MAX_FRAME {
+            return Err(ProtocolError::Oversized { len });
+        }
+        let total = 8 + len as usize;
+        if avail < total {
+            return Ok(None);
+        }
+        let start = self.pos + 8;
+        let end = start + len as usize;
+        if crc32(&self.buf[start..end]) != crc {
+            return Err(ProtocolError::Checksum);
+        }
+        self.pos = end;
+        Ok(Some(&self.buf[start..end]))
+    }
+
+    /// Reclaims consumed front space: cheap `clear` when fully drained
+    /// (plus the evict check), `drain` when the consumed prefix dominates.
+    fn compact(&mut self) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+            if self.buf.capacity() > SCRATCH_EVICT {
+                self.buf = Vec::with_capacity(SCRATCH_BASE);
+            }
+        } else if self.pos > SCRATCH_BASE && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
 /// Writes one frame (`id`/`payload` already encoded by
 /// [`encode_request`]/[`encode_response`]).
 pub fn write_frame<W: Write + ?Sized>(
@@ -258,21 +393,13 @@ pub fn write_frame<W: Write + ?Sized>(
         .map_err(|e| ProtocolError::Io(e.to_string()))
 }
 
-/// Reads one frame's payload, verifying length cap and checksum.
+/// Reads one frame's payload as an owned `Vec`, verifying length cap and
+/// checksum. Steady-state readers should hold a [`FrameScratch`] and call
+/// [`read_frame_into`] instead — this allocates per frame.
 pub fn read_frame(r: &mut impl Read) -> std::result::Result<Vec<u8>, ProtocolError> {
-    let mut head = [0u8; 8];
-    read_exact_or_close(r, &mut head, true)?;
-    let len = u32::from_le_bytes(tdb_storage::codec::first_n(&head[..4]));
-    let crc = u32::from_le_bytes(tdb_storage::codec::first_n(&head[4..]));
-    if len > MAX_FRAME {
-        return Err(ProtocolError::Oversized { len });
-    }
-    let mut payload = vec![0u8; len as usize];
-    read_exact_or_close(r, &mut payload, false)?;
-    if crc32(&payload) != crc {
-        return Err(ProtocolError::Checksum);
-    }
-    Ok(payload)
+    let mut scratch = FrameScratch::default();
+    read_frame_into(r, &mut scratch)?;
+    Ok(scratch.buf)
 }
 
 /// `read_exact` that distinguishes a clean close at a frame boundary
@@ -725,6 +852,98 @@ mod tests {
         buf.extend_from_slice(&0u32.to_le_bytes());
         assert!(matches!(
             read_frame(&mut &buf[..]).unwrap_err(),
+            ProtocolError::Oversized { .. }
+        ));
+    }
+
+    #[test]
+    fn scratch_reuses_one_allocation_across_frames() {
+        let mut buf = Vec::new();
+        for i in 0..4u64 {
+            write_frame(&mut buf, &encode_request(i, &Request::ListTenants)).unwrap();
+        }
+        let mut scratch = FrameScratch::new();
+        let mut r = &buf[..];
+        let mut caps = Vec::new();
+        for i in 0..4u64 {
+            let payload = read_frame_into(&mut r, &mut scratch).unwrap();
+            let (id, req) = decode_request(payload).unwrap();
+            assert_eq!((id, req), (i, Request::ListTenants));
+            caps.push(scratch.capacity());
+        }
+        assert!(
+            caps.windows(2).all(|w| w[0] == w[1]),
+            "no regrowth: {caps:?}"
+        );
+        assert!(matches!(
+            read_frame_into(&mut r, &mut scratch).unwrap_err(),
+            ProtocolError::Closed
+        ));
+    }
+
+    #[test]
+    fn scratch_evicts_after_oversized_frame() {
+        let big = Request::RegisterRule {
+            tenant: "t".into(),
+            source: "x".repeat(2 * SCRATCH_EVICT),
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &encode_request(1, &big)).unwrap();
+        write_frame(&mut buf, &encode_request(2, &Request::ListTenants)).unwrap();
+        let mut scratch = FrameScratch::new();
+        let mut r = &buf[..];
+        read_frame_into(&mut r, &mut scratch).unwrap();
+        assert!(scratch.capacity() > SCRATCH_EVICT);
+        read_frame_into(&mut r, &mut scratch).unwrap();
+        assert!(
+            scratch.capacity() <= SCRATCH_EVICT,
+            "capacity {} still pinned",
+            scratch.capacity()
+        );
+    }
+
+    #[test]
+    fn assembler_reassembles_byte_at_a_time() {
+        let mut stream = Vec::new();
+        for i in 0..3u64 {
+            write_frame(
+                &mut stream,
+                &encode_request(i, &Request::Hello { version: 1 }),
+            )
+            .unwrap();
+        }
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        for b in &stream {
+            asm.ingest(std::slice::from_ref(b));
+            while let Some(payload) = asm.next_frame().unwrap() {
+                got.push(decode_request(payload).unwrap().0);
+            }
+        }
+        assert_eq!(got, vec![0, 1, 2]);
+        assert_eq!(asm.buffered(), 0);
+    }
+
+    #[test]
+    fn assembler_surfaces_corruption_and_oversize() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &encode_request(1, &Request::ListTenants)).unwrap();
+        let last = stream.len() - 1;
+        stream[last] ^= 0x01;
+        let mut asm = FrameAssembler::new();
+        asm.ingest(&stream);
+        assert!(matches!(
+            asm.next_frame().unwrap_err(),
+            ProtocolError::Checksum
+        ));
+
+        let mut asm = FrameAssembler::new();
+        let mut head = Vec::new();
+        head.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        head.extend_from_slice(&0u32.to_le_bytes());
+        asm.ingest(&head);
+        assert!(matches!(
+            asm.next_frame().unwrap_err(),
             ProtocolError::Oversized { .. }
         ));
     }

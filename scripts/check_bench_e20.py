@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Schema/correctness check for BENCH_E20.json (readiness poller vs
+thread-per-connection, idle-shard re-pinning, adaptive coalescing).
+
+Correctness bars are hard everywhere: every scaling and coalesce row must
+report firings byte-identical to the single-threaded library oracle, and
+the rebalance=on skew row must actually re-pin at least one tenant.
+
+Performance bars follow the E13/E17 host-limited precedent: ratios of two
+independently timed runs on a shared (often 1-CPU) runner compound
+scheduler jitter, so the floors are conservative. On a 1-CPU host the
+poller only has to avoid collapse (0.5x of the thread baseline); on real
+parallel hardware it must hold 0.75x or better while using a small
+constant number of connection threads instead of one per socket. The
+adaptive coalescer must stay within 0.5x / 0.8x (1-CPU / multi-CPU) of
+the best fixed window it is replacing."""
+import json
+import sys
+
+doc = json.load(open(sys.argv[1] if len(sys.argv) > 1 else "BENCH_E20.json"))
+assert doc.get("experiment") == "e20", "not an E20 result"
+cpus = doc["host_cpus"]
+host_limited = cpus <= 1
+
+# --- E20a: connection scaling -------------------------------------------
+scaling = doc["scaling"]
+assert scaling, "no scaling rows"
+assert all(r["firings_ok"] for r in scaling), \
+    "a connection diverged from the library oracle"
+by_conns = {}
+for r in scaling:
+    by_conns.setdefault(r["conns"], {})[r["mode"]] = r
+floor = 0.5 if host_limited else 0.75
+for conns, modes in sorted(by_conns.items()):
+    assert {"thread", "poll"} <= modes.keys(), \
+        f"conns={conns}: need both modes, got {sorted(modes)}"
+    t, p = modes["thread"], modes["poll"]
+    ratio = p["agg_states_per_sec"] / t["agg_states_per_sec"]
+    assert ratio >= floor, \
+        (f"conns={conns}: poller at {ratio:.2f}x of thread baseline "
+         f"(floor {floor:.2f}, host_cpus={cpus})")
+    # The point of the poller: O(1) connection threads, not one per socket.
+    assert p["conn_threads"] < t["conn_threads"], \
+        f"conns={conns}: poller uses {p['conn_threads']} conn threads, " \
+        f"thread mode {t['conn_threads']}"
+    if conns >= 8:
+        assert p["conn_threads"] * 4 <= t["conn_threads"], \
+            f"conns={conns}: poller thread count is not a small fraction"
+
+# --- E20b: skewed load / re-pinning -------------------------------------
+skew = {r["rebalance"]: r for r in doc["skew"]}
+assert set(skew) == {True, False}, f"skew rows: {sorted(skew)}"
+assert skew[False]["repins"] == 0, "re-pinning fired with rebalance off"
+assert skew[True]["repins"] >= 1, \
+    "rebalance on but no tenant was ever re-pinned off the hot worker"
+for r in skew.values():
+    assert r["cold_states"] > 0 and r["hot_states"] > 0, f"starved row: {r}"
+if not host_limited:
+    # With real cores, moving idle shards off the hot worker must not make
+    # the cold tenants slower than leaving them stranded.
+    ratio = (skew[True]["cold_states_per_sec"]
+             / skew[False]["cold_states_per_sec"])
+    assert ratio >= 0.8, f"re-pinning degraded cold tenants to {ratio:.2f}x"
+
+# --- E20c: adaptive coalescing ------------------------------------------
+coalesce = doc["coalesce"]
+assert all(r["firings_ok"] for r in coalesce), \
+    "a coalesce row lost or duplicated firings"
+by_window = {r["window"]: r for r in coalesce}
+assert "adaptive" in by_window and "none" in by_window, \
+    f"coalesce windows: {sorted(by_window)}"
+fixed = [r for r in coalesce if r["window"] != "adaptive"]
+best_fixed = max(r["commits_per_sec"] for r in fixed)
+floor = 0.5 if host_limited else 0.8
+ratio = by_window["adaptive"]["commits_per_sec"] / best_fixed
+assert ratio >= floor, \
+    (f"adaptive window at {ratio:.2f}x of the best fixed window "
+     f"(floor {floor:.2f}, host_cpus={cpus})")
+
+print(f"check_bench_e20: OK (host_cpus={cpus}"
+      + (", host-limited floors" if host_limited else "")
+      + "; scaling "
+      + ", ".join(
+          f"{c}conns poll/thread "
+          f"{m['poll']['agg_states_per_sec'] / m['thread']['agg_states_per_sec']:.2f}x"
+          for c, m in sorted(by_conns.items()))
+      + f"; repins={skew[True]['repins']}"
+      + f"; adaptive {ratio:.2f}x of best fixed window"
+      + "; firings identical everywhere)")
