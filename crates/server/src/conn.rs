@@ -25,7 +25,7 @@ use std::sync::{Arc, Mutex, PoisonError};
 use tdb_obs::Counter;
 
 use crate::poll::Waker;
-use crate::runtime::SharedWriter;
+use crate::runtime::{FrameSink, SharedWriter};
 use crate::wire::FrameAssembler;
 
 /// Default soft limit: pending outbound bytes beyond this count one
@@ -127,9 +127,14 @@ impl ConnShared {
     }
 
     /// Marks the queue dead: every later write errors. Used by the poller
-    /// when the socket itself dies.
+    /// when the socket itself dies. Queued bytes are released immediately
+    /// — nothing will ever drain them, and a dead subscriber's writer may
+    /// outlive the socket until the next sweep.
     pub fn kill(&self) {
-        self.lock().killed = true;
+        let mut out = self.lock();
+        out.killed = true;
+        out.buf = Vec::new();
+        out.pos = 0;
     }
 
     pub fn killed(&self) -> bool {
@@ -180,6 +185,14 @@ impl Write for ConnTx {
     fn flush(&mut self) -> io::Result<()> {
         self.shared.waker.wake();
         Ok(())
+    }
+}
+
+impl FrameSink for ConnTx {
+    /// A killed queue means the poller closed (or is about to close) the
+    /// socket; the subscriber sweep uses this to prune without a write.
+    fn is_dead(&self) -> bool {
+        self.shared.killed()
     }
 }
 

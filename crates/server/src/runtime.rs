@@ -29,7 +29,7 @@
 use std::collections::HashMap;
 use std::io::Write;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
@@ -138,10 +138,22 @@ impl ServerConfig {
     }
 }
 
+/// What a connection's outbound half can do beyond `Write`: report that
+/// the connection is already known dead, so workers can prune subscribers
+/// without waiting for a push to fail. Thread-mode `TcpStream` writers
+/// keep the default (death is only discovered by a failed write).
+pub trait FrameSink: Write + Send {
+    fn is_dead(&self) -> bool {
+        false
+    }
+}
+
+impl FrameSink for std::net::TcpStream {}
+
 /// A connection's outbound half, shared between its request/response loop
 /// and the workers pushing subscription frames at it. The mutex is the
 /// per-connection write serialization point.
-pub type SharedWriter = Arc<Mutex<dyn Write + Send>>;
+pub type SharedWriter = Arc<Mutex<dyn FrameSink>>;
 
 // ---- adaptive coalescing ----------------------------------------------------
 
@@ -259,6 +271,21 @@ impl BusyMeter {
 type CommitResult = Result<(Vec<std::result::Result<(), String>>, Vec<FiringRecord>)>;
 type CommitReply = Sender<CommitResult>;
 
+/// Where a create's answer goes: a rendezvous channel (in-process
+/// callers, thread-mode connections) or straight onto a poller
+/// connection. On the `Net` path the *worker* finishes the bookkeeping
+/// the blocking caller would have done — rolling back the reserved route
+/// on failure, bumping the tenant gauge on success — so the poller never
+/// waits on the shard pool.
+enum CreateSink {
+    Channel(Sender<Result<()>>),
+    Net {
+        id: u64,
+        writer: SharedWriter,
+        t0: Option<Instant>,
+    },
+}
+
 /// One unit of work for a shard worker. Replies are rendezvous channels;
 /// a dropped reply receiver just discards the answer.
 enum Job {
@@ -266,7 +293,7 @@ enum Job {
     Create {
         name: String,
         durable: bool,
-        reply: Sender<Result<()>>,
+        reply: CreateSink,
     },
     Register {
         tenant: String,
@@ -328,10 +355,17 @@ enum Job {
         tenant: String,
         dest: Sender<Envelope>,
         dest_load: Arc<WorkerLoad>,
+        /// The route's in-flight-migration latch; cleared once `Install`
+        /// lands (or here, if the handoff cannot be shipped).
+        migrating: Arc<AtomicBool>,
     },
     /// Migration, step 3 (back on the destination): install the shard and
     /// drain the jobs buffered since `Expect`.
     Install { transfer: Box<TenantTransfer> },
+    /// Periodic housekeeping: drop subscribers whose connection is
+    /// already known dead (poll-mode killed queues), so a tenant that
+    /// stops firing doesn't pin dead buffers or inflate the gauge.
+    Sweep,
 }
 
 /// Everything that moves with a tenant during re-pinning.
@@ -342,6 +376,7 @@ pub(crate) struct TenantTransfer {
     tenant: Option<Tenant>,
     subscribers: Vec<(u64, SharedWriter)>,
     adaptive: Option<AdaptiveState>,
+    migrating: Arc<AtomicBool>,
 }
 
 impl Job {
@@ -359,9 +394,11 @@ impl Job {
             | Job::Subscribe { tenant, .. }
             | Job::Stats { tenant, .. } => Some(tenant),
             Job::Net { req, .. } => request_tenant(req),
-            Job::Create { .. } | Job::Expect { .. } | Job::Extract { .. } | Job::Install { .. } => {
-                None
-            }
+            Job::Create { .. }
+            | Job::Expect { .. }
+            | Job::Extract { .. }
+            | Job::Install { .. }
+            | Job::Sweep => None,
         }
     }
 }
@@ -382,6 +419,7 @@ impl std::fmt::Debug for Job {
             Job::Expect { .. } => "Expect",
             Job::Extract { .. } => "Extract",
             Job::Install { .. } => "Install",
+            Job::Sweep => "Sweep",
         };
         write!(f, "Job::{kind}")
     }
@@ -450,7 +488,19 @@ struct TenantRoute {
     pending: Arc<AtomicU64>,
     /// `ms` (since runtime start) of the last job submitted.
     last_active: AtomicU64,
+    /// Set by [`Runtime::repin`] when a migration starts and cleared only
+    /// once the destination worker processes `Install`. The pending count
+    /// cannot gate this window: `Expect`/`Extract`/`Install` are control
+    /// jobs without guards, so without the latch a second re-pin accepted
+    /// mid-handoff would make the second `Extract` find no shard and
+    /// strand the tenant wherever the first `Install` put it.
+    migrating: Arc<AtomicBool>,
 }
+
+/// The routing table, shared with workers so an async (`Net`-path) create
+/// can roll back its reserved entry on failure without blocking the
+/// poller on a rendezvous.
+type RouteTable = Arc<Mutex<HashMap<String, TenantRoute>>>;
 
 /// Don't re-pin again within this long of the last move.
 const REBALANCE_COOLDOWN: Duration = Duration::from_millis(500);
@@ -469,7 +519,7 @@ pub struct Runtime {
     /// tenant name → route. Entries are reserved before the Create job
     /// runs (and rolled back on failure) so two racing creates of one
     /// name serialize here, not on the worker.
-    route: Mutex<HashMap<String, TenantRoute>>,
+    route: RouteTable,
     next_worker: AtomicUsize,
     loads: Vec<Arc<WorkerLoad>>,
     epoch: Instant,
@@ -483,6 +533,7 @@ impl Runtime {
     /// checkpoint + WAL replay before the server accepts connections).
     pub fn start(cfg: ServerConfig) -> Result<Runtime> {
         let workers = cfg.workers.max(1);
+        let route: RouteTable = Arc::new(Mutex::new(HashMap::new()));
         let mut queues = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         let mut loads = Vec::with_capacity(workers);
@@ -491,9 +542,10 @@ impl Runtime {
             let load = Arc::new(WorkerLoad::default());
             let wcfg = cfg.clone();
             let wload = Arc::clone(&load);
+            let wroute = Arc::clone(&route);
             let handle = std::thread::Builder::new()
                 .name(format!("tdb-shard-{i}"))
-                .spawn(move || worker_loop(rx, wcfg, wload))
+                .spawn(move || worker_loop(rx, wcfg, wload, wroute))
                 .map_err(|e| ServerError::Storage(format!("spawning worker: {e}")))?;
             queues.push(tx);
             handles.push(handle);
@@ -503,7 +555,7 @@ impl Runtime {
             cfg,
             queues,
             workers: handles,
-            route: Mutex::new(HashMap::new()),
+            route,
             next_worker: AtomicUsize::new(0),
             loads,
             epoch: Instant::now(),
@@ -546,10 +598,11 @@ impl Runtime {
         u64::try_from(self.epoch.elapsed().as_millis()).unwrap_or(u64::MAX)
     }
 
-    /// Creates a tenant (or reopens a durable one — creation is idempotent
-    /// against a directory left by a previous incarnation, which is how
-    /// restart recovery works; a *live* duplicate name is a typed error).
-    pub fn create_tenant(&self, name: &str, durable: bool) -> Result<()> {
+    /// Validates the name and reserves a route entry for a new tenant.
+    /// The reservation makes two racing creates of one name serialize on
+    /// the route lock, not on a worker; the caller must roll the entry
+    /// back if the worker-side create fails.
+    fn reserve_route(&self, name: &str, durable: bool) -> Result<(usize, PendingGuard)> {
         validate_tenant_name(name)?;
         if durable && self.cfg.data_dir.is_none() {
             return Err(ServerError::Remote {
@@ -557,37 +610,43 @@ impl Runtime {
                 message: "server started without --data-dir; durable tenants unavailable".into(),
             });
         }
-        let (worker, guard) = {
-            // The routing table has no multi-step invariants (single
-            // insert/remove per holder), so a poisoned lock — a panic on
-            // some other connection thread — leaves it fully usable.
-            let mut route = self.route.lock().unwrap_or_else(PoisonError::into_inner);
-            if route.contains_key(name) {
-                return Err(ServerError::Remote {
-                    code: ErrorCode::TenantExists,
-                    message: format!("tenant `{name}` already exists"),
-                });
-            }
-            let w = self.next_worker.fetch_add(1, Ordering::Relaxed) % self.queues.len();
-            let pending = Arc::new(AtomicU64::new(0));
-            let guard = PendingGuard::acquire(&pending);
-            route.insert(
-                name.to_string(),
-                TenantRoute {
-                    worker: w,
-                    pending,
-                    last_active: AtomicU64::new(self.now_ms()),
-                },
-            );
-            (w, guard)
-        };
+        // The routing table has no multi-step invariants (single
+        // insert/remove per holder), so a poisoned lock — a panic on
+        // some other connection thread — leaves it fully usable.
+        let mut route = self.route.lock().unwrap_or_else(PoisonError::into_inner);
+        if route.contains_key(name) {
+            return Err(ServerError::Remote {
+                code: ErrorCode::TenantExists,
+                message: format!("tenant `{name}` already exists"),
+            });
+        }
+        let w = self.next_worker.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+        let pending = Arc::new(AtomicU64::new(0));
+        let guard = PendingGuard::acquire(&pending);
+        route.insert(
+            name.to_string(),
+            TenantRoute {
+                worker: w,
+                pending,
+                last_active: AtomicU64::new(self.now_ms()),
+                migrating: Arc::new(AtomicBool::new(false)),
+            },
+        );
+        Ok((w, guard))
+    }
+
+    /// Creates a tenant (or reopens a durable one — creation is idempotent
+    /// against a directory left by a previous incarnation, which is how
+    /// restart recovery works; a *live* duplicate name is a typed error).
+    pub fn create_tenant(&self, name: &str, durable: bool) -> Result<()> {
+        let (worker, guard) = self.reserve_route(name, durable)?;
         let (tx, rx) = channel();
         let sent = self.enqueue(
             worker,
             Job::Create {
                 name: name.to_string(),
                 durable,
-                reply: tx,
+                reply: CreateSink::Channel(tx),
             },
             Some(guard),
         );
@@ -804,11 +863,37 @@ impl Runtime {
                 Some(Response::MetricsText { text })
             }
             Request::Shutdown => Some(Response::ShuttingDown),
-            Request::CreateTenant { name, durable } => Some(
-                self.create_tenant(&name, durable)
-                    .map(|()| Response::TenantCreated)
-                    .unwrap_or_else(error_response),
-            ),
+            // Creates go through the worker asynchronously like every
+            // other tenant-scoped request: `create_tenant` would block on
+            // a rendezvous with a shard worker, and a create queued behind
+            // a deep worker queue (or a slow durable recovery) must not
+            // stall the poller for every connection. The route entry is
+            // reserved here; the worker rolls it back on failure and
+            // writes the response itself.
+            Request::CreateTenant { name, durable } => match self.reserve_route(&name, durable) {
+                Ok((worker, guard)) => {
+                    let job = Job::Create {
+                        name: name.clone(),
+                        durable,
+                        reply: CreateSink::Net {
+                            id,
+                            writer: Arc::clone(writer),
+                            t0,
+                        },
+                    };
+                    match self.enqueue(worker, job, Some(guard)) {
+                        Ok(()) => None,
+                        Err(e) => {
+                            self.route
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .remove(&name);
+                            Some(error_response(e))
+                        }
+                    }
+                }
+                Err(e) => Some(error_response(e)),
+            },
             other => {
                 let Some(tenant) = request_tenant(&other).map(String::from) else {
                     return Some(error_response(internal("request is not worker-routable")));
@@ -847,6 +932,17 @@ impl Runtime {
         }
     }
 
+    /// Asks every worker to drop subscribers whose connection is already
+    /// known dead. Without this, a dead subscriber of a tenant that stops
+    /// firing would be detected only by a failed push — pinning its
+    /// killed outbound buffer and inflating the subscriptions gauge
+    /// indefinitely. Called from the connection layer's planner tick.
+    pub fn sweep_subscribers(&self) {
+        for w in 0..self.queues.len() {
+            let _ = self.enqueue(w, Job::Sweep, None);
+        }
+    }
+
     /// Moves `tenant` to worker `to` at a safe boundary. Refuses (typed
     /// error) while the tenant has queued or in-flight work — the caller
     /// retries on a later tick. See `DESIGN.md` §15 for why the
@@ -870,29 +966,51 @@ impl Runtime {
                 "tenant has queued or in-flight work; re-pin refused",
             ));
         }
+        // The pending count only covers guarded (tenant-scoped) jobs; the
+        // previous move's Expect/Extract/Install control jobs may still be
+        // queued — a saturated source worker can hold Extract past any
+        // wall-clock cooldown. Accepting a second move in that window
+        // would make its Extract find no shard (TenantTransfer { tenant:
+        // None }) and strand the data on the first move's destination
+        // while the route points elsewhere. The latch closes that window:
+        // set here, cleared by the destination worker once Install lands.
+        if r.migrating.swap(true, Ordering::AcqRel) {
+            return Err(internal("tenant migration in flight; re-pin refused"));
+        }
         let from = r.worker;
+        let migrating = Arc::clone(&r.migrating);
         // Order matters, and the route lock is held across all three
         // steps: `Expect` reaches the destination queue before the route
         // flips, so every job submitted after the flip queues behind it
         // and gets buffered until `Install` delivers the shard. The source
         // queue holds no job for this tenant (pending == 0), so `Extract`
         // is its next and last touch there.
-        self.enqueue(
-            to,
-            Job::Expect {
-                tenant: tenant.to_string(),
-            },
-            None,
-        )?;
-        self.enqueue(
-            from,
-            Job::Extract {
-                tenant: tenant.to_string(),
-                dest: self.queues[to].clone(),
-                dest_load: Arc::clone(&self.loads[to]),
-            },
-            None,
-        )?;
+        let sent = self
+            .enqueue(
+                to,
+                Job::Expect {
+                    tenant: tenant.to_string(),
+                },
+                None,
+            )
+            .and_then(|()| {
+                self.enqueue(
+                    from,
+                    Job::Extract {
+                        tenant: tenant.to_string(),
+                        dest: self.queues[to].clone(),
+                        dest_load: Arc::clone(&self.loads[to]),
+                        migrating: Arc::clone(&migrating),
+                    },
+                    None,
+                )
+            });
+        if let Err(e) = sent {
+            // Queues only close at shutdown; release the latch so the
+            // error is not sticky.
+            migrating.store(false, Ordering::Release);
+            return Err(e);
+        }
         r.worker = to;
         self.metrics.repins.inc();
         Ok(())
@@ -940,7 +1058,11 @@ impl Runtime {
             }
             route
                 .iter()
-                .filter(|(_, r)| r.worker == hot && r.pending.load(Ordering::Acquire) == 0)
+                .filter(|(_, r)| {
+                    r.worker == hot
+                        && r.pending.load(Ordering::Acquire) == 0
+                        && !r.migrating.load(Ordering::Acquire)
+                })
                 .min_by(|(an, ar), (bn, br)| {
                     ar.last_active
                         .load(Ordering::Relaxed)
@@ -1071,10 +1193,18 @@ struct WorkerState {
     /// Tenants migrating *to* this worker: jobs buffered until `Install`.
     expected: HashMap<String, Vec<Envelope>>,
     load: Arc<WorkerLoad>,
+    /// Shared routing table — only touched to roll back a reserved entry
+    /// when an async (`Net`-path) create fails.
+    route: RouteTable,
     metrics: ServerMetrics,
 }
 
-fn worker_loop(rx: Receiver<Envelope>, cfg: ServerConfig, load: Arc<WorkerLoad>) {
+fn worker_loop(
+    rx: Receiver<Envelope>,
+    cfg: ServerConfig,
+    load: Arc<WorkerLoad>,
+    route: RouteTable,
+) {
     let fixed_us = cfg.coalesce_window_us;
     let adaptive = fixed_us == 0 && cfg.adaptive_coalesce;
     let mut st = WorkerState {
@@ -1084,6 +1214,7 @@ fn worker_loop(rx: Receiver<Envelope>, cfg: ServerConfig, load: Arc<WorkerLoad>)
         adaptive: HashMap::new(),
         expected: HashMap::new(),
         load: Arc::clone(&load),
+        route,
         metrics: ServerMetrics::resolve(),
     };
     // When coalescing, a non-matching envelope dequeued while a group was
@@ -1202,7 +1333,29 @@ impl WorkerState {
                 reply,
             } => {
                 let r = self.create(&name, durable);
-                let _ = reply.send(r);
+                match reply {
+                    CreateSink::Channel(tx) => {
+                        // The blocking caller (`create_tenant`) does the
+                        // route rollback / gauge bookkeeping itself.
+                        let _ = tx.send(r);
+                    }
+                    CreateSink::Net { id, writer, t0 } => {
+                        let ok = r.is_ok();
+                        if ok {
+                            self.metrics.tenants.add(1);
+                        } else {
+                            self.route
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .remove(&name);
+                        }
+                        let resp = r
+                            .map(|()| Response::TenantCreated)
+                            .unwrap_or_else(error_response);
+                        self.metrics.observe_request("create_tenant", t0, ok);
+                        send_response(&writer, id, &resp);
+                    }
+                }
             }
             Job::Register {
                 tenant,
@@ -1279,24 +1432,32 @@ impl WorkerState {
                 tenant,
                 dest,
                 dest_load,
+                migrating,
             } => {
                 let transfer = TenantTransfer {
                     name: tenant.clone(),
                     tenant: self.tenants.remove(&tenant),
                     subscribers: self.subscribers.remove(&tenant).unwrap_or_default(),
                     adaptive: self.adaptive.remove(&tenant),
+                    migrating,
                 };
                 dest_load.depth.fetch_add(1, Ordering::AcqRel);
-                if dest
-                    .send(Envelope {
-                        job: Job::Install {
-                            transfer: Box::new(transfer),
-                        },
-                        _guard: None,
-                    })
-                    .is_err()
-                {
+                if let Err(e) = dest.send(Envelope {
+                    job: Job::Install {
+                        transfer: Box::new(transfer),
+                    },
+                    _guard: None,
+                }) {
                     dest_load.depth.fetch_sub(1, Ordering::AcqRel);
+                    // Destination gone (shutdown): the move will never
+                    // complete, so don't leave the latch stuck.
+                    if let Envelope {
+                        job: Job::Install { transfer },
+                        ..
+                    } = e.0
+                    {
+                        transfer.migrating.store(false, Ordering::Release);
+                    }
                 }
             }
             Job::Install { transfer } => {
@@ -1305,6 +1466,7 @@ impl WorkerState {
                     tenant,
                     subscribers,
                     adaptive,
+                    migrating,
                 } = *transfer;
                 if let Some(t) = tenant {
                     self.tenants.insert(name.clone(), t);
@@ -1323,8 +1485,32 @@ impl WorkerState {
                         self.handle(job);
                     }
                 }
+                // The shard (and its buffered backlog) now lives here;
+                // only now may the router accept the tenant's next move.
+                migrating.store(false, Ordering::Release);
             }
+            Job::Sweep => self.sweep_dead_subscribers(),
         }
+    }
+
+    /// Drops subscribers whose connection reports itself dead (poll-mode
+    /// killed outbound queues), freeing their buffers and keeping the
+    /// subscriptions gauge honest even for tenants that never fire again.
+    fn sweep_dead_subscribers(&mut self) {
+        let metrics = self.metrics.clone();
+        self.subscribers.retain(|_, subs| {
+            subs.retain(|(_, writer)| {
+                let dead = match writer.lock() {
+                    Ok(w) => w.is_dead(),
+                    Err(_) => true,
+                };
+                if dead {
+                    metrics.subscriptions.add(-1);
+                }
+                !dead
+            });
+            !subs.is_empty()
+        });
     }
 
     /// Services a poller-dispatched request and writes the response frame.
@@ -1805,6 +1991,7 @@ mod tests {
                 Ok(())
             }
         }
+        impl FrameSink for VecWriter {}
         rt.subscribe("t", 99, Arc::new(Mutex::new(VecWriter(buf.clone()))))
             .unwrap();
         rt.commit("t", bump(9)).unwrap();
@@ -1863,6 +2050,7 @@ mod tests {
                 Ok(())
             }
         }
+        impl FrameSink for VecWriter {}
         rt.subscribe("mv", 7, Arc::new(Mutex::new(VecWriter(buf.clone()))))
             .unwrap();
 
@@ -1932,6 +2120,67 @@ mod tests {
                 .pending
                 .fetch_sub(1, Ordering::SeqCst);
         }
+
+        // A migration already in flight also refuses: Expect/Extract/
+        // Install carry no pending guard, so the latch is the only gate
+        // against a second overlapping move stranding the shard.
+        {
+            let route = rt.route.lock().unwrap();
+            route
+                .get("mv")
+                .unwrap()
+                .migrating
+                .store(true, Ordering::SeqCst);
+        }
+        assert!(rt.repin("mv", 1).is_err());
+        {
+            let route = rt.route.lock().unwrap();
+            route
+                .get("mv")
+                .unwrap()
+                .migrating
+                .store(false, Ordering::SeqCst);
+        }
+        // Cleared latch: moves work again (Install released it after each
+        // bounce above, or no successful repin could have followed).
+        repin("mv", 1);
+        rt.shutdown();
+    }
+
+    /// A subscriber whose connection is already dead is pruned by the
+    /// periodic sweep, not only by the next failed firing push — so a
+    /// tenant that stops firing doesn't pin dead writers or inflate the
+    /// subscriptions gauge indefinitely.
+    #[test]
+    fn sweep_prunes_dead_subscribers_without_a_firing() {
+        let rt = Runtime::start(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        seed(&rt, "swp");
+        #[derive(Debug)]
+        struct DeadWriter;
+        impl Write for DeadWriter {
+            fn write(&mut self, _b: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::ErrorKind::BrokenPipe.into())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        impl FrameSink for DeadWriter {
+            fn is_dead(&self) -> bool {
+                true
+            }
+        }
+        rt.subscribe("swp", 1, Arc::new(Mutex::new(DeadWriter)))
+            .unwrap();
+        let before = rt.metrics.subscriptions.get();
+        rt.sweep_subscribers();
+        // Rendezvous behind the sweep job so it has definitely run.
+        let _ = rt.stats("swp").unwrap();
+        assert_eq!(rt.metrics.subscriptions.get(), before - 1);
         rt.shutdown();
     }
 
@@ -1994,6 +2243,7 @@ mod tests {
                 Ok(())
             }
         }
+        impl FrameSink for VecWriter {}
         let writer: SharedWriter = Arc::new(Mutex::new(VecWriter(buf.clone())));
         assert!(matches!(
             rt.submit_net(1, Request::ListTenants, &writer, None),

@@ -58,6 +58,15 @@ type ConnList = Arc<Mutex<Vec<(TcpStream, JoinHandle<()>)>>>;
 /// How often the front end ticks the load balancer and worker gauges.
 const TICK: Duration = Duration::from_millis(250);
 
+/// Most bytes the poller ingests from one connection per poll iteration.
+/// Without a budget a client streaming at line rate (e.g. loopback) keeps
+/// the read loop spinning until `WouldBlock`, starving every other
+/// connection and growing the inbound assembler without bound; with it,
+/// leftover bytes stay in the kernel buffer and `poll(2)` (level-
+/// triggered) reports the socket readable again next iteration, after
+/// everyone else has had a turn.
+const READ_BUDGET: usize = 256 * 1024;
+
 /// A running server: the bound address, the shard pool, and every live
 /// connection. Dropping the handle does NOT stop the server — call
 /// [`ServerHandle::stop`].
@@ -177,10 +186,15 @@ fn poll_loop(listener: TcpListener, runtime: Arc<Runtime>, stopping: Arc<AtomicB
         fds.push(PollFd::new(wake.fd(), POLLIN));
         for c in &conns {
             let mut events = 0i16;
-            if !c.closing {
+            let pending = c.shared.pending();
+            // Inbound mirrors the outbound watermark discipline: once a
+            // connection's response/push queue is past the soft limit,
+            // stop reading it (leave bytes in the kernel buffer, letting
+            // TCP backpressure reach the client) until the queue drains.
+            if !c.closing && pending <= cfg.outbuf_soft_limit {
                 events |= POLLIN;
             }
-            if c.shared.pending() > 0 {
+            if pending > 0 {
                 events |= POLLOUT;
             }
             // Errors/hangups are reported regardless of `events`.
@@ -222,13 +236,21 @@ fn poll_loop(listener: TcpListener, runtime: Arc<Runtime>, stopping: Arc<AtomicB
             if c.closing || !r.readable() {
                 continue;
             }
+            let mut budget = READ_BUDGET;
             loop {
-                match c.stream.read(&mut buf) {
+                let want = budget.min(buf.len());
+                if want == 0 {
+                    break;
+                }
+                match c.stream.read(&mut buf[..want]) {
                     Ok(0) => {
                         c.closing = true;
                         break;
                     }
-                    Ok(n) => c.asm.ingest(&buf[..n]),
+                    Ok(n) => {
+                        c.asm.ingest(&buf[..n]);
+                        budget -= n;
+                    }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                     Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                     Err(_) => {
@@ -265,6 +287,7 @@ fn poll_loop(listener: TcpListener, runtime: Arc<Runtime>, stopping: Arc<AtomicB
             last_tick = Instant::now();
             runtime.maybe_rebalance();
             runtime.publish_worker_gauges();
+            runtime.sweep_subscribers();
         }
     }
     for c in conns {
@@ -371,6 +394,7 @@ fn accept_loop(
             last_tick = Instant::now();
             runtime.maybe_rebalance();
             runtime.publish_worker_gauges();
+            runtime.sweep_subscribers();
         }
     }
 }
