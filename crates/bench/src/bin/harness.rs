@@ -999,6 +999,82 @@ fn main() {
     }
 
     flush();
+    if run("e21") {
+        mark("e21");
+        let n = if quick { 2_000 } else { 20_000 };
+        let rows = ex::e21_disorder_stream(n, &[0, 5, 50], &[0, 200, 800], seed);
+        let body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.max_delay.to_string(),
+                    r.rate_permille.to_string(),
+                    r.events.to_string(),
+                    r.disordered.to_string(),
+                    f2(r.us_per_event),
+                    r.tentative.to_string(),
+                    r.confirmed.to_string(),
+                    r.retracted.to_string(),
+                    r.max_live_states.to_string(),
+                    f2(r.mean_confirm_lag),
+                    r.oracle_identical.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render(
+                "E21: watermarked out-of-order ingestion — tentative/definite stream vs Δ and disorder rate",
+                &[
+                    "Δ",
+                    "rate ‰",
+                    "events",
+                    "late",
+                    "µs/event",
+                    "tentative",
+                    "confirmed",
+                    "retracted",
+                    "max live",
+                    "confirm lag",
+                    "oracle =="
+                ],
+                &body,
+            )
+        );
+
+        // Machine-readable copy for tooling (scripts/bench_e21.sh and the
+        // CI smoke job via scripts/check_bench_e21.py).
+        let mut json = String::from("{\n  \"experiment\": \"e21\",\n  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"max_delay\": {}, \"rate_permille\": {}, \"events\": {}, \
+                 \"disordered\": {}, \"elapsed_us\": {:.1}, \"us_per_event\": {:.3}, \
+                 \"tentative\": {}, \"confirmed\": {}, \"retracted\": {}, \
+                 \"max_live_states\": {}, \"mean_confirm_lag\": {:.2}, \
+                 \"oracle_identical\": {}}}{}\n",
+                r.max_delay,
+                r.rate_permille,
+                r.events,
+                r.disordered,
+                r.elapsed_us,
+                r.us_per_event,
+                r.tentative,
+                r.confirmed,
+                r.retracted,
+                r.max_live_states,
+                r.mean_confirm_lag,
+                r.oracle_identical,
+                if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        match std::fs::write("BENCH_E21.json", &json) {
+            Ok(()) => eprintln!("[harness] wrote BENCH_E21.json"),
+            Err(e) => eprintln!("[harness] could not write BENCH_E21.json: {e}"),
+        }
+    }
+
+    flush();
     if run("e14") {
         mark("e14");
         let (n_short, n_long) = if quick { (300, 1_200) } else { (1_000, 4_000) };

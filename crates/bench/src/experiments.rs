@@ -2463,3 +2463,146 @@ pub fn e20_adaptive_coalesce(commits_per_driver: usize) -> Vec<E20CoalesceRow> {
     }
     rows
 }
+
+// ===== E21: watermarked out-of-order ingestion =============================
+
+/// One row of the E21 table: one (Δ, disorder-rate) cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct E21Row {
+    pub max_delay: i64,
+    pub rate_permille: u32,
+    pub events: usize,
+    /// Events whose arrival trailed their valid time.
+    pub disordered: usize,
+    pub elapsed_us: f64,
+    pub us_per_event: f64,
+    /// Stream-event tallies over the whole run (flush included).
+    pub tentative: usize,
+    pub confirmed: usize,
+    pub retracted: usize,
+    /// Peak retained history length — the O(Δ) memory claim.
+    pub max_live_states: usize,
+    /// Mean (clock ticks) from a firing's valid instant to its
+    /// confirmation — the tentative-to-definite latency.
+    pub mean_confirm_lag: f64,
+    /// Definite log byte-identical to the in-order oracle replay?
+    pub oracle_identical: bool,
+}
+
+/// Builds the E21 facade: item `n`, query `n`, a plain threshold rule and a
+/// rising-edge (`lasttime`) rule — the latter is what disorder can retract,
+/// since with unique valid instants a late arrival only *inserts* states.
+fn e21_facade(max_delay: i64) -> tdb_core::VtActiveDatabase {
+    let mut base = tdb_relation::Database::new();
+    base.set_item("n", Value::Int(0));
+    base.define_query(
+        "n",
+        tdb_relation::QueryDef::new(0, tdb_relation::Query::item("n")),
+    );
+    let mut vt = tdb_core::VtActiveDatabase::new_streaming(base, max_delay);
+    vt.add_trigger(
+        "high",
+        parse_formula("n() >= 60").expect("static"),
+        tdb_core::VtMode::Tentative,
+    )
+    .expect("rule");
+    vt.add_trigger(
+        "rise",
+        parse_formula("n() >= 60 and lasttime(n() < 60)").expect("static"),
+        tdb_core::VtMode::Tentative,
+    )
+    .expect("rule");
+    vt
+}
+
+fn e21_op(value: i64) -> WriteOp {
+    WriteOp::SetItem {
+        item: "n".into(),
+        value: Value::Int(value),
+    }
+}
+
+/// §9 streaming claim: a watermarked ingest path over the valid-time layer
+/// yields a definite firing stream *independent of arrival order* (checked
+/// against an in-order oracle), confirms tentative firings within ~Δ of
+/// their valid instant, and retains only O(Δ) live states.
+pub fn e21_disorder_stream(
+    n: usize,
+    max_delays: &[i64],
+    rates_permille: &[u32],
+    seed: u64,
+) -> Vec<E21Row> {
+    let mut rows = Vec::new();
+    for &delta in max_delays {
+        for &rate in rates_permille {
+            let events = crate::workload::disorder_events(n, delta, rate, seed);
+            let disordered = events.iter().filter(|e| e.arrival > e.valid).count();
+
+            let mut vt = e21_facade(delta);
+            let (mut tentative, mut confirmed, mut retracted) = (0usize, 0usize, 0usize);
+            let mut max_live = vt.engine().state_count();
+            let mut confirm_lags: Vec<f64> = Vec::new();
+            let mut tally = |vt_now: Timestamp, evs: &[tdb_core::VtFiringEvent]| {
+                for e in evs {
+                    match e.phase {
+                        tdb_core::VtPhase::Tentative => tentative += 1,
+                        tdb_core::VtPhase::Confirmed => {
+                            confirmed += 1;
+                            confirm_lags.push((vt_now.0 - e.record.time.0) as f64);
+                        }
+                        tdb_core::VtPhase::Retracted => retracted += 1,
+                    }
+                }
+            };
+
+            let start = Instant::now();
+            for ev in &events {
+                let out = vt.advance_to(ev.arrival).expect("advance");
+                tally(vt.now(), &out);
+                let out = vt.ingest(vec![e21_op(ev.value)], ev.valid).expect("ingest");
+                tally(vt.now(), &out);
+                max_live = max_live.max(vt.engine().state_count());
+            }
+            // Flush: push the watermark past every ingested instant so the
+            // whole stream settles to Confirmed/Retracted.
+            let end = Timestamp(n as i64 + delta + 2);
+            let out = vt.advance_to(end).expect("flush");
+            tally(vt.now(), &out);
+            let elapsed = micros(start.elapsed());
+
+            // In-order oracle: same history replayed with arrival = valid.
+            let mut oracle = e21_facade(delta);
+            let mut in_order = events.clone();
+            in_order.sort_by_key(|e| e.valid);
+            for ev in &in_order {
+                oracle.advance_to(ev.valid).expect("advance");
+                oracle
+                    .ingest(vec![e21_op(ev.value)], ev.valid)
+                    .expect("ingest");
+            }
+            oracle.advance_to(end).expect("flush");
+            let oracle_identical = vt.confirmed_firings() == oracle.confirmed_firings();
+
+            let mean_confirm_lag = if confirm_lags.is_empty() {
+                0.0
+            } else {
+                confirm_lags.iter().sum::<f64>() / confirm_lags.len() as f64
+            };
+            rows.push(E21Row {
+                max_delay: delta,
+                rate_permille: rate,
+                events: n,
+                disordered,
+                elapsed_us: elapsed,
+                us_per_event: elapsed / n as f64,
+                tentative,
+                confirmed,
+                retracted,
+                max_live_states: max_live,
+                mean_confirm_lag,
+                oracle_identical,
+            });
+        }
+    }
+    rows
+}

@@ -559,6 +559,59 @@ impl SessionLoad {
     }
 }
 
+/// One event of a Δ-bounded out-of-order stream: it *happened* at `valid`
+/// but *reaches* the database at `arrival ≥ valid` (arrival − valid ≤ Δ).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DisorderEvent {
+    /// Position in the original (in-order) history.
+    pub seq: usize,
+    /// The instant the event is about.
+    pub valid: tdb_relation::Timestamp,
+    /// The instant it arrives at the ingest path.
+    pub arrival: tdb_relation::Timestamp,
+    /// Payload: the value `n` takes at `valid`.
+    pub value: i64,
+}
+
+/// A seeded disorder workload: `n` events with unique, consecutive valid
+/// times `1..=n`; each is late with probability `rate_permille / 1000`,
+/// delayed uniformly in `1..=max_delay`. The returned vector is in
+/// *arrival* order (stable on `seq` for ties), which is the order an
+/// ingest loop should feed them; re-sorting by `valid` recovers the
+/// in-order oracle history.
+pub fn disorder_events(
+    n: usize,
+    max_delay: i64,
+    rate_permille: u32,
+    seed: u64,
+) -> Vec<DisorderEvent> {
+    // Two independent streams: values from one, lateness from the other,
+    // so every (Δ, rate) cell of a sweep sees the *same* value history and
+    // differs only in arrival order.
+    let mut values = StdRng::seed_from_u64(seed);
+    let mut lateness = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut events: Vec<DisorderEvent> = (0..n)
+        .map(|i| {
+            let valid = tdb_relation::Timestamp(i as i64 + 1);
+            let value = values.random_range(0..100);
+            let late = u64::from(lateness.random_range(0..1000u32)) < u64::from(rate_permille);
+            let delay = if late && max_delay > 0 {
+                lateness.random_range(1..=max_delay)
+            } else {
+                0
+            };
+            DisorderEvent {
+                seq: i,
+                valid,
+                arrival: tdb_relation::Timestamp(valid.0 + delay),
+                value,
+            }
+        })
+        .collect();
+    events.sort_by_key(|e| (e.arrival, e.seq));
+    events
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -621,6 +674,35 @@ mod tests {
             apply_diff_step(&mut adb, &s);
         }
         assert!(adb.history().len() > 40, "every step appends a state");
+    }
+
+    #[test]
+    fn disorder_events_are_deterministic_and_delta_bounded() {
+        let a = disorder_events(500, 7, 300, 42);
+        let b = disorder_events(500, 7, 300, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+        // Δ-bounded lateness, arrival-sorted, unique valid times.
+        let mut last_arrival = tdb_relation::Timestamp(i64::MIN);
+        let mut valids: Vec<i64> = a.iter().map(|e| e.valid.0).collect();
+        for e in &a {
+            assert!(e.arrival >= e.valid);
+            assert!(e.arrival.0 - e.valid.0 <= 7);
+            assert!(e.arrival >= last_arrival, "arrival order");
+            last_arrival = e.arrival;
+        }
+        valids.sort_unstable();
+        valids.dedup();
+        assert_eq!(valids.len(), 500, "valid times are unique");
+        // Disorder actually occurs at rate 300‰ …
+        assert!(a.iter().any(|e| e.arrival > e.valid));
+        // … and never at rate 0 or Δ = 0.
+        assert!(disorder_events(200, 7, 0, 42)
+            .iter()
+            .all(|e| e.arrival == e.valid));
+        assert!(disorder_events(200, 0, 800, 42)
+            .iter()
+            .all(|e| e.arrival == e.valid));
     }
 
     #[test]

@@ -59,6 +59,17 @@ pub enum CoreError {
     /// A recovery snapshot does not match the rule catalog or system shape
     /// it is being restored into.
     RestoreMismatch(String),
+    /// Valid-time compaction needed the evaluator checkpoint at this state
+    /// index but the checkpoint ring no longer holds it (the ring's window
+    /// must cover the compaction fold; internal invariant).
+    CheckpointMissing {
+        index: usize,
+    },
+    /// A stream ingest was rejected: it would violate an integrity
+    /// constraint at its valid instant.
+    ConstraintRejected {
+        constraint: String,
+    },
     /// The attached durability sink failed (WAL append or checkpoint).
     Storage(String),
     /// Errors from lower layers.
@@ -84,6 +95,7 @@ impl CoreError {
                 | CoreError::Ptl(_)
                 | CoreError::LintDenied { .. }
                 | CoreError::DuplicateRule(_)
+                | CoreError::ConstraintRejected { .. }
         )
     }
 }
@@ -127,6 +139,14 @@ impl fmt::Display for CoreError {
                 "rule `{rule}` wrote `{resource}` outside its declared write set"
             ),
             CoreError::RestoreMismatch(why) => write!(f, "snapshot restore failed: {why}"),
+            CoreError::CheckpointMissing { index } => write!(
+                f,
+                "no evaluator checkpoint at compaction boundary state {index}"
+            ),
+            CoreError::ConstraintRejected { constraint } => write!(
+                f,
+                "ingest rejected: constraint `{constraint}` violated at its valid instant"
+            ),
             CoreError::Storage(why) => write!(f, "storage failure: {why}"),
             CoreError::Ptl(e) => write!(f, "{e}"),
             CoreError::Engine(e) => write!(f, "{e}"),

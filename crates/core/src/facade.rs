@@ -396,6 +396,14 @@ impl ActiveDatabase {
                 let _ = self.flush();
             }
             LogicalOp::Firing { .. } => {}
+            // Valid-time ingest never appears in a transaction-time
+            // tenant's log; finding one is a log/tenant mismatch, not a
+            // deterministic re-failure.
+            LogicalOp::CommitAt { .. } => {
+                return Err(CoreError::Storage(
+                    "CommitAt (valid-time ingest) requires a valid-time tenant".into(),
+                ));
+            }
             LogicalOp::Batch { ops } => {
                 if let Err(e) = self.commit_batch(ops, catalog) {
                     // Deterministic re-failures out of the batch's closing
@@ -636,6 +644,9 @@ impl ActiveDatabase {
             LogicalOp::Commit { txn } => self.commit(*txn).map(|_| ()),
             LogicalOp::Abort { txn } => self.abort(*txn).map(|_| ()),
             LogicalOp::Flush => self.flush(),
+            LogicalOp::CommitAt { .. } => Err(CoreError::Storage(
+                "CommitAt (valid-time ingest) requires a valid-time tenant".into(),
+            )),
             LogicalOp::Firing { .. } | LogicalOp::Batch { .. } => {
                 unreachable!("validated by commit_batch")
             }

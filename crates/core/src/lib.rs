@@ -58,7 +58,7 @@ pub use tdb_analysis::{
 // metrics accessors.
 pub use tdb_obs::ObsConfig;
 pub use validtime::{
-    offline_satisfied, online_satisfied, theorem2_check, CheckpointRing, DefiniteTriggerRunner,
-    TentativeTriggerRunner,
+    holds_at, offline_satisfied, online_satisfied, theorem2_check, CheckpointRing,
+    DefiniteTriggerRunner, TentativeTriggerRunner,
 };
-pub use vtfacade::{VtActiveDatabase, VtMode};
+pub use vtfacade::{VtActiveDatabase, VtFiringEvent, VtMode, VtPhase};

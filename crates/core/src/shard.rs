@@ -209,6 +209,9 @@ impl Shard {
             // Audit records are outputs, not inputs.
             LogicalOp::Firing { .. } => Ok(()),
             LogicalOp::Batch { ops } => self.adb.commit_batch(ops, &self.catalog).map(|_| ()),
+            LogicalOp::CommitAt { .. } => Err(CoreError::Storage(
+                "CommitAt (valid-time ingest) requires a valid-time tenant".into(),
+            )),
         }
     }
 

@@ -79,6 +79,12 @@ pub enum LogicalOp {
     /// order through `commit_batch` semantics (dispatch is delayed to the
     /// batch end, which §8 permits: firings may be delayed, never lost).
     Batch { ops: Vec<LogicalOp> },
+    /// Valid-time stream ingest (§9): the ops take effect at the explicit
+    /// `valid` timestamp — which may lag the clock by up to the tenant's
+    /// maximum delay Δ — and commit instantly. Only valid-time tenants
+    /// replay these; a transaction-time tenant rejects them as a
+    /// deterministic op-level error.
+    CommitAt { valid: Timestamp, ops: Vec<WriteOp> },
 }
 
 impl LogicalOp {

@@ -63,6 +63,21 @@ impl CheckpointRing {
             .map(|(i, ev)| (*i, ev.clone()))
     }
 
+    /// Renumbers the ring after the owning history compacted its first `k`
+    /// states away: checkpoints inside the folded prefix are dropped, the
+    /// rest shift down by `k`.
+    pub fn shift_down(&mut self, k: usize) {
+        if k == 0 {
+            return;
+        }
+        while self.ring.front().is_some_and(|(i, _)| *i < k) {
+            self.ring.pop_front();
+        }
+        for (i, _) in self.ring.iter_mut() {
+            *i -= k;
+        }
+    }
+
     pub fn len(&self) -> usize {
         self.ring.len()
     }
@@ -83,6 +98,10 @@ pub struct TentativeTriggerRunner {
     checkpoints: CheckpointRing,
     /// First history index not yet (or no longer) processed.
     frontier: usize,
+    /// Evaluator state after the last *compacted* state — the replay point
+    /// for local index 0 once the history's prefix has been folded away
+    /// (re-evaluating from scratch would lose all temporal memory).
+    base: Option<IncrementalEvaluator>,
 }
 
 impl TentativeTriggerRunner {
@@ -94,7 +113,34 @@ impl TentativeTriggerRunner {
             cfg,
             checkpoints: CheckpointRing::new(window),
             frontier: 0,
+            base: None,
         }
+    }
+
+    /// First history index not yet processed, in the history's current
+    /// (post-compaction) numbering.
+    pub fn frontier(&self) -> usize {
+        self.frontier
+    }
+
+    /// Re-bases the runner after the first `k` states of its history were
+    /// compacted away: the checkpoint taken after the last folded state
+    /// becomes the replay point for the new local index 0. Fails if that
+    /// boundary checkpoint has left the ring — the ring's window must cover
+    /// every fold (callers size it to Δ plus slack).
+    pub fn shift_down(&mut self, k: usize) -> Result<()> {
+        if k == 0 {
+            return Ok(());
+        }
+        match self.checkpoints.before(k) {
+            Some((i, ev)) if i == k - 1 => self.base = Some(ev),
+            _ => {
+                return Err(crate::error::CoreError::CheckpointMissing { index: k - 1 });
+            }
+        }
+        self.checkpoints.shift_down(k);
+        self.frontier = self.frontier.saturating_sub(k);
+        Ok(())
     }
 
     /// Processes the current tentative history. `dirty_from` is the index
@@ -110,13 +156,17 @@ impl TentativeTriggerRunner {
             Some(d) => d.min(self.frontier),
             None => self.frontier,
         };
-        // Restore the latest checkpoint before `start`, or start fresh.
+        // Restore the latest checkpoint before `start`; fall back to the
+        // compaction-boundary evaluator, or start fresh on a virgin history.
         let (mut ev, from) = match self.checkpoints.before(start) {
             Some((i, ev)) => (ev, i + 1),
-            None => (
-                IncrementalEvaluator::new(&self.condition, self.cfg.clone())?,
-                0,
-            ),
+            None => match &self.base {
+                Some(ev) => (ev.clone(), 0),
+                None => (
+                    IncrementalEvaluator::new(&self.condition, self.cfg.clone())?,
+                    0,
+                ),
+            },
         };
         let mut firings = Vec::new();
         let end = history.len();
@@ -163,6 +213,13 @@ impl DefiniteTriggerRunner {
         })
     }
 
+    /// Renumbers the frontier after the engine compacted `k` states away;
+    /// the incremental evaluator has already consumed the folded prefix, so
+    /// only the index needs adjusting.
+    pub fn shift_down(&mut self, k: usize) {
+        self.frontier = self.frontier.saturating_sub(k);
+    }
+
     /// Consumes the newly definite prefix of the engine's history. Because
     /// the algorithm is incremental, "it actually considers only the system
     /// states that have not been considered in the prior invocation".
@@ -189,8 +246,12 @@ impl DefiniteTriggerRunner {
 }
 
 /// Evaluates a closed formula at state `i` of a history (naive oracle).
-fn holds(f: &Formula, h: &History, i: usize) -> Result<bool> {
+pub fn holds_at(f: &Formula, h: &History, i: usize) -> Result<bool> {
     Ok(tdb_ptl::eval(f, h, i, &Env::new())?)
+}
+
+fn holds(f: &Formula, h: &History, i: usize) -> Result<bool> {
+    holds_at(f, h, i)
 }
 
 /// Online satisfaction: "c is online-satisfied in h if the temporal formula
@@ -375,5 +436,68 @@ mod tests {
         // Re-pushing an index drops stale successors.
         ring.push(3, IncrementalEvaluator::compile(&f).unwrap());
         assert_eq!(ring.before(100).unwrap().0, 3);
+    }
+
+    #[test]
+    fn checkpoint_ring_shifts_down_after_compaction() {
+        let f = parse_formula("u1_q() = 1").unwrap();
+        let mut ring = CheckpointRing::new(8);
+        for i in 0..5 {
+            ring.push(i, IncrementalEvaluator::compile(&f).unwrap());
+        }
+        ring.shift_down(2);
+        assert_eq!(ring.len(), 3, "checkpoints inside the fold are dropped");
+        assert_eq!(ring.before(1).unwrap().0, 0, "2 renumbered to 0");
+        assert_eq!(ring.before(100).unwrap().0, 2, "4 renumbered to 2");
+    }
+
+    #[test]
+    fn tentative_runner_survives_compaction() {
+        // Process a history, compact its prefix, and verify that the
+        // re-based runner still answers from the boundary checkpoint — a
+        // from-scratch replay would lose the temporal memory of the folded
+        // prefix and `previously(...)` would go quiet.
+        let mut e = VtEngine::new(base(), 2);
+        let mut runner = TentativeTriggerRunner::new(
+            parse_formula("previously(u1_q() = 1)").unwrap(),
+            EvalConfig::default(),
+            8,
+        );
+        // u1 spikes to 1 at t=1 and is reset to 0 at t=2: from t=2 on, only
+        // the evaluator's memory (not the database) knows about the spike.
+        e.advance_clock_to(Timestamp(1)).unwrap();
+        e.ingest_committed(vec![set("u1")], Timestamp(1)).unwrap();
+        let h = e.tentative_history();
+        let fired = runner.process(&h, Some(0)).unwrap();
+        assert_eq!(fired.len(), 1, "the spike at t=1 fires");
+        e.advance_clock_to(Timestamp(2)).unwrap();
+        e.ingest_committed(
+            vec![WriteOp::SetItem {
+                item: "u1".into(),
+                value: Value::Int(0),
+            }],
+            Timestamp(2),
+        )
+        .unwrap();
+        for t in 3..=6 {
+            e.advance_clock_to(Timestamp(t)).unwrap();
+            e.ingest_committed(Vec::new(), Timestamp(t)).unwrap();
+        }
+        let h = e.tentative_history();
+        runner.process(&h, None).unwrap();
+        // Fold everything before the watermark (6 − 2 = 4): states 1..3.
+        let k = e.compact_before(e.definite_frontier()).unwrap();
+        assert_eq!(k, 3);
+        runner.shift_down(k).unwrap();
+        assert_eq!(runner.frontier(), 3);
+        // Dirty the state at exactly the watermark (local index 0): the
+        // restore must come from the boundary evaluator — a fresh replay of
+        // the surviving suffix would never see the folded spike.
+        let dirty = e.ingest_committed(Vec::new(), Timestamp(4)).unwrap();
+        assert_eq!(dirty, 0);
+        let h = e.tentative_history();
+        let fired = runner.process(&h, Some(dirty)).unwrap();
+        assert_eq!(fired.len(), 3, "temporal memory survives the fold");
+        assert!(fired.iter().all(|f| f.time >= Timestamp(4)));
     }
 }

@@ -8,14 +8,29 @@
 //! * definite triggers fire only on values older than the maximum delay Δ,
 //!   i.e. exactly Δ late, but never based on data that can still change.
 //!
+//! On top of the raw firing log, the facade maintains a **phase-tagged
+//! stream** for watermarked out-of-order ingestion ([`VtActiveDatabase::
+//! ingest`] / [`VtActiveDatabase::advance_watermark`]): each tentative
+//! firing is announced as [`VtPhase::Tentative`]; when the watermark
+//! `W = now − Δ` passes its timestamp it is either **confirmed** (it
+//! survived every Δ-bounded revision) or **retracted** (a late arrival
+//! re-evaluated its state and it no longer fires). Confirmed firings are
+//! definite: no admissible arrival can change a state strictly behind `W`.
+//! With compaction enabled the definite prefix is folded into a Theorem-1
+//! style checkpoint (base database + per-rule evaluator snapshot), bounding
+//! memory by O(Δ) instead of O(history).
+//!
 //! Temporal integrity constraints are checked **online** at each commit
 //! (the only enforceable notion — "practically only online satisfaction
 //! can be enforced"); [`VtActiveDatabase::offline_report`] audits the final
-//! history offline.
+//! history offline, memoized per mutation so repeated audits of an
+//! unchanged watermark cost nothing.
+
+use std::cell::{Cell, RefCell};
 
 use tdb_engine::{TxnId, VtEngine, WriteOp};
 use tdb_ptl::Formula;
-use tdb_relation::{Database, Timestamp};
+use tdb_relation::{Database, QueryDef, Relation, Timestamp, Value};
 
 use crate::error::{CoreError, Result};
 use crate::incremental::EvalConfig;
@@ -29,9 +44,33 @@ pub enum VtMode {
     Definite,
 }
 
+/// Lifecycle phase of a streamed valid-time firing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VtPhase {
+    /// Fired on tentative data; may still be revised by a late arrival.
+    Tentative,
+    /// The watermark passed the firing's timestamp with the firing intact:
+    /// it is definite and will never change.
+    Confirmed,
+    /// A late arrival re-evaluated the firing's state and the condition no
+    /// longer holds (with these bindings): the tentative firing is revoked.
+    Retracted,
+}
+
+/// One phase-tagged event on the streamed firing channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VtFiringEvent {
+    pub phase: VtPhase,
+    pub record: FiringRecord,
+}
+
 #[derive(Debug)]
 enum VtRunner {
-    Tentative(TentativeTriggerRunner),
+    Tentative {
+        runner: TentativeTriggerRunner,
+        /// Announced-but-unconfirmed firings, ordered by state index.
+        pending: Vec<FiringRecord>,
+    },
     Definite(DefiniteTriggerRunner),
 }
 
@@ -47,6 +86,9 @@ struct VtConstraint {
     condition: Formula,
 }
 
+/// Per-constraint offline-satisfaction verdicts (`offline_report`).
+pub type OfflineReport = Vec<(String, bool)>;
+
 /// An active database over valid time.
 #[derive(Debug)]
 pub struct VtActiveDatabase {
@@ -54,9 +96,17 @@ pub struct VtActiveDatabase {
     rules: Vec<VtRule>,
     constraints: Vec<VtConstraint>,
     firing_log: Vec<FiringRecord>,
+    /// Phase-tagged stream of tentative/confirmed/retracted firings.
+    stream_log: Vec<VtFiringEvent>,
     cfg: EvalConfig,
     /// Earliest state index touched since the last rule pass.
     dirty_from: Option<usize>,
+    /// Fold the definite prefix into the base as the watermark advances.
+    compaction: bool,
+    /// Bumped on every history mutation; keys the offline-report memo.
+    version: u64,
+    offline_cache: RefCell<Option<(u64, OfflineReport)>>,
+    offline_evals: Cell<u64>,
 }
 
 impl VtActiveDatabase {
@@ -66,9 +116,54 @@ impl VtActiveDatabase {
             rules: Vec::new(),
             constraints: Vec::new(),
             firing_log: Vec::new(),
+            stream_log: Vec::new(),
             cfg: EvalConfig::default(),
             dirty_from: None,
+            compaction: false,
+            version: 0,
+            offline_cache: RefCell::new(None),
+            offline_evals: Cell::new(0),
         }
+    }
+
+    /// A streaming instance: same semantics, plus the definite prefix is
+    /// compacted into a checkpoint as the watermark advances (memory O(Δ)).
+    pub fn new_streaming(base: Database, max_delay: i64) -> VtActiveDatabase {
+        let mut vt = VtActiveDatabase::new(base, max_delay);
+        vt.compaction = true;
+        vt
+    }
+
+    /// Enables (or disables) definite-prefix compaction.
+    pub fn set_compaction(&mut self, on: bool) {
+        self.compaction = on;
+    }
+
+    /// Schema seeding: creates a relation in the base database. Like every
+    /// seed, only legal before the first ingest — states materialize lazily
+    /// from the base, so a later edit would rewrite history
+    /// ([`tdb_engine::EngineError::SeedAfterHistory`]).
+    pub fn create_relation(&mut self, name: impl Into<String>, rel: Relation) -> Result<()> {
+        self.engine
+            .base_mut()?
+            .create_relation(name, rel)
+            .map_err(CoreError::Rel)?;
+        self.version += 1;
+        Ok(())
+    }
+
+    /// Schema seeding: defines a named query in the base database.
+    pub fn define_query(&mut self, name: impl Into<String>, def: QueryDef) -> Result<()> {
+        self.engine.base_mut()?.define_query(name, def);
+        self.version += 1;
+        Ok(())
+    }
+
+    /// Schema seeding: sets an item value in the base database.
+    pub fn set_item(&mut self, name: impl Into<String>, value: Value) -> Result<()> {
+        self.engine.base_mut()?.set_item(name, value);
+        self.version += 1;
+        Ok(())
     }
 
     pub fn engine(&self) -> &VtEngine {
@@ -79,8 +174,42 @@ impl VtActiveDatabase {
         self.engine.now()
     }
 
+    /// The watermark `W = now − Δ`: firings with `time < W` are definite.
+    pub fn watermark(&self) -> Timestamp {
+        self.engine.definite_frontier()
+    }
+
     pub fn firings(&self) -> &[FiringRecord] {
         &self.firing_log
+    }
+
+    /// The full phase-tagged stream, in emission order.
+    pub fn stream_log(&self) -> &[VtFiringEvent] {
+        &self.stream_log
+    }
+
+    /// All confirmed (definite) firings, in confirmation order.
+    pub fn confirmed_firings(&self) -> Vec<FiringRecord> {
+        self.stream_log
+            .iter()
+            .filter(|e| e.phase == VtPhase::Confirmed)
+            .map(|e| e.record.clone())
+            .collect()
+    }
+
+    /// Number of announced tentative firings not yet confirmed or retracted.
+    pub fn pending_tentative(&self) -> usize {
+        self.rules
+            .iter()
+            .map(|r| match &r.runner {
+                VtRunner::Tentative { pending, .. } => pending.len(),
+                VtRunner::Definite(_) => 0,
+            })
+            .sum()
+    }
+
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
     }
 
     /// Registers a tentative or definite trigger.
@@ -94,12 +223,14 @@ impl VtActiveDatabase {
         if self.rules.iter().any(|r| r.name == name) {
             return Err(CoreError::DuplicateRule(name));
         }
+        // The checkpoint ring must span every state the watermark can fold
+        // in one step (at most Δ+1 instants hold live states above W).
+        let window = (self.engine.max_delay() as usize).saturating_add(4).max(8);
         let runner = match mode {
-            VtMode::Tentative => VtRunner::Tentative(TentativeTriggerRunner::new(
-                condition,
-                self.cfg.clone(),
-                256,
-            )),
+            VtMode::Tentative => VtRunner::Tentative {
+                runner: TentativeTriggerRunner::new(condition, self.cfg.clone(), window),
+                pending: Vec::new(),
+            },
             VtMode::Definite => {
                 VtRunner::Definite(DefiniteTriggerRunner::new(&condition, self.cfg.clone())?)
             }
@@ -109,29 +240,80 @@ impl VtActiveDatabase {
     }
 
     /// Registers a temporal integrity constraint, enforced online at every
-    /// commit.
+    /// commit (and at every stream ingest).
     pub fn add_constraint(&mut self, name: impl Into<String>, condition: Formula) -> Result<()> {
         let name = name.into();
         if self.constraints.iter().any(|c| c.name == name) {
             return Err(CoreError::DuplicateRule(name));
         }
         self.constraints.push(VtConstraint { name, condition });
+        self.version += 1;
         Ok(())
     }
 
     pub fn advance_clock(&mut self, delta: i64) -> Result<Timestamp> {
-        let t = self.engine.advance_clock(delta)?;
-        self.run_rules()?;
-        Ok(t)
+        let t = self.engine.now().plus(delta.max(0));
+        self.advance_to(t)?;
+        Ok(self.engine.now())
+    }
+
+    /// Advances the watermark by `delta` clock units, returning the events
+    /// this produced: tentative firings of newly evaluated states, plus a
+    /// Confirmed or Retracted resolution for every pending firing the new
+    /// watermark passed.
+    pub fn advance_watermark(&mut self, delta: i64) -> Result<Vec<VtFiringEvent>> {
+        let t = self.engine.now().plus(delta.max(0));
+        self.advance_to(t)
+    }
+
+    /// Advances the clock to an absolute instant (idempotent for `t ≤ now`),
+    /// firing rules, resolving pending firings behind the new watermark and
+    /// compacting the definite prefix when enabled.
+    pub fn advance_to(&mut self, t: Timestamp) -> Result<Vec<VtFiringEvent>> {
+        if t > self.engine.now() {
+            self.engine.advance_clock_to(t)?;
+            self.version += 1;
+        }
+        let mut events = self.run_rules()?;
+        events.extend(self.confirm_and_compact()?);
+        Ok(events)
+    }
+
+    /// Stream-ingests `ops` at an explicit valid time ≤ now (the arrival
+    /// instant). The update commits instantly at its valid instant, so the
+    /// resulting history depends only on `(valid, ops)` — never on arrival
+    /// order. Returns the phase-tagged events the ingest produced (new
+    /// tentative firings and retractions of revised ones).
+    pub fn ingest(&mut self, ops: Vec<WriteOp>, valid: Timestamp) -> Result<Vec<VtFiringEvent>> {
+        if !self.constraints.is_empty() {
+            // Stream events commit at their valid instant: enforce each
+            // constraint at that state over the would-be history.
+            let mut probe = self.engine.clone_for_probe();
+            let idx = probe.ingest_committed(ops.clone(), valid)?;
+            let h = probe.tentative_history();
+            for c in &self.constraints {
+                if !crate::validtime::holds_at(&c.condition, &h, idx)? {
+                    return Err(CoreError::ConstraintRejected {
+                        constraint: c.name.clone(),
+                    });
+                }
+            }
+        }
+        let idx = self.engine.ingest_committed(ops, valid)?;
+        self.version += 1;
+        self.dirty_from = Some(self.dirty_from.map_or(idx, |d| d.min(idx)));
+        self.run_rules()
     }
 
     pub fn begin(&mut self) -> Result<TxnId> {
+        self.version += 1;
         Ok(self.engine.begin()?)
     }
 
     /// Posts a (possibly retroactive) update.
     pub fn update_at(&mut self, txn: TxnId, op: WriteOp, valid: Timestamp) -> Result<usize> {
         let idx = self.engine.update_at(txn, op, valid)?;
+        self.version += 1;
         self.dirty_from = Some(self.dirty_from.map_or(idx, |d| d.min(idx)));
         Ok(idx)
     }
@@ -153,48 +335,172 @@ impl VtActiveDatabase {
         let mut probe = self.engine.clone_for_probe();
         probe.commit(txn)?;
         let t = probe.now();
+        let mut violated = None;
         for c in &self.constraints {
             if !online_satisfied(&probe, &c.condition)? {
-                self.engine.abort(txn)?;
-                return Err(CoreError::Engine(tdb_engine::EngineError::Aborted {
-                    txn,
-                    reason: format!("valid-time constraint `{}` violated online", c.name),
-                }));
+                violated = Some(c.name.clone());
+                break;
             }
         }
+        if let Some(name) = violated {
+            self.abort(txn)?;
+            return Err(CoreError::Engine(tdb_engine::EngineError::Aborted {
+                txn,
+                reason: format!("valid-time constraint `{name}` violated online"),
+            }));
+        }
         let idx = self.engine.commit(txn)?;
+        self.version += 1;
         debug_assert_eq!(self.engine.now(), t);
         self.run_rules()?;
         Ok(idx)
     }
 
+    /// Aborts a transaction. The abort dirties the txn's earliest updated
+    /// state so tentative rules re-evaluate the affected suffix — firings
+    /// that depended on the aborted updates are retracted on the stream.
     pub fn abort(&mut self, txn: TxnId) -> Result<usize> {
-        Ok(self.engine.abort(txn)?)
-    }
-
-    /// Runs every trigger over the current histories.
-    fn run_rules(&mut self) -> Result<()> {
-        let dirty = self.dirty_from.take();
-        let tentative = self.engine.tentative_history();
-        for rule in self.rules.iter_mut() {
-            let fired = match &mut rule.runner {
-                VtRunner::Tentative(r) => r.process(&tentative, dirty)?,
-                VtRunner::Definite(r) => r.process(&self.engine)?,
-            };
-            for mut f in fired {
-                f.rule = rule.name.clone();
-                self.firing_log.push(f);
+        let first = self.engine.first_update_of(txn);
+        let idx = self.engine.abort(txn)?;
+        self.version += 1;
+        if let Some(t) = first {
+            if let Some(d) = self.engine.state_index_at(t) {
+                self.dirty_from = Some(self.dirty_from.map_or(d, |x| x.min(d)));
             }
         }
-        Ok(())
+        self.run_rules()?;
+        Ok(idx)
+    }
+
+    /// Runs every trigger over the current histories, returning the stream
+    /// events (new tentative firings, retractions of revised ones, and
+    /// definite-trigger firings, which are confirmed on arrival).
+    fn run_rules(&mut self) -> Result<Vec<VtFiringEvent>> {
+        let dirty = self.dirty_from.take();
+        let tentative = self.engine.tentative_history();
+        let compacted = self.engine.compacted();
+        let mut events = Vec::new();
+        for rule in self.rules.iter_mut() {
+            match &mut rule.runner {
+                VtRunner::Tentative { runner, pending } => {
+                    // The region [start, end) is what `process` (re)fires.
+                    let start_local = match dirty {
+                        Some(d) => d.min(runner.frontier()),
+                        None => runner.frontier(),
+                    };
+                    let fired = runner.process(&tentative, dirty)?;
+                    // Diff the re-evaluated region against the pending set:
+                    // unchanged (time, env) pairs are refreshed silently,
+                    // new ones are announced, vanished ones retracted.
+                    let start_global = start_local + compacted;
+                    let split = pending.partition_point(|p| p.state_index < start_global);
+                    let mut revise: Vec<FiringRecord> = pending.split_off(split);
+                    for f in fired {
+                        let mut rec = f;
+                        rec.rule = rule.name.clone();
+                        rec.state_index += compacted;
+                        self.firing_log.push(rec.clone());
+                        match revise
+                            .iter()
+                            .position(|p| p.time == rec.time && p.env == rec.env)
+                        {
+                            Some(i) => {
+                                // Still fires: keep it pending with its
+                                // (possibly shifted) state index.
+                                revise.remove(i);
+                                pending.push(rec);
+                            }
+                            None => {
+                                pending.push(rec.clone());
+                                events.push(VtFiringEvent {
+                                    phase: VtPhase::Tentative,
+                                    record: rec,
+                                });
+                            }
+                        }
+                    }
+                    for p in revise {
+                        events.push(VtFiringEvent {
+                            phase: VtPhase::Retracted,
+                            record: p,
+                        });
+                    }
+                }
+                VtRunner::Definite(r) => {
+                    let fired = r.process(&self.engine)?;
+                    for mut f in fired {
+                        f.rule = rule.name.clone();
+                        f.state_index += compacted;
+                        self.firing_log.push(f.clone());
+                        events.push(VtFiringEvent {
+                            phase: VtPhase::Confirmed,
+                            record: f,
+                        });
+                    }
+                }
+            }
+        }
+        self.stream_log.extend(events.iter().cloned());
+        Ok(events)
+    }
+
+    /// Confirms every pending tentative firing the watermark has passed
+    /// (strictly — a state at exactly `W` can still receive an update with
+    /// `valid = now − Δ`), then folds the now-definite prefix into the
+    /// checkpoint when compaction is enabled.
+    fn confirm_and_compact(&mut self) -> Result<Vec<VtFiringEvent>> {
+        let w = self.engine.definite_frontier();
+        let mut confirmed: Vec<(usize, usize, FiringRecord)> = Vec::new();
+        for (pos, rule) in self.rules.iter_mut().enumerate() {
+            if let VtRunner::Tentative { pending, .. } = &mut rule.runner {
+                let split = pending.partition_point(|f| f.time < w);
+                for f in pending.drain(..split) {
+                    confirmed.push((f.state_index, pos, f));
+                }
+            }
+        }
+        // Deterministic cross-rule order: by state, then registration order
+        // (within one rule the solver's order is preserved by the stable
+        // sort) — the confirmed stream is byte-identical across arrival
+        // permutations.
+        confirmed.sort_by_key(|&(state, pos, _)| (state, pos));
+        let events: Vec<VtFiringEvent> = confirmed
+            .into_iter()
+            .map(|(_, _, record)| VtFiringEvent {
+                phase: VtPhase::Confirmed,
+                record,
+            })
+            .collect();
+        if self.compaction {
+            let k = self.engine.compact_before(w)?;
+            if k > 0 {
+                self.version += 1;
+                for rule in self.rules.iter_mut() {
+                    match &mut rule.runner {
+                        VtRunner::Tentative { runner, .. } => runner.shift_down(k)?,
+                        VtRunner::Definite(r) => r.shift_down(k),
+                    }
+                }
+            }
+        }
+        self.stream_log.extend(events.iter().cloned());
+        Ok(events)
     }
 
     /// Audits the (complete) history offline: which constraints are
     /// offline-satisfied? "Ideally, one would like to enforce offline
     /// satisfaction. However, practically only online satisfaction can be
-    /// enforced."
-    pub fn offline_report(&self) -> Result<Vec<(String, bool)>> {
-        self.constraints
+    /// enforced." Memoized per history version: repeated audits of an
+    /// unchanged watermark perform no re-evaluation.
+    pub fn offline_report(&self) -> Result<OfflineReport> {
+        if let Some((v, cached)) = self.offline_cache.borrow().as_ref() {
+            if *v == self.version {
+                return Ok(cached.clone());
+            }
+        }
+        self.offline_evals.set(self.offline_evals.get() + 1);
+        let report: OfflineReport = self
+            .constraints
             .iter()
             .map(|c| {
                 Ok((
@@ -202,7 +508,16 @@ impl VtActiveDatabase {
                     crate::validtime::offline_satisfied(&self.engine, &c.condition)?,
                 ))
             })
-            .collect()
+            .collect::<Result<_>>()?;
+        *self.offline_cache.borrow_mut() = Some((self.version, report.clone()));
+        Ok(report)
+    }
+
+    /// Number of full offline evaluations actually performed (memoization
+    /// observability; see the unit test pinning no re-evaluation for an
+    /// unchanged watermark).
+    pub fn offline_eval_count(&self) -> u64 {
+        self.offline_evals.get()
     }
 }
 
@@ -331,6 +646,31 @@ mod tests {
     }
 
     #[test]
+    fn offline_report_memoized_for_unchanged_watermark() {
+        let mut vt = VtActiveDatabase::new(base(), 10);
+        vt.add_constraint("cap", parse_formula("level() <= 100").unwrap())
+            .unwrap();
+        vt.advance_clock(1).unwrap();
+        let t = vt.begin().unwrap();
+        vt.update(t, set_level(5)).unwrap();
+        vt.commit(t).unwrap();
+        assert_eq!(vt.offline_eval_count(), 0);
+        let first = vt.offline_report().unwrap();
+        assert_eq!(vt.offline_eval_count(), 1);
+        // Unchanged history/watermark: served from the memo, no
+        // re-evaluation.
+        let second = vt.offline_report().unwrap();
+        let third = vt.offline_report().unwrap();
+        assert_eq!(vt.offline_eval_count(), 1);
+        assert_eq!(first, second);
+        assert_eq!(second, third);
+        // Any mutation invalidates the memo.
+        vt.advance_clock(1).unwrap();
+        vt.offline_report().unwrap();
+        assert_eq!(vt.offline_eval_count(), 2);
+    }
+
+    #[test]
     fn duplicate_names_rejected() {
         let mut vt = VtActiveDatabase::new(base(), 5);
         vt.add_trigger(
@@ -347,5 +687,148 @@ mod tests {
         assert!(vt
             .add_constraint("c", parse_formula("level() >= 0").unwrap())
             .is_err());
+    }
+
+    // ---- streaming (watermarked out-of-order ingestion) -------------------
+
+    /// A rising-edge trigger over `level` (`lasttime` = previous state).
+    fn edge_formula() -> Formula {
+        parse_formula("level() >= 10 and lasttime(level() < 10)").unwrap()
+    }
+
+    #[test]
+    fn stream_confirms_behind_watermark() {
+        let mut vt = VtActiveDatabase::new_streaming(base(), 3);
+        vt.add_trigger("edge", edge_formula(), VtMode::Tentative)
+            .unwrap();
+        let mut all = Vec::new();
+        // Baseline state at t=0 so the edge has a predecessor.
+        all.extend(vt.ingest(Vec::new(), Timestamp(0)).unwrap());
+        all.extend(vt.advance_to(Timestamp(1)).unwrap());
+        all.extend(vt.ingest(vec![set_level(12)], Timestamp(1)).unwrap());
+        assert!(
+            all.iter()
+                .any(|e| e.phase == VtPhase::Tentative && e.record.time == Timestamp(1)),
+            "the edge fires tentatively on arrival"
+        );
+        assert_eq!(vt.pending_tentative(), 1);
+        // Watermark must pass STRICTLY beyond t=1: at now=4, W=1 and the
+        // state can still change; at now=5, W=2 > 1 confirms.
+        let ev = vt.advance_to(Timestamp(4)).unwrap();
+        assert!(ev.iter().all(|e| e.phase != VtPhase::Confirmed));
+        assert_eq!(vt.pending_tentative(), 1);
+        let ev = vt.advance_to(Timestamp(5)).unwrap();
+        assert!(ev
+            .iter()
+            .any(|e| e.phase == VtPhase::Confirmed && e.record.time == Timestamp(1)));
+        assert_eq!(vt.pending_tentative(), 0);
+        assert_eq!(vt.confirmed_firings().len(), 1);
+    }
+
+    #[test]
+    fn late_arrival_retracts_revised_firing() {
+        let mut vt = VtActiveDatabase::new_streaming(base(), 5);
+        vt.add_trigger("edge", edge_formula(), VtMode::Tentative)
+            .unwrap();
+        vt.ingest(Vec::new(), Timestamp(0)).unwrap();
+        vt.advance_to(Timestamp(3)).unwrap();
+        let ev = vt.ingest(vec![set_level(12)], Timestamp(3)).unwrap();
+        assert!(ev.iter().any(|e| e.phase == VtPhase::Tentative));
+        // A late arrival plants level=15 at t=1: the edge at t=3 is no
+        // longer a rising edge (level was already ≥ 10 before it).
+        vt.advance_to(Timestamp(4)).unwrap();
+        let ev = vt.ingest(vec![set_level(15)], Timestamp(1)).unwrap();
+        assert!(
+            ev.iter()
+                .any(|e| e.phase == VtPhase::Retracted && e.record.time == Timestamp(3)),
+            "the revised firing is retracted: {ev:?}"
+        );
+        assert!(
+            ev.iter()
+                .any(|e| e.phase == VtPhase::Tentative && e.record.time == Timestamp(1)),
+            "the edge moved to the late arrival's valid time"
+        );
+        // Flush: only the t=1 edge confirms.
+        vt.advance_to(Timestamp(20)).unwrap();
+        let confirmed = vt.confirmed_firings();
+        assert_eq!(confirmed.len(), 1);
+        assert_eq!(confirmed[0].time, Timestamp(1));
+        assert_eq!(vt.pending_tentative(), 0);
+    }
+
+    #[test]
+    fn abort_retracts_dependent_tentative_firing() {
+        let mut vt = VtActiveDatabase::new(base(), 10);
+        vt.add_trigger("edge", edge_formula(), VtMode::Tentative)
+            .unwrap();
+        // Baseline committed state at t=1 so the edge has a predecessor.
+        vt.advance_clock(1).unwrap();
+        let t0 = vt.begin().unwrap();
+        vt.update(t0, set_level(2)).unwrap();
+        vt.commit(t0).unwrap();
+        vt.advance_clock(1).unwrap();
+        let t = vt.begin().unwrap();
+        vt.update(t, set_level(12)).unwrap();
+        vt.advance_clock(1).unwrap();
+        assert!(vt
+            .stream_log()
+            .iter()
+            .any(|e| e.phase == VtPhase::Tentative && e.record.time == Timestamp(2)));
+        // Aborting the transaction removes the spike: the firing retracts.
+        vt.abort(t).unwrap();
+        assert!(
+            vt.stream_log()
+                .iter()
+                .any(|e| e.phase == VtPhase::Retracted && e.record.time == Timestamp(2)),
+            "abort retracts the dependent firing: {:?}",
+            vt.stream_log()
+        );
+        assert_eq!(vt.pending_tentative(), 0);
+    }
+
+    #[test]
+    fn constraint_rejects_stream_ingest() {
+        let mut vt = VtActiveDatabase::new_streaming(base(), 5);
+        vt.add_constraint("cap", parse_formula("level() <= 100").unwrap())
+            .unwrap();
+        vt.advance_to(Timestamp(1)).unwrap();
+        let err = vt.ingest(vec![set_level(500)], Timestamp(1)).unwrap_err();
+        assert!(matches!(err, CoreError::ConstraintRejected { .. }));
+        // The rejected ingest left no trace.
+        assert_eq!(vt.engine().state_count(), 0);
+        assert!(vt.ingest(vec![set_level(50)], Timestamp(1)).is_ok());
+    }
+
+    #[test]
+    fn compaction_bounds_memory_without_changing_the_stream() {
+        let run = |compaction: bool| {
+            let mut vt = if compaction {
+                VtActiveDatabase::new_streaming(base(), 4)
+            } else {
+                VtActiveDatabase::new(base(), 4)
+            };
+            vt.add_trigger("edge", edge_formula(), VtMode::Tentative)
+                .unwrap();
+            let mut max_states = 0usize;
+            for t in 1..=60i64 {
+                vt.advance_to(Timestamp(t)).unwrap();
+                let level = if t % 7 == 0 { 15 } else { 2 };
+                vt.ingest(vec![set_level(level)], Timestamp(t)).unwrap();
+                max_states = max_states.max(vt.engine().state_count());
+            }
+            vt.advance_to(Timestamp(70)).unwrap();
+            (vt.confirmed_firings(), max_states, vt.pending_tentative())
+        };
+        let (with, bounded, pending_with) = run(true);
+        let (without, unbounded, pending_without) = run(false);
+        assert_eq!(with, without, "compaction never changes the stream");
+        assert_eq!(pending_with, 0);
+        assert_eq!(pending_without, 0);
+        assert!(
+            bounded <= 4 + 2,
+            "live states stay O(Δ) under compaction: {bounded}"
+        );
+        assert!(unbounded >= 50, "without compaction history grows");
+        assert!(!with.is_empty(), "the periodic spikes confirm");
     }
 }

@@ -22,10 +22,17 @@ pub enum EngineError {
     ValidTimeTooOld { valid: i64, limit: i64 },
     /// A valid time in the future of the transaction time.
     ValidTimeInFuture { valid: i64, now: i64 },
+    /// Compaction would fold an update whose transaction is still undecided
+    /// (or commits at/after the cutoff), which could change a future view.
+    CompactionBlocked { txn: TxnId },
     /// An error bubbled up from the relational substrate.
     Rel(RelError),
     /// The transaction was aborted by an integrity constraint.
     Aborted { txn: TxnId, reason: String },
+    /// Base-schema seeding attempted after the valid-time history already
+    /// holds states (which materialize lazily from the base, so a later
+    /// base edit would silently rewrite them).
+    SeedAfterHistory,
 }
 
 impl fmt::Display for EngineError {
@@ -51,9 +58,18 @@ impl fmt::Display for EngineError {
                     "valid time {valid} is in the future of transaction time {now}"
                 )
             }
+            EngineError::CompactionBlocked { txn } => {
+                write!(f, "cannot compact past undecided transaction {txn}")
+            }
             EngineError::Rel(e) => write!(f, "{e}"),
             EngineError::Aborted { txn, reason } => {
                 write!(f, "transaction {txn} aborted: {reason}")
+            }
+            EngineError::SeedAfterHistory => {
+                write!(
+                    f,
+                    "base-schema seeding requires an empty valid-time history"
+                )
             }
         }
     }

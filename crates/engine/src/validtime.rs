@@ -49,6 +49,13 @@ struct VtState {
 struct VtTxn {
     status: TxnStatus,
     commit_time: Option<Timestamp>,
+    /// Number of this transaction's updates still held in live (uncompacted)
+    /// states; once it reaches zero a decided transaction behind the
+    /// compaction cutoff can be forgotten, keeping the txn table O(Δ).
+    live_updates: usize,
+    /// Valid time of the transaction's earliest update (for re-evaluation
+    /// after an abort).
+    first_update: Option<Timestamp>,
 }
 
 /// The valid-time engine.
@@ -62,6 +69,9 @@ pub struct VtEngine {
     /// The maximum delay Δ: an update's valid time may lag the current time
     /// by at most this many clock units.
     max_delay: i64,
+    /// Number of states folded into `base` by [`VtEngine::compact_before`];
+    /// global state indices are `local index + compacted`.
+    compacted: usize,
 }
 
 impl VtEngine {
@@ -73,6 +83,7 @@ impl VtEngine {
             txns: BTreeMap::new(),
             next_txn: 1,
             max_delay: max_delay.max(0),
+            compacted: 0,
         }
     }
 
@@ -93,11 +104,30 @@ impl VtEngine {
         self.clock.advance_by(delta)
     }
 
+    /// Advances the clock to an absolute instant (equal is allowed — several
+    /// events may arrive at one instant).
+    pub fn advance_clock_to(&mut self, t: Timestamp) -> Result<Timestamp> {
+        self.clock.advance_to(t)?;
+        Ok(self.now())
+    }
+
     /// A deep copy used to validate a commit against the constraints before
     /// actually committing (the valid-time engine has no prepared commits —
     /// a commit only adds a state, so probing a clone is cheap).
     pub fn clone_for_probe(&self) -> VtEngine {
         self.clone()
+    }
+
+    /// Mutable access to the base database, for schema seeding (relations,
+    /// query definitions, item pokes) before the first update. States
+    /// materialize lazily from the base, so once any state exists — live or
+    /// compacted — or a transaction is open, a base edit would silently
+    /// rewrite history; that is [`EngineError::SeedAfterHistory`].
+    pub fn base_mut(&mut self) -> Result<&mut Database> {
+        if !self.states.is_empty() || self.compacted > 0 || !self.txns.is_empty() {
+            return Err(EngineError::SeedAfterHistory);
+        }
+        Ok(&mut self.base)
     }
 
     /// Begins a transaction (its begin event is recorded at the current
@@ -111,6 +141,8 @@ impl VtEngine {
             VtTxn {
                 status: TxnStatus::Active,
                 commit_time: None,
+                live_updates: 0,
+                first_update: None,
             },
         );
         self.merge_state(self.now(), EventSet::of([Event::txn_begin(id)]), Vec::new())?;
@@ -140,7 +172,49 @@ impl VtEngine {
             });
         }
         let events = EventSet::of([Event::update(op.target())]);
-        self.merge_state(valid, events, vec![VtUpdate { txn, op }])
+        let idx = self.merge_state(valid, events, vec![VtUpdate { txn, op }])?;
+        let info = self.txns.get_mut(&txn).expect("checked above");
+        info.live_updates += 1;
+        info.first_update = Some(info.first_update.map_or(valid, |f| f.min(valid)));
+        Ok(idx)
+    }
+
+    /// Stream ingestion for watermarked out-of-order arrival: posts `ops` at
+    /// their valid time as a transaction that commits instantly, recording
+    /// no lifecycle event states. The commit point is the *valid* instant,
+    /// so the resulting state set depends only on `(valid, ops)` — never on
+    /// arrival time — which is what makes Δ-bounded disorder replayable:
+    /// every arrival permutation of the same events yields byte-identical
+    /// histories. Returns the (local) index of the state at `valid`.
+    pub fn ingest_committed(&mut self, ops: Vec<WriteOp>, valid: Timestamp) -> Result<usize> {
+        let now = self.now();
+        if valid > now {
+            return Err(EngineError::ValidTimeInFuture {
+                valid: valid.0,
+                now: now.0,
+            });
+        }
+        let limit = now.minus(self.max_delay);
+        if valid < limit {
+            return Err(EngineError::ValidTimeTooOld {
+                valid: valid.0,
+                limit: limit.0,
+            });
+        }
+        let id = TxnId(self.next_txn);
+        self.next_txn += 1;
+        self.txns.insert(
+            id,
+            VtTxn {
+                status: TxnStatus::Committed,
+                commit_time: Some(valid),
+                live_updates: ops.len(),
+                first_update: if ops.is_empty() { None } else { Some(valid) },
+            },
+        );
+        let events = EventSet::of(ops.iter().map(|op| Event::update(op.target())));
+        let updates = ops.into_iter().map(|op| VtUpdate { txn: id, op }).collect();
+        self.merge_state(valid, events, updates)
     }
 
     /// Posts an update effective right now.
@@ -194,9 +268,76 @@ impl VtEngine {
         self.merge_state(now, EventSet::of([Event::txn_abort(txn)]), Vec::new())
     }
 
-    /// Number of valid-time states.
+    /// Number of live (uncompacted) valid-time states.
     pub fn state_count(&self) -> usize {
         self.states.len()
+    }
+
+    /// Number of states folded into the base by [`VtEngine::compact_before`].
+    /// The global index of live state `i` is `i + compacted()`.
+    pub fn compacted(&self) -> usize {
+        self.compacted
+    }
+
+    /// Local index of the live state at exactly `t`, if one exists.
+    pub fn state_index_at(&self, t: Timestamp) -> Option<usize> {
+        self.states.binary_search_by_key(&t, |s| s.time).ok()
+    }
+
+    /// Valid time of `txn`'s earliest update, if any survive uncompacted.
+    pub fn first_update_of(&self, txn: TxnId) -> Option<Timestamp> {
+        self.txns.get(&txn).and_then(|i| i.first_update)
+    }
+
+    /// Folds every state strictly before `cutoff` into the base database and
+    /// drops it from the live history, keeping memory O(Δ) instead of
+    /// O(history). Folding must not change any future materialized view, so
+    /// every update in the folded prefix must belong to a *decided*
+    /// transaction whose commit point is itself behind `cutoff` (always true
+    /// for [`VtEngine::ingest_committed`] streams, where the commit point is
+    /// the valid instant); otherwise [`EngineError::CompactionBlocked`] is
+    /// returned and nothing is folded. Returns the number of folded states.
+    pub fn compact_before(&mut self, cutoff: Timestamp) -> Result<usize> {
+        let k = self.states.partition_point(|s| s.time < cutoff);
+        if k == 0 {
+            return Ok(0);
+        }
+        // Validate before mutating: all-or-nothing.
+        for s in &self.states[..k] {
+            for u in &s.updates {
+                let decided_behind = self.txns.get(&u.txn).is_some_and(|i| match i.status {
+                    TxnStatus::Aborted => true,
+                    TxnStatus::Committed => i.commit_time.is_some_and(|ct| ct < cutoff),
+                    TxnStatus::Active => false,
+                });
+                if !decided_behind {
+                    return Err(EngineError::CompactionBlocked { txn: u.txn });
+                }
+            }
+        }
+        for s in &self.states[..k] {
+            for u in &s.updates {
+                if self
+                    .txns
+                    .get(&u.txn)
+                    .is_some_and(|i| i.status == TxnStatus::Committed)
+                {
+                    u.op.apply(&mut self.base)?;
+                }
+                if let Some(info) = self.txns.get_mut(&u.txn) {
+                    info.live_updates = info.live_updates.saturating_sub(1);
+                }
+            }
+        }
+        self.states.drain(..k);
+        self.compacted += k;
+        // Transactions wholly behind the fold can be forgotten.
+        self.txns.retain(|_, i| {
+            i.status == TxnStatus::Active
+                || i.live_updates > 0
+                || i.commit_time.is_some_and(|ct| ct >= cutoff)
+        });
+        Ok(k)
     }
 
     fn state_at(&self, t: Timestamp) -> Option<&VtState> {
@@ -568,6 +709,114 @@ mod tests {
             h.get(idx).unwrap().db().item("price_IBM").unwrap(),
             Value::Int(2)
         );
+    }
+
+    /// `(time, price-if-set)` fingerprint of a materialized history.
+    fn fingerprint(h: &History) -> Vec<(i64, Option<i64>)> {
+        (0..h.len())
+            .map(|i| {
+                let s = h.get(i).unwrap();
+                let p = s.db().item("price_IBM").ok().and_then(|v| v.as_i64());
+                (s.time().0, p)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ingest_committed_is_arrival_order_independent() {
+        // The same three events under two Δ-bounded arrival orders must
+        // produce byte-identical state sets: no lifecycle states, and the
+        // commit point is the valid instant.
+        let drive = |order: &[(i64, i64)]| {
+            let mut e = VtEngine::new(base(), 10);
+            e.advance_clock(5).unwrap();
+            for &(v, p) in order {
+                e.ingest_committed(vec![set_price(p)], Timestamp(v))
+                    .unwrap();
+            }
+            e
+        };
+        let in_order = drive(&[(1, 10), (2, 20), (3, 30)]);
+        let shuffled = drive(&[(3, 30), (1, 10), (2, 20)]);
+        assert_eq!(
+            fingerprint(&in_order.committed_history_at_infinity()),
+            fingerprint(&shuffled.committed_history_at_infinity())
+        );
+        assert_eq!(
+            fingerprint(&in_order.tentative_history()),
+            fingerprint(&shuffled.tentative_history())
+        );
+        // Instant commit at the valid instant: tentative and committed agree.
+        assert_eq!(
+            fingerprint(&in_order.tentative_history()),
+            fingerprint(&in_order.committed_history_at_infinity())
+        );
+    }
+
+    #[test]
+    fn ingest_committed_enforces_delta_window() {
+        let mut e = VtEngine::new(base(), 3);
+        e.advance_clock(10).unwrap();
+        assert!(matches!(
+            e.ingest_committed(vec![set_price(1)], Timestamp(6)),
+            Err(EngineError::ValidTimeTooOld { .. })
+        ));
+        assert!(matches!(
+            e.ingest_committed(vec![set_price(1)], Timestamp(11)),
+            Err(EngineError::ValidTimeInFuture { .. })
+        ));
+        assert!(e.ingest_committed(vec![set_price(1)], Timestamp(7)).is_ok());
+    }
+
+    #[test]
+    fn compaction_preserves_views_and_offsets_indices() {
+        let mut e = VtEngine::new(base(), 3);
+        for v in 1..=5 {
+            e.advance_clock_to(Timestamp(v)).unwrap();
+            e.ingest_committed(vec![set_price(v)], Timestamp(v))
+                .unwrap();
+        }
+        let before = fingerprint(&e.tentative_history());
+        // Watermark at now − Δ = 2: states strictly before it fold away.
+        let folded = e.compact_before(e.definite_frontier()).unwrap();
+        assert_eq!(folded, 1);
+        assert_eq!(e.compacted(), 1);
+        assert_eq!(e.state_count(), 4);
+        // The surviving suffix is unchanged (the fold moved state 1's write
+        // into the base, so state 2 still sees price 2 on top of it).
+        let after = fingerprint(&e.tentative_history());
+        assert_eq!(after, before[1..].to_vec());
+        // The folded transaction was pruned from the txn table.
+        assert_eq!(e.commit_time(TxnId(1)), None);
+        assert_eq!(e.commit_time(TxnId(2)), Some(Timestamp(2)));
+        // Compacting again at the same cutoff is a no-op.
+        assert_eq!(e.compact_before(e.definite_frontier()).unwrap(), 0);
+    }
+
+    #[test]
+    fn compaction_blocked_by_undecided_transaction() {
+        let mut e = VtEngine::new(base(), 100);
+        e.advance_clock(1).unwrap();
+        let t = e.begin().unwrap();
+        e.update(t, set_price(9)).unwrap();
+        e.advance_clock(10).unwrap();
+        assert!(matches!(
+            e.compact_before(Timestamp(5)),
+            Err(EngineError::CompactionBlocked { .. })
+        ));
+        // Nothing was folded.
+        assert_eq!(e.compacted(), 0);
+        // Once decided (aborted), the fold goes through and the update is
+        // skipped.
+        e.abort(t).unwrap();
+        assert!(e.compact_before(Timestamp(5)).unwrap() > 0);
+        assert!(e
+            .tentative_history()
+            .last()
+            .unwrap()
+            .db()
+            .item("price_IBM")
+            .is_err());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! tdb-server [--addr HOST:PORT] [--workers N] [--data-dir DIR]
 //!            [--lint allow|warn|deny] [--no-sync]
 //!            [--conn-mode poll|thread] [--coalesce-window USEC]
-//!            [--no-adaptive] [--no-rebalance] [--quiet]
+//!            [--max-delay TICKS] [--no-adaptive] [--no-rebalance] [--quiet]
 //! ```
 //!
 //! Prints `listening on <addr>` (the resolved address — port 0 works) once
@@ -21,7 +21,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: tdb-server [--addr HOST:PORT] [--workers N] [--data-dir DIR] \
          [--lint allow|warn|deny] [--no-sync] [--conn-mode poll|thread] \
-         [--coalesce-window USEC] [--no-adaptive] [--no-rebalance] [--quiet]"
+         [--coalesce-window USEC] [--max-delay TICKS] [--no-adaptive] \
+         [--no-rebalance] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -65,6 +66,12 @@ fn main() -> ExitCode {
             "--coalesce-window" => match value("microseconds").parse() {
                 Ok(us) => cfg.coalesce_window_us = us,
                 Err(_) => usage(),
+            },
+            // Default disorder bound Δ for valid-time tenants created
+            // without an explicit one (watermark W = now − Δ).
+            "--max-delay" => match value("ticks").parse() {
+                Ok(d) if d >= 0 => cfg.max_delay = d,
+                _ => usage(),
             },
             "--no-adaptive" => cfg.adaptive_coalesce = false,
             "--no-rebalance" => cfg.rebalance = false,

@@ -11,6 +11,8 @@ use std::time::Duration;
 
 use tdb_core::rules::FiringRecord;
 use tdb_core::storage::LogicalOp;
+use tdb_core::VtFiringEvent;
+use tdb_engine::WriteOp;
 use tdb_relation::{Relation, Timestamp, Value};
 
 use crate::wire::{
@@ -59,6 +61,8 @@ pub struct Client {
     /// Streamed `Firing` frames that arrived while awaiting a response:
     /// `(subscription id, record)`.
     queued: VecDeque<(u64, FiringRecord)>,
+    /// Streamed valid-time `VtFiring` frames, queued the same way.
+    queued_vt: VecDeque<(u64, VtFiringEvent)>,
     /// Reusable frame-read buffer (grow-only with evict, see
     /// [`FrameScratch`]).
     scratch: FrameScratch,
@@ -74,6 +78,7 @@ impl Client {
             reader: stream,
             next_id: 1,
             queued: VecDeque::new(),
+            queued_vt: VecDeque::new(),
             scratch: FrameScratch::new(),
         };
         match c.request(Request::Hello {
@@ -101,6 +106,7 @@ impl Client {
             let (rid, resp) = decode_response(payload)?;
             match resp {
                 Response::Firing { record } => self.queued.push_back((rid, record)),
+                Response::VtFiring { event } => self.queued_vt.push_back((rid, event)),
                 Response::Error { code, message } if rid == id || rid == 0 => {
                     return Err(ServerError::Remote { code, message })
                 }
@@ -136,6 +142,19 @@ impl Client {
         match self.request(Request::CreateTenant {
             name: name.into(),
             durable,
+        })? {
+            Response::TenantCreated => Ok(()),
+            other => Err(unexpected("TenantCreated", &other)),
+        }
+    }
+
+    /// Creates a valid-time tenant: out-of-order `commit_at` ingests with
+    /// disorder bound Δ = `max_delay` (`<= 0` takes the server default).
+    pub fn create_vt_tenant(&mut self, name: &str, durable: bool, max_delay: i64) -> Result<()> {
+        match self.request(Request::CreateVtTenant {
+            name: name.into(),
+            durable,
+            max_delay,
         })? {
             Response::TenantCreated => Ok(()),
             other => Err(unexpected("TenantCreated", &other)),
@@ -178,6 +197,29 @@ impl Client {
         }
     }
 
+    /// Streaming ingest on a valid-time tenant: applies `ops` at the
+    /// explicit valid time `valid` (which may trail `arrival` by up to the
+    /// tenant's Δ). Returns the post-ingest watermark and the phase-tagged
+    /// stream events — tentative announcements, confirmations, retractions
+    /// — the ingest produced.
+    pub fn commit_at(
+        &mut self,
+        tenant: &str,
+        arrival: Timestamp,
+        valid: Timestamp,
+        ops: Vec<WriteOp>,
+    ) -> Result<(Timestamp, Vec<VtFiringEvent>)> {
+        match self.request(Request::CommitAt {
+            tenant: tenant.into(),
+            arrival,
+            valid,
+            ops,
+        })? {
+            Response::VtCommitted { watermark, events } => Ok((watermark, events)),
+            other => Err(unexpected("VtCommitted", &other)),
+        }
+    }
+
     /// Applies `ops` as one atomic group commit: the server writes a single
     /// WAL record, fsyncs once, and dispatches one evaluation slice. The
     /// `Ok` means the entire batch is durable; a crash mid-batch recovers
@@ -211,6 +253,29 @@ impl Client {
         })? {
             Response::SnapshotData { bytes } => Ok(bytes),
             other => Err(unexpected("SnapshotData", &other)),
+        }
+    }
+
+    /// The next streamed valid-time event: `(subscription id, event)`.
+    /// Blocks until one arrives (subject to the read timeout).
+    pub fn recv_vt_event(&mut self) -> Result<(u64, VtFiringEvent)> {
+        if let Some(e) = self.queued_vt.pop_front() {
+            return Ok(e);
+        }
+        let payload = read_frame_into(&mut self.reader, &mut self.scratch)?;
+        let (rid, resp) = decode_response(payload)?;
+        match resp {
+            Response::VtFiring { event } => Ok((rid, event)),
+            Response::Firing { record } => {
+                self.queued.push_back((rid, record));
+                Err(ServerError::Invalid(
+                    "expected a streamed valid-time event, got a plain firing (queued)".into(),
+                ))
+            }
+            Response::Error { code, message } => Err(ServerError::Remote { code, message }),
+            other => Err(ServerError::Invalid(format!(
+                "expected a streamed valid-time event, got {other:?}"
+            ))),
         }
     }
 

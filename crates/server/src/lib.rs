@@ -38,6 +38,7 @@ pub mod poll;
 pub mod runtime;
 pub mod server;
 pub mod tenant;
+pub mod vtshard;
 pub mod wire;
 
 use std::fmt;

@@ -26,6 +26,11 @@ pub struct ServerMetrics {
     pub conn_backpressure: Counter,
     /// Tenant re-pins executed by the load balancer.
     pub repins: Counter,
+    /// Valid-time stream events by phase: announced-before-the-watermark
+    /// firings, definite confirmations, and retroactive retractions.
+    pub vt_tentative: Counter,
+    pub vt_confirmed: Counter,
+    pub vt_retractions: Counter,
 }
 
 impl ServerMetrics {
@@ -43,6 +48,9 @@ impl ServerMetrics {
             firings_streamed: r.counter("tdb_server_firings_streamed_total"),
             conn_backpressure: r.counter("tdb_server_conn_backpressure_total"),
             repins: r.counter("tdb_server_tenant_repins_total"),
+            vt_tentative: r.counter("tdb_vt_tentative_total"),
+            vt_confirmed: r.counter("tdb_vt_confirmed_total"),
+            vt_retractions: r.counter("tdb_vt_retractions_total"),
         }
     }
 
@@ -84,6 +92,14 @@ pub fn publish_tenant_gauges(name: &str, stats: &tdb_core::ShardStats, wal_bytes
     // with k strata, -1 = cascade-required.
     r.gauge_with("tdb_server_batch_safety", labels)
         .set(stats.batch_safety.gauge_value());
+}
+
+/// Publishes a valid-time tenant's watermark gauge (`W = now − Δ`): the
+/// instant up to which its firing stream is definite.
+pub fn publish_vt_watermark(name: &str, watermark: tdb_relation::Timestamp) {
+    global()
+        .gauge_with("tdb_server_vt_watermark", &[("tenant", name)])
+        .set(watermark.0);
 }
 
 #[cfg(test)]

@@ -47,7 +47,7 @@ use tdb_storage::codec::encode_snapshot;
 use tdb_storage::CheckpointPolicy;
 
 use crate::conn::{DEFAULT_OUTBUF_HARD, DEFAULT_OUTBUF_SOFT};
-use crate::metrics::{publish_tenant_gauges, ServerMetrics};
+use crate::metrics::{publish_tenant_gauges, publish_vt_watermark, ServerMetrics};
 use crate::tenant::Tenant;
 use crate::wire::{
     encode_response, write_frame, ErrorCode, MetricsFormat, Request, Response, PROTOCOL_VERSION,
@@ -100,6 +100,11 @@ pub struct ServerConfig {
     /// connection is killed instead of buffering without bound.
     pub outbuf_soft_limit: usize,
     pub outbuf_hard_limit: usize,
+    /// Default disorder bound Δ for valid-time tenants created without an
+    /// explicit one (`CreateVtTenant { max_delay: 0 }`): out-of-order
+    /// `CommitAt` ingests may arrive up to Δ ticks after their valid time,
+    /// and the watermark `W = now − Δ` trails the clock by the same bound.
+    pub max_delay: i64,
 }
 
 impl Default for ServerConfig {
@@ -119,6 +124,7 @@ impl Default for ServerConfig {
             rebalance: true,
             outbuf_soft_limit: DEFAULT_OUTBUF_SOFT,
             outbuf_hard_limit: DEFAULT_OUTBUF_HARD,
+            max_delay: 32,
         }
     }
 }
@@ -290,9 +296,12 @@ enum CreateSink {
 /// a dropped reply receiver just discards the answer.
 enum Job {
     /// Create (or, at startup, reopen) a tenant on this worker.
+    /// `vt: Some(Δ)` creates a valid-time tenant with that (already
+    /// resolved) disorder bound.
     Create {
         name: String,
         durable: bool,
+        vt: Option<i64>,
         reply: CreateSink,
     },
     Register {
@@ -304,6 +313,16 @@ enum Job {
         tenant: String,
         ops: Vec<LogicalOp>,
         reply: CommitReply,
+    },
+    /// Streaming ingest on a valid-time tenant: writes at an explicit
+    /// valid time ≤ the arrival instant. Replies with the watermark and
+    /// the phase-tagged stream events the ingest produced.
+    CommitAt {
+        tenant: String,
+        arrival: tdb_relation::Timestamp,
+        valid: tdb_relation::Timestamp,
+        ops: Vec<tdb_engine::WriteOp>,
+        reply: Sender<Result<(tdb_relation::Timestamp, Vec<tdb_core::VtFiringEvent>)>>,
     },
     /// Group commit: `ops` become one WAL record / one fsync / one
     /// evaluation slice (see `ActiveDatabase::commit_batch`).
@@ -387,6 +406,7 @@ impl Job {
         match self {
             Job::Register { tenant, .. }
             | Job::Commit { tenant, .. }
+            | Job::CommitAt { tenant, .. }
             | Job::CommitBatch { tenant, .. }
             | Job::Query { tenant, .. }
             | Job::Snapshot { tenant, .. }
@@ -409,6 +429,7 @@ impl std::fmt::Debug for Job {
             Job::Create { .. } => "Create",
             Job::Register { .. } => "Register",
             Job::Commit { .. } => "Commit",
+            Job::CommitAt { .. } => "CommitAt",
             Job::CommitBatch { .. } => "CommitBatch",
             Job::Query { .. } => "Query",
             Job::Snapshot { .. } => "Snapshot",
@@ -639,6 +660,25 @@ impl Runtime {
     /// against a directory left by a previous incarnation, which is how
     /// restart recovery works; a *live* duplicate name is a typed error).
     pub fn create_tenant(&self, name: &str, durable: bool) -> Result<()> {
+        self.create_any(name, durable, None)
+    }
+
+    /// Creates a valid-time tenant: `CommitAt` ingests instead of in-order
+    /// commits, watermark `W = now − Δ`. `max_delay <= 0` takes the
+    /// server-wide default (`--max-delay`).
+    pub fn create_vt_tenant(&self, name: &str, durable: bool, max_delay: i64) -> Result<()> {
+        self.create_any(name, durable, Some(self.resolve_max_delay(max_delay)))
+    }
+
+    fn resolve_max_delay(&self, max_delay: i64) -> i64 {
+        if max_delay <= 0 {
+            self.cfg.max_delay
+        } else {
+            max_delay
+        }
+    }
+
+    fn create_any(&self, name: &str, durable: bool, vt: Option<i64>) -> Result<()> {
         let (worker, guard) = self.reserve_route(name, durable)?;
         let (tx, rx) = channel();
         let sent = self.enqueue(
@@ -646,6 +686,7 @@ impl Runtime {
             Job::Create {
                 name: name.to_string(),
                 durable,
+                vt,
                 reply: CreateSink::Channel(tx),
             },
             Some(guard),
@@ -731,6 +772,33 @@ impl Runtime {
             tenant,
             Job::Commit {
                 tenant: tenant.to_string(),
+                ops,
+                reply: tx,
+            },
+        )?;
+        recv_reply(rx)
+    }
+
+    /// Streaming ingest on a valid-time tenant: applies `ops` at the
+    /// explicit valid time `valid`, with the tenant clock advanced to
+    /// `arrival` first. Returns the post-ingest watermark and the
+    /// phase-tagged stream events (tentative announcements, confirmations,
+    /// retractions) the ingest produced.
+    #[allow(clippy::type_complexity)]
+    pub fn commit_at(
+        &self,
+        tenant: &str,
+        arrival: tdb_relation::Timestamp,
+        valid: tdb_relation::Timestamp,
+        ops: Vec<tdb_engine::WriteOp>,
+    ) -> Result<(tdb_relation::Timestamp, Vec<tdb_core::VtFiringEvent>)> {
+        let (tx, rx) = channel();
+        self.send(
+            tenant,
+            Job::CommitAt {
+                tenant: tenant.to_string(),
+                arrival,
+                valid,
                 ops,
                 reply: tx,
             },
@@ -870,30 +938,17 @@ impl Runtime {
             // stall the poller for every connection. The route entry is
             // reserved here; the worker rolls it back on failure and
             // writes the response itself.
-            Request::CreateTenant { name, durable } => match self.reserve_route(&name, durable) {
-                Ok((worker, guard)) => {
-                    let job = Job::Create {
-                        name: name.clone(),
-                        durable,
-                        reply: CreateSink::Net {
-                            id,
-                            writer: Arc::clone(writer),
-                            t0,
-                        },
-                    };
-                    match self.enqueue(worker, job, Some(guard)) {
-                        Ok(()) => None,
-                        Err(e) => {
-                            self.route
-                                .lock()
-                                .unwrap_or_else(PoisonError::into_inner)
-                                .remove(&name);
-                            Some(error_response(e))
-                        }
-                    }
-                }
-                Err(e) => Some(error_response(e)),
-            },
+            Request::CreateTenant { name, durable } => {
+                self.submit_net_create(id, name, durable, None, writer, t0)
+            }
+            Request::CreateVtTenant {
+                name,
+                durable,
+                max_delay,
+            } => {
+                let vt = Some(self.resolve_max_delay(max_delay));
+                self.submit_net_create(id, name, durable, vt, writer, t0)
+            }
             other => {
                 let Some(tenant) = request_tenant(&other).map(String::from) else {
                     return Some(error_response(internal("request is not worker-routable")));
@@ -911,6 +966,45 @@ impl Runtime {
                     Err(e) => Some(error_response(e)),
                 }
             }
+        }
+    }
+
+    /// The async half of `CreateTenant`/`CreateVtTenant`: reserve the
+    /// route here, let the worker answer (rolling the entry back on
+    /// failure) so the poller never blocks on the shard pool.
+    fn submit_net_create(
+        &self,
+        id: u64,
+        name: String,
+        durable: bool,
+        vt: Option<i64>,
+        writer: &SharedWriter,
+        t0: Option<Instant>,
+    ) -> Option<Response> {
+        match self.reserve_route(&name, durable) {
+            Ok((worker, guard)) => {
+                let job = Job::Create {
+                    name: name.clone(),
+                    durable,
+                    vt,
+                    reply: CreateSink::Net {
+                        id,
+                        writer: Arc::clone(writer),
+                        t0,
+                    },
+                };
+                match self.enqueue(worker, job, Some(guard)) {
+                    Ok(()) => None,
+                    Err(e) => {
+                        self.route
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .remove(&name);
+                        Some(error_response(e))
+                    }
+                }
+            }
+            Err(e) => Some(error_response(e)),
         }
     }
 
@@ -1123,6 +1217,7 @@ pub(crate) fn request_tenant(req: &Request) -> Option<&str> {
     match req {
         Request::RegisterRule { tenant, .. }
         | Request::Commit { tenant, .. }
+        | Request::CommitAt { tenant, .. }
         | Request::CommitBatch { tenant, .. }
         | Request::Query { tenant, .. }
         | Request::Snapshot { tenant }
@@ -1138,9 +1233,11 @@ pub(crate) fn request_kind(req: &Request) -> &'static str {
     match req {
         Request::Hello { .. } => "hello",
         Request::CreateTenant { .. } => "create_tenant",
+        Request::CreateVtTenant { .. } => "create_vt_tenant",
         Request::ListTenants => "list_tenants",
         Request::RegisterRule { .. } => "register_rule",
         Request::Commit { .. } => "commit",
+        Request::CommitAt { .. } => "commit_at",
         Request::CommitBatch { .. } => "commit_batch",
         Request::Query { .. } => "query",
         Request::Snapshot { .. } => "snapshot",
@@ -1285,10 +1382,11 @@ fn worker_loop(
         meter.flush_if_due(&load);
     }
     // Queue closed: graceful shutdown. Checkpoint durable tenants so the
-    // next start recovers from a fresh snapshot instead of a long replay.
+    // next start recovers from a fresh snapshot instead of a long replay
+    // (valid-time tenants just fsync — their log is their state).
     for tenant in st.tenants.values_mut() {
         if tenant.durable_dir().is_some() {
-            let _ = tenant.shard_mut().adb_mut().checkpoint_now();
+            let _ = tenant.checkpoint_now();
         }
     }
 }
@@ -1330,9 +1428,10 @@ impl WorkerState {
             Job::Create {
                 name,
                 durable,
+                vt,
                 reply,
             } => {
-                let r = self.create(&name, durable);
+                let r = self.create(&name, durable, vt);
                 match reply {
                     CreateSink::Channel(tx) => {
                         // The blocking caller (`create_tenant`) does the
@@ -1371,6 +1470,16 @@ impl WorkerState {
                 let r = self.commit(&tenant, &ops);
                 let _ = reply.send(r);
             }
+            Job::CommitAt {
+                tenant,
+                arrival,
+                valid,
+                ops,
+                reply,
+            } => {
+                let r = self.commit_at(&tenant, arrival, valid, ops);
+                let _ = reply.send(r);
+            }
             Job::CommitBatch { tenant, ops, reply } => {
                 let r = self.commit_batch(&tenant, &ops);
                 let _ = reply.send(r);
@@ -1395,9 +1504,7 @@ impl WorkerState {
                 from,
                 reply,
             } => {
-                let r = self
-                    .tenant_mut(&tenant)
-                    .map(|t| t.shard().firings_from(from));
+                let r = self.tenant_mut(&tenant).map(|t| t.firings_from(from));
                 let _ = reply.send(r);
             }
             Job::Subscribe {
@@ -1527,6 +1634,14 @@ impl WorkerState {
             Request::Commit { tenant, ops } => self
                 .commit(&tenant, &ops)
                 .map(|(outcomes, firings)| Response::Committed { outcomes, firings }),
+            Request::CommitAt {
+                tenant,
+                arrival,
+                valid,
+                ops,
+            } => self
+                .commit_at(&tenant, arrival, valid, ops)
+                .map(|(watermark, events)| Response::VtCommitted { watermark, events }),
             Request::CommitBatch { tenant, ops } => self
                 .commit_batch(&tenant, &ops)
                 .map(|(outcomes, firings)| Response::Committed { outcomes, firings }),
@@ -1543,10 +1658,7 @@ impl WorkerState {
                 .map(|bytes| Response::SnapshotData { bytes }),
             Request::Firings { tenant, from } => self
                 .tenant_mut(&tenant)
-                .map(|t| {
-                    t.shard()
-                        .firings_from(usize::try_from(from).unwrap_or(usize::MAX))
-                })
+                .map(|t| t.firings_from(usize::try_from(from).unwrap_or(usize::MAX)))
                 .map(|records| Response::FiringsList { from, records }),
             Request::SubscribeFirings { tenant } => {
                 let r = self.tenant_mut(&tenant).map(|_| ());
@@ -1583,6 +1695,14 @@ impl WorkerState {
 
     fn snapshot(&mut self, tenant: &str) -> Result<Vec<u8>> {
         self.tenant_mut(tenant).and_then(|t| {
+            if t.is_vt() {
+                return Err(ServerError::Remote {
+                    code: ErrorCode::Unsupported,
+                    message: format!(
+                        "tenant `{tenant}` is a valid-time tenant; its log is its snapshot"
+                    ),
+                });
+            }
             let snap = t.shard().adb().snapshot().map_err(ServerError::Core)?;
             Ok(encode_snapshot(&snap))
         })
@@ -1592,25 +1712,37 @@ impl WorkerState {
         let r = self.tenant_mut(tenant).map(|t| {
             let stats = t.stats();
             let wal = t.wal_bytes();
-            (stats, wal)
+            (stats, wal, t.watermark())
         });
-        if let Ok((stats, wal)) = &r {
+        if let Ok((stats, wal, watermark)) = &r {
             publish_tenant_gauges(tenant, stats, *wal);
+            if let Some(wm) = watermark {
+                publish_vt_watermark(tenant, *wm);
+            }
         }
-        r
+        r.map(|(stats, wal, _)| (stats, wal))
     }
 
-    fn create(&mut self, name: &str, durable: bool) -> Result<()> {
+    fn create(&mut self, name: &str, durable: bool, vt: Option<i64>) -> Result<()> {
         let mcfg = self.cfg.manager_config();
-        let tenant = if durable {
-            let root = self
-                .cfg
-                .data_dir
-                .clone()
-                .ok_or_else(|| internal("durable create routed without data_dir"))?;
-            Tenant::durable(name, &root.join(name), mcfg, self.cfg.checkpoint)?
-        } else {
-            Tenant::volatile(name, mcfg)
+        let tenant = match (durable, vt) {
+            (true, vt) => {
+                let root = self
+                    .cfg
+                    .data_dir
+                    .clone()
+                    .ok_or_else(|| internal("durable create routed without data_dir"))?;
+                let dir = root.join(name);
+                match vt {
+                    // `Tenant::durable` dispatches on the on-disk `vt.meta`
+                    // marker itself, so startup recovery reopens valid-time
+                    // tenants without knowing their kind in advance.
+                    None => Tenant::durable(name, &dir, mcfg, self.cfg.checkpoint)?,
+                    Some(delta) => Tenant::durable_vt(name, &dir, delta, self.cfg.checkpoint.sync)?,
+                }
+            }
+            (false, None) => Tenant::volatile(name, mcfg),
+            (false, Some(delta)) => Tenant::volatile_vt(name, delta),
         };
         self.tenants.insert(name.to_string(), tenant);
         Ok(())
@@ -1622,7 +1754,7 @@ impl WorkerState {
         let fences = self
             .tenants
             .get(tenant)
-            .map(|t| t.shard().adb().batch_fence_drains())
+            .map(|t| t.batch_fence_drains())
             .unwrap_or(0);
         let dt_ns = u64::try_from(dt.as_nanos()).unwrap_or(u64::MAX);
         self.adaptive
@@ -1648,12 +1780,49 @@ impl WorkerState {
         }
         let stats = t.stats();
         let wal = t.wal_bytes();
+        // On a valid-time tenant the subscriber stream is the phase-tagged
+        // event stream; the outcome's confirmed records answer the request
+        // but are not re-pushed as plain `Firing` frames.
+        let is_vt = t.is_vt();
+        let watermark = t.watermark();
+        let events = t.drain_vt_events();
         publish_tenant_gauges(tenant, &stats, wal);
+        if let Some(wm) = watermark {
+            publish_vt_watermark(tenant, wm);
+        }
         self.observe_apply(tenant, ops.len(), t0.elapsed());
-        if !firings.is_empty() {
+        if !events.is_empty() {
+            self.push_vt_events(tenant, &events);
+        }
+        if !is_vt && !firings.is_empty() {
             self.push_firings(tenant, &firings);
         }
         Ok((outcomes, firings))
+    }
+
+    /// The streaming ingest path: clock to the arrival instant, ingest at
+    /// the explicit valid time, stream the phase-tagged events to
+    /// subscribers, and answer with watermark + events.
+    #[allow(clippy::type_complexity)]
+    fn commit_at(
+        &mut self,
+        tenant: &str,
+        arrival: tdb_relation::Timestamp,
+        valid: tdb_relation::Timestamp,
+        ops: Vec<tdb_engine::WriteOp>,
+    ) -> Result<(tdb_relation::Timestamp, Vec<tdb_core::VtFiringEvent>)> {
+        let t0 = Instant::now();
+        let t = self.tenant_mut(tenant)?;
+        let (watermark, events) = t.commit_at(arrival, valid, ops)?;
+        let stats = t.stats();
+        let wal = t.wal_bytes();
+        publish_tenant_gauges(tenant, &stats, wal);
+        publish_vt_watermark(tenant, watermark);
+        self.observe_apply(tenant, 1, t0.elapsed());
+        if !events.is_empty() {
+            self.push_vt_events(tenant, &events);
+        }
+        Ok((watermark, events))
     }
 
     /// One group commit: `ops` ride a single WAL record and fsync, and are
@@ -1675,9 +1844,18 @@ impl WorkerState {
         }
         let stats = t.stats();
         let wal = t.wal_bytes();
+        let is_vt = t.is_vt();
+        let watermark = t.watermark();
+        let events = t.drain_vt_events();
         publish_tenant_gauges(tenant, &stats, wal);
+        if let Some(wm) = watermark {
+            publish_vt_watermark(tenant, wm);
+        }
         self.observe_apply(tenant, ops.len(), t0.elapsed());
-        if !firings.is_empty() {
+        if !events.is_empty() {
+            self.push_vt_events(tenant, &events);
+        }
+        if !is_vt && !firings.is_empty() {
             self.push_firings(tenant, &firings);
         }
         Ok((outcomes, firings))
@@ -1780,11 +1958,18 @@ impl WorkerState {
                 }
                 // `apply_grouped` just succeeded, so the tenant exists; the
                 // lookup stays fallible to keep this path panic-free.
-                if let Some(t) = self.tenants.get(&tenant) {
+                let mut is_vt = false;
+                let mut events = Vec::new();
+                if let Some(t) = self.tenants.get_mut(&tenant) {
                     let (stats, wal) = (t.stats(), t.wal_bytes());
                     publish_tenant_gauges(&tenant, &stats, wal);
+                    is_vt = t.is_vt();
+                    events = t.drain_vt_events();
                 }
-                if !firings.is_empty() {
+                if !events.is_empty() {
+                    self.push_vt_events(&tenant, &events);
+                }
+                if !is_vt && !firings.is_empty() {
                     self.push_firings(&tenant, &firings);
                 }
             }
@@ -1836,6 +2021,42 @@ impl WorkerState {
             };
             for f in firings {
                 let payload = encode_response(*id, &Response::Firing { record: f.clone() });
+                if write_frame(&mut *w, &payload).is_err() {
+                    metrics.subscriptions.add(-1);
+                    return false;
+                }
+                metrics.firings_streamed.inc();
+            }
+            let _ = w.flush();
+            true
+        });
+    }
+
+    /// Streams phase-tagged valid-time events to every subscriber of
+    /// `tenant` (the vt analogue of [`WorkerState::push_firings`]: one
+    /// `VtFiring` frame per event), counting each phase.
+    fn push_vt_events(&mut self, tenant: &str, events: &[tdb_core::VtFiringEvent]) {
+        for e in events {
+            match e.phase {
+                tdb_core::VtPhase::Tentative => self.metrics.vt_tentative.inc(),
+                tdb_core::VtPhase::Confirmed => self.metrics.vt_confirmed.inc(),
+                tdb_core::VtPhase::Retracted => self.metrics.vt_retractions.inc(),
+            }
+        }
+        let Some(subs) = self.subscribers.get_mut(tenant) else {
+            return;
+        };
+        let metrics = &self.metrics;
+        subs.retain(|(id, writer)| {
+            let mut w = match writer.lock() {
+                Ok(w) => w,
+                Err(_) => {
+                    metrics.subscriptions.add(-1);
+                    return false;
+                }
+            };
+            for e in events {
+                let payload = encode_response(*id, &Response::VtFiring { event: e.clone() });
                 if write_frame(&mut *w, &payload).is_err() {
                     metrics.subscriptions.add(-1);
                     return false;

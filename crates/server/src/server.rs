@@ -483,6 +483,13 @@ fn service(rt: &Runtime, writer: &SharedWriter, id: u64, req: Request) -> Respon
         Request::CreateTenant { name, durable } => rt
             .create_tenant(&name, durable)
             .map(|()| Response::TenantCreated),
+        Request::CreateVtTenant {
+            name,
+            durable,
+            max_delay,
+        } => rt
+            .create_vt_tenant(&name, durable, max_delay)
+            .map(|()| Response::TenantCreated),
         Request::ListTenants => Ok(Response::Tenants {
             names: rt.tenants(),
         }),
@@ -496,6 +503,14 @@ fn service(rt: &Runtime, writer: &SharedWriter, id: u64, req: Request) -> Respon
         Request::Commit { tenant, ops } => rt
             .commit(&tenant, ops)
             .map(|(outcomes, firings)| Response::Committed { outcomes, firings }),
+        Request::CommitAt {
+            tenant,
+            arrival,
+            valid,
+            ops,
+        } => rt
+            .commit_at(&tenant, arrival, valid, ops)
+            .map(|(watermark, events)| Response::VtCommitted { watermark, events }),
         Request::CommitBatch { tenant, ops } => rt
             .commit_batch(&tenant, ops)
             .map(|(outcomes, firings)| Response::Committed { outcomes, firings }),

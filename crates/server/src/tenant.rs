@@ -26,12 +26,15 @@ use std::path::{Path, PathBuf};
 
 use tdb_analysis::{parse_rule_file_full, ParsedAction, ParsedRule};
 use tdb_core::manager::ManagerConfig;
-use tdb_core::rules::{Action, ActionOp, Rule};
+use tdb_core::rules::{Action, ActionOp, FiringRecord, Rule};
 use tdb_core::shard::{ApplyOutcome, Shard, ShardStats};
 use tdb_core::storage::LogicalOp;
-use tdb_relation::{parse_query, Relation, Value};
+use tdb_core::{SyncPolicy, VtFiringEvent};
+use tdb_engine::WriteOp;
+use tdb_relation::{parse_query, Relation, Timestamp, Value};
 use tdb_storage::{CheckpointPolicy, FileStorage, RecoveryReport};
 
+use crate::vtshard::{VtShard, VT_META_FILE};
 use crate::wire::ErrorCode;
 use crate::{Result, ServerError};
 
@@ -110,11 +113,23 @@ pub fn rules_from_source(source: &str) -> Result<Vec<Rule>> {
     parsed.rules.iter().map(rule_from_parsed).collect()
 }
 
+/// Which execution model backs a tenant: the transaction-time [`Shard`]
+/// (checkpointed WAL, in-order commits) or the valid-time [`VtShard`]
+/// (watermarked out-of-order stream ingest).
+// Tenants are few and map-owned; the Plain/Vt size gap is not worth a
+// double indirection on every request dispatch.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+enum Backend {
+    Plain(Shard),
+    Vt(VtShard),
+}
+
 /// One tenant: shard + (for durable tenants) its directory.
 #[derive(Debug)]
 pub struct Tenant {
     name: String,
-    shard: Shard,
+    backend: Backend,
     /// `Some` for durable tenants: the directory holding WAL segments,
     /// checkpoints and `rules.tdbr`.
     dir: Option<PathBuf>,
@@ -127,7 +142,17 @@ impl Tenant {
     pub fn volatile(name: impl Into<String>, cfg: ManagerConfig) -> Tenant {
         Tenant {
             name: name.into(),
-            shard: Shard::volatile(tdb_relation::Database::new(), cfg),
+            backend: Backend::Plain(Shard::volatile(tdb_relation::Database::new(), cfg)),
+            dir: None,
+            recovery: None,
+        }
+    }
+
+    /// A fresh in-memory *valid-time* tenant with disorder bound Δ.
+    pub fn volatile_vt(name: impl Into<String>, max_delay: i64) -> Tenant {
+        Tenant {
+            name: name.into(),
+            backend: Backend::Vt(VtShard::volatile(max_delay)),
             dir: None,
             recovery: None,
         }
@@ -136,7 +161,9 @@ impl Tenant {
     /// Creates a durable tenant under `dir` (which must not already hold
     /// one) — or, when `dir` contains a previous incarnation, recovers it:
     /// re-parses `rules.tdbr` into the catalog, replays checkpoint + WAL,
-    /// and resumes appending.
+    /// and resumes appending. A directory marked by `vt.meta` reopens as a
+    /// valid-time tenant (the kind is a property of the data, not of the
+    /// request that happened to trigger the reopen).
     pub fn durable(
         name: impl Into<String>,
         dir: &Path,
@@ -144,6 +171,10 @@ impl Tenant {
         policy: CheckpointPolicy,
     ) -> Result<Tenant> {
         let name = name.into();
+        if dir.join(VT_META_FILE).exists() {
+            // Δ comes from the marker file; the argument 0 is ignored.
+            return Tenant::reopen_vt(name, dir, policy.sync);
+        }
         let rules_path = dir.join(RULES_FILE);
         if rules_path.exists() {
             return Tenant::reopen(name, dir, cfg, policy);
@@ -155,7 +186,31 @@ impl Tenant {
         let shard = Shard::durable(tdb_relation::Database::new(), cfg, Box::new(storage))?;
         Ok(Tenant {
             name,
-            shard,
+            backend: Backend::Plain(shard),
+            dir: Some(dir.to_path_buf()),
+            recovery: None,
+        })
+    }
+
+    /// Creates (or reopens) a durable *valid-time* tenant under `dir`.
+    pub fn durable_vt(
+        name: impl Into<String>,
+        dir: &Path,
+        max_delay: i64,
+        sync: SyncPolicy,
+    ) -> Result<Tenant> {
+        Ok(Tenant {
+            name: name.into(),
+            backend: Backend::Vt(VtShard::durable(dir, max_delay, sync)?),
+            dir: Some(dir.to_path_buf()),
+            recovery: None,
+        })
+    }
+
+    fn reopen_vt(name: String, dir: &Path, sync: SyncPolicy) -> Result<Tenant> {
+        Ok(Tenant {
+            name,
+            backend: Backend::Vt(VtShard::durable(dir, 0, sync)?),
             dir: Some(dir.to_path_buf()),
             recovery: None,
         })
@@ -177,7 +232,7 @@ impl Tenant {
             .map_err(|e| ServerError::Storage(format!("{}: {e}", dir.display())))?;
         Ok(Tenant {
             name,
-            shard: Shard::new(recovered.adb, catalog),
+            backend: Backend::Plain(Shard::new(recovered.adb, catalog)),
             dir: Some(dir.to_path_buf()),
             recovery: Some(recovered.report),
         })
@@ -191,12 +246,34 @@ impl Tenant {
         self.dir.as_deref()
     }
 
-    pub fn shard(&self) -> &Shard {
-        &self.shard
+    /// Whether this is a valid-time (watermarked stream) tenant.
+    pub fn is_vt(&self) -> bool {
+        matches!(self.backend, Backend::Vt(_))
     }
 
+    /// The valid-time backend, when this is a valid-time tenant.
+    pub fn vt(&self) -> Option<&VtShard> {
+        match &self.backend {
+            Backend::Vt(v) => Some(v),
+            Backend::Plain(_) => None,
+        }
+    }
+
+    /// The transaction-time shard. Panics on a valid-time tenant — callers
+    /// on mixed paths must branch on [`Tenant::is_vt`] first.
+    pub fn shard(&self) -> &Shard {
+        match &self.backend {
+            Backend::Plain(s) => s,
+            Backend::Vt(_) => panic!("valid-time tenant has no transaction-time shard"),
+        }
+    }
+
+    /// See [`Tenant::shard`].
     pub fn shard_mut(&mut self) -> &mut Shard {
-        &mut self.shard
+        match &mut self.backend {
+            Backend::Plain(s) => s,
+            Backend::Vt(_) => panic!("valid-time tenant has no transaction-time shard"),
+        }
     }
 
     /// Registers every rule in `source`, returning the registered names and
@@ -221,61 +298,166 @@ impl Tenant {
                 .and_then(|()| f.sync_all())
                 .map_err(|e| storage_err(dir, e))?;
         }
-        let findings_before = self.shard.adb().lint_findings().len();
-        let mut registered = Vec::with_capacity(rules.len());
-        for rule in rules {
-            let name = rule.name.clone();
-            self.shard.add_rule(rule).map_err(|e| match e {
-                tdb_core::CoreError::LintDenied { .. } => ServerError::Remote {
-                    code: ErrorCode::Lint,
-                    message: e.to_string(),
-                },
-                other => ServerError::Core(other),
-            })?;
-            registered.push(name);
+        match &mut self.backend {
+            Backend::Vt(v) => {
+                let registered = v.register_rules(rules)?;
+                // Valid-time rules skip the transaction-time lint pass; the
+                // stream's confirm/retract protocol is the safety story.
+                let findings = vec![format!(
+                    "valid-time: {} rule(s) registered as tentative stream rules (Δ = {})",
+                    registered.len(),
+                    v.max_delay()
+                )];
+                Ok((registered, findings))
+            }
+            Backend::Plain(shard) => {
+                let findings_before = shard.adb().lint_findings().len();
+                let mut registered = Vec::with_capacity(rules.len());
+                for rule in rules {
+                    let name = rule.name.clone();
+                    shard.add_rule(rule).map_err(|e| match e {
+                        tdb_core::CoreError::LintDenied { .. } => ServerError::Remote {
+                            code: ErrorCode::Lint,
+                            message: e.to_string(),
+                        },
+                        other => ServerError::Core(other),
+                    })?;
+                    registered.push(name);
+                }
+                let mut findings: Vec<String> = shard.adb().lint_findings()[findings_before..]
+                    .iter()
+                    .map(|d| d.to_string())
+                    .collect();
+                // Every registration re-certifies batch safety for the whole
+                // rule set; report the post-registration certificate with the
+                // findings so clients learn what group commits may fuse.
+                findings.push(format!("batch-safety: {}", shard.adb().batch_certificate()));
+                Ok((registered, findings))
+            }
         }
-        let mut findings: Vec<String> = self.shard.adb().lint_findings()[findings_before..]
-            .iter()
-            .map(|d| d.to_string())
-            .collect();
-        // Every registration re-certifies batch safety for the whole rule
-        // set; report the post-registration certificate with the findings so
-        // clients learn what group commits may fuse.
-        findings.push(format!(
-            "batch-safety: {}",
-            self.shard.adb().batch_certificate()
-        ));
-        Ok((registered, findings))
     }
 
-    /// The tenant's current batch-safety certificate.
+    /// The tenant's current batch-safety certificate. Valid-time commits
+    /// are never certified for fused evaluation, so the coalescer keeps
+    /// its window closed on vt tenants.
     pub fn batch_certificate(&self) -> tdb_core::BatchCertificate {
-        self.shard.adb().batch_certificate()
+        match &self.backend {
+            Backend::Plain(s) => s.adb().batch_certificate(),
+            Backend::Vt(_) => tdb_core::BatchCertificate::CascadeRequired,
+        }
     }
 
     /// Applies one logical op (see [`Shard::apply`]).
     pub fn apply(&mut self, op: &LogicalOp) -> Result<ApplyOutcome> {
-        self.shard.apply(op).map_err(ServerError::Core)
+        match &mut self.backend {
+            Backend::Plain(s) => s.apply(op).map_err(ServerError::Core),
+            Backend::Vt(v) => v.apply(op),
+        }
     }
 
     /// Applies `ops` as one atomic group commit (see [`Shard::apply_batch`]):
     /// one WAL record, one fsync, one evaluation slice. Returns one outcome
     /// per op, firings attributed to the op whose state produced them.
     pub fn apply_batch(&mut self, ops: &[LogicalOp]) -> Result<Vec<ApplyOutcome>> {
-        self.shard.apply_batch(ops).map_err(ServerError::Core)
+        match &mut self.backend {
+            Backend::Plain(s) => s.apply_batch(ops).map_err(ServerError::Core),
+            Backend::Vt(v) => v.apply_batch(ops),
+        }
+    }
+
+    /// The streaming ingest path (valid-time tenants only): clock to the
+    /// arrival instant, ingest at the explicit valid time, return the new
+    /// watermark plus the phase-tagged stream events.
+    pub fn commit_at(
+        &mut self,
+        arrival: Timestamp,
+        valid: Timestamp,
+        ops: Vec<WriteOp>,
+    ) -> Result<(Timestamp, Vec<VtFiringEvent>)> {
+        match &mut self.backend {
+            Backend::Vt(v) => v.commit_at(arrival, valid, ops),
+            Backend::Plain(_) => Err(ServerError::Remote {
+                code: ErrorCode::Unsupported,
+                message: format!(
+                    "tenant `{}` is not a valid-time tenant; CommitAt needs CreateVtTenant",
+                    self.name
+                ),
+            }),
+        }
+    }
+
+    /// The watermark `W = now − Δ`, when this is a valid-time tenant.
+    pub fn watermark(&self) -> Option<Timestamp> {
+        match &self.backend {
+            Backend::Vt(v) => Some(v.watermark()),
+            Backend::Plain(_) => None,
+        }
+    }
+
+    /// Drains stream events buffered by generic applies on a valid-time
+    /// tenant (empty on plain tenants).
+    pub fn drain_vt_events(&mut self) -> Vec<VtFiringEvent> {
+        match &mut self.backend {
+            Backend::Vt(v) => v.drain_events(),
+            Backend::Plain(_) => Vec::new(),
+        }
+    }
+
+    /// The firing log from index `from`: executed triggers on plain
+    /// tenants, the *confirmed* (definite) stream on valid-time tenants.
+    pub fn firings_from(&self, from: usize) -> Vec<FiringRecord> {
+        match &self.backend {
+            Backend::Plain(s) => s.firings_from(from),
+            Backend::Vt(v) => v.firings_from(from),
+        }
+    }
+
+    /// Graceful-shutdown persistence: cut a checkpoint on a durable plain
+    /// tenant, fsync the log on a durable valid-time one.
+    pub fn checkpoint_now(&mut self) -> Result<()> {
+        match &mut self.backend {
+            Backend::Plain(s) => {
+                if self.dir.is_some() {
+                    s.adb_mut().checkpoint_now().map_err(ServerError::Core)?;
+                }
+                Ok(())
+            }
+            Backend::Vt(v) => v.sync(),
+        }
+    }
+
+    /// Ops drained by batch-fence waits (always 0 on valid-time tenants —
+    /// they have no fence machinery).
+    pub fn batch_fence_drains(&self) -> u64 {
+        match &self.backend {
+            Backend::Plain(s) => s.adb().batch_fence_drains(),
+            Backend::Vt(_) => 0,
+        }
     }
 
     /// Evaluates ad-hoc query text against the tenant's current database.
     pub fn query(&self, text: &str, params: &[Value]) -> Result<Relation> {
+        let db = match &self.backend {
+            Backend::Plain(s) => s.adb().db(),
+            Backend::Vt(_) => {
+                return Err(ServerError::Remote {
+                    code: ErrorCode::Unsupported,
+                    message: format!(
+                        "tenant `{}` is a valid-time tenant; ad-hoc queries over the \
+                         versioned history are not served over the wire",
+                        self.name
+                    ),
+                })
+            }
+        };
         let q = parse_query(text).map_err(|e| ServerError::Remote {
             code: ErrorCode::Parse,
             message: e.to_string(),
         })?;
-        q.eval(self.shard.adb().db(), params)
-            .map_err(|e| ServerError::Remote {
-                code: ErrorCode::Internal,
-                message: e.to_string(),
-            })
+        q.eval(db, params).map_err(|e| ServerError::Remote {
+            code: ErrorCode::Internal,
+            message: e.to_string(),
+        })
     }
 
     /// Total bytes under the tenant's durable directory (0 when volatile).
@@ -293,7 +475,10 @@ impl Tenant {
     }
 
     pub fn stats(&self) -> ShardStats {
-        self.shard.stats()
+        match &self.backend {
+            Backend::Plain(s) => s.stats(),
+            Backend::Vt(v) => v.stats(),
+        }
     }
 }
 

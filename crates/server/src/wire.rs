@@ -29,10 +29,12 @@ use std::io::{Read, Write};
 
 use tdb_core::rules::FiringRecord;
 use tdb_core::storage::LogicalOp;
+use tdb_core::{VtFiringEvent, VtPhase};
+use tdb_engine::WriteOp;
 use tdb_relation::{Relation, Timestamp, Value};
 use tdb_storage::codec::{
     decode_logical_op, encode_logical_op, get_firing, get_relation, get_timestamp, get_value,
-    put_firing, put_relation, put_timestamp, put_value, Dec, Enc,
+    get_write_op, put_firing, put_relation, put_timestamp, put_value, put_write_op, Dec, Enc,
 };
 use tdb_storage::crc::crc32;
 
@@ -180,6 +182,27 @@ pub enum Request {
     Metrics { format: MetricsFormat },
     /// Graceful stop: checkpoint durable tenants and exit.
     Shutdown,
+    /// Valid-time stream ingest (§9): apply `ops` at the explicit `valid`
+    /// timestamp on a valid-time tenant. `arrival` is the event's arrival
+    /// (transaction) time — the server advances the tenant clock to it
+    /// (monotone max) before ingesting, so the watermark `W = now − Δ`
+    /// tracks the arrival stream and `valid` must lie in `[W, now]`.
+    /// Responds with [`Response::VtCommitted`].
+    CommitAt {
+        tenant: String,
+        arrival: Timestamp,
+        valid: Timestamp,
+        ops: Vec<WriteOp>,
+    },
+    /// Create a *valid-time* tenant: out-of-order ingest via [`Request::CommitAt`],
+    /// tentative/confirmed/retracted firing streams over `SubscribeFirings`.
+    /// `max_delay` is the tenant's disorder bound Δ; values ≤ 0 select the
+    /// server default (`--max-delay`).
+    CreateVtTenant {
+        name: String,
+        durable: bool,
+        max_delay: i64,
+    },
 }
 
 /// Server → client messages.
@@ -237,6 +260,21 @@ pub enum Response {
     Error {
         code: ErrorCode,
         message: String,
+    },
+    /// One streamed valid-time firing event (id = the subscription's
+    /// request id): the record plus its lifecycle phase. A `Tentative`
+    /// event may later be refined by a `Confirmed` or `Retracted` event
+    /// carrying the same `(time, env)`; once the watermark passes a
+    /// firing's valid instant its `Confirmed` event is final.
+    VtFiring {
+        event: VtFiringEvent,
+    },
+    /// Ack for [`Request::CommitAt`] (and for clock ops committed on a
+    /// valid-time tenant): the tenant's watermark after the op, plus every
+    /// firing-stream event the op produced, in emission order.
+    VtCommitted {
+        watermark: Timestamp,
+        events: Vec<VtFiringEvent>,
     },
 }
 
@@ -453,6 +491,28 @@ fn get_string_vec(d: &mut Dec, what: &str) -> std::result::Result<Vec<String>, P
     Ok(out)
 }
 
+fn put_vt_event(e: &mut Enc, ev: &VtFiringEvent) {
+    e.u8(match ev.phase {
+        VtPhase::Tentative => 0,
+        VtPhase::Confirmed => 1,
+        VtPhase::Retracted => 2,
+    });
+    put_firing(e, &ev.record);
+}
+
+fn get_vt_event(d: &mut Dec) -> std::result::Result<VtFiringEvent, ProtocolError> {
+    let phase = match d.u8("vt phase").map_err(dec_err)? {
+        0 => VtPhase::Tentative,
+        1 => VtPhase::Confirmed,
+        2 => VtPhase::Retracted,
+        other => return Err(ProtocolError::Decode(format!("unknown vt phase {other}"))),
+    };
+    Ok(VtFiringEvent {
+        phase,
+        record: get_firing(d).map_err(dec_err)?,
+    })
+}
+
 fn put_bytes(e: &mut Enc, b: &[u8]) {
     e.len(b.len());
     e.raw(b);
@@ -541,6 +601,31 @@ pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
                 put_bytes(&mut e, &encode_logical_op(op));
             }
         }
+        Request::CommitAt {
+            tenant,
+            arrival,
+            valid,
+            ops,
+        } => {
+            e.u8(14);
+            e.str(tenant);
+            put_timestamp(&mut e, *arrival);
+            put_timestamp(&mut e, *valid);
+            e.len(ops.len());
+            for op in ops {
+                put_write_op(&mut e, op);
+            }
+        }
+        Request::CreateVtTenant {
+            name,
+            durable,
+            max_delay,
+        } => {
+            e.u8(15);
+            e.str(name);
+            e.boolean(*durable);
+            e.i64(*max_delay);
+        }
     }
     e.into_bytes()
 }
@@ -622,6 +707,27 @@ pub fn decode_request(payload: &[u8]) -> std::result::Result<(u64, Request), Pro
             }
             Request::CommitBatch { tenant, ops }
         }
+        14 => {
+            let tenant = d.str("tenant name").map_err(dec_err)?;
+            let arrival = get_timestamp(&mut d).map_err(dec_err)?;
+            let valid = get_timestamp(&mut d).map_err(dec_err)?;
+            let n = d.seq_len("commit-at ops", 2).map_err(dec_err)?;
+            let mut ops = Vec::with_capacity(n);
+            for _ in 0..n {
+                ops.push(get_write_op(&mut d).map_err(dec_err)?);
+            }
+            Request::CommitAt {
+                tenant,
+                arrival,
+                valid,
+                ops,
+            }
+        }
+        15 => Request::CreateVtTenant {
+            name: d.str("tenant name").map_err(dec_err)?,
+            durable: d.boolean("durable flag").map_err(dec_err)?,
+            max_delay: d.i64("max delay").map_err(dec_err)?,
+        },
         other => {
             return Err(ProtocolError::Decode(format!(
                 "unknown request tag {other}"
@@ -720,6 +826,18 @@ pub fn encode_response(id: u64, resp: &Response) -> Vec<u8> {
             e.u8(code.to_u8());
             e.str(message);
         }
+        Response::VtFiring { event } => {
+            e.u8(46);
+            put_vt_event(&mut e, event);
+        }
+        Response::VtCommitted { watermark, events } => {
+            e.u8(47);
+            put_timestamp(&mut e, *watermark);
+            e.len(events.len());
+            for ev in events {
+                put_vt_event(&mut e, ev);
+            }
+        }
     }
     e.into_bytes()
 }
@@ -802,6 +920,18 @@ pub fn decode_response(payload: &[u8]) -> std::result::Result<(u64, Response), P
                 code,
                 message: d.str("error message").map_err(dec_err)?,
             }
+        }
+        46 => Response::VtFiring {
+            event: get_vt_event(&mut d)?,
+        },
+        47 => {
+            let watermark = get_timestamp(&mut d).map_err(dec_err)?;
+            let n = d.seq_len("vt events", 2).map_err(dec_err)?;
+            let mut events = Vec::with_capacity(n);
+            for _ in 0..n {
+                events.push(get_vt_event(&mut d)?);
+            }
+            Response::VtCommitted { watermark, events }
         }
         other => {
             return Err(ProtocolError::Decode(format!(
@@ -946,6 +1076,61 @@ mod tests {
             asm.next_frame().unwrap_err(),
             ProtocolError::Oversized { .. }
         ));
+    }
+
+    #[test]
+    fn vt_messages_roundtrip() {
+        let reqs = vec![
+            Request::CommitAt {
+                tenant: "vt".into(),
+                arrival: Timestamp(12),
+                valid: Timestamp(9),
+                ops: vec![WriteOp::SetItem {
+                    item: "level".into(),
+                    value: Value::Int(11),
+                }],
+            },
+            Request::CreateVtTenant {
+                name: "vt".into(),
+                durable: true,
+                max_delay: 5,
+            },
+        ];
+        for req in reqs {
+            let payload = encode_request(3, &req);
+            assert_eq!(decode_request(&payload).unwrap(), (3, req));
+        }
+        let record = FiringRecord {
+            rule: "spike".into(),
+            state_index: 4,
+            time: Timestamp(9),
+            env: [("x".to_string(), Value::Int(1))].into_iter().collect(),
+        };
+        let resps = vec![
+            Response::VtFiring {
+                event: VtFiringEvent {
+                    phase: VtPhase::Retracted,
+                    record: record.clone(),
+                },
+            },
+            Response::VtCommitted {
+                watermark: Timestamp(7),
+                events: vec![
+                    VtFiringEvent {
+                        phase: VtPhase::Tentative,
+                        record: record.clone(),
+                    },
+                    VtFiringEvent {
+                        phase: VtPhase::Confirmed,
+                        record,
+                    },
+                ],
+            },
+        ];
+        for resp in resps {
+            let payload = encode_response(8, &resp);
+            assert_eq!(decode_response(&payload).unwrap(), (8, resp));
+        }
     }
 
     #[test]

@@ -1298,6 +1298,14 @@ fn put_logical_op(e: &mut Enc, op: &LogicalOp) {
                 put_logical_op(e, op);
             }
         }
+        LogicalOp::CommitAt { valid, ops } => {
+            e.u8(18);
+            put_timestamp(e, *valid);
+            e.len(ops.len());
+            for op in ops {
+                put_write_op(e, op);
+            }
+        }
     }
 }
 
@@ -1375,6 +1383,15 @@ fn get_logical_op(d: &mut Dec, allow_batch: bool) -> Result<LogicalOp> {
                 ops.push(get_logical_op(d, false)?);
             }
             LogicalOp::Batch { ops }
+        }
+        18 => {
+            let valid = get_timestamp(d)?;
+            let n = d.seq_len("commit-at ops", 2)?;
+            let mut ops = Vec::with_capacity(n);
+            for _ in 0..n {
+                ops.push(get_write_op(d)?);
+            }
+            LogicalOp::CommitAt { valid, ops }
         }
         t => return Err(bad_tag("logical op", t)),
     };
@@ -1616,6 +1633,13 @@ mod tests {
                     time: Timestamp(7),
                     env: [("x".to_string(), Value::Int(5))].into_iter().collect(),
                 },
+            },
+            LogicalOp::CommitAt {
+                valid: Timestamp(93),
+                ops: vec![WriteOp::SetItem {
+                    item: "level".into(),
+                    value: Value::Int(12),
+                }],
             },
         ];
         for op in ops {

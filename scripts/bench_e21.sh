@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Runs the E21 watermarked-ingestion experiment and leaves a
+# machine-readable copy in BENCH_E21.json at the repo root.
+#
+# E21 feeds a seeded Δ-bounded out-of-order event stream (disorder rates
+# 0/200/800‰, Δ ∈ {0, 5, 50}) through the streaming valid-time facade and
+# measures the tentative/confirmed/retracted stream, the tentative-to-
+# definite confirmation lag, and the peak retained history. The definite
+# log of every cell is compared byte-for-byte against an in-order oracle
+# replay of the same history; scripts/check_bench_e21.py asserts the
+# correctness and O(Δ)-memory bars.
+#
+# All timings are single-threaded and in-library (no server), so the
+# checker's bars are structural, not host-speed floors. See
+# EXPERIMENTS.md E21.
+#
+# Usage:
+#   scripts/bench_e21.sh            # full run (20k events per cell)
+#   scripts/bench_e21.sh --quick    # 2k events, for smoke tests / CI
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo build --release -p tdb-bench
+
+./target/release/harness e21 "$@"
+
+if [[ -f BENCH_E21.json ]]; then
+    echo "== BENCH_E21.json =="
+    cat BENCH_E21.json
+    python3 scripts/check_bench_e21.py BENCH_E21.json
+fi

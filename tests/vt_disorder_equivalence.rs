@@ -1,0 +1,354 @@
+//! Disorder-fuzz property suite for watermarked out-of-order ingestion
+//! (Section 9 streaming; see DESIGN.md §16):
+//!
+//! * **arrival-independence** — the definite (confirmed) firing log of a
+//!   Δ-bounded out-of-order ingest is byte-identical to an in-order oracle
+//!   replay of the same valid-time history, over a seeded (Δ × disorder
+//!   rate) grid and over proptest-generated arbitrary bounded
+//!   permutations;
+//! * **stream soundness** — every tentative announcement settles to
+//!   exactly one confirmation or retraction once the watermark passes its
+//!   instant, never before its announcement and never twice;
+//! * **Theorem 2 cross-check** — online and offline satisfaction agree on
+//!   the collapsed committed history at every sampled watermark step, for
+//!   the stream's own rule formulas;
+//! * **plain-database equivalence** — at disorder 0 the vt stream's
+//!   confirmed log equals a plain (transaction-time) `ActiveDatabase` run
+//!   over the same history, state for state.
+
+use proptest::prelude::*;
+
+use temporal_adb::core::{
+    theorem2_check, Action, ActiveDatabase, Rule, VtActiveDatabase, VtFiringEvent, VtMode, VtPhase,
+};
+use temporal_adb::engine::WriteOp;
+use temporal_adb::ptl::parse_formula;
+use temporal_adb::relation::{Database, Query, QueryDef, Timestamp, Value};
+
+use tdb_bench::workload::{disorder_events, DisorderEvent};
+
+/// Threshold rule (fires at every satisfying state) + rising-edge rule
+/// (the one a late arrival can revise: with unique valid instants, a late
+/// insert only *adds* a state, so plain per-state verdicts never change,
+/// but `lasttime` predecessors do).
+fn facade(max_delay: i64) -> VtActiveDatabase {
+    let mut base = Database::new();
+    base.set_item("n", Value::Int(0));
+    base.define_query("n", QueryDef::new(0, Query::item("n")));
+    let mut vt = VtActiveDatabase::new_streaming(base, max_delay);
+    vt.add_trigger(
+        "high",
+        parse_formula("n() >= 60").unwrap(),
+        VtMode::Tentative,
+    )
+    .unwrap();
+    vt.add_trigger(
+        "rise",
+        parse_formula("n() >= 60 and lasttime(n() < 60)").unwrap(),
+        VtMode::Tentative,
+    )
+    .unwrap();
+    vt
+}
+
+fn set_n(value: i64) -> WriteOp {
+    WriteOp::SetItem {
+        item: "n".into(),
+        value: Value::Int(value),
+    }
+}
+
+/// Ingests `events` in arrival order, returns the full stream log.
+fn run_stream(vt: &mut VtActiveDatabase, events: &[DisorderEvent]) -> Vec<VtFiringEvent> {
+    let mut log = Vec::new();
+    for ev in events {
+        log.extend(vt.advance_to(ev.arrival).unwrap());
+        log.extend(vt.ingest(vec![set_n(ev.value)], ev.valid).unwrap());
+    }
+    // Push the watermark strictly past every ingested instant.
+    let end = events.iter().map(|e| e.valid.0).max().unwrap_or(0);
+    log.extend(
+        vt.advance_to(Timestamp(end + vt.engine().max_delay() + 2))
+            .unwrap(),
+    );
+    log
+}
+
+/// The same history replayed with arrival = valid (no disorder).
+fn in_order(events: &[DisorderEvent]) -> Vec<DisorderEvent> {
+    let mut sorted: Vec<DisorderEvent> = events
+        .iter()
+        .map(|e| DisorderEvent {
+            arrival: e.valid,
+            ..*e
+        })
+        .collect();
+    sorted.sort_by_key(|e| e.valid);
+    sorted
+}
+
+// ===== arrival-independence over the seeded grid ===========================
+
+#[test]
+fn definite_log_is_arrival_independent_over_the_grid() {
+    let mut cross_delta: Vec<(i64, Vec<(String, Timestamp)>)> = Vec::new();
+    for &delta in &[0i64, 5, 50] {
+        for &rate in &[0u32, 200, 800] {
+            let events = disorder_events(1000, delta, rate, 0xD150_0DE4);
+            let mut vt = facade(delta);
+            run_stream(&mut vt, &events);
+            let mut oracle = facade(delta);
+            run_stream(&mut oracle, &in_order(&events));
+            // Byte-identical: every FiringRecord field, including env and
+            // state index, not just counts.
+            assert_eq!(
+                vt.confirmed_firings(),
+                oracle.confirmed_firings(),
+                "Δ={delta} rate={rate}‰: definite log depends on arrival order"
+            );
+            if rate == 0 {
+                cross_delta.push((
+                    delta,
+                    vt.confirmed_firings()
+                        .iter()
+                        .map(|f| (f.rule.clone(), f.time))
+                        .collect(),
+                ));
+            }
+        }
+    }
+    // The generator fixes the value history across cells, so the definite
+    // stream is also the same *semantically* across Δ (state indices may
+    // differ with the compaction horizon, (rule, time) must not).
+    for w in cross_delta.windows(2) {
+        assert_eq!(
+            w[0].1, w[1].1,
+            "definite (rule, time) stream differs between Δ={} and Δ={}",
+            w[0].0, w[1].0
+        );
+    }
+}
+
+// ===== arrival-independence under arbitrary Δ-bounded permutations =========
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any per-event delay vector within Δ yields the same definite log as
+    /// the in-order replay — not just the seeded generator's delays.
+    #[test]
+    fn definite_log_is_arrival_independent_under_any_bounded_permutation(
+        delta in 1i64..8,
+        spec in proptest::collection::vec((0i64..100, 0i64..8), 1..48),
+    ) {
+        let events: Vec<DisorderEvent> = {
+            let mut evs: Vec<DisorderEvent> = spec
+                .iter()
+                .enumerate()
+                .map(|(i, &(value, delay))| {
+                    let valid = Timestamp(i as i64 + 1);
+                    DisorderEvent {
+                        seq: i,
+                        valid,
+                        arrival: Timestamp(valid.0 + delay.min(delta)),
+                        value,
+                    }
+                })
+                .collect();
+            evs.sort_by_key(|e| (e.arrival, e.seq));
+            evs
+        };
+        let mut vt = facade(delta);
+        run_stream(&mut vt, &events);
+        let mut oracle = facade(delta);
+        run_stream(&mut oracle, &in_order(&events));
+        prop_assert_eq!(vt.confirmed_firings(), oracle.confirmed_firings());
+    }
+}
+
+// ===== stream soundness ====================================================
+
+/// Replays a stream log checking the announce/settle protocol per
+/// `(rule, time)` key; returns the number of keys still outstanding.
+fn check_settlement(log: &[VtFiringEvent]) -> usize {
+    use std::collections::HashMap;
+    let mut outstanding: HashMap<(String, Timestamp), usize> = HashMap::new();
+    for e in log {
+        let key = (e.record.rule.clone(), e.record.time);
+        match e.phase {
+            VtPhase::Tentative => *outstanding.entry(key).or_insert(0) += 1,
+            VtPhase::Confirmed | VtPhase::Retracted => {
+                let n = outstanding
+                    .get_mut(&key)
+                    .unwrap_or_else(|| panic!("{key:?} settled without an announcement"));
+                assert!(*n > 0, "{key:?} settled twice");
+                *n -= 1;
+            }
+        }
+    }
+    outstanding.values().filter(|&&n| n > 0).count()
+}
+
+#[test]
+fn every_tentative_firing_settles_exactly_once() {
+    for &(delta, rate) in &[(5i64, 800u32), (50, 200), (0, 0)] {
+        let events = disorder_events(1000, delta, rate, 0x5E77_1E5E);
+        let mut vt = facade(delta);
+        let log = run_stream(&mut vt, &events);
+        assert_eq!(
+            check_settlement(&log),
+            0,
+            "Δ={delta} rate={rate}‰: unsettled tentative firings remain"
+        );
+        assert_eq!(vt.pending_tentative(), 0);
+        // The settled log and the facade's own confirmed view agree.
+        let confirmed_in_log = log.iter().filter(|e| e.phase == VtPhase::Confirmed).count();
+        assert_eq!(confirmed_in_log, vt.confirmed_firings().len());
+        if rate == 0 || delta == 0 {
+            assert!(
+                log.iter().all(|e| e.phase != VtPhase::Retracted),
+                "an in-order stream must never retract"
+            );
+        }
+    }
+}
+
+#[test]
+fn nothing_settles_before_the_watermark_passes_it() {
+    let events = disorder_events(400, 5, 800, 0xBEEF);
+    let mut vt = facade(5);
+    for ev in &events {
+        // Settlements produced by this step may decide any instant the
+        // *new* watermark has passed, but never one at or above it.
+        let mut step = vt.advance_to(ev.arrival).unwrap();
+        step.extend(vt.ingest(vec![set_n(ev.value)], ev.valid).unwrap());
+        for e in &step {
+            if e.phase == VtPhase::Confirmed {
+                assert!(
+                    e.record.time < vt.watermark(),
+                    "confirmed {:?} at or above the watermark {:?}",
+                    e.record.time,
+                    vt.watermark()
+                );
+            }
+        }
+    }
+}
+
+// ===== Theorem 2 cross-check at watermark steps ============================
+
+#[test]
+fn theorem2_agrees_at_every_sampled_watermark_step() {
+    let formulas = [
+        parse_formula("n() >= 60").unwrap(),
+        parse_formula("n() >= 60 and lasttime(n() < 60)").unwrap(),
+        parse_formula("previously(n() >= 90)").unwrap(),
+    ];
+    let events = disorder_events(400, 5, 800, 0x7E02);
+    let mut vt = facade(5);
+    let mut samples = 0;
+    for (i, ev) in events.iter().enumerate() {
+        vt.advance_to(ev.arrival).unwrap();
+        vt.ingest(vec![set_n(ev.value)], ev.valid).unwrap();
+        if i % 25 == 0 {
+            for f in &formulas {
+                let (online, offline) = theorem2_check(vt.engine(), f).unwrap();
+                assert_eq!(
+                    online,
+                    offline,
+                    "online/offline disagree at watermark {:?} on {f:?}",
+                    vt.watermark()
+                );
+            }
+            samples += 1;
+        }
+    }
+    assert!(samples >= 16, "need real coverage, got {samples} samples");
+}
+
+#[test]
+fn offline_report_tracks_registered_constraints_under_disorder() {
+    let mut vt = facade(5);
+    // Values are drawn from 0..100, so both constraints hold throughout.
+    vt.add_constraint("cap", parse_formula("n() <= 99").unwrap())
+        .unwrap();
+    vt.add_constraint("floor", parse_formula("n() >= 0").unwrap())
+        .unwrap();
+    let events = disorder_events(300, 5, 800, 0x0FF1);
+    for (i, ev) in events.iter().enumerate() {
+        vt.advance_to(ev.arrival).unwrap();
+        vt.ingest(vec![set_n(ev.value)], ev.valid).unwrap();
+        if i % 50 == 0 {
+            let report = vt.offline_report().unwrap();
+            assert_eq!(report.len(), 2);
+            assert!(
+                report.iter().all(|(_, sat)| *sat),
+                "a never-violated constraint reported offline-unsatisfied: {report:?}"
+            );
+        }
+    }
+}
+
+// ===== plain-database equivalence at disorder 0 ============================
+
+#[test]
+fn vt_stream_at_disorder_zero_equals_plain_active_database() {
+    let events = disorder_events(600, 0, 0, 0x90A1);
+
+    // Valid-time side: Δ = 0, in-order by construction.
+    let mut vt = facade(0);
+    run_stream(&mut vt, &events);
+    let vt_log: Vec<(String, Timestamp)> = vt
+        .confirmed_firings()
+        .iter()
+        .map(|f| (f.rule.clone(), f.time))
+        .collect();
+
+    // Plain transaction-time side: the same history, one commit per tick.
+    // The vt runners are level-triggered (they fire at every satisfying
+    // state), so the plain rules must be too.
+    let mut base = Database::new();
+    base.set_item("n", Value::Int(0));
+    base.define_query("n", QueryDef::new(0, Query::item("n")));
+    let mut adb = ActiveDatabase::new(base);
+    adb.add_rule(
+        Rule::trigger("high", parse_formula("n() >= 60").unwrap(), Action::Notify)
+            .level_triggered(),
+    )
+    .unwrap();
+    adb.add_rule(
+        Rule::trigger(
+            "rise",
+            parse_formula("n() >= 60 and lasttime(n() < 60)").unwrap(),
+            Action::Notify,
+        )
+        .level_triggered(),
+    )
+    .unwrap();
+    let mut in_order = events.clone();
+    in_order.sort_by_key(|e| e.valid);
+    for ev in &in_order {
+        adb.advance_clock_to(ev.valid).unwrap();
+        adb.update([set_n(ev.value)]).unwrap();
+    }
+    let plain_log: Vec<(String, Timestamp)> = adb
+        .firings()
+        .iter()
+        .map(|f| (f.rule.clone(), f.time))
+        .collect();
+
+    assert_eq!(
+        vt_log.len(),
+        plain_log.len(),
+        "stream lengths diverge: vt {} vs plain {}",
+        vt_log.len(),
+        plain_log.len()
+    );
+    // Same multiset per instant; dispatch order within one instant is an
+    // implementation detail of each side.
+    let sort = |mut v: Vec<(String, Timestamp)>| {
+        v.sort_by(|a, b| (a.1, &a.0).cmp(&(b.1, &b.0)));
+        v
+    };
+    assert_eq!(sort(vt_log), sort(plain_log));
+}
